@@ -1,0 +1,37 @@
+//! Criterion bench: the polyhedral reuse analysis + microarchitecture
+//! generation behind Tables 1/2/4 — the cost of the automation flow's
+//! left branch per benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stencil_core::{MemorySystemPlan, ReuseAnalysis};
+use stencil_kernels::paper_suite;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_table4/plan_generation");
+    g.sample_size(20);
+    for bench in paper_suite() {
+        let spec = bench.spec().expect("spec");
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| {
+                let plan = MemorySystemPlan::generate(black_box(&spec)).expect("plan");
+                black_box(plan.total_buffer_size())
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table1/reuse_analysis");
+    g.sample_size(20);
+    let spec = paper_suite()[0].spec().expect("spec");
+    g.bench_function("DENOISE_full_analysis", |b| {
+        b.iter(|| {
+            let a = ReuseAnalysis::of(black_box(&spec)).expect("analysis");
+            black_box(a.total_distance())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: the uniform-partitioning baselines behind Figs. 5/6
+//! and Table 4's baseline columns — the linear cyclic bank search, the
+//! rescheduled search, and \[8\]'s affine coefficient search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stencil_kernels::{paper_suite, segmentation_3d};
+use stencil_uniform::{
+    bank_count_vs_row_size, linear_cyclic, multidim_cyclic, rescheduled_cyclic, DEFAULT_LOOKAHEAD,
+};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5/linear_cyclic_sweep");
+    g.sample_size(20);
+    let denoise = &paper_suite()[0];
+    let window = denoise.window().to_vec();
+    g.bench_function("row_sizes_1000..1056", |b| {
+        b.iter(|| black_box(bank_count_vs_row_size(&window, 768, 1000..=1056)));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("table4/bank_search");
+    g.sample_size(20);
+    for bench in paper_suite() {
+        g.bench_function(format!("[8]_multidim/{}", bench.name()), |b| {
+            b.iter(|| black_box(multidim_cyclic(bench.window(), bench.extents())));
+        });
+    }
+    g.bench_function("[5]_linear/DENOISE", |b| {
+        b.iter(|| black_box(linear_cyclic(&window, &[768, 1024])));
+    });
+    g.bench_function("[7]_rescheduled/DENOISE", |b| {
+        b.iter(|| black_box(rescheduled_cyclic(&window, &[768, 1024], DEFAULT_LOOKAHEAD)));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig6/hard_window_search");
+    g.sample_size(10);
+    let seg = segmentation_3d();
+    g.bench_function("SEGMENTATION_3D_19pt", |b| {
+        b.iter(|| black_box(multidim_cyclic(seg.window(), seg.extents())));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: cycle-accurate simulation throughput behind Table 3
+//! and the II verification of Table 4 — simulated cycles per wall
+//! second for each benchmark's memory system on scaled grids, plus the
+//! skewed-grid machine of Fig. 9.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use stencil_bench::scaled_extents;
+use stencil_core::MemorySystemPlan;
+use stencil_kernels::{paper_suite, skewed_denoise};
+use stencil_sim::Machine;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_table4/machine_run");
+    g.sample_size(10);
+    for bench in paper_suite() {
+        let extents = scaled_extents(&bench, 16_384);
+        let spec = bench.spec_for(&extents).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let cycles = Machine::new(&plan)
+            .expect("machine")
+            .run(10_000_000)
+            .expect("run")
+            .cycles;
+        g.throughput(Throughput::Elements(cycles));
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(black_box(&plan)).expect("machine");
+                black_box(m.run(10_000_000).expect("run").outputs)
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig9/skewed_machine_run");
+    g.sample_size(10);
+    let spec = skewed_denoise(48, 32).expect("spec");
+    let plan = MemorySystemPlan::generate(&spec).expect("plan");
+    g.bench_function("SKEWED_DENOISE", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(black_box(&plan)).expect("machine");
+            black_box(m.run(10_000_000).expect("run").outputs)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: the substrate layers — polyhedral rank queries and
+//! reuse-distance analysis (what sizes the FIFOs) and Verilog
+//! generation (the automation flow's output stage).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use stencil_core::MemorySystemPlan;
+use stencil_kernels::{denoise, segmentation_3d};
+use stencil_polyhedral::{max_reuse_distance, Point, Polyhedron};
+use stencil_rtl::generate;
+
+fn bench_polyhedral(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/domain_index");
+    g.sample_size(20);
+    let grid2d = Polyhedron::grid(&[768, 1024]);
+    g.bench_function("build_index_768x1024", |b| {
+        b.iter(|| black_box(grid2d.index().expect("index").len()));
+    });
+    let grid3d = Polyhedron::grid(&[96, 96, 96]);
+    g.bench_function("build_index_96x96x96", |b| {
+        b.iter(|| black_box(grid3d.index().expect("index").len()));
+    });
+
+    let idx = grid2d.index().expect("index");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("rank_queries_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in 0..10_000u64 {
+                let p = Point::new(&[(k % 700) as i64, (k % 1000) as i64]);
+                acc = acc.wrapping_add(idx.rank_lt(black_box(&p)));
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("substrate/max_reuse_distance");
+    g.sample_size(20);
+    let iter = Polyhedron::rect(&[(1, 766), (1, 1022)]);
+    let input = grid2d.index().expect("index");
+    let dax = iter
+        .translated(&Point::new(&[-1, 0]))
+        .index()
+        .expect("index");
+    g.bench_function("denoise_end_to_end_pair", |b| {
+        b.iter(|| {
+            black_box(max_reuse_distance(&input, &dax, &Point::new(&[2, 0])).expect("distance"))
+        });
+    });
+    g.finish();
+}
+
+fn bench_rtl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow/verilog_generation");
+    g.sample_size(10);
+    for bench in [denoise(), segmentation_3d()] {
+        let plan = MemorySystemPlan::generate(&bench.spec().expect("spec")).expect("plan");
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| {
+                let bundle = generate(black_box(&plan)).expect("rtl");
+                black_box(bundle.concat().len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_polyhedral, bench_rtl);
+criterion_main!(benches);

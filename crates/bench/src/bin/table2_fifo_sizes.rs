@@ -1,0 +1,44 @@
+//! Regenerates Table 2 of the paper: the non-uniform reuse-FIFO sizes
+//! of the DENOISE memory system and their heterogeneous physical
+//! implementations (BRAM / distributed memory / registers).
+
+use stencil_core::{Feed, MemorySystemPlan};
+use stencil_kernels::denoise;
+
+fn main() {
+    let bench = denoise();
+    let plan = MemorySystemPlan::generate(&bench.spec().expect("spec")).expect("plan");
+
+    println!("Table 2 — reuse FIFOs of the DENOISE memory system");
+    println!();
+    println!(
+        "{:<8} {:<28} {:>10} {:<12}",
+        "FIFO", "precedent -> successive", "size", "physical impl."
+    );
+    for (k, feed) in plan.feeds().iter().enumerate() {
+        if let Feed::Fifo { capacity, storage } = feed {
+            println!(
+                "FIFO_{:<3} A[i+{}] -> A[i+{}] {:>10} {:<12}",
+                k - 1,
+                plan.filters()[k - 1].offset,
+                plan.filters()[k].offset,
+                capacity,
+                storage.to_string()
+            );
+        }
+    }
+    println!();
+    println!(
+        "total buffer size: {} elements (theoretical minimum: {})",
+        plan.total_buffer_size(),
+        plan.min_total_size()
+    );
+    println!(
+        "banks: {} (theoretical minimum: n-1 = {})",
+        plan.bank_count(),
+        plan.port_count() - 1
+    );
+    println!();
+    println!("full plan:");
+    print!("{plan}");
+}

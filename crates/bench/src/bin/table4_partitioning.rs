@@ -1,0 +1,62 @@
+//! Regenerates Table 4 of the paper: high-level partitioning results —
+//! original and target II, number of banks and total reuse-buffer size
+//! for the baseline \[8\] vs the non-uniform design, over all six
+//! benchmarks. With `--simulate`, additionally verifies the achieved
+//! initiation behaviour of the non-uniform design cycle-accurately on
+//! scaled grids.
+
+use stencil_bench::simulate_suite_parallel;
+use stencil_core::MemorySystemPlan;
+use stencil_kernels::paper_suite;
+use stencil_uniform::{multidim_cyclic, unpartitioned};
+
+fn main() {
+    let simulate = std::env::args().any(|a| a == "--simulate");
+
+    println!("Table 4 — high-level partitioning results");
+    println!();
+    println!(
+        "{:<18} {:>8} {:>8} | {:>9} {:>9} | {:>12} {:>12}",
+        "benchmark", "orig II", "tgt II", "[8] banks", "our banks", "[8] size", "our size"
+    );
+    for bench in paper_suite() {
+        let spec = bench.spec().expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let base = multidim_cyclic(bench.window(), bench.extents());
+        let orig = unpartitioned(bench.window(), bench.extents());
+        println!(
+            "{:<18} {:>8} {:>8} | {:>9} {:>9} | {:>12} {:>12}",
+            bench.name(),
+            orig.ii,
+            plan.target_ii(),
+            base.banks,
+            plan.bank_count(),
+            base.total_size,
+            plan.total_buffer_size(),
+        );
+        assert!(plan.bank_count() < base.banks, "ours must use fewer banks");
+        assert!(
+            plan.total_buffer_size() <= base.total_size,
+            "ours must not use more buffer"
+        );
+    }
+
+    if simulate {
+        println!();
+        println!("cycle-accurate verification (scaled grids, ~64k cells, parallel):");
+        let results = simulate_suite_parallel(&paper_suite(), 65_536).expect("simulation");
+        for (name, stats) in results {
+            println!(
+                "  {:<18} outputs {:>8}  cycles {:>8}  steady II {:>6.3}  bandwidth-limited {}",
+                name,
+                stats.outputs,
+                stats.cycles,
+                stats.steady_ii,
+                stats.fully_pipelined()
+            );
+        }
+    } else {
+        println!();
+        println!("(run with --simulate for cycle-accurate II verification)");
+    }
+}

@@ -1,0 +1,144 @@
+//! # stencil-bench
+//!
+//! Experiment harnesses for the DAC'14 reproduction. Each table and
+//! figure of the paper's evaluation has a binary that regenerates it
+//! (see `src/bin/`), and the Criterion benches under `benches/` measure
+//! the underlying machinery. Shared helpers live here.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use parking_lot::Mutex;
+use stencil_core::{MemorySystemPlan, StencilSpec};
+use stencil_kernels::Benchmark;
+use stencil_sim::{Machine, RunStats, SimError};
+
+/// Shrinks a benchmark's grid until it has at most `max_cells` data
+/// points, preserving the aspect ratio (roughly) and dimensionality.
+/// Used to keep cycle-accurate simulations fast in tests and benches.
+///
+/// # Panics
+///
+/// Panics if even the minimum viable grid exceeds `max_cells`.
+#[must_use]
+pub fn scaled_extents(bench: &Benchmark, max_cells: u64) -> Vec<i64> {
+    let mut extents: Vec<i64> = bench.extents().to_vec();
+    // Minimum extent per dimension: window span + 2 so a non-trivial
+    // interior remains.
+    let mins: Vec<i64> = (0..extents.len())
+        .map(|d| {
+            let lo = bench.window().iter().map(|f| f[d]).min().unwrap();
+            let hi = bench.window().iter().map(|f| f[d]).max().unwrap();
+            (hi - lo + 3).max(4)
+        })
+        .collect();
+    loop {
+        let cells: u64 = extents.iter().map(|&e| e as u64).product();
+        if cells <= max_cells {
+            return extents;
+        }
+        // Halve the largest still-shrinkable dimension.
+        let d = (0..extents.len())
+            .filter(|&d| extents[d] / 2 >= mins[d])
+            .max_by_key(|&d| extents[d])
+            .unwrap_or_else(|| {
+                panic!(
+                    "cannot shrink {:?} below {max_cells} cells",
+                    bench.extents()
+                )
+            });
+        extents[d] /= 2;
+    }
+}
+
+/// Plans and cycle-accurately simulates a benchmark on a scaled grid.
+///
+/// # Errors
+///
+/// Propagates planning (wrapped in [`SimError::Plan`]) and simulation
+/// errors.
+pub fn simulate_scaled(bench: &Benchmark, max_cells: u64) -> Result<RunStats, SimError> {
+    let extents = scaled_extents(bench, max_cells);
+    let spec: StencilSpec = bench.spec_for(&extents)?;
+    let plan = MemorySystemPlan::generate(&spec)?;
+    let mut machine = Machine::new(&plan)?;
+    let limit = 64 * max_cells + 100_000;
+    machine.run(limit)
+}
+
+/// Simulates every benchmark of a suite in parallel (one OS thread per
+/// benchmark via `crossbeam::scope`), each on a grid scaled to at most
+/// `max_cells` points. Results come back in suite order.
+///
+/// # Errors
+///
+/// Returns the first benchmark's error encountered, by suite order.
+pub fn simulate_suite_parallel(
+    suite: &[Benchmark],
+    max_cells: u64,
+) -> Result<Vec<(String, RunStats)>, SimError> {
+    let slots: Mutex<Vec<Option<Result<RunStats, SimError>>>> = Mutex::new(vec![None; suite.len()]);
+    crossbeam::scope(|scope| {
+        for (k, bench) in suite.iter().enumerate() {
+            let slots = &slots;
+            scope.spawn(move |_| {
+                let result = simulate_scaled(bench, max_cells);
+                slots.lock()[k] = Some(result);
+            });
+        }
+    })
+    .expect("no panics in simulation threads");
+    let results = slots.into_inner();
+    let mut out = Vec::with_capacity(suite.len());
+    for (bench, slot) in suite.iter().zip(results) {
+        let stats = slot.expect("every slot filled")?;
+        out.push((bench.name().to_owned(), stats));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_kernels::{paper_suite, segmentation_3d};
+
+    #[test]
+    fn scaling_respects_budget() {
+        for bench in paper_suite() {
+            let e = scaled_extents(&bench, 10_000);
+            let cells: u64 = e.iter().map(|&x| x as u64).product();
+            assert!(cells <= 10_000, "{}: {:?}", bench.name(), e);
+            assert_eq!(e.len(), bench.dims());
+        }
+    }
+
+    #[test]
+    fn scaling_is_identity_when_budget_is_large() {
+        let b = segmentation_3d();
+        let e = scaled_extents(&b, u64::MAX);
+        assert_eq!(e, b.extents());
+    }
+
+    #[test]
+    fn simulate_scaled_runs_all_benchmarks() {
+        for bench in paper_suite() {
+            let stats = simulate_scaled(&bench, 6_000).unwrap();
+            assert!(stats.outputs > 0, "{}", bench.name());
+            assert!(stats.fully_pipelined(), "{}", bench.name());
+        }
+    }
+
+    #[test]
+    fn parallel_suite_matches_sequential() {
+        let suite = paper_suite();
+        let parallel = simulate_suite_parallel(&suite, 4_000).unwrap();
+        assert_eq!(parallel.len(), suite.len());
+        for (bench, (name, stats)) in suite.iter().zip(&parallel) {
+            assert_eq!(name, bench.name());
+            let sequential = simulate_scaled(bench, 4_000).unwrap();
+            assert_eq!(stats.outputs, sequential.outputs, "{name}");
+            assert_eq!(stats.cycles, sequential.cycles, "{name}");
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! The CLI's subcommand implementations, kept separate from argument
+//! handling so they are directly testable.
+
+use std::fmt::Write as _;
+
+use stencil_core::{
+    verify_plan, MappingPolicy, MemorySystemPlan, ModuloSchedulePlan, ReuseAnalysis, StencilSpec,
+};
+use stencil_fpga::{estimate_nonuniform, estimate_uniform};
+use stencil_kernels::KernelOps;
+use stencil_sim::{trace_to_vcd, Machine};
+use stencil_uniform::{best_uniform, multidim_cyclic, survey, unpartitioned};
+
+/// A command error: human-readable message, exit-code 1 semantics.
+pub type CmdError = Box<dyn std::error::Error + Send + Sync>;
+
+/// `stencil plan`: generate and verify the memory system; render the
+/// Table 2-style report.
+///
+/// # Errors
+///
+/// Propagates planning/analysis failures.
+pub fn cmd_plan(spec: &StencilSpec) -> Result<String, CmdError> {
+    let analysis = ReuseAnalysis::of(spec)?;
+    let plan = MemorySystemPlan::generate(spec)?;
+    let report = verify_plan(&plan, &analysis);
+    let mut out = String::new();
+    let _ = writeln!(out, "{plan}");
+    let _ = writeln!(out, "{report}");
+    let _ = writeln!(
+        out,
+        "linearity of max reuse distances holds: {}",
+        analysis.linearity_holds()
+    );
+    match ModuloSchedulePlan::try_from_analysis(&analysis, &MappingPolicy::default()) {
+        Ok(m) => {
+            let _ = writeln!(
+                out,
+                "modulo-scheduled alternative: feasible ({} banks, delays {:?})",
+                m.bank_count(),
+                m.delays()
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "modulo-scheduled alternative: infeasible ({e})");
+        }
+    }
+    Ok(out)
+}
+
+/// `stencil simulate`: run the design cycle-accurately; optionally emit
+/// a VCD of the first `trace_cycles` cycles.
+///
+/// # Errors
+///
+/// Propagates planning and simulation failures.
+pub fn cmd_simulate(
+    spec: &StencilSpec,
+    streams: usize,
+    trace_cycles: usize,
+) -> Result<(String, Option<String>), CmdError> {
+    let plan = MemorySystemPlan::generate(spec)?.with_offchip_streams(streams)?;
+    let mut machine = Machine::new(&plan)?;
+    if trace_cycles > 0 {
+        machine.enable_trace(0, trace_cycles);
+    }
+    let stats = machine.run(1_u64 << 34)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{stats}");
+    let _ = writeln!(
+        out,
+        "bandwidth-limited: {} (ideal {} cycles)",
+        stats.fully_pipelined(),
+        stats.ideal_cycles
+    );
+    let vcd = machine
+        .trace(0)
+        .filter(|t| !t.is_empty())
+        .map(|t| trace_to_vcd(t, spec.name(), 5.0));
+    Ok((out, vcd))
+}
+
+/// `stencil rtl`: generate the Verilog bundle.
+///
+/// # Errors
+///
+/// Propagates planning and RTL-generation failures.
+pub fn cmd_rtl(spec: &StencilSpec) -> Result<stencil_rtl::RtlBundle, CmdError> {
+    let plan = MemorySystemPlan::generate(spec)?;
+    let bundle = stencil_rtl::generate(&plan)?;
+    let problems = bundle.lint();
+    if !problems.is_empty() {
+        return Err(format!("generated RTL failed lint: {problems:?}").into());
+    }
+    Ok(bundle)
+}
+
+/// `stencil compare`: ours vs the best uniform partitioning, with
+/// resource estimates.
+///
+/// # Errors
+///
+/// Propagates planning failures.
+pub fn cmd_compare(spec: &StencilSpec, extents: &[i64]) -> Result<String, CmdError> {
+    let plan = MemorySystemPlan::generate(spec)?;
+    let base = best_uniform(spec.offsets(), extents);
+    let orig = unpartitioned(spec.offsets(), extents);
+    let ops = KernelOps::default();
+    let ours_est = estimate_nonuniform(&plan, ops);
+    let base_est = estimate_uniform(
+        &base,
+        spec.window_size(),
+        spec.element_bits(),
+        spec.iteration_domain(),
+        ops,
+    );
+    let mut out = String::new();
+    if let Some(art) = stencil_polyhedral::render_window(spec.offsets()) {
+        out.push_str(&art);
+    }
+    let _ = writeln!(out, "original (1 bank):      II = {}", orig.ii);
+    for r in survey(spec.offsets(), extents) {
+        let _ = writeln!(out, "  {r}");
+    }
+    let _ = writeln!(
+        out,
+        "best uniform:           {} banks, size {}, {}",
+        base.banks, base.total_size, base_est
+    );
+    let _ = writeln!(
+        out,
+        "non-uniform (ours):     {} banks, size {}, {}",
+        plan.bank_count(),
+        plan.total_buffer_size(),
+        ours_est
+    );
+    let _ = writeln!(
+        out,
+        "savings: {} bank(s), {} buffer elements, {} BRAM18K",
+        base.banks - plan.bank_count(),
+        base.total_size - plan.total_buffer_size(),
+        base_est.bram18k.saturating_sub(ours_est.bram18k),
+    );
+    Ok(out)
+}
+
+/// `stencil suite`: the paper's benchmark suite summary — Table 4's
+/// partitioning columns plus Table 5's resource estimates, in one view.
+///
+/// # Errors
+///
+/// Propagates planning failures.
+pub fn cmd_suite() -> Result<String, CmdError> {
+    use stencil_fpga::Table5;
+    use stencil_kernels::paper_suite;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>4} | {:>9} {:>9} | {:>12} {:>12}",
+        "benchmark", "n", "[8] banks", "our banks", "[8] size", "our size"
+    );
+    for bench in paper_suite() {
+        let spec = bench.spec()?;
+        let plan = MemorySystemPlan::generate(&spec)?;
+        let base = multidim_cyclic(bench.window(), bench.extents());
+        let _ = writeln!(
+            out,
+            "{:<18} {:>4} | {:>9} {:>9} | {:>12} {:>12}",
+            bench.name(),
+            bench.window().len(),
+            base.banks,
+            plan.bank_count(),
+            base.total_size,
+            plan.total_buffer_size()
+        );
+    }
+    let table = Table5::build(&paper_suite())?;
+    let _ = writeln!(out);
+    let _ = write!(out, "{table}");
+    Ok(out)
+}
+
+/// `stencil report`: a complete markdown design report — window art,
+/// plan, optimality, baseline comparison, resources, and simulation.
+///
+/// # Errors
+///
+/// Propagates planning and simulation failures.
+pub fn cmd_report(spec: &StencilSpec, extents: &[i64]) -> Result<String, CmdError> {
+    let analysis = ReuseAnalysis::of(spec)?;
+    let plan = MemorySystemPlan::generate(spec)?;
+    let report = verify_plan(&plan, &analysis);
+    let mut out = String::new();
+    let _ = writeln!(out, "# Design report: `{}`", spec.name());
+    let _ = writeln!(out);
+    if let Some(art) = stencil_polyhedral::render_window(spec.offsets()) {
+        let _ = writeln!(out, "## Stencil window ({} points)", spec.window_size());
+        let _ = writeln!(out, "```");
+        out.push_str(&art);
+        let _ = writeln!(out, "```");
+    }
+    let _ = writeln!(out, "## Memory system");
+    let _ = writeln!(out, "```");
+    let _ = writeln!(out, "{plan}");
+    let _ = writeln!(out, "```");
+    let _ = writeln!(out, "## Optimality");
+    let _ = writeln!(out, "```");
+    let _ = writeln!(out, "{report}");
+    let _ = writeln!(out, "```");
+
+    let _ = writeln!(out, "## Versus uniform partitioning");
+    let orig = unpartitioned(spec.offsets(), extents);
+    let best = best_uniform(spec.offsets(), extents);
+    let gmp = multidim_cyclic(spec.offsets(), extents);
+    let _ = writeln!(out, "| design | banks | buffer | II |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    let _ = writeln!(out, "| original | 1 | {} | {} |", orig.total_size, orig.ii);
+    let _ = writeln!(
+        out,
+        "| [8] multidim cyclic | {} | {} | 1 |",
+        gmp.banks, gmp.total_size
+    );
+    let _ = writeln!(
+        out,
+        "| best uniform | {} | {} | 1 |",
+        best.banks, best.total_size
+    );
+    let _ = writeln!(
+        out,
+        "| **non-uniform (ours)** | **{}** | **{}** | 1 |",
+        plan.bank_count(),
+        plan.total_buffer_size()
+    );
+
+    let _ = writeln!(
+        out,
+        "
+## Resources (synthetic Virtex-7 model)"
+    );
+    let ops = KernelOps::default();
+    let ours = estimate_nonuniform(&plan, ops);
+    let base = estimate_uniform(
+        &gmp,
+        spec.window_size(),
+        spec.element_bits(),
+        spec.iteration_domain(),
+        ops,
+    );
+    let _ = writeln!(out, "| design | BRAM18K | slices | DSP | CP (ns) |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    let _ = writeln!(
+        out,
+        "| [8] | {} | {} | {} | {:.2} |",
+        base.bram18k,
+        base.slices(),
+        base.dsps,
+        base.cp_ns
+    );
+    let _ = writeln!(
+        out,
+        "| ours | {} | {} | {} | {:.2} |",
+        ours.bram18k,
+        ours.slices(),
+        ours.dsps,
+        ours.cp_ns
+    );
+
+    let _ = writeln!(
+        out,
+        "
+## Cycle-accurate simulation"
+    );
+    let mut machine = Machine::new(&plan)?;
+    let stats = machine.run(1_u64 << 34)?;
+    let _ = writeln!(out, "```");
+    let _ = writeln!(out, "{stats}");
+    let _ = writeln!(
+        out,
+        "bandwidth-limited: {} (ideal {} cycles)",
+        stats.fully_pipelined(),
+        stats.ideal_cycles
+    );
+    let _ = writeln!(out, "```");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec_file::SpecFile;
+
+    fn denoise_spec() -> StencilSpec {
+        SpecFile::parse(
+            "name denoise\ngrid 64 96\nelement_bits 16\noffset -1 0\noffset 0 -1\n\
+             offset 0 0\noffset 0 1\noffset 1 0\n",
+        )
+        .unwrap()
+        .to_spec()
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_command_reports_optimality() {
+        let out = cmd_plan(&denoise_spec()).unwrap();
+        assert!(out.contains("OPTIMAL"), "{out}");
+        assert!(out.contains("deadlock-free: true"), "{out}");
+        assert!(
+            out.contains("modulo-scheduled alternative: feasible"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn simulate_command_runs_and_traces() {
+        let (out, vcd) = cmd_simulate(&denoise_spec(), 1, 32).unwrap();
+        assert!(out.contains("bandwidth-limited: true"), "{out}");
+        let vcd = vcd.expect("trace requested");
+        assert!(vcd.contains("$enddefinitions"), "{vcd}");
+    }
+
+    #[test]
+    fn simulate_with_tradeoff_streams() {
+        let (out, vcd) = cmd_simulate(&denoise_spec(), 3, 0).unwrap();
+        assert!(out.contains("bandwidth-limited: true"), "{out}");
+        assert!(vcd.is_none());
+    }
+
+    #[test]
+    fn rtl_command_generates_clean_bundle() {
+        let bundle = cmd_rtl(&denoise_spec()).unwrap();
+        assert!(bundle.files().len() > 3);
+        assert!(bundle.concat().contains("module denoise_mem_system"));
+    }
+
+    #[test]
+    fn suite_command_summarizes_everything() {
+        let out = cmd_suite().unwrap();
+        assert!(out.contains("SEGMENTATION_3D"), "{out}");
+        assert!(out.contains("average ours/baseline"), "{out}");
+    }
+
+    #[test]
+    fn report_command_is_complete() {
+        let out = cmd_report(&denoise_spec(), &[64, 96]).unwrap();
+        assert!(out.contains("# Design report: `denoise`"), "{out}");
+        assert!(
+            out.contains(
+                ". o .
+o o o
+. o ."
+            ),
+            "{out}"
+        );
+        assert!(out.contains("| **non-uniform (ours)** |"), "{out}");
+        assert!(out.contains("bandwidth-limited: true"), "{out}");
+        assert!(out.contains("OPTIMAL"), "{out}");
+    }
+
+    #[test]
+    fn compare_command_shows_savings() {
+        let out = cmd_compare(&denoise_spec(), &[64, 96]).unwrap();
+        assert!(out.contains("savings: 1 bank(s)"), "{out}");
+        assert!(out.contains("II = 5"), "{out}");
+    }
+}

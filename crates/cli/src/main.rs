@@ -1,0 +1,195 @@
+//! `stencil` — command-line front end for the DAC'14 non-uniform
+//! reuse-buffer accelerator flow.
+//!
+//! ```text
+//! stencil plan     <spec.stencil>                 plan + verify optimality
+//! stencil simulate <spec.stencil> [--streams K] [--vcd OUT.vcd [--cycles N]]
+//! stencil rtl      <spec.stencil> [--out DIR]     generate Verilog
+//! stencil compare  <spec.stencil>                 vs best uniform partitioning
+//! stencil report   <spec.stencil>                 full markdown design report
+//! stencil suite                                   paper benchmark suite summary
+//! stencil fmt      <spec.stencil>                 canonicalize a spec file
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod commands;
+mod spec_file;
+
+use commands::{cmd_compare, cmd_plan, cmd_report, cmd_rtl, cmd_simulate, cmd_suite};
+use spec_file::SpecFile;
+
+fn usage() -> &'static str {
+    "usage:\n  stencil plan     <spec.stencil>\n  stencil simulate <spec.stencil> \
+     [--streams K] [--vcd OUT.vcd [--cycles N]]\n  stencil rtl      <spec.stencil> \
+     [--out DIR]\n  stencil compare  <spec.stencil>\n  stencil report   <spec.stencil>"
+}
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("stencil: {e}");
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<String, commands::CmdError> {
+    let mut it = args.into_iter();
+    let cmd = it.next().ok_or("missing subcommand")?;
+    if cmd == "suite" {
+        return cmd_suite();
+    }
+    let spec_path = it.next().ok_or("missing spec file")?;
+    let text =
+        std::fs::read_to_string(&spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let file = SpecFile::parse(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec = file.to_spec()?;
+
+    // Trailing options.
+    let mut streams = 1usize;
+    let mut vcd_path: Option<PathBuf> = None;
+    let mut cycles = 256usize;
+    let mut out_dir = PathBuf::from("rtl_out");
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--streams" => {
+                streams = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--streams needs a count")?;
+            }
+            "--vcd" => {
+                vcd_path = Some(PathBuf::from(it.next().ok_or("--vcd needs a path")?));
+            }
+            "--cycles" => {
+                cycles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--cycles needs a count")?;
+            }
+            "--out" => {
+                out_dir = PathBuf::from(it.next().ok_or("--out needs a directory")?);
+            }
+            other => return Err(format!("unknown option `{other}`").into()),
+        }
+    }
+
+    match cmd.as_str() {
+        "plan" => cmd_plan(&spec),
+        "simulate" => {
+            let trace = if vcd_path.is_some() { cycles } else { 0 };
+            let (out, vcd) = cmd_simulate(&spec, streams, trace)?;
+            if let (Some(path), Some(vcd)) = (&vcd_path, vcd) {
+                std::fs::write(path, vcd)
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                return Ok(format!("{out}VCD written to {}\n", path.display()));
+            }
+            Ok(out)
+        }
+        "rtl" => {
+            let bundle = cmd_rtl(&spec)?;
+            bundle
+                .write_to_dir(&out_dir)
+                .map_err(|e| format!("cannot write {}: {e}", out_dir.display()))?;
+            Ok(format!(
+                "wrote {} Verilog files to {}\n",
+                bundle.files().len(),
+                out_dir.display()
+            ))
+        }
+        "compare" => cmd_compare(&spec, &file.grid),
+        "report" => cmd_report(&spec, &file.grid),
+        "fmt" => Ok(file.render()),
+        other => Err(format!("unknown subcommand `{other}`").into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn write_spec(dir: &std::path::Path) -> PathBuf {
+        let p = dir.join("denoise.stencil");
+        fs::write(
+            &p,
+            "name denoise\ngrid 32 48\nelement_bits 16\noffset -1 0\noffset 0 -1\n\
+             offset 0 0\noffset 0 1\noffset 1 0\n",
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn end_to_end_plan_and_simulate() {
+        let dir = std::env::temp_dir().join("stencil_cli_test");
+        fs::create_dir_all(&dir).unwrap();
+        let spec = write_spec(&dir);
+        let out = run(vec!["plan".into(), spec.display().to_string()]).unwrap();
+        assert!(out.contains("OPTIMAL"), "{out}");
+
+        let out = run(vec![
+            "simulate".into(),
+            spec.display().to_string(),
+            "--streams".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("bandwidth-limited: true"), "{out}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rtl_writes_files() {
+        let dir = std::env::temp_dir().join("stencil_cli_rtl_test");
+        fs::create_dir_all(&dir).unwrap();
+        let spec = write_spec(&dir);
+        let out_dir = dir.join("out");
+        let out = run(vec![
+            "rtl".into(),
+            spec.display().to_string(),
+            "--out".into(),
+            out_dir.display().to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("Verilog files"), "{out}");
+        assert!(out_dir.join("denoise_mem_system.v").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fmt_canonicalizes() {
+        let dir = std::env::temp_dir().join("stencil_cli_fmt_test");
+        fs::create_dir_all(&dir).unwrap();
+        let spec = write_spec(&dir);
+        let out = run(vec!["fmt".into(), spec.display().to_string()]).unwrap();
+        assert!(out.starts_with("name denoise\n"), "{out}");
+        assert!(out.contains("element_bits 16"), "{out}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(vec![]).is_err());
+        assert!(run(vec!["plan".into()]).is_err());
+        assert!(run(vec!["plan".into(), "/nonexistent.stencil".into()]).is_err());
+        let dir = std::env::temp_dir().join("stencil_cli_err_test");
+        fs::create_dir_all(&dir).unwrap();
+        let spec = write_spec(&dir);
+        assert!(run(vec!["frob".into(), spec.display().to_string()]).is_err());
+        assert!(run(vec![
+            "plan".into(),
+            spec.display().to_string(),
+            "--bogus".into()
+        ])
+        .is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based validation of the `.stencil` format: render/parse
+//! round-trips and parser robustness over randomized specifications.
+
+use proptest::prelude::*;
+
+// The spec-file module is private to the binary crate; exercise it
+// through a thin re-declaration of the same source file.
+#[path = "../src/spec_file.rs"]
+mod spec_file;
+
+use spec_file::SpecFile;
+use stencil_polyhedral::Point;
+
+fn random_spec() -> impl Strategy<Value = SpecFile> {
+    (
+        "[a-z][a-z0-9_]{0,12}",
+        prop::collection::vec(2i64..64, 1..=3),
+        prop::collection::btree_set(((-3i64..=3), (-3i64..=3), (-3i64..=3)), 1..8),
+        prop::sample::select(vec![8u32, 16, 32, 64]),
+    )
+        .prop_map(|(name, grid, offs, element_bits)| {
+            let dims = grid.len();
+            let offsets: Vec<Point> = offs
+                .into_iter()
+                .map(|(a, b, c)| Point::new(&[a, b, c][..dims]))
+                .collect();
+            SpecFile {
+                name,
+                grid,
+                offsets,
+                element_bits,
+                constraints: Vec::new(),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// render ∘ parse is the identity on well-formed specs.
+    #[test]
+    fn render_parse_roundtrip(spec in random_spec()) {
+        let text = spec.render();
+        let parsed = SpecFile::parse(&text).expect("rendered specs parse");
+        prop_assert_eq!(parsed, spec);
+    }
+
+    /// The parser never panics on arbitrary input — it either parses or
+    /// reports a line-numbered error.
+    #[test]
+    fn parser_is_total(garbage in "[ -~\n]{0,256}") {
+        let _ = SpecFile::parse(&garbage);
+    }
+
+    /// Whitespace and comments never change the parse.
+    #[test]
+    fn comments_are_transparent(spec in random_spec()) {
+        let text = spec.render();
+        let noisy: String = text
+            .lines()
+            .flat_map(|l| [format!("  {l}   # trailing"), "# full comment".to_owned()])
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = SpecFile::parse(&noisy).expect("noisy but well-formed");
+        prop_assert_eq!(parsed, spec);
+    }
+}

@@ -1,0 +1,341 @@
+//! Reuse analysis of a stencil specification: everything the
+//! microarchitecture generator needs, computed once.
+//!
+//! This is the "polyhedral analysis" stage of the paper's automation flow
+//! (Fig. 11): data domains of each reference and the maximum reuse
+//! distances of each pair of adjacent references in filter order.
+
+use stencil_polyhedral::{max_reuse_distance, reuse_vector, DomainIndex, Point, Polyhedron};
+
+use crate::error::PlanError;
+use crate::sort::SortedRefs;
+use crate::spec::StencilSpec;
+
+/// The complete reuse analysis of one stencil array.
+///
+/// Owns the lex-rank indices of the input data domain and every
+/// per-reference data domain; these are shared by the planner, the
+/// optimality verifier, and the cycle-accurate simulator.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_core::{ReuseAnalysis, StencilSpec};
+/// use stencil_polyhedral::{Point, Polyhedron};
+///
+/// let spec = StencilSpec::new(
+///     "denoise",
+///     Polyhedron::rect(&[(1, 766), (1, 1022)]),
+///     vec![
+///         Point::new(&[-1, 0]),
+///         Point::new(&[0, -1]),
+///         Point::new(&[0, 0]),
+///         Point::new(&[0, 1]),
+///         Point::new(&[1, 0]),
+///     ],
+/// )?;
+/// let analysis = ReuseAnalysis::of(&spec)?;
+/// assert_eq!(analysis.adjacent_distances(), &[1023, 1, 1, 1023]);
+/// assert_eq!(analysis.total_distance(), 2048);
+/// # Ok::<(), stencil_core::PlanError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReuseAnalysis {
+    spec: StencilSpec,
+    sorted: SortedRefs,
+    input_domain: Polyhedron,
+    input_index: DomainIndex,
+    iteration_index: DomainIndex,
+    filter_domains: Vec<Polyhedron>,
+    filter_indices: Vec<DomainIndex>,
+    adjacent_distances: Vec<u64>,
+    total_distance: u64,
+}
+
+impl ReuseAnalysis {
+    /// Analyzes a specification.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlanError::EmptyIterationDomain`] if the iteration domain has
+    ///   no points.
+    /// * [`PlanError::Poly`] if a domain is unbounded.
+    pub fn of(spec: &StencilSpec) -> Result<Self, PlanError> {
+        let sorted = SortedRefs::from_offsets(spec.offsets());
+        let iteration_index = spec.iteration_domain().index()?;
+        if iteration_index.is_empty() {
+            return Err(PlanError::EmptyIterationDomain);
+        }
+        let input_domain = spec.input_domain();
+        let input_index = input_domain.index()?;
+
+        let n = sorted.len();
+        let mut filter_domains = Vec::with_capacity(n);
+        let mut filter_indices = Vec::with_capacity(n);
+        for k in 0..n {
+            let dom = spec.iteration_domain().translated(&sorted.offset(k));
+            filter_indices.push(dom.index()?);
+            filter_domains.push(dom);
+        }
+
+        // FIFO_k capacity: max reuse distance between adjacent references
+        // A_k (earlier) and A_{k+1} (later), evaluated over the later
+        // reference's data domain (see stencil_polyhedral::max_reuse_distance).
+        let mut adjacent_distances = Vec::with_capacity(n.saturating_sub(1));
+        for k in 0..n.saturating_sub(1) {
+            let r = reuse_vector(&sorted.offset(k), &sorted.offset(k + 1));
+            let d = max_reuse_distance(&input_index, &filter_indices[k + 1], &r)?;
+            adjacent_distances.push(d);
+        }
+
+        let total_distance = if n >= 2 {
+            let r = reuse_vector(&sorted.offset(0), &sorted.offset(n - 1));
+            max_reuse_distance(&input_index, &filter_indices[n - 1], &r)?
+        } else {
+            0
+        };
+
+        Ok(Self {
+            spec: spec.clone(),
+            sorted,
+            input_domain,
+            input_index,
+            iteration_index,
+            filter_domains,
+            filter_indices,
+            adjacent_distances,
+            total_distance,
+        })
+    }
+
+    /// The analyzed specification.
+    #[must_use]
+    pub fn spec(&self) -> &StencilSpec {
+        &self.spec
+    }
+
+    /// The filter-order reference assignment.
+    #[must_use]
+    pub fn sorted_refs(&self) -> &SortedRefs {
+        &self.sorted
+    }
+
+    /// Number of array references (`n`).
+    #[must_use]
+    pub fn window_size(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// The input data domain `D_A`.
+    #[must_use]
+    pub fn input_domain(&self) -> &Polyhedron {
+        &self.input_domain
+    }
+
+    /// Lex-rank index over `D_A`.
+    #[must_use]
+    pub fn input_index(&self) -> &DomainIndex {
+        &self.input_index
+    }
+
+    /// Lex-rank index over the iteration domain `D`.
+    #[must_use]
+    pub fn iteration_index(&self) -> &DomainIndex {
+        &self.iteration_index
+    }
+
+    /// The data domain of the reference served by filter `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn filter_domain(&self, k: usize) -> &Polyhedron {
+        &self.filter_domains[k]
+    }
+
+    /// Lex-rank index over [`Self::filter_domain`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn filter_index(&self, k: usize) -> &DomainIndex {
+        &self.filter_indices[k]
+    }
+
+    /// The access offset served by filter `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn filter_offset(&self, k: usize) -> Point {
+        self.sorted.offset(k)
+    }
+
+    /// Maximum reuse distances between adjacent filter pairs — the
+    /// non-uniform FIFO capacities (`n - 1` entries).
+    #[must_use]
+    pub fn adjacent_distances(&self) -> &[u64] {
+        &self.adjacent_distances
+    }
+
+    /// Maximum reuse distance between the earliest and latest reference —
+    /// the theoretical minimum total reuse buffer size (§2.3).
+    #[must_use]
+    pub fn total_distance(&self) -> u64 {
+        self.total_distance
+    }
+
+    /// Sum of the per-FIFO capacities. Equal to
+    /// [`Self::total_distance`] whenever the linearity property
+    /// (Property 3) holds — always on rectangular grids; on skewed grids
+    /// individual worst cases may not align, making the sum a (still
+    /// minimal per-FIFO) upper bound.
+    #[must_use]
+    pub fn sum_of_distances(&self) -> u64 {
+        self.adjacent_distances.iter().sum()
+    }
+
+    /// True if Property 3 (linearity of maximum reuse distances) held
+    /// exactly for this domain.
+    #[must_use]
+    pub fn linearity_holds(&self) -> bool {
+        self.sum_of_distances() == self.total_distance
+    }
+
+    /// Number of loop iterations (outputs produced per execution).
+    #[must_use]
+    pub fn iteration_count(&self) -> u64 {
+        self.iteration_index.len()
+    }
+
+    /// Number of input elements streamed from off-chip per execution.
+    #[must_use]
+    pub fn input_count(&self) -> u64 {
+        self.input_index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_polyhedral::Constraint;
+
+    fn denoise() -> StencilSpec {
+        StencilSpec::new(
+            "denoise",
+            Polyhedron::rect(&[(1, 766), (1, 1022)]),
+            vec![
+                Point::new(&[-1, 0]),
+                Point::new(&[0, -1]),
+                Point::new(&[0, 0]),
+                Point::new(&[0, 1]),
+                Point::new(&[1, 0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn denoise_matches_table2() {
+        let a = ReuseAnalysis::of(&denoise()).unwrap();
+        assert_eq!(a.adjacent_distances(), &[1023, 1, 1, 1023]);
+        assert_eq!(a.total_distance(), 2048);
+        assert!(a.linearity_holds());
+        assert_eq!(a.window_size(), 5);
+        assert_eq!(a.iteration_count(), 766 * 1022);
+        assert_eq!(a.input_count(), 768 * 1024);
+    }
+
+    #[test]
+    fn single_reference_has_no_fifos() {
+        let spec = StencilSpec::new(
+            "copy",
+            Polyhedron::rect(&[(0, 9), (0, 9)]),
+            vec![Point::new(&[0, 0])],
+        )
+        .unwrap();
+        let a = ReuseAnalysis::of(&spec).unwrap();
+        assert!(a.adjacent_distances().is_empty());
+        assert_eq!(a.total_distance(), 0);
+        assert!(a.linearity_holds());
+    }
+
+    #[test]
+    fn empty_iteration_domain_rejected() {
+        let spec =
+            StencilSpec::new("empty", Polyhedron::rect(&[(5, 2)]), vec![Point::new(&[0])]).unwrap();
+        assert_eq!(
+            ReuseAnalysis::of(&spec).unwrap_err(),
+            PlanError::EmptyIterationDomain
+        );
+    }
+
+    #[test]
+    fn filter_domains_are_translates() {
+        let a = ReuseAnalysis::of(&denoise()).unwrap();
+        // Filter 0 serves A[i+1][j]: rows 2..=767.
+        assert!(a.filter_domain(0).contains(&Point::new(&[2, 1])));
+        assert!(!a.filter_domain(0).contains(&Point::new(&[1, 1])));
+        assert_eq!(a.filter_offset(0), Point::new(&[1, 0]));
+        assert_eq!(a.filter_index(0).len(), 766 * 1022);
+    }
+
+    #[test]
+    fn skewed_grid_distances_bound_occupancy() {
+        // Fig. 9-style skewed grid.
+        let iter = Polyhedron::new(
+            2,
+            vec![
+                Constraint::lower_bound(2, 0, 1),
+                Constraint::upper_bound(2, 0, 20),
+                Constraint::new(&[-1, 1], -1), // j >= i + 1
+                Constraint::new(&[1, -1], 12), // j <= i + 12
+            ],
+        );
+        let spec = StencilSpec::new(
+            "skew",
+            iter,
+            vec![
+                Point::new(&[-1, -1]),
+                Point::new(&[-1, 1]),
+                Point::new(&[0, 0]),
+                Point::new(&[1, -1]),
+                Point::new(&[1, 1]),
+            ],
+        )
+        .unwrap();
+        let a = ReuseAnalysis::of(&spec).unwrap();
+        assert_eq!(a.adjacent_distances().len(), 4);
+        assert!(a.total_distance() > 0);
+        // On a skewed grid the sum may exceed the end-to-end distance but
+        // never undershoots it.
+        assert!(a.sum_of_distances() >= a.total_distance());
+    }
+
+    #[test]
+    fn small_grid_3d() {
+        let spec = StencilSpec::new(
+            "heat",
+            Polyhedron::rect(&[(1, 8), (1, 8), (1, 8)]),
+            vec![
+                Point::new(&[-1, 0, 0]),
+                Point::new(&[0, -1, 0]),
+                Point::new(&[0, 0, -1]),
+                Point::new(&[0, 0, 0]),
+                Point::new(&[0, 0, 1]),
+                Point::new(&[0, 1, 0]),
+                Point::new(&[1, 0, 0]),
+            ],
+        )
+        .unwrap();
+        let a = ReuseAnalysis::of(&spec).unwrap();
+        assert_eq!(a.window_size(), 7);
+        assert_eq!(a.adjacent_distances().len(), 6);
+        // End-to-end: from (1,0,0) to (-1,0,0) over a 10x10x10 input grid.
+        assert_eq!(a.total_distance(), 200);
+        assert!(a.linearity_holds());
+    }
+}

@@ -1,0 +1,284 @@
+//! Design automation flow (§4, Fig. 11 of the paper): from a multi-array
+//! stencil program to a complete accelerator design.
+//!
+//! The flow's left branch (polyhedral analysis → microarchitecture
+//! generation) is fully implemented; the right branch (kernel extraction
+//! → HLS) is represented by a [`KernelSignature`] that downstream crates
+//! (the simulator's pipelined-kernel model and the FPGA estimator)
+//! consume in place of Vivado-HLS-generated RTL.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use stencil_polyhedral::{Point, Polyhedron};
+
+use crate::error::PlanError;
+use crate::mapping::MappingPolicy;
+use crate::plan::MemorySystemPlan;
+use crate::spec::StencilSpec;
+use crate::ReuseAnalysis;
+
+/// The accesses of one data array within a stencil program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayAccesses {
+    /// Array name (e.g. `"A"`).
+    pub array: String,
+    /// Stencil window offsets for this array.
+    pub offsets: Vec<Point>,
+    /// Element width in bits.
+    pub element_bits: u32,
+}
+
+impl ArrayAccesses {
+    /// Creates the access description with 32-bit elements.
+    #[must_use]
+    pub fn new(array: impl Into<String>, offsets: Vec<Point>) -> Self {
+        Self {
+            array: array.into(),
+            offsets,
+            element_bits: StencilSpec::DEFAULT_ELEMENT_BITS,
+        }
+    }
+}
+
+/// A stencil program: one loop nest reading any number of data arrays
+/// with stencil accesses (Fig. 1 reads only `A`; RICIAN-style kernels
+/// read two).
+///
+/// Since there are no reuse opportunities *between* different arrays,
+/// each array receives an independent memory system (§2.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StencilProgram {
+    /// Kernel name.
+    pub name: String,
+    /// The shared iteration domain of the loop nest.
+    pub iteration_domain: Polyhedron,
+    /// Per-array stencil accesses.
+    pub arrays: Vec<ArrayAccesses>,
+}
+
+impl StencilProgram {
+    /// Creates a single-array program — the common case.
+    #[must_use]
+    pub fn single(spec: &StencilSpec) -> Self {
+        Self {
+            name: spec.name().to_owned(),
+            iteration_domain: spec.iteration_domain().clone(),
+            arrays: vec![ArrayAccesses {
+                array: spec.array().to_owned(),
+                offsets: spec.offsets().to_vec(),
+                element_bits: spec.element_bits(),
+            }],
+        }
+    }
+}
+
+/// The computation kernel's interface after all memory accesses are
+/// offloaded to the memory systems (the transformed code of Fig. 4): a
+/// fully pipelined datapath that consumes one element per port per cycle
+/// and emits one output per cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelSignature {
+    /// Kernel name.
+    pub name: String,
+    /// One entry per data port: `(array, offset display form)`.
+    pub ports: Vec<(String, String)>,
+    /// The initiation interval the kernel is compiled for (always 1).
+    pub target_ii: usize,
+}
+
+/// A complete accelerator: one memory system per array plus the
+/// pipelined computation kernel they feed (Fig. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    /// Kernel name.
+    pub name: String,
+    /// One memory system per data array.
+    pub memory_systems: Vec<MemorySystemPlan>,
+    /// The kernel interface.
+    pub kernel: KernelSignature,
+}
+
+impl Accelerator {
+    /// Total number of kernel data ports across all arrays.
+    #[must_use]
+    pub fn port_count(&self) -> usize {
+        self.memory_systems
+            .iter()
+            .map(MemorySystemPlan::port_count)
+            .sum()
+    }
+
+    /// Total reuse-buffer banks across all memory systems.
+    #[must_use]
+    pub fn bank_count(&self) -> usize {
+        self.memory_systems
+            .iter()
+            .map(MemorySystemPlan::bank_count)
+            .sum()
+    }
+
+    /// Total reuse-buffer size across all memory systems.
+    #[must_use]
+    pub fn total_buffer_size(&self) -> u64 {
+        self.memory_systems
+            .iter()
+            .map(MemorySystemPlan::total_buffer_size)
+            .sum()
+    }
+}
+
+impl fmt::Display for Accelerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "accelerator `{}`: {} ports, {} banks, buffer {} elements",
+            self.name,
+            self.port_count(),
+            self.bank_count(),
+            self.total_buffer_size()
+        )?;
+        for ms in &self.memory_systems {
+            write!(f, "{ms}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the automation flow on a program: polyhedral analysis, reference
+/// sorting, FIFO sizing, and storage mapping for every array, plus kernel
+/// interface extraction.
+///
+/// # Errors
+///
+/// Propagates specification and analysis errors ([`PlanError`]).
+///
+/// # Examples
+///
+/// ```
+/// use stencil_core::{compile, StencilProgram, StencilSpec};
+/// use stencil_polyhedral::{Point, Polyhedron};
+///
+/// let spec = StencilSpec::new(
+///     "denoise",
+///     Polyhedron::rect(&[(1, 766), (1, 1022)]),
+///     vec![
+///         Point::new(&[-1, 0]),
+///         Point::new(&[0, -1]),
+///         Point::new(&[0, 0]),
+///         Point::new(&[0, 1]),
+///         Point::new(&[1, 0]),
+///     ],
+/// )?;
+/// let acc = compile(&StencilProgram::single(&spec))?;
+/// assert_eq!(acc.bank_count(), 4);
+/// assert_eq!(acc.kernel.target_ii, 1);
+/// # Ok::<(), stencil_core::PlanError>(())
+/// ```
+pub fn compile(program: &StencilProgram) -> Result<Accelerator, PlanError> {
+    compile_with_policy(program, &MappingPolicy::default())
+}
+
+/// [`compile`] with an explicit storage-mapping policy.
+///
+/// # Errors
+///
+/// Propagates specification and analysis errors ([`PlanError`]).
+pub fn compile_with_policy(
+    program: &StencilProgram,
+    policy: &MappingPolicy,
+) -> Result<Accelerator, PlanError> {
+    let mut memory_systems = Vec::with_capacity(program.arrays.len());
+    let mut ports = Vec::new();
+    for acc in &program.arrays {
+        let spec = StencilSpec::with_element_bits(
+            program.name.clone(),
+            program.iteration_domain.clone(),
+            acc.offsets.clone(),
+            acc.element_bits,
+        )?
+        .with_array_name(acc.array.clone());
+        let analysis = ReuseAnalysis::of(&spec)?;
+        let plan = MemorySystemPlan::from_analysis(&analysis, policy);
+        for flt in plan.filters() {
+            ports.push((acc.array.clone(), flt.offset.to_string()));
+        }
+        memory_systems.push(plan);
+    }
+    Ok(Accelerator {
+        name: program.name.clone(),
+        memory_systems,
+        kernel: KernelSignature {
+            name: program.name.clone(),
+            ports,
+            target_ii: 1,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cross() -> Vec<Point> {
+        vec![
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ]
+    }
+
+    #[test]
+    fn single_array_flow() {
+        let spec =
+            StencilSpec::new("denoise", Polyhedron::rect(&[(1, 766), (1, 1022)]), cross()).unwrap();
+        let acc = compile(&StencilProgram::single(&spec)).unwrap();
+        assert_eq!(acc.memory_systems.len(), 1);
+        assert_eq!(acc.port_count(), 5);
+        assert_eq!(acc.bank_count(), 4);
+        assert_eq!(acc.total_buffer_size(), 2048);
+        assert_eq!(acc.kernel.ports.len(), 5);
+        assert_eq!(acc.kernel.ports[0].0, "A");
+    }
+
+    #[test]
+    fn multi_array_flow_builds_independent_systems() {
+        // RICIAN-style: array `g` with a 4-point window and array `f` with
+        // a single central reference.
+        let program = StencilProgram {
+            name: "rician".to_owned(),
+            iteration_domain: Polyhedron::rect(&[(1, 98), (1, 98)]),
+            arrays: vec![
+                ArrayAccesses::new(
+                    "g",
+                    vec![
+                        Point::new(&[-1, 0]),
+                        Point::new(&[0, -1]),
+                        Point::new(&[0, 0]),
+                        Point::new(&[1, 0]),
+                    ],
+                ),
+                ArrayAccesses::new("f", vec![Point::new(&[0, 0])]),
+            ],
+        };
+        let acc = compile(&program).unwrap();
+        assert_eq!(acc.memory_systems.len(), 2);
+        assert_eq!(acc.memory_systems[0].bank_count(), 3);
+        assert_eq!(acc.memory_systems[1].bank_count(), 0);
+        assert_eq!(acc.port_count(), 5);
+        let s = acc.to_string();
+        assert!(s.contains("accelerator `rician`"), "{s}");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let program = StencilProgram {
+            name: "bad".to_owned(),
+            iteration_domain: Polyhedron::rect(&[(0, 9)]),
+            arrays: vec![ArrayAccesses::new("A", vec![])],
+        };
+        assert_eq!(compile(&program).unwrap_err(), PlanError::NoReferences);
+    }
+}

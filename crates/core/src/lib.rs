@@ -1,0 +1,80 @@
+//! # stencil-core
+//!
+//! The core contribution of *"An Optimal Microarchitecture for Stencil
+//! Computation Acceleration Based on Non-Uniform Partitioning of Data
+//! Reuse Buffers"* (Cong, Li, Xiao, Zhang — DAC 2014): a memory-system
+//! generator that, for any stencil window with `n` array references,
+//! produces a chain of `n - 1` **non-uniformly sized** reuse FIFOs plus
+//! data path splitters and data filters, achieving simultaneously
+//!
+//! 1. full pipelining (II = 1),
+//! 2. the theoretical minimum total reuse-buffer size, and
+//! 3. the theoretical minimum number of buffer banks
+//!
+//! — guarantees that uniform cyclic partitioning (prior work \[5–8\] in the
+//! paper) cannot make.
+//!
+//! # Pipeline
+//!
+//! * [`StencilSpec`] — iteration domain + stencil window (one data array).
+//! * [`ReuseAnalysis`] — reference sorting and maximum-reuse-distance
+//!   computation (§3.2–3.3, backed by [`stencil_polyhedral`]).
+//! * [`MemorySystemPlan`] — the generated microarchitecture (Fig. 7),
+//!   with heterogeneous storage mapping (Table 2) via [`MappingPolicy`].
+//! * [`MemorySystemPlan::with_offchip_streams`] — the bandwidth/memory
+//!   tradeoff (Fig. 14–15).
+//! * [`verify_plan`] — machine-checked optimality and deadlock-freedom
+//!   (Eqs. (1)–(2)).
+//! * [`compile`] — the end-to-end automation flow (Fig. 11) over
+//!   multi-array [`StencilProgram`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use stencil_core::{MemorySystemPlan, StencilSpec};
+//! use stencil_polyhedral::{Point, Polyhedron};
+//!
+//! // The DENOISE kernel of Fig. 1: 5-point window on a 768x1024 grid.
+//! let spec = StencilSpec::new(
+//!     "denoise",
+//!     Polyhedron::rect(&[(1, 766), (1, 1022)]),
+//!     vec![
+//!         Point::new(&[-1, 0]),
+//!         Point::new(&[0, -1]),
+//!         Point::new(&[0, 0]),
+//!         Point::new(&[0, 1]),
+//!         Point::new(&[1, 0]),
+//!     ],
+//! )?;
+//! let plan = MemorySystemPlan::generate(&spec)?;
+//! // Table 2 of the paper: four FIFOs sized 1023, 1, 1, 1023.
+//! assert_eq!(plan.fifo_capacities(), vec![1023, 1, 1, 1023]);
+//! assert_eq!(plan.total_buffer_size(), plan.min_total_size());
+//! # Ok::<(), stencil_core::PlanError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod analysis;
+mod error;
+pub mod flow;
+mod mapping;
+mod modulo;
+mod plan;
+mod sort;
+mod spec;
+mod tradeoff;
+mod verify;
+
+pub use analysis::ReuseAnalysis;
+pub use error::PlanError;
+pub use flow::{compile, compile_with_policy, Accelerator, ArrayAccesses, StencilProgram};
+pub use mapping::{MappingPolicy, StorageKind};
+pub use modulo::{DelayBank, ModuloSchedulePlan};
+pub use plan::{Feed, FilterPlan, MemorySystemPlan};
+pub use sort::SortedRefs;
+pub use spec::StencilSpec;
+pub use tradeoff::TradeoffPoint;
+pub use verify::{verify_accelerator, verify_plan, OptimalityReport};

@@ -1,0 +1,134 @@
+//! Heterogeneous mapping of reuse buffers to physical storage (§3.5.1 and
+//! Table 2 of the paper).
+//!
+//! Non-uniform FIFO sizes open the door to matching each buffer with the
+//! cheapest adequate FPGA storage primitive: slice registers for tiny
+//! buffers, LUT-based shift registers (SRLs / distributed RAM) for medium
+//! ones, and block RAM for large ones.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The physical storage primitive implementing one reuse FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageKind {
+    /// Slice flip-flop registers; depth 1–2 buffers (Table 2's
+    /// "register" rows).
+    Register,
+    /// LUT shift registers / distributed RAM; medium depths.
+    ShiftRegister,
+    /// 18 Kb block RAM; deep buffers (Table 2's "BRAM" rows).
+    BlockRam,
+}
+
+impl fmt::Display for StorageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StorageKind::Register => "register",
+            StorageKind::ShiftRegister => "SRL",
+            StorageKind::BlockRam => "BRAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Depth thresholds steering the storage choice.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_core::{MappingPolicy, StorageKind};
+///
+/// let policy = MappingPolicy::default();
+/// assert_eq!(policy.assign(1), StorageKind::Register);
+/// assert_eq!(policy.assign(32), StorageKind::ShiftRegister);
+/// assert_eq!(policy.assign(1023), StorageKind::BlockRam);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappingPolicy {
+    /// Maximum depth implemented in plain registers.
+    pub register_max: u64,
+    /// Maximum depth implemented in LUT shift registers; beyond this,
+    /// block RAM is used.
+    pub shift_register_max: u64,
+}
+
+impl MappingPolicy {
+    /// The default policy: registers up to depth 2 (one SLICEL holds 8
+    /// flip-flops), SRLs/LUTRAM up to depth 128 (the paper's
+    /// "distributed memory" tier for medium buffers).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            register_max: 2,
+            shift_register_max: 128,
+        }
+    }
+
+    /// A policy that maps **every** buffer to block RAM, mimicking the
+    /// homogeneous mapping of uniform-partitioning flows; used by the
+    /// heterogeneous-mapping ablation.
+    #[must_use]
+    pub fn bram_only() -> Self {
+        Self {
+            register_max: 0,
+            shift_register_max: 0,
+        }
+    }
+
+    /// Chooses the storage primitive for a FIFO of the given depth.
+    #[must_use]
+    pub fn assign(&self, depth: u64) -> StorageKind {
+        if depth <= self.register_max {
+            StorageKind::Register
+        } else if depth <= self.shift_register_max {
+            StorageKind::ShiftRegister
+        } else {
+            StorageKind::BlockRam
+        }
+    }
+}
+
+impl Default for MappingPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_thresholds() {
+        let p = MappingPolicy::default();
+        assert_eq!(p.assign(0), StorageKind::Register);
+        assert_eq!(p.assign(2), StorageKind::Register);
+        assert_eq!(p.assign(3), StorageKind::ShiftRegister);
+        assert_eq!(p.assign(128), StorageKind::ShiftRegister);
+        assert_eq!(p.assign(129), StorageKind::BlockRam);
+    }
+
+    #[test]
+    fn bram_only_maps_everything_to_bram() {
+        let p = MappingPolicy::bram_only();
+        assert_eq!(p.assign(1), StorageKind::BlockRam);
+        assert_eq!(p.assign(1000), StorageKind::BlockRam);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(StorageKind::Register.to_string(), "register");
+        assert_eq!(StorageKind::ShiftRegister.to_string(), "SRL");
+        assert_eq!(StorageKind::BlockRam.to_string(), "BRAM");
+    }
+
+    #[test]
+    fn table2_mapping() {
+        // Table 2: sizes 1023 -> BRAM, 1 -> register.
+        let p = MappingPolicy::default();
+        assert_eq!(p.assign(1023), StorageKind::BlockRam);
+        assert_eq!(p.assign(1), StorageKind::Register);
+    }
+}

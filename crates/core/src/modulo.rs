@@ -1,0 +1,242 @@
+//! The paper's §6 future-work alternative, implemented: **non-uniform
+//! banks under modulo scheduling**.
+//!
+//! "Our data streaming method may not be the only solution for utilizing
+//! the non-uniform reuse buffers. A modified modulo scheduling extended
+//! from conventional uniform memory partitioning is also a good
+//! candidate."
+//!
+//! Here each reuse buffer keeps its minimal non-uniform size, but
+//! instead of autonomous splitters/filters a **centralized controller**
+//! drives every bank as a delay line: bank `k` delays the input stream
+//! by the accumulated reuse distance `D_k = Σ_{j<k} L_j`, and the
+//! controller computes each port's validity from a global iteration
+//! counter.
+//!
+//! The catch — and the reason the paper chose streaming — is that fixed
+//! delays require **constant** reuse distances: on a skewed grid
+//! (Fig. 9) the distances change at run time and the static schedule is
+//! wrong. [`ModuloSchedulePlan::try_from_analysis`] therefore rejects
+//! non-rectangular iteration domains, which this module detects exactly.
+
+use serde::{Deserialize, Serialize};
+use stencil_polyhedral::Point;
+
+use crate::analysis::ReuseAnalysis;
+use crate::error::PlanError;
+use crate::mapping::{MappingPolicy, StorageKind};
+
+/// One delay-line bank of the modulo-scheduled design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelayBank {
+    /// Delay-line length (the adjacent maximum reuse distance).
+    pub length: u64,
+    /// Physical storage.
+    pub storage: StorageKind,
+}
+
+/// A centralized, modulo-scheduled design over non-uniform banks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuloSchedulePlan {
+    name: String,
+    element_bits: u32,
+    banks: Vec<DelayBank>,
+    /// Port `k` reads the stream delayed by `delays[k]` elements
+    /// (filter order; delay 0 is the live stream).
+    delays: Vec<u64>,
+    offsets: Vec<Point>,
+}
+
+impl ModuloSchedulePlan {
+    /// Builds the modulo-scheduled design, or explains why the schedule
+    /// cannot be static.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Poly`]-free but domain-shaped failure:
+    /// [`PlanError::EmptyIterationDomain`] is impossible here (the
+    /// analysis validated it); the interesting failure is
+    /// `NonRectangular`, reported as [`PlanError::DuplicateOffset`]-free
+    /// custom variant — see [`PlanError::NonConstantReuse`].
+    pub fn try_from_analysis(
+        analysis: &ReuseAnalysis,
+        policy: &MappingPolicy,
+    ) -> Result<Self, PlanError> {
+        // Static delays require constant reuse distances: the adjacent
+        // max distances must sum exactly to the end-to-end distance
+        // (linearity binding) AND the per-pair minimum must equal the
+        // maximum. On rectangular grids both hold; on skewed grids the
+        // distances vary and a static delay line misaligns.
+        if !is_rectangular(analysis) {
+            return Err(PlanError::NonConstantReuse {
+                kernel: analysis.spec().name().to_owned(),
+            });
+        }
+        let mut banks = Vec::new();
+        let mut delays = vec![0u64];
+        let mut acc = 0u64;
+        for &len in analysis.adjacent_distances() {
+            banks.push(DelayBank {
+                length: len,
+                storage: policy.assign(len),
+            });
+            acc += len;
+            delays.push(acc);
+        }
+        Ok(Self {
+            name: analysis.spec().name().to_owned(),
+            element_bits: analysis.spec().element_bits(),
+            banks,
+            delays,
+            offsets: analysis.sorted_refs().offsets().to_vec(),
+        })
+    }
+
+    /// Assembles a plan from explicit parts (for tests and tooling that
+    /// need to build hypothetical schedules; normal flow uses
+    /// [`ModuloSchedulePlan::try_from_analysis`]).
+    #[must_use]
+    pub fn from_parts(
+        name: impl Into<String>,
+        element_bits: u32,
+        banks: Vec<DelayBank>,
+        offsets: Vec<Point>,
+    ) -> Self {
+        let mut delays = vec![0u64];
+        let mut acc = 0;
+        for b in &banks {
+            acc += b.length;
+            delays.push(acc);
+        }
+        Self {
+            name: name.into(),
+            element_bits,
+            banks,
+            delays,
+            offsets,
+        }
+    }
+
+    /// The kernel name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Element width in bits.
+    #[must_use]
+    pub fn element_bits(&self) -> u32 {
+        self.element_bits
+    }
+
+    /// The delay-line banks in chain order.
+    #[must_use]
+    pub fn banks(&self) -> &[DelayBank] {
+        &self.banks
+    }
+
+    /// Per-port stream delays, filter order.
+    #[must_use]
+    pub fn delays(&self) -> &[u64] {
+        &self.delays
+    }
+
+    /// Access offsets in filter order.
+    #[must_use]
+    pub fn offsets(&self) -> &[Point] {
+        &self.offsets
+    }
+
+    /// Number of banks (equals the streaming design's `n - 1`).
+    #[must_use]
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Total buffer size — identical to the streaming design's.
+    #[must_use]
+    pub fn total_buffer_size(&self) -> u64 {
+        self.banks.iter().map(|b| b.length).sum()
+    }
+}
+
+/// True if the iteration domain is an axis-aligned box (constant reuse
+/// distances everywhere).
+fn is_rectangular(analysis: &ReuseAnalysis) -> bool {
+    let idx = analysis.iteration_index();
+    let Some(bb) = idx.bounding_box() else {
+        return false;
+    };
+    let volume: u64 = bb.iter().map(|&(lo, hi)| (hi - lo + 1) as u64).product();
+    volume == idx.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::StencilSpec;
+    use stencil_polyhedral::{Constraint, Polyhedron};
+
+    fn cross() -> Vec<Point> {
+        vec![
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ]
+    }
+
+    #[test]
+    fn rectangular_grid_schedules_statically() {
+        let spec =
+            StencilSpec::new("denoise", Polyhedron::rect(&[(1, 766), (1, 1022)]), cross()).unwrap();
+        let analysis = ReuseAnalysis::of(&spec).unwrap();
+        let plan =
+            ModuloSchedulePlan::try_from_analysis(&analysis, &MappingPolicy::default()).unwrap();
+        assert_eq!(plan.bank_count(), 4);
+        assert_eq!(plan.total_buffer_size(), 2048);
+        assert_eq!(plan.delays(), &[0, 1023, 1024, 1025, 2048]);
+        assert_eq!(plan.banks()[0].length, 1023);
+        assert_eq!(plan.banks()[0].storage, StorageKind::BlockRam);
+        assert_eq!(plan.banks()[1].storage, StorageKind::Register);
+    }
+
+    #[test]
+    fn skewed_grid_rejected() {
+        // Fig. 9's antidiagonal domain: reuse distances change at run
+        // time, so the static schedule is impossible.
+        let iter = Polyhedron::new(
+            2,
+            vec![
+                Constraint::lower_bound(2, 1, 1),
+                Constraint::upper_bound(2, 1, 12),
+                Constraint::new(&[1, -1], -1),
+                Constraint::new(&[-1, 1], 20),
+            ],
+        );
+        let spec = StencilSpec::new("skew", iter, cross()).unwrap();
+        let analysis = ReuseAnalysis::of(&spec).unwrap();
+        let err = ModuloSchedulePlan::try_from_analysis(&analysis, &MappingPolicy::default())
+            .unwrap_err();
+        assert!(matches!(err, PlanError::NonConstantReuse { .. }));
+        assert!(err.to_string().contains("skew"));
+    }
+
+    #[test]
+    fn delays_accumulate_bank_lengths() {
+        let spec = StencilSpec::new(
+            "heat1d",
+            Polyhedron::rect(&[(1, 100)]),
+            vec![Point::new(&[-1]), Point::new(&[0]), Point::new(&[1])],
+        )
+        .unwrap();
+        let analysis = ReuseAnalysis::of(&spec).unwrap();
+        let plan =
+            ModuloSchedulePlan::try_from_analysis(&analysis, &MappingPolicy::default()).unwrap();
+        assert_eq!(plan.delays(), &[0, 1, 2]);
+        assert_eq!(plan.offsets().len(), 3);
+        assert_eq!(plan.element_bits(), 32);
+        assert_eq!(plan.name(), "heat1d");
+    }
+}

@@ -1,0 +1,383 @@
+//! The generated memory-system microarchitecture (Fig. 7 of the paper).
+//!
+//! A [`MemorySystemPlan`] is the structural netlist of one per-array
+//! memory system: `n` data filters (one per array reference, in
+//! descending lexicographic offset order), `n` data path splitters, and
+//! `n - 1` non-uniformly sized reuse FIFOs chaining them together. The
+//! plan is consumed by the cycle-accurate simulator and by the FPGA
+//! resource estimator.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use stencil_polyhedral::{Point, Polyhedron};
+
+use crate::analysis::ReuseAnalysis;
+use crate::mapping::{MappingPolicy, StorageKind};
+
+/// One data filter: the per-reference stream customizer (Fig. 10).
+///
+/// The filter holds two counters — an input counter over `D_A` and an
+/// output counter over this reference's data domain — and forwards the
+/// input element to its kernel port exactly when the counters agree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterPlan {
+    /// Filter position in the chain (0 = earliest reference).
+    pub id: usize,
+    /// The data access offset `f` served by this filter.
+    pub offset: Point,
+    /// Index of this reference in the user's source order.
+    pub user_index: usize,
+    /// The data domain `D_Ax` this filter selects out of `D_A`.
+    pub data_domain: Polyhedron,
+}
+
+/// What feeds a splitter: the upstream side of each chain position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Feed {
+    /// Fed directly by an off-chip data stream (always position 0; more
+    /// positions under a bandwidth/memory tradeoff, Fig. 14).
+    Offchip,
+    /// Fed by the reuse FIFO from the previous splitter.
+    Fifo {
+        /// FIFO capacity in data elements — the maximum reuse distance
+        /// between the adjacent references (Eq. (2)).
+        capacity: u64,
+        /// Physical storage primitive (heterogeneous mapping, §3.5.1).
+        storage: StorageKind,
+    },
+}
+
+impl Feed {
+    /// The FIFO capacity, or `None` for an off-chip feed.
+    #[must_use]
+    pub fn capacity(&self) -> Option<u64> {
+        match self {
+            Feed::Offchip => None,
+            Feed::Fifo { capacity, .. } => Some(*capacity),
+        }
+    }
+
+    /// True for an off-chip feed.
+    #[must_use]
+    pub fn is_offchip(&self) -> bool {
+        matches!(self, Feed::Offchip)
+    }
+}
+
+/// The structural plan of a memory system for one data array.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_core::{MemorySystemPlan, StencilSpec};
+/// use stencil_polyhedral::{Point, Polyhedron};
+///
+/// let spec = StencilSpec::new(
+///     "denoise",
+///     Polyhedron::rect(&[(1, 766), (1, 1022)]),
+///     vec![
+///         Point::new(&[-1, 0]),
+///         Point::new(&[0, -1]),
+///         Point::new(&[0, 0]),
+///         Point::new(&[0, 1]),
+///         Point::new(&[1, 0]),
+///     ],
+/// )?;
+/// let plan = MemorySystemPlan::generate(&spec)?;
+/// assert_eq!(plan.bank_count(), 4);                 // n - 1 banks
+/// assert_eq!(plan.total_buffer_size(), 2048);       // theoretical minimum
+/// assert_eq!(plan.fifo_capacities(), vec![1023, 1, 1, 1023]);
+/// # Ok::<(), stencil_core::PlanError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemorySystemPlan {
+    name: String,
+    array: String,
+    element_bits: u32,
+    input_domain: Polyhedron,
+    iteration_domain: Polyhedron,
+    filters: Vec<FilterPlan>,
+    feeds: Vec<Feed>,
+    min_total_size: u64,
+    linearity_holds: bool,
+}
+
+impl MemorySystemPlan {
+    /// Generates the microarchitecture for a specification with the
+    /// default storage-mapping policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures ([`crate::PlanError`]).
+    pub fn generate(spec: &crate::spec::StencilSpec) -> Result<Self, crate::PlanError> {
+        let analysis = ReuseAnalysis::of(spec)?;
+        Ok(Self::from_analysis(&analysis, &MappingPolicy::default()))
+    }
+
+    /// Builds the plan from a finished analysis with an explicit mapping
+    /// policy.
+    #[must_use]
+    pub fn from_analysis(analysis: &ReuseAnalysis, policy: &MappingPolicy) -> Self {
+        let n = analysis.window_size();
+        let mut filters = Vec::with_capacity(n);
+        let mut feeds = Vec::with_capacity(n);
+        for k in 0..n {
+            filters.push(FilterPlan {
+                id: k,
+                offset: analysis.filter_offset(k),
+                user_index: analysis.sorted_refs().user_index(k),
+                data_domain: analysis.filter_domain(k).clone(),
+            });
+            if k == 0 {
+                feeds.push(Feed::Offchip);
+            } else {
+                let capacity = analysis.adjacent_distances()[k - 1];
+                feeds.push(Feed::Fifo {
+                    capacity,
+                    storage: policy.assign(capacity),
+                });
+            }
+        }
+        Self {
+            name: analysis.spec().name().to_owned(),
+            array: analysis.spec().array().to_owned(),
+            element_bits: analysis.spec().element_bits(),
+            input_domain: analysis.input_domain().clone(),
+            iteration_domain: analysis.spec().iteration_domain().clone(),
+            filters,
+            feeds,
+            min_total_size: analysis.total_distance(),
+            linearity_holds: analysis.linearity_holds(),
+        }
+    }
+
+    /// The kernel name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The served array's name.
+    #[must_use]
+    pub fn array(&self) -> &str {
+        &self.array
+    }
+
+    /// Data element width in bits.
+    #[must_use]
+    pub fn element_bits(&self) -> u32 {
+        self.element_bits
+    }
+
+    /// The input data domain `D_A` streamed from off-chip.
+    #[must_use]
+    pub fn input_domain(&self) -> &Polyhedron {
+        &self.input_domain
+    }
+
+    /// The kernel's iteration domain `D`.
+    #[must_use]
+    pub fn iteration_domain(&self) -> &Polyhedron {
+        &self.iteration_domain
+    }
+
+    /// The data filters in chain order.
+    #[must_use]
+    pub fn filters(&self) -> &[FilterPlan] {
+        &self.filters
+    }
+
+    /// The feed (off-chip stream or reuse FIFO) into each chain position.
+    #[must_use]
+    pub fn feeds(&self) -> &[Feed] {
+        &self.feeds
+    }
+
+    /// Number of array references / kernel data ports (`n`).
+    #[must_use]
+    pub fn port_count(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Number of reuse-buffer banks (live FIFOs). `n - 1` without a
+    /// bandwidth tradeoff — the theoretical minimum (§2.3).
+    #[must_use]
+    pub fn bank_count(&self) -> usize {
+        self.feeds.iter().filter(|f| !f.is_offchip()).count()
+    }
+
+    /// Number of off-chip streams consumed per cycle (1 without a
+    /// bandwidth tradeoff).
+    #[must_use]
+    pub fn offchip_streams(&self) -> usize {
+        self.feeds.iter().filter(|f| f.is_offchip()).count()
+    }
+
+    /// Total reuse-buffer size in data elements.
+    #[must_use]
+    pub fn total_buffer_size(&self) -> u64 {
+        self.feeds.iter().filter_map(Feed::capacity).sum()
+    }
+
+    /// The FIFO capacities in chain order (skipping off-chip feeds).
+    #[must_use]
+    pub fn fifo_capacities(&self) -> Vec<u64> {
+        self.feeds.iter().filter_map(Feed::capacity).collect()
+    }
+
+    /// The theoretical minimum total buffer size: the maximum reuse
+    /// distance between the earliest and latest reference (§2.3).
+    #[must_use]
+    pub fn min_total_size(&self) -> u64 {
+        self.min_total_size
+    }
+
+    /// Whether the linearity property (Property 3) held exactly, making
+    /// [`Self::total_buffer_size`] equal [`Self::min_total_size`] in the
+    /// single-stream configuration.
+    #[must_use]
+    pub fn linearity_holds(&self) -> bool {
+        self.linearity_holds
+    }
+
+    /// The initiation interval this microarchitecture sustains: 1 (full
+    /// pipelining, design target 1 of §2.3).
+    #[must_use]
+    pub fn target_ii(&self) -> usize {
+        1
+    }
+
+    pub(crate) fn feeds_mut(&mut self) -> &mut Vec<Feed> {
+        &mut self.feeds
+    }
+}
+
+impl fmt::Display for MemorySystemPlan {
+    /// Renders the plan in the style of the paper's Table 2.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "memory system `{}` for array {} ({} refs, {} banks, total size {}):",
+            self.name,
+            self.array,
+            self.port_count(),
+            self.bank_count(),
+            self.total_buffer_size()
+        )?;
+        for (k, feed) in self.feeds.iter().enumerate() {
+            match feed {
+                Feed::Offchip => {
+                    writeln!(
+                        f,
+                        "  stream  -> filter_{k} {}[i + {}]",
+                        self.array, self.filters[k].offset
+                    )?;
+                }
+                Feed::Fifo { capacity, storage } => {
+                    writeln!(
+                        f,
+                        "  FIFO_{:<2} {}[i + {}] -> {}[i + {}]  size {:>8}  impl {}",
+                        k - 1,
+                        self.array,
+                        self.filters[k - 1].offset,
+                        self.array,
+                        self.filters[k].offset,
+                        capacity,
+                        storage
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::StencilSpec;
+
+    fn denoise_plan() -> MemorySystemPlan {
+        let spec = StencilSpec::new(
+            "denoise",
+            Polyhedron::rect(&[(1, 766), (1, 1022)]),
+            vec![
+                Point::new(&[-1, 0]),
+                Point::new(&[0, -1]),
+                Point::new(&[0, 0]),
+                Point::new(&[0, 1]),
+                Point::new(&[1, 0]),
+            ],
+        )
+        .unwrap();
+        MemorySystemPlan::generate(&spec).unwrap()
+    }
+
+    #[test]
+    fn matches_paper_table2() {
+        let p = denoise_plan();
+        assert_eq!(p.fifo_capacities(), vec![1023, 1, 1, 1023]);
+        assert_eq!(p.bank_count(), 4);
+        assert_eq!(p.offchip_streams(), 1);
+        assert_eq!(p.total_buffer_size(), 2048);
+        assert_eq!(p.min_total_size(), 2048);
+        assert!(p.linearity_holds());
+        assert_eq!(p.target_ii(), 1);
+        let storages: Vec<StorageKind> = p
+            .feeds()
+            .iter()
+            .filter_map(|f| match f {
+                Feed::Fifo { storage, .. } => Some(*storage),
+                Feed::Offchip => None,
+            })
+            .collect();
+        assert_eq!(
+            storages,
+            vec![
+                StorageKind::BlockRam,
+                StorageKind::Register,
+                StorageKind::Register,
+                StorageKind::BlockRam,
+            ]
+        );
+    }
+
+    #[test]
+    fn filter_order_and_user_indices() {
+        let p = denoise_plan();
+        assert_eq!(p.filters()[0].offset, Point::new(&[1, 0]));
+        assert_eq!(p.filters()[0].user_index, 4);
+        assert_eq!(p.filters()[4].offset, Point::new(&[-1, 0]));
+        assert_eq!(p.filters()[4].user_index, 0);
+        for (k, flt) in p.filters().iter().enumerate() {
+            assert_eq!(flt.id, k);
+        }
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let s = denoise_plan().to_string();
+        assert!(s.contains("FIFO_0"), "{s}");
+        assert!(s.contains("1023"), "{s}");
+        assert!(s.contains("BRAM"), "{s}");
+        assert!(s.contains("register"), "{s}");
+    }
+
+    #[test]
+    fn single_reference_plan() {
+        let spec =
+            StencilSpec::new("copy", Polyhedron::rect(&[(0, 7)]), vec![Point::new(&[0])]).unwrap();
+        let p = MemorySystemPlan::generate(&spec).unwrap();
+        assert_eq!(p.bank_count(), 0);
+        assert_eq!(p.total_buffer_size(), 0);
+        assert_eq!(p.offchip_streams(), 1);
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let p = denoise_plan();
+        let q = p.clone();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,181 @@
+//! Reference ordering: mapping array references to data filters.
+//!
+//! Deadlock-free condition 1 (Eq. (1) of the paper) requires that filters
+//! are assigned in strictly **descending lexicographic order** of their
+//! data access offsets, so a data element reaches references in the order
+//! they need it (earliest access first).
+
+use serde::{Deserialize, Serialize};
+use stencil_polyhedral::{lex_cmp, Point};
+
+/// The filter assignment of a stencil window: references sorted into
+/// descending lexicographic offset order, remembering each one's index in
+/// the user's source order.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_core::SortedRefs;
+/// use stencil_polyhedral::Point;
+///
+/// let sorted = SortedRefs::from_offsets(&[
+///     Point::new(&[-1, 0]), // user ref 0: A[i-1][j]
+///     Point::new(&[0, 0]),  // user ref 1: A[i][j]
+///     Point::new(&[1, 0]),  // user ref 2: A[i+1][j]
+/// ]);
+/// assert_eq!(sorted.offset(0), Point::new(&[1, 0])); // filter 0 = earliest
+/// assert_eq!(sorted.user_index(0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SortedRefs {
+    offsets: Vec<Point>,
+    user_indices: Vec<usize>,
+}
+
+impl SortedRefs {
+    /// Sorts the given offsets into filter order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if offsets have inconsistent dimensionality.
+    #[must_use]
+    pub fn from_offsets(offsets: &[Point]) -> Self {
+        let mut order: Vec<usize> = (0..offsets.len()).collect();
+        order.sort_by(|&a, &b| lex_cmp(&offsets[b], &offsets[a]));
+        Self {
+            offsets: order.iter().map(|&k| offsets[k]).collect(),
+            user_indices: order,
+        }
+    }
+
+    /// Number of references (`n`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// True if the window is empty (never the case for validated specs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// The offset served by filter `k` (filter 0 is the earliest access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len()`.
+    #[must_use]
+    pub fn offset(&self, k: usize) -> Point {
+        self.offsets[k]
+    }
+
+    /// All offsets in filter order.
+    #[must_use]
+    pub fn offsets(&self) -> &[Point] {
+        &self.offsets
+    }
+
+    /// The source-order index of the reference served by filter `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len()`.
+    #[must_use]
+    pub fn user_index(&self, k: usize) -> usize {
+        self.user_indices[k]
+    }
+
+    /// The filter serving the reference with source-order index `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not a valid source index.
+    #[must_use]
+    pub fn filter_of(&self, x: usize) -> usize {
+        self.user_indices
+            .iter()
+            .position(|&u| u == x)
+            .expect("source index out of range")
+    }
+
+    /// Verifies Eq. (1): offsets are strictly descending, which holds iff
+    /// the original offsets were pairwise distinct.
+    #[must_use]
+    pub fn is_strictly_descending(&self) -> bool {
+        self.offsets
+            .windows(2)
+            .all(|w| lex_cmp(&w[0], &w[1]) == std::cmp::Ordering::Greater)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denoise_filter_order_matches_fig7() {
+        // Fig. 7 maps filters 0..4 to A[i+1][j], A[i][j+1], A[i][j],
+        // A[i][j-1], A[i-1][j].
+        let user = [
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ];
+        let s = SortedRefs::from_offsets(&user);
+        assert_eq!(
+            s.offsets(),
+            &[
+                Point::new(&[1, 0]),
+                Point::new(&[0, 1]),
+                Point::new(&[0, 0]),
+                Point::new(&[0, -1]),
+                Point::new(&[-1, 0]),
+            ]
+        );
+        assert_eq!(s.user_index(0), 4);
+        assert_eq!(s.user_index(4), 0);
+        assert!(s.is_strictly_descending());
+    }
+
+    #[test]
+    fn filter_of_inverts_user_index() {
+        let user = [
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+            Point::new(&[0, 0]),
+        ];
+        let s = SortedRefs::from_offsets(&user);
+        for x in 0..user.len() {
+            assert_eq!(s.user_index(s.filter_of(x)), x);
+        }
+    }
+
+    #[test]
+    fn duplicates_break_strictness() {
+        let s = SortedRefs::from_offsets(&[Point::new(&[0, 0]), Point::new(&[0, 0])]);
+        assert!(!s.is_strictly_descending());
+    }
+
+    #[test]
+    fn singleton() {
+        let s = SortedRefs::from_offsets(&[Point::new(&[2, -3])]);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert!(s.is_strictly_descending());
+    }
+
+    #[test]
+    fn three_dimensional_order() {
+        let s = SortedRefs::from_offsets(&[
+            Point::new(&[0, 0, 1]),
+            Point::new(&[0, 1, -1]),
+            Point::new(&[1, -1, 0]),
+        ]);
+        assert_eq!(s.offset(0), Point::new(&[1, -1, 0]));
+        assert_eq!(s.offset(1), Point::new(&[0, 1, -1]));
+        assert_eq!(s.offset(2), Point::new(&[0, 0, 1]));
+    }
+}

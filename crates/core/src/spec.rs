@@ -1,0 +1,288 @@
+//! Stencil computation specifications — the planner's input, equivalent
+//! to the source code + polyhedral extraction step of the paper's
+//! automation flow (Fig. 11, left branch).
+
+use serde::{Deserialize, Serialize};
+use stencil_polyhedral::{input_domain, Point, Polyhedron};
+
+use crate::error::PlanError;
+
+/// A stencil computation over **one** data array: an iteration domain and
+/// the set of constant access offsets (the stencil window).
+///
+/// This captures everything the paper's Definition 4 permits: accesses of
+/// the form `A[i + f_x]` for constant offsets `f_x`, over an arbitrary
+/// convex (possibly skewed) iteration domain. A kernel reading several
+/// arrays is a collection of `StencilSpec`s sharing an iteration domain
+/// (see [`crate::flow::StencilProgram`]); the paper builds one
+/// independent memory system per array (§2.2).
+///
+/// # Examples
+///
+/// ```
+/// use stencil_core::StencilSpec;
+/// use stencil_polyhedral::{Point, Polyhedron};
+///
+/// // The DENOISE kernel of Fig. 1.
+/// let spec = StencilSpec::new(
+///     "denoise",
+///     Polyhedron::rect(&[(1, 766), (1, 1022)]),
+///     vec![
+///         Point::new(&[-1, 0]),
+///         Point::new(&[0, -1]),
+///         Point::new(&[0, 0]),
+///         Point::new(&[0, 1]),
+///         Point::new(&[1, 0]),
+///     ],
+/// )?;
+/// assert_eq!(spec.window_size(), 5);
+/// # Ok::<(), stencil_core::PlanError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StencilSpec {
+    name: String,
+    array: String,
+    iteration_domain: Polyhedron,
+    offsets: Vec<Point>,
+    element_bits: u32,
+}
+
+impl StencilSpec {
+    /// Default data element width, in bits (single-precision float).
+    pub const DEFAULT_ELEMENT_BITS: u32 = 32;
+
+    /// Creates a specification for array `"A"` with 32-bit elements.
+    ///
+    /// # Errors
+    ///
+    /// See [`StencilSpec::with_element_bits`].
+    pub fn new(
+        name: impl Into<String>,
+        iteration_domain: Polyhedron,
+        offsets: Vec<Point>,
+    ) -> Result<Self, PlanError> {
+        Self::with_element_bits(name, iteration_domain, offsets, Self::DEFAULT_ELEMENT_BITS)
+    }
+
+    /// Creates a specification with an explicit element width.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlanError::NoReferences`] if `offsets` is empty.
+    /// * [`PlanError::DimensionMismatch`] if an offset's dimensionality
+    ///   differs from the iteration domain's.
+    /// * [`PlanError::DuplicateOffset`] if the window lists a point twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `element_bits` is 0 or exceeds 64.
+    pub fn with_element_bits(
+        name: impl Into<String>,
+        iteration_domain: Polyhedron,
+        offsets: Vec<Point>,
+        element_bits: u32,
+    ) -> Result<Self, PlanError> {
+        assert!(
+            (1..=64).contains(&element_bits),
+            "element width {element_bits} outside 1..=64 bits"
+        );
+        if offsets.is_empty() {
+            return Err(PlanError::NoReferences);
+        }
+        for f in &offsets {
+            if f.dims() != iteration_domain.dims() {
+                return Err(PlanError::DimensionMismatch {
+                    domain: iteration_domain.dims(),
+                    offset: f.dims(),
+                });
+            }
+        }
+        for (i, a) in offsets.iter().enumerate() {
+            if offsets[i + 1..].contains(a) {
+                return Err(PlanError::DuplicateOffset {
+                    offset: a.to_string(),
+                });
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            array: "A".to_owned(),
+            iteration_domain,
+            offsets,
+            element_bits,
+        })
+    }
+
+    /// Renames the accessed data array (cosmetic; used in reports).
+    #[must_use]
+    pub fn with_array_name(mut self, array: impl Into<String>) -> Self {
+        self.array = array.into();
+        self
+    }
+
+    /// The kernel name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The accessed array's name.
+    #[must_use]
+    pub fn array(&self) -> &str {
+        &self.array
+    }
+
+    /// The iteration domain `D` (Definition 1).
+    #[must_use]
+    pub fn iteration_domain(&self) -> &Polyhedron {
+        &self.iteration_domain
+    }
+
+    /// The access offsets in user (declaration) order.
+    #[must_use]
+    pub fn offsets(&self) -> &[Point] {
+        &self.offsets
+    }
+
+    /// Number of points in the stencil window (`n`, the number of array
+    /// references).
+    #[must_use]
+    pub fn window_size(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Grid dimensionality.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.iteration_domain.dims()
+    }
+
+    /// Element width in bits.
+    #[must_use]
+    pub fn element_bits(&self) -> u32 {
+        self.element_bits
+    }
+
+    /// The data domain `D_Ax` of the reference with user index `x`
+    /// (Definition 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    #[must_use]
+    pub fn data_domain(&self, x: usize) -> Polyhedron {
+        self.iteration_domain.translated(&self.offsets[x])
+    }
+
+    /// The input data domain `D_A` (Definition 6): the convex cover of
+    /// all per-reference data domains, streamed once per execution.
+    #[must_use]
+    pub fn input_domain(&self) -> Polyhedron {
+        input_domain(&self.iteration_domain, &self.offsets)
+    }
+
+    /// The pipeline initiation interval of the *original* (unpartitioned)
+    /// code, limited by memory port contention: with dual-port buffers
+    /// one port is consumed by off-chip refill, so `n` loads on one
+    /// remaining port serialize to `n` cycles (Table 4's "Original II").
+    #[must_use]
+    pub fn original_ii(&self) -> usize {
+        self.window_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn denoise() -> StencilSpec {
+        StencilSpec::new(
+            "denoise",
+            Polyhedron::rect(&[(1, 766), (1, 1022)]),
+            vec![
+                Point::new(&[-1, 0]),
+                Point::new(&[0, -1]),
+                Point::new(&[0, 0]),
+                Point::new(&[0, 1]),
+                Point::new(&[1, 0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let s = denoise();
+        assert_eq!(s.name(), "denoise");
+        assert_eq!(s.array(), "A");
+        assert_eq!(s.window_size(), 5);
+        assert_eq!(s.dims(), 2);
+        assert_eq!(s.element_bits(), 32);
+        assert_eq!(s.original_ii(), 5);
+    }
+
+    #[test]
+    fn rejects_empty_window() {
+        let err = StencilSpec::new("x", Polyhedron::rect(&[(0, 1)]), vec![]).unwrap_err();
+        assert_eq!(err, PlanError::NoReferences);
+    }
+
+    #[test]
+    fn rejects_duplicate_offsets() {
+        let err = StencilSpec::new(
+            "x",
+            Polyhedron::rect(&[(0, 9)]),
+            vec![Point::new(&[0]), Point::new(&[1]), Point::new(&[0])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::DuplicateOffset { .. }));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let err = StencilSpec::new(
+            "x",
+            Polyhedron::rect(&[(0, 9), (0, 9)]),
+            vec![Point::new(&[0])],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::DimensionMismatch {
+                domain: 2,
+                offset: 1
+            }
+        );
+    }
+
+    #[test]
+    fn data_domain_matches_paper_example() {
+        let s = denoise();
+        // Reference A[i][j+1] (index 3): 1 <= i <= 766, 2 <= j <= 1023.
+        let d = s.data_domain(3);
+        assert!(d.contains(&Point::new(&[1, 2])));
+        assert!(!d.contains(&Point::new(&[1, 1])));
+    }
+
+    #[test]
+    fn input_domain_size() {
+        assert_eq!(denoise().input_domain().count().unwrap(), 768 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=64")]
+    fn zero_element_bits_rejected() {
+        let _ = StencilSpec::with_element_bits(
+            "x",
+            Polyhedron::rect(&[(0, 3)]),
+            vec![Point::new(&[0])],
+            0,
+        );
+    }
+
+    #[test]
+    fn array_rename() {
+        let s = denoise().with_array_name("u");
+        assert_eq!(s.array(), "u");
+    }
+}

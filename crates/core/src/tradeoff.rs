@@ -1,0 +1,201 @@
+//! Bandwidth/memory tradeoff (Appendix 9.4, Figs. 14–15 of the paper).
+//!
+//! When more off-chip bandwidth is available, the chain can be *broken at
+//! the largest reuse buffer*: the FIFO is deleted and its consumer is fed
+//! by an additional off-chip stream, trading one stream of bandwidth for
+//! the largest remaining buffer. Repeating this yields a gracefully
+//! degrading design curve — and unlike uniform partitioning, the design
+//! structure (and its per-pair optimality) is preserved at every point.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::PlanError;
+use crate::plan::{Feed, MemorySystemPlan};
+
+/// One point on the bandwidth/memory design curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// Off-chip accesses consumed per cycle.
+    pub offchip_streams: usize,
+    /// Total on-chip reuse-buffer size, in data elements.
+    pub total_buffer_size: u64,
+    /// Remaining reuse-buffer banks.
+    pub bank_count: usize,
+}
+
+impl MemorySystemPlan {
+    /// Returns a plan that consumes `streams` off-chip accesses per cycle
+    /// by breaking the chain at the `streams - 1` largest reuse FIFOs
+    /// (Fig. 14).
+    ///
+    /// `streams = 1` returns the plan unchanged; `streams = n` eliminates
+    /// every reuse buffer (no on-chip memory, Appendix 9.4's extreme
+    /// case).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::TooManyStreams`] if `streams` is 0 or exceeds
+    /// the number of references.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stencil_core::{MemorySystemPlan, StencilSpec};
+    /// use stencil_polyhedral::{Point, Polyhedron};
+    ///
+    /// let spec = StencilSpec::new(
+    ///     "denoise",
+    ///     Polyhedron::rect(&[(1, 766), (1, 1022)]),
+    ///     vec![
+    ///         Point::new(&[-1, 0]),
+    ///         Point::new(&[0, -1]),
+    ///         Point::new(&[0, 0]),
+    ///         Point::new(&[0, 1]),
+    ///         Point::new(&[1, 0]),
+    ///     ],
+    /// )?;
+    /// let plan = MemorySystemPlan::generate(&spec)?;
+    /// // Spending one more stream removes one 1023-deep line buffer.
+    /// let traded = plan.with_offchip_streams(2)?;
+    /// assert_eq!(traded.total_buffer_size(), 1025);
+    /// assert_eq!(traded.bank_count(), 3);
+    /// # Ok::<(), stencil_core::PlanError>(())
+    /// ```
+    pub fn with_offchip_streams(&self, streams: usize) -> Result<Self, PlanError> {
+        let n = self.port_count();
+        if streams == 0 || streams > n {
+            return Err(PlanError::TooManyStreams {
+                requested: streams,
+                max: n,
+            });
+        }
+        let mut out = self.clone();
+        let current = out.offchip_streams();
+        if streams <= current {
+            return Ok(out);
+        }
+        for _ in current..streams {
+            // Break at the largest remaining FIFO; ties break toward the
+            // head of the chain (deterministic).
+            let victim = out
+                .feeds()
+                .iter()
+                .enumerate()
+                .filter_map(|(k, f)| f.capacity().map(|c| (k, c)))
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                .map(|(k, _)| k)
+                .expect("streams <= n guarantees a FIFO remains");
+            out.feeds_mut()[victim] = Feed::Offchip;
+        }
+        Ok(out)
+    }
+
+    /// Sweeps the full bandwidth/memory design curve from 1 stream up to
+    /// `max_streams` (clamped to `n`), reproducing Fig. 15.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::TooManyStreams`] only if `max_streams` is 0.
+    pub fn tradeoff_curve(&self, max_streams: usize) -> Result<Vec<TradeoffPoint>, PlanError> {
+        if max_streams == 0 {
+            return Err(PlanError::TooManyStreams {
+                requested: 0,
+                max: self.port_count(),
+            });
+        }
+        let top = max_streams.min(self.port_count());
+        (1..=top)
+            .map(|s| {
+                let p = self.with_offchip_streams(s)?;
+                Ok(TradeoffPoint {
+                    offchip_streams: s,
+                    total_buffer_size: p.total_buffer_size(),
+                    bank_count: p.bank_count(),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::StencilSpec;
+    use stencil_polyhedral::{Point, Polyhedron};
+
+    fn denoise_plan() -> MemorySystemPlan {
+        let spec = StencilSpec::new(
+            "denoise",
+            Polyhedron::rect(&[(1, 766), (1, 1022)]),
+            vec![
+                Point::new(&[-1, 0]),
+                Point::new(&[0, -1]),
+                Point::new(&[0, 0]),
+                Point::new(&[0, 1]),
+                Point::new(&[1, 0]),
+            ],
+        )
+        .unwrap();
+        MemorySystemPlan::generate(&spec).unwrap()
+    }
+
+    #[test]
+    fn breaking_removes_largest_first() {
+        let p = denoise_plan();
+        assert_eq!(p.with_offchip_streams(1).unwrap(), p);
+        let p2 = p.with_offchip_streams(2).unwrap();
+        assert_eq!(p2.fifo_capacities(), vec![1, 1, 1023]);
+        let p3 = p.with_offchip_streams(3).unwrap();
+        assert_eq!(p3.fifo_capacities(), vec![1, 1]);
+        let p5 = p.with_offchip_streams(5).unwrap();
+        assert!(p5.fifo_capacities().is_empty());
+        assert_eq!(p5.total_buffer_size(), 0);
+        assert_eq!(p5.offchip_streams(), 5);
+    }
+
+    #[test]
+    fn curve_is_monotone_decreasing() {
+        let curve = denoise_plan().tradeoff_curve(5).unwrap();
+        assert_eq!(curve.len(), 5);
+        assert_eq!(curve[0].total_buffer_size, 2048);
+        assert_eq!(curve[4].total_buffer_size, 0);
+        for w in curve.windows(2) {
+            assert!(w[1].total_buffer_size <= w[0].total_buffer_size);
+            assert_eq!(w[1].offchip_streams, w[0].offchip_streams + 1);
+        }
+    }
+
+    #[test]
+    fn curve_clamps_to_window_size() {
+        let curve = denoise_plan().tradeoff_curve(99).unwrap();
+        assert_eq!(curve.len(), 5);
+    }
+
+    #[test]
+    fn invalid_stream_counts_rejected() {
+        let p = denoise_plan();
+        assert!(matches!(
+            p.with_offchip_streams(0),
+            Err(PlanError::TooManyStreams { requested: 0, .. })
+        ));
+        assert!(matches!(
+            p.with_offchip_streams(6),
+            Err(PlanError::TooManyStreams {
+                requested: 6,
+                max: 5
+            })
+        ));
+        assert!(p.tradeoff_curve(0).is_err());
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        // Two equal largest buffers: the one earlier in the chain goes
+        // first.
+        let p = denoise_plan();
+        let p2 = p.with_offchip_streams(2).unwrap();
+        // FIFO_0 (position 1 in feeds) was removed, not FIFO_3.
+        assert!(p2.feeds()[1].is_offchip());
+        assert!(!p2.feeds()[4].is_offchip());
+    }
+}

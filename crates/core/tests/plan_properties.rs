@@ -1,0 +1,125 @@
+//! Property-based validation of the planner's guarantees over random
+//! windows, including 1-D and 3-D grids.
+
+use proptest::prelude::*;
+use stencil_core::{
+    verify_plan, MappingPolicy, MemorySystemPlan, ModuloSchedulePlan, ReuseAnalysis, StencilSpec,
+};
+use stencil_polyhedral::{Point, Polyhedron};
+
+/// A random 3-D window of 2..=9 distinct offsets within radius 1.
+fn window_3d() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::btree_set(((-1i64..=1), (-1i64..=1), (-1i64..=1)), 2..=9).prop_map(|set| {
+        set.into_iter()
+            .map(|(a, b, c)| Point::new(&[a, b, c]))
+            .collect()
+    })
+}
+
+fn spec_3d(window: &[Point], e: [i64; 3]) -> StencilSpec {
+    let mut bounds = Vec::new();
+    for d in 0..3 {
+        let lo = window.iter().map(|f| f[d]).min().unwrap().min(0).abs();
+        let hi = window.iter().map(|f| f[d]).max().unwrap().max(0);
+        bounds.push((lo, e[d] - 1 - hi));
+    }
+    StencilSpec::new("random3d", Polyhedron::rect(&bounds), window.to_vec()).expect("valid spec")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn three_d_plans_are_optimal(
+        window in window_3d(),
+        e0 in 5i64..10, e1 in 5i64..10, e2 in 5i64..10,
+    ) {
+        let spec = spec_3d(&window, [e0, e1, e2]);
+        let analysis = ReuseAnalysis::of(&spec).expect("analysis");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let report = verify_plan(&plan, &analysis);
+        prop_assert!(report.is_optimal(), "{report}");
+        prop_assert_eq!(plan.bank_count(), window.len() - 1);
+        // Rectangular grids: linearity always binds.
+        prop_assert!(analysis.linearity_holds());
+    }
+
+    #[test]
+    fn fifo_sizes_shrink_with_the_grid(
+        window in window_3d(),
+        e in 6i64..10,
+    ) {
+        // Monotonicity: a strictly smaller grid cannot need bigger FIFOs.
+        let big = MemorySystemPlan::generate(&spec_3d(&window, [e, e, e]))
+            .expect("plan");
+        let small = MemorySystemPlan::generate(&spec_3d(&window, [e - 1, e - 1, e - 1]))
+            .expect("plan");
+        for (b, s) in big.fifo_capacities().iter().zip(small.fifo_capacities()) {
+            prop_assert!(s <= *b, "small {s} > big {b}");
+        }
+    }
+
+    #[test]
+    fn tradeoff_total_strictly_decreases_until_zero(
+        window in window_3d(),
+        e in 6i64..10,
+    ) {
+        let plan = MemorySystemPlan::generate(&spec_3d(&window, [e, e, e]))
+            .expect("plan");
+        let curve = plan.tradeoff_curve(window.len()).expect("curve");
+        prop_assert_eq!(curve.last().expect("non-empty").total_buffer_size, 0);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].total_buffer_size <= w[0].total_buffer_size);
+            prop_assert_eq!(w[1].bank_count + 1, w[0].bank_count);
+        }
+    }
+
+    #[test]
+    fn modulo_schedule_always_feasible_on_boxes(
+        window in window_3d(),
+        e in 6i64..10,
+    ) {
+        let spec = spec_3d(&window, [e, e, e]);
+        let analysis = ReuseAnalysis::of(&spec).expect("analysis");
+        let m = ModuloSchedulePlan::try_from_analysis(&analysis, &MappingPolicy::default())
+            .expect("boxes are rectangular");
+        prop_assert_eq!(m.bank_count(), window.len() - 1);
+        prop_assert_eq!(m.total_buffer_size(), analysis.total_distance());
+        // Delays are the prefix sums of the bank lengths.
+        let mut acc = 0;
+        for (k, b) in m.banks().iter().enumerate() {
+            acc += b.length;
+            prop_assert_eq!(m.delays()[k + 1], acc);
+        }
+    }
+
+    #[test]
+    fn one_dimensional_windows(
+        offs in prop::collection::btree_set(-4i64..=4, 2..=6),
+        extent in 20i64..200,
+    ) {
+        let window: Vec<Point> = offs.iter().map(|&o| Point::new(&[o])).collect();
+        let lo = offs.iter().min().unwrap().min(&0).abs();
+        let hi = *offs.iter().max().unwrap().max(&0);
+        let spec = StencilSpec::new(
+            "random1d",
+            Polyhedron::rect(&[(lo, extent - 1 - hi)]),
+            window.clone(),
+        ).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        // 1-D: each FIFO's capacity is the plain offset gap.
+        let sorted: Vec<i64> = {
+            let mut v: Vec<i64> = offs.iter().copied().collect();
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            v
+        };
+        let expected: Vec<u64> = sorted
+            .windows(2)
+            .map(|w| (w[0] - w[1]) as u64)
+            .collect();
+        prop_assert_eq!(plan.fifo_capacities(), expected);
+        // Total = span between extreme offsets.
+        let span = (sorted[0] - sorted[sorted.len() - 1]) as u64;
+        prop_assert_eq!(plan.total_buffer_size(), span);
+    }
+}

@@ -1,0 +1,103 @@
+//! 18 Kb block-RAM geometry of 7-series FPGAs.
+//!
+//! Each 18 Kb block supports a fixed set of depth×width aspect ratios;
+//! a memory of arbitrary depth `d` and width `w` is built from
+//! `ceil(w / W) × ceil(d / D)` blocks for the best-fitting ratio.
+
+/// The depth×width configurations of one 18 Kb block (7-series, true
+/// dual port).
+pub const BRAM18K_ASPECTS: [(u64, u32); 6] = [
+    (16_384, 1),
+    (8_192, 2),
+    (4_096, 4),
+    (2_048, 9),
+    (1_024, 18),
+    (512, 36),
+];
+
+/// Minimum number of 18 Kb blocks implementing a `depth × width_bits`
+/// memory.
+///
+/// # Panics
+///
+/// Panics if `depth` or `width_bits` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_fpga::bram18k_blocks;
+///
+/// // A 1023-deep 32-bit line buffer needs two blocks (1K x 18 each).
+/// assert_eq!(bram18k_blocks(1023, 32), 2);
+/// // A 512 x 36 buffer fits exactly one block.
+/// assert_eq!(bram18k_blocks(512, 36), 1);
+/// ```
+#[must_use]
+pub fn bram18k_blocks(depth: u64, width_bits: u32) -> u32 {
+    assert!(depth > 0 && width_bits > 0, "memory must be non-trivial");
+    BRAM18K_ASPECTS
+        .iter()
+        .map(|&(d_max, w_max)| {
+            let width_slices = width_bits.div_ceil(w_max);
+            let depth_cascades = depth.div_ceil(d_max) as u32;
+            width_slices * depth_cascades
+        })
+        .min()
+        .expect("non-empty aspect table")
+}
+
+/// Blocks for a memory whose depth is first rounded up to a power of
+/// two — the sizing commodity HLS flows apply to partitioned banks so
+/// the intra-bank address decodes by bit selection (the constraint the
+/// paper notes uniform partitioning inherits from \[10\]).
+///
+/// # Panics
+///
+/// Panics as [`bram18k_blocks`].
+#[must_use]
+pub fn bram18k_blocks_pow2(depth: u64, width_bits: u32) -> u32 {
+    bram18k_blocks(depth.next_power_of_two(), width_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aspect_selection() {
+        assert_eq!(bram18k_blocks(512, 36), 1);
+        assert_eq!(bram18k_blocks(1024, 18), 1);
+        assert_eq!(bram18k_blocks(1024, 32), 2);
+        assert_eq!(bram18k_blocks(16_384, 1), 1);
+        assert_eq!(bram18k_blocks(2048, 9), 1);
+    }
+
+    #[test]
+    fn deep_wide_memory() {
+        // 9312 x 32 (a 96x96 plane buffer): best is 512x36 -> 19 cascades.
+        assert_eq!(bram18k_blocks(9312, 32), 19);
+    }
+
+    #[test]
+    fn pow2_rounding_costs_more() {
+        // 1011 rounds to 1024 (no extra cost), but 1030 deep x 32 bits
+        // fits three 512x36 cascades exactly while its power-of-two
+        // rounding (2048) forces four blocks.
+        assert_eq!(bram18k_blocks(1011, 32), 2);
+        assert_eq!(bram18k_blocks_pow2(1011, 32), 2);
+        assert_eq!(bram18k_blocks(1030, 32), 3);
+        assert_eq!(bram18k_blocks_pow2(1030, 32), 4);
+    }
+
+    #[test]
+    fn small_memories_take_one_block() {
+        assert_eq!(bram18k_blocks(1, 1), 1);
+        assert_eq!(bram18k_blocks(100, 16), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-trivial")]
+    fn zero_depth_rejected() {
+        let _ = bram18k_blocks(0, 8);
+    }
+}

@@ -1,0 +1,211 @@
+//! Table 5 generation: per-benchmark baseline-vs-ours resource
+//! comparison with percentage deltas and averages.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use stencil_core::{MemorySystemPlan, PlanError};
+use stencil_kernels::Benchmark;
+use stencil_uniform::multidim_cyclic;
+
+use crate::estimate::{estimate_nonuniform, estimate_uniform, ResourceEstimate};
+
+/// One benchmark's row of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table5Row {
+    /// Baseline (\[8\]) estimate.
+    pub baseline: ResourceEstimate,
+    /// Non-uniform (ours) estimate.
+    pub ours: ResourceEstimate,
+}
+
+impl Table5Row {
+    /// Ours as a percentage of the baseline for
+    /// (BRAM, slices, DSP); `None` where the baseline is zero.
+    #[must_use]
+    pub fn comparison_pct(&self) -> (Option<f64>, Option<f64>, Option<f64>) {
+        let pct =
+            |ours: u32, base: u32| (base > 0).then(|| 100.0 * f64::from(ours) / f64::from(base));
+        (
+            pct(self.ours.bram18k, self.baseline.bram18k),
+            pct(self.ours.slices(), self.baseline.slices()),
+            pct(self.ours.dsps, self.baseline.dsps),
+        )
+    }
+}
+
+/// The whole Table 5: one row per benchmark plus averages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table5 {
+    /// Benchmark names, row order.
+    pub names: Vec<String>,
+    /// Per-benchmark comparisons.
+    pub rows: Vec<Table5Row>,
+}
+
+impl Table5 {
+    /// Builds the table for a benchmark suite: plans the non-uniform
+    /// memory system and partitions with \[8\] for each benchmark, then
+    /// estimates both.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures ([`PlanError`]).
+    pub fn build(suite: &[Benchmark]) -> Result<Self, PlanError> {
+        let mut names = Vec::with_capacity(suite.len());
+        let mut rows = Vec::with_capacity(suite.len());
+        for bench in suite {
+            let spec = bench.spec()?;
+            let plan = MemorySystemPlan::generate(&spec)?;
+            let ours = estimate_nonuniform(&plan, bench.ops());
+            let part = multidim_cyclic(bench.window(), bench.extents());
+            let baseline = estimate_uniform(
+                &part,
+                bench.window().len(),
+                spec.element_bits(),
+                spec.iteration_domain(),
+                bench.ops(),
+            );
+            names.push(bench.name().to_owned());
+            rows.push(Table5Row { baseline, ours });
+        }
+        Ok(Self { names, rows })
+    }
+
+    /// Renders the table as CSV (one row per benchmark), for plotting.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(
+            "benchmark,base_bram,base_slices,base_dsp,base_cp_ns,\
+             our_bram,our_slices,our_dsp,our_cp_ns\n",
+        );
+        for (name, row) in self.names.iter().zip(&self.rows) {
+            let _ = writeln!(
+                out,
+                "{name},{},{},{},{:.3},{},{},{},{:.3}",
+                row.baseline.bram18k,
+                row.baseline.slices(),
+                row.baseline.dsps,
+                row.baseline.cp_ns,
+                row.ours.bram18k,
+                row.ours.slices(),
+                row.ours.dsps,
+                row.ours.cp_ns,
+            );
+        }
+        out
+    }
+
+    /// Average ours-vs-baseline percentages over all rows for
+    /// (BRAM, slices, DSP), skipping undefined entries.
+    #[must_use]
+    pub fn average_pct(&self) -> (f64, f64, f64) {
+        let mut acc = [(0.0, 0u32); 3];
+        for row in &self.rows {
+            let (b, s, d) = row.comparison_pct();
+            for (slot, v) in acc.iter_mut().zip([b, s, d]) {
+                if let Some(v) = v {
+                    slot.0 += v;
+                    slot.1 += 1;
+                }
+            }
+        }
+        let avg = |(sum, n): (f64, u32)| if n > 0 { sum / f64::from(n) } else { f64::NAN };
+        (avg(acc[0]), avg(acc[1]), avg(acc[2]))
+    }
+}
+
+impl fmt::Display for Table5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<18} {:>6} {:>8} {:>5} {:>7}   {:>6} {:>8} {:>5} {:>7}   {:>6} {:>6}",
+            "benchmark",
+            "BRAM",
+            "Slice",
+            "DSP",
+            "CP(ns)",
+            "BRAM",
+            "Slice",
+            "DSP",
+            "CP(ns)",
+            "BRAM%",
+            "Slc%"
+        )?;
+        writeln!(f, "{:<18} {:-^29} {:-^30}", "", " baseline [8] ", " ours ")?;
+        for (name, row) in self.names.iter().zip(&self.rows) {
+            let (b_pct, s_pct, _) = row.comparison_pct();
+            writeln!(
+                f,
+                "{:<18} {:>6} {:>8} {:>5} {:>7.2}   {:>6} {:>8} {:>5} {:>7.2}   {:>5.1} {:>5.1}",
+                name,
+                row.baseline.bram18k,
+                row.baseline.slices(),
+                row.baseline.dsps,
+                row.baseline.cp_ns,
+                row.ours.bram18k,
+                row.ours.slices(),
+                row.ours.dsps,
+                row.ours.cp_ns,
+                b_pct.unwrap_or(f64::NAN),
+                s_pct.unwrap_or(f64::NAN),
+            )?;
+        }
+        let (b, s, d) = self.average_pct();
+        writeln!(
+            f,
+            "average ours/baseline: BRAM {b:.1}%  slices {s:.1}%  DSP {d:.1}%"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_kernels::paper_suite;
+
+    #[test]
+    fn paper_shape_holds() {
+        let table = Table5::build(&paper_suite()).unwrap();
+        assert_eq!(table.rows.len(), 6);
+        for (name, row) in table.names.iter().zip(&table.rows) {
+            assert!(
+                row.ours.bram18k <= row.baseline.bram18k,
+                "{name}: BRAM {} > {}",
+                row.ours.bram18k,
+                row.baseline.bram18k
+            );
+            assert!(row.ours.slices() < row.baseline.slices(), "{name}: slices");
+            assert_eq!(row.ours.dsps, 0, "{name}: ours must use no DSPs");
+            assert!(row.baseline.dsps > 0, "{name}: baseline uses DSPs");
+            assert!(row.ours.cp_ns <= row.baseline.cp_ns, "{name}: CP");
+        }
+        let (bram_pct, slice_pct, dsp_pct) = table.average_pct();
+        // Paper: 66% fewer BRAMs, 25% fewer slices, 100% fewer DSPs.
+        // Our synthetic estimator must at least reproduce the direction
+        // and rough magnitude.
+        assert!(bram_pct < 85.0, "BRAM average {bram_pct:.1}%");
+        assert!(slice_pct < 90.0, "slice average {slice_pct:.1}%");
+        assert!((dsp_pct - 0.0).abs() < 1e-9, "DSP average {dsp_pct:.1}%");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_benchmark() {
+        let table = Table5::build(&paper_suite()).unwrap();
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().count(), 1 + table.rows.len());
+        assert!(csv.starts_with("benchmark,base_bram"), "{csv}");
+        assert!(csv.contains("SEGMENTATION_3D,"), "{csv}");
+    }
+
+    #[test]
+    fn render_contains_all_benchmarks() {
+        let table = Table5::build(&paper_suite()).unwrap();
+        let s = table.to_string();
+        for name in &table.names {
+            assert!(s.contains(name.as_str()), "{s}");
+        }
+        assert!(s.contains("average"), "{s}");
+    }
+}

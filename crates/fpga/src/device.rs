@@ -1,0 +1,59 @@
+//! FPGA device models.
+
+use serde::{Deserialize, Serialize};
+
+/// Capacity model of a target FPGA device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Device name.
+    pub name: &'static str,
+    /// 18 Kb block RAM count (each 36 Kb tile counts as two).
+    pub bram18k: u32,
+    /// Logic slices (each: 4 six-input LUTs + 8 flip-flops).
+    pub slices: u32,
+    /// Six-input LUTs.
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+    /// DSP48E1 blocks.
+    pub dsps: u32,
+    /// Target clock period used by the experiments, in nanoseconds.
+    pub target_clock_ns: f64,
+}
+
+impl Device {
+    /// The Xilinx Virtex-7 XC7VX485T used in the paper's experiments
+    /// (§5.1), at the paper's 200 MHz target.
+    #[must_use]
+    pub fn virtex7_485t() -> Self {
+        Self {
+            name: "XC7VX485T",
+            bram18k: 2060,
+            slices: 75_900,
+            luts: 303_600,
+            ffs: 607_200,
+            dsps: 2_800,
+            target_clock_ns: 5.0,
+        }
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Self::virtex7_485t()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtex7_numbers() {
+        let d = Device::virtex7_485t();
+        assert_eq!(d.name, "XC7VX485T");
+        assert_eq!(d.bram18k, 2060);
+        assert_eq!(d.target_clock_ns, 5.0);
+        assert_eq!(Device::default(), d);
+    }
+}

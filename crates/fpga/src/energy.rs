@@ -1,0 +1,169 @@
+//! Power/energy estimation (§5.2 of the paper).
+//!
+//! The paper found XPower's estimate "dominated by the static power,
+//! and almost invariant with custom circuits", noting that with power
+//! gating the FPGA power "will be proportional to resource usage, which
+//! is covered by Table 5". This module makes both statements
+//! quantitative: a static term proportional to the whole device and a
+//! gated dynamic/leakage term proportional to the resources actually
+//! occupied and their activity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::Device;
+use crate::estimate::ResourceEstimate;
+
+/// Per-resource power coefficients, in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Device static power, mW (burned regardless of the design).
+    pub static_mw: f64,
+    /// Dynamic + gated leakage per occupied slice at full activity, mW.
+    pub per_slice_mw: f64,
+    /// Per active 18 Kb BRAM, mW.
+    pub per_bram_mw: f64,
+    /// Per active DSP48, mW.
+    pub per_dsp_mw: f64,
+}
+
+impl PowerModel {
+    /// Coefficients in the range reported for 28 nm 7-series devices at
+    /// 200 MHz.
+    #[must_use]
+    pub fn virtex7() -> Self {
+        Self {
+            static_mw: 1_200.0,
+            per_slice_mw: 0.012,
+            per_bram_mw: 1.9,
+            per_dsp_mw: 0.9,
+        }
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::virtex7()
+    }
+}
+
+/// A power estimate for one design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerEstimate {
+    /// Static device power, mW.
+    pub static_mw: f64,
+    /// Design-proportional power, mW (what power gating would expose).
+    pub dynamic_mw: f64,
+}
+
+impl PowerEstimate {
+    /// Total power, mW.
+    #[must_use]
+    pub fn total_mw(&self) -> f64 {
+        self.static_mw + self.dynamic_mw
+    }
+
+    /// Energy per produced output at the given clock period and II=1,
+    /// in nanojoules, counting only the gated (design-proportional)
+    /// component — the paper's "power proportional to resource usage"
+    /// regime.
+    #[must_use]
+    pub fn gated_energy_per_output_nj(&self, clock_ns: f64) -> f64 {
+        self.dynamic_mw * 1e-3 * clock_ns
+    }
+}
+
+/// Estimates power for a design's resource estimate, at the given
+/// activity factor (0..=1; 1.0 = every resource toggles every cycle —
+/// the II = 1 steady state is close to that for this architecture).
+///
+/// # Panics
+///
+/// Panics if `activity` is outside `[0, 1]`.
+#[must_use]
+pub fn estimate_power(
+    est: &ResourceEstimate,
+    device: &Device,
+    model: &PowerModel,
+    activity: f64,
+) -> PowerEstimate {
+    assert!(
+        (0.0..=1.0).contains(&activity),
+        "activity must be in [0, 1]"
+    );
+    let _ = device;
+    let dynamic_mw = activity
+        * (f64::from(est.slices()) * model.per_slice_mw
+            + f64::from(est.bram18k) * model.per_bram_mw
+            + f64::from(est.dsps) * model.per_dsp_mw);
+    PowerEstimate {
+        static_mw: model.static_mw,
+        dynamic_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{estimate_nonuniform, estimate_uniform};
+    use stencil_core::MemorySystemPlan;
+    use stencil_kernels::denoise;
+    use stencil_uniform::multidim_cyclic;
+
+    fn denoise_estimates() -> (ResourceEstimate, ResourceEstimate) {
+        let bench = denoise();
+        let spec = bench.spec().unwrap();
+        let plan = MemorySystemPlan::generate(&spec).unwrap();
+        let ours = estimate_nonuniform(&plan, bench.ops());
+        let part = multidim_cyclic(bench.window(), bench.extents());
+        let base = estimate_uniform(
+            &part,
+            bench.window().len(),
+            spec.element_bits(),
+            spec.iteration_domain(),
+            bench.ops(),
+        );
+        (base, ours)
+    }
+
+    #[test]
+    fn static_power_dominates_as_the_paper_observed() {
+        let (_, ours) = denoise_estimates();
+        let p = estimate_power(&ours, &Device::default(), &PowerModel::default(), 1.0);
+        assert!(
+            p.static_mw > 10.0 * p.dynamic_mw,
+            "static {} vs dynamic {}",
+            p.static_mw,
+            p.dynamic_mw
+        );
+    }
+
+    #[test]
+    fn gated_power_tracks_resources() {
+        let (base, ours) = denoise_estimates();
+        let model = PowerModel::default();
+        let d = Device::default();
+        let p_ours = estimate_power(&ours, &d, &model, 1.0);
+        let p_base = estimate_power(&base, &d, &model, 1.0);
+        assert!(p_ours.dynamic_mw < p_base.dynamic_mw);
+        assert!(p_ours.gated_energy_per_output_nj(5.0) < p_base.gated_energy_per_output_nj(5.0));
+    }
+
+    #[test]
+    fn activity_scales_dynamic_only() {
+        let (_, ours) = denoise_estimates();
+        let model = PowerModel::default();
+        let d = Device::default();
+        let idle = estimate_power(&ours, &d, &model, 0.0);
+        let busy = estimate_power(&ours, &d, &model, 1.0);
+        assert_eq!(idle.dynamic_mw, 0.0);
+        assert_eq!(idle.static_mw, busy.static_mw);
+        assert!(busy.total_mw() > idle.total_mw());
+    }
+
+    #[test]
+    #[should_panic(expected = "activity must be in")]
+    fn bad_activity_rejected() {
+        let (_, ours) = denoise_estimates();
+        let _ = estimate_power(&ours, &Device::default(), &PowerModel::default(), 1.5);
+    }
+}

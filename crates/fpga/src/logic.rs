@@ -1,0 +1,244 @@
+//! LUT/FF cost formulas for the microarchitecture's building blocks.
+//!
+//! The formulas are first-order models of 7-series mapping results:
+//! counters and adders map to one LUT + one FF per bit (carry chain),
+//! comparators to about half a LUT per bit, SRL shift registers to one
+//! LUT per bit per 32 stages. They are deliberately simple and
+//! deterministic — the reproduction needs the *relative* shape of
+//! Table 5, not ISE's exact numbers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bram::bram18k_blocks;
+use stencil_kernels::KernelOps;
+
+/// A LUT/FF/BRAM/DSP cost bundle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogicCost {
+    /// Six-input LUTs.
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+    /// 18 Kb block RAMs.
+    pub bram18k: u32,
+    /// DSP48 blocks.
+    pub dsps: u32,
+}
+
+impl LogicCost {
+    /// Component-wise sum.
+    #[must_use]
+    pub fn plus(self, other: LogicCost) -> LogicCost {
+        LogicCost {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            bram18k: self.bram18k + other.bram18k,
+            dsps: self.dsps + other.dsps,
+        }
+    }
+}
+
+/// Bits needed to count to `extent` (at least 1).
+#[must_use]
+pub fn bits_for(extent: u64) -> u32 {
+    (64 - extent.max(1).leading_zeros() as u64) as u32
+}
+
+/// One multi-dimensional domain counter (Fig. 10): per dimension an
+/// incrementer, a bound comparator, and wrap logic.
+#[must_use]
+pub fn domain_counter(extent_bits: &[u32]) -> LogicCost {
+    let total_bits: u32 = extent_bits.iter().sum();
+    LogicCost {
+        luts: 2 * total_bits + 4 * extent_bits.len() as u32,
+        ffs: total_bits,
+        bram18k: 0,
+        dsps: 0,
+    }
+}
+
+/// A data filter: two domain counters, an equality comparator across all
+/// dimensions, and the 2:1 data switch (§3.5.2).
+#[must_use]
+pub fn data_filter(extent_bits: &[u32], width_bits: u32) -> LogicCost {
+    let counters = domain_counter(extent_bits).plus(domain_counter(extent_bits));
+    let compare_bits: u32 = extent_bits.iter().sum();
+    LogicCost {
+        luts: counters.luts + compare_bits / 2 + 4,
+        ffs: counters.ffs + width_bits, // forwarded-element register
+        bram18k: 0,
+        dsps: 0,
+    }
+}
+
+/// A data path splitter: a valid/ready fork.
+#[must_use]
+pub fn splitter() -> LogicCost {
+    LogicCost {
+        luts: 3,
+        ffs: 2,
+        bram18k: 0,
+        dsps: 0,
+    }
+}
+
+/// A FIFO implemented in slice registers.
+#[must_use]
+pub fn register_fifo(depth: u64, width_bits: u32) -> LogicCost {
+    LogicCost {
+        luts: 4,
+        ffs: depth as u32 * width_bits + 4,
+        bram18k: 0,
+        dsps: 0,
+    }
+}
+
+/// A FIFO implemented in SRL32 shift registers.
+#[must_use]
+pub fn srl_fifo(depth: u64, width_bits: u32) -> LogicCost {
+    LogicCost {
+        luts: width_bits * depth.div_ceil(32) as u32 + 2 * bits_for(depth) + 4,
+        ffs: width_bits + bits_for(depth),
+        bram18k: 0,
+        dsps: 0,
+    }
+}
+
+/// A FIFO implemented in block RAM (read/write pointers + status).
+#[must_use]
+pub fn bram_fifo(depth: u64, width_bits: u32) -> LogicCost {
+    let ptr_bits = bits_for(depth);
+    LogicCost {
+        luts: 3 * ptr_bits + 8,
+        ffs: 2 * ptr_bits + width_bits + 4,
+        bram18k: bram18k_blocks(depth, width_bits),
+        dsps: 0,
+    }
+}
+
+/// A `ways`-to-1 multiplexer of `width_bits` (one LUT6 switches 4:1 of
+/// one bit).
+#[must_use]
+pub fn mux(ways: u32, width_bits: u32) -> LogicCost {
+    if ways <= 1 {
+        return LogicCost::default();
+    }
+    LogicCost {
+        luts: width_bits * ways.div_ceil(4).max(1),
+        ffs: width_bits,
+        bram18k: 0,
+        dsps: 0,
+    }
+}
+
+/// A modulo-`m` address transformer for one access port: the
+/// multiply-by-reciprocal divider uniform partitioning needs when the
+/// bank count is not a power of two (§5.2 — the source of \[8\]'s DSP
+/// usage, eliminated entirely by the non-uniform design).
+#[must_use]
+pub fn modulo_unit(addr_bits: u32, modulus: usize) -> LogicCost {
+    if modulus.is_power_of_two() {
+        // Bit selection only.
+        LogicCost {
+            luts: 2,
+            ffs: addr_bits,
+            bram18k: 0,
+            dsps: 0,
+        }
+    } else {
+        LogicCost {
+            luts: 3 * addr_bits,
+            ffs: 2 * addr_bits,
+            bram18k: 0,
+            dsps: 3,
+        }
+    }
+}
+
+/// The fixed-point datapath of the computation kernel (identical for
+/// both memory systems; the paper's medical-imaging kernels are
+/// fixed-point, so constant multiplies map to shift-add LUT logic, not
+/// DSPs).
+#[must_use]
+pub fn kernel_datapath(ops: KernelOps, width_bits: u32) -> LogicCost {
+    let w = width_bits;
+    LogicCost {
+        luts: ops.adds * w
+            + ops.muls * 3 * w / 2
+            + ops.divs * 4 * w
+            + ops.sqrts * 8 * w
+            + ops.cmps * w / 2,
+        ffs: (ops.adds + ops.muls + ops.divs * 4 + ops.sqrts * 4 + ops.cmps) * w,
+        bram18k: 0,
+        dsps: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_extents() {
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(1023), 10);
+        assert_eq!(bits_for(1024), 11);
+    }
+
+    #[test]
+    fn fifo_costs_scale_with_depth() {
+        let small = register_fifo(1, 32);
+        assert_eq!(small.ffs, 36);
+        let srl = srl_fifo(64, 32);
+        assert_eq!(srl.luts, 32 * 2 + 2 * 7 + 4);
+        let big = bram_fifo(1023, 32);
+        assert_eq!(big.bram18k, 2);
+        assert!(big.luts < srl.luts);
+    }
+
+    #[test]
+    fn modulo_unit_power_of_two_is_free_of_dsps() {
+        assert_eq!(modulo_unit(12, 4).dsps, 0);
+        assert_eq!(modulo_unit(12, 5).dsps, 3);
+    }
+
+    #[test]
+    fn mux_grows_with_ways() {
+        assert_eq!(mux(1, 32).luts, 0);
+        assert!(mux(5, 32).luts > mux(2, 32).luts / 2);
+        assert!(mux(20, 32).luts > mux(5, 32).luts);
+    }
+
+    #[test]
+    fn kernel_datapath_counts() {
+        let ops = KernelOps {
+            adds: 5,
+            muls: 2,
+            ..KernelOps::default()
+        };
+        let c = kernel_datapath(ops, 32);
+        assert_eq!(c.luts, 5 * 32 + 2 * 48);
+        assert_eq!(c.dsps, 0);
+    }
+
+    #[test]
+    fn plus_adds_componentwise() {
+        let a = LogicCost {
+            luts: 1,
+            ffs: 2,
+            bram18k: 3,
+            dsps: 4,
+        };
+        let b = a.plus(a);
+        assert_eq!(
+            b,
+            LogicCost {
+                luts: 2,
+                ffs: 4,
+                bram18k: 6,
+                dsps: 8
+            }
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Design-space exploration sweeps: how resources scale with element
+//! width and problem size for both the non-uniform design and the \[8\]
+//! baseline — the exploration a designer runs before committing to a
+//! configuration.
+
+use serde::{Deserialize, Serialize};
+use stencil_core::{MemorySystemPlan, PlanError, StencilSpec};
+use stencil_kernels::Benchmark;
+use stencil_uniform::multidim_cyclic;
+
+use crate::estimate::{estimate_nonuniform, estimate_uniform, ResourceEstimate};
+
+/// One explored configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Data element width, bits.
+    pub element_bits: u32,
+    /// Grid extents of the configuration.
+    pub extents: Vec<i64>,
+    /// Non-uniform design estimate.
+    pub ours: ResourceEstimate,
+    /// \[8\] baseline estimate.
+    pub baseline: ResourceEstimate,
+}
+
+impl SweepPoint {
+    /// BRAM ratio ours/baseline (1.0 = parity).
+    #[must_use]
+    pub fn bram_ratio(&self) -> f64 {
+        f64::from(self.ours.bram18k) / f64::from(self.baseline.bram18k.max(1))
+    }
+}
+
+/// Sweeps element widths × grid scales for one benchmark. `scales` are
+/// divisors applied to the benchmark's full extents (1 = full size).
+///
+/// # Errors
+///
+/// Propagates [`PlanError`] from specification building.
+///
+/// # Panics
+///
+/// Panics if a scale shrinks the grid below the window.
+pub fn sweep(
+    bench: &Benchmark,
+    widths: &[u32],
+    scales: &[i64],
+) -> Result<Vec<SweepPoint>, PlanError> {
+    let mut out = Vec::with_capacity(widths.len() * scales.len());
+    for &scale in scales {
+        assert!(scale >= 1, "scale must be at least 1");
+        let extents: Vec<i64> = bench
+            .extents()
+            .iter()
+            .map(|&e| (e / scale).max(8))
+            .collect();
+        for &bits in widths {
+            let spec = StencilSpec::with_element_bits(
+                bench.name().to_lowercase(),
+                bench.iteration_domain_for(&extents),
+                bench.window().to_vec(),
+                bits,
+            )?;
+            let plan = MemorySystemPlan::generate(&spec)?;
+            let ours = estimate_nonuniform(&plan, bench.ops());
+            let part = multidim_cyclic(bench.window(), &extents);
+            let baseline = estimate_uniform(
+                &part,
+                bench.window().len(),
+                bits,
+                spec.iteration_domain(),
+                bench.ops(),
+            );
+            out.push(SweepPoint {
+                element_bits: bits,
+                extents: extents.clone(),
+                ours,
+                baseline,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_kernels::denoise;
+
+    #[test]
+    fn sweep_covers_the_grid_of_configurations() {
+        let points = sweep(&denoise(), &[8, 16, 32], &[1, 2, 4]).unwrap();
+        assert_eq!(points.len(), 9);
+        for p in &points {
+            assert!(p.ours.bram18k <= p.baseline.bram18k, "{p:?}");
+            assert_eq!(p.ours.dsps, 0);
+            assert!(p.bram_ratio() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn wider_elements_cost_at_least_as_much() {
+        let points = sweep(&denoise(), &[8, 32], &[1]).unwrap();
+        let narrow = &points[0];
+        let wide = &points[1];
+        assert!(wide.ours.bram18k >= narrow.ours.bram18k);
+        assert!(wide.ours.luts >= narrow.ours.luts);
+    }
+
+    #[test]
+    fn smaller_grids_cost_at_most_as_much() {
+        let points = sweep(&denoise(), &[16], &[1, 8]).unwrap();
+        let full = &points[0];
+        let eighth = &points[1];
+        assert!(eighth.ours.bram18k <= full.ours.bram18k);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based validation of the resource model: geometric and
+//! monotonicity laws the estimator must obey regardless of inputs.
+
+use proptest::prelude::*;
+use stencil_fpga::{bram18k_blocks, bram18k_blocks_pow2, clock_period_ns, TimingFeatures};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Capacity soundness: the chosen blocks really hold the memory.
+    #[test]
+    fn bram_blocks_cover_capacity(depth in 1u64..40_000, width in 1u32..72) {
+        let blocks = bram18k_blocks(depth, width);
+        prop_assert!(blocks >= 1);
+        prop_assert!(
+            u64::from(blocks) * 18 * 1024 >= depth * u64::from(width),
+            "{blocks} blocks cannot hold {depth}x{width}"
+        );
+    }
+
+    /// Monotonicity in depth and width.
+    #[test]
+    fn bram_blocks_monotone(depth in 1u64..20_000, width in 1u32..64) {
+        prop_assert!(bram18k_blocks(depth + 1, width) >= bram18k_blocks(depth, width));
+        prop_assert!(bram18k_blocks(depth, width + 1) >= bram18k_blocks(depth, width));
+    }
+
+    /// Power-of-two rounding never helps.
+    #[test]
+    fn pow2_rounding_never_cheaper(depth in 1u64..20_000, width in 1u32..64) {
+        prop_assert!(bram18k_blocks_pow2(depth, width) >= bram18k_blocks(depth, width));
+    }
+
+    /// The block count is never absurdly wasteful: at most one extra
+    /// block per width slice beyond the information-theoretic minimum.
+    #[test]
+    fn bram_blocks_not_wasteful(depth in 1u64..40_000, width in 1u32..72) {
+        let blocks = u64::from(bram18k_blocks(depth, width));
+        let min_bits = depth * u64::from(width);
+        let lower = min_bits.div_ceil(18 * 1024);
+        prop_assert!(blocks <= 2 * lower + 36, "{blocks} vs lower bound {lower}");
+    }
+
+    /// Timing: monotone in every feature, clamped to [3.6, 5.0].
+    #[test]
+    fn clock_period_monotone_and_bounded(
+        banks in 0u32..100,
+        bram in 0u32..500,
+        mux in 1u32..64,
+    ) {
+        let base = TimingFeatures {
+            banks,
+            bram18k: bram,
+            has_divider: false,
+            centralized: false,
+            widest_mux: mux,
+        };
+        let cp = clock_period_ns(&base);
+        prop_assert!((3.6..=5.0).contains(&cp));
+        let with_div = TimingFeatures { has_divider: true, ..base };
+        prop_assert!(clock_period_ns(&with_div) >= cp);
+        let central = TimingFeatures { centralized: true, ..base };
+        prop_assert!(clock_period_ns(&central) >= cp);
+        let more_banks = TimingFeatures { banks: banks + 10, ..base };
+        prop_assert!(clock_period_ns(&more_banks) >= cp);
+    }
+}

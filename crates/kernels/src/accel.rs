@@ -1,0 +1,224 @@
+//! One-call accelerated execution: plan, simulate cycle-accurately, and
+//! compute real output values — the complete "run this kernel on the
+//! accelerator" path used by examples and end-to-end tests.
+
+use stencil_core::MemorySystemPlan;
+use stencil_sim::{Machine, RunStats, SimError};
+
+use crate::benchmark::Benchmark;
+use crate::golden::GridValues;
+
+/// The result of an accelerated run.
+#[derive(Debug, Clone)]
+pub struct AcceleratedRun {
+    /// Output values in lexicographic iteration order — directly
+    /// comparable to [`crate::run_golden`].
+    pub outputs: Vec<f64>,
+    /// Cycle-accurate statistics of the run.
+    pub stats: RunStats,
+}
+
+/// Runs `bench` on the simulated accelerator over `grid`, producing
+/// real output values by applying the kernel datapath to each fired
+/// element tuple.
+///
+/// The grid must cover the benchmark's input data domain at `extents`.
+///
+/// # Errors
+///
+/// * [`SimError::Plan`] (wrapping `PlanError`) on specification
+///   failures.
+/// * Simulation errors, including functional mismatches.
+///
+/// # Panics
+///
+/// Panics if `grid` does not cover the input domain.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_kernels::{accelerate, denoise, run_golden, GridValues};
+/// use stencil_polyhedral::Polyhedron;
+///
+/// let bench = denoise();
+/// let extents = [16i64, 20];
+/// let grid = GridValues::from_fn(&Polyhedron::grid(&extents), |p| {
+///     (p[0] * 3 + p[1]) as f64
+/// })?;
+/// let run = accelerate(&bench, &extents, &grid)?;
+/// let golden = run_golden(&bench, &extents, &grid)?;
+/// assert_eq!(run.outputs, golden); // bit-exact
+/// assert!(run.stats.fully_pipelined());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn accelerate(
+    bench: &Benchmark,
+    extents: &[i64],
+    grid: &GridValues,
+) -> Result<AcceleratedRun, SimError> {
+    let spec = bench.spec_for(extents)?;
+    let plan = MemorySystemPlan::generate(&spec)?;
+    let mut machine = Machine::new(&plan)?;
+    let port_offsets = machine.port_offsets(0).to_vec();
+    let mut outputs = Vec::new();
+    let mut values = vec![0.0f64; port_offsets.len()];
+    while !machine.is_done() {
+        machine.step()?;
+        if let Some(fire) = machine.last_fire() {
+            for (v, e) in values.iter_mut().zip(&fire.ports[0]) {
+                *v = grid
+                    .value_by_rank(e.id())
+                    .unwrap_or_else(|| panic!("grid missing stream rank {}", e.id()));
+            }
+            let ordered = bench.reorder_ports(&port_offsets, &values);
+            outputs.push(bench.compute(&ordered));
+        }
+    }
+    Ok(AcceleratedRun {
+        outputs,
+        stats: machine.stats(),
+    })
+}
+
+/// Runs `steps` successive applications of the kernel on the simulated
+/// accelerator — the multi-stage pipeline of Appendix 9.3 evaluated
+/// value-exactly. Step `t` iterates the grid's interior shrunk by `t`
+/// window radii; each step's outputs become the next step's input grid.
+///
+/// Returns the final step's outputs (lexicographic order over its
+/// iteration domain).
+///
+/// # Errors
+///
+/// Propagates planning/simulation failures.
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or the grid becomes too small for the window.
+pub fn accelerate_steps(
+    bench: &Benchmark,
+    extents: &[i64],
+    grid: &GridValues,
+    steps: usize,
+) -> Result<Vec<f64>, SimError> {
+    assert!(steps > 0, "need at least one step");
+    let mut current = grid.clone();
+    let mut current_extents = extents.to_vec();
+    let mut outputs = Vec::new();
+    for _ in 0..steps {
+        let run = accelerate(bench, &current_extents, &current)?;
+        outputs = run.outputs;
+        // The outputs live on the iteration domain, which becomes the
+        // next step's data grid (re-based to zero).
+        let iter = bench.iteration_domain_for(&current_extents);
+        let idx = iter.index().map_err(stencil_core::PlanError::from)?;
+        let bb = idx.bounding_box().expect("non-empty iteration domain");
+        let next_extents: Vec<i64> = bb.iter().map(|&(lo, hi)| hi - lo + 1).collect();
+        let offset: Vec<i64> = bb.iter().map(|&(lo, _)| lo).collect();
+        let values = outputs.clone();
+        current = GridValues::from_fn(&stencil_polyhedral::Polyhedron::grid(&next_extents), |p| {
+            let shifted: Vec<i64> = p
+                .as_slice()
+                .iter()
+                .zip(&offset)
+                .map(|(&c, &o)| c + o)
+                .collect();
+            let rank = idx.rank_lt(&stencil_polyhedral::Point::new(&shifted));
+            values[rank as usize]
+        })
+        .map_err(SimError::Plan)?;
+        current_extents = next_extents;
+    }
+    Ok(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::run_golden;
+    use crate::suite::{bicubic, sobel};
+    use stencil_polyhedral::Polyhedron;
+
+    fn ramp(extents: &[i64]) -> GridValues {
+        GridValues::from_fn(&Polyhedron::grid(extents), |p| {
+            p.as_slice()
+                .iter()
+                .enumerate()
+                .map(|(d, &c)| (c * (7 + d as i64 * 13)) as f64)
+                .sum::<f64>()
+                * 0.25
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn sobel_accelerated_matches_golden() {
+        let bench = sobel();
+        let extents = [14i64, 18];
+        let grid = ramp(&extents);
+        let run = accelerate(&bench, &extents, &grid).unwrap();
+        let golden = run_golden(&bench, &extents, &grid).unwrap();
+        assert_eq!(run.outputs, golden);
+        assert!(run.stats.fully_pipelined());
+        assert_eq!(run.outputs.len(), 12 * 16);
+    }
+
+    #[test]
+    fn bicubic_accelerated_matches_golden() {
+        let bench = bicubic();
+        let extents = [12i64, 12];
+        let grid = ramp(&extents);
+        let run = accelerate(&bench, &extents, &grid).unwrap();
+        let golden = run_golden(&bench, &extents, &grid).unwrap();
+        assert_eq!(run.outputs, golden);
+    }
+
+    #[test]
+    fn multi_step_matches_iterated_golden() {
+        let bench = crate::suite::denoise();
+        let extents = [14i64, 16];
+        let grid = ramp(&extents);
+        let accelerated = accelerate_steps(&bench, &extents, &grid, 3).unwrap();
+
+        // Golden: iterate run_golden by hand with the same re-basing.
+        let mut cur = grid.clone();
+        let mut cur_extents = extents.to_vec();
+        let mut golden = Vec::new();
+        for _ in 0..3 {
+            golden = run_golden(&bench, &cur_extents, &cur).unwrap();
+            let iter = bench.iteration_domain_for(&cur_extents);
+            let idx = iter.index().unwrap();
+            let bb = idx.bounding_box().unwrap();
+            let next: Vec<i64> = bb.iter().map(|&(lo, hi)| hi - lo + 1).collect();
+            let off: Vec<i64> = bb.iter().map(|&(lo, _)| lo).collect();
+            let vals = golden.clone();
+            cur = GridValues::from_fn(&stencil_polyhedral::Polyhedron::grid(&next), |p| {
+                let shifted: Vec<i64> = p
+                    .as_slice()
+                    .iter()
+                    .zip(&off)
+                    .map(|(&c, &o)| c + o)
+                    .collect();
+                vals[idx.rank_lt(&stencil_polyhedral::Point::new(&shifted)) as usize]
+            })
+            .unwrap();
+            cur_extents = next;
+        }
+        assert_eq!(accelerated, golden);
+        assert_eq!(accelerated.len(), 8 * 10); // shrunk by 3 on each side
+    }
+
+    #[test]
+    fn whole_paper_suite_is_bit_exact() {
+        for bench in crate::suite::paper_suite() {
+            let extents: Vec<i64> = match bench.dims() {
+                2 => vec![12, 14],
+                _ => vec![8, 8, 8],
+            };
+            let grid = ramp(&extents);
+            let run = accelerate(&bench, &extents, &grid).unwrap();
+            let golden = run_golden(&bench, &extents, &grid).unwrap();
+            assert_eq!(run.outputs, golden, "{}", bench.name());
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! The [`Benchmark`] type: a named stencil kernel with its grid, window,
+//! datapath arithmetic, and operation counts.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use stencil_core::{PlanError, StencilSpec};
+use stencil_polyhedral::{Point, Polyhedron};
+
+/// Datapath operation counts of one kernel iteration, used by the FPGA
+/// resource model to estimate the computation kernel's footprint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelOps {
+    /// Floating-point additions/subtractions.
+    pub adds: u32,
+    /// Floating-point multiplications.
+    pub muls: u32,
+    /// Floating-point divisions.
+    pub divs: u32,
+    /// Square roots.
+    pub sqrts: u32,
+    /// Comparisons / absolute values / select operations.
+    pub cmps: u32,
+}
+
+/// The per-iteration arithmetic of a kernel: consumes the window values
+/// in the benchmark's declared offset order, produces the output value.
+pub type ComputeFn = fn(&[f64]) -> f64;
+
+/// One benchmark stencil kernel.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_kernels::denoise;
+///
+/// let b = denoise();
+/// assert_eq!(b.window().len(), 5);
+/// let spec = b.spec()?;
+/// assert_eq!(spec.original_ii(), 5);
+/// # Ok::<(), stencil_core::PlanError>(())
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Benchmark {
+    name: String,
+    /// Full data-grid extents (the paper's problem size).
+    extents: Vec<i64>,
+    offsets: Vec<Point>,
+    ops: KernelOps,
+    element_bits: u32,
+    #[serde(skip, default = "default_compute")]
+    compute: ComputeFn,
+}
+
+fn default_compute() -> ComputeFn {
+    |vals| vals.iter().sum()
+}
+
+impl Benchmark {
+    /// Creates a benchmark definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty or dimensionality is inconsistent.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        extents: Vec<i64>,
+        offsets: Vec<Point>,
+        ops: KernelOps,
+        compute: ComputeFn,
+    ) -> Self {
+        assert!(!offsets.is_empty(), "window must be non-empty");
+        assert!(
+            offsets.iter().all(|f| f.dims() == extents.len()),
+            "offset dimensionality mismatch"
+        );
+        Self {
+            name: name.into(),
+            extents,
+            offsets,
+            ops,
+            element_bits: StencilSpec::DEFAULT_ELEMENT_BITS,
+            compute,
+        }
+    }
+
+    /// Sets the data element width in bits (e.g. 16 for imaging pixels).
+    #[must_use]
+    pub fn with_element_bits(mut self, bits: u32) -> Self {
+        self.element_bits = bits;
+        self
+    }
+
+    /// The data element width in bits.
+    #[must_use]
+    pub fn element_bits(&self) -> u32 {
+        self.element_bits
+    }
+
+    /// The kernel name (upper-case, as in the paper's tables).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The full data-grid extents used in the paper's evaluation.
+    #[must_use]
+    pub fn extents(&self) -> &[i64] {
+        &self.extents
+    }
+
+    /// The stencil window offsets, in declared (datapath) order.
+    #[must_use]
+    pub fn window(&self) -> &[Point] {
+        &self.offsets
+    }
+
+    /// Grid dimensionality.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Datapath operation counts.
+    #[must_use]
+    pub fn ops(&self) -> KernelOps {
+        self.ops
+    }
+
+    /// Evaluates the kernel datapath on window values given in declared
+    /// offset order.
+    #[must_use]
+    pub fn compute(&self, values: &[f64]) -> f64 {
+        debug_assert_eq!(values.len(), self.offsets.len());
+        (self.compute)(values)
+    }
+
+    /// The iteration domain on the full grid: all iterations whose whole
+    /// window stays inside `[0, extent)` per dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is wider than the grid.
+    #[must_use]
+    pub fn iteration_domain(&self) -> Polyhedron {
+        self.iteration_domain_for(&self.extents)
+    }
+
+    /// The iteration domain for custom extents (e.g. scaled-down grids
+    /// for fast tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit in the grid.
+    #[must_use]
+    pub fn iteration_domain_for(&self, extents: &[i64]) -> Polyhedron {
+        let m = extents.len();
+        assert_eq!(m, self.dims(), "extent dimensionality mismatch");
+        let mut bounds = Vec::with_capacity(m);
+        for d in 0..m {
+            let min_f = self.offsets.iter().map(|f| f[d]).min().expect("non-empty");
+            let max_f = self.offsets.iter().map(|f| f[d]).max().expect("non-empty");
+            let lo = -min_f.min(0);
+            let hi = extents[d] - 1 - max_f.max(0);
+            assert!(lo <= hi, "window does not fit grid in dimension {d}");
+            bounds.push((lo, hi));
+        }
+        Polyhedron::rect(&bounds)
+    }
+
+    /// The stencil specification at the paper's full problem size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from specification validation.
+    pub fn spec(&self) -> Result<StencilSpec, PlanError> {
+        self.spec_for(&self.extents)
+    }
+
+    /// The stencil specification on a custom grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from specification validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit the grid.
+    pub fn spec_for(&self, extents: &[i64]) -> Result<StencilSpec, PlanError> {
+        StencilSpec::with_element_bits(
+            self.name.to_lowercase(),
+            self.iteration_domain_for(extents),
+            self.offsets.clone(),
+            self.element_bits,
+        )
+    }
+
+    /// Reorders port values (delivered in some port-offset order, e.g.
+    /// the memory system's filter order) into this benchmark's declared
+    /// offset order, ready for [`Benchmark::compute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port_offsets` is not a permutation of the window.
+    #[must_use]
+    pub fn reorder_ports(&self, port_offsets: &[Point], values: &[f64]) -> Vec<f64> {
+        assert_eq!(port_offsets.len(), values.len());
+        self.offsets
+            .iter()
+            .map(|f| {
+                let k = port_offsets
+                    .iter()
+                    .position(|p| p == f)
+                    .expect("port offsets must be a permutation of the window");
+                values[k]
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .field("extents", &self.extents)
+            .field("window", &self.offsets.len())
+            .finish()
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}D, {:?}, {}-point)",
+            self.name,
+            self.dims(),
+            self.extents,
+            self.offsets.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Benchmark {
+        Benchmark::new(
+            "TOY",
+            vec![8, 8],
+            vec![
+                Point::new(&[-1, 0]),
+                Point::new(&[0, 0]),
+                Point::new(&[1, 0]),
+            ],
+            KernelOps {
+                adds: 2,
+                ..KernelOps::default()
+            },
+            |v| v[0] + v[1] + v[2],
+        )
+    }
+
+    #[test]
+    fn iteration_domain_shrinks_by_window() {
+        let d = toy().iteration_domain();
+        assert!(d.contains(&Point::new(&[1, 0])));
+        assert!(d.contains(&Point::new(&[6, 7])));
+        assert!(!d.contains(&Point::new(&[0, 0])));
+        assert!(!d.contains(&Point::new(&[7, 0])));
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        let s = toy().spec().unwrap();
+        assert_eq!(s.window_size(), 3);
+        assert_eq!(s.name(), "toy");
+    }
+
+    #[test]
+    fn compute_applies_datapath() {
+        assert_eq!(toy().compute(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn reorder_ports_permutes() {
+        let b = toy();
+        // Ports delivered in descending filter order: (1,0), (0,0), (-1,0).
+        let port_offsets = [
+            Point::new(&[1, 0]),
+            Point::new(&[0, 0]),
+            Point::new(&[-1, 0]),
+        ];
+        let vals = b.reorder_ports(&port_offsets, &[30.0, 20.0, 10.0]);
+        assert_eq!(vals, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window does not fit")]
+    fn oversized_window_panics() {
+        let b = Benchmark::new(
+            "BAD",
+            vec![2],
+            vec![Point::new(&[-3]), Point::new(&[3])],
+            KernelOps::default(),
+            |v| v[0],
+        );
+        let _ = b.iteration_domain();
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let b = toy();
+        assert_eq!(b.to_string(), "TOY (2D, [8, 8], 3-point)");
+        assert!(format!("{b:?}").contains("TOY"));
+    }
+}

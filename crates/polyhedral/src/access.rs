@@ -1,0 +1,173 @@
+//! Stencil access functions (Definitions 3 and 4 of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+use crate::polyhedron::Polyhedron;
+
+/// The access function of one stencil array reference.
+///
+/// Definition 4 of the paper restricts stencil accesses to
+/// `h = H·i + f` with `H` the identity: every reference is the iteration
+/// vector plus a constant offset `f` (e.g. `A[i+1][j]` has
+/// `f = (1, 0)`). The offset doubles as the reference's *data access
+/// offset* used for lexicographic sorting in the microarchitecture.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_polyhedral::{AccessFn, Point};
+///
+/// let east = AccessFn::new(Point::new(&[0, 1])); // A[i][j+1]
+/// let h = east.access(&Point::new(&[2, 2]));
+/// assert_eq!(h, Point::new(&[2, 3]));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccessFn {
+    offset: Point,
+}
+
+impl AccessFn {
+    /// Creates the access function `h = i + offset`.
+    #[must_use]
+    pub fn new(offset: Point) -> Self {
+        Self { offset }
+    }
+
+    /// The constant data-access offset `f`.
+    #[must_use]
+    pub fn offset(&self) -> Point {
+        self.offset
+    }
+
+    /// Number of grid dimensions.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.offset.dims()
+    }
+
+    /// The data index accessed at iteration `i` (`h = i + f`, Eq. (3)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i.dims() != self.dims()`.
+    #[must_use]
+    pub fn access(&self, i: &Point) -> Point {
+        *i + self.offset
+    }
+
+    /// The iteration that accesses data index `h` (`i = h - f`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.dims() != self.dims()`.
+    #[must_use]
+    pub fn iteration_of(&self, h: &Point) -> Point {
+        *h - self.offset
+    }
+
+    /// The data domain `D_Ax` of this reference over an iteration domain
+    /// (Definition 5): the iteration domain translated by `f`.
+    #[must_use]
+    pub fn data_domain(&self, iteration_domain: &Polyhedron) -> Polyhedron {
+        iteration_domain.translated(&self.offset)
+    }
+}
+
+impl fmt::Debug for AccessFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AccessFn[A[i + {}]]", self.offset)
+    }
+}
+
+impl fmt::Display for AccessFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A[i + {}]", self.offset)
+    }
+}
+
+impl From<Point> for AccessFn {
+    fn from(offset: Point) -> Self {
+        AccessFn::new(offset)
+    }
+}
+
+/// The *input data domain* `D_A` of an array with the given reference
+/// offsets over an iteration domain (Definition 6): a convex
+/// over-approximation of the union of the per-reference data domains,
+/// matching the paper's Example 4 treatment.
+///
+/// # Panics
+///
+/// Panics if `offsets` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_polyhedral::{input_domain, Point, Polyhedron};
+///
+/// let dom = Polyhedron::rect(&[(1, 766), (1, 1022)]);
+/// let offs = [
+///     Point::new(&[1, 0]),
+///     Point::new(&[0, 1]),
+///     Point::new(&[0, 0]),
+///     Point::new(&[0, -1]),
+///     Point::new(&[-1, 0]),
+/// ];
+/// let d_a = input_domain(&dom, &offs);
+/// // Effectively A[0..767][0..1023]: 768 * 1024 points.
+/// assert_eq!(d_a.count()?, 768 * 1024);
+/// # Ok::<(), stencil_polyhedral::PolyError>(())
+/// ```
+#[must_use]
+pub fn input_domain(iteration_domain: &Polyhedron, offsets: &[Point]) -> Polyhedron {
+    iteration_domain.dilated(offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_roundtrip() {
+        let f = AccessFn::new(Point::new(&[-1, 2]));
+        let i = Point::new(&[5, 5]);
+        let h = f.access(&i);
+        assert_eq!(h, Point::new(&[4, 7]));
+        assert_eq!(f.iteration_of(&h), i);
+    }
+
+    #[test]
+    fn data_domain_is_translated_iteration_domain() {
+        let dom = Polyhedron::rect(&[(1, 766), (1, 1022)]);
+        // Example 3: D of A[i][j+1] is 1 <= i' <= 766 (unchanged in paper's
+        // notation the row range stays), j shifted to 2..1023.
+        let f = AccessFn::new(Point::new(&[0, 1]));
+        let d = f.data_domain(&dom);
+        assert!(d.contains(&Point::new(&[1, 2])));
+        assert!(d.contains(&Point::new(&[766, 1023])));
+        assert!(!d.contains(&Point::new(&[1, 1])));
+    }
+
+    #[test]
+    fn input_domain_counts_match_paper_example() {
+        let dom = Polyhedron::rect(&[(1, 766), (1, 1022)]);
+        let offs = [
+            Point::new(&[1, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[-1, 0]),
+        ];
+        let d_a = input_domain(&dom, &offs);
+        assert_eq!(d_a.count().unwrap(), 768 * 1024);
+    }
+
+    #[test]
+    fn display_mentions_offset() {
+        let f = AccessFn::new(Point::new(&[1, 0]));
+        assert_eq!(f.to_string(), "A[i + (1, 0)]");
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for polyhedral analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by polyhedral-domain operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PolyError {
+    /// A dimension of the polyhedron has no finite lower or upper bound,
+    /// so its integer points cannot be enumerated.
+    Unbounded {
+        /// The loop level (0 = outermost) lacking a bound.
+        dim: usize,
+        /// Whether the missing bound is the lower one.
+        lower: bool,
+    },
+    /// An operation that requires a non-empty domain was applied to an
+    /// empty one.
+    EmptyDomain,
+    /// A reuse-distance query was made for a lexicographically
+    /// non-positive reuse vector (the "from" reference would not be the
+    /// earlier access).
+    NonPositiveReuse {
+        /// Display form of the offending reuse vector.
+        vector: String,
+    },
+}
+
+impl fmt::Display for PolyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolyError::Unbounded { dim, lower } => write!(
+                f,
+                "polyhedron is unbounded {} in dimension {dim}",
+                if *lower { "below" } else { "above" }
+            ),
+            PolyError::EmptyDomain => write!(f, "domain contains no integer points"),
+            PolyError::NonPositiveReuse { vector } => {
+                write!(f, "reuse vector {vector} is not lexicographically positive")
+            }
+        }
+    }
+}
+
+impl Error for PolyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PolyError::Unbounded {
+            dim: 1,
+            lower: true,
+        };
+        assert_eq!(
+            e.to_string(),
+            "polyhedron is unbounded below in dimension 1"
+        );
+        let e = PolyError::Unbounded {
+            dim: 0,
+            lower: false,
+        };
+        assert_eq!(
+            e.to_string(),
+            "polyhedron is unbounded above in dimension 0"
+        );
+        assert_eq!(
+            PolyError::EmptyDomain.to_string(),
+            "domain contains no integer points"
+        );
+        let e = PolyError::NonPositiveReuse {
+            vector: "(0, -1)".to_owned(),
+        };
+        assert!(e.to_string().contains("(0, -1)"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(PolyError::EmptyDomain);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,302 @@
+//! Fourier–Motzkin elimination, used to derive per-loop-level bounds so
+//! that any convex polyhedron can be scanned in lexicographic order.
+//!
+//! This plays the role LLVM-Polly's code generation plays in the paper's
+//! automation flow (Fig. 11): from the constraint form of a domain it
+//! derives, for every loop level `d`, the set of constraints that mention
+//! only variables `0..=d`, so the bounds of `x_d` are computable once the
+//! outer coordinates are fixed.
+
+use std::collections::HashSet;
+
+use crate::constraint::Constraint;
+use crate::error::PolyError;
+use crate::point::Point;
+use crate::polyhedron::Polyhedron;
+
+/// Per-loop-level bound systems for a polyhedron.
+///
+/// `levels[d]` holds constraints whose innermost referenced variable is
+/// `x_d`; together with a fixed prefix `(x_0, …, x_{d-1})` they determine
+/// an inclusive integer interval for `x_d`.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_polyhedral::{Constraint, Point, Polyhedron};
+///
+/// // Triangle: 0 <= i <= 3, 0 <= j <= i.
+/// let tri = Polyhedron::rect(&[(0, 3), (0, 3)])
+///     .with_constraint(Constraint::new(&[1, -1], 0));
+/// let sys = tri.level_system()?;
+/// assert_eq!(sys.bounds(1, &Point::new(&[2])), (0, 2));
+/// # Ok::<(), stencil_polyhedral::PolyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LevelSystem {
+    dims: usize,
+    levels: Vec<Vec<Constraint>>,
+    infeasible: bool,
+}
+
+impl LevelSystem {
+    /// Builds the level system for `poly` by eliminating variables from
+    /// the innermost outward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Unbounded`] if the (non-trivially-empty)
+    /// polyhedron lacks a finite lower or upper bound in some dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polyhedron is 0-dimensional.
+    pub fn new(poly: &Polyhedron) -> Result<Self, PolyError> {
+        let m = poly.dims();
+        assert!(m >= 1, "level system requires at least one dimension");
+
+        let mut pool: Vec<Constraint> = poly.constraints().to_vec();
+        let mut seen: HashSet<Constraint> = pool.iter().copied().collect();
+        let mut levels: Vec<Vec<Constraint>> = vec![Vec::new(); m];
+        let mut infeasible = false;
+
+        for d in (0..m).rev() {
+            let (at_level, rest): (Vec<_>, Vec<_>) =
+                pool.into_iter().partition(|c| c.innermost_var() == Some(d));
+            pool = rest;
+            if d > 0 {
+                // Combine each lower bound on x_d with each upper bound to
+                // obtain projected constraints over x_0..x_{d-1}.
+                for l in at_level.iter().filter(|c| c.coeffs()[d] > 0) {
+                    for u in at_level.iter().filter(|c| c.coeffs()[d] < 0) {
+                        let combined = eliminate(l, u, d);
+                        if seen.insert(combined) {
+                            pool.push(combined);
+                        }
+                    }
+                }
+            }
+            levels[d] = at_level;
+        }
+
+        // What is left mentions no variable: pure feasibility facts.
+        for c in &pool {
+            debug_assert!(c.innermost_var().is_none());
+            if c.constant() < 0 {
+                infeasible = true;
+            }
+        }
+
+        let sys = Self {
+            dims: m,
+            levels,
+            infeasible,
+        };
+        if !sys.infeasible {
+            for d in 0..m {
+                let has_lower = sys.levels[d].iter().any(|c| c.coeffs()[d] > 0);
+                let has_upper = sys.levels[d].iter().any(|c| c.coeffs()[d] < 0);
+                if !has_lower {
+                    return Err(PolyError::Unbounded {
+                        dim: d,
+                        lower: true,
+                    });
+                }
+                if !has_upper {
+                    return Err(PolyError::Unbounded {
+                        dim: d,
+                        lower: false,
+                    });
+                }
+            }
+        }
+        Ok(sys)
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// True if the constraint system was detected to be globally
+    /// infeasible (no integer points regardless of coordinates).
+    #[must_use]
+    pub fn is_infeasible(&self) -> bool {
+        self.infeasible
+    }
+
+    /// The inclusive integer interval of `x_d` once the `d` outer
+    /// coordinates are fixed to `prefix`. The interval may be empty
+    /// (`lo > hi`): the Fourier–Motzkin projection is exact over the
+    /// rationals, so some prefixes admitted by outer levels can have no
+    /// integer point in this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix.dims() != d` or `d >= self.dims()`.
+    #[must_use]
+    pub fn bounds(&self, d: usize, prefix: &Point) -> (i64, i64) {
+        assert!(d < self.dims, "level {d} out of range");
+        assert_eq!(prefix.dims(), d, "prefix must fix exactly {d} coordinates");
+        if self.infeasible {
+            return (1, 0);
+        }
+        let mut lo = i64::MIN;
+        let mut hi = i64::MAX;
+        for c in &self.levels[d] {
+            let a = c.coeffs()[d];
+            let mut partial = c.constant();
+            for (k, &x) in prefix.as_slice().iter().enumerate() {
+                partial += c.coeffs()[k] * x;
+            }
+            // a*x_d + partial >= 0
+            if a > 0 {
+                lo = lo.max(ceil_div(-partial, a));
+            } else {
+                hi = hi.min(floor_div(partial, -a));
+            }
+        }
+        (lo, hi)
+    }
+}
+
+/// Combines a lower-bound constraint `l` (`coeff_d > 0`) with an
+/// upper-bound constraint `u` (`coeff_d < 0`) to eliminate `x_d`.
+fn eliminate(l: &Constraint, u: &Constraint, d: usize) -> Constraint {
+    let a = l.coeffs()[d];
+    let b = -u.coeffs()[d];
+    debug_assert!(a > 0 && b > 0);
+    let dims = l.dims();
+    let mut coeffs = vec![0i64; dims];
+    for (k, c) in coeffs.iter_mut().enumerate() {
+        *c = b * l.coeffs()[k] + a * u.coeffs()[k];
+    }
+    debug_assert_eq!(coeffs[d], 0);
+    Constraint::new(&coeffs, b * l.constant() + a * u.constant())
+}
+
+/// Floor division for possibly-negative numerators (`b > 0`).
+fn floor_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b)
+}
+
+/// Ceiling division for possibly-negative numerators (`b > 0`).
+fn ceil_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b) + i64::from(a.rem_euclid(b) != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_bounds_are_exact() {
+        let b = Polyhedron::rect(&[(2, 7), (-3, 4)]);
+        let sys = b.level_system().unwrap();
+        assert_eq!(sys.bounds(0, &Point::new(&[])), (2, 7));
+        assert_eq!(sys.bounds(1, &Point::new(&[5])), (-3, 4));
+    }
+
+    #[test]
+    fn triangular_bounds_depend_on_prefix() {
+        // 0 <= i <= 4, i <= j <= 4 (j >= i  <=>  -i + j >= 0).
+        let p = Polyhedron::rect(&[(0, 4), (0, 4)]).with_constraint(Constraint::new(&[-1, 1], 0));
+        let sys = p.level_system().unwrap();
+        assert_eq!(sys.bounds(1, &Point::new(&[0])), (0, 4));
+        assert_eq!(sys.bounds(1, &Point::new(&[3])), (3, 4));
+        // Outer bounds tightened by projection: i can still reach 4.
+        assert_eq!(sys.bounds(0, &Point::new(&[])), (0, 4));
+    }
+
+    #[test]
+    fn projection_tightens_outer_dim() {
+        // j between 10 and 12, and i = j - 10 exactly via two inequalities.
+        let p = Polyhedron::new(
+            2,
+            vec![
+                Constraint::new(&[-1, 1], -10), // j - i >= 10
+                Constraint::new(&[1, -1], 12),  // j - i <= 12  (i - j + 12 >= 0)
+                Constraint::lower_bound(2, 1, 10),
+                Constraint::upper_bound(2, 1, 12),
+            ],
+        );
+        let sys = p.level_system().unwrap();
+        // From j <= 12 and j >= i + 10: i <= 2. From j >= 10, j <= i + 12: i >= -2.
+        assert_eq!(sys.bounds(0, &Point::new(&[])), (-2, 2));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let p = Polyhedron::new(1, vec![Constraint::lower_bound(1, 0, 0)]);
+        assert_eq!(
+            p.level_system().unwrap_err(),
+            PolyError::Unbounded {
+                dim: 0,
+                lower: false
+            }
+        );
+        let p = Polyhedron::new(1, vec![Constraint::upper_bound(1, 0, 0)]);
+        assert_eq!(
+            p.level_system().unwrap_err(),
+            PolyError::Unbounded {
+                dim: 0,
+                lower: true
+            }
+        );
+    }
+
+    #[test]
+    fn infeasible_constant_detected() {
+        // i >= 5 and i <= 3 projects to the false constant constraint.
+        let p = Polyhedron::rect(&[(5, 3), (0, 1)]);
+        let sys = p.level_system().unwrap();
+        // Not globally infeasible via constants here (the emptiness shows
+        // up as an empty interval at level 0).
+        assert_eq!(sys.bounds(0, &Point::new(&[])), (5, 3));
+
+        // A 2-D system whose emptiness only appears after elimination:
+        // j >= i + 1 and j <= i - 1.
+        let p = Polyhedron::new(
+            2,
+            vec![
+                Constraint::new(&[-1, 1], -1),
+                Constraint::new(&[1, -1], -1),
+                Constraint::lower_bound(2, 0, 0),
+                Constraint::upper_bound(2, 0, 9),
+            ],
+        );
+        let sys = p.level_system().unwrap();
+        assert!(sys.is_infeasible());
+        let (lo, hi) = sys.bounds(0, &Point::new(&[]));
+        assert!(lo > hi);
+    }
+
+    #[test]
+    fn division_helpers() {
+        assert_eq!(ceil_div(5, 2), 3);
+        assert_eq!(ceil_div(-5, 2), -2);
+        assert_eq!(ceil_div(4, 2), 2);
+        assert_eq!(floor_div(-5, 2), -3);
+        assert_eq!(floor_div(5, 2), 2);
+    }
+
+    #[test]
+    fn skewed_grid_bounds() {
+        // Fig. 9-style skew: 0 <= i <= 9, i <= j <= i + 5.
+        let p = Polyhedron::new(
+            2,
+            vec![
+                Constraint::lower_bound(2, 0, 0),
+                Constraint::upper_bound(2, 0, 9),
+                Constraint::new(&[-1, 1], 0), // j >= i
+                Constraint::new(&[1, -1], 5), // j <= i + 5
+            ],
+        );
+        let sys = p.level_system().unwrap();
+        assert_eq!(sys.bounds(1, &Point::new(&[4])), (4, 9));
+        assert_eq!(sys.bounds(0, &Point::new(&[])), (0, 9));
+    }
+}

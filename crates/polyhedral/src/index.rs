@@ -1,0 +1,474 @@
+//! Row/rank index over a polyhedral domain.
+//!
+//! [`DomainIndex`] materializes the domain as its lexicographically
+//! ordered *rows* (maximal runs along the innermost dimension) with prefix
+//! point counts. Lexicographic rank queries — the primitive underlying the
+//! paper's reuse distances (Definition 8: a reuse distance is the number
+//! of domain points between two accesses in lexicographic order) — then
+//! cost `O(log #rows)`, and streaming through the domain one element per
+//! clock cycle costs `O(1)` amortized via [`Cursor`].
+
+use std::cmp::Ordering;
+
+use crate::error::PolyError;
+use crate::order::lex_cmp;
+use crate::point::Point;
+use crate::polyhedron::Polyhedron;
+
+/// One maximal innermost-dimension run of a domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Row {
+    /// Fixed outer coordinates (all dimensions except the innermost).
+    pub prefix: Point,
+    /// Inclusive innermost start coordinate.
+    pub lo: i64,
+    /// Inclusive innermost end coordinate (`lo <= hi`).
+    pub hi: i64,
+    /// Number of domain points lexicographically before this row.
+    pub base: u64,
+}
+
+impl Row {
+    /// Number of points in the row.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        (self.hi - self.lo + 1) as u64
+    }
+
+    /// Rows are never empty; provided for API completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Precomputed rank/row index over the integer points of a polyhedron.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_polyhedral::{Point, Polyhedron};
+///
+/// let idx = Polyhedron::grid(&[4, 8]).index()?;
+/// assert_eq!(idx.len(), 32);
+/// assert_eq!(idx.rank_lt(&Point::new(&[1, 0])), 8);
+/// assert_eq!(idx.point_at(8), Some(Point::new(&[1, 0])));
+/// # Ok::<(), stencil_polyhedral::PolyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DomainIndex {
+    dims: usize,
+    rows: Vec<Row>,
+    total: u64,
+}
+
+impl DomainIndex {
+    /// Builds the index by scanning the polyhedron's rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Unbounded`] for unbounded polyhedra.
+    pub fn build(poly: &Polyhedron) -> Result<Self, PolyError> {
+        let sys = poly.level_system()?;
+        let m = poly.dims();
+        let mut rows = Vec::new();
+        let mut total = 0u64;
+
+        if sys.is_infeasible() {
+            return Ok(Self {
+                dims: m,
+                rows,
+                total,
+            });
+        }
+
+        // Odometer over the m-1 outer dimensions; innermost interval per
+        // prefix becomes a row.
+        let mut cur = vec![0i64; m.saturating_sub(1)];
+        let mut his = vec![0i64; m.saturating_sub(1)];
+        let outer = m - 1;
+        let mut level = 0usize;
+        'scan: loop {
+            // Descend to fill cur[level..outer].
+            while level < outer {
+                let prefix = Point::new(&cur[..level]);
+                let (lo, hi) = sys.bounds(level, &prefix);
+                if lo <= hi {
+                    cur[level] = lo;
+                    his[level] = hi;
+                    level += 1;
+                } else {
+                    // Backtrack.
+                    loop {
+                        if level == 0 {
+                            break 'scan;
+                        }
+                        level -= 1;
+                        if cur[level] < his[level] {
+                            cur[level] += 1;
+                            level += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+            // Emit the innermost row for this prefix.
+            let prefix = Point::new(&cur[..outer]);
+            let (lo, hi) = sys.bounds(outer, &prefix);
+            if lo <= hi {
+                rows.push(Row {
+                    prefix,
+                    lo,
+                    hi,
+                    base: total,
+                });
+                total += (hi - lo + 1) as u64;
+            }
+            if outer == 0 {
+                break 'scan;
+            }
+            // Advance the odometer.
+            level = outer;
+            loop {
+                if level == 0 {
+                    break 'scan;
+                }
+                level -= 1;
+                if cur[level] < his[level] {
+                    cur[level] += 1;
+                    level += 1;
+                    break;
+                }
+            }
+        }
+
+        Ok(Self {
+            dims: m,
+            rows,
+            total,
+        })
+    }
+
+    /// Number of dimensions of the indexed domain.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Total number of integer points.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True if the domain has no integer points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The rows in lexicographic order.
+    #[must_use]
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// True if `p` is a point of the domain.
+    #[must_use]
+    pub fn contains(&self, p: &Point) -> bool {
+        assert_eq!(p.dims(), self.dims, "point dimensionality mismatch");
+        let q = p.prefix(self.dims - 1);
+        match self.find_row(&q) {
+            Ok(r) => {
+                let row = &self.rows[r];
+                (row.lo..=row.hi).contains(&p[self.dims - 1])
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Number of domain points lexicographically **strictly less** than
+    /// `p` (which need not itself be a domain point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.dims() != self.dims()`.
+    #[must_use]
+    pub fn rank_lt(&self, p: &Point) -> u64 {
+        assert_eq!(p.dims(), self.dims, "point dimensionality mismatch");
+        let q = p.prefix(self.dims - 1);
+        match self.find_row(&q) {
+            Ok(r) => {
+                let row = &self.rows[r];
+                let inner = p[self.dims - 1];
+                row.base + (inner - row.lo).clamp(0, row.hi - row.lo + 1) as u64
+            }
+            Err(r) => {
+                if r < self.rows.len() {
+                    self.rows[r].base
+                } else {
+                    self.total
+                }
+            }
+        }
+    }
+
+    /// Number of domain points lexicographically **less than or equal**
+    /// to `p`.
+    #[must_use]
+    pub fn rank_le(&self, p: &Point) -> u64 {
+        self.rank_lt(p) + u64::from(self.contains(p))
+    }
+
+    /// The domain point with the given rank (0-based, lexicographic), or
+    /// `None` if `rank >= self.len()`.
+    #[must_use]
+    pub fn point_at(&self, rank: u64) -> Option<Point> {
+        if rank >= self.total {
+            return None;
+        }
+        let r = self.rows.partition_point(|row| row.base <= rank) - 1;
+        let row = &self.rows[r];
+        let offset = rank - row.base;
+        Some(row.prefix.pushed(row.lo + offset as i64))
+    }
+
+    /// The lexicographically smallest point, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<Point> {
+        self.point_at(0)
+    }
+
+    /// The lexicographically largest point, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<Point> {
+        self.total.checked_sub(1).and_then(|r| self.point_at(r))
+    }
+
+    /// Per-dimension inclusive bounding box, or `None` for an empty domain.
+    #[must_use]
+    pub fn bounding_box(&self) -> Option<Vec<(i64, i64)>> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut bb = vec![(i64::MAX, i64::MIN); self.dims];
+        for row in &self.rows {
+            for (d, &c) in row.prefix.as_slice().iter().enumerate() {
+                bb[d].0 = bb[d].0.min(c);
+                bb[d].1 = bb[d].1.max(c);
+            }
+            let d = self.dims - 1;
+            bb[d].0 = bb[d].0.min(row.lo);
+            bb[d].1 = bb[d].1.max(row.hi);
+        }
+        Some(bb)
+    }
+
+    /// A fresh streaming cursor positioned at rank 0.
+    #[must_use]
+    pub fn cursor(&self) -> Cursor {
+        Cursor { row: 0, offset: 0 }
+    }
+
+    /// Finds the row with the given prefix: `Ok(i)` if present, otherwise
+    /// `Err(i)` with the insertion position.
+    fn find_row(&self, prefix: &Point) -> Result<usize, usize> {
+        self.rows
+            .binary_search_by(|row| match lex_cmp(&row.prefix, prefix) {
+                Ordering::Equal => Ordering::Equal,
+                other => other,
+            })
+    }
+}
+
+/// An `O(1)`-advance position inside a [`DomainIndex`].
+///
+/// This models the paper's hardware *counters iterating over data domains
+/// in the lexicographic order* (§5.2): a data filter holds one cursor over
+/// the input domain and one over its reference's data domain.
+///
+/// A cursor is a small `Copy` value; all queries take the owning index.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_polyhedral::{Point, Polyhedron};
+///
+/// let idx = Polyhedron::grid(&[2, 2]).index()?;
+/// let mut c = idx.cursor();
+/// assert_eq!(c.point(&idx), Some(Point::new(&[0, 0])));
+/// c.advance(&idx);
+/// assert_eq!(c.point(&idx), Some(Point::new(&[0, 1])));
+/// # Ok::<(), stencil_polyhedral::PolyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cursor {
+    row: usize,
+    offset: u64,
+}
+
+impl Cursor {
+    /// The point under the cursor, or `None` once past the end.
+    #[must_use]
+    pub fn point(&self, idx: &DomainIndex) -> Option<Point> {
+        let row = idx.rows.get(self.row)?;
+        Some(row.prefix.pushed(row.lo + self.offset as i64))
+    }
+
+    /// The lexicographic rank of the cursor position (equals
+    /// `idx.len()` once past the end).
+    #[must_use]
+    pub fn rank(&self, idx: &DomainIndex) -> u64 {
+        match idx.rows.get(self.row) {
+            Some(row) => row.base + self.offset,
+            None => idx.len(),
+        }
+    }
+
+    /// True once the cursor has stepped past the last point.
+    #[must_use]
+    pub fn is_done(&self, idx: &DomainIndex) -> bool {
+        self.row >= idx.rows.len()
+    }
+
+    /// Steps to the next point in lexicographic order.
+    pub fn advance(&mut self, idx: &DomainIndex) {
+        if let Some(row) = idx.rows.get(self.row) {
+            self.offset += 1;
+            if self.offset >= row.len() {
+                self.row += 1;
+                self.offset = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+
+    fn triangle() -> Polyhedron {
+        // 0 <= i <= 3, 0 <= j <= i — rows of growing length 1,2,3,4.
+        Polyhedron::rect(&[(0, 3), (0, 3)]).with_constraint(Constraint::new(&[1, -1], 0))
+    }
+
+    #[test]
+    fn row_structure() {
+        let idx = triangle().index().unwrap();
+        assert_eq!(idx.rows().len(), 4);
+        assert_eq!(idx.len(), 10);
+        assert_eq!(idx.rows()[2].prefix, Point::new(&[2]));
+        assert_eq!((idx.rows()[2].lo, idx.rows()[2].hi), (0, 2));
+        assert_eq!(idx.rows()[2].base, 3);
+    }
+
+    #[test]
+    fn rank_roundtrip_all_points() {
+        let idx = triangle().index().unwrap();
+        for (k, p) in triangle().points().unwrap().enumerate() {
+            assert_eq!(idx.rank_lt(&p), k as u64, "rank of {p}");
+            assert_eq!(idx.point_at(k as u64), Some(p));
+            assert!(idx.contains(&p));
+        }
+        assert_eq!(idx.point_at(idx.len()), None);
+    }
+
+    #[test]
+    fn rank_of_non_member_points() {
+        let idx = triangle().index().unwrap();
+        // (1, 2) is outside (j > i); points before it: (0,0),(1,0),(1,1).
+        assert_eq!(idx.rank_lt(&Point::new(&[1, 2])), 3);
+        assert!(!idx.contains(&Point::new(&[1, 2])));
+        assert_eq!(idx.rank_le(&Point::new(&[1, 2])), 3);
+        // A point lex-below everything.
+        assert_eq!(idx.rank_lt(&Point::new(&[-5, 0])), 0);
+        // A point lex-above everything.
+        assert_eq!(idx.rank_lt(&Point::new(&[9, 0])), 10);
+        // Inner coordinate below the row start.
+        assert_eq!(idx.rank_lt(&Point::new(&[2, -7])), 3);
+        // Inner coordinate beyond the row end clamps to the row length.
+        assert_eq!(idx.rank_lt(&Point::new(&[2, 100])), 6);
+    }
+
+    #[test]
+    fn one_dimensional_domain() {
+        let idx = Polyhedron::rect(&[(-3, 3)]).index().unwrap();
+        assert_eq!(idx.len(), 7);
+        assert_eq!(idx.rows().len(), 1);
+        assert_eq!(idx.rank_lt(&Point::new(&[0])), 3);
+        assert_eq!(idx.point_at(0), Some(Point::new(&[-3])));
+        assert_eq!(idx.first(), Some(Point::new(&[-3])));
+        assert_eq!(idx.last(), Some(Point::new(&[3])));
+    }
+
+    #[test]
+    fn three_dimensional_ranks() {
+        let idx = Polyhedron::grid(&[3, 4, 5]).index().unwrap();
+        assert_eq!(idx.len(), 60);
+        assert_eq!(idx.rank_lt(&Point::new(&[1, 2, 3])), 20 + 10 + 3);
+        assert_eq!(idx.point_at(33), Some(Point::new(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn empty_domain() {
+        let idx = Polyhedron::rect(&[(1, 0), (0, 5)]).index().unwrap();
+        assert!(idx.is_empty());
+        assert_eq!(idx.first(), None);
+        assert_eq!(idx.last(), None);
+        assert_eq!(idx.bounding_box(), None);
+        assert_eq!(idx.rank_lt(&Point::new(&[0, 0])), 0);
+    }
+
+    #[test]
+    fn bounding_box_of_triangle() {
+        let bb = triangle().index().unwrap().bounding_box().unwrap();
+        assert_eq!(bb, vec![(0, 3), (0, 3)]);
+    }
+
+    #[test]
+    fn cursor_walks_whole_domain() {
+        let poly = triangle();
+        let idx = poly.index().unwrap();
+        let mut c = idx.cursor();
+        let mut seen = Vec::new();
+        while let Some(p) = c.point(&idx) {
+            assert_eq!(c.rank(&idx), seen.len() as u64);
+            assert!(!c.is_done(&idx));
+            seen.push(p);
+            c.advance(&idx);
+        }
+        assert!(c.is_done(&idx));
+        assert_eq!(c.rank(&idx), idx.len());
+        let expected: Vec<Point> = poly.points().unwrap().collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn cursor_on_empty_domain_is_done() {
+        let idx = Polyhedron::rect(&[(1, 0)]).index().unwrap();
+        let c = idx.cursor();
+        assert!(c.is_done(&idx));
+        assert_eq!(c.point(&idx), None);
+    }
+
+    #[test]
+    fn skewed_domain_rows_have_shifting_bounds() {
+        // Fig. 9 style: 0 <= i <= 4, i <= j <= i + 2.
+        let p = Polyhedron::new(
+            2,
+            vec![
+                Constraint::lower_bound(2, 0, 0),
+                Constraint::upper_bound(2, 0, 4),
+                Constraint::new(&[-1, 1], 0),
+                Constraint::new(&[1, -1], 2),
+            ],
+        );
+        let idx = p.index().unwrap();
+        assert_eq!(idx.rows().len(), 5);
+        for (i, row) in idx.rows().iter().enumerate() {
+            assert_eq!((row.lo, row.hi), (i as i64, i as i64 + 2));
+        }
+        assert_eq!(idx.len(), 15);
+    }
+}

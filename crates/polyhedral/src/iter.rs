@@ -1,0 +1,193 @@
+//! Lexicographic enumeration of the integer points of a polyhedron.
+
+use crate::fourier_motzkin::LevelSystem;
+use crate::point::Point;
+
+/// Iterator over the integer points of a polyhedron in lexicographic
+/// order (outermost dimension most significant).
+///
+/// Produced by [`Polyhedron::points`]. The stencil property that every
+/// array reference touches its data domain in lexicographic order
+/// (Property 1 of the paper) makes this the canonical traversal for both
+/// analysis and simulation.
+///
+/// [`Polyhedron::points`]: crate::Polyhedron::points
+#[derive(Debug, Clone)]
+pub struct LexPoints {
+    sys: LevelSystem,
+    cur: Vec<i64>,
+    his: Vec<i64>,
+    state: State,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Fresh,
+    Running,
+    Done,
+}
+
+impl LexPoints {
+    pub(crate) fn new(sys: LevelSystem) -> Self {
+        let m = sys.dims();
+        let state = if sys.is_infeasible() {
+            State::Done
+        } else {
+            State::Fresh
+        };
+        Self {
+            sys,
+            cur: vec![0; m],
+            his: vec![0; m],
+            state,
+        }
+    }
+
+    /// Descends from `level`, filling `cur[level..]` with the first valid
+    /// suffix; backtracks on empty intervals. Returns false when the
+    /// iteration space is exhausted.
+    fn descend(&mut self, mut level: usize) -> bool {
+        let m = self.sys.dims();
+        loop {
+            if level == m {
+                return true;
+            }
+            let prefix = Point::new(&self.cur[..level]);
+            let (lo, hi) = self.sys.bounds(level, &prefix);
+            if lo <= hi {
+                self.cur[level] = lo;
+                self.his[level] = hi;
+                level += 1;
+            } else {
+                // Backtrack to the deepest outer level with headroom.
+                loop {
+                    if level == 0 {
+                        return false;
+                    }
+                    level -= 1;
+                    if self.cur[level] < self.his[level] {
+                        self.cur[level] += 1;
+                        level += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for LexPoints {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        match self.state {
+            State::Done => return None,
+            State::Fresh => {
+                self.state = State::Running;
+                if !self.descend(0) {
+                    self.state = State::Done;
+                    return None;
+                }
+            }
+            State::Running => {
+                let m = self.sys.dims();
+                // Advance like an odometer: bump the innermost coordinate,
+                // carrying outward past exhausted levels.
+                let mut level = m;
+                loop {
+                    if level == 0 {
+                        self.state = State::Done;
+                        return None;
+                    }
+                    level -= 1;
+                    if self.cur[level] < self.his[level] {
+                        self.cur[level] += 1;
+                        break;
+                    }
+                }
+                if !self.descend(level + 1) {
+                    self.state = State::Done;
+                    return None;
+                }
+            }
+        }
+        Some(Point::new(&self.cur))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::constraint::Constraint;
+    use crate::point::Point;
+    use crate::polyhedron::Polyhedron;
+
+    #[test]
+    fn box_scan_order() {
+        let b = Polyhedron::rect(&[(0, 1), (0, 2)]);
+        let pts: Vec<Point> = b.points().unwrap().collect();
+        assert_eq!(
+            pts,
+            vec![
+                Point::new(&[0, 0]),
+                Point::new(&[0, 1]),
+                Point::new(&[0, 2]),
+                Point::new(&[1, 0]),
+                Point::new(&[1, 1]),
+                Point::new(&[1, 2]),
+            ]
+        );
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let b = Polyhedron::rect(&[(-2, 1)]);
+        let pts: Vec<i64> = b.points().unwrap().map(|p| p[0]).collect();
+        assert_eq!(pts, vec![-2, -1, 0, 1]);
+    }
+
+    #[test]
+    fn triangle_scan() {
+        // j <= i over a 3x3 box.
+        let t = Polyhedron::rect(&[(0, 2), (0, 2)]).with_constraint(Constraint::new(&[1, -1], 0));
+        let pts: Vec<(i64, i64)> = t.points().unwrap().map(|p| (p[0], p[1])).collect();
+        assert_eq!(pts, vec![(0, 0), (1, 0), (1, 1), (2, 0), (2, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn empty_domain_yields_nothing() {
+        let e = Polyhedron::rect(&[(3, 1), (0, 5)]);
+        assert_eq!(e.points().unwrap().count(), 0);
+    }
+
+    #[test]
+    fn empty_by_cross_constraints() {
+        let e = Polyhedron::new(
+            2,
+            vec![
+                Constraint::lower_bound(2, 0, 0),
+                Constraint::upper_bound(2, 0, 5),
+                Constraint::new(&[-1, 1], -1), // j >= i + 1
+                Constraint::new(&[1, -1], -1), // j <= i - 1
+            ],
+        );
+        assert_eq!(e.points().unwrap().count(), 0);
+    }
+
+    #[test]
+    fn three_dims_count() {
+        let b = Polyhedron::rect(&[(0, 2), (0, 3), (0, 4)]);
+        assert_eq!(b.points().unwrap().count(), 3 * 4 * 5);
+    }
+
+    #[test]
+    fn order_is_lexicographic_everywhere() {
+        use crate::order::lex_lt;
+        let t = Polyhedron::rect(&[(0, 4), (0, 4), (0, 2)])
+            .with_constraint(Constraint::new(&[1, -1, 0], 1)); // j <= i + 1
+        let pts: Vec<Point> = t.points().unwrap().collect();
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(lex_lt(&w[0], &w[1]), "{} !< {}", w[0], w[1]);
+        }
+    }
+}

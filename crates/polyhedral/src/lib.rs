@@ -1,0 +1,85 @@
+//! # stencil-polyhedral
+//!
+//! Integer polyhedral analysis for stencil computation, implementing the
+//! polyhedral model of *"An Optimal Microarchitecture for Stencil
+//! Computation Acceleration Based on Non-Uniform Partitioning of Data
+//! Reuse Buffers"* (Cong, Li, Xiao, Zhang — DAC 2014), Appendix 9.1.
+//!
+//! The crate provides, from scratch (no external polyhedral library):
+//!
+//! * [`Point`] — iteration vectors, data indices, access offsets and
+//!   reuse-distance vectors on grids of up to [`MAX_DIMS`] dimensions.
+//! * [`lex_cmp`] and friends — the lexicographic order `≻_l`
+//!   (Definition 2) that governs both loop execution and data streaming.
+//! * [`Constraint`] / [`Polyhedron`] — iteration and data domains as
+//!   conjunctions of linear inequalities (Definitions 1 and 5); domains
+//!   may be skewed/non-rectangular (Fig. 9 of the paper).
+//! * [`LevelSystem`] — Fourier–Motzkin-derived per-loop-level bounds, so
+//!   any bounded convex domain can be scanned lexicographically.
+//! * [`DomainIndex`] / [`Cursor`] — an `O(log #rows)` lexicographic-rank
+//!   index and an `O(1)`-advance streaming cursor (the software analogue
+//!   of the paper's data-filter counters).
+//! * [`AccessFn`] / [`input_domain`] — stencil access functions
+//!   (Definitions 3–4, 6).
+//! * [`reuse_vector`] / [`max_reuse_distance`] — reuse-distance analysis
+//!   (Definitions 7–9, Properties 2–3), the quantity that sizes each
+//!   non-uniform reuse FIFO.
+//!
+//! # Example: sizing the DENOISE reuse FIFOs
+//!
+//! ```
+//! use stencil_polyhedral::{
+//!     input_domain, max_reuse_distance, reuse_vector, Point, Polyhedron,
+//! };
+//!
+//! let iter = Polyhedron::rect(&[(1, 766), (1, 1022)]);
+//! let offsets = [
+//!     Point::new(&[1, 0]),  // A[i+1][j]
+//!     Point::new(&[0, 1]),  // A[i][j+1]
+//!     Point::new(&[0, 0]),  // A[i][j]
+//!     Point::new(&[0, -1]), // A[i][j-1]
+//!     Point::new(&[-1, 0]), // A[i-1][j]
+//! ];
+//! let d_a = input_domain(&iter, &offsets).index()?;
+//!
+//! let mut sizes = Vec::new();
+//! for pair in offsets.windows(2) {
+//!     let r = reuse_vector(&pair[0], &pair[1]);
+//!     let dax = iter.translated(&pair[0]).index()?;
+//!     sizes.push(max_reuse_distance(&d_a, &dax, &r)?);
+//! }
+//! assert_eq!(sizes, vec![1023, 1, 1, 1023]); // Table 2 of the paper
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod access;
+mod constraint;
+mod error;
+mod fourier_motzkin;
+mod index;
+mod iter;
+mod order;
+mod point;
+mod polyhedron;
+mod render;
+mod reuse;
+mod transform;
+
+pub use access::{input_domain, AccessFn};
+pub use constraint::{gcd, Constraint};
+pub use error::PolyError;
+pub use fourier_motzkin::LevelSystem;
+pub use index::{Cursor, DomainIndex, Row};
+pub use iter::LexPoints;
+pub use order::{lex_cmp, lex_gt, lex_lt, lex_nonnegative, lex_positive, sort_descending, Lex};
+pub use point::{Point, MAX_DIMS};
+pub use polyhedron::Polyhedron;
+pub use render::{render_domain, render_window};
+pub use reuse::{
+    max_reuse_distance, max_reuse_distance_exhaustive, reuse_distance_at, reuse_vector,
+};
+pub use transform::UnimodularTransform;

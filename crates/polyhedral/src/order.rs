@@ -1,0 +1,173 @@
+//! Lexicographic order on iteration vectors and access indices
+//! (Definition 2 of the paper).
+//!
+//! The paper orders loop iterations and data elements by the
+//! *lexicographic* order `≻_l`: `i ≻_l j` iff the first differing
+//! coordinate (outermost first) of `i` is greater. Because [`Point`] is
+//! used for several unrelated quantities, we expose the order through free
+//! functions and a [`Lex`] newtype rather than implementing `Ord` on
+//! `Point` itself.
+
+use std::cmp::Ordering;
+
+use crate::point::Point;
+
+/// Compares two points lexicographically, outermost dimension first.
+///
+/// # Panics
+///
+/// Panics if the points have different dimensionality.
+///
+/// # Examples
+///
+/// ```
+/// use std::cmp::Ordering;
+/// use stencil_polyhedral::{lex_cmp, Point};
+///
+/// let a = Point::new(&[1, 0]);
+/// let b = Point::new(&[0, 9]);
+/// assert_eq!(lex_cmp(&a, &b), Ordering::Greater);
+/// ```
+#[must_use]
+pub fn lex_cmp(a: &Point, b: &Point) -> Ordering {
+    assert_eq!(
+        a.dims(),
+        b.dims(),
+        "lexicographic comparison requires equal dimensionality"
+    );
+    a.as_slice().cmp(b.as_slice())
+}
+
+/// True if `a ≻_l b` (strictly lexicographically greater).
+#[must_use]
+pub fn lex_gt(a: &Point, b: &Point) -> bool {
+    lex_cmp(a, b) == Ordering::Greater
+}
+
+/// True if `a ≺_l b` (strictly lexicographically less).
+#[must_use]
+pub fn lex_lt(a: &Point, b: &Point) -> bool {
+    lex_cmp(a, b) == Ordering::Less
+}
+
+/// True if the vector is lexicographically positive (`v ≻_l 0`).
+///
+/// A reuse-distance vector `r = f_x - f_y` must be lexicographically
+/// positive for reference `A_x` to be the *earlier* access (deadlock-free
+/// condition 1, Eq. (1) in the paper).
+#[must_use]
+pub fn lex_positive(v: &Point) -> bool {
+    v.as_slice()
+        .iter()
+        .copied()
+        .find(|&c| c != 0)
+        .is_some_and(|c| c > 0)
+}
+
+/// True if the vector is lexicographically non-negative (`v ⪰_l 0`).
+#[must_use]
+pub fn lex_nonnegative(v: &Point) -> bool {
+    !lex_positive(&-*v)
+}
+
+/// Sorts points into **descending** lexicographic order.
+///
+/// This is the reference ordering the paper uses to map array references to
+/// data filters 0..n-1 (earliest access first, §3.3.2): e.g. for DENOISE,
+/// `(1,0) ≻ (0,1) ≻ (0,0) ≻ (0,-1) ≻ (-1,0)`.
+pub fn sort_descending(points: &mut [Point]) {
+    points.sort_by(|a, b| lex_cmp(b, a));
+}
+
+/// A newtype ordering wrapper so points can live in ordered collections
+/// under the lexicographic order.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::BTreeSet;
+/// use stencil_polyhedral::{Lex, Point};
+///
+/// let mut set = BTreeSet::new();
+/// set.insert(Lex(Point::new(&[1, 0])));
+/// set.insert(Lex(Point::new(&[0, 5])));
+/// let min = set.iter().next().unwrap().0;
+/// assert_eq!(min, Point::new(&[0, 5]));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Lex(pub Point);
+
+impl PartialOrd for Lex {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Lex {
+    fn cmp(&self, other: &Self) -> Ordering {
+        lex_cmp(&self.0, &other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_outermost_first() {
+        assert!(lex_gt(&Point::new(&[1, 0]), &Point::new(&[0, 100])));
+        assert!(lex_lt(&Point::new(&[0, 0]), &Point::new(&[0, 1])));
+        assert_eq!(
+            lex_cmp(&Point::new(&[2, 3]), &Point::new(&[2, 3])),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn positivity() {
+        assert!(lex_positive(&Point::new(&[1, -5])));
+        assert!(lex_positive(&Point::new(&[0, 1])));
+        assert!(!lex_positive(&Point::new(&[0, 0])));
+        assert!(!lex_positive(&Point::new(&[-1, 9])));
+        assert!(lex_nonnegative(&Point::new(&[0, 0])));
+        assert!(lex_nonnegative(&Point::new(&[0, 2])));
+        assert!(!lex_nonnegative(&Point::new(&[0, -2])));
+    }
+
+    #[test]
+    fn paper_example_ordering() {
+        // Fig. 7: (1,0) ≻ (0,1) ≻ (0,0) ≻ (0,-1) ≻ (-1,0).
+        let mut offsets = vec![
+            Point::new(&[0, 0]),
+            Point::new(&[-1, 0]),
+            Point::new(&[1, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[0, -1]),
+        ];
+        sort_descending(&mut offsets);
+        assert_eq!(
+            offsets,
+            vec![
+                Point::new(&[1, 0]),
+                Point::new(&[0, 1]),
+                Point::new(&[0, 0]),
+                Point::new(&[0, -1]),
+                Point::new(&[-1, 0]),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensionality")]
+    fn mismatched_dims_panic() {
+        let _ = lex_cmp(&Point::new(&[1]), &Point::new(&[1, 2]));
+    }
+
+    #[test]
+    fn lex_wrapper_orders() {
+        let a = Lex(Point::new(&[1, 2]));
+        let b = Lex(Point::new(&[1, 3]));
+        assert!(a < b);
+        assert_eq!(a.partial_cmp(&b), Some(Ordering::Less));
+    }
+}

@@ -1,0 +1,315 @@
+//! Fixed-capacity integer points/vectors used for iteration vectors,
+//! access indices, and reuse-distance vectors.
+
+use std::fmt;
+use std::ops::{Add, Index, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of grid dimensions supported by the library.
+///
+/// Stencil computations in the target domain (image processing, multigrid,
+/// PDE solvers) use 1–4 dimensional grids; a fixed small capacity keeps
+/// [`Point`] `Copy` and allocation-free on the simulator's hot path.
+pub const MAX_DIMS: usize = 4;
+
+/// An integer point (or vector) on a multi-dimensional grid.
+///
+/// `Point` doubles as an iteration vector `i`, a data access index `h`,
+/// a constant access offset `f`, and a reuse-distance vector `r` — all of
+/// which are integer tuples in the paper's polyhedral model (Table 1).
+///
+/// Dimension 0 is the **outermost** loop dimension; the last dimension is
+/// the innermost, consistent with lexicographic ordering.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_polyhedral::Point;
+///
+/// let f_north = Point::new(&[-1, 0]);
+/// let f_east = Point::new(&[0, 1]);
+/// let r = f_east - f_north;
+/// assert_eq!(r, Point::new(&[1, 1]));
+/// assert_eq!(r[0], 1);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Point {
+    len: u8,
+    coords: [i64; MAX_DIMS],
+}
+
+impl Point {
+    /// Creates a point from a slice of coordinates (outermost first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len()` exceeds [`MAX_DIMS`].
+    #[must_use]
+    pub fn new(coords: &[i64]) -> Self {
+        assert!(
+            coords.len() <= MAX_DIMS,
+            "point dimension {} exceeds MAX_DIMS={}",
+            coords.len(),
+            MAX_DIMS
+        );
+        let mut c = [0i64; MAX_DIMS];
+        c[..coords.len()].copy_from_slice(coords);
+        Self {
+            len: coords.len() as u8,
+            coords: c,
+        }
+    }
+
+    /// Creates the origin (all-zero) point of the given dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` exceeds [`MAX_DIMS`].
+    #[must_use]
+    pub fn zero(dims: usize) -> Self {
+        assert!(dims <= MAX_DIMS, "dims {dims} exceeds MAX_DIMS={MAX_DIMS}");
+        Self {
+            len: dims as u8,
+            coords: [0; MAX_DIMS],
+        }
+    }
+
+    /// Number of dimensions of this point.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Coordinates as a slice, outermost dimension first.
+    #[must_use]
+    pub fn as_slice(&self) -> &[i64] {
+        &self.coords[..self.len as usize]
+    }
+
+    /// Returns the coordinate at `dim`, or `None` if out of range.
+    #[must_use]
+    pub fn get(&self, dim: usize) -> Option<i64> {
+        self.as_slice().get(dim).copied()
+    }
+
+    /// Returns a copy with the coordinate at `dim` replaced by `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    #[must_use]
+    pub fn with_coord(mut self, dim: usize, value: i64) -> Self {
+        assert!(dim < self.dims(), "dim {dim} out of range");
+        self.coords[dim] = value;
+        self
+    }
+
+    /// The prefix of this point covering dimensions `0..dim` (the "outer"
+    /// loop coordinates above a given loop level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim > self.dims()`.
+    #[must_use]
+    pub fn prefix(&self, dim: usize) -> Self {
+        assert!(dim <= self.dims(), "prefix length {dim} out of range");
+        Self::new(&self.as_slice()[..dim])
+    }
+
+    /// Extends this point by one trailing (innermost) coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is already [`MAX_DIMS`]-dimensional.
+    #[must_use]
+    pub fn pushed(&self, value: i64) -> Self {
+        assert!(self.dims() < MAX_DIMS, "cannot exceed MAX_DIMS");
+        let mut p = *self;
+        p.coords[p.len as usize] = value;
+        p.len += 1;
+        p
+    }
+
+    /// True if every coordinate is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.as_slice().iter().all(|&c| c == 0)
+    }
+
+    /// Manhattan (L1) norm — handy for classifying stencil windows.
+    #[must_use]
+    pub fn l1_norm(&self) -> i64 {
+        self.as_slice().iter().map(|c| c.abs()).sum()
+    }
+
+    /// Chebyshev (L∞) norm.
+    #[must_use]
+    pub fn linf_norm(&self) -> i64 {
+        self.as_slice().iter().map(|c| c.abs()).max().unwrap_or(0)
+    }
+}
+
+impl Index<usize> for Point {
+    type Output = i64;
+
+    fn index(&self, dim: usize) -> &i64 {
+        &self.as_slice()[dim]
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+
+    /// Component-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    fn add(self, rhs: Point) -> Point {
+        assert_eq!(self.len, rhs.len, "dimension mismatch in point addition");
+        let mut out = self;
+        for d in 0..self.dims() {
+            out.coords[d] += rhs.coords[d];
+        }
+        out
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+
+    /// Component-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    fn sub(self, rhs: Point) -> Point {
+        assert_eq!(self.len, rhs.len, "dimension mismatch in point subtraction");
+        let mut out = self;
+        for d in 0..self.dims() {
+            out.coords[d] -= rhs.coords[d];
+        }
+        out
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+
+    fn neg(self) -> Point {
+        let mut out = self;
+        for d in 0..self.dims() {
+            out.coords[d] = -out.coords[d];
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point{self}")
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (d, c) in self.as_slice().iter().enumerate() {
+            if d > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<&[i64]> for Point {
+    fn from(coords: &[i64]) -> Self {
+        Point::new(coords)
+    }
+}
+
+impl<const N: usize> From<[i64; N]> for Point {
+    fn from(coords: [i64; N]) -> Self {
+        Point::new(&coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_accessors() {
+        let p = Point::new(&[3, -1, 7]);
+        assert_eq!(p.dims(), 3);
+        assert_eq!(p.as_slice(), &[3, -1, 7]);
+        assert_eq!(p[1], -1);
+        assert_eq!(p.get(2), Some(7));
+        assert_eq!(p.get(3), None);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        let z = Point::zero(2);
+        assert!(z.is_zero());
+        assert_eq!(z.as_slice(), &[0, 0]);
+        assert!(!Point::new(&[0, 1]).is_zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(&[1, 2]);
+        let b = Point::new(&[3, -4]);
+        assert_eq!(a + b, Point::new(&[4, -2]));
+        assert_eq!(a - b, Point::new(&[-2, 6]));
+        assert_eq!(-b, Point::new(&[-3, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn add_dim_mismatch_panics() {
+        let _ = Point::new(&[1]) + Point::new(&[1, 2]);
+    }
+
+    #[test]
+    fn prefix_and_push() {
+        let p = Point::new(&[5, 6, 7]);
+        assert_eq!(p.prefix(2), Point::new(&[5, 6]));
+        assert_eq!(p.prefix(0), Point::new(&[]));
+        assert_eq!(p.prefix(2).pushed(9), Point::new(&[5, 6, 9]));
+    }
+
+    #[test]
+    fn with_coord_replaces() {
+        let p = Point::new(&[1, 2, 3]).with_coord(1, 9);
+        assert_eq!(p, Point::new(&[1, 9, 3]));
+    }
+
+    #[test]
+    fn norms() {
+        let p = Point::new(&[-2, 3]);
+        assert_eq!(p.l1_norm(), 5);
+        assert_eq!(p.linf_norm(), 3);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Point::new(&[1, -2]).to_string(), "(1, -2)");
+        assert_eq!(Point::new(&[]).to_string(), "()");
+    }
+
+    #[test]
+    fn from_array() {
+        let p: Point = [4, 5].into();
+        assert_eq!(p, Point::new(&[4, 5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_DIMS")]
+    fn too_many_dims_panics() {
+        let _ = Point::new(&[1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,168 @@
+//! ASCII rendering of 2-D stencil windows and domains — the textual
+//! equivalent of the paper's Figs. 2, 6 and 9, used by documentation,
+//! the CLI, and experiment harnesses.
+
+use std::fmt::Write as _;
+
+use crate::point::Point;
+use crate::polyhedron::Polyhedron;
+
+/// Renders a 2-D stencil window as the paper draws them (Figs. 2 and 6):
+/// `o` marks a tap, `.` the untouched grid, `+` the center if untapped.
+///
+/// Returns `None` for non-2-D windows.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_polyhedral::{render_window, Point};
+///
+/// let cross = [
+///     Point::new(&[-1, 0]),
+///     Point::new(&[0, -1]),
+///     Point::new(&[0, 0]),
+///     Point::new(&[0, 1]),
+///     Point::new(&[1, 0]),
+/// ];
+/// let art = render_window(&cross).unwrap();
+/// assert_eq!(art, ". o .\no o o\n. o .\n");
+/// ```
+#[must_use]
+pub fn render_window(offsets: &[Point]) -> Option<String> {
+    if offsets.is_empty() || offsets.iter().any(|f| f.dims() != 2) {
+        return None;
+    }
+    let r_min = offsets.iter().map(|f| f[0]).min()?;
+    let r_max = offsets.iter().map(|f| f[0]).max()?;
+    let c_min = offsets.iter().map(|f| f[1]).min()?;
+    let c_max = offsets.iter().map(|f| f[1]).max()?;
+    let mut out = String::new();
+    for r in r_min..=r_max {
+        for c in c_min..=c_max {
+            if c > c_min {
+                out.push(' ');
+            }
+            let p = Point::new(&[r, c]);
+            if offsets.contains(&p) {
+                out.push('o');
+            } else if r == 0 && c == 0 {
+                out.push('+');
+            } else {
+                out.push('.');
+            }
+        }
+        out.push('\n');
+    }
+    Some(out)
+}
+
+/// Renders a 2-D domain's integer points as `#` on a `.` background,
+/// clipped to at most `max_rows` x `max_cols` cells around the domain's
+/// bounding box (for larger domains a clipped view with an ellipsis
+/// note is produced).
+///
+/// Returns `None` for non-2-D or empty/unbounded domains.
+#[must_use]
+pub fn render_domain(poly: &Polyhedron, max_rows: usize, max_cols: usize) -> Option<String> {
+    if poly.dims() != 2 {
+        return None;
+    }
+    let idx = poly.index().ok()?;
+    let bb = idx.bounding_box()?;
+    let (r0, r1) = bb[0];
+    let (c0, c1) = bb[1];
+    let rows = ((r1 - r0 + 1) as usize).min(max_rows.max(1));
+    let cols = ((c1 - c0 + 1) as usize).min(max_cols.max(1));
+    let mut out = String::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c > 0 {
+                out.push(' ');
+            }
+            let p = Point::new(&[r0 + r as i64, c0 + c as i64]);
+            out.push(if idx.contains(&p) { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    if (r1 - r0 + 1) as usize > rows || (c1 - c0 + 1) as usize > cols {
+        let _ = writeln!(
+            out,
+            "(clipped to {rows}x{cols} of {}x{})",
+            r1 - r0 + 1,
+            c1 - c0 + 1
+        );
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+
+    #[test]
+    fn cross_window_matches_fig2() {
+        let cross = [
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ];
+        assert_eq!(render_window(&cross).unwrap(), ". o .\no o o\n. o .\n");
+    }
+
+    #[test]
+    fn centerless_cross_marks_center() {
+        let rician = [
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ];
+        assert_eq!(render_window(&rician).unwrap(), ". o .\no + o\n. o .\n");
+    }
+
+    #[test]
+    fn stride_two_window() {
+        let bicubic = [
+            Point::new(&[0, 0]),
+            Point::new(&[0, 2]),
+            Point::new(&[2, 0]),
+            Point::new(&[2, 2]),
+        ];
+        assert_eq!(render_window(&bicubic).unwrap(), "o . o\n. . .\no . o\n");
+    }
+
+    #[test]
+    fn non_2d_returns_none() {
+        assert!(render_window(&[Point::new(&[1])]).is_none());
+        assert!(render_window(&[]).is_none());
+        assert!(render_domain(&Polyhedron::rect(&[(0, 3)]), 8, 8).is_none());
+    }
+
+    #[test]
+    fn skewed_domain_renders_staircase() {
+        // 0 <= c <= 2, c <= t - 1 <= 2  (t in c+1 ..= c+3).
+        let p = Polyhedron::new(
+            2,
+            vec![
+                Constraint::lower_bound(2, 1, 0),
+                Constraint::upper_bound(2, 1, 2),
+                Constraint::new(&[1, -1], -1),
+                Constraint::new(&[-1, 1], 3),
+            ],
+        );
+        let art = render_domain(&p, 10, 10).unwrap();
+        assert!(art.contains('#'));
+        // First row (t = 1) has only c = 0 in-domain.
+        assert!(art.starts_with("# . .\n"), "{art}");
+    }
+
+    #[test]
+    fn clipping_notes_the_full_size() {
+        let big = Polyhedron::grid(&[100, 100]);
+        let art = render_domain(&big, 4, 4).unwrap();
+        assert!(art.contains("clipped to 4x4 of 100x100"), "{art}");
+    }
+}

@@ -1,0 +1,367 @@
+//! Unimodular loop transformations: skewing, interchange, and reversal.
+//!
+//! The paper applies its memory system *after* polyhedral loop
+//! transformations (\[3, 4, 15\] in its references): skewing produces the
+//! dynamically changing reuse distances of Fig. 9, and matching loop
+//! orders enables accelerator chaining (Appendix 9.3). A unimodular
+//! matrix `T` (integer, determinant ±1) maps iteration vectors
+//! bijectively, `i' = T·i`, and its integer inverse transforms domains
+//! and stencil windows exactly.
+// Matrix arithmetic reads clearest with explicit row/column indices.
+#![allow(clippy::needless_range_loop)]
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::constraint::Constraint;
+use crate::point::{Point, MAX_DIMS};
+use crate::polyhedron::Polyhedron;
+
+/// An integer matrix with determinant ±1 acting on iteration space.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_polyhedral::{Point, UnimodularTransform};
+///
+/// // The 45-degree skew of Fig. 9: (r, c) -> (r + c, c).
+/// let t = UnimodularTransform::skew(2, 0, 1, 1);
+/// assert_eq!(t.apply(&Point::new(&[3, 4])), Point::new(&[7, 4]));
+/// let back = t.inverse().apply(&Point::new(&[7, 4]));
+/// assert_eq!(back, Point::new(&[3, 4]));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnimodularTransform {
+    dims: usize,
+    rows: [[i64; MAX_DIMS]; MAX_DIMS],
+}
+
+impl UnimodularTransform {
+    /// The identity transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is 0 or exceeds [`MAX_DIMS`].
+    #[must_use]
+    pub fn identity(dims: usize) -> Self {
+        assert!((1..=MAX_DIMS).contains(&dims), "bad dimensionality {dims}");
+        let mut rows = [[0i64; MAX_DIMS]; MAX_DIMS];
+        for (d, row) in rows.iter_mut().enumerate().take(dims) {
+            row[d] = 1;
+        }
+        Self { dims, rows }
+    }
+
+    /// Builds a transform from an explicit matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not unimodular (|det| ≠ 1) or dimensions
+    /// are invalid.
+    #[must_use]
+    pub fn from_rows(rows: &[&[i64]]) -> Self {
+        let dims = rows.len();
+        assert!((1..=MAX_DIMS).contains(&dims), "bad dimensionality {dims}");
+        let mut m = [[0i64; MAX_DIMS]; MAX_DIMS];
+        for (d, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), dims, "non-square matrix");
+            m[d][..dims].copy_from_slice(row);
+        }
+        let t = Self { dims, rows: m };
+        assert_eq!(t.determinant().abs(), 1, "matrix is not unimodular");
+        t
+    }
+
+    /// Loop skewing: adds `factor * x_source` to `x_target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target == source` or indices are out of range.
+    #[must_use]
+    pub fn skew(dims: usize, target: usize, source: usize, factor: i64) -> Self {
+        assert!(
+            target < dims && source < dims && target != source,
+            "bad skew"
+        );
+        let mut t = Self::identity(dims);
+        t.rows[target][source] = factor;
+        t
+    }
+
+    /// Loop interchange: swaps dimensions `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[must_use]
+    pub fn interchange(dims: usize, a: usize, b: usize) -> Self {
+        assert!(a < dims && b < dims, "bad interchange");
+        let mut t = Self::identity(dims);
+        t.rows.swap(a, b);
+        t
+    }
+
+    /// Loop reversal: negates dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    #[must_use]
+    pub fn reversal(dims: usize, d: usize) -> Self {
+        assert!(d < dims, "bad reversal");
+        let mut t = Self::identity(dims);
+        t.rows[d][d] = -1;
+        t
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The matrix determinant (always ±1 for constructed values).
+    #[must_use]
+    pub fn determinant(&self) -> i64 {
+        det(&self.rows, self.dims)
+    }
+
+    /// Matrix composition: `(self ∘ other)(x) = self(other(x))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    #[must_use]
+    pub fn compose(&self, other: &Self) -> Self {
+        assert_eq!(self.dims, other.dims, "dimensionality mismatch");
+        let mut rows = [[0i64; MAX_DIMS]; MAX_DIMS];
+        for r in 0..self.dims {
+            for c in 0..self.dims {
+                for k in 0..self.dims {
+                    rows[r][c] += self.rows[r][k] * other.rows[k][c];
+                }
+            }
+        }
+        Self {
+            dims: self.dims,
+            rows,
+        }
+    }
+
+    /// The exact integer inverse (exists because |det| = 1).
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        let n = self.dims;
+        let d = self.determinant();
+        let mut inv = [[0i64; MAX_DIMS]; MAX_DIMS];
+        for r in 0..n {
+            for c in 0..n {
+                // Cofactor expansion: inv[c][r] = cofactor(r, c) / det.
+                let minor = minor_det(&self.rows, n, r, c);
+                let sign = if (r + c) % 2 == 0 { 1 } else { -1 };
+                inv[c][r] = sign * minor * d; // d = ±1 so division = multiply
+            }
+        }
+        Self { dims: n, rows: inv }
+    }
+
+    /// Applies the transform to a point (or stencil offset — offsets
+    /// transform identically because the map is linear).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    #[must_use]
+    pub fn apply(&self, p: &Point) -> Point {
+        assert_eq!(p.dims(), self.dims, "dimensionality mismatch");
+        let mut out = [0i64; MAX_DIMS];
+        for (r, o) in out.iter_mut().enumerate().take(self.dims) {
+            for c in 0..self.dims {
+                *o += self.rows[r][c] * p[c];
+            }
+        }
+        Point::new(&out[..self.dims])
+    }
+
+    /// Transforms a polyhedron: the result contains `T·x` iff the input
+    /// contains `x` (constraints are composed with `T⁻¹`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    #[must_use]
+    pub fn apply_domain(&self, poly: &Polyhedron) -> Polyhedron {
+        assert_eq!(poly.dims(), self.dims, "dimensionality mismatch");
+        let inv = self.inverse();
+        let constraints = poly
+            .constraints()
+            .iter()
+            .map(|c| {
+                // a·x + b >= 0 with x = T⁻¹ x'  =>  (a·T⁻¹)·x' + b >= 0.
+                let mut coeffs = [0i64; MAX_DIMS];
+                for (j, co) in coeffs.iter_mut().enumerate().take(self.dims) {
+                    for k in 0..self.dims {
+                        *co += c.coeffs()[k] * inv.rows[k][j];
+                    }
+                }
+                Constraint::new(&coeffs[..self.dims], c.constant())
+            })
+            .collect();
+        Polyhedron::new(self.dims, constraints)
+    }
+}
+
+impl fmt::Debug for UnimodularTransform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UnimodularTransform[")?;
+        for r in 0..self.dims {
+            if r > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{:?}", &self.rows[r][..self.dims])?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Determinant of the leading `n x n` block, by cofactor expansion
+/// (`n <= MAX_DIMS = 4`).
+fn det(m: &[[i64; MAX_DIMS]; MAX_DIMS], n: usize) -> i64 {
+    match n {
+        0 => 1,
+        1 => m[0][0],
+        _ => {
+            let mut acc = 0;
+            for c in 0..n {
+                let sign = if c % 2 == 0 { 1 } else { -1 };
+                acc += sign * m[0][c] * minor_det(m, n, 0, c);
+            }
+            acc
+        }
+    }
+}
+
+/// Determinant of the minor obtained by deleting row `dr`, column `dc`.
+fn minor_det(m: &[[i64; MAX_DIMS]; MAX_DIMS], n: usize, dr: usize, dc: usize) -> i64 {
+    let mut sub = [[0i64; MAX_DIMS]; MAX_DIMS];
+    let mut rr = 0;
+    for r in 0..n {
+        if r == dr {
+            continue;
+        }
+        let mut cc = 0;
+        for c in 0..n {
+            if c == dc {
+                continue;
+            }
+            sub[rr][cc] = m[r][c];
+            cc += 1;
+        }
+        rr += 1;
+    }
+    det(&sub, n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let t = UnimodularTransform::identity(3);
+        let p = Point::new(&[5, -2, 7]);
+        assert_eq!(t.apply(&p), p);
+        assert_eq!(t.determinant(), 1);
+        assert_eq!(t.inverse(), t);
+    }
+
+    #[test]
+    fn skew_and_inverse_roundtrip() {
+        let t = UnimodularTransform::skew(2, 0, 1, 1);
+        let inv = t.inverse();
+        for p in [
+            Point::new(&[0, 0]),
+            Point::new(&[3, -4]),
+            Point::new(&[-2, 9]),
+        ] {
+            assert_eq!(inv.apply(&t.apply(&p)), p);
+            assert_eq!(t.apply(&inv.apply(&p)), p);
+        }
+    }
+
+    #[test]
+    fn interchange_and_reversal() {
+        let sw = UnimodularTransform::interchange(2, 0, 1);
+        assert_eq!(sw.apply(&Point::new(&[1, 2])), Point::new(&[2, 1]));
+        assert_eq!(sw.determinant(), -1);
+        let rev = UnimodularTransform::reversal(2, 0);
+        assert_eq!(rev.apply(&Point::new(&[3, 4])), Point::new(&[-3, 4]));
+        assert_eq!(rev.determinant(), -1);
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let a = UnimodularTransform::skew(3, 0, 2, 2);
+        let b = UnimodularTransform::interchange(3, 1, 2);
+        let ab = a.compose(&b);
+        let p = Point::new(&[1, 2, 3]);
+        assert_eq!(ab.apply(&p), a.apply(&b.apply(&p)));
+        assert_eq!(ab.determinant().abs(), 1);
+    }
+
+    #[test]
+    fn transformed_domain_contains_transformed_points() {
+        let dom = Polyhedron::rect(&[(1, 5), (2, 7)]);
+        let t = UnimodularTransform::skew(2, 0, 1, 1);
+        let td = t.apply_domain(&dom);
+        for p in dom.points().unwrap() {
+            assert!(td.contains(&t.apply(&p)), "{p}");
+        }
+        // And nothing extra: counts match (bijection).
+        assert_eq!(td.count().unwrap(), dom.count().unwrap());
+    }
+
+    #[test]
+    fn fig9_skew_derivation() {
+        // Skewing the DENOISE rectangle with t = r + c gives exactly the
+        // antidiagonal domain used by the Fig. 9 experiment.
+        let rect = Polyhedron::rect(&[(1, 20), (1, 12)]);
+        let t = UnimodularTransform::skew(2, 0, 1, 1);
+        let skewed = t.apply_domain(&rect);
+        assert!(skewed.contains(&Point::new(&[15, 10]))); // r=5, c=10
+        assert!(!skewed.contains(&Point::new(&[5, 5]))); // r=0
+        assert_eq!(skewed.count().unwrap(), 20 * 12);
+        // The 5-point cross maps to the diagonal window.
+        let north = t.apply(&Point::new(&[-1, 0]));
+        let east = t.apply(&Point::new(&[0, 1]));
+        assert_eq!(north, Point::new(&[-1, 0]));
+        assert_eq!(east, Point::new(&[1, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not unimodular")]
+    fn non_unimodular_rejected() {
+        let _ = UnimodularTransform::from_rows(&[&[2, 0], &[0, 1]]);
+    }
+
+    #[test]
+    fn from_rows_accepts_unimodular() {
+        let t = UnimodularTransform::from_rows(&[&[1, 1], &[0, 1]]);
+        assert_eq!(t, UnimodularTransform::skew(2, 0, 1, 1));
+    }
+
+    #[test]
+    fn inverse_of_4d_transform() {
+        let t = UnimodularTransform::from_rows(&[
+            &[1, 1, 0, 0],
+            &[0, 1, 0, 1],
+            &[0, 0, 1, -1],
+            &[0, 0, 0, 1],
+        ]);
+        let inv = t.inverse();
+        let p = Point::new(&[4, -3, 2, 5]);
+        assert_eq!(inv.apply(&t.apply(&p)), p);
+        assert_eq!(t.compose(&inv), UnimodularTransform::identity(4));
+    }
+}

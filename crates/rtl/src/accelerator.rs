@@ -1,0 +1,210 @@
+//! Complete-accelerator generation: the memory system integrated with a
+//! generated computation-kernel datapath — the final integration step of
+//! the paper's automation flow ("integrate the microarchitecture with
+//! the computation kernel for a complete accelerator", §4).
+//!
+//! The kernel datapath stands in for the HLS-generated arithmetic: a
+//! pipelined adder tree over all ports (every stencil reduces to a
+//! weighted sum after constant folding; weights live in the HLS output
+//! we do not model). It is fully pipelined at II = 1 with
+//! `ceil(log2(n))` register stages, so integration timing is realistic.
+
+use stencil_core::MemorySystemPlan;
+
+use crate::error::RtlError;
+use crate::verilog::{Port, VModule};
+
+/// Generates the pipelined adder-tree kernel for `n` ports of width `w`.
+#[must_use]
+pub fn kernel_module(name: &str, ports: usize, width: u32) -> VModule {
+    let mut m = VModule::new(
+        name,
+        format!(
+            "Pipelined stand-in computation kernel: {ports}-port adder tree,\n\
+             II = 1, latency = ceil(log2({ports})) stages."
+        ),
+    );
+    m.param("W", width.to_string());
+    m.port(Port::input("clk", 1));
+    m.port(Port::input("fire", 1));
+    for k in 0..ports {
+        m.port(Port::input(format!("d{k}"), width));
+    }
+    m.port(Port::output("result", width));
+    m.port(Port::output("result_valid", 1));
+
+    // Stage 0: registered inputs.
+    let mut level: Vec<String> = (0..ports).map(|k| format!("s0_{k}")).collect();
+    for (k, net) in level.iter().enumerate() {
+        m.line(format!("reg [W-1:0] {net};"));
+        m.line(format!("always @(posedge clk) if (fire) {net} <= d{k};"));
+    }
+    m.line("reg v0;".to_owned());
+    m.line("always @(posedge clk) v0 <= fire;".to_owned());
+    let mut valid = "v0".to_owned();
+    m.blank();
+
+    // Reduction levels.
+    let mut stage = 1usize;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for (pair, chunk) in level.chunks(2).enumerate() {
+            let net = format!("s{stage}_{pair}");
+            m.line(format!("reg [W-1:0] {net};"));
+            if chunk.len() == 2 {
+                m.line(format!(
+                    "always @(posedge clk) {net} <= {} + {};",
+                    chunk[0], chunk[1]
+                ));
+            } else {
+                m.line(format!("always @(posedge clk) {net} <= {};", chunk[0]));
+            }
+            next.push(net);
+        }
+        let v = format!("v{stage}");
+        m.line(format!("reg {v};"));
+        m.line(format!("always @(posedge clk) {v} <= {valid};"));
+        valid = v;
+        level = next;
+        stage += 1;
+        m.blank();
+    }
+    m.line(format!("assign result = {};", level[0]));
+    m.line(format!("assign result_valid = {valid};"));
+    m
+}
+
+/// Generates the complete accelerator top: the memory system plus the
+/// kernel, exposing only the off-chip stream(s) and the result stream
+/// (Fig. 3 of the paper).
+///
+/// # Errors
+///
+/// Propagates [`RtlError`] from (re)validation of the plan's domains.
+pub fn accelerator_module(plan: &MemorySystemPlan) -> Result<VModule, RtlError> {
+    // Validate domains the same way system generation does.
+    plan.input_domain().index()?;
+    let prefix: String = plan
+        .name()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let w = plan.element_bits();
+    let n = plan.port_count();
+    let streams = plan.offchip_streams();
+
+    let mut m = VModule::new(
+        format!("{prefix}_accelerator"),
+        format!(
+            "Complete accelerator (DAC'14 Fig. 3): memory system for array {}\n\
+             + pipelined computation kernel. {n} references, {streams} stream(s).",
+            plan.array()
+        ),
+    );
+    m.param("W", w.to_string());
+    m.port(Port::input("clk", 1));
+    m.port(Port::input("rst", 1));
+    for s in 0..streams {
+        m.port(Port::input(format!("in{s}_valid"), 1));
+        m.port(Port::input(format!("in{s}_data"), w));
+        m.port(Port::output(format!("in{s}_ready"), 1));
+    }
+    m.port(Port::output("out_data", w));
+    m.port(Port::output("out_valid", 1));
+
+    for k in 0..n {
+        m.line(format!("wire port{k}_valid; wire [W-1:0] port{k}_data;"));
+    }
+    m.line("wire kernel_fire;".to_owned());
+    m.blank();
+    let mut conns = vec![
+        ".clk(clk)".to_owned(),
+        ".rst(rst)".to_owned(),
+        ".kernel_ready(1'b1)".to_owned(),
+        ".kernel_fire(kernel_fire)".to_owned(),
+    ];
+    for s in 0..streams {
+        conns.push(format!(".in{s}_valid(in{s}_valid)"));
+        conns.push(format!(".in{s}_data(in{s}_data)"));
+        conns.push(format!(".in{s}_ready(in{s}_ready)"));
+    }
+    for k in 0..n {
+        conns.push(format!(".port{k}_valid(port{k}_valid)"));
+        conns.push(format!(".port{k}_data(port{k}_data)"));
+    }
+    m.line(format!(
+        "{prefix}_mem_system #(.W(W)) u_mem ({});",
+        conns.join(", ")
+    ));
+    let mut kconns = vec![".clk(clk)".to_owned(), ".fire(kernel_fire)".to_owned()];
+    for k in 0..n {
+        kconns.push(format!(".d{k}(port{k}_data)"));
+    }
+    kconns.push(".result(out_data)".to_owned());
+    kconns.push(".result_valid(out_valid)".to_owned());
+    m.line(format!(
+        "{prefix}_kernel #(.W(W)) u_kernel ({});",
+        kconns.join(", ")
+    ));
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verilog::lint;
+    use stencil_core::StencilSpec;
+    use stencil_polyhedral::{Point, Polyhedron};
+
+    fn plan() -> MemorySystemPlan {
+        let spec = StencilSpec::new(
+            "denoise",
+            Polyhedron::rect(&[(1, 10), (1, 14)]),
+            vec![
+                Point::new(&[-1, 0]),
+                Point::new(&[0, -1]),
+                Point::new(&[0, 0]),
+                Point::new(&[0, 1]),
+                Point::new(&[1, 0]),
+            ],
+        )
+        .unwrap();
+        MemorySystemPlan::generate(&spec).unwrap()
+    }
+
+    #[test]
+    fn kernel_adder_tree_structure() {
+        let text = kernel_module("k5", 5, 32).render();
+        assert!(lint(&text).is_empty(), "{:?}\n{text}", lint(&text));
+        // 5 -> 3 -> 2 -> 1: three reduction stages.
+        assert!(text.contains("s1_2"), "{text}");
+        assert!(text.contains("s3_0"), "{text}");
+        assert!(text.contains("assign result = s3_0;"), "{text}");
+        assert!(text.contains("assign result_valid = v3;"), "{text}");
+    }
+
+    #[test]
+    fn single_port_kernel() {
+        let text = kernel_module("k1", 1, 16).render();
+        assert!(lint(&text).is_empty());
+        assert!(text.contains("assign result = s0_0;"), "{text}");
+    }
+
+    #[test]
+    fn accelerator_wires_mem_and_kernel() {
+        let text = accelerator_module(&plan()).unwrap().render();
+        assert!(lint(&text).is_empty(), "{:?}\n{text}", lint(&text));
+        assert!(text.contains("denoise_mem_system #(.W(W)) u_mem"), "{text}");
+        assert!(text.contains("denoise_kernel #(.W(W)) u_kernel"), "{text}");
+        assert!(text.contains(".d4(port4_data)"), "{text}");
+        assert!(text.contains("output wire out_valid"), "{text}");
+    }
+
+    #[test]
+    fn tradeoff_accelerator_exposes_all_streams() {
+        let p = plan().with_offchip_streams(3).unwrap();
+        let text = accelerator_module(&p).unwrap().render();
+        assert!(lint(&text).is_empty());
+        assert!(text.contains("in2_ready"), "{text}");
+    }
+}

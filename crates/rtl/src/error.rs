@@ -1,0 +1,69 @@
+//! RTL generation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use stencil_polyhedral::PolyError;
+
+/// Errors raised while generating Verilog for a memory system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtlError {
+    /// Polyhedral bound derivation failed.
+    Poly(PolyError),
+    /// A domain constraint bounds a loop variable with a non-unit
+    /// coefficient; the counter generator only emits adders and
+    /// comparators (no dividers — that is the point of the design), so
+    /// such domains are rejected.
+    NonUnitCoefficient {
+        /// The loop dimension whose bound needs a division.
+        dim: usize,
+        /// The offending coefficient.
+        coefficient: i64,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::Poly(e) => write!(f, "bound derivation failed: {e}"),
+            RtlError::NonUnitCoefficient { dim, coefficient } => write!(
+                f,
+                "dimension {dim} is bounded with coefficient {coefficient}; \
+                 RTL counters require unit coefficients (no dividers)"
+            ),
+        }
+    }
+}
+
+impl Error for RtlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RtlError::Poly(e) => Some(e),
+            RtlError::NonUnitCoefficient { .. } => None,
+        }
+    }
+}
+
+impl From<PolyError> for RtlError {
+    fn from(e: PolyError) -> Self {
+        RtlError::Poly(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RtlError::NonUnitCoefficient {
+            dim: 1,
+            coefficient: 2,
+        };
+        assert!(e.to_string().contains("dimension 1"));
+        assert!(e.source().is_none());
+        let e = RtlError::from(PolyError::EmptyDomain);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,196 @@
+//! Rendering affine bound expressions as Verilog.
+//!
+//! A constraint `a·x + b ≥ 0` whose innermost variable `x_d` has
+//! coefficient `+1` yields the lower bound
+//! `x_d ≥ -b - Σ_{k<d} a_k x_k`; coefficient `-1` yields the upper bound
+//! `x_d ≤ b + Σ_{k<d} a_k x_k`. Everything is adders and constant
+//! multiplies — no division, the defining property of the design.
+
+use stencil_polyhedral::Constraint;
+
+use crate::error::RtlError;
+use crate::verilog::signed_literal;
+
+/// Renders the bound expression of `c` for its innermost variable `dim`,
+/// given the Verilog names of the outer loop variables.
+///
+/// # Errors
+///
+/// Returns [`RtlError::NonUnitCoefficient`] if `|a_dim| != 1`.
+///
+/// # Panics
+///
+/// Panics if `c` does not involve `dim` as its innermost variable or if
+/// `vars` is shorter than `dim`.
+pub fn bound_expr(
+    c: &Constraint,
+    dim: usize,
+    vars: &[&str],
+    width: u32,
+) -> Result<BoundExpr, RtlError> {
+    assert_eq!(
+        c.innermost_var(),
+        Some(dim),
+        "constraint does not bound x{dim}"
+    );
+    assert!(vars.len() >= dim, "missing outer variable names");
+    let a = c.coeffs()[dim];
+    if a.abs() != 1 {
+        return Err(RtlError::NonUnitCoefficient {
+            dim,
+            coefficient: a,
+        });
+    }
+    // a = +1:  x >= -b - sum(a_k x_k)   (negate everything)
+    // a = -1:  x <= +b + sum(a_k x_k)
+    let negate = a == 1;
+    let mut terms = Vec::new();
+    let b = c.constant();
+    let b_eff = if negate { -b } else { b };
+    terms.push(signed_literal(b_eff, width));
+    for (k, &ak) in c.coeffs()[..dim].iter().enumerate() {
+        if ak == 0 {
+            continue;
+        }
+        let coeff = if negate { -ak } else { ak };
+        let term = match coeff {
+            1 => vars[k].to_owned(),
+            -1 => format!("(-{})", vars[k]),
+            _ => format!("({} * {})", signed_literal(coeff, width), vars[k]),
+        };
+        terms.push(term);
+    }
+    Ok(BoundExpr {
+        text: terms.join(" + "),
+        is_lower: negate,
+    })
+}
+
+/// One rendered bound expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundExpr {
+    /// The Verilog expression text.
+    pub text: String,
+    /// True for a lower bound (`x_d >= text`), false for an upper bound.
+    pub is_lower: bool,
+}
+
+/// Combines several bound expressions into one net: the max of the
+/// lower bounds or the min of the upper bounds, emitted as a chain of
+/// intermediate wires. Returns (declaration lines, final net name).
+///
+/// # Panics
+///
+/// Panics if `exprs` is empty or mixes lower and upper bounds.
+#[must_use]
+pub fn combine_bounds(exprs: &[BoundExpr], net_prefix: &str, width: u32) -> (Vec<String>, String) {
+    assert!(!exprs.is_empty(), "no bound expressions");
+    let lower = exprs[0].is_lower;
+    assert!(
+        exprs.iter().all(|e| e.is_lower == lower),
+        "mixed bound directions"
+    );
+    let mut lines = Vec::new();
+    let mut acc = format!("{net_prefix}_0");
+    lines.push(format!(
+        "wire signed [{}:0] {acc} = {};",
+        width - 1,
+        exprs[0].text
+    ));
+    for (k, e) in exprs.iter().enumerate().skip(1) {
+        let raw = format!("{net_prefix}_{k}_raw");
+        lines.push(format!("wire signed [{}:0] {raw} = {};", width - 1, e.text));
+        let next = format!("{net_prefix}_{k}");
+        let op = if lower { ">" } else { "<" };
+        lines.push(format!(
+            "wire signed [{}:0] {next} = ({raw} {op} {acc}) ? {raw} : {acc};",
+            width - 1
+        ));
+        acc = next;
+    }
+    (lines, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_from_unit_constraint() {
+        // x1 - 3 >= 0  =>  x1 >= 3.
+        let c = Constraint::lower_bound(2, 1, 3);
+        let e = bound_expr(&c, 1, &["x0"], 16).unwrap();
+        assert!(e.is_lower);
+        assert_eq!(e.text, "16'sd3");
+    }
+
+    #[test]
+    fn upper_bound_with_outer_term() {
+        // -x1 + x0 + 5 >= 0  =>  x1 <= x0 + 5.
+        let c = Constraint::new(&[1, -1], 5);
+        let e = bound_expr(&c, 1, &["x0"], 16).unwrap();
+        assert!(!e.is_lower);
+        assert_eq!(e.text, "16'sd5 + x0");
+    }
+
+    #[test]
+    fn lower_bound_with_negated_outer() {
+        // x1 - x0 - 1 >= 0  =>  x1 >= x0 + 1.
+        let c = Constraint::new(&[-1, 1], -1);
+        let e = bound_expr(&c, 1, &["x0"], 16).unwrap();
+        assert!(e.is_lower);
+        assert_eq!(e.text, "16'sd1 + x0");
+    }
+
+    #[test]
+    fn scaled_outer_coefficient_renders_multiply() {
+        // -x1 + 2*x0 + 4 >= 0  =>  x1 <= 2*x0 + 4.
+        let c = Constraint::new(&[2, -1], 4);
+        let e = bound_expr(&c, 1, &["x0"], 16).unwrap();
+        assert_eq!(e.text, "16'sd4 + (16'sd2 * x0)");
+    }
+
+    #[test]
+    fn non_unit_own_coefficient_rejected() {
+        // 2*x0 - 5 >= 0 would need a divide-by-2.
+        let c = Constraint::new(&[2, 0, 1], -5); // innermost is x2 (unit) — fine
+        assert!(bound_expr(&c, 2, &["x0", "x1"], 16).is_ok());
+        // Constraint normalization divides by the gcd, so build a truly
+        // non-unit case with a second variable to break the gcd.
+        let c = Constraint::new(&[1, 2], -5);
+        let err = bound_expr(&c, 1, &["x0"], 16).unwrap_err();
+        assert_eq!(
+            err,
+            RtlError::NonUnitCoefficient {
+                dim: 1,
+                coefficient: 2
+            }
+        );
+    }
+
+    #[test]
+    fn combine_single_bound_is_direct() {
+        let e = BoundExpr {
+            text: "16'sd7".into(),
+            is_lower: true,
+        };
+        let (lines, net) = combine_bounds(&[e], "lo1", 16);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(net, "lo1_0");
+    }
+
+    #[test]
+    fn combine_multiple_takes_extremum() {
+        let a = BoundExpr {
+            text: "16'sd1".into(),
+            is_lower: false,
+        };
+        let b = BoundExpr {
+            text: "x0".into(),
+            is_lower: false,
+        };
+        let (lines, net) = combine_bounds(&[a, b], "hi1", 16);
+        assert_eq!(net, "hi1_1");
+        assert!(lines.iter().any(|l| l.contains("<")), "{lines:?}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Generation of the reuse FIFO module — one parametrized synchronous
+//! FIFO shared by all chain positions, with a per-instance storage hint
+//! (the heterogeneous mapping of §3.5.1 carried down to synthesis via
+//! `ram_style`).
+
+use stencil_core::StorageKind;
+
+use crate::verilog::{Port, VModule};
+
+/// The Verilog `ram_style` attribute value for a storage kind.
+#[must_use]
+pub fn ram_style(kind: StorageKind) -> &'static str {
+    match kind {
+        StorageKind::Register => "registers",
+        StorageKind::ShiftRegister => "distributed",
+        StorageKind::BlockRam => "block",
+    }
+}
+
+/// Generates the parametrized synchronous FIFO used for every reuse
+/// buffer. `DEPTH` and `W` are module parameters; the storage hint is
+/// applied per instance via a synthesis attribute.
+#[must_use]
+pub fn fifo_module(name: &str) -> VModule {
+    let mut m = VModule::new(
+        name,
+        "Synchronous reuse FIFO with first-word-fall-through semantics.\n\
+         One write port (off-chip refill side) and one read port, the\n\
+         dual-port budget of Section 2.3 of the paper.",
+    );
+    m.param("DEPTH", "2");
+    m.param("W", "32");
+    m.param("PTR_W", "$clog2(DEPTH + 1)");
+    m.port(Port::input("clk", 1));
+    m.port(Port::input("rst", 1));
+    m.port(Port::input("wr_valid", 1));
+    m.port(Port::input("wr_data", 32)); // width overridden by W at elaboration
+    m.port(Port::output("wr_ready", 1));
+    m.port(Port::output("rd_valid", 1));
+    m.port(Port::output("rd_data", 32));
+    m.port(Port::input("rd_ready", 1));
+
+    for line in [
+        "(* ram_style = STYLE *)",
+        "reg [W-1:0] mem [0:DEPTH-1];",
+        "reg [PTR_W-1:0] wp, rp, count;",
+        "wire do_wr = wr_valid && wr_ready;",
+        "wire do_rd = rd_valid && rd_ready;",
+        "assign wr_ready = (count < DEPTH) || do_rd;",
+        "assign rd_valid = (count != 0);",
+        "assign rd_data = mem[rp];",
+        "always @(posedge clk) begin",
+        "    if (rst) begin",
+        "        wp <= 0; rp <= 0; count <= 0;",
+        "    end else begin",
+        "        if (do_wr) begin",
+        "            mem[wp] <= wr_data;",
+        "            wp <= (wp == DEPTH - 1) ? 0 : wp + 1;",
+        "        end",
+        "        if (do_rd) rp <= (rp == DEPTH - 1) ? 0 : rp + 1;",
+        "        count <= count + do_wr - do_rd;",
+        "    end",
+        "end",
+    ] {
+        m.line(line);
+    }
+    // STYLE is a string parameter; declare it.
+    m.param("STYLE", "\"block\"");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verilog::lint;
+
+    #[test]
+    fn fifo_renders_clean() {
+        let text = fifo_module("reuse_fifo").render();
+        assert!(lint(&text).is_empty(), "{:?}\n{text}", lint(&text));
+        assert!(text.contains("parameter DEPTH = 2"), "{text}");
+        assert!(text.contains("ram_style"), "{text}");
+        assert!(text.contains("first-word-fall-through"), "{text}");
+        // Flow-through: full FIFO accepts a write when simultaneously read.
+        assert!(text.contains("(count < DEPTH) || do_rd"), "{text}");
+    }
+
+    #[test]
+    fn ram_styles() {
+        assert_eq!(ram_style(StorageKind::BlockRam), "block");
+        assert_eq!(ram_style(StorageKind::ShiftRegister), "distributed");
+        assert_eq!(ram_style(StorageKind::Register), "registers");
+    }
+}

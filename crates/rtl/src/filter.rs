@@ -1,0 +1,154 @@
+//! Generation of the data filter module (Fig. 10 of the paper): two
+//! lexicographic counters and a data switch. The input counter steps on
+//! every accepted element; the output counter steps when the element is
+//! forwarded to the kernel port; the element is forwarded exactly when
+//! the two counters agree.
+
+use stencil_polyhedral::Polyhedron;
+
+use crate::counter::{counter_module, COUNTER_WIDTH};
+use crate::error::RtlError;
+use crate::verilog::{Port, VModule};
+
+/// The generated filter plus its two counter submodules.
+#[derive(Debug, Clone)]
+pub struct FilterRtl {
+    /// The filter module itself.
+    pub filter: VModule,
+    /// Counter over the input data domain `D_A`.
+    pub in_counter: VModule,
+    /// Counter over this reference's data domain `D_Ax`.
+    pub out_counter: VModule,
+}
+
+/// Generates filter `k` of a memory system.
+///
+/// # Errors
+///
+/// Propagates counter-generation failures.
+pub fn filter_rtl(
+    prefix: &str,
+    k: usize,
+    input_domain: &Polyhedron,
+    data_domain: &Polyhedron,
+    width: u32,
+) -> Result<FilterRtl, RtlError> {
+    let in_name = format!("{prefix}_flt{k}_in_ctr");
+    let out_name = format!("{prefix}_flt{k}_out_ctr");
+    let in_counter = counter_module(&in_name, input_domain)?;
+    let out_counter = counter_module(&out_name, data_domain)?;
+    let m = input_domain.dims();
+    let w = COUNTER_WIDTH;
+
+    let mut f = VModule::new(
+        format!("{prefix}_filter{k}"),
+        format!(
+            "Data filter {k}: selects D_Ax out of the input stream D_A\n\
+             by comparing an input counter and an output counter\n\
+             (Fig. 10 of the DAC'14 paper)."
+        ),
+    );
+    f.param("W", width.to_string());
+    f.port(Port::input("clk", 1));
+    f.port(Port::input("rst", 1));
+    f.port(Port::input("s_valid", 1));
+    f.port(Port::input("s_data", width));
+    f.port(Port::output("s_ready", 1));
+    f.port(Port::output("k_valid", 1));
+    f.port(Port::output("k_data", width));
+    f.port(Port::input("k_ready", 1));
+
+    for d in 0..m {
+        f.line(format!("wire signed [{}:0] ic_x{d};", w - 1));
+        f.line(format!("wire signed [{}:0] oc_x{d};", w - 1));
+    }
+    f.line("wire ic_done, oc_done;".to_owned());
+    f.blank();
+    // Port register (the element waiting for the kernel).
+    f.line("reg port_full;".to_owned());
+    f.line("reg [W-1:0] port_data;".to_owned());
+    f.line("assign k_valid = port_full;".to_owned());
+    f.line("assign k_data = port_data;".to_owned());
+    f.blank();
+    let eq: Vec<String> = (0..m).map(|d| format!("(ic_x{d} == oc_x{d})")).collect();
+    f.line(format!("wire sel = !oc_done && {};", eq.join(" && ")));
+    f.line("wire port_free = !port_full || k_ready;".to_owned());
+    f.line("wire discard = s_valid && !sel;".to_owned());
+    f.line("wire forward = s_valid && sel && port_free;".to_owned());
+    f.line("assign s_ready = discard || forward;".to_owned());
+    f.blank();
+    f.line("always @(posedge clk) begin".to_owned());
+    f.line("    if (rst) begin".to_owned());
+    f.line("        port_full <= 1'b0;".to_owned());
+    f.line("        port_data <= {W{1'b0}};".to_owned());
+    f.line("    end else begin".to_owned());
+    f.line("        if (forward) begin".to_owned());
+    f.line("            port_full <= 1'b1;".to_owned());
+    f.line("            port_data <= s_data;".to_owned());
+    f.line("        end else if (k_ready && port_full) begin".to_owned());
+    f.line("            port_full <= 1'b0;".to_owned());
+    f.line("        end".to_owned());
+    f.line("    end".to_owned());
+    f.line("end".to_owned());
+    f.blank();
+    f.line(format!(
+        "{in_name} u_in_ctr (.clk(clk), .rst(rst), .step(s_ready && s_valid), {} .done(ic_done));",
+        (0..m)
+            .map(|d| format!(".x{d}(ic_x{d}),"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    ));
+    f.line(format!(
+        "{out_name} u_out_ctr (.clk(clk), .rst(rst), .step(forward), {} .done(oc_done));",
+        (0..m)
+            .map(|d| format!(".x{d}(oc_x{d}),"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    ));
+
+    Ok(FilterRtl {
+        filter: f,
+        in_counter,
+        out_counter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verilog::lint;
+
+    #[test]
+    fn filter_structure() {
+        let input = Polyhedron::grid(&[8, 8]);
+        let data = Polyhedron::rect(&[(2, 7), (1, 6)]);
+        let rtl = filter_rtl("denoise", 0, &input, &data, 32).unwrap();
+        let text = rtl.filter.render();
+        assert!(lint(&text).is_empty(), "{:?}\n{text}", lint(&text));
+        assert!(text.contains("module denoise_filter0"), "{text}");
+        assert!(
+            text.contains("(ic_x0 == oc_x0) && (ic_x1 == oc_x1)"),
+            "{text}"
+        );
+        assert!(text.contains("denoise_flt0_in_ctr u_in_ctr"), "{text}");
+        assert!(rtl
+            .in_counter
+            .render()
+            .contains("module denoise_flt0_in_ctr"));
+        assert!(rtl
+            .out_counter
+            .render()
+            .contains("module denoise_flt0_out_ctr"));
+    }
+
+    #[test]
+    fn whole_bundle_lints() {
+        let input = Polyhedron::grid(&[8, 8]);
+        let data = Polyhedron::rect(&[(0, 5), (1, 6)]);
+        let rtl = filter_rtl("t", 3, &input, &data, 16).unwrap();
+        for m in [&rtl.filter, &rtl.in_counter, &rtl.out_counter] {
+            let text = m.render();
+            assert!(lint(&text).is_empty(), "{}: {:?}", m.name(), lint(&text));
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Top-level memory-system RTL generation: wires the splitters, reuse
+//! FIFOs and data filters of a [`MemorySystemPlan`] into the complete
+//! circuit of the paper's Fig. 7.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use stencil_core::{Feed, MemorySystemPlan};
+
+use crate::error::RtlError;
+use crate::fifo::{fifo_module, ram_style};
+use crate::filter::filter_rtl;
+use crate::verilog::{lint, Port, VModule};
+
+/// One generated Verilog file.
+#[derive(Debug, Clone)]
+pub struct RtlFile {
+    /// Suggested file name.
+    pub name: String,
+    /// Verilog source text.
+    pub contents: String,
+}
+
+/// A complete generated design.
+#[derive(Debug, Clone)]
+pub struct RtlBundle {
+    files: Vec<RtlFile>,
+}
+
+impl RtlBundle {
+    /// The generated files, top module first.
+    #[must_use]
+    pub fn files(&self) -> &[RtlFile] {
+        &self.files
+    }
+
+    /// All files concatenated into one source text.
+    #[must_use]
+    pub fn concat(&self) -> String {
+        let mut s = String::new();
+        for f in &self.files {
+            let _ = writeln!(s, "// ===== {} =====", f.name);
+            s.push_str(&f.contents);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Writes each file into `dir` (created if missing), plus a
+    /// `files.f` compile-order file list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to_dir(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        for f in &self.files {
+            fs::write(dir.join(&f.name), &f.contents)?;
+        }
+        fs::write(dir.join("files.f"), self.filelist())?;
+        Ok(())
+    }
+
+    /// The conventional EDA file list (`files.f`): one path per line,
+    /// compile order (leaf modules before the top).
+    #[must_use]
+    pub fn filelist(&self) -> String {
+        let mut names: Vec<&str> = self.files.iter().map(|f| f.name.as_str()).collect();
+        names.reverse(); // leaves first, top last
+        let mut out = names.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// Runs the structural linter over every file; returns all problems.
+    #[must_use]
+    pub fn lint(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for f in &self.files {
+            for p in lint(&f.contents) {
+                out.push(format!("{}: {p}", f.name));
+            }
+        }
+        out
+    }
+}
+
+/// The generic stream fork (data path splitter): forwards the upstream
+/// element simultaneously to the local filter (`a`) and the next reuse
+/// FIFO (`b`); `B_EN = 0` drops the `b` branch for the chain tail.
+fn splitter_module(name: &str) -> VModule {
+    let mut m = VModule::new(
+        name,
+        "Data path splitter: valid/ready fork to the local data filter\n\
+         and the successive reuse FIFO.",
+    );
+    m.param("W", "32");
+    m.param("B_EN", "1");
+    m.port(Port::input("in_valid", 1));
+    m.port(Port::input("in_data", 32));
+    m.port(Port::output("in_ready", 1));
+    m.port(Port::output("a_valid", 1));
+    m.port(Port::output("a_data", 32));
+    m.port(Port::input("a_ready", 1));
+    m.port(Port::output("b_valid", 1));
+    m.port(Port::output("b_data", 32));
+    m.port(Port::input("b_ready", 1));
+    for line in [
+        "wire b_rdy = B_EN ? b_ready : 1'b1;",
+        "assign in_ready = a_ready && b_rdy;",
+        "assign a_valid = in_valid && b_rdy;",
+        "assign b_valid = B_EN ? (in_valid && a_ready) : 1'b0;",
+        "assign a_data = in_data;",
+        "assign b_data = in_data;",
+    ] {
+        m.line(line);
+    }
+    m
+}
+
+/// Generates the complete Verilog design for one memory system.
+///
+/// The bundle contains, in order: the top module, the shared splitter
+/// and FIFO modules, and per-reference filter + counter modules.
+///
+/// # Errors
+///
+/// Propagates [`RtlError`] from counter generation (unbounded domains or
+/// non-unit bound coefficients).
+#[allow(clippy::needless_range_loop)] // k is a chain position, indexing parallel nets
+pub fn generate(plan: &MemorySystemPlan) -> Result<RtlBundle, RtlError> {
+    let prefix = sanitize(plan.name());
+    let w = plan.element_bits();
+    let n = plan.port_count();
+    let mut files = Vec::new();
+
+    // Top module.
+    let mut top = VModule::new(
+        format!("{prefix}_mem_system"),
+        format!(
+            "Memory system for stencil accesses to array {} (DAC'14 Fig. 7).\n\
+             {} references, {} reuse FIFOs, {} off-chip stream(s).",
+            plan.array(),
+            n,
+            plan.bank_count(),
+            plan.offchip_streams()
+        ),
+    );
+    top.param("W", w.to_string());
+    top.port(Port::input("clk", 1));
+    top.port(Port::input("rst", 1));
+    let mut stream_idx = 0usize;
+    let mut feed_src: Vec<String> = Vec::with_capacity(n);
+    for feed in plan.feeds() {
+        match feed {
+            Feed::Offchip => {
+                top.port(Port::input(format!("in{stream_idx}_valid"), 1));
+                top.port(Port::input(format!("in{stream_idx}_data"), w));
+                top.port(Port::output(format!("in{stream_idx}_ready"), 1));
+                feed_src.push(format!("in{stream_idx}"));
+                stream_idx += 1;
+            }
+            Feed::Fifo { .. } => {
+                feed_src.push(String::new()); // filled by FIFO nets below
+            }
+        }
+    }
+    for k in 0..n {
+        top.port(Port::output(format!("port{k}_valid"), 1));
+        top.port(Port::output(format!("port{k}_data"), w));
+    }
+    top.port(Port::input("kernel_ready", 1));
+    top.port(Port::output("kernel_fire", 1));
+
+    // Internal nets.
+    for k in 0..n {
+        top.line(format!(
+            "wire f{k}_s_valid; wire [W-1:0] f{k}_s_data; wire f{k}_s_ready;"
+        ));
+        if matches!(plan.feeds().get(k + 1), Some(Feed::Fifo { .. })) {
+            top.line(format!(
+                "wire q{k}_wr_valid; wire [W-1:0] q{k}_wr_data; wire q{k}_wr_ready;"
+            ));
+        }
+        if matches!(plan.feeds()[k], Feed::Fifo { .. }) {
+            top.line(format!(
+                "wire q{kk}_rd_valid; wire [W-1:0] q{kk}_rd_data; wire q{kk}_rd_ready;",
+                kk = k - 1
+            ));
+        }
+    }
+    top.blank();
+    // Kernel firing: consume all ports simultaneously (II = 1 contract).
+    let all_valid: Vec<String> = (0..n).map(|k| format!("port{k}_valid")).collect();
+    top.line(format!(
+        "assign kernel_fire = kernel_ready && {};",
+        all_valid.join(" && ")
+    ));
+    top.blank();
+
+    // Chain instances.
+    for k in 0..n {
+        let (src_valid, src_data, src_ready) = match &plan.feeds()[k] {
+            Feed::Offchip => {
+                let s = &feed_src[k];
+                (
+                    format!("{s}_valid"),
+                    format!("{s}_data"),
+                    format!("{s}_ready"),
+                )
+            }
+            Feed::Fifo { .. } => (
+                format!("q{}_rd_valid", k - 1),
+                format!("q{}_rd_data", k - 1),
+                format!("q{}_rd_ready", k - 1),
+            ),
+        };
+        let has_b = matches!(plan.feeds().get(k + 1), Some(Feed::Fifo { .. }));
+        let (b_valid, b_data, b_ready) = if has_b {
+            (
+                format!("q{k}_wr_valid"),
+                format!("q{k}_wr_data"),
+                format!("q{k}_wr_ready"),
+            )
+        } else {
+            ("/* open */".into(), "/* open */".into(), "1'b1".into()) // tied off below
+        };
+        if has_b {
+            top.line(format!(
+                "{prefix}_splitter #(.W(W), .B_EN(1)) u_split{k} (\
+                 .in_valid({src_valid}), .in_data({src_data}), .in_ready({src_ready}), \
+                 .a_valid(f{k}_s_valid), .a_data(f{k}_s_data), .a_ready(f{k}_s_ready), \
+                 .b_valid({b_valid}), .b_data({b_data}), .b_ready({b_ready}));"
+            ));
+        } else {
+            top.line(format!(
+                "{prefix}_splitter #(.W(W), .B_EN(0)) u_split{k} (\
+                 .in_valid({src_valid}), .in_data({src_data}), .in_ready({src_ready}), \
+                 .a_valid(f{k}_s_valid), .a_data(f{k}_s_data), .a_ready(f{k}_s_ready), \
+                 .b_valid(), .b_data(), .b_ready(1'b1));"
+            ));
+        }
+        top.line(format!(
+            "{prefix}_filter{k} #(.W(W)) u_filter{k} (.clk(clk), .rst(rst), \
+             .s_valid(f{k}_s_valid), .s_data(f{k}_s_data), .s_ready(f{k}_s_ready), \
+             .k_valid(port{k}_valid), .k_data(port{k}_data), .k_ready(kernel_fire));"
+        ));
+        if let Feed::Fifo { capacity, storage } = &plan.feeds()[k] {
+            top.line(format!(
+                "{prefix}_reuse_fifo #(.DEPTH({depth}), .W(W), .STYLE(\"{style}\")) u_fifo{kk} (\
+                 .clk(clk), .rst(rst), \
+                 .wr_valid(q{kk}_wr_valid), .wr_data(q{kk}_wr_data), .wr_ready(q{kk}_wr_ready), \
+                 .rd_valid(q{kk}_rd_valid), .rd_data(q{kk}_rd_data), .rd_ready(q{kk}_rd_ready));",
+                depth = capacity.max(&1),
+                style = ram_style(*storage),
+                kk = k - 1,
+            ));
+        }
+        top.blank();
+    }
+    files.push(to_file(&top));
+
+    files.push(to_file(&splitter_module(&format!("{prefix}_splitter"))));
+    files.push(to_file(&fifo_module(&format!("{prefix}_reuse_fifo"))));
+
+    for (k, flt) in plan.filters().iter().enumerate() {
+        let rtl = filter_rtl(&prefix, k, plan.input_domain(), &flt.data_domain, w)?;
+        files.push(to_file(&rtl.filter));
+        files.push(to_file(&rtl.in_counter));
+        files.push(to_file(&rtl.out_counter));
+    }
+    files.push(to_file(&crate::testbench::testbench_module(plan)?));
+    files.push(to_file(&crate::accelerator::kernel_module(
+        &format!("{prefix}_kernel"),
+        n,
+        w,
+    )));
+    files.push(to_file(&crate::accelerator::accelerator_module(plan)?));
+
+    Ok(RtlBundle { files })
+}
+
+fn to_file(m: &VModule) -> RtlFile {
+    RtlFile {
+        name: format!("{}.v", m.name()),
+        contents: m.render(),
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::StencilSpec;
+    use stencil_polyhedral::{Point, Polyhedron};
+
+    fn denoise_plan() -> MemorySystemPlan {
+        let spec = StencilSpec::new(
+            "denoise",
+            Polyhedron::rect(&[(1, 30), (1, 30)]),
+            vec![
+                Point::new(&[-1, 0]),
+                Point::new(&[0, -1]),
+                Point::new(&[0, 0]),
+                Point::new(&[0, 1]),
+                Point::new(&[1, 0]),
+            ],
+        )
+        .unwrap();
+        MemorySystemPlan::generate(&spec).unwrap()
+    }
+
+    #[test]
+    fn generates_complete_clean_bundle() {
+        let bundle = generate(&denoise_plan()).unwrap();
+        assert!(bundle.lint().is_empty(), "{:?}", bundle.lint());
+        // Top + splitter + fifo + 5 * (filter + 2 counters) + testbench
+        // + kernel + accelerator.
+        assert_eq!(bundle.files().len(), 3 + 5 * 3 + 3);
+        assert!(
+            bundle.files().iter().any(|f| f.name.starts_with("tb_")),
+            "testbench missing"
+        );
+        let top = &bundle.files()[0];
+        assert!(top.name.ends_with("_mem_system.v"));
+        assert!(top.contents.contains("u_fifo0"), "{}", top.contents);
+        assert!(top.contents.contains("u_fifo3"), "{}", top.contents);
+        assert!(!top.contents.contains("u_fifo4"), "{}", top.contents);
+        // Non-uniform depths appear as instance parameters.
+        assert!(top.contents.contains(".DEPTH(31)"), "{}", top.contents);
+        assert!(top.contents.contains(".DEPTH(1)"), "{}", top.contents);
+        // Heterogeneous mapping reaches synthesis attributes.
+        assert!(
+            top.contents.contains(".STYLE(\"registers\")"),
+            "{}",
+            top.contents
+        );
+    }
+
+    #[test]
+    fn tradeoff_design_has_two_streams() {
+        let plan = denoise_plan().with_offchip_streams(2).unwrap();
+        let bundle = generate(&plan).unwrap();
+        let top = &bundle.files()[0].contents;
+        assert!(top.contains("in0_valid"), "{top}");
+        assert!(top.contains("in1_valid"), "{top}");
+        assert!(bundle.lint().is_empty(), "{:?}", bundle.lint());
+    }
+
+    #[test]
+    fn concat_and_roundtrip_to_dir() {
+        let bundle = generate(&denoise_plan()).unwrap();
+        let all = bundle.concat();
+        assert!(all.contains("===== denoise_mem_system.v ====="));
+        let dir = std::env::temp_dir().join("stencil_rtl_test_out");
+        bundle.write_to_dir(&dir).unwrap();
+        let top = std::fs::read_to_string(dir.join("denoise_mem_system.v")).unwrap();
+        assert!(top.contains("module denoise_mem_system"));
+        let filelist = std::fs::read_to_string(dir.join("files.f")).unwrap();
+        // Compile order: leaves first, top module last.
+        assert!(
+            filelist.trim_end().ends_with("denoise_mem_system.v"),
+            "{filelist}"
+        );
+        assert_eq!(filelist.lines().count(), bundle.files().len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize("denoise-3d"), "denoise_3d");
+        assert_eq!(sanitize("3dkernel"), "_3dkernel");
+    }
+}

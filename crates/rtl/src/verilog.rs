@@ -1,0 +1,254 @@
+//! A minimal structured Verilog emitter: enough structure to build
+//! modules programmatically and to self-check the output, without a
+//! full AST.
+
+use std::fmt::Write as _;
+
+/// Direction of a module port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// `input`
+    In,
+    /// `output`
+    Out,
+}
+
+/// A port declaration.
+#[derive(Debug, Clone)]
+pub struct Port {
+    /// Direction.
+    pub dir: Dir,
+    /// Bit width (1 emits a scalar port).
+    pub width: u32,
+    /// Signed two's-complement port.
+    pub signed: bool,
+    /// Port name.
+    pub name: String,
+}
+
+impl Port {
+    /// An unsigned input of the given width.
+    #[must_use]
+    pub fn input(name: impl Into<String>, width: u32) -> Self {
+        Self {
+            dir: Dir::In,
+            width,
+            signed: false,
+            name: name.into(),
+        }
+    }
+
+    /// An unsigned output of the given width.
+    #[must_use]
+    pub fn output(name: impl Into<String>, width: u32) -> Self {
+        Self {
+            dir: Dir::Out,
+            width,
+            signed: false,
+            name: name.into(),
+        }
+    }
+
+    /// Marks the port signed.
+    #[must_use]
+    pub fn signed(mut self) -> Self {
+        self.signed = true;
+        self
+    }
+}
+
+/// A Verilog module under construction.
+#[derive(Debug, Clone)]
+pub struct VModule {
+    name: String,
+    comment: String,
+    params: Vec<(String, String)>,
+    ports: Vec<Port>,
+    body: Vec<String>,
+}
+
+impl VModule {
+    /// Starts a module with a header comment.
+    #[must_use]
+    pub fn new(name: impl Into<String>, comment: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            comment: comment.into(),
+            params: Vec::new(),
+            ports: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// The module name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a `parameter NAME = value`.
+    pub fn param(&mut self, name: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.params.push((name.into(), value.into()));
+        self
+    }
+
+    /// Adds a port.
+    pub fn port(&mut self, port: Port) -> &mut Self {
+        self.ports.push(port);
+        self
+    }
+
+    /// Appends one body line (already-formed Verilog; indentation added
+    /// on render).
+    pub fn line(&mut self, line: impl Into<String>) -> &mut Self {
+        self.body.push(line.into());
+        self
+    }
+
+    /// Appends a blank line.
+    pub fn blank(&mut self) -> &mut Self {
+        self.body.push(String::new());
+        self
+    }
+
+    /// Renders the complete module text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for line in self.comment.lines() {
+            let _ = writeln!(s, "// {line}");
+        }
+        let _ = write!(s, "module {}", self.name);
+        if !self.params.is_empty() {
+            let _ = writeln!(s, " #(");
+            for (k, (name, value)) in self.params.iter().enumerate() {
+                let comma = if k + 1 < self.params.len() { "," } else { "" };
+                let _ = writeln!(s, "    parameter {name} = {value}{comma}");
+            }
+            let _ = write!(s, ")");
+        }
+        let _ = writeln!(s, " (");
+        for (k, p) in self.ports.iter().enumerate() {
+            let dir = match p.dir {
+                Dir::In => "input ",
+                Dir::Out => "output",
+            };
+            let signed = if p.signed { " signed" } else { "" };
+            let range = if p.width > 1 {
+                format!(" [{}:0]", p.width - 1)
+            } else {
+                String::new()
+            };
+            let comma = if k + 1 < self.ports.len() { "," } else { "" };
+            let _ = writeln!(s, "    {dir} wire{signed}{range} {}{comma}", p.name);
+        }
+        let _ = writeln!(s, ");");
+        for line in &self.body {
+            if line.is_empty() {
+                let _ = writeln!(s);
+            } else {
+                let _ = writeln!(s, "    {line}");
+            }
+        }
+        let _ = writeln!(s, "endmodule");
+        s
+    }
+}
+
+/// Structural self-checks over generated Verilog text.
+///
+/// Returns a list of problems (empty = clean): unbalanced
+/// `module`/`endmodule`, unbalanced `begin`/`end`, unbalanced
+/// parentheses/brackets.
+#[must_use]
+pub fn lint(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let code: String = text
+        .lines()
+        .map(|l| l.split("//").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let count_word = |w: &str| {
+        code.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .filter(|t| *t == w)
+            .count()
+    };
+    let modules = count_word("module");
+    let endmodules = count_word("endmodule");
+    if modules != endmodules {
+        problems.push(format!("{modules} module vs {endmodules} endmodule"));
+    }
+    let begins = count_word("begin");
+    let ends = count_word("end");
+    if begins != ends {
+        problems.push(format!("{begins} begin vs {ends} end"));
+    }
+    for (open, close) in [('(', ')'), ('[', ']'), ('{', '}')] {
+        let o = code.matches(open).count();
+        let c = code.matches(close).count();
+        if o != c {
+            problems.push(format!("{o} '{open}' vs {c} '{close}'"));
+        }
+    }
+    problems
+}
+
+/// Renders a signed decimal literal with explicit width, e.g.
+/// `-5` at width 16 becomes `-16'sd5`.
+#[must_use]
+pub fn signed_literal(value: i64, width: u32) -> String {
+    if value < 0 {
+        format!("-{width}'sd{}", -value)
+    } else {
+        format!("{width}'sd{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_simple_module() {
+        let mut m = VModule::new("adder", "a test module");
+        m.param("W", "8");
+        m.port(Port::input("a", 8).signed());
+        m.port(Port::input("b", 8));
+        m.port(Port::output("y", 9));
+        m.line("assign y = a + b;");
+        let text = m.render();
+        assert!(text.starts_with("// a test module"), "{text}");
+        assert!(text.contains("module adder #("), "{text}");
+        assert!(text.contains("parameter W = 8"), "{text}");
+        assert!(text.contains("input  wire signed [7:0] a,"), "{text}");
+        assert!(text.contains("output wire [8:0] y"), "{text}");
+        assert!(text.trim_end().ends_with("endmodule"), "{text}");
+        assert!(lint(&text).is_empty(), "{:?}", lint(&text));
+    }
+
+    #[test]
+    fn scalar_ports_have_no_range() {
+        let mut m = VModule::new("t", "");
+        m.port(Port::input("clk", 1));
+        let text = m.render();
+        assert!(text.contains("input  wire clk"), "{text}");
+        assert!(!text.contains("[0:0]"), "{text}");
+    }
+
+    #[test]
+    fn lint_catches_imbalance() {
+        assert!(!lint("module a (\n);\n").is_empty());
+        assert!(!lint("module a ();\nalways @(*) begin\nendmodule").is_empty());
+        assert!(lint("module a ();\nendmodule\n").is_empty());
+        // Comments are ignored.
+        assert!(lint("module a ();\n// begin begin (((\nendmodule").is_empty());
+    }
+
+    #[test]
+    fn signed_literals() {
+        assert_eq!(signed_literal(5, 16), "16'sd5");
+        assert_eq!(signed_literal(-5, 16), "-16'sd5");
+        assert_eq!(signed_literal(0, 8), "8'sd0");
+    }
+}

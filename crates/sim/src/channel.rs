@@ -1,0 +1,139 @@
+//! Bounded FIFO channels — the reuse FIFOs of the microarchitecture.
+
+use std::collections::VecDeque;
+
+use crate::elem::Elem;
+
+/// A bounded single-clock FIFO.
+///
+/// Models a dual-port memory FIFO with *first-word-fall-through*
+/// semantics: within one simulated cycle the consumer side is evaluated
+/// before the producer side, so a full FIFO that is popped can accept a
+/// push in the same cycle — exactly the behaviour that lets the chain
+/// sustain one element per cycle at steady state (II = 1).
+#[derive(Debug, Clone)]
+pub struct Channel {
+    buf: VecDeque<Elem>,
+    capacity: u64,
+    max_occupancy: u64,
+    pushes: u64,
+}
+
+impl Channel {
+    /// Creates a FIFO with the given capacity, in elements.
+    ///
+    /// A capacity of 0 is promoted to 1: the physical FIFO always has at
+    /// least one register stage.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            max_occupancy: 0,
+            pushes: 0,
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Elements currently stored.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// True if no elements are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True if the FIFO cannot accept a push this cycle.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
+    /// The element at the head, if any (does not consume).
+    #[must_use]
+    pub fn peek(&self) -> Option<Elem> {
+        self.buf.front().copied()
+    }
+
+    /// Removes and returns the head element.
+    pub fn pop(&mut self) -> Option<Elem> {
+        self.buf.pop_front()
+    }
+
+    /// Appends an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is full — the machine's control logic must
+    /// never push into a full FIFO (that would model data loss in
+    /// hardware).
+    pub fn push(&mut self, e: Elem) {
+        assert!(
+            !self.is_full(),
+            "push into full FIFO (capacity {})",
+            self.capacity
+        );
+        self.buf.push_back(e);
+        self.pushes += 1;
+        self.max_occupancy = self.max_occupancy.max(self.len());
+    }
+
+    /// The highest occupancy ever observed — must never exceed the
+    /// allocated maximum reuse distance if the sizing analysis is right.
+    #[must_use]
+    pub fn max_occupancy(&self) -> u64 {
+        self.max_occupancy
+    }
+
+    /// Total elements ever pushed.
+    #[must_use]
+    pub fn total_pushes(&self) -> u64 {
+        self.pushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_bounds() {
+        let mut ch = Channel::new(2);
+        assert!(ch.is_empty());
+        assert!(!ch.is_full());
+        ch.push(Elem::new(1));
+        ch.push(Elem::new(2));
+        assert!(ch.is_full());
+        assert_eq!(ch.peek(), Some(Elem::new(1)));
+        assert_eq!(ch.pop(), Some(Elem::new(1)));
+        ch.push(Elem::new(3));
+        assert_eq!(ch.pop(), Some(Elem::new(2)));
+        assert_eq!(ch.pop(), Some(Elem::new(3)));
+        assert_eq!(ch.pop(), None);
+        assert_eq!(ch.max_occupancy(), 2);
+        assert_eq!(ch.total_pushes(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_promoted() {
+        let ch = Channel::new(0);
+        assert_eq!(ch.capacity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "push into full FIFO")]
+    fn overfull_push_panics() {
+        let mut ch = Channel::new(1);
+        ch.push(Elem::new(1));
+        ch.push(Elem::new(2));
+    }
+}

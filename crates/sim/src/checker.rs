@@ -1,0 +1,222 @@
+//! Independent trace-invariant checking.
+//!
+//! The machine verifies functional correctness online; this module
+//! cross-checks a recorded [`Trace`] *after the fact* against the
+//! structural invariants of the microarchitecture, with no access to the
+//! machine's internals — a second, independent line of defence (and a
+//! way to validate traces captured elsewhere, e.g. from real RTL
+//! simulation, against a plan).
+//!
+//! Checked invariants, per recorded cycle:
+//!
+//! 1. **Capacity**: no FIFO occupancy exceeds its planned capacity.
+//! 2. **Flow conservation**: each FIFO's occupancy changes by the
+//!    difference of its upstream splitter firing (push) and its
+//!    downstream splitter firing (pop); a splitter fires exactly when
+//!    its filter's status is `Forwarding` or `Discarding`.
+//! 3. **Monotone stream**: the head stream element rank never decreases
+//!    and increases by exactly one whenever filter 0 consumed.
+
+use stencil_core::{Feed, MemorySystemPlan};
+
+use crate::filter::FilterStatus;
+use crate::trace::Trace;
+
+/// A single invariant violation found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceViolation {
+    /// Cycle of the violation (as recorded in the trace).
+    pub cycle: u64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cycle {}: {}", self.cycle, self.message)
+    }
+}
+
+fn consumed(status: FilterStatus) -> bool {
+    matches!(status, FilterStatus::Forwarding | FilterStatus::Discarding)
+}
+
+/// Checks a trace against the plan's structural invariants; returns all
+/// violations (empty = clean).
+///
+/// The trace must have been recorded from cycle 1 (the machine's
+/// `enable_trace` does this); gaps at the end are fine.
+///
+/// # Panics
+///
+/// Panics if the trace's shape (filter/FIFO counts) does not match the
+/// plan.
+#[must_use]
+pub fn check_trace(plan: &MemorySystemPlan, trace: &Trace) -> Vec<TraceViolation> {
+    let mut violations = Vec::new();
+    let capacities: Vec<u64> = plan.fifo_capacities();
+    // Map FIFO index -> (upstream filter, downstream filter) positions.
+    let mut fifo_ends = Vec::new();
+    for (k, feed) in plan.feeds().iter().enumerate() {
+        if matches!(feed, Feed::Fifo { .. }) {
+            fifo_ends.push((k - 1, k));
+        }
+    }
+
+    let mut prev_occ: Option<Vec<u64>> = None;
+    let mut prev_elem: Option<u64> = None;
+    for row in trace.rows() {
+        assert_eq!(
+            row.filter_status.len(),
+            plan.port_count(),
+            "trace/plan filter count mismatch"
+        );
+        assert_eq!(
+            row.fifo_occupancy.len(),
+            capacities.len(),
+            "trace/plan FIFO count mismatch"
+        );
+
+        // 1. Capacity.
+        for (k, (&occ, &cap)) in row.fifo_occupancy.iter().zip(&capacities).enumerate() {
+            if occ > cap.max(1) {
+                violations.push(TraceViolation {
+                    cycle: row.cycle,
+                    message: format!("FIFO_{k} occupancy {occ} exceeds capacity {cap}"),
+                });
+            }
+        }
+
+        // 2. Flow conservation (needs the previous row).
+        if let Some(prev) = &prev_occ {
+            for (q, &(up, down)) in fifo_ends.iter().enumerate() {
+                let push = i64::from(consumed(row.filter_status[up]));
+                let pop = i64::from(consumed(row.filter_status[down]));
+                let expected = prev[q] as i64 + push - pop;
+                let got = row.fifo_occupancy[q] as i64;
+                if expected < 0 {
+                    violations.push(TraceViolation {
+                        cycle: row.cycle,
+                        message: format!("FIFO_{q} popped while empty"),
+                    });
+                } else if got != expected {
+                    violations.push(TraceViolation {
+                        cycle: row.cycle,
+                        message: format!(
+                            "FIFO_{q} occupancy {got}, expected {expected} \
+                             (prev {} +{push} -{pop})",
+                            prev[q]
+                        ),
+                    });
+                }
+            }
+        }
+
+        // 3. Monotone stream rank, advancing with head consumption.
+        if let (Some(prev), Some(cur)) = (prev_elem, row.stream_elem) {
+            if cur < prev {
+                violations.push(TraceViolation {
+                    cycle: row.cycle,
+                    message: format!("stream rank went backwards: {prev} -> {cur}"),
+                });
+            }
+            if cur > prev + 1 {
+                violations.push(TraceViolation {
+                    cycle: row.cycle,
+                    message: format!("stream skipped elements: {prev} -> {cur}"),
+                });
+            }
+        }
+        prev_elem = row.stream_elem.or(prev_elem);
+        prev_occ = Some(row.fifo_occupancy.clone());
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::trace::TraceRow;
+    use stencil_core::StencilSpec;
+    use stencil_polyhedral::{Point, Polyhedron};
+
+    fn plan() -> MemorySystemPlan {
+        let spec = StencilSpec::new(
+            "denoise",
+            Polyhedron::rect(&[(1, 10), (1, 14)]),
+            vec![
+                Point::new(&[-1, 0]),
+                Point::new(&[0, -1]),
+                Point::new(&[0, 0]),
+                Point::new(&[0, 1]),
+                Point::new(&[1, 0]),
+            ],
+        )
+        .unwrap();
+        MemorySystemPlan::generate(&spec).unwrap()
+    }
+
+    #[test]
+    fn real_traces_are_clean() {
+        let plan = plan();
+        let mut m = Machine::new(&plan).unwrap();
+        m.enable_trace(0, 4096);
+        m.run(1_000_000).unwrap();
+        let violations = check_trace(&plan, m.trace(0).unwrap());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn tampered_occupancy_is_caught() {
+        let plan = plan();
+        let mut m = Machine::new(&plan).unwrap();
+        m.enable_trace(0, 256);
+        m.run(1_000_000).unwrap();
+        let mut trace = m.trace(0).unwrap().clone();
+        // Clone rows, bump one occupancy beyond capacity.
+        let mut tampered = Trace::with_limit(512);
+        for (k, row) in trace.rows().iter().enumerate() {
+            let mut r = row.clone();
+            if k == 40 {
+                r.fifo_occupancy[0] = plan.fifo_capacities()[0] + 5;
+            }
+            tampered.record(r);
+        }
+        let violations = check_trace(&plan, &tampered);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.message.contains("exceeds capacity")),
+            "{violations:?}"
+        );
+        // Flow conservation also trips around the tampered cycle.
+        assert!(violations.len() >= 2, "{violations:?}");
+        let _ = &mut trace;
+    }
+
+    #[test]
+    fn skipped_stream_elements_are_caught() {
+        let plan = plan();
+        let mut t = Trace::with_limit(8);
+        let statuses = vec![FilterStatus::Starved; plan.port_count()];
+        let occ = vec![0u64; plan.bank_count()];
+        t.record(TraceRow {
+            cycle: 1,
+            stream_elem: Some(0),
+            filter_status: statuses.clone(),
+            fifo_occupancy: occ.clone(),
+        });
+        t.record(TraceRow {
+            cycle: 2,
+            stream_elem: Some(5),
+            filter_status: statuses,
+            fifo_occupancy: occ,
+        });
+        let violations = check_trace(&plan, &t);
+        assert!(
+            violations.iter().any(|v| v.message.contains("skipped")),
+            "{violations:?}"
+        );
+    }
+}

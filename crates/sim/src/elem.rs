@@ -1,0 +1,61 @@
+//! Data elements flowing through the simulated memory system.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One data element in flight.
+///
+/// Elements are identified by their **lexicographic rank** in the input
+/// data domain `D_A` — the position at which the off-chip stream produces
+/// them. Identifying elements by rank makes functional verification
+/// exact: the kernel knows precisely which ranks each port must deliver
+/// at every iteration, so any reordering, duplication or loss inside the
+/// splitter/FIFO/filter network is detected immediately.
+///
+/// Payload values (e.g. image pixels) live outside the machine: callers
+/// map ranks to values when the kernel fires (see
+/// [`Machine::last_fire`](crate::Machine::last_fire)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Elem {
+    id: u64,
+}
+
+impl Elem {
+    /// Creates an element with the given input-stream rank.
+    #[must_use]
+    pub fn new(id: u64) -> Self {
+        Self { id }
+    }
+
+    /// The element's lexicographic rank in `D_A`.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl fmt::Display for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.id)
+    }
+}
+
+impl From<u64> for Elem {
+    fn from(id: u64) -> Self {
+        Elem::new(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let e = Elem::new(42);
+        assert_eq!(e.id(), 42);
+        assert_eq!(Elem::from(42u64), e);
+        assert_eq!(e.to_string(), "#42");
+    }
+}

@@ -1,0 +1,125 @@
+//! Simulation error types.
+
+use std::error::Error;
+use std::fmt;
+
+use stencil_core::PlanError;
+use stencil_polyhedral::PolyError;
+
+/// Errors raised by the cycle-accurate simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Building domain indices for the machine failed.
+    Poly(PolyError),
+    /// The plan itself was invalid.
+    Plan(PlanError),
+    /// A kernel port received a different element than the reference
+    /// semantics demand — a functional-correctness violation.
+    DataMismatch {
+        /// Clock cycle of the violation.
+        cycle: u64,
+        /// Memory system (chain) index.
+        chain: usize,
+        /// Kernel port (filter) index within the chain.
+        port: usize,
+        /// Expected element id (lexicographic rank in `D_A`).
+        expected: u64,
+        /// Element id actually delivered.
+        got: u64,
+    },
+    /// No module made progress although the computation is incomplete.
+    Deadlock {
+        /// Clock cycle at which progress stopped.
+        cycle: u64,
+        /// Outputs produced before the deadlock.
+        outputs: u64,
+    },
+    /// The cycle limit was reached before the computation finished.
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+        /// Outputs produced within the limit.
+        outputs: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Poly(e) => write!(f, "domain indexing failed: {e}"),
+            SimError::Plan(e) => write!(f, "invalid plan: {e}"),
+            SimError::DataMismatch {
+                cycle,
+                chain,
+                port,
+                expected,
+                got,
+            } => write!(
+                f,
+                "cycle {cycle}: chain {chain} port {port} expected element {expected}, got {got}"
+            ),
+            SimError::Deadlock { cycle, outputs } => {
+                write!(f, "deadlock at cycle {cycle} after {outputs} outputs")
+            }
+            SimError::CycleLimit { limit, outputs } => {
+                write!(f, "cycle limit {limit} reached after {outputs} outputs")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Poly(e) => Some(e),
+            SimError::Plan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PolyError> for SimError {
+    fn from(e: PolyError) -> Self {
+        SimError::Poly(e)
+    }
+}
+
+impl From<PlanError> for SimError {
+    fn from(e: PlanError) -> Self {
+        SimError::Plan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SimError::DataMismatch {
+            cycle: 7,
+            chain: 0,
+            port: 2,
+            expected: 10,
+            got: 11,
+        };
+        assert!(e.to_string().contains("cycle 7"));
+        assert!(e.to_string().contains("expected element 10"));
+        assert_eq!(
+            SimError::Deadlock {
+                cycle: 3,
+                outputs: 0
+            }
+            .to_string(),
+            "deadlock at cycle 3 after 0 outputs"
+        );
+        assert!(SimError::CycleLimit {
+            limit: 100,
+            outputs: 5
+        }
+        .to_string()
+        .contains("limit 100"));
+        assert!(SimError::from(PolyError::EmptyDomain).source().is_some());
+    }
+}

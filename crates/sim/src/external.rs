@@ -1,0 +1,126 @@
+//! Externally driven input feeds, enabling accelerator-to-accelerator
+//! forwarding (Appendix 9.3 of the paper): a downstream accelerator's
+//! off-chip stream is replaced by a queue its producer fills at runtime.
+
+use std::collections::VecDeque;
+
+use crate::elem::Elem;
+
+/// An input feed whose elements are pushed by an external producer
+/// (typically another simulated accelerator) instead of an off-chip
+/// stream.
+///
+/// Elements must be pushed in lexicographic order of the consumer's
+/// input data domain; ids are assigned on push, so the producer only
+/// needs to emit *its outputs in order* — which the microarchitecture
+/// guarantees (outputs fire in lexicographic iteration order).
+#[derive(Debug, Clone, Default)]
+pub struct ExternalFeed {
+    queue: VecDeque<Elem>,
+    next_id: u64,
+    produced: u64,
+    closed: bool,
+    max_backlog: u64,
+}
+
+impl ExternalFeed {
+    /// Creates an empty open feed.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues the next element; its id is the arrival sequence number
+    /// (the lexicographic rank in the consumer's input domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feed was closed.
+    pub fn push(&mut self) -> Elem {
+        assert!(!self.closed, "push into closed external feed");
+        let e = Elem::new(self.next_id);
+        self.next_id += 1;
+        self.queue.push_back(e);
+        self.max_backlog = self.max_backlog.max(self.queue.len() as u64);
+        e
+    }
+
+    /// Declares that no more elements will arrive.
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// The element currently offered, if any.
+    #[must_use]
+    pub fn peek(&self) -> Option<Elem> {
+        self.queue.front().copied()
+    }
+
+    /// Consumes the offered element.
+    pub fn advance(&mut self) {
+        let taken = self.queue.pop_front();
+        debug_assert!(taken.is_some(), "advance on empty external feed");
+        self.produced += 1;
+    }
+
+    /// True while more elements may still arrive.
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        !self.closed
+    }
+
+    /// Elements consumed so far.
+    #[must_use]
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Elements pushed but not yet consumed.
+    #[must_use]
+    pub fn backlog(&self) -> u64 {
+        self.queue.len() as u64
+    }
+
+    /// The largest backlog ever observed — the skid-buffer size direct
+    /// accelerator-to-accelerator forwarding would need (Appendix 9.3
+    /// argues this stays small, unlike an inter-block frame buffer).
+    #[must_use]
+    pub fn max_backlog(&self) -> u64 {
+        self.max_backlog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_follow_arrival_order() {
+        let mut f = ExternalFeed::new();
+        assert_eq!(f.push(), Elem::new(0));
+        assert_eq!(f.push(), Elem::new(1));
+        assert_eq!(f.peek(), Some(Elem::new(0)));
+        f.advance();
+        assert_eq!(f.peek(), Some(Elem::new(1)));
+        assert_eq!(f.produced(), 1);
+        assert_eq!(f.backlog(), 1);
+        assert_eq!(f.max_backlog(), 2);
+    }
+
+    #[test]
+    fn close_stops_pushes() {
+        let mut f = ExternalFeed::new();
+        f.push();
+        assert!(f.is_open());
+        f.close();
+        assert!(!f.is_open());
+    }
+
+    #[test]
+    #[should_panic(expected = "closed external feed")]
+    fn push_after_close_panics() {
+        let mut f = ExternalFeed::new();
+        f.close();
+        f.push();
+    }
+}

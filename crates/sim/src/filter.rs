@@ -1,0 +1,233 @@
+//! Data filters (Fig. 10 of the paper).
+//!
+//! A data filter customizes the input stream `D_A` to the access pattern
+//! of one array reference: an *input counter* iterates over `D_A` as
+//! elements arrive, an *output counter* iterates over the reference's
+//! data domain `D_Ax`, and a data switch forwards the element to the
+//! kernel port exactly when the two counters agree — discarding it
+//! otherwise.
+
+use serde::{Deserialize, Serialize};
+use stencil_polyhedral::{Cursor, DomainIndex};
+
+use crate::elem::Elem;
+
+/// What a filter did (or could not do) in one cycle — the per-cycle
+/// status column of the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterStatus {
+    /// Forwarded the offered element to its kernel port (`f`).
+    Forwarding,
+    /// Discarded the offered element (`d`).
+    Discarding,
+    /// Stalled: the element is needed but the kernel port is still
+    /// occupied (`s`).
+    Stalled,
+    /// Stalled: the downstream reuse FIFO is full, blocking the shared
+    /// splitter (`s` in the paper's combined view).
+    BlockedDownstream,
+    /// No element was offered this cycle (upstream empty).
+    Starved,
+}
+
+impl FilterStatus {
+    /// The single-character code used in Table 3 (`f`/`d`/`s`, with `.`
+    /// for a starved filter).
+    #[must_use]
+    pub fn code(&self) -> char {
+        match self {
+            FilterStatus::Forwarding => 'f',
+            FilterStatus::Discarding => 'd',
+            FilterStatus::Stalled | FilterStatus::BlockedDownstream => 's',
+            FilterStatus::Starved => '.',
+        }
+    }
+}
+
+/// The decision a filter takes for an offered element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterDecision {
+    /// Consume and forward to the kernel port.
+    Forward,
+    /// Consume and drop.
+    Discard,
+    /// Do not consume: the port must drain first.
+    Wait,
+}
+
+/// Runtime state of one data filter.
+#[derive(Debug, Clone)]
+pub struct DataFilter {
+    in_cursor: Cursor,
+    out_cursor: Cursor,
+    forwarded: u64,
+    discarded: u64,
+    stall_cycles: u64,
+}
+
+impl DataFilter {
+    /// Creates a filter with both counters at their domain starts.
+    ///
+    /// `input` indexes `D_A`; `domain` indexes this reference's `D_Ax`.
+    #[must_use]
+    pub fn new(input: &DomainIndex, domain: &DomainIndex) -> Self {
+        Self {
+            in_cursor: input.cursor(),
+            out_cursor: domain.cursor(),
+            forwarded: 0,
+            discarded: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    /// Decides what to do with the offered element given whether the
+    /// kernel port is free. Does not change state.
+    ///
+    /// The offered element is by construction the one at the input
+    /// counter; the decision compares the two counters' grid points.
+    #[must_use]
+    pub fn decide(
+        &self,
+        input: &DomainIndex,
+        domain: &DomainIndex,
+        port_free: bool,
+    ) -> FilterDecision {
+        let in_point = self
+            .in_cursor
+            .point(input)
+            .expect("decide called with exhausted input counter");
+        match self.out_cursor.point(domain) {
+            Some(out_point) if out_point == in_point => {
+                if port_free {
+                    FilterDecision::Forward
+                } else {
+                    FilterDecision::Wait
+                }
+            }
+            // Output counter behind/ahead or exhausted: not our element.
+            _ => FilterDecision::Discard,
+        }
+    }
+
+    /// Commits a [`FilterDecision::Forward`]: advances both counters.
+    pub fn commit_forward(&mut self, input: &DomainIndex, domain: &DomainIndex) {
+        self.in_cursor.advance(input);
+        self.out_cursor.advance(domain);
+        self.forwarded += 1;
+    }
+
+    /// Commits a [`FilterDecision::Discard`]: advances the input counter.
+    pub fn commit_discard(&mut self, input: &DomainIndex) {
+        self.in_cursor.advance(input);
+        self.discarded += 1;
+    }
+
+    /// Records a stalled cycle (for stats).
+    pub fn note_stall(&mut self) {
+        self.stall_cycles += 1;
+    }
+
+    /// The rank of the next element this filter expects on its input.
+    #[must_use]
+    pub fn input_rank(&self, input: &DomainIndex) -> u64 {
+        self.in_cursor.rank(input)
+    }
+
+    /// The expected element for the current input-counter position.
+    #[must_use]
+    pub fn expected_elem(&self, input: &DomainIndex) -> Option<Elem> {
+        if self.in_cursor.is_done(input) {
+            None
+        } else {
+            Some(Elem::new(self.in_cursor.rank(input)))
+        }
+    }
+
+    /// True once the filter has forwarded its whole data domain.
+    #[must_use]
+    pub fn is_done(&self, domain: &DomainIndex) -> bool {
+        self.out_cursor.is_done(domain)
+    }
+
+    /// Elements forwarded to the kernel so far.
+    #[must_use]
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Elements discarded so far.
+    #[must_use]
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Cycles spent stalled (port occupied or downstream full).
+    #[must_use]
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_polyhedral::Polyhedron;
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(FilterStatus::Forwarding.code(), 'f');
+        assert_eq!(FilterStatus::Discarding.code(), 'd');
+        assert_eq!(FilterStatus::Stalled.code(), 's');
+        assert_eq!(FilterStatus::BlockedDownstream.code(), 's');
+        assert_eq!(FilterStatus::Starved.code(), '.');
+    }
+
+    #[test]
+    fn filter_selects_subdomain() {
+        // Input 0..4, reference domain 2..3: discard 0,1, forward 2,3,
+        // discard 4.
+        let input = Polyhedron::rect(&[(0, 4)]).index().unwrap();
+        let domain = Polyhedron::rect(&[(2, 3)]).index().unwrap();
+        let mut f = DataFilter::new(&input, &domain);
+        let mut log = Vec::new();
+        for _ in 0..5 {
+            match f.decide(&input, &domain, true) {
+                FilterDecision::Forward => {
+                    log.push('f');
+                    f.commit_forward(&input, &domain);
+                }
+                FilterDecision::Discard => {
+                    log.push('d');
+                    f.commit_discard(&input);
+                }
+                FilterDecision::Wait => log.push('s'),
+            }
+        }
+        assert_eq!(log, vec!['d', 'd', 'f', 'f', 'd']);
+        assert!(f.is_done(&domain));
+        assert_eq!(f.forwarded(), 2);
+        assert_eq!(f.discarded(), 3);
+    }
+
+    #[test]
+    fn waits_when_port_busy() {
+        let input = Polyhedron::rect(&[(0, 2)]).index().unwrap();
+        let domain = Polyhedron::rect(&[(0, 2)]).index().unwrap();
+        let mut f = DataFilter::new(&input, &domain);
+        assert_eq!(f.decide(&input, &domain, false), FilterDecision::Wait);
+        f.note_stall();
+        assert_eq!(f.stall_cycles(), 1);
+        assert_eq!(f.decide(&input, &domain, true), FilterDecision::Forward);
+    }
+
+    #[test]
+    fn expected_elem_tracks_input_counter() {
+        let input = Polyhedron::rect(&[(0, 2)]).index().unwrap();
+        let domain = Polyhedron::rect(&[(1, 1)]).index().unwrap();
+        let mut f = DataFilter::new(&input, &domain);
+        assert_eq!(f.expected_elem(&input), Some(Elem::new(0)));
+        f.commit_discard(&input);
+        assert_eq!(f.expected_elem(&input), Some(Elem::new(1)));
+        assert_eq!(f.input_rank(&input), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! The fully pipelined computation kernel model.
+//!
+//! After kernel transformation (Fig. 4 of the paper) the computation
+//! kernel is a black-box pipeline compiled by HLS at II = 1: each cycle
+//! in which **all** of its data ports hold valid elements it consumes
+//! them and (after a fixed pipeline latency that does not affect
+//! throughput) emits one output. This module models exactly that consume
+//! contract; the datapath arithmetic itself is supplied by callers via
+//! [`Machine::last_fire`](crate::Machine::last_fire).
+
+use stencil_polyhedral::{Cursor, DomainIndex, Point};
+
+/// Runtime state of the computation kernel.
+#[derive(Debug, Clone)]
+pub struct KernelModel {
+    iter_cursor: Cursor,
+    outputs: u64,
+    first_fire: Option<u64>,
+    last_fire: Option<u64>,
+}
+
+impl KernelModel {
+    /// Creates a kernel positioned at the first loop iteration.
+    #[must_use]
+    pub fn new(iteration: &DomainIndex) -> Self {
+        Self {
+            iter_cursor: iteration.cursor(),
+            outputs: 0,
+            first_fire: None,
+            last_fire: None,
+        }
+    }
+
+    /// The iteration the kernel will execute next, or `None` when the
+    /// loop nest has completed.
+    #[must_use]
+    pub fn current_iteration(&self, iteration: &DomainIndex) -> Option<Point> {
+        self.iter_cursor.point(iteration)
+    }
+
+    /// Consumes all ports for the current iteration and advances.
+    pub fn fire(&mut self, iteration: &DomainIndex, cycle: u64) {
+        debug_assert!(!self.iter_cursor.is_done(iteration));
+        self.iter_cursor.advance(iteration);
+        self.outputs += 1;
+        if self.first_fire.is_none() {
+            self.first_fire = Some(cycle);
+        }
+        self.last_fire = Some(cycle);
+    }
+
+    /// Outputs produced so far.
+    #[must_use]
+    pub fn outputs(&self) -> u64 {
+        self.outputs
+    }
+
+    /// True once every iteration has executed.
+    #[must_use]
+    pub fn is_done(&self, iteration: &DomainIndex) -> bool {
+        self.iter_cursor.is_done(iteration)
+    }
+
+    /// Cycle of the first output (the reuse-buffer fill latency), if any.
+    #[must_use]
+    pub fn first_fire_cycle(&self) -> Option<u64> {
+        self.first_fire
+    }
+
+    /// Cycle of the most recent output, if any.
+    #[must_use]
+    pub fn last_fire_cycle(&self) -> Option<u64> {
+        self.last_fire
+    }
+
+    /// The achieved steady-state initiation interval: average cycles per
+    /// output once the pipeline is filled. `None` before two outputs
+    /// exist.
+    #[must_use]
+    pub fn steady_ii(&self) -> Option<f64> {
+        match (self.first_fire, self.last_fire) {
+            (Some(first), Some(last)) if self.outputs >= 2 => {
+                Some((last - first) as f64 / (self.outputs - 1) as f64)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_polyhedral::Polyhedron;
+
+    #[test]
+    fn fires_through_iteration_domain() {
+        let idx = Polyhedron::rect(&[(0, 2)]).index().unwrap();
+        let mut k = KernelModel::new(&idx);
+        assert_eq!(k.current_iteration(&idx), Some(Point::new(&[0])));
+        k.fire(&idx, 10);
+        k.fire(&idx, 11);
+        k.fire(&idx, 12);
+        assert!(k.is_done(&idx));
+        assert_eq!(k.outputs(), 3);
+        assert_eq!(k.first_fire_cycle(), Some(10));
+        assert_eq!(k.last_fire_cycle(), Some(12));
+        assert_eq!(k.steady_ii(), Some(1.0));
+        assert_eq!(k.current_iteration(&idx), None);
+    }
+
+    #[test]
+    fn steady_ii_needs_two_outputs() {
+        let idx = Polyhedron::rect(&[(0, 5)]).index().unwrap();
+        let mut k = KernelModel::new(&idx);
+        assert_eq!(k.steady_ii(), None);
+        k.fire(&idx, 3);
+        assert_eq!(k.steady_ii(), None);
+        k.fire(&idx, 5);
+        assert_eq!(k.steady_ii(), Some(2.0));
+    }
+}

@@ -1,0 +1,315 @@
+//! Cycle-accurate simulation of the **modulo-scheduled** non-uniform
+//! design (the §6 future-work alternative implemented in
+//! [`stencil_core::ModuloSchedulePlan`]).
+//!
+//! A centralized controller streams one element per cycle into a chain
+//! of fixed delay lines; port `k` observes the stream delayed by the
+//! accumulated reuse distance. The controller fires the kernel when the
+//! live stream element is the earliest one the current iteration needs,
+//! verifying that every delayed tap then holds exactly the right
+//! element — which is true iff the reuse distances are constants, the
+//! condition [`stencil_core::ModuloSchedulePlan::try_from_analysis`]
+//! enforces. Simulating a *hand-built* plan on an incompatible domain
+//! surfaces the misalignment as [`SimError::DataMismatch`].
+
+use stencil_core::ModuloSchedulePlan;
+use stencil_polyhedral::{Cursor, DomainIndex, Polyhedron};
+
+use crate::error::SimError;
+use crate::stats::{ChainStats, RunStats};
+
+/// The modulo-scheduled machine: delay lines + central controller.
+#[derive(Debug, Clone)]
+pub struct ModuloMachine {
+    delays: Vec<u64>,
+    offsets: Vec<stencil_polyhedral::Point>,
+    input_index: DomainIndex,
+    iteration_index: DomainIndex,
+    iter_cursor: Cursor,
+    streamed: u64,
+    cycle: u64,
+    outputs: u64,
+    first_fire: Option<u64>,
+    last_fire: Option<u64>,
+    bank_lengths: Vec<u64>,
+    array: String,
+}
+
+impl ModuloMachine {
+    /// Builds the machine for a plan over the given iteration and input
+    /// data domains (the plan itself carries only the schedule).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Poly`] if a domain cannot be indexed.
+    pub fn new(
+        plan: &ModuloSchedulePlan,
+        iteration_domain: &Polyhedron,
+        input_domain: &Polyhedron,
+    ) -> Result<Self, SimError> {
+        let iteration_index = iteration_domain.index()?;
+        let input_index = input_domain.index()?;
+        Ok(Self {
+            delays: plan.delays().to_vec(),
+            offsets: plan.offsets().to_vec(),
+            iter_cursor: iteration_index.cursor(),
+            input_index,
+            iteration_index,
+            streamed: 0,
+            cycle: 0,
+            outputs: 0,
+            first_fire: None,
+            last_fire: None,
+            bank_lengths: plan.banks().iter().map(|b| b.length).collect(),
+            array: "A".to_owned(),
+        })
+    }
+
+    /// True once every iteration has fired.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.iter_cursor.is_done(&self.iteration_index)
+    }
+
+    /// Outputs produced so far.
+    #[must_use]
+    pub fn outputs(&self) -> u64 {
+        self.outputs
+    }
+
+    /// Advances one clock cycle: streams one element and fires the
+    /// kernel if the schedule says the current iteration is ready.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::DataMismatch`] if a delayed tap holds the wrong
+    ///   element for the firing iteration — the static schedule is
+    ///   incompatible with the domain.
+    /// * [`SimError::Deadlock`] if the stream is exhausted with work
+    ///   remaining.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        if self.is_done() {
+            return Ok(());
+        }
+        // Phase 1: fire on the element registered last cycle (ports are
+        // pipeline registers, same as the streaming machine).
+        let fired = self.try_fire()?;
+        // Phase 2: stream one element per cycle (the controller has no
+        // back-pressure: that is the point of a static schedule).
+        if self.streamed < self.input_index.len() {
+            self.streamed += 1;
+        } else if !fired && !self.is_done() {
+            return Err(SimError::Deadlock {
+                cycle: self.cycle,
+                outputs: self.outputs,
+            });
+        }
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Fires the kernel if the most recently registered element is the
+    /// earliest one the current iteration needs; verifies every tap.
+    fn try_fire(&mut self) -> Result<bool, SimError> {
+        let Some(live_rank) = self.streamed.checked_sub(1) else {
+            return Ok(false);
+        };
+        if let Some(i) = self.iter_cursor.point(&self.iteration_index) {
+            let earliest = self.input_index.rank_lt(&(i + self.offsets[0]));
+            if earliest == live_rank {
+                // Verify every delayed tap.
+                for (k, f) in self.offsets.iter().enumerate() {
+                    let expected = self.input_index.rank_lt(&(i + *f));
+                    let tap = live_rank.checked_sub(self.delays[k]);
+                    if tap != Some(expected) {
+                        return Err(SimError::DataMismatch {
+                            cycle: self.cycle,
+                            chain: 0,
+                            port: k,
+                            expected,
+                            got: tap.unwrap_or(u64::MAX),
+                        });
+                    }
+                }
+                self.iter_cursor.advance(&self.iteration_index);
+                self.outputs += 1;
+                if self.first_fire.is_none() {
+                    self.first_fire = Some(self.cycle);
+                }
+                self.last_fire = Some(self.cycle);
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModuloMachine::step`] errors, plus
+    /// [`SimError::CycleLimit`].
+    pub fn run(&mut self, cycle_limit: u64) -> Result<RunStats, SimError> {
+        while !self.is_done() {
+            if self.cycle >= cycle_limit {
+                return Err(SimError::CycleLimit {
+                    limit: cycle_limit,
+                    outputs: self.outputs,
+                });
+            }
+            self.step()?;
+        }
+        Ok(self.stats())
+    }
+
+    /// Statistics in the same shape as the streaming machine's.
+    #[must_use]
+    pub fn stats(&self) -> RunStats {
+        let steady = match (self.first_fire, self.last_fire) {
+            (Some(f), Some(l)) if self.outputs >= 2 => (l - f) as f64 / (self.outputs - 1) as f64,
+            _ => f64::NAN,
+        };
+        let ideal = self
+            .iteration_index
+            .last()
+            .map_or(0, |i| self.input_index.rank_lt(&(i + self.offsets[0])) + 2);
+        RunStats {
+            cycles: self.cycle,
+            outputs: self.outputs,
+            fill_latency: self.first_fire.map_or(0, |c| c + 1),
+            steady_ii: steady,
+            ideal_cycles: ideal,
+            chains: vec![ChainStats {
+                array: self.array.clone(),
+                inputs_streamed: self.streamed,
+                fifo_capacity: self.bank_lengths.clone(),
+                fifo_max_occupancy: self.bank_lengths.clone(), // delay lines run full
+                filter_stalls: vec![0; self.offsets.len()],
+                forwarded: vec![self.outputs; self.offsets.len()],
+                discarded: Vec::new(),
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use stencil_core::{
+        DelayBank, MappingPolicy, MemorySystemPlan, ModuloSchedulePlan, ReuseAnalysis, StencilSpec,
+        StorageKind,
+    };
+    use stencil_polyhedral::Point;
+
+    fn cross() -> Vec<Point> {
+        vec![
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ]
+    }
+
+    fn denoise_spec() -> StencilSpec {
+        StencilSpec::new("denoise", Polyhedron::rect(&[(1, 10), (1, 14)]), cross()).unwrap()
+    }
+
+    #[test]
+    fn matches_streaming_machine_on_rectangular_grid() {
+        let spec = denoise_spec();
+        let analysis = ReuseAnalysis::of(&spec).unwrap();
+        let mplan =
+            ModuloSchedulePlan::try_from_analysis(&analysis, &MappingPolicy::default()).unwrap();
+        let mut modulo =
+            ModuloMachine::new(&mplan, spec.iteration_domain(), analysis.input_domain()).unwrap();
+        let mstats = modulo.run(1_000_000).unwrap();
+
+        let splan = MemorySystemPlan::generate(&spec).unwrap();
+        let sstats = Machine::new(&splan).unwrap().run(1_000_000).unwrap();
+
+        assert_eq!(mstats.outputs, sstats.outputs);
+        assert_eq!(mstats.cycles, sstats.cycles);
+        assert!(mstats.fully_pipelined());
+        assert_eq!(
+            mstats.chains[0].fifo_capacity,
+            sstats.chains[0].fifo_capacity
+        );
+    }
+
+    #[test]
+    fn wrong_delays_are_caught() {
+        let spec = denoise_spec();
+        let analysis = ReuseAnalysis::of(&spec).unwrap();
+        // Hand-build a schedule with a wrong bank length.
+        let plan = ModuloSchedulePlan::from_parts(
+            "broken",
+            32,
+            vec![
+                DelayBank {
+                    length: 10,
+                    storage: StorageKind::BlockRam,
+                },
+                DelayBank {
+                    length: 1,
+                    storage: StorageKind::Register,
+                },
+                DelayBank {
+                    length: 1,
+                    storage: StorageKind::Register,
+                },
+                DelayBank {
+                    length: 15,
+                    storage: StorageKind::BlockRam,
+                },
+            ],
+            analysis.sorted_refs().offsets().to_vec(),
+        );
+        let mut m =
+            ModuloMachine::new(&plan, spec.iteration_domain(), analysis.input_domain()).unwrap();
+        let err = m.run(1_000_000).unwrap_err();
+        assert!(matches!(err, SimError::DataMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn static_schedule_misaligns_on_skewed_grid() {
+        // Build the skewed-domain analysis, force a static schedule
+        // through from_parts (the planner would reject it), and watch
+        // the controller detect the misalignment — the experimental
+        // justification for the streaming design (§3.4.2).
+        use stencil_polyhedral::Constraint;
+        let iter = Polyhedron::new(
+            2,
+            vec![
+                Constraint::lower_bound(2, 1, 1),
+                Constraint::upper_bound(2, 1, 9),
+                Constraint::new(&[1, -1], -1),
+                Constraint::new(&[-1, 1], 12),
+            ],
+        );
+        let spec = StencilSpec::new("skew", iter, cross()).unwrap();
+        let analysis = ReuseAnalysis::of(&spec).unwrap();
+        let banks: Vec<DelayBank> = analysis
+            .adjacent_distances()
+            .iter()
+            .map(|&length| DelayBank {
+                length,
+                storage: StorageKind::BlockRam,
+            })
+            .collect();
+        let plan = ModuloSchedulePlan::from_parts(
+            "skew-forced",
+            32,
+            banks,
+            analysis.sorted_refs().offsets().to_vec(),
+        );
+        let mut m =
+            ModuloMachine::new(&plan, spec.iteration_domain(), analysis.input_domain()).unwrap();
+        let result = m.run(1_000_000);
+        assert!(
+            matches!(result, Err(SimError::DataMismatch { .. })),
+            "skewed grid must break the static schedule: {result:?}"
+        );
+    }
+}

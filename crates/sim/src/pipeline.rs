@@ -1,0 +1,193 @@
+//! Deep accelerator pipelines: `T` chained stencil stages co-simulated
+//! with direct forwarding between every pair.
+//!
+//! This realizes the scenario that motivates the paper's §2.1 remark on
+//! loop fusion ("the stencil window is large, e.g., after loop fusion of
+//! stencil applications"): instead of fusing `T` time steps into one
+//! huge window, chain `T` accelerators — each with its own minimal
+//! non-uniform memory system — and overlap their execution completely.
+//! Total latency is one stream pass plus the sum of the (tiny) fill
+//! latencies, not `T` stream passes.
+
+use crate::error::SimError;
+use crate::machine::Machine;
+use crate::stats::RunStats;
+
+/// A pipeline of `T ≥ 1` chained accelerators.
+#[derive(Debug, Clone)]
+pub struct AcceleratorPipeline {
+    stages: Vec<Machine>,
+}
+
+/// Statistics of a pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStats {
+    /// Per-stage run statistics, upstream first.
+    pub stages: Vec<RunStats>,
+    /// Total co-simulated cycles until the last stage finished.
+    pub cycles: u64,
+    /// Largest forwarding backlog observed at each inter-stage boundary
+    /// (`stages.len() - 1` entries).
+    pub forward_backlogs: Vec<u64>,
+}
+
+impl PipelineStats {
+    /// Outputs of the final stage.
+    #[must_use]
+    pub fn final_outputs(&self) -> u64 {
+        self.stages.last().map_or(0, |s| s.outputs)
+    }
+}
+
+impl AcceleratorPipeline {
+    /// Builds the pipeline. Stage 0 must read from an off-chip stream
+    /// ([`Machine::new`]); every later stage must have been built with
+    /// [`Machine::with_external_input`] and consume exactly as many
+    /// input elements as its predecessor produces iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Plan`] on size mismatches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(stages: Vec<Machine>) -> Result<Self, SimError> {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        for w in stages.windows(2) {
+            let produced = w[0].total_iterations();
+            let consumed = w[1].total_input_elements(0);
+            if produced != consumed {
+                return Err(SimError::Plan(stencil_core::PlanError::DimensionMismatch {
+                    domain: produced as usize,
+                    offset: consumed as usize,
+                }));
+            }
+        }
+        Ok(Self { stages })
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Runs all stages in lockstep until the final stage completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage errors, plus [`SimError::CycleLimit`].
+    pub fn run(&mut self, cycle_limit: u64) -> Result<PipelineStats, SimError> {
+        let t = self.stages.len();
+        let mut cycles = 0u64;
+        while !self.stages[t - 1].is_done() {
+            if cycles >= cycle_limit {
+                return Err(SimError::CycleLimit {
+                    limit: cycle_limit,
+                    outputs: self.stages[t - 1].outputs(),
+                });
+            }
+            for k in 0..t {
+                if self.stages[k].is_done() {
+                    continue;
+                }
+                self.stages[k].step()?;
+                if k + 1 < t && self.stages[k].last_fire().is_some() {
+                    // Split borrows around k.
+                    let (left, right) = self.stages.split_at_mut(k + 1);
+                    right[0].push_input(0);
+                    if left[k].is_done() {
+                        right[0].close_input(0);
+                    }
+                }
+            }
+            cycles += 1;
+        }
+        Ok(PipelineStats {
+            stages: self.stages.iter().map(Machine::stats).collect(),
+            cycles,
+            forward_backlogs: (1..t)
+                .map(|k| self.stages[k].max_input_backlog(0))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::{MemorySystemPlan, StencilSpec};
+    use stencil_polyhedral::{Point, Polyhedron};
+
+    fn cross() -> Vec<Point> {
+        vec![
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ]
+    }
+
+    /// `T` chained DENOISE stages on an RxC frame; stage `t` iterates the
+    /// interior shrunk by `t` on every side.
+    fn pipeline(r: i64, c: i64, t: usize) -> AcceleratorPipeline {
+        let mut stages = Vec::new();
+        for k in 0..t as i64 {
+            let spec = StencilSpec::new(
+                format!("stage{k}"),
+                Polyhedron::rect(&[(1 + k, r - 2 - k), (1 + k, c - 2 - k)]),
+                cross(),
+            )
+            .unwrap();
+            let plan = MemorySystemPlan::generate(&spec).unwrap();
+            let m = if k == 0 {
+                Machine::new(&plan).unwrap()
+            } else {
+                Machine::with_external_input(&plan).unwrap()
+            };
+            stages.push(m);
+        }
+        AcceleratorPipeline::new(stages).unwrap()
+    }
+
+    #[test]
+    fn four_deep_pipeline_overlaps_completely() {
+        let (r, c) = (32i64, 40i64);
+        let mut p = pipeline(r, c, 4);
+        assert_eq!(p.depth(), 4);
+        let stats = p.run(10_000_000).unwrap();
+        // Final stage outputs: interior shrunk by 4 on each side.
+        assert_eq!(stats.final_outputs(), ((r - 8) * (c - 8)) as u64);
+        // Total time ~ one stream pass + per-stage fills, far below
+        // 4 sequential passes.
+        let one_pass = (r * c) as u64;
+        assert!(
+            stats.cycles < one_pass + 4 * (3 * c as u64 + 16),
+            "cycles {} not overlapped (one pass = {one_pass})",
+            stats.cycles
+        );
+        // Skid buffers stay tiny at every boundary.
+        for (k, b) in stats.forward_backlogs.iter().enumerate() {
+            assert!(*b <= 4, "boundary {k}: backlog {b}");
+        }
+    }
+
+    #[test]
+    fn single_stage_pipeline_equals_machine() {
+        let mut p = pipeline(16, 20, 1);
+        let stats = p.run(1_000_000).unwrap();
+        assert_eq!(stats.final_outputs(), 14 * 18);
+        assert!(stats.forward_backlogs.is_empty());
+    }
+
+    #[test]
+    fn mismatched_stage_sizes_rejected() {
+        let a = StencilSpec::new("a", Polyhedron::rect(&[(1, 8), (1, 8)]), cross()).unwrap();
+        let b = StencilSpec::new("b", Polyhedron::rect(&[(4, 5), (4, 5)]), cross()).unwrap();
+        let s0 = Machine::new(&MemorySystemPlan::generate(&a).unwrap()).unwrap();
+        let s1 = Machine::with_external_input(&MemorySystemPlan::generate(&b).unwrap()).unwrap();
+        assert!(AcceleratorPipeline::new(vec![s0, s1]).is_err());
+    }
+}

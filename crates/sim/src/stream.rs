@@ -1,0 +1,118 @@
+//! Off-chip input streams and the burst prefetcher model.
+
+use stencil_polyhedral::{Cursor, DomainIndex, Point};
+
+use crate::elem::Elem;
+
+/// An off-chip data stream: produces every element of the input data
+/// domain `D_A` exactly once, in lexicographic order, at most one per
+/// cycle.
+///
+/// The lexicographic order "fits well with burst accesses to external
+/// memory" (§3.3.1 / Appendix 9.3 of the paper): the stream is what a
+/// simple bus-burst prefetcher delivers.
+#[derive(Debug, Clone)]
+pub struct OffchipStream {
+    cursor: Cursor,
+    produced: u64,
+    /// Cycles of bus latency before the first element is available
+    /// (models the prefetcher's initial burst setup, Fig. 13b).
+    initial_latency: u64,
+}
+
+impl OffchipStream {
+    /// Creates a stream over the given input-domain index with zero
+    /// initial latency.
+    #[must_use]
+    pub fn new(input: &DomainIndex) -> Self {
+        Self {
+            cursor: input.cursor(),
+            produced: 0,
+            initial_latency: 0,
+        }
+    }
+
+    /// Adds an initial bus latency of `cycles` before the first element.
+    #[must_use]
+    pub fn with_initial_latency(mut self, cycles: u64) -> Self {
+        self.initial_latency = cycles;
+        self
+    }
+
+    /// The element currently offered, if any (`cycle` is the current
+    /// clock cycle, used only to honor the initial latency).
+    #[must_use]
+    pub fn peek(&self, input: &DomainIndex, cycle: u64) -> Option<Elem> {
+        if cycle < self.initial_latency {
+            return None;
+        }
+        if self.cursor.is_done(input) {
+            None
+        } else {
+            Some(Elem::new(self.cursor.rank(input)))
+        }
+    }
+
+    /// The grid point of the element currently offered.
+    #[must_use]
+    pub fn peek_point(&self, input: &DomainIndex) -> Option<Point> {
+        self.cursor.point(input)
+    }
+
+    /// Consumes the offered element.
+    pub fn advance(&mut self, input: &DomainIndex) {
+        debug_assert!(!self.cursor.is_done(input), "advance past end of stream");
+        self.cursor.advance(input);
+        self.produced += 1;
+    }
+
+    /// Elements produced so far.
+    #[must_use]
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// True once the whole input domain has been streamed.
+    #[must_use]
+    pub fn is_done(&self, input: &DomainIndex) -> bool {
+        self.cursor.is_done(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_polyhedral::Polyhedron;
+
+    #[test]
+    fn streams_whole_domain_in_order() {
+        let idx = Polyhedron::grid(&[2, 3]).index().unwrap();
+        let mut s = OffchipStream::new(&idx);
+        let mut ids = Vec::new();
+        while let Some(e) = s.peek(&idx, 100) {
+            ids.push(e.id());
+            s.advance(&idx);
+        }
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        assert!(s.is_done(&idx));
+        assert_eq!(s.produced(), 6);
+    }
+
+    #[test]
+    fn initial_latency_delays_first_element() {
+        let idx = Polyhedron::grid(&[2, 2]).index().unwrap();
+        let s = OffchipStream::new(&idx).with_initial_latency(5);
+        assert_eq!(s.peek(&idx, 0), None);
+        assert_eq!(s.peek(&idx, 4), None);
+        assert_eq!(s.peek(&idx, 5), Some(Elem::new(0)));
+    }
+
+    #[test]
+    fn peek_point_tracks_cursor() {
+        let idx = Polyhedron::grid(&[2, 2]).index().unwrap();
+        let mut s = OffchipStream::new(&idx);
+        assert_eq!(s.peek_point(&idx), Some(Point::new(&[0, 0])));
+        s.advance(&idx);
+        assert_eq!(s.peek_point(&idx), Some(Point::new(&[0, 1])));
+    }
+}

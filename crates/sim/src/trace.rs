@@ -1,0 +1,163 @@
+//! Execution traces in the style of the paper's Table 3.
+//!
+//! The paper demonstrates the distributed fill behaviour of the
+//! microarchitecture by tabulating, cycle by cycle, each data filter's
+//! status (forwarding / discarding / stalled) and each reuse FIFO's
+//! occupancy. [`Trace`] records exactly those observables.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::filter::FilterStatus;
+
+/// One recorded cycle of one memory system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRow {
+    /// Clock cycle (1-based, matching Table 3).
+    pub cycle: u64,
+    /// Rank of the input-stream element offered this cycle, if any.
+    pub stream_elem: Option<u64>,
+    /// Per-filter status, chain order.
+    pub filter_status: Vec<FilterStatus>,
+    /// Per-FIFO occupancy *after* this cycle's transfers, chain order.
+    pub fifo_occupancy: Vec<u64>,
+}
+
+/// A bounded per-chain execution trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    rows: Vec<TraceRow>,
+    limit: usize,
+}
+
+impl Trace {
+    /// Creates a trace that records at most `limit` cycles.
+    #[must_use]
+    pub fn with_limit(limit: usize) -> Self {
+        Self {
+            rows: Vec::new(),
+            limit,
+        }
+    }
+
+    /// Records one cycle (ignored once the limit is reached).
+    pub fn record(&mut self, row: TraceRow) {
+        if self.rows.len() < self.limit {
+            self.rows.push(row);
+        }
+    }
+
+    /// The recorded rows.
+    #[must_use]
+    pub fn rows(&self) -> &[TraceRow] {
+        &self.rows
+    }
+
+    /// True if the trace recorded nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Compacts the trace by keeping only rows where some filter status
+    /// changed relative to the previous kept row — the presentation the
+    /// paper uses for Table 3 (rows 1, 1025, 1026, 1027, 2049, ...).
+    #[must_use]
+    pub fn key_rows(&self) -> Vec<&TraceRow> {
+        let mut out: Vec<&TraceRow> = Vec::new();
+        for row in &self.rows {
+            match out.last() {
+                Some(prev) if prev.filter_status == row.filter_status => {}
+                _ => out.push(row),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Trace {
+    /// Renders the trace as a Table 3-style text table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n_filters = self.rows.first().map_or(0, |r| r.filter_status.len());
+        let n_fifos = self.rows.first().map_or(0, |r| r.fifo_occupancy.len());
+        write!(f, "{:>8} {:>8} ", "cycle", "elem")?;
+        for k in 0..n_filters {
+            write!(f, "flt{k} ")?;
+        }
+        for k in 0..n_fifos {
+            write!(f, "{:>7}", format!("FIFO_{k}"))?;
+        }
+        writeln!(f)?;
+        for row in self.key_rows() {
+            write!(
+                f,
+                "{:>8} {:>8} ",
+                row.cycle,
+                row.stream_elem
+                    .map_or_else(|| "-".to_owned(), |e| e.to_string())
+            )?;
+            for s in &row.filter_status {
+                write!(f, "{:>4} ", s.code())?;
+            }
+            for occ in &row.fifo_occupancy {
+                write!(f, "{occ:>7}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cycle: u64, statuses: &[FilterStatus], occ: &[u64]) -> TraceRow {
+        TraceRow {
+            cycle,
+            stream_elem: Some(cycle - 1),
+            filter_status: statuses.to_vec(),
+            fifo_occupancy: occ.to_vec(),
+        }
+    }
+
+    #[test]
+    fn respects_limit() {
+        let mut t = Trace::with_limit(2);
+        for c in 1..=5 {
+            t.record(row(c, &[FilterStatus::Forwarding], &[0]));
+        }
+        assert_eq!(t.rows().len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn key_rows_collapse_repeats() {
+        let mut t = Trace::with_limit(100);
+        use FilterStatus::{Discarding as D, Forwarding as F, Stalled as S};
+        t.record(row(1, &[D, S], &[0]));
+        t.record(row(2, &[D, S], &[1]));
+        t.record(row(3, &[F, F], &[1]));
+        t.record(row(4, &[F, F], &[1]));
+        let keys = t.key_rows();
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0].cycle, 1);
+        assert_eq!(keys[1].cycle, 3);
+    }
+
+    #[test]
+    fn display_contains_header_and_codes() {
+        let mut t = Trace::with_limit(10);
+        t.record(row(
+            1,
+            &[FilterStatus::Discarding, FilterStatus::Stalled],
+            &[0, 3],
+        ));
+        let s = t.to_string();
+        assert!(s.contains("cycle"), "{s}");
+        assert!(s.contains("FIFO_0"), "{s}");
+        assert!(s.contains('d'), "{s}");
+        assert!(s.contains('s'), "{s}");
+    }
+}

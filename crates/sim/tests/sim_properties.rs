@@ -1,0 +1,207 @@
+//! Property-based validation of the cycle-accurate machine over random
+//! windows, grids, dimensionalities, and skewed domains.
+
+use proptest::prelude::*;
+use stencil_core::{MemorySystemPlan, StencilSpec};
+use stencil_polyhedral::{Constraint, Point, Polyhedron};
+use stencil_sim::{check_trace, predicted_fill_latency, predicted_total_cycles, Machine};
+
+fn spec_1d(offs: &[i64], extent: i64) -> StencilSpec {
+    let window: Vec<Point> = offs.iter().map(|&o| Point::new(&[o])).collect();
+    let lo = offs.iter().min().unwrap().min(&0).abs();
+    let hi = *offs.iter().max().unwrap().max(&0);
+    StencilSpec::new("rand1d", Polyhedron::rect(&[(lo, extent - 1 - hi)]), window).expect("spec")
+}
+
+fn spec_3d(offs: &[(i64, i64, i64)], e: i64) -> StencilSpec {
+    let window: Vec<Point> = offs
+        .iter()
+        .map(|&(a, b, c)| Point::new(&[a, b, c]))
+        .collect();
+    let mut bounds = Vec::new();
+    for d in 0..3 {
+        let get = |t: &(i64, i64, i64)| match d {
+            0 => t.0,
+            1 => t.1,
+            _ => t.2,
+        };
+        let lo = offs.iter().map(get).min().unwrap().min(0).abs();
+        let hi = offs.iter().map(get).max().unwrap().max(0);
+        bounds.push((lo, e - 1 - hi));
+    }
+    StencilSpec::new("rand3d", Polyhedron::rect(&bounds), window).expect("spec")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn one_d_machines_run_bandwidth_limited(
+        offs in prop::collection::btree_set(-4i64..=4, 2..=6),
+        extent in 16i64..120,
+    ) {
+        let offs: Vec<i64> = offs.into_iter().collect();
+        let spec = spec_1d(&offs, extent);
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let stats = Machine::new(&plan).expect("machine")
+            .run(1_000_000).expect("run");
+        prop_assert_eq!(
+            stats.outputs,
+            spec.iteration_domain().count().expect("count")
+        );
+        prop_assert!(stats.fully_pipelined());
+        prop_assert!(stats.chains[0].occupancy_reaches_capacity());
+    }
+
+    #[test]
+    fn three_d_machines_run_bandwidth_limited(
+        offs in prop::collection::btree_set(
+            ((-1i64..=1), (-1i64..=1), (-1i64..=1)), 2..=8),
+        e in 5i64..9,
+    ) {
+        let offs: Vec<(i64, i64, i64)> = offs.into_iter().collect();
+        let spec = spec_3d(&offs, e);
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let stats = Machine::new(&plan).expect("machine")
+            .run(5_000_000).expect("run");
+        prop_assert_eq!(
+            stats.outputs,
+            spec.iteration_domain().count().expect("count")
+        );
+        prop_assert!(stats.fully_pipelined(),
+            "cycles {} ideal {}", stats.cycles, stats.ideal_cycles);
+        prop_assert!(stats.chains[0].occupancy_within_capacity());
+    }
+
+    #[test]
+    fn skewed_domains_complete_within_capacity(
+        rows in 6i64..20,
+        width in 4i64..12,
+        dx in 0i64..2,
+    ) {
+        // Antidiagonal iteration of a rows x width rectangle, with a
+        // window mixing straight and diagonal taps.
+        let iter = Polyhedron::new(
+            2,
+            vec![
+                Constraint::lower_bound(2, 1, 1),
+                Constraint::upper_bound(2, 1, width),
+                Constraint::new(&[1, -1], -1),
+                Constraint::new(&[-1, 1], rows),
+            ],
+        );
+        let window = vec![
+            Point::new(&[-1, -dx]),
+            Point::new(&[0, 0]),
+            Point::new(&[1, dx]),
+        ];
+        let spec = StencilSpec::new("skewprop", iter, window).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let stats = Machine::new(&plan).expect("machine")
+            .run(5_000_000).expect("run");
+        prop_assert_eq!(stats.outputs, (rows * width) as u64);
+        prop_assert!(stats.chains[0].occupancy_within_capacity(),
+            "occupancy {:?} capacity {:?}",
+            stats.chains[0].fifo_max_occupancy,
+            stats.chains[0].fifo_capacity);
+    }
+
+    /// The closed-form latency model is exact on every rectangular
+    /// machine.
+    #[test]
+    fn latency_predictions_exact(
+        offs in prop::collection::btree_set(((-2i64..=2), (-2i64..=2)), 2..=6),
+        rows in 8i64..20,
+        cols in 8i64..20,
+    ) {
+        let offs: Vec<(i64, i64)> = offs.into_iter().collect();
+        let window: Vec<Point> =
+            offs.iter().map(|&(a, b)| Point::new(&[a, b])).collect();
+        let lo0 = offs.iter().map(|t| t.0).min().unwrap().min(0).abs();
+        let hi0 = offs.iter().map(|t| t.0).max().unwrap().max(0);
+        let lo1 = offs.iter().map(|t| t.1).min().unwrap().min(0).abs();
+        let hi1 = offs.iter().map(|t| t.1).max().unwrap().max(0);
+        let spec = StencilSpec::new(
+            "lat",
+            Polyhedron::rect(&[(lo0, rows - 1 - hi0), (lo1, cols - 1 - hi1)]),
+            window,
+        ).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let stats = Machine::new(&plan).expect("machine")
+            .run(1_000_000).expect("run");
+        prop_assert_eq!(stats.fill_latency,
+            predicted_fill_latency(&plan).expect("fill"));
+        prop_assert_eq!(stats.cycles,
+            predicted_total_cycles(&plan).expect("total"));
+    }
+
+    /// Every real trace passes the independent structural checker:
+    /// capacity bounds, per-FIFO flow conservation, and stream
+    /// monotonicity hold on every recorded cycle.
+    #[test]
+    fn traces_always_pass_the_independent_checker(
+        offs in prop::collection::btree_set(((-2i64..=2), (-2i64..=2)), 2..=6),
+        rows in 8i64..16,
+        cols in 8i64..16,
+    ) {
+        let offs: Vec<(i64, i64)> = offs.into_iter().collect();
+        let window: Vec<Point> =
+            offs.iter().map(|&(a, b)| Point::new(&[a, b])).collect();
+        let lo0 = offs.iter().map(|t| t.0).min().unwrap().min(0).abs();
+        let hi0 = offs.iter().map(|t| t.0).max().unwrap().max(0);
+        let lo1 = offs.iter().map(|t| t.1).min().unwrap().min(0).abs();
+        let hi1 = offs.iter().map(|t| t.1).max().unwrap().max(0);
+        let spec = StencilSpec::new(
+            "chk",
+            Polyhedron::rect(&[(lo0, rows - 1 - hi0), (lo1, cols - 1 - hi1)]),
+            window,
+        ).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let mut m = Machine::new(&plan).expect("machine");
+        m.enable_trace(0, 4096);
+        m.run(1_000_000).expect("run");
+        let violations = check_trace(&plan, m.trace(0).expect("trace"));
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn stream_latency_shifts_but_never_slows(
+        offs in prop::collection::btree_set(-3i64..=3, 2..=5),
+        latency in 0u64..40,
+    ) {
+        let offs: Vec<i64> = offs.into_iter().collect();
+        let spec = spec_1d(&offs, 60);
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let base = Machine::new(&plan).expect("m").run(1_000_000).expect("run");
+        let delayed = Machine::with_stream_latency(&plan, latency).expect("m")
+            .run(1_000_000).expect("run");
+        prop_assert_eq!(delayed.outputs, base.outputs);
+        prop_assert_eq!(delayed.cycles, base.cycles + latency);
+    }
+
+    #[test]
+    fn every_tradeoff_point_is_equivalent(
+        offs in prop::collection::btree_set(((-2i64..=2), (-2i64..=2)), 2..=6),
+        streams_pick in 0usize..6,
+    ) {
+        let offs: Vec<(i64, i64)> = offs.into_iter().collect();
+        let window: Vec<Point> =
+            offs.iter().map(|&(a, b)| Point::new(&[a, b])).collect();
+        let lo0 = offs.iter().map(|t| t.0).min().unwrap().min(0).abs();
+        let hi0 = offs.iter().map(|t| t.0).max().unwrap().max(0);
+        let lo1 = offs.iter().map(|t| t.1).min().unwrap().min(0).abs();
+        let hi1 = offs.iter().map(|t| t.1).max().unwrap().max(0);
+        let spec = StencilSpec::new(
+            "rand2d",
+            Polyhedron::rect(&[(lo0, 13 - hi0), (lo1, 17 - hi1)]),
+            window.clone(),
+        ).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let streams = 1 + streams_pick % window.len();
+        let traded = plan.with_offchip_streams(streams).expect("tradeoff");
+        let a = Machine::new(&plan).expect("m").run(1_000_000).expect("run");
+        let b = Machine::new(&traded).expect("m").run(1_000_000).expect("run");
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert!(b.fully_pipelined());
+    }
+}

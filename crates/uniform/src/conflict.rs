@@ -1,0 +1,70 @@
+//! Bank-conflict predicates shared by the cyclic partitioners.
+
+/// True if all values are pairwise distinct modulo `m`.
+///
+/// For rigid sliding windows this is exactly the conflict-freedom
+/// condition: bank(h + f_x) − bank(h + f_y) depends only on f_x − f_y.
+///
+/// # Panics
+///
+/// Panics if `m <= 0`.
+#[must_use]
+pub fn distinct_mod(values: &[i64], m: i64) -> bool {
+    assert!(m > 0, "modulus must be positive");
+    let mut seen = vec![false; m as usize];
+    for &v in values {
+        let r = v.rem_euclid(m) as usize;
+        if seen[r] {
+            return false;
+        }
+        seen[r] = true;
+    }
+    true
+}
+
+/// The worst-case number of same-bank accesses in one cycle — the
+/// initiation interval a bank mapping sustains with single read ports
+/// (the "Original II" of Table 4 corresponds to the 1-bank mapping).
+///
+/// # Panics
+///
+/// Panics if `m <= 0`.
+#[must_use]
+pub fn max_bank_multiplicity(values: &[i64], m: i64) -> usize {
+    assert!(m > 0, "modulus must be positive");
+    let mut counts = vec![0usize; m as usize];
+    let mut worst = 0;
+    for &v in values {
+        let r = v.rem_euclid(m) as usize;
+        counts[r] += 1;
+        worst = worst.max(counts[r]);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinctness() {
+        assert!(distinct_mod(&[0, 1, 2], 3));
+        assert!(!distinct_mod(&[0, 3], 3));
+        assert!(distinct_mod(&[-1, 0, 1], 3));
+        assert!(!distinct_mod(&[-1, 2], 3));
+        assert!(distinct_mod(&[], 5));
+    }
+
+    #[test]
+    fn multiplicity() {
+        assert_eq!(max_bank_multiplicity(&[0, 1, 2, 3, 4], 1), 5);
+        assert_eq!(max_bank_multiplicity(&[0, 1, 2, 3, 4], 5), 1);
+        assert_eq!(max_bank_multiplicity(&[-1024, -1, 0, 1, 1024], 5), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_modulus_rejected() {
+        let _ = distinct_mod(&[1], 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Row-major flattening of multi-dimensional grids — the address view
+//! used by linear cyclic partitioning (\[5\] in the paper).
+
+use stencil_polyhedral::Point;
+
+/// Row-major pitches of a grid with the given per-dimension extents:
+/// `pitch[d]` is the address distance between neighbours along
+/// dimension `d`.
+///
+/// # Panics
+///
+/// Panics if `extents` is empty or contains a non-positive extent.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_uniform::pitches;
+///
+/// assert_eq!(pitches(&[768, 1024]), vec![1024, 1]);
+/// assert_eq!(pitches(&[4, 5, 6]), vec![30, 6, 1]);
+/// ```
+#[must_use]
+pub fn pitches(extents: &[i64]) -> Vec<i64> {
+    assert!(!extents.is_empty(), "grid needs at least one dimension");
+    assert!(
+        extents.iter().all(|&e| e > 0),
+        "grid extents must be positive"
+    );
+    let mut out = vec![1i64; extents.len()];
+    for d in (0..extents.len() - 1).rev() {
+        out[d] = out[d + 1] * extents[d + 1];
+    }
+    out
+}
+
+/// Flattens a stencil offset to a linear address offset under the given
+/// pitches.
+///
+/// # Panics
+///
+/// Panics if dimensionalities mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_polyhedral::Point;
+/// use stencil_uniform::{flatten_offset, pitches};
+///
+/// let p = pitches(&[768, 1024]);
+/// assert_eq!(flatten_offset(&Point::new(&[1, 0]), &p), 1024);
+/// assert_eq!(flatten_offset(&Point::new(&[0, -1]), &p), -1);
+/// ```
+#[must_use]
+pub fn flatten_offset(offset: &Point, pitches: &[i64]) -> i64 {
+    assert_eq!(offset.dims(), pitches.len(), "dimensionality mismatch");
+    offset
+        .as_slice()
+        .iter()
+        .zip(pitches)
+        .map(|(&c, &p)| c * p)
+        .sum()
+}
+
+/// Flattens every offset of a window.
+#[must_use]
+pub fn flatten_window(offsets: &[Point], pitches: &[i64]) -> Vec<i64> {
+    offsets.iter().map(|f| flatten_offset(f, pitches)).collect()
+}
+
+/// The linear address span of a window: the size of the sliding data
+/// window a uniform reuse buffer must cover
+/// (`max offset - min offset + 1`).
+///
+/// # Panics
+///
+/// Panics if `flat` is empty.
+#[must_use]
+pub fn window_span(flat: &[i64]) -> u64 {
+    let max = flat.iter().max().expect("non-empty window");
+    let min = flat.iter().min().expect("non-empty window");
+    (max - min + 1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pitches_1d() {
+        assert_eq!(pitches(&[100]), vec![1]);
+    }
+
+    #[test]
+    fn denoise_window_span() {
+        let p = pitches(&[768, 1024]);
+        let offsets = [
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ];
+        let flat = flatten_window(&offsets, &p);
+        assert_eq!(flat, vec![-1024, -1, 0, 1, 1024]);
+        assert_eq!(window_span(&flat), 2049);
+    }
+
+    #[test]
+    fn three_d_flatten() {
+        let p = pitches(&[96, 96, 96]);
+        assert_eq!(flatten_offset(&Point::new(&[1, 0, 0]), &p), 96 * 96);
+        assert_eq!(flatten_offset(&Point::new(&[0, 1, -1]), &p), 95);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_rejected() {
+        let _ = pitches(&[0, 5]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Initiation-interval evaluation of banked designs.
+//!
+//! With single-read-port banks (one port of each dual-port memory is
+//! reserved for off-chip refill, §2.3 of the paper), the sustained II of
+//! a banked design equals the worst-case number of same-bank reads per
+//! iteration. The "Original II" column of Table 4 is the degenerate
+//! 1-bank case: `n` loads serialize to `n` cycles.
+
+use stencil_polyhedral::Point;
+
+use crate::conflict::max_bank_multiplicity;
+use crate::flatten::{flatten_window, pitches, window_span};
+use crate::report::{Method, PartitionResult};
+
+/// The II sustained by linear cyclic banking with `banks` banks.
+///
+/// # Panics
+///
+/// Panics if `banks == 0`.
+#[must_use]
+pub fn achieved_ii_linear(window: &[Point], extents: &[i64], banks: usize) -> usize {
+    assert!(banks > 0, "need at least one bank");
+    let flat = flatten_window(window, &pitches(extents));
+    max_bank_multiplicity(&flat, banks as i64)
+}
+
+/// The II sustained by affine cyclic banking `(α·h) mod banks`.
+///
+/// # Panics
+///
+/// Panics if `banks == 0` or `alpha` has the wrong dimensionality.
+#[must_use]
+pub fn achieved_ii_affine(window: &[Point], alpha: &[i64], banks: usize) -> usize {
+    assert!(banks > 0, "need at least one bank");
+    let dots: Vec<i64> = window
+        .iter()
+        .map(|f| {
+            assert_eq!(f.dims(), alpha.len(), "alpha dimensionality mismatch");
+            f.as_slice().iter().zip(alpha).map(|(&c, &a)| c * a).sum()
+        })
+        .collect();
+    max_bank_multiplicity(&dots, banks as i64)
+}
+
+/// The original, unpartitioned design: one reuse buffer bank, so the
+/// `n` loads of each iteration serialize — Table 4's "Original II".
+///
+/// # Panics
+///
+/// Panics if the window is empty.
+#[must_use]
+pub fn unpartitioned(window: &[Point], extents: &[i64]) -> PartitionResult {
+    assert!(!window.is_empty(), "window must be non-empty");
+    let flat = flatten_window(window, &pitches(extents));
+    PartitionResult {
+        method: Method::LinearCyclic,
+        banks: 1,
+        total_size: window_span(&flat),
+        ii: window.len(),
+        needs_divider: false,
+        mapping: vec![1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cross() -> Vec<Point> {
+        vec![
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ]
+    }
+
+    #[test]
+    fn original_ii_equals_window_size() {
+        let r = unpartitioned(&cross(), &[768, 1024]);
+        assert_eq!(r.ii, 5);
+        assert_eq!(r.banks, 1);
+        assert_eq!(r.total_size, 2049);
+    }
+
+    #[test]
+    fn linear_ii_matches_conflicts() {
+        // 5 banks on a 1024-wide grid: ±1024 ≡ ±4 collide with ∓1 → II 2.
+        assert_eq!(achieved_ii_linear(&cross(), &[768, 1024], 5), 2);
+        // 6 banks deconflict (Fig. 5).
+        assert_eq!(achieved_ii_linear(&cross(), &[768, 1024], 6), 1);
+        // 1 bank: everything collides.
+        assert_eq!(achieved_ii_linear(&cross(), &[768, 1024], 1), 5);
+    }
+
+    #[test]
+    fn affine_ii_with_winning_alpha() {
+        // α = (2, 1): {−2, −1, 0, 1, 2} distinct mod 5.
+        assert_eq!(achieved_ii_affine(&cross(), &[2, 1], 5), 1);
+        // α = (1, 1) collides: (−1,0)·α = −1 = (0,−1)·α.
+        assert_eq!(achieved_ii_affine(&cross(), &[1, 1], 5), 2);
+    }
+}

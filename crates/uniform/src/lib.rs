@@ -1,0 +1,63 @@
+//! # stencil-uniform
+//!
+//! Re-implementations of the **uniform** (cyclic) memory-partitioning
+//! schemes the DAC'14 non-uniform-partitioning paper compares against:
+//!
+//! * [`linear_cyclic`] — Cong et al. ICCAD'09 (reference \[5\]): bank =
+//!   flattened address mod `N`. Its bank count depends on the grid row
+//!   size even for a fixed window (the paper's Fig. 5).
+//! * [`rescheduled_cyclic`] — Li et al. ICCAD'12 (reference \[7\]): linear
+//!   cyclic plus bounded memory-access rescheduling.
+//! * [`multidim_cyclic`] — Wang et al. DAC'13 (reference \[8\], the
+//!   paper's experimental baseline): affine bank mapping `(α·h) mod N`
+//!   over grid coordinates, with inner-dimension padding.
+//! * [`unpartitioned`] — the 1-bank original design whose port
+//!   contention produces Table 4's "Original II".
+//!
+//! All schemes share the property the paper attacks: every bank has the
+//! same size, so the bank count can exceed the `n - 1` lower bound and
+//! the total buffer footprint carries padding/rounding overhead.
+//!
+//! # Example
+//!
+//! ```
+//! use stencil_polyhedral::Point;
+//! use stencil_uniform::{multidim_cyclic, unpartitioned};
+//!
+//! let window = [
+//!     Point::new(&[-1, 0]),
+//!     Point::new(&[0, -1]),
+//!     Point::new(&[0, 0]),
+//!     Point::new(&[0, 1]),
+//!     Point::new(&[1, 0]),
+//! ];
+//! assert_eq!(unpartitioned(&window, &[768, 1024]).ii, 5);
+//! let r = multidim_cyclic(&window, &[768, 1024]);
+//! assert_eq!((r.banks, r.ii), (5, 1)); // vs 4 banks for the non-uniform design
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod bank_sim;
+mod block;
+mod conflict;
+mod flatten;
+mod ii_sim;
+mod linear;
+mod multidim;
+mod report;
+mod reschedule;
+mod search;
+
+pub use bank_sim::{simulate_ii, BankMap};
+pub use block::{block_cyclic, block_cyclic_feasible, block_partitioning_ii};
+pub use conflict::{distinct_mod, max_bank_multiplicity};
+pub use flatten::{flatten_offset, flatten_window, pitches, window_span};
+pub use ii_sim::{achieved_ii_affine, achieved_ii_linear, unpartitioned};
+pub use linear::{bank_count_vs_row_size, linear_cyclic, linear_cyclic_padded};
+pub use multidim::{multidim_cyclic, padded_extents};
+pub use report::{Method, PartitionResult};
+pub use reschedule::{rescheduled_cyclic, DEFAULT_LOOKAHEAD};
+pub use search::{best_uniform, survey};

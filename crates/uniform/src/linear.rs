@@ -1,0 +1,195 @@
+//! Linear cyclic memory partitioning — the scheme of Cong et al.
+//! ICCAD'09 (reference \[5\] of the paper).
+//!
+//! The array is flattened row-major; bank of address `a` is `a mod N`.
+//! Full pipelining requires the `n` simultaneously accessed addresses to
+//! fall in distinct banks, which (because the window slides rigidly)
+//! reduces to the *offsets* being pairwise distinct modulo `N`. The
+//! scheme's weakness — the paper's Fig. 5 — is that feasible `N` depends
+//! on the grid's row size, ranging well above the `n` lower bound.
+
+use stencil_polyhedral::Point;
+
+use crate::conflict::distinct_mod;
+use crate::flatten::{flatten_window, pitches, window_span};
+use crate::report::{Method, PartitionResult};
+
+/// Upper bound on the bank-count search; no real window needs more.
+const MAX_BANKS: usize = 4096;
+
+/// Partitions a stencil window with linear cyclic banking.
+///
+/// `extents` are the data grid's per-dimension extents (the row size the
+/// flattening depends on).
+///
+/// # Panics
+///
+/// Panics if the window is empty or no feasible bank count exists below
+/// an internal search bound (cannot happen for real windows).
+///
+/// # Examples
+///
+/// ```
+/// use stencil_polyhedral::Point;
+/// use stencil_uniform::{linear_cyclic, Method};
+///
+/// let window = [
+///     Point::new(&[-1, 0]),
+///     Point::new(&[0, -1]),
+///     Point::new(&[0, 0]),
+///     Point::new(&[0, 1]),
+///     Point::new(&[1, 0]),
+/// ];
+/// let r = linear_cyclic(&window, &[768, 1024]);
+/// assert_eq!(r.method, Method::LinearCyclic);
+/// // W = 1024 ≡ 4 (mod 5) collides, so 5 banks are infeasible: Fig. 5.
+/// assert_eq!(r.banks, 6);
+/// ```
+#[must_use]
+pub fn linear_cyclic(window: &[Point], extents: &[i64]) -> PartitionResult {
+    assert!(!window.is_empty(), "window must be non-empty");
+    let flat = flatten_window(window, &pitches(extents));
+    let span = window_span(&flat);
+    let n = window.len();
+    for banks in n..=MAX_BANKS {
+        if distinct_mod(&flat, banks as i64) {
+            let per_bank = span.div_ceil(banks as u64);
+            return PartitionResult {
+                method: Method::LinearCyclic,
+                banks,
+                total_size: per_bank * banks as u64,
+                ii: 1,
+                needs_divider: !banks.is_power_of_two(),
+                mapping: vec![banks as i64],
+            };
+        }
+    }
+    unreachable!("a feasible bank count always exists below MAX_BANKS");
+}
+
+/// Linear cyclic partitioning with **row padding**: \[8\] pads inner grid
+/// dimensions to relax partitioning complexity; applied to the linear
+/// scheme, padding the row size by up to `max_pad` columns can restore
+/// the `n`-bank solution that the natural row size denies (Fig. 5's
+/// dips), at the cost of a proportionally larger buffer.
+///
+/// Returns the best result over pads `0..=max_pad` (fewest banks, then
+/// smallest buffer) along with the pad used (recorded as the second
+/// mapping entry).
+///
+/// # Panics
+///
+/// Panics as [`linear_cyclic`].
+#[must_use]
+pub fn linear_cyclic_padded(window: &[Point], extents: &[i64], max_pad: i64) -> PartitionResult {
+    assert!(max_pad >= 0, "pad must be non-negative");
+    let mut best: Option<PartitionResult> = None;
+    for pad in 0..=max_pad {
+        let mut padded = extents.to_vec();
+        let last = padded.len() - 1;
+        padded[last] += pad;
+        let mut r = linear_cyclic(window, &padded);
+        r.mapping.push(pad);
+        let better = match &best {
+            None => true,
+            Some(b) => (r.banks, r.total_size) < (b.banks, b.total_size),
+        };
+        if better {
+            best = Some(r);
+        }
+    }
+    best.expect("at least pad 0 evaluated")
+}
+
+/// Sweeps the grid row size and reports the bank count of linear cyclic
+/// partitioning for each — the experiment of the paper's Fig. 5 (bank
+/// count varies 5–8 for the constant 5-point DENOISE window).
+///
+/// Returns `(row_size, banks)` pairs.
+#[must_use]
+pub fn bank_count_vs_row_size(
+    window: &[Point],
+    rows: i64,
+    row_sizes: impl IntoIterator<Item = i64>,
+) -> Vec<(i64, usize)> {
+    row_sizes
+        .into_iter()
+        .map(|w| (w, linear_cyclic(window, &[rows, w]).banks))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cross() -> Vec<Point> {
+        vec![
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ]
+    }
+
+    #[test]
+    fn feasible_row_sizes_use_five_banks() {
+        // W ≡ 2 or 3 (mod 5) makes {−W,−1,0,1,W} distinct mod 5.
+        let r = linear_cyclic(&cross(), &[768, 1022]);
+        assert_eq!(r.banks, 5); // 1022 ≡ 2 (mod 5)
+        assert_eq!(r.ii, 1);
+        assert!(r.needs_divider);
+    }
+
+    #[test]
+    fn fig5_bank_count_varies_with_row_size() {
+        let sweep = bank_count_vs_row_size(&cross(), 768, 1018..=1030);
+        let counts: Vec<usize> = sweep.iter().map(|&(_, b)| b).collect();
+        // The window never changes, yet the bank count does (Fig. 5).
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert_eq!(*min, 5);
+        assert!(*max > 5, "bank count never varied: {counts:?}");
+        assert!(*max <= 8, "bank count exceeded Fig. 5 range: {counts:?}");
+    }
+
+    #[test]
+    fn total_size_covers_window_span() {
+        let r = linear_cyclic(&cross(), &[768, 1024]);
+        assert!(r.total_size > 2 * 1024);
+        assert_eq!(r.total_size % r.banks as u64, 0);
+    }
+
+    #[test]
+    fn padding_restores_the_five_bank_solution() {
+        // W = 1024 denies 5 banks (Fig. 5); padding to W = 1027
+        // (1027 ≡ 2 mod 5) restores it — at a slightly larger buffer.
+        let plain = linear_cyclic(&cross(), &[768, 1024]);
+        assert!(plain.banks > 5);
+        let padded = linear_cyclic_padded(&cross(), &[768, 1024], 4);
+        assert_eq!(padded.banks, 5);
+        assert_eq!(*padded.mapping.last().unwrap(), 3); // pad = +3
+        assert!(padded.total_size > 2 * 1024);
+    }
+
+    #[test]
+    fn zero_pad_budget_matches_plain() {
+        let plain = linear_cyclic(&cross(), &[768, 1024]);
+        let padded = linear_cyclic_padded(&cross(), &[768, 1024], 0);
+        assert_eq!(padded.banks, plain.banks);
+    }
+
+    #[test]
+    fn power_of_two_banks_need_no_divider() {
+        // A 1-D 4-point window with offsets 0..3: distinct mod 4.
+        let window = [
+            Point::new(&[0]),
+            Point::new(&[1]),
+            Point::new(&[2]),
+            Point::new(&[3]),
+        ];
+        let r = linear_cyclic(&window, &[64]);
+        assert_eq!(r.banks, 4);
+        assert!(!r.needs_divider);
+    }
+}

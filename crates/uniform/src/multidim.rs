@@ -1,0 +1,241 @@
+//! Multidimensional affine cyclic partitioning with grid padding — the
+//! scheme of Wang et al. DAC'13 (reference \[8\], the paper's experimental
+//! baseline).
+//!
+//! The bank of data index `h` is `(α·h) mod N` for an integer coefficient
+//! vector `α`; the window is conflict-free iff the values `α·f_x` are
+//! pairwise distinct mod `N` (the mapping difference is
+//! position-independent for rigid windows). The flow searches the
+//! smallest feasible `N` and a witness `α`.
+//!
+//! \[8\] additionally **pads** inner grid dimensions to multiples of `N` so
+//! that intra-bank addresses decompose without per-access division; the
+//! padding inflates the reuse-buffer footprint — increasingly so on
+//! high-dimensional grids (the paper's §5.2 observation about
+//! SEGMENTATION_3D).
+
+use stencil_polyhedral::Point;
+
+use crate::conflict::distinct_mod;
+use crate::flatten::{flatten_window, pitches, window_span};
+use crate::report::{Method, PartitionResult};
+
+/// Upper bound on the bank-count search.
+const MAX_BANKS: usize = 256;
+
+/// Partitions a stencil window with multidimensional affine cyclic
+/// banking and padding, as in \[8\].
+///
+/// # Panics
+///
+/// Panics if the window is empty, has more dimensions than supported, or
+/// no feasible solution exists below an internal search bound (cannot
+/// happen for real windows).
+///
+/// # Examples
+///
+/// ```
+/// use stencil_polyhedral::Point;
+/// use stencil_uniform::{multidim_cyclic, Method};
+///
+/// // The BICUBIC 4-point window of Fig. 6(a) — a stride-2 square, as
+/// // interpolation reads the coarse grid: every pairwise difference is
+/// // even, so no 4-bank affine cyclic mapping exists and [8] needs 5
+/// // banks where the non-uniform design needs only 3.
+/// let window = [
+///     Point::new(&[0, 0]),
+///     Point::new(&[0, 2]),
+///     Point::new(&[2, 0]),
+///     Point::new(&[2, 2]),
+/// ];
+/// let r = multidim_cyclic(&window, &[1024, 1024]);
+/// assert_eq!(r.method, Method::MultidimCyclic);
+/// assert_eq!(r.banks, 5);
+/// ```
+#[must_use]
+pub fn multidim_cyclic(window: &[Point], extents: &[i64]) -> PartitionResult {
+    assert!(!window.is_empty(), "window must be non-empty");
+    let n = window.len();
+    let m = extents.len();
+    for banks in n..=MAX_BANKS {
+        if let Some(alpha) = find_alpha(window, banks as i64, m) {
+            let padded = padded_extents(extents, banks as u64);
+            let flat = flatten_window(window, &pitches(&padded));
+            let span = window_span(&flat);
+            let per_bank = span.div_ceil(banks as u64);
+            return PartitionResult {
+                method: Method::MultidimCyclic,
+                banks,
+                total_size: per_bank * banks as u64,
+                ii: 1,
+                needs_divider: !banks.is_power_of_two(),
+                mapping: alpha,
+            };
+        }
+    }
+    unreachable!("a feasible bank count always exists below MAX_BANKS");
+}
+
+/// The grid after \[8\]'s padding: every dimension except the outermost is
+/// rounded up to a multiple of the bank count, so bank-local addresses
+/// need no general division.
+#[must_use]
+pub fn padded_extents(extents: &[i64], banks: u64) -> Vec<i64> {
+    let b = banks as i64;
+    extents
+        .iter()
+        .enumerate()
+        .map(|(d, &e)| if d == 0 { e } else { (e + b - 1) / b * b })
+        .collect()
+}
+
+/// Exhaustively searches coefficient vectors `α ∈ [0, banks)^m` for one
+/// that separates the window's offsets modulo `banks`.
+fn find_alpha(window: &[Point], banks: i64, dims: usize) -> Option<Vec<i64>> {
+    let mut alpha = vec![0i64; dims];
+    loop {
+        if alpha.iter().any(|&a| a != 0) {
+            let dots: Vec<i64> = window
+                .iter()
+                .map(|f| f.as_slice().iter().zip(&alpha).map(|(&c, &a)| c * a).sum())
+                .collect();
+            if distinct_mod(&dots, banks) {
+                return Some(alpha);
+            }
+        }
+        // Odometer over [0, banks)^dims.
+        let mut d = dims;
+        loop {
+            if d == 0 {
+                return None;
+            }
+            d -= 1;
+            alpha[d] += 1;
+            if alpha[d] < banks {
+                break;
+            }
+            alpha[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cross() -> Vec<Point> {
+        vec![
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ]
+    }
+
+    /// The 19-point SEGMENTATION_3D window of Fig. 6(c): the full 3³
+    /// neighbourhood minus the 8 corners.
+    fn nineteen_point() -> Vec<Point> {
+        let mut out = Vec::new();
+        for a in -1..=1i64 {
+            for b in -1..=1i64 {
+                for c in -1..=1i64 {
+                    if a != 0 && b != 0 && c != 0 {
+                        continue; // corner
+                    }
+                    out.push(Point::new(&[a, b, c]));
+                }
+            }
+        }
+        assert_eq!(out.len(), 19);
+        out
+    }
+
+    #[test]
+    fn denoise_needs_exactly_five() {
+        // §2.3: [8] keeps the DENOISE window at 5 banks for any row size.
+        for w in [1018i64, 1024, 1025, 1030] {
+            let r = multidim_cyclic(&cross(), &[768, w]);
+            assert_eq!(r.banks, 5, "row size {w}");
+        }
+    }
+
+    #[test]
+    fn rician_window_needs_five() {
+        // Fig. 6(b): the 4-point RICIAN window — the centerless cross of
+        // the Rician-denoising PDE — needs 5 banks under [8]: any α with
+        // both components odd collides ±f, any even component collides a
+        // pair outright.
+        let window = [
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ];
+        let r = multidim_cyclic(&window, &[768, 1024]);
+        assert_eq!(r.banks, 5);
+    }
+
+    #[test]
+    fn bicubic_window_needs_five() {
+        // Fig. 6(a): the stride-2 BICUBIC window has all-even pairwise
+        // differences, so 4 affine-cyclic banks are impossible.
+        let window = [
+            Point::new(&[0, 0]),
+            Point::new(&[0, 2]),
+            Point::new(&[2, 0]),
+            Point::new(&[2, 2]),
+        ];
+        let r = multidim_cyclic(&window, &[1024, 1024]);
+        assert_eq!(r.banks, 5);
+    }
+
+    #[test]
+    fn segmentation_3d_window_needs_twenty() {
+        // Fig. 6(c): the 19-point window needs 20 banks under [8].
+        let r = multidim_cyclic(&nineteen_point(), &[96, 96, 96]);
+        assert_eq!(r.banks, 20);
+    }
+
+    #[test]
+    fn alpha_witness_really_separates() {
+        let r = multidim_cyclic(&cross(), &[768, 1024]);
+        let dots: Vec<i64> = cross()
+            .iter()
+            .map(|f| {
+                f.as_slice()
+                    .iter()
+                    .zip(&r.mapping)
+                    .map(|(&c, &a)| c * a)
+                    .sum()
+            })
+            .collect();
+        assert!(distinct_mod(&dots, r.banks as i64));
+    }
+
+    #[test]
+    fn padding_inflates_inner_dims_only() {
+        assert_eq!(padded_extents(&[768, 1024], 5), vec![768, 1025]);
+        assert_eq!(padded_extents(&[96, 96, 96], 20), vec![96, 100, 100]);
+        assert_eq!(padded_extents(&[64], 4), vec![64]);
+    }
+
+    #[test]
+    fn padded_size_exceeds_unpadded_span() {
+        let r = multidim_cyclic(&cross(), &[768, 1024]);
+        // Unpadded span is 2049; [8]'s padded, bank-rounded total must
+        // be at least that.
+        assert!(r.total_size >= 2049, "total {}", r.total_size);
+    }
+
+    #[test]
+    fn three_d_padding_overhead_is_large() {
+        // §5.2: padding overhead grows on high-dimensional grids.
+        let r = multidim_cyclic(&nineteen_point(), &[96, 96, 96]);
+        let unpadded_span =
+            window_span(&flatten_window(&nineteen_point(), &pitches(&[96, 96, 96])));
+        assert!(r.total_size > unpadded_span);
+        let overhead = r.total_size as f64 / unpadded_span as f64;
+        assert!(overhead > 1.05, "3-D padding overhead only {overhead:.3}");
+    }
+}

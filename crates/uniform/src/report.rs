@@ -1,0 +1,94 @@
+//! Common result type for all uniform-partitioning baselines.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The partitioning method that produced a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Linear cyclic partitioning of the flattened address space
+    /// (Cong et al., ICCAD'09 — reference \[5\] of the paper).
+    LinearCyclic,
+    /// Linear cyclic plus memory-access rescheduling within a bounded
+    /// lookahead window (Li et al., ICCAD'12 — reference \[7\]).
+    RescheduledCyclic,
+    /// Block-cyclic banking `⌊a/b⌋ mod N` on the flattened address.
+    BlockCyclic,
+    /// Multidimensional affine cyclic partitioning with grid padding
+    /// (Wang et al., DAC'13 — reference \[8\], the paper's baseline).
+    MultidimCyclic,
+    /// This paper's non-uniform FIFO chain.
+    NonUniform,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Method::LinearCyclic => "[5] linear cyclic",
+            Method::RescheduledCyclic => "[7] cyclic + rescheduling",
+            Method::BlockCyclic => "block-cyclic",
+            Method::MultidimCyclic => "[8] multidim cyclic",
+            Method::NonUniform => "ours (non-uniform)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The outcome of partitioning one stencil window with one method —
+/// a row of the paper's Table 4.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionResult {
+    /// The method that produced this result.
+    pub method: Method,
+    /// Number of memory banks.
+    pub banks: usize,
+    /// Total reuse-buffer size across banks, in data elements.
+    pub total_size: u64,
+    /// The initiation interval the partitioned design sustains.
+    pub ii: usize,
+    /// True if bank addressing requires general modulo/division hardware
+    /// (the DSP-hungry address transformer of §5.2; our method and
+    /// power-of-two cases need none).
+    pub needs_divider: bool,
+    /// The bank-mapping coefficients, for reproducibility: the winning
+    /// `α` vector for affine schemes, the per-access time shifts for
+    /// rescheduling, empty otherwise.
+    pub mapping: Vec<i64>,
+}
+
+impl fmt::Display for PartitionResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} banks, total size {}, II {}{}",
+            self.method,
+            self.banks,
+            self.total_size,
+            self.ii,
+            if self.needs_divider { ", divider" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Method::LinearCyclic.to_string(), "[5] linear cyclic");
+        assert_eq!(Method::NonUniform.to_string(), "ours (non-uniform)");
+        let r = PartitionResult {
+            method: Method::MultidimCyclic,
+            banks: 5,
+            total_size: 2050,
+            ii: 1,
+            needs_divider: true,
+            mapping: vec![2, 1],
+        };
+        let s = r.to_string();
+        assert!(s.contains("5 banks"), "{s}");
+        assert!(s.contains("divider"), "{s}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Linear cyclic partitioning with memory-access rescheduling — the
+//! co-optimization of Li et al. ICCAD'12 (reference \[7\] of the paper).
+//!
+//! The key idea of \[7\] is that the `n` accesses of one iteration need
+//! not all issue in the same cycle: an access may be issued up to a few
+//! cycles *early*, its value held in a prefetch register until the
+//! iteration consumes it. An access shifted by `t` cycles reads, at any
+//! given cycle, the address it would have read `t` cycles later — so its
+//! effective flattened offset becomes `a_x + t·step`, where `step` is
+//! the address stride per iteration (1 for a unit-stride innermost
+//! loop). Conflict freedom then requires `a_x + t_x` distinct mod `N`
+//! for some shift assignment `t_x ∈ {0..lookahead}`.
+//!
+//! With an unbounded lookahead, `N = n` is always achievable; real
+//! designs bound the lookahead by the prefetch-register budget. We model
+//! the scheme with a configurable lookahead (default 2 registers per
+//! port, matching the modest latency budget of \[7\]'s experiments).
+
+use stencil_polyhedral::Point;
+
+use crate::flatten::{flatten_window, pitches, window_span};
+use crate::report::{Method, PartitionResult};
+
+/// Default per-access prefetch lookahead, in cycles.
+pub const DEFAULT_LOOKAHEAD: i64 = 2;
+
+/// Upper bound on the bank-count search.
+const MAX_BANKS: usize = 4096;
+
+/// Partitions with linear cyclic banking plus bounded access
+/// rescheduling.
+///
+/// # Panics
+///
+/// Panics if the window is empty or `lookahead` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use stencil_polyhedral::Point;
+/// use stencil_uniform::{rescheduled_cyclic, DEFAULT_LOOKAHEAD};
+///
+/// let window = [
+///     Point::new(&[-1, 0]),
+///     Point::new(&[0, -1]),
+///     Point::new(&[0, 0]),
+///     Point::new(&[0, 1]),
+///     Point::new(&[1, 0]),
+/// ];
+/// // Rescheduling rescues the 5-bank solution that plain cyclic loses
+/// // on a 1024-wide grid (Fig. 5 vs. the [7] discussion in §2.3).
+/// let r = rescheduled_cyclic(&window, &[768, 1024], DEFAULT_LOOKAHEAD);
+/// assert_eq!(r.banks, 5);
+/// ```
+#[must_use]
+pub fn rescheduled_cyclic(window: &[Point], extents: &[i64], lookahead: i64) -> PartitionResult {
+    assert!(!window.is_empty(), "window must be non-empty");
+    assert!(lookahead >= 0, "lookahead must be non-negative");
+    let flat = flatten_window(window, &pitches(extents));
+    let span = window_span(&flat);
+    let n = window.len();
+    for banks in n..=MAX_BANKS {
+        if let Some(shifts) = find_shifts(&flat, banks as i64, lookahead) {
+            let per_bank = span.div_ceil(banks as u64);
+            return PartitionResult {
+                method: Method::RescheduledCyclic,
+                banks,
+                total_size: per_bank * banks as u64,
+                ii: 1,
+                needs_divider: !banks.is_power_of_two(),
+                mapping: shifts,
+            };
+        }
+    }
+    unreachable!("a feasible bank count always exists below MAX_BANKS");
+}
+
+/// Searches for per-access shifts making `a_x + t_x` distinct mod
+/// `banks` via backtracking over residue assignments.
+fn find_shifts(flat: &[i64], banks: i64, lookahead: i64) -> Option<Vec<i64>> {
+    fn rec(
+        flat: &[i64],
+        banks: i64,
+        lookahead: i64,
+        k: usize,
+        used: &mut Vec<bool>,
+        shifts: &mut Vec<i64>,
+    ) -> bool {
+        if k == flat.len() {
+            return true;
+        }
+        for t in 0..=lookahead {
+            let r = (flat[k] + t).rem_euclid(banks) as usize;
+            if !used[r] {
+                used[r] = true;
+                shifts.push(t);
+                if rec(flat, banks, lookahead, k + 1, used, shifts) {
+                    return true;
+                }
+                shifts.pop();
+                used[r] = false;
+            }
+        }
+        false
+    }
+
+    let mut used = vec![false; banks as usize];
+    let mut shifts = Vec::with_capacity(flat.len());
+    if rec(flat, banks, lookahead, 0, &mut used, &mut shifts) {
+        Some(shifts)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::distinct_mod;
+
+    fn cross() -> Vec<Point> {
+        vec![
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ]
+    }
+
+    #[test]
+    fn zero_lookahead_matches_plain_cyclic() {
+        let r = rescheduled_cyclic(&cross(), &[768, 1024], 0);
+        let plain = crate::linear::linear_cyclic(&cross(), &[768, 1024]);
+        assert_eq!(r.banks, plain.banks);
+    }
+
+    #[test]
+    fn keeps_five_banks_across_row_sizes() {
+        // §2.3: "[7, 8] can keep the number of banks consistently to be
+        // five in the case of the stencil window shown in Fig. 2."
+        for w in [1018i64, 1020, 1022, 1024, 1025, 1027, 1030] {
+            let r = rescheduled_cyclic(&cross(), &[768, w], DEFAULT_LOOKAHEAD);
+            assert_eq!(r.banks, 5, "row size {w}");
+        }
+    }
+
+    #[test]
+    fn shifts_really_deconflict() {
+        let r = rescheduled_cyclic(&cross(), &[768, 1024], DEFAULT_LOOKAHEAD);
+        let flat = flatten_window(&cross(), &pitches(&[768, 1024]));
+        let shifted: Vec<i64> = flat.iter().zip(&r.mapping).map(|(a, t)| a + t).collect();
+        assert!(distinct_mod(&shifted, r.banks as i64));
+        assert!(r
+            .mapping
+            .iter()
+            .all(|&t| (0..=DEFAULT_LOOKAHEAD).contains(&t)));
+    }
+
+    #[test]
+    fn needs_more_banks_when_lookahead_too_small() {
+        // With lookahead 0 on a hostile row size, more banks are needed.
+        let r0 = rescheduled_cyclic(&cross(), &[768, 1025], 0);
+        let r3 = rescheduled_cyclic(&cross(), &[768, 1025], DEFAULT_LOOKAHEAD);
+        assert!(r0.banks >= r3.banks);
+        assert_eq!(r3.banks, 5);
+    }
+}

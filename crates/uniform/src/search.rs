@@ -1,0 +1,120 @@
+//! Best-of-breed uniform partitioning: the minimum bank count over
+//! *every* uniform scheme implemented in this crate. Even this
+//! composite optimum cannot beat `n` banks (one port of each dual-port
+//! bank is spent on refill, §2.3), while the paper's non-uniform design
+//! always uses `n - 1` — making the gap a structural property of
+//! uniformity rather than an artifact of any one scheme.
+
+use stencil_polyhedral::Point;
+
+use crate::block::block_cyclic;
+use crate::linear::linear_cyclic;
+use crate::multidim::multidim_cyclic;
+use crate::report::PartitionResult;
+use crate::reschedule::{rescheduled_cyclic, DEFAULT_LOOKAHEAD};
+
+/// The pure uniform-partitioning scheme with the fewest banks for this
+/// window (ties break toward smaller total buffer size).
+///
+/// "Pure" excludes access *rescheduling* (\[7\]'s co-optimization), which
+/// spends extra prefetch registers and scheduling freedom rather than a
+/// different bank mapping; compare against
+/// [`crate::rescheduled_cyclic`] separately.
+///
+/// # Panics
+///
+/// Panics if the window is empty.
+#[must_use]
+pub fn best_uniform(window: &[Point], extents: &[i64]) -> PartitionResult {
+    assert!(!window.is_empty(), "window must be non-empty");
+    let candidates = [
+        linear_cyclic(window, extents),
+        multidim_cyclic(window, extents),
+        block_cyclic(window, extents, 4),
+    ];
+    candidates
+        .into_iter()
+        .min_by(|a, b| a.banks.cmp(&b.banks).then(a.total_size.cmp(&b.total_size)))
+        .expect("non-empty candidate list")
+}
+
+/// Every implemented partitioning of one window, for side-by-side
+/// comparison (the CLI's `compare`/`report` backing data): \[5\] linear,
+/// \[7\] rescheduled, block-cyclic, and \[8\] multidimensional.
+///
+/// # Panics
+///
+/// Panics if the window is empty.
+#[must_use]
+pub fn survey(window: &[Point], extents: &[i64]) -> Vec<PartitionResult> {
+    assert!(!window.is_empty(), "window must be non-empty");
+    vec![
+        linear_cyclic(window, extents),
+        rescheduled_cyclic(window, extents, DEFAULT_LOOKAHEAD),
+        block_cyclic(window, extents, 4),
+        multidim_cyclic(window, extents),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cross() -> Vec<Point> {
+        vec![
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ]
+    }
+
+    #[test]
+    fn best_uniform_never_below_n() {
+        // The structural lower bound for uniform schemes.
+        for extents in [[768i64, 1024], [768, 1022], [512, 513]] {
+            let r = best_uniform(&cross(), &extents);
+            assert!(r.banks >= cross().len(), "{extents:?}: {}", r.banks);
+        }
+    }
+
+    #[test]
+    fn best_uniform_reaches_n_for_denoise() {
+        // [7]/[8]-class methods find 5 banks for the 5-point window.
+        let r = best_uniform(&cross(), &[768, 1024]);
+        assert_eq!(r.banks, 5);
+        assert_eq!(r.ii, 1);
+    }
+
+    #[test]
+    fn survey_lists_all_methods() {
+        use crate::report::Method;
+        let results = survey(&cross(), &[768, 1024]);
+        let methods: Vec<Method> = results.iter().map(|r| r.method).collect();
+        assert_eq!(
+            methods,
+            vec![
+                Method::LinearCyclic,
+                Method::RescheduledCyclic,
+                Method::BlockCyclic,
+                Method::MultidimCyclic,
+            ]
+        );
+        assert!(results.iter().all(|r| r.banks >= cross().len()));
+    }
+
+    #[test]
+    fn hard_windows_stay_above_n() {
+        // The RICIAN centerless cross defeats every affine/cyclic scheme
+        // at 4 banks.
+        let rician = [
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ];
+        let r = best_uniform(&rician, &[768, 1024]);
+        assert!(r.banks >= 5, "got {}", r.banks);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based validation of the uniform-partitioning baselines.
+
+use proptest::prelude::*;
+use stencil_polyhedral::Point;
+use stencil_uniform::{
+    achieved_ii_affine, achieved_ii_linear, best_uniform, block_cyclic, distinct_mod,
+    flatten_window, linear_cyclic, multidim_cyclic, pitches, rescheduled_cyclic, unpartitioned,
+    window_span, DEFAULT_LOOKAHEAD,
+};
+
+fn window_2d() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::btree_set(((-2i64..=2), (-2i64..=2)), 2..=7)
+        .prop_map(|set| set.into_iter().map(|(a, b)| Point::new(&[a, b])).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Linear cyclic: the returned bank count really deconflicts the
+    /// window, and no smaller count does.
+    #[test]
+    fn linear_cyclic_is_minimal_and_valid(
+        window in window_2d(),
+        rows in 8i64..64,
+        cols in 8i64..64,
+    ) {
+        let r = linear_cyclic(&window, &[rows, cols]);
+        let flat = flatten_window(&window, &pitches(&[rows, cols]));
+        prop_assert!(distinct_mod(&flat, r.banks as i64));
+        prop_assert_eq!(achieved_ii_linear(&window, &[rows, cols], r.banks), 1);
+        for smaller in window.len()..r.banks {
+            prop_assert!(!distinct_mod(&flat, smaller as i64),
+                "{smaller} banks would already work");
+        }
+    }
+
+    /// Multidim cyclic: the α witness deconflicts and the achieved II
+    /// is 1; bank count is at least the reference count.
+    #[test]
+    fn multidim_witness_valid(
+        window in window_2d(),
+        rows in 8i64..64,
+        cols in 8i64..64,
+    ) {
+        let r = multidim_cyclic(&window, &[rows, cols]);
+        prop_assert!(r.banks >= window.len());
+        prop_assert_eq!(achieved_ii_affine(&window, &r.mapping, r.banks), 1);
+    }
+
+    /// Rescheduling can only help: never more banks than plain cyclic.
+    #[test]
+    fn rescheduling_never_hurts(
+        window in window_2d(),
+        rows in 8i64..64,
+        cols in 8i64..64,
+    ) {
+        let plain = linear_cyclic(&window, &[rows, cols]);
+        let resched = rescheduled_cyclic(&window, &[rows, cols], DEFAULT_LOOKAHEAD);
+        prop_assert!(resched.banks <= plain.banks);
+        prop_assert!(resched.banks >= window.len());
+    }
+
+    /// block-cyclic subsumes cyclic: searching sub-blocks never yields
+    /// more banks than pure cyclic, and never fewer than n.
+    #[test]
+    fn block_cyclic_bounds(
+        window in window_2d(),
+        rows in 8i64..40,
+        cols in 8i64..40,
+    ) {
+        let bc = block_cyclic(&window, &[rows, cols], 3);
+        let c = linear_cyclic(&window, &[rows, cols]);
+        prop_assert!(bc.banks <= c.banks);
+        prop_assert!(bc.banks >= window.len());
+    }
+
+    /// The composite best is bounded below by n and above by each
+    /// member; total size always covers the window span.
+    #[test]
+    fn best_uniform_bounds(
+        window in window_2d(),
+        rows in 8i64..40,
+        cols in 8i64..40,
+    ) {
+        let best = best_uniform(&window, &[rows, cols]);
+        prop_assert!(best.banks >= window.len());
+        prop_assert!(best.banks <= linear_cyclic(&window, &[rows, cols]).banks);
+        let flat = flatten_window(&window, &pitches(&[rows, cols]));
+        prop_assert!(best.total_size >= window_span(&flat));
+    }
+
+    /// The unpartitioned design's II equals the window size.
+    #[test]
+    fn unpartitioned_ii(window in window_2d(), rows in 8i64..40, cols in 8i64..40) {
+        let r = unpartitioned(&window, &[rows, cols]);
+        prop_assert_eq!(r.ii, window.len());
+        prop_assert_eq!(r.banks, 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! From specification to artifacts: generate the synthesizable Verilog
+//! of a memory system (including a self-checking testbench) and a VCD
+//! waveform of its simulated fill process — the complete deliverable of
+//! the paper's automation flow (Fig. 11) for one kernel.
+//!
+//! ```text
+//! cargo run --release -p stencil-bench --example rtl_and_waves
+//! ```
+//!
+//! Outputs land in `target/flow_demo/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use stencil_core::MemorySystemPlan;
+use stencil_kernels::denoise;
+use stencil_rtl::generate;
+use stencil_sim::{trace_to_vcd, Machine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = PathBuf::from("target/flow_demo");
+    fs::create_dir_all(&out)?;
+
+    let bench = denoise();
+    let spec = bench.spec_for(&[32, 48])?;
+    let plan = MemorySystemPlan::generate(&spec)?;
+    println!("{plan}");
+
+    // Verilog (with testbench).
+    let bundle = generate(&plan)?;
+    assert!(bundle.lint().is_empty());
+    bundle.write_to_dir(&out)?;
+    println!(
+        "wrote {} Verilog files to {} (try: iverilog -o tb {}/*.v && ./tb)",
+        bundle.files().len(),
+        out.display(),
+        out.display()
+    );
+
+    // VCD of the automatic fill (§3.4.1 / Table 3).
+    let mut machine = Machine::new(&plan)?;
+    machine.enable_trace(0, 256);
+    let stats = machine.run(1_000_000)?;
+    let trace = machine.trace(0).expect("trace enabled");
+    let vcd = trace_to_vcd(trace, "denoise", 5.0);
+    let vcd_path = out.join("denoise_fill.vcd");
+    fs::write(&vcd_path, &vcd)?;
+    println!(
+        "wrote {} ({} bytes) — open in GTKWave to watch the buffers fill",
+        vcd_path.display(),
+        vcd.len()
+    );
+    println!(
+        "{} outputs in {} cycles; first output at cycle {}",
+        stats.outputs, stats.cycles, stats.fill_latency
+    );
+    assert!(stats.fully_pipelined());
+    println!("rtl_and_waves OK");
+    Ok(())
+}

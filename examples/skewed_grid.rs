@@ -1,0 +1,65 @@
+//! Skewed-grid execution (Fig. 9): after 45° loop skewing the wavefront
+//! rows change length, so reuse distances change dynamically. The
+//! distributed memory system adapts its FIFO occupancy automatically —
+//! there is no controller to reprogram.
+//!
+//! ```text
+//! cargo run --release -p stencil-bench --example skewed_grid
+//! ```
+
+use stencil_core::{verify_plan, MemorySystemPlan, ReuseAnalysis};
+use stencil_kernels::skewed_denoise;
+use stencil_sim::Machine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = skewed_denoise(32, 20)?;
+    let analysis = ReuseAnalysis::of(&spec)?;
+    let plan = MemorySystemPlan::generate(&spec)?;
+
+    println!("{plan}");
+    println!(
+        "linearity of max reuse distances holds on this skewed grid: {}",
+        analysis.linearity_holds()
+    );
+    let report = verify_plan(&plan, &analysis);
+    println!("{report}");
+    assert!(report.deadlock_free());
+
+    let mut machine = Machine::new(&plan)?;
+    let mut min_occ = vec![u64::MAX; plan.fifo_capacities().len()];
+    let mut max_occ = vec![0u64; plan.fifo_capacities().len()];
+    let mut warmed = false;
+    while !machine.is_done() {
+        machine.step()?;
+        // Track occupancy once the pipeline has produced something.
+        if machine.outputs() > 0 {
+            warmed = true;
+        }
+        if warmed {
+            for (k, occ) in machine.fifo_occupancies(0).iter().enumerate() {
+                min_occ[k] = min_occ[k].min(*occ);
+                max_occ[k] = max_occ[k].max(*occ);
+            }
+        }
+    }
+    let stats = machine.stats();
+    println!();
+    for (k, cap) in plan.fifo_capacities().iter().enumerate() {
+        println!(
+            "FIFO_{k}: capacity {:>4}, observed occupancy {}..{}",
+            cap, min_occ[k], max_occ[k]
+        );
+    }
+    println!(
+        "{} outputs in {} cycles; occupancy stayed within capacity: {}",
+        stats.outputs,
+        stats.cycles,
+        stats.chains[0].occupancy_within_capacity()
+    );
+    assert!(stats.chains[0].occupancy_within_capacity());
+    // The big FIFOs must actually have adapted (range, not a constant).
+    let adapted = (0..min_occ.len()).any(|k| max_occ[k] > min_occ[k] + 1);
+    assert!(adapted, "no dynamic adjustment observed");
+    println!("skewed_grid OK: distributed modules adjusted reuse amounts automatically");
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Property-based cross-validation over randomized stencil windows and
+//! grids: the planner's guarantees and the simulator's invariants must
+//! hold for *any* stencil computation, not just the paper's suite.
+
+use proptest::prelude::*;
+use stencil_core::{verify_plan, MemorySystemPlan, ReuseAnalysis, StencilSpec};
+use stencil_polyhedral::{Point, Polyhedron};
+use stencil_sim::Machine;
+use stencil_uniform::multidim_cyclic;
+
+/// A random 2-D window of 2..=7 distinct offsets within radius 2.
+fn window_2d() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::btree_set(((-2i64..=2), (-2i64..=2)), 2..=7)
+        .prop_map(|set| set.into_iter().map(|(a, b)| Point::new(&[a, b])).collect())
+}
+
+/// A random interior grid large enough for any radius-2 window.
+fn grid_2d() -> impl Strategy<Value = (i64, i64)> {
+    ((10i64..28), (10i64..36))
+}
+
+fn spec_for(window: &[Point], rows: i64, cols: i64) -> StencilSpec {
+    let lo0 = window.iter().map(|f| f[0]).min().unwrap().min(0).abs();
+    let hi0 = window.iter().map(|f| f[0]).max().unwrap().max(0);
+    let lo1 = window.iter().map(|f| f[1]).min().unwrap().min(0).abs();
+    let hi1 = window.iter().map(|f| f[1]).max().unwrap().max(0);
+    StencilSpec::new(
+        "random",
+        Polyhedron::rect(&[(lo0, rows - 1 - hi0), (lo1, cols - 1 - hi1)]),
+        window.to_vec(),
+    )
+    .expect("valid random spec")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generated plan always hits the n-1 bank bound, satisfies both
+    /// deadlock-freedom conditions, and never exceeds [8]'s buffer size.
+    #[test]
+    fn planner_guarantees((rows, cols) in grid_2d(), window in window_2d()) {
+        let spec = spec_for(&window, rows, cols);
+        let analysis = ReuseAnalysis::of(&spec).expect("analysis");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let report = verify_plan(&plan, &analysis);
+
+        prop_assert_eq!(plan.bank_count(), window.len() - 1);
+        prop_assert!(report.deadlock_free());
+        prop_assert!(report.banks_optimal());
+        // Rectangular grids: linearity holds, so size is optimal too.
+        prop_assert!(analysis.linearity_holds());
+        prop_assert!(report.size_optimal());
+
+        let base = multidim_cyclic(&window, &[rows, cols]);
+        prop_assert!(plan.bank_count() < base.banks || base.banks == window.len());
+        prop_assert!(plan.total_buffer_size() <= base.total_size);
+    }
+
+    /// Every random design simulates to completion, fully pipelined,
+    /// with every FIFO's occupancy exactly reaching (never exceeding)
+    /// its allocated maximum reuse distance.
+    #[test]
+    fn simulator_invariants((rows, cols) in grid_2d(), window in window_2d()) {
+        let spec = spec_for(&window, rows, cols);
+        let analysis = ReuseAnalysis::of(&spec).expect("analysis");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let mut machine = Machine::new(&plan).expect("machine");
+        let stats = machine.run(5_000_000).expect("run");
+
+        prop_assert_eq!(stats.outputs, analysis.iteration_count());
+        prop_assert!(stats.fully_pipelined(),
+            "cycles {} > ideal {}", stats.cycles, stats.ideal_cycles);
+        prop_assert!(stats.chains[0].occupancy_within_capacity());
+        prop_assert!(stats.chains[0].occupancy_reaches_capacity(),
+            "occupancy {:?} vs capacity {:?}",
+            stats.chains[0].fifo_max_occupancy,
+            stats.chains[0].fifo_capacity);
+        // Each filter forwarded exactly one element per iteration; the
+        // rest of what it saw was discarded. Trailing stream elements no
+        // filter needs may remain in flight when the kernel finishes, so
+        // consumed counts are bounded by (not equal to) the input size.
+        for (fwd, disc) in stats.chains[0].forwarded.iter()
+            .zip(&stats.chains[0].discarded)
+        {
+            prop_assert_eq!(*fwd, analysis.iteration_count());
+            prop_assert!(*fwd + *disc <= analysis.input_count());
+        }
+        // The head of the chain must have streamed at least up to the
+        // last element any reference needs.
+        prop_assert!(stats.chains[0].inputs_streamed <= analysis.input_count());
+        prop_assert!(
+            stats.chains[0].inputs_streamed + 1 >= stats.cycles.min(analysis.input_count())
+        );
+    }
+
+    /// Any bandwidth tradeoff point still simulates correctly.
+    #[test]
+    fn tradeoff_points_simulate(
+        (rows, cols) in grid_2d(),
+        window in window_2d(),
+        pick in 0usize..4,
+    ) {
+        let spec = spec_for(&window, rows, cols);
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let streams = 1 + pick % window.len();
+        let traded = plan.with_offchip_streams(streams).expect("tradeoff");
+        let stats = Machine::new(&traded).expect("machine")
+            .run(5_000_000).expect("run");
+        let expected = spec.iteration_domain().count().expect("count");
+        prop_assert_eq!(stats.outputs, expected);
+        prop_assert!(stats.fully_pipelined());
+    }
+}

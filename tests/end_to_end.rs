@@ -1,0 +1,191 @@
+//! Cross-crate integration: specification → analysis → plan → verified
+//! optimality → cycle-accurate simulation → value-exact results, for
+//! the whole benchmark suite.
+
+use stencil_bench::scaled_extents;
+use stencil_core::{verify_plan, MemorySystemPlan, ReuseAnalysis};
+use stencil_kernels::{
+    extra_suite, paper_suite, run_golden, skewed_denoise, Benchmark, GridValues,
+};
+use stencil_polyhedral::Polyhedron;
+use stencil_sim::Machine;
+
+/// Plans, verifies, and simulates one benchmark at a scaled size,
+/// returning (outputs, iterations).
+fn full_stack(bench: &Benchmark, max_cells: u64) -> (u64, u64) {
+    let extents = scaled_extents(bench, max_cells);
+    let spec = bench.spec_for(&extents).expect("spec");
+    let analysis = ReuseAnalysis::of(&spec).expect("analysis");
+    let plan = MemorySystemPlan::generate(&spec).expect("plan");
+
+    let report = verify_plan(&plan, &analysis);
+    assert!(report.is_optimal(), "{}: {report}", bench.name());
+    assert_eq!(
+        plan.bank_count(),
+        bench.window().len() - 1,
+        "{}",
+        bench.name()
+    );
+
+    let mut machine = Machine::new(&plan).expect("machine");
+    let stats = machine.run(50_000_000).expect("run");
+    assert!(
+        stats.fully_pipelined(),
+        "{}: II {}",
+        bench.name(),
+        stats.steady_ii
+    );
+    assert!(
+        stats.chains[0].occupancy_within_capacity(),
+        "{}: overflow",
+        bench.name()
+    );
+    assert!(
+        stats.chains[0].occupancy_reaches_capacity(),
+        "{}: buffer oversized (occupancy {:?} vs capacity {:?})",
+        bench.name(),
+        stats.chains[0].fifo_max_occupancy,
+        stats.chains[0].fifo_capacity
+    );
+    (stats.outputs, analysis.iteration_count())
+}
+
+#[test]
+fn paper_suite_full_stack() {
+    for bench in paper_suite() {
+        let (outputs, iterations) = full_stack(&bench, 8_192);
+        assert_eq!(outputs, iterations, "{}", bench.name());
+    }
+}
+
+#[test]
+fn extra_suite_full_stack() {
+    for bench in extra_suite() {
+        let (outputs, iterations) = full_stack(&bench, 8_192);
+        assert_eq!(outputs, iterations, "{}", bench.name());
+    }
+}
+
+#[test]
+fn accelerated_values_match_golden_denoise() {
+    let bench = stencil_kernels::denoise();
+    let extents = [24i64, 32];
+    let image = GridValues::from_fn(&Polyhedron::grid(&extents), |p| {
+        ((p[0] * 31 + p[1] * 17) % 97) as f64 * 0.5 + 10.0
+    })
+    .expect("grid");
+    let golden = run_golden(&bench, &extents, &image).expect("golden");
+
+    let plan = MemorySystemPlan::generate(&bench.spec_for(&extents).expect("spec")).expect("plan");
+    let mut machine = Machine::new(&plan).expect("machine");
+    let port_offsets = machine.port_offsets(0).to_vec();
+    let mut accelerated = Vec::new();
+    while !machine.is_done() {
+        machine.step().expect("step");
+        if let Some(fire) = machine.last_fire() {
+            let values: Vec<f64> = fire.ports[0]
+                .iter()
+                .map(|e| image.value_by_rank(e.id()).expect("rank"))
+                .collect();
+            let ordered = bench.reorder_ports(&port_offsets, &values);
+            accelerated.push(bench.compute(&ordered));
+        }
+    }
+    assert_eq!(golden, accelerated, "accelerator must be bit-exact");
+}
+
+#[test]
+fn accelerated_values_match_golden_segmentation_3d() {
+    let bench = stencil_kernels::segmentation_3d();
+    let extents = [10i64, 10, 10];
+    let volume = GridValues::from_fn(&Polyhedron::grid(&extents), |p| {
+        ((p[0] * 131 + p[1] * 37 + p[2] * 7) % 53) as f64 - 26.0
+    })
+    .expect("grid");
+    let golden = run_golden(&bench, &extents, &volume).expect("golden");
+
+    let plan = MemorySystemPlan::generate(&bench.spec_for(&extents).expect("spec")).expect("plan");
+    let mut machine = Machine::new(&plan).expect("machine");
+    let port_offsets = machine.port_offsets(0).to_vec();
+    let mut accelerated = Vec::new();
+    while !machine.is_done() {
+        machine.step().expect("step");
+        if let Some(fire) = machine.last_fire() {
+            let values: Vec<f64> = fire.ports[0]
+                .iter()
+                .map(|e| volume.value_by_rank(e.id()).expect("rank"))
+                .collect();
+            let ordered = bench.reorder_ports(&port_offsets, &values);
+            accelerated.push(bench.compute(&ordered));
+        }
+    }
+    assert_eq!(golden, accelerated);
+}
+
+#[test]
+fn tradeoff_configurations_remain_correct() {
+    let bench = stencil_kernels::denoise();
+    let extents = [16i64, 20];
+    let plan = MemorySystemPlan::generate(&bench.spec_for(&extents).expect("spec")).expect("plan");
+    let full_outputs = Machine::new(&plan)
+        .expect("machine")
+        .run(1_000_000)
+        .expect("run")
+        .outputs;
+    for streams in 1..=bench.window().len() {
+        let traded = plan.with_offchip_streams(streams).expect("tradeoff");
+        let stats = Machine::new(&traded)
+            .expect("machine")
+            .run(1_000_000)
+            .expect("run");
+        assert_eq!(stats.outputs, full_outputs, "{streams} streams");
+        assert!(stats.fully_pipelined(), "{streams} streams");
+    }
+}
+
+#[test]
+fn skewed_grid_full_stack() {
+    let spec = skewed_denoise(24, 16).expect("spec");
+    let analysis = ReuseAnalysis::of(&spec).expect("analysis");
+    let plan = MemorySystemPlan::generate(&spec).expect("plan");
+    let report = verify_plan(&plan, &analysis);
+    assert!(report.deadlock_free());
+    assert!(report.banks_optimal());
+    let stats = Machine::new(&plan)
+        .expect("machine")
+        .run(10_000_000)
+        .expect("run");
+    assert_eq!(stats.outputs, analysis.iteration_count());
+    assert!(stats.chains[0].occupancy_within_capacity());
+}
+
+#[test]
+fn multi_array_accelerator_full_stack() {
+    use stencil_core::{compile, ArrayAccesses, StencilProgram};
+    use stencil_polyhedral::Point;
+
+    let program = StencilProgram {
+        name: "rician_step".to_owned(),
+        iteration_domain: Polyhedron::rect(&[(1, 22), (1, 30)]),
+        arrays: vec![
+            ArrayAccesses::new(
+                "u",
+                vec![
+                    Point::new(&[-1, 0]),
+                    Point::new(&[0, -1]),
+                    Point::new(&[0, 1]),
+                    Point::new(&[1, 0]),
+                ],
+            ),
+            ArrayAccesses::new("f", vec![Point::new(&[0, 0])]),
+        ],
+    };
+    let acc = compile(&program).expect("compile");
+    assert_eq!(acc.bank_count(), 3);
+    let stats = Machine::for_accelerator(&acc)
+        .expect("machine")
+        .run(1_000_000)
+        .expect("run");
+    assert_eq!(stats.outputs, 22 * 30);
+    assert!(stats.fully_pipelined());
+}
