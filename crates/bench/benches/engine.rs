@@ -1,0 +1,62 @@
+//! Criterion bench: parallel tiled engine vs the cycle-accurate
+//! machine on full-size DENOISE (768x1024), and engine thread scaling
+//! at 1/2/4/8 workers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use stencil_core::MemorySystemPlan;
+use stencil_engine::{run_tiled, InputGrid};
+use stencil_kernels::{denoise, GridValues};
+use stencil_polyhedral::Polyhedron;
+use stencil_sim::Machine;
+
+fn bench_engine(c: &mut Criterion) {
+    let bench = denoise();
+    let extents: Vec<i64> = bench.extents().to_vec();
+    let spec = bench.spec_for(&extents).expect("spec");
+    let plan = MemorySystemPlan::generate(&spec).expect("plan");
+    let outputs = plan.iteration_domain().count().expect("count");
+
+    let grid = GridValues::from_fn(&Polyhedron::grid(&extents), |p| {
+        (p[0] * 3 + p[1]) as f64 * 0.125
+    })
+    .expect("grid");
+    let in_idx = plan.input_domain().index().expect("input index");
+    let mut in_vals = Vec::with_capacity(in_idx.len() as usize);
+    let mut cur = in_idx.cursor();
+    while let Some(p) = cur.point(&in_idx) {
+        in_vals.push(grid.value_at(&p).expect("covered"));
+        cur.advance(&in_idx);
+    }
+    let input = InputGrid::new(&in_idx, &in_vals).expect("input");
+    let compute = bench.compute_fn();
+
+    let mut g = c.benchmark_group("engine_denoise_768x1024");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(outputs));
+
+    // Baseline: the cycle-accurate machine streaming the same kernel.
+    g.bench_function("machine", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(black_box(&plan)).expect("machine");
+            black_box(m.run(10_000_000).expect("run").outputs)
+        })
+    });
+
+    // Engine scaling: one band per worker, 1/2/4/8 workers.
+    for threads in [1usize, 2, 4, 8] {
+        let tile_plan = plan.tile_plan(threads).expect("tile plan");
+        g.bench_function(format!("engine_{threads}thread"), |b| {
+            b.iter(|| {
+                let run = run_tiled(black_box(&plan), &tile_plan, &input, &compute, threads)
+                    .expect("engine");
+                black_box(run.outputs.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! ```text
 //! stencil plan     <spec.stencil>                 plan + verify optimality
 //! stencil simulate <spec.stencil> [--streams K] [--vcd OUT.vcd [--cycles N]]
+//! stencil engine   <spec.stencil> [--streams K] [--tiles N] [--threads T]
 //! stencil rtl      <spec.stencil> [--out DIR]     generate Verilog
 //! stencil compare  <spec.stencil>                 vs best uniform partitioning
 //! stencil report   <spec.stencil>                 full markdown design report
@@ -17,12 +18,13 @@ use std::process::ExitCode;
 mod commands;
 mod spec_file;
 
-use commands::{cmd_compare, cmd_plan, cmd_report, cmd_rtl, cmd_simulate, cmd_suite};
+use commands::{cmd_compare, cmd_engine, cmd_plan, cmd_report, cmd_rtl, cmd_simulate, cmd_suite};
 use spec_file::SpecFile;
 
 fn usage() -> &'static str {
     "usage:\n  stencil plan     <spec.stencil>\n  stencil simulate <spec.stencil> \
-     [--streams K] [--vcd OUT.vcd [--cycles N]]\n  stencil rtl      <spec.stencil> \
+     [--streams K] [--vcd OUT.vcd [--cycles N]]\n  stencil engine   <spec.stencil> \
+     [--streams K] [--tiles N] [--threads T]\n  stencil rtl      <spec.stencil> \
      [--out DIR]\n  stencil compare  <spec.stencil>\n  stencil report   <spec.stencil>"
 }
 
@@ -57,6 +59,8 @@ fn run(args: Vec<String>) -> Result<String, commands::CmdError> {
     let mut vcd_path: Option<PathBuf> = None;
     let mut cycles = 256usize;
     let mut out_dir = PathBuf::from("rtl_out");
+    let mut tiles: Option<usize> = None;
+    let mut threads = 0usize;
     while let Some(opt) = it.next() {
         match opt.as_str() {
             "--streams" => {
@@ -64,6 +68,19 @@ fn run(args: Vec<String>) -> Result<String, commands::CmdError> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("--streams needs a count")?;
+            }
+            "--tiles" => {
+                tiles = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--tiles needs a count")?,
+                );
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads needs a count")?;
             }
             "--vcd" => {
                 vcd_path = Some(PathBuf::from(it.next().ok_or("--vcd needs a path")?));
@@ -93,6 +110,7 @@ fn run(args: Vec<String>) -> Result<String, commands::CmdError> {
             }
             Ok(out)
         }
+        "engine" => cmd_engine(&spec, streams, tiles, threads),
         "rtl" => {
             let bundle = cmd_rtl(&spec)?;
             bundle
@@ -143,6 +161,25 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("bandwidth-limited: true"), "{out}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_runs_and_verifies() {
+        let dir = std::env::temp_dir().join("stencil_cli_engine_test");
+        fs::create_dir_all(&dir).unwrap();
+        let spec = write_spec(&dir);
+        let out = run(vec![
+            "engine".into(),
+            spec.display().to_string(),
+            "--streams".into(),
+            "2".into(),
+            "--threads".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("2 band(s)"), "{out}");
+        assert!(out.contains("verified against direct loop"), "{out}");
         let _ = fs::remove_dir_all(&dir);
     }
 

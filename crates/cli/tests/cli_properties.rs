@@ -9,7 +9,7 @@ use proptest::prelude::*;
 mod spec_file;
 
 use spec_file::SpecFile;
-use stencil_polyhedral::Point;
+use stencil_polyhedral::{Constraint, Point};
 
 fn random_spec() -> impl Strategy<Value = SpecFile> {
     (
@@ -64,4 +64,93 @@ proptest! {
         let parsed = SpecFile::parse(&noisy).expect("noisy but well-formed");
         prop_assert_eq!(parsed, spec);
     }
+
+    /// parse ∘ render preserves the *validated* specification too: the
+    /// reparsed file builds a `StencilSpec` identical to the original's
+    /// (same name, iteration domain, window, element width).
+    #[test]
+    fn roundtrip_preserves_stencil_spec(spec in buildable_spec()) {
+        let direct = spec.to_spec().expect("buildable by construction");
+        let reparsed = SpecFile::parse(&spec.render()).expect("rendered specs parse");
+        let rebuilt = reparsed.to_spec().expect("roundtripped specs build");
+        prop_assert_eq!(rebuilt, direct);
+    }
+
+    /// Explicit `constraint` lines (skewed iteration domains) survive
+    /// the round-trip, both at the file level and the spec level.
+    #[test]
+    fn constraint_lines_roundtrip(spec in constrained_spec()) {
+        let reparsed = SpecFile::parse(&spec.render()).expect("rendered specs parse");
+        prop_assert_eq!(&reparsed, &spec);
+        let direct = spec.to_spec().expect("box domains build");
+        let rebuilt = reparsed.to_spec().expect("roundtripped specs build");
+        prop_assert_eq!(rebuilt, direct);
+    }
+}
+
+/// Specs whose window always fits the grid, so `to_spec` succeeds.
+fn buildable_spec() -> impl Strategy<Value = SpecFile> {
+    (
+        "[a-z][a-z0-9_]{0,12}",
+        prop::collection::vec(8i64..64, 1..=3),
+        prop::collection::btree_set(((-3i64..=3), (-3i64..=3), (-3i64..=3)), 1..8),
+        prop::sample::select(vec![8u32, 16, 32, 64]),
+    )
+        .prop_map(|(name, grid, offs, element_bits)| {
+            let dims = grid.len();
+            // Projecting 3-tuples to fewer dims can collide; dedup so
+            // the window stays a set (a `StencilSpec` requirement).
+            let offsets: Vec<Point> = offs
+                .into_iter()
+                .map(|(a, b, c)| [a, b, c][..dims].to_vec())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .map(|v| Point::new(&v))
+                .collect();
+            SpecFile {
+                name,
+                grid,
+                offsets,
+                element_bits,
+                constraints: Vec::new(),
+            }
+        })
+}
+
+/// Specs with an explicit box iteration domain given as `constraint`
+/// lines (`x_d - lo >= 0` and `-x_d + hi >= 0` per dimension).
+fn constrained_spec() -> impl Strategy<Value = SpecFile> {
+    (
+        "[a-z][a-z0-9_]{0,8}",
+        prop::collection::vec((2i64..8, 0i64..8), 1..=3),
+        prop::collection::btree_set(((-2i64..=2), (-2i64..=2), (-2i64..=2)), 1..6),
+    )
+        .prop_map(|(name, boxes, offs)| {
+            let dims = boxes.len();
+            let offsets: Vec<Point> = offs
+                .into_iter()
+                .map(|(a, b, c)| [a, b, c][..dims].to_vec())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .map(|v| Point::new(&v))
+                .collect();
+            let mut constraints = Vec::with_capacity(2 * dims);
+            let mut grid = Vec::with_capacity(dims);
+            for (d, &(extent, lo)) in boxes.iter().enumerate() {
+                let hi = lo + extent - 1;
+                let mut unit = vec![0i64; dims];
+                unit[d] = 1;
+                constraints.push(Constraint::new(&unit, -lo));
+                unit[d] = -1;
+                constraints.push(Constraint::new(&unit, hi));
+                grid.push(hi + 4);
+            }
+            SpecFile {
+                name,
+                grid,
+                offsets,
+                element_bits: 32,
+                constraints,
+            }
+        })
 }

@@ -65,6 +65,7 @@ mod modulo;
 mod plan;
 mod sort;
 mod spec;
+mod tiling;
 mod tradeoff;
 mod verify;
 
@@ -76,5 +77,6 @@ pub use modulo::{DelayBank, ModuloSchedulePlan};
 pub use plan::{Feed, FilterPlan, MemorySystemPlan};
 pub use sort::SortedRefs;
 pub use spec::StencilSpec;
+pub use tiling::{Tile, TilePlan};
 pub use tradeoff::TradeoffPoint;
 pub use verify::{verify_accelerator, verify_plan, OptimalityReport};

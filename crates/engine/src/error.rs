@@ -1,0 +1,85 @@
+//! Engine error type.
+
+use std::error::Error;
+use std::fmt;
+
+use stencil_core::PlanError;
+
+/// Errors produced while preparing or running a tiled execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// Tiling or domain analysis failed.
+    Plan(PlanError),
+    /// The input value buffer does not match the plan's input domain.
+    InputSizeMismatch {
+        /// Points in the plan's input domain.
+        expected: u64,
+        /// Values supplied.
+        got: u64,
+    },
+    /// A window tap reads a point outside the supplied input domain.
+    MissingInput {
+        /// Display form of the out-of-domain point.
+        point: String,
+    },
+    /// A worker thread panicked; the run produced no usable output.
+    WorkerPanic,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Plan(e) => write!(f, "tiling failed: {e}"),
+            EngineError::InputSizeMismatch { expected, got } => write!(
+                f,
+                "input grid has {got} values but the plan's input domain has {expected} points"
+            ),
+            EngineError::MissingInput { point } => {
+                write!(f, "window tap reads {point}, outside the input domain")
+            }
+            EngineError::WorkerPanic => write!(f, "a worker thread panicked"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Plan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::Plan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EngineError::from(PlanError::NoReferences);
+        assert!(e.to_string().contains("tiling failed"));
+        assert!(e.source().is_some());
+        assert!(EngineError::WorkerPanic.source().is_none());
+        assert_eq!(
+            EngineError::InputSizeMismatch {
+                expected: 10,
+                got: 4
+            }
+            .to_string(),
+            "input grid has 4 values but the plan's input domain has 10 points"
+        );
+        assert!(EngineError::MissingInput {
+            point: "(9, 9)".into()
+        }
+        .to_string()
+        .contains("(9, 9)"));
+    }
+}

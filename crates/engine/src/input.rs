@@ -1,0 +1,90 @@
+//! The engine's input view: a domain index plus flat values in
+//! lexicographic rank order.
+
+use stencil_polyhedral::{DomainIndex, Point};
+
+use crate::error::EngineError;
+
+/// A borrowed input grid: one `f64` per point of a domain, addressed by
+/// the domain's lexicographic rank — the same stream order the
+/// accelerator's off-chip interface uses.
+///
+/// `stencil_kernels::GridValues` converts directly:
+/// `InputGrid::new(grid.index(), grid.values())`.
+#[derive(Debug, Clone, Copy)]
+pub struct InputGrid<'a> {
+    index: &'a DomainIndex,
+    values: &'a [f64],
+}
+
+impl<'a> InputGrid<'a> {
+    /// Wraps a domain index and its rank-ordered values.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InputSizeMismatch`] if `values` does not have one
+    /// entry per domain point.
+    pub fn new(index: &'a DomainIndex, values: &'a [f64]) -> Result<Self, EngineError> {
+        if index.len() != values.len() as u64 {
+            return Err(EngineError::InputSizeMismatch {
+                expected: index.len(),
+                got: values.len() as u64,
+            });
+        }
+        Ok(Self { index, values })
+    }
+
+    /// The domain index.
+    #[must_use]
+    pub fn index(&self) -> &'a DomainIndex {
+        self.index
+    }
+
+    /// The flat values, rank order.
+    #[must_use]
+    pub fn values(&self) -> &'a [f64] {
+        self.values
+    }
+
+    /// The value at point `p`, if inside the domain.
+    #[must_use]
+    pub fn value_at(&self, p: &Point) -> Option<f64> {
+        if self.index.contains(p) {
+            Some(self.values[self.index.rank_lt(p) as usize])
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_polyhedral::Polyhedron;
+
+    #[test]
+    fn size_is_validated() {
+        let idx = Polyhedron::grid(&[3, 3]).index().unwrap();
+        let short = vec![0.0; 5];
+        assert_eq!(
+            InputGrid::new(&idx, &short).unwrap_err(),
+            EngineError::InputSizeMismatch {
+                expected: 9,
+                got: 5
+            }
+        );
+        let full = vec![0.0; 9];
+        assert!(InputGrid::new(&idx, &full).is_ok());
+    }
+
+    #[test]
+    fn value_lookup() {
+        let idx = Polyhedron::grid(&[2, 3]).index().unwrap();
+        let vals: Vec<f64> = (0..6).map(f64::from).collect();
+        let g = InputGrid::new(&idx, &vals).unwrap();
+        assert_eq!(g.value_at(&Point::new(&[1, 2])), Some(5.0));
+        assert_eq!(g.value_at(&Point::new(&[2, 0])), None);
+        assert_eq!(g.values().len(), 6);
+        assert_eq!(g.index().len(), 6);
+    }
+}

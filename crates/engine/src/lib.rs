@@ -1,0 +1,60 @@
+//! # stencil-engine
+//!
+//! A high-throughput *software* execution backend for stencil plans —
+//! the fast sibling of `stencil_sim`'s cycle-accurate machine.
+//!
+//! Where the simulator advances one element per simulated clock cycle
+//! through FIFOs and data filters, the engine executes the same
+//! plan-derived computation with a tight line-buffer loop:
+//!
+//! * the iteration domain is partitioned into row bands with correct
+//!   halo overlap ([`stencil_core::TilePlan`], Appendix 9.4's
+//!   one-band-per-off-chip-stream sharding rule by default);
+//! * each band runs a batched per-row inner loop — every window tap
+//!   reduces to a base rank + offset into the flat input stream, so the
+//!   hot loop is pure indexed arithmetic with no per-element channel
+//!   simulation;
+//! * bands execute in parallel on scoped worker threads pulling from a
+//!   shared work queue, writing disjoint slices of one output buffer.
+//!
+//! The engine consumes the same [`MemorySystemPlan`] interface as the
+//! simulator and returns the output grid plus a [`RunReport`] with
+//! throughput figures, so results are directly comparable — the
+//! differential test harness checks engine output bit-for-bit against
+//! both the golden executor and the machine.
+//!
+//! # Example
+//!
+//! ```
+//! use stencil_core::{MemorySystemPlan, StencilSpec};
+//! use stencil_engine::{EngineConfig, InputGrid, run_plan};
+//! use stencil_polyhedral::{Point, Polyhedron};
+//!
+//! let spec = StencilSpec::new(
+//!     "blur",
+//!     Polyhedron::rect(&[(1, 14), (1, 14)]),
+//!     vec![Point::new(&[-1, 0]), Point::new(&[0, 0]), Point::new(&[1, 0])],
+//! )?;
+//! let plan = MemorySystemPlan::generate(&spec)?;
+//! let index = plan.input_domain().index()?;
+//! let values: Vec<f64> = (0..index.len()).map(|r| r as f64).collect();
+//! let input = InputGrid::new(&index, &values)?;
+//! let run = run_plan(&plan, &input, &|w| w.iter().sum(), &EngineConfig::default())?;
+//! assert_eq!(run.outputs.len(), 14 * 14);
+//! assert_eq!(run.report.outputs, 14 * 14);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod exec;
+mod input;
+mod report;
+
+pub use error::EngineError;
+pub use exec::{run_plan, run_tiled, EngineConfig, EngineRun};
+pub use input::InputGrid;
+pub use report::{RunReport, TileReport};

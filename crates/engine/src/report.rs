@@ -1,0 +1,140 @@
+//! Throughput reporting, shaped after `stencil_sim::RunStats` so
+//! engine and machine runs read side by side.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Per-band execution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileReport {
+    /// Band id (outermost-dimension order).
+    pub id: usize,
+    /// Outputs this band produced.
+    pub outputs: u64,
+    /// Input elements in the band's halo (its off-chip traffic share).
+    pub halo_elements: u64,
+    /// Output rows executed on the batched fast path (every window tap
+    /// contiguous in the input stream).
+    pub fast_rows: u64,
+    /// Output rows that fell back to per-point gathers.
+    pub gather_rows: u64,
+    /// Wall-clock time this band's worker spent executing it.
+    pub elapsed: Duration,
+}
+
+/// Statistics of one engine run — the software analogue of the
+/// simulator's `RunStats`: `outputs` matches the machine's output
+/// count, `halo_elements` plays the role of `inputs_streamed`, and
+/// wall-clock throughput replaces cycle counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Total outputs produced (size of the iteration domain).
+    pub outputs: u64,
+    /// Bands executed.
+    pub tiles: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total input elements fetched across bands, halo overlap counted
+    /// per band — the off-chip traffic of the sharded execution.
+    pub halo_elements: u64,
+    /// End-to-end wall-clock time (tiling + execution).
+    pub elapsed: Duration,
+    /// Per-band breakdown, band order.
+    pub per_tile: Vec<TileReport>,
+}
+
+impl RunReport {
+    /// Outputs per wall-clock second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.outputs as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Ratio of fetched inputs to distinct inputs a single band would
+    /// fetch — 1.0 for one band, growing with halo overlap. Mirrors the
+    /// off-chip bandwidth multiplier of the Appendix 9.4 tradeoff.
+    #[must_use]
+    pub fn fetch_overhead(&self, input_points: u64) -> f64 {
+        if input_points == 0 {
+            1.0
+        } else {
+            self.halo_elements as f64 / input_points as f64
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "engine run: {} outputs on {} band(s) x {} thread(s) in {:?} ({:.1} Melem/s)",
+            self.outputs,
+            self.tiles,
+            self.threads,
+            self.elapsed,
+            self.throughput() / 1e6
+        )?;
+        for t in &self.per_tile {
+            writeln!(
+                f,
+                "  band {:>2}: {:>9} outputs, {:>9} halo elems, rows {}F/{}G, {:?}",
+                t.id, t.outputs, t.halo_elements, t.fast_rows, t.gather_rows, t.elapsed
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            outputs: 1000,
+            tiles: 2,
+            threads: 2,
+            halo_elements: 1100,
+            elapsed: Duration::from_millis(10),
+            per_tile: vec![
+                TileReport {
+                    id: 0,
+                    outputs: 500,
+                    halo_elements: 550,
+                    fast_rows: 10,
+                    gather_rows: 0,
+                    elapsed: Duration::from_millis(5),
+                },
+                TileReport {
+                    id: 1,
+                    outputs: 500,
+                    halo_elements: 550,
+                    fast_rows: 10,
+                    gather_rows: 0,
+                    elapsed: Duration::from_millis(5),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn throughput_and_overhead() {
+        let r = report();
+        assert!((r.throughput() - 100_000.0).abs() < 1e-6);
+        assert!((r.fetch_overhead(1000) - 1.1).abs() < 1e-12);
+        assert!((r.fetch_overhead(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_bands() {
+        let s = report().to_string();
+        assert!(s.contains("2 band(s)"), "{s}");
+        assert!(s.contains("band  0"), "{s}");
+        assert!(s.contains("band  1"), "{s}");
+    }
+}

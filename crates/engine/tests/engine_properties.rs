@@ -1,0 +1,185 @@
+//! Property-based differential verification of the parallel tiled
+//! engine: over random windows, grids, tile counts, and thread counts,
+//! the engine must agree bit-for-bit with the golden nested-loop
+//! executor and the cycle-accurate machine.
+
+use proptest::prelude::*;
+use stencil_core::MemorySystemPlan;
+use stencil_engine::{run_plan, EngineConfig, InputGrid};
+use stencil_kernels::{accelerate, run_golden, Benchmark, GridValues, KernelOps};
+use stencil_polyhedral::{Point, Polyhedron};
+
+/// Index-weighted window sum: sensitive to tap order, so a backend
+/// that permutes the window is caught even when a plain sum would
+/// agree.
+fn weighted_sum(vals: &[f64]) -> f64 {
+    vals.iter()
+        .enumerate()
+        .map(|(i, v)| (i as f64 + 1.0) * v)
+        .sum()
+}
+
+/// Deterministic pseudo-random grid values seeded per case.
+fn seeded_grid(extents: &[i64], seed: u64) -> GridValues {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    GridValues::from_fn(&Polyhedron::grid(extents), |_| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (1u64 << 25) as f64 - 128.0
+    })
+    .expect("grid")
+}
+
+/// Runs the engine on `plan` with input values drawn from `grid`.
+fn engine_outputs(
+    plan: &MemorySystemPlan,
+    grid: &GridValues,
+    config: &EngineConfig,
+) -> Result<Vec<f64>, TestCaseError> {
+    let in_idx = plan
+        .input_domain()
+        .index()
+        .map_err(|e| TestCaseError::fail(format!("input index: {e}")))?;
+    let mut in_vals = Vec::with_capacity(in_idx.len() as usize);
+    let mut c = in_idx.cursor();
+    while let Some(p) = c.point(&in_idx) {
+        match grid.value_at(&p) {
+            Some(v) => in_vals.push(v),
+            None => return Err(TestCaseError::fail(format!("grid misses {p:?}"))),
+        }
+        c.advance(&in_idx);
+    }
+    let input =
+        InputGrid::new(&in_idx, &in_vals).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    run_plan(plan, &input, &weighted_sum, config)
+        .map(|run| run.outputs)
+        .map_err(|e| TestCaseError::fail(format!("engine: {e}")))
+}
+
+fn bench_2d(offs: &[(i64, i64)], rows: i64, cols: i64) -> Benchmark {
+    let window: Vec<Point> = offs.iter().map(|&(a, b)| Point::new(&[a, b])).collect();
+    Benchmark::new(
+        "PROP2D",
+        vec![rows, cols],
+        window,
+        KernelOps::default(),
+        weighted_sum,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Engine == golden == machine on random 2D windows, grid shapes,
+    /// band counts, and worker counts.
+    #[test]
+    fn engine_matches_golden_and_machine_2d(
+        offs in prop::collection::btree_set(((-2i64..=2), (-2i64..=2)), 2..=6),
+        rows in 8i64..24,
+        cols in 8i64..24,
+        tiles in 1usize..=8,
+        threads in 1usize..=4,
+        seed in 0u64..1_000_000,
+    ) {
+        let offs: Vec<(i64, i64)> = offs.into_iter().collect();
+        let bench = bench_2d(&offs, rows, cols);
+        let extents = [rows, cols];
+        let grid = seeded_grid(&extents, seed);
+
+        let golden = run_golden(&bench, &extents, &grid).expect("golden");
+        let machine = accelerate(&bench, &extents, &grid).expect("machine");
+        prop_assert_eq!(&machine.outputs, &golden, "machine vs golden");
+
+        let spec = bench.spec_for(&extents).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let engine = engine_outputs(
+            &plan,
+            &grid,
+            &EngineConfig::with_tiles(tiles).threads(threads),
+        )?;
+        prop_assert_eq!(
+            &engine, &golden,
+            "engine({} tiles, {} threads) vs golden", tiles, threads
+        );
+    }
+
+    /// Same three-way agreement on random 3D kernels.
+    #[test]
+    fn engine_matches_golden_and_machine_3d(
+        offs in prop::collection::btree_set(
+            ((-1i64..=1), (-1i64..=1), (-1i64..=1)), 2..=6),
+        e0 in 5i64..9,
+        e1 in 5i64..9,
+        e2 in 5i64..9,
+        tiles in 1usize..=5,
+        seed in 0u64..1_000_000,
+    ) {
+        let offs: Vec<(i64, i64, i64)> = offs.into_iter().collect();
+        let window: Vec<Point> = offs
+            .iter()
+            .map(|&(a, b, c)| Point::new(&[a, b, c]))
+            .collect();
+        let bench = Benchmark::new(
+            "PROP3D",
+            vec![e0, e1, e2],
+            window,
+            KernelOps::default(),
+            weighted_sum,
+        );
+        let extents = [e0, e1, e2];
+        let grid = seeded_grid(&extents, seed);
+
+        let golden = run_golden(&bench, &extents, &grid).expect("golden");
+        let machine = accelerate(&bench, &extents, &grid).expect("machine");
+        prop_assert_eq!(&machine.outputs, &golden, "machine vs golden");
+
+        let spec = bench.spec_for(&extents).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let engine =
+            engine_outputs(&plan, &grid, &EngineConfig::with_tiles(tiles))?;
+        prop_assert_eq!(&engine, &golden, "engine({} tiles) vs golden", tiles);
+    }
+
+    /// On Appendix 9.4 tradeoff plans the engine's default sharding
+    /// (one band per off-chip stream) stays exact, and its reported
+    /// off-chip traffic never undercounts the input domain.
+    #[test]
+    fn engine_matches_golden_on_tradeoff_plans(
+        offs in prop::collection::btree_set(((-2i64..=2), (-2i64..=2)), 2..=6),
+        rows in 10i64..20,
+        cols in 10i64..20,
+        streams_pick in 0usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let offs: Vec<(i64, i64)> = offs.into_iter().collect();
+        let bench = bench_2d(&offs, rows, cols);
+        let extents = [rows, cols];
+        let grid = seeded_grid(&extents, seed);
+        let golden = run_golden(&bench, &extents, &grid).expect("golden");
+
+        let spec = bench.spec_for(&extents).expect("spec");
+        let base = MemorySystemPlan::generate(&spec).expect("plan");
+        let streams = 1 + streams_pick % base.port_count();
+        let plan = base.with_offchip_streams(streams).expect("tradeoff");
+        prop_assert_eq!(plan.offchip_streams(), streams);
+
+        let in_idx = plan.input_domain().index().expect("input index");
+        let mut in_vals = Vec::with_capacity(in_idx.len() as usize);
+        let mut c = in_idx.cursor();
+        while let Some(p) = c.point(&in_idx) {
+            in_vals.push(grid.value_at(&p).expect("covered"));
+            c.advance(&in_idx);
+        }
+        let input = InputGrid::new(&in_idx, &in_vals).expect("input");
+        let run = run_plan(&plan, &input, &weighted_sum, &EngineConfig::default())
+            .map_err(|e| TestCaseError::fail(format!("engine: {e}")))?;
+
+        prop_assert_eq!(&run.outputs, &golden, "{} streams", streams);
+        // Sharding into k bands re-fetches halo rows, never fewer
+        // elements than the input domain itself.
+        prop_assert!(run.report.halo_elements >= in_idx.len());
+        prop_assert!(run.report.tiles >= 1);
+        prop_assert!(run.report.tiles <= streams);
+    }
+}

@@ -52,7 +52,11 @@ pub struct Benchmark {
     compute: ComputeFn,
 }
 
-fn default_compute() -> ComputeFn {
+/// The fallback datapath (plain window sum) used when a benchmark is
+/// deserialized without its function pointer, and by spec-file-driven
+/// tools that have window geometry but no datapath definition.
+#[must_use]
+pub fn default_compute() -> ComputeFn {
     |vals| vals.iter().sum()
 }
 
@@ -134,6 +138,14 @@ impl Benchmark {
     pub fn compute(&self, values: &[f64]) -> f64 {
         debug_assert_eq!(values.len(), self.offsets.len());
         (self.compute)(values)
+    }
+
+    /// The raw datapath function pointer, for execution backends (e.g.
+    /// the parallel engine) that evaluate the kernel without borrowing
+    /// the benchmark.
+    #[must_use]
+    pub fn compute_fn(&self) -> ComputeFn {
+        self.compute
     }
 
     /// The iteration domain on the full grid: all iterations whose whole

@@ -82,6 +82,13 @@ impl GridValues {
     pub fn value_by_rank(&self, rank: u64) -> Option<f64> {
         self.values.get(rank as usize).copied()
     }
+
+    /// The backing values in lexicographic rank order — the flat view
+    /// execution backends index directly (rank `r` ↦ `values()[r]`).
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
 }
 
 /// Runs a benchmark kernel in software over its iteration domain (at

@@ -1,0 +1,127 @@
+//! The VCD export of a real DENOISE run must be a well-formed VCD
+//! document: parseable declarations, one signal per filter and per
+//! reuse FIFO (plus the stream element counter), strictly increasing
+//! timestamps, and every value change referencing a declared signal.
+
+use std::collections::BTreeSet;
+
+use stencil_core::{MemorySystemPlan, StencilSpec};
+use stencil_polyhedral::{Point, Polyhedron};
+use stencil_sim::{trace_to_vcd, Machine};
+
+fn denoise_spec() -> StencilSpec {
+    StencilSpec::new(
+        "denoise",
+        Polyhedron::rect(&[(1, 22), (1, 28)]),
+        vec![
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ],
+    )
+    .expect("spec")
+}
+
+/// A declared VCD variable: `(width, id, name)`.
+type VcdVar = (u32, String, String);
+/// A VCD change block: `(timestamp, changed ids)`.
+type VcdBlock = (u64, Vec<String>);
+
+/// Minimal VCD reader: returns the declared variables and the body's
+/// change blocks.
+fn parse_vcd(text: &str) -> (Vec<VcdVar>, Vec<VcdBlock>) {
+    let mut vars = Vec::new();
+    let mut blocks: Vec<(u64, Vec<String>)> = Vec::new();
+    let mut in_defs = true;
+    for line in text.lines() {
+        let line = line.trim();
+        if in_defs {
+            if let Some(rest) = line.strip_prefix("$var wire ") {
+                let mut it = rest.split_whitespace();
+                let width: u32 = it.next().expect("width").parse().expect("width int");
+                let id = it.next().expect("id").to_owned();
+                let name = it.next().expect("name").to_owned();
+                assert_eq!(it.next(), Some("$end"), "malformed $var: {line}");
+                vars.push((width, id, name));
+            } else if line == "$enddefinitions $end" {
+                in_defs = false;
+            }
+            continue;
+        }
+        if let Some(ts) = line.strip_prefix('#') {
+            blocks.push((ts.parse().expect("timestamp"), Vec::new()));
+        } else if let Some(rest) = line.strip_prefix('b') {
+            let (value, id) = rest.split_once(' ').expect("binary change has an id");
+            assert!(
+                !value.is_empty() && value.chars().all(|c| c == '0' || c == '1'),
+                "bad binary value: {line}"
+            );
+            blocks
+                .last_mut()
+                .expect("change before first timestamp")
+                .1
+                .push(id.to_owned());
+        } else if !line.is_empty() {
+            panic!("unexpected VCD body line: {line}");
+        }
+    }
+    assert!(!in_defs, "missing $enddefinitions");
+    (vars, blocks)
+}
+
+#[test]
+fn denoise_vcd_is_well_formed() {
+    let plan = MemorySystemPlan::generate(&denoise_spec()).expect("plan");
+    let mut machine = Machine::new(&plan).expect("machine");
+    machine.enable_trace(0, 512);
+    machine.run(1_000_000).expect("run");
+    let trace = machine.trace(0).expect("trace enabled");
+    assert!(!trace.is_empty());
+    let vcd = trace_to_vcd(trace, "denoise", 5.0);
+
+    let (vars, blocks) = parse_vcd(&vcd);
+
+    // One signal per filter, one per reuse FIFO, plus the stream
+    // element counter.
+    let filters = vars.iter().filter(|v| v.2.contains("filter")).count();
+    let fifos = vars.iter().filter(|v| v.2.contains("fifo")).count();
+    assert_eq!(filters, plan.port_count(), "one status signal per filter");
+    assert_eq!(
+        fifos,
+        plan.fifo_capacities().len(),
+        "one occupancy signal per FIFO"
+    );
+    assert_eq!(vars.len(), filters + fifos + 1, "plus stream_elem");
+
+    // Identifiers are unique; every change references a declared id.
+    let ids: BTreeSet<&str> = vars.iter().map(|v| v.1.as_str()).collect();
+    assert_eq!(ids.len(), vars.len(), "duplicate VCD identifiers");
+    for (_, changed) in &blocks {
+        for id in changed {
+            assert!(ids.contains(id.as_str()), "undeclared id `{id}`");
+        }
+    }
+
+    // Timestamps strictly increase and no block is empty.
+    assert!(!blocks.is_empty(), "no value changes recorded");
+    for pair in blocks.windows(2) {
+        assert!(
+            pair[1].0 > pair[0].0,
+            "timestamps must increase: #{} then #{}",
+            pair[0].0,
+            pair[1].0
+        );
+    }
+    for (ts, changed) in &blocks {
+        assert!(!changed.is_empty(), "empty change block at #{ts}");
+    }
+
+    // The first block initializes every declared signal.
+    assert_eq!(
+        blocks[0].1.len(),
+        vars.len(),
+        "first timestamp must dump all signals"
+    );
+}

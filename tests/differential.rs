@@ -1,0 +1,195 @@
+//! Differential verification: the parallel tiled engine, the golden
+//! software executor, and the cycle-accurate machine must agree
+//! bit-for-bit on every benchmark of the paper suite, at every band
+//! count, with and without the Appendix 9.4 bandwidth tradeoff.
+//!
+//! Three independent implementations of the same semantics:
+//!
+//! * `stencil_kernels::run_golden` — direct nested-loop execution;
+//! * `stencil_kernels::accelerate` — the simulated microarchitecture,
+//!   element by element through FIFOs and filters;
+//! * `stencil_engine::run_plan` — batched row loops over row-band
+//!   tiles on worker threads.
+//!
+//! Any divergence between the three is a bug in one of them.
+
+use stencil_core::MemorySystemPlan;
+use stencil_engine::{run_plan, run_tiled, EngineConfig, InputGrid};
+use stencil_kernels::{accelerate, paper_suite, run_golden, Benchmark, GridValues};
+use stencil_polyhedral::Polyhedron;
+
+/// Pseudo-random but deterministic grid values with varied magnitudes.
+fn test_grid(extents: &[i64]) -> GridValues {
+    let mut state = 0x1234_5678_9abc_def0u64;
+    GridValues::from_fn(&Polyhedron::grid(extents), |_| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (1u64 << 25) as f64 - 128.0
+    })
+    .expect("grid")
+}
+
+fn small_extents(bench: &Benchmark) -> Vec<i64> {
+    match bench.dims() {
+        2 => vec![18, 22],
+        _ => vec![9, 10, 11],
+    }
+}
+
+/// Runs the engine for `bench` over `grid`, returning outputs.
+fn engine_outputs(
+    bench: &Benchmark,
+    plan: &MemorySystemPlan,
+    grid: &GridValues,
+    config: &EngineConfig,
+) -> Vec<f64> {
+    let in_idx = plan.input_domain().index().expect("input index");
+    let mut in_vals = Vec::with_capacity(in_idx.len() as usize);
+    let mut c = in_idx.cursor();
+    while let Some(p) = c.point(&in_idx) {
+        in_vals.push(grid.value_at(&p).expect("grid covers input domain"));
+        c.advance(&in_idx);
+    }
+    let input = InputGrid::new(&in_idx, &in_vals).expect("sized input");
+    let compute = bench.compute_fn();
+    run_plan(plan, &input, &compute, config)
+        .expect("engine run")
+        .outputs
+}
+
+#[test]
+fn engine_equals_golden_and_machine_on_paper_suite() {
+    for bench in paper_suite() {
+        let extents = small_extents(&bench);
+        let grid = test_grid(&extents);
+
+        let golden = run_golden(&bench, &extents, &grid).expect("golden");
+        let machine = accelerate(&bench, &extents, &grid).expect("machine");
+        assert_eq!(
+            machine.outputs,
+            golden,
+            "machine vs golden: {}",
+            bench.name()
+        );
+
+        let spec = bench.spec_for(&extents).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        for tiles in [1usize, 2, 3, 5] {
+            let engine = engine_outputs(
+                &bench,
+                &plan,
+                &grid,
+                &EngineConfig::with_tiles(tiles).threads(tiles.min(4)),
+            );
+            assert_eq!(
+                engine,
+                golden,
+                "engine({} tiles) vs golden: {}",
+                tiles,
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_follows_stream_sharding_of_tradeoff_plans() {
+    // Appendix 9.4: a k-stream plan shards into k bands by default; the
+    // result must stay bit-identical regardless of k.
+    for bench in paper_suite() {
+        let extents = small_extents(&bench);
+        let grid = test_grid(&extents);
+        let golden = run_golden(&bench, &extents, &grid).expect("golden");
+        let spec = bench.spec_for(&extents).expect("spec");
+        let base = MemorySystemPlan::generate(&spec).expect("plan");
+        for streams in 1..=base.port_count().min(4) {
+            let plan = base
+                .clone()
+                .with_offchip_streams(streams)
+                .expect("tradeoff");
+            let engine = engine_outputs(&bench, &plan, &grid, &EngineConfig::default());
+            assert_eq!(
+                engine,
+                golden,
+                "engine({streams} streams) vs golden: {}",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_report_is_consistent_with_machine_stats() {
+    let bench = stencil_kernels::denoise();
+    let extents = [24i64, 30];
+    let grid = test_grid(&extents);
+    let spec = bench.spec_for(&extents).expect("spec");
+    let plan = MemorySystemPlan::generate(&spec).expect("plan");
+
+    let machine = accelerate(&bench, &extents, &grid).expect("machine");
+    let tile_plan = plan.tile_plan(1).expect("tile plan");
+    let in_idx = plan.input_domain().index().expect("input index");
+    let mut in_vals = Vec::with_capacity(in_idx.len() as usize);
+    let mut c = in_idx.cursor();
+    while let Some(p) = c.point(&in_idx) {
+        in_vals.push(grid.value_at(&p).expect("covered"));
+        c.advance(&in_idx);
+    }
+    let input = InputGrid::new(&in_idx, &in_vals).expect("input");
+    let compute = bench.compute_fn();
+    let run = run_tiled(&plan, &tile_plan, &input, &compute, 1).expect("engine");
+
+    // Same outputs, and the single-band halo equals the full input
+    // domain the machine streams.
+    assert_eq!(run.outputs, machine.outputs);
+    assert_eq!(run.report.outputs, machine.stats.outputs);
+    assert_eq!(run.report.tiles, 1);
+    assert_eq!(run.report.halo_elements, in_idx.len());
+    let streamed: u64 = machine
+        .stats
+        .chains
+        .iter()
+        .map(|chain| chain.inputs_streamed)
+        .sum();
+    assert_eq!(run.report.halo_elements, streamed);
+}
+
+#[test]
+fn skewed_grid_stays_exact_and_batched() {
+    // The skewed DENOISE variant has a non-rectangular (parallelogram)
+    // iteration domain. Because the input domain is the convex dilation
+    // of the iteration domain, every shifted row remains contiguous in
+    // the input stream — the engine must stay on the batched fast path
+    // while remaining bit-exact against a direct loop.
+    let spec = stencil_kernels::skewed_denoise(16, 12).expect("spec");
+    let plan = MemorySystemPlan::generate(&spec).expect("plan");
+    let in_idx = plan.input_domain().index().expect("input index");
+    let in_vals: Vec<f64> = (0..in_idx.len())
+        .map(|r| ((r * 37 + 11) % 101) as f64 * 0.125 - 5.0)
+        .collect();
+    let input = InputGrid::new(&in_idx, &in_vals).expect("input");
+    let compute = |w: &[f64]| w[2] + 0.2 * (w[0] + w[1] + w[3] + w[4]);
+
+    // Direct nested-loop reference in the spec's declared offset order.
+    let iter_idx = spec.iteration_domain().index().expect("iter index");
+    let mut expect = Vec::with_capacity(iter_idx.len() as usize);
+    let mut c = iter_idx.cursor();
+    while let Some(p) = c.point(&iter_idx) {
+        let window: Vec<f64> = spec
+            .offsets()
+            .iter()
+            .map(|f| input.value_at(&(p + *f)).expect("halo covered"))
+            .collect();
+        expect.push(compute(&window));
+        c.advance(&iter_idx);
+    }
+
+    for tiles in [1usize, 3, 4] {
+        let run = run_plan(&plan, &input, &compute, &EngineConfig::with_tiles(tiles))
+            .expect("engine run");
+        assert_eq!(run.outputs, expect, "skewed engine({tiles} tiles)");
+        let gathers: u64 = run.report.per_tile.iter().map(|t| t.gather_rows).sum();
+        assert_eq!(gathers, 0, "convex halos keep every row on the fast path");
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline stand-in for `criterion`, exposing the measurement API this
+//! workspace's benches use (`benchmark_group`, `sample_size`,
+//! `throughput`, `bench_function`, `iter`, the `criterion_group!` /
+//! `criterion_main!` macros) with a simple wall-clock harness.
+//!
+//! Each benchmark runs one warmup call plus `sample_size` timed samples
+//! and reports the median per-iteration time (and derived throughput)
+//! on stdout. Under `cargo test` (or with `--test` in the args) every
+//! benchmark runs exactly once so bench targets stay cheap smoke tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for reporting throughput alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured routine processes this many elements per iteration.
+    Elements(u64),
+    /// The measured routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a manager from the process arguments, accepting the flags
+    /// cargo passes to bench targets (`--bench`, `--test`, a name
+    /// filter) and ignoring the rest.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                s if s.starts_with('-') => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Kept for call-site compatibility with real criterion.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        let args = Criterion::from_args();
+        Criterion {
+            test_mode: self.test_mode || args.test_mode,
+            filter: args.filter.or(self.filter),
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Registers a standalone benchmark (group of one).
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut g = self.benchmark_group(id.clone());
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures `f` and prints a report line.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.into());
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.criterion.test_mode {
+            let mut b = Bencher::default();
+            f(&mut b);
+            println!("Testing {full}: ok");
+            return;
+        }
+
+        // Warmup (also lets Bencher observe a first measurement).
+        let mut b = Bencher::default();
+        f(&mut b);
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher::default();
+            f(&mut b);
+            samples.push(b.per_iteration());
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let line = match self.throughput {
+            Some(t) => format!(
+                "{full:<48} time: [{}]  thrpt: [{}]",
+                format_duration(median),
+                format_throughput(t, median)
+            ),
+            None => format!("{full:<48} time: [{}]", format_duration(median)),
+        };
+        println!("{line}");
+    }
+
+    /// Ends the group (separator line, matching real criterion's flow).
+    pub fn finish(&mut self) {
+        if !self.criterion.test_mode {
+            println!();
+        }
+    }
+}
+
+/// Timing handle passed to the benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+
+    fn per_iteration(&self) -> Duration {
+        if self.iterations == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / u32::try_from(self.iterations).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn format_throughput(t: Throughput, per_iter: Duration) -> String {
+    let secs = per_iter.as_secs_f64();
+    let (count, unit) = match t {
+        Throughput::Elements(n) => (n, "elem/s"),
+        Throughput::Bytes(n) => (n, "B/s"),
+    };
+    if secs <= 0.0 {
+        return format!("inf {unit}");
+    }
+    let rate = count as f64 / secs;
+    if rate >= 1e9 {
+        format!("{:.4} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.4} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.4} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.2} {unit}")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench target from `criterion_group!` entries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

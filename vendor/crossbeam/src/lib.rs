@@ -1,0 +1,73 @@
+//! Offline stand-in for `crossbeam`'s scoped threads, implemented over
+//! `std::thread::scope` (Rust ≥ 1.63).
+//!
+//! Only the `crossbeam::scope(|s| { s.spawn(|_| …); })` surface this
+//! workspace uses is provided; semantics match crossbeam's: `scope`
+//! joins every spawned thread and returns `Err` if any of them (or the
+//! closure itself) panicked.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A handle for spawning threads that may borrow from the enclosing
+/// scope.
+#[derive(Clone, Copy, Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope back so
+    /// it can spawn nested work.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which threads borrowing `'env` data can be
+/// spawned; joins them all before returning.
+///
+/// # Errors
+///
+/// Returns `Err` with the panic payload if the closure or any
+/// unjoined spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut partials = vec![0u64; data.len()];
+        super::scope(|s| {
+            for (slot, &x) in partials.iter_mut().zip(&data) {
+                s.spawn(move |_| *slot = x * 10);
+            }
+        })
+        .expect("no panics");
+        assert_eq!(partials, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! An offline, in-tree shim of the [proptest](https://docs.rs/proptest)
+//! property-testing crate, implementing exactly the API subset this
+//! workspace uses. The container that builds this repository has no
+//! network access to crates.io, so the real crate cannot be fetched;
+//! this shim keeps every `proptest!` suite runnable.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic by default.** Cases derive from a fixed base seed
+//!   mixed with the test name, so CI runs are reproducible. Set
+//!   `PROPTEST_SEED` to explore a different region of the input space
+//!   and `PROPTEST_CASES` to scale the case count.
+//! * **No shrinking.** A failure reports the seed of the failing case
+//!   and persists it to the sibling `.proptest-regressions` file; the
+//!   seed is replayed (before any novel cases) on the next run.
+//! * Regression files written by real proptest are understood: each
+//!   `cc <hex> …` line is hashed into a replay seed.
+
+pub mod collection;
+mod macros;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a `proptest!`-based test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}

@@ -1,0 +1,188 @@
+//! Generation of strings matching a small regex subset: literal
+//! characters, escapes (`\n`, `\t`, `\r`, `\\`, `\.` …), character
+//! classes with ranges (`[a-z0-9_]`, `[ -~\n]`), and the quantifiers
+//! `{m}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones capped at 16).
+
+use crate::test_runner::TestRng;
+
+/// One alternative set of characters (inclusive ranges).
+#[derive(Debug, Clone)]
+struct CharSet(Vec<(char, char)>);
+
+impl CharSet {
+    fn single(c: char) -> Self {
+        CharSet(vec![(c, c)])
+    }
+
+    fn count(&self) -> u32 {
+        self.0
+            .iter()
+            .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+            .sum()
+    }
+
+    fn pick(&self, rng: &mut TestRng) -> char {
+        let mut k = rng.below(u128::from(self.count())) as u32;
+        for &(lo, hi) in &self.0 {
+            let n = hi as u32 - lo as u32 + 1;
+            if k < n {
+                return char::from_u32(lo as u32 + k).expect("valid scalar");
+            }
+            k -= n;
+        }
+        unreachable!("pick index within count")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms: Vec<Atom> = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => {
+                let mut members: Vec<char> = Vec::new();
+                let mut ranges: Vec<(char, char)> = Vec::new();
+                loop {
+                    let m = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated character class in `{pattern}`"));
+                    if m == ']' {
+                        break;
+                    }
+                    let m = if m == '\\' {
+                        unescape(chars.next().expect("escape in class"))
+                    } else {
+                        m
+                    };
+                    if chars.peek() == Some(&'-') {
+                        let mut look = chars.clone();
+                        look.next(); // consume '-'
+                        match look.peek() {
+                            Some(&']') | None => members.push(m),
+                            Some(_) => {
+                                chars.next(); // the '-'
+                                let hi = chars.next().expect("range end");
+                                let hi = if hi == '\\' {
+                                    unescape(chars.next().expect("escape in range"))
+                                } else {
+                                    hi
+                                };
+                                ranges.push((m, hi));
+                            }
+                        }
+                    } else {
+                        members.push(m);
+                    }
+                }
+                ranges.extend(members.into_iter().map(|m| (m, m)));
+                assert!(!ranges.is_empty(), "empty character class in `{pattern}`");
+                CharSet(ranges)
+            }
+            '\\' => CharSet::single(unescape(chars.next().expect("trailing escape"))),
+            '.' => CharSet(vec![(' ', '~')]),
+            literal => CharSet::single(literal),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for m in chars.by_ref() {
+                    if m == '}' {
+                        break;
+                    }
+                    spec.push(m);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 16)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 16)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+/// Generates a random string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let span = u128::from(atom.max - atom.min + 1);
+        let reps = atom.min + rng.below(span) as u32;
+        for _ in 0..reps {
+            out.push(atom.set.pick(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z][a-z0-9_]{0,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_with_newlines() {
+        let mut rng = TestRng::from_seed(8);
+        for _ in 0..50 {
+            let s = generate_matching("[ -~\n]{0,256}", &mut rng);
+            assert!(s.len() <= 256);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let mut rng = TestRng::from_seed(9);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        assert_eq!(generate_matching("a\\nb", &mut rng), "a\nb");
+        assert_eq!(generate_matching("x{3}", &mut rng), "xxx");
+    }
+}

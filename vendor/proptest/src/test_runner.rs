@@ -1,0 +1,254 @@
+//! The deterministic case runner: seeding, `PROPTEST_CASES` /
+//! `PROPTEST_SEED` environment overrides, panic capture, and
+//! `.proptest-regressions` replay/persistence.
+
+use std::fmt;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use crate::strategy::Strategy;
+
+/// A small, fast, deterministic RNG (splitmix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates an RNG from an explicit seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..bound` (`bound` must be nonzero and fit
+    /// the caller's target width).
+    pub fn below(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "empty sampling bound");
+        let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        wide % bound
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is violated.
+    Fail(String),
+    /// The inputs do not satisfy a `prop_assume!` precondition; the
+    /// case is skipped, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "test case failed: {msg}"),
+            TestCaseError::Reject(msg) => write!(f, "input rejected: {msg}"),
+        }
+    }
+}
+
+/// Result of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (subset of real proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of novel random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` environment
+    /// override.
+    #[must_use]
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Kept for API familiarity; the macro drives [`run_proptest`] directly.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    /// The active configuration.
+    pub config: ProptestConfig,
+}
+
+const BASE_SEED: u64 = 0x5EED_CAFE_F00D_D154;
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+fn hash_str(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+    })
+}
+
+/// Locates the `.proptest-regressions` sibling of `source_file`
+/// (a `file!()` path, typically workspace-root-relative while tests run
+/// from the crate manifest directory). Returns the first candidate whose
+/// parent directory exists.
+fn regression_path(source_file: &str) -> Option<PathBuf> {
+    let rel = Path::new(source_file).with_extension("proptest-regressions");
+    let mut candidate = rel.clone();
+    for _ in 0..4 {
+        if candidate.parent().is_some_and(Path::exists) {
+            return Some(candidate);
+        }
+        candidate = Path::new("..").join(&candidate);
+    }
+    None
+}
+
+/// Parses replay seeds out of a regression file: every `cc <hex> …`
+/// line contributes the hash of its hex blob.
+fn replay_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let token = rest.split_whitespace().next()?;
+            Some(hash_str(token))
+        })
+        .collect()
+}
+
+fn persist_failure(source_file: &str, test_name: &str, seed: u64) {
+    let Some(path) = regression_path(source_file) else {
+        return;
+    };
+    let fresh = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        return;
+    };
+    if fresh {
+        let _ = writeln!(
+            f,
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated.\n\
+             #\n\
+             # It is recommended to check this file in to source control so that\n\
+             # everyone who runs the test benefits from these saved cases."
+        );
+    }
+    let _ = writeln!(f, "cc {seed:016x} # seed replayed for `{test_name}`");
+}
+
+fn run_case<S, F>(strategy: &S, test: &F, seed: u64) -> Result<(), String>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let mut rng = TestRng::from_seed(seed);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let value = strategy.generate(&mut rng);
+        test(value)
+    }));
+    match outcome {
+        Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => Ok(()),
+        Ok(Err(TestCaseError::Fail(msg))) => Err(msg),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("test body panicked");
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Runs one `proptest!` test: replays persisted regression seeds, then
+/// `config.resolved_cases()` novel deterministic cases.
+///
+/// # Panics
+///
+/// Panics (failing the surrounding `#[test]`) on the first failing
+/// case, after persisting its seed.
+pub fn run_proptest<S, F>(
+    config: &ProptestConfig,
+    source_file: &'static str,
+    test_name: &'static str,
+    strategy: &S,
+    test: F,
+) where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(BASE_SEED);
+    let base = mix(base, hash_str(test_name));
+
+    if let Some(path) = regression_path(source_file) {
+        for (k, seed) in replay_seeds(&path).into_iter().enumerate() {
+            if let Err(msg) = run_case(strategy, &test, seed) {
+                panic!(
+                    "{test_name}: persisted regression case {k} (seed {seed:#018x}) failed: {msg}"
+                );
+            }
+        }
+    }
+
+    let cases = config.resolved_cases();
+    for i in 0..cases {
+        let seed = mix(base, u64::from(i));
+        if let Err(msg) = run_case(strategy, &test, seed) {
+            persist_failure(source_file, test_name, seed);
+            panic!(
+                "{test_name}: case {i}/{cases} (seed {seed:#018x}) failed: {msg}\n\
+                 (seed persisted to the .proptest-regressions file; rerun to replay)"
+            );
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace only uses serde as derive markers on plan/report types
+//! (no wire format is produced in this environment), so the traits are
+//! empty markers and the derives expand to empty impls. Swapping the
+//! workspace dependency back to the real crates.io `serde` requires no
+//! source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker for types that can be serialized.
+///
+/// The derive accepts the usual `#[serde(...)]` attributes and ignores
+/// them.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

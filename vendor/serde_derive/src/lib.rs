@@ -1,0 +1,46 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! This workspace uses serde derives purely as trait markers (no
+//! serialization actually happens offline), so the derive macros accept
+//! the usual `#[serde(...)]` field attributes and expand to marker
+//! trait impls without generating any codec logic.
+
+use proc_macro::{Ident, Span, TokenStream, TokenTree};
+
+/// Extracts the identifier of the type a derive is attached to,
+/// skipping attributes, visibility, and the struct/enum keyword.
+fn type_name(input: TokenStream) -> Ident {
+    let mut tokens = input.into_iter().peekable();
+    // `#[...]` attribute heads and visibility groups are skipped
+    // implicitly: punct/group trees match nothing here.
+    while let Some(tree) = tokens.next() {
+        if let TokenTree::Ident(ident) = tree {
+            let text = ident.to_string();
+            if text == "struct" || text == "enum" || text == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name;
+                }
+            }
+        }
+    }
+    Ident::new("UnknownType", Span::call_site())
+}
+
+fn marker_impl(trait_name: &str, input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("Serialize", input)
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("Deserialize", input)
+}
