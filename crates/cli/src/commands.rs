@@ -10,6 +10,7 @@ use stencil_engine::{run_plan, EngineConfig, InputGrid};
 use stencil_fpga::{estimate_nonuniform, estimate_uniform};
 use stencil_kernels::KernelOps;
 use stencil_sim::{trace_to_vcd, Machine};
+use stencil_telemetry::{validate_report, MetricsReport};
 use stencil_uniform::{best_uniform, multidim_cyclic, survey, unpartitioned};
 
 /// A command error: human-readable message, exit-code 1 semantics.
@@ -49,8 +50,10 @@ pub fn cmd_plan(spec: &StencilSpec) -> Result<String, CmdError> {
     Ok(out)
 }
 
-/// `stencil simulate`: run the design cycle-accurately; optionally emit
-/// a VCD of the first `trace_cycles` cycles.
+/// `stencil simulate`: run the design cycle-accurately, check the
+/// paper's bounds against the live counters, and optionally emit a VCD
+/// of the first `trace_cycles` cycles. The third result element is the
+/// telemetry report as JSON (for `--metrics-out`).
 ///
 /// # Errors
 ///
@@ -59,9 +62,10 @@ pub fn cmd_simulate(
     spec: &StencilSpec,
     streams: usize,
     trace_cycles: usize,
-) -> Result<(String, Option<String>), CmdError> {
+) -> Result<(String, Option<String>, String), CmdError> {
     let plan = MemorySystemPlan::generate(spec)?.with_offchip_streams(streams)?;
     let mut machine = Machine::new(&plan)?;
+    machine.enable_occupancy_sampling();
     if trace_cycles > 0 {
         machine.enable_trace(0, trace_cycles);
     }
@@ -74,17 +78,34 @@ pub fn cmd_simulate(
         stats.fully_pipelined(),
         stats.ideal_cycles
     );
+    let mut report = MetricsReport::new(spec.name());
+    report.machine = Some(machine.metrics());
+    append_bound_checks(&mut out, &report);
     let vcd = machine
         .trace(0)
         .filter(|t| !t.is_empty())
         .map(|t| trace_to_vcd(t, spec.name(), 5.0));
-    Ok((out, vcd))
+    Ok((out, vcd, report.to_json()))
+}
+
+/// Renders the validator's verdict on a telemetry report.
+fn append_bound_checks(out: &mut String, report: &MetricsReport) {
+    let violations = validate_report(report);
+    if violations.is_empty() {
+        let _ = writeln!(out, "runtime bound checks: all passed");
+    } else {
+        let _ = writeln!(out, "runtime bound checks: {} FAILED", violations.len());
+        for v in &violations {
+            let _ = writeln!(out, "  violation: {v}");
+        }
+    }
 }
 
 /// `stencil engine`: execute the kernel with the parallel tiled
 /// software engine on a deterministic input grid, cross-check the
 /// result against a direct nested-loop evaluation, and report
-/// throughput per band.
+/// throughput per band. The second result element is the telemetry
+/// report as JSON (for `--metrics-out`).
 ///
 /// The datapath is the spec-file fallback (plain window sum), since a
 /// spec file carries window geometry but no arithmetic.
@@ -98,7 +119,7 @@ pub fn cmd_engine(
     streams: usize,
     tiles: Option<usize>,
     threads: usize,
-) -> Result<String, CmdError> {
+) -> Result<(String, String), CmdError> {
     let plan = MemorySystemPlan::generate(spec)?.with_offchip_streams(streams)?;
     let in_idx = plan.input_domain().index()?;
 
@@ -153,7 +174,10 @@ pub fn cmd_engine(
         run.report.fetch_overhead(in_idx.len())
     );
     let _ = writeln!(out, "verified against direct loop: {rank} outputs match");
-    Ok(out)
+    let mut report = MetricsReport::new(spec.name());
+    report.engine = Some(run.report.metrics());
+    append_bound_checks(&mut out, &report);
+    Ok((out, report.to_json()))
 }
 
 /// `stencil rtl`: generate the Verilog bundle.
@@ -388,29 +412,43 @@ mod tests {
 
     #[test]
     fn simulate_command_runs_and_traces() {
-        let (out, vcd) = cmd_simulate(&denoise_spec(), 1, 32).unwrap();
+        let (out, vcd, metrics) = cmd_simulate(&denoise_spec(), 1, 32).unwrap();
         assert!(out.contains("bandwidth-limited: true"), "{out}");
+        assert!(out.contains("runtime bound checks: all passed"), "{out}");
         let vcd = vcd.expect("trace requested");
         assert!(vcd.contains("$enddefinitions"), "{vcd}");
+        let report = MetricsReport::parse(&metrics).unwrap();
+        assert_eq!(report.name, "denoise");
+        assert!(report.machine.is_some());
+        assert_eq!(validate_report(&report), Vec::new());
     }
 
     #[test]
     fn simulate_with_tradeoff_streams() {
-        let (out, vcd) = cmd_simulate(&denoise_spec(), 3, 0).unwrap();
+        let (out, vcd, metrics) = cmd_simulate(&denoise_spec(), 3, 0).unwrap();
         assert!(out.contains("bandwidth-limited: true"), "{out}");
+        assert!(out.contains("runtime bound checks: all passed"), "{out}");
         assert!(vcd.is_none());
+        let report = MetricsReport::parse(&metrics).unwrap();
+        assert_eq!(report.machine.as_ref().unwrap().offchip_streams, 3);
     }
 
     #[test]
     fn engine_command_reports_bands_and_verifies() {
         // Default config shards one band per off-chip stream.
-        let out = cmd_engine(&denoise_spec(), 3, None, 2).unwrap();
+        let (out, metrics) = cmd_engine(&denoise_spec(), 3, None, 2).unwrap();
         assert!(out.contains("3 band(s)"), "{out}");
         assert!(out.contains("verified against direct loop"), "{out}");
         assert!(out.contains("fetch overhead"), "{out}");
+        assert!(out.contains("runtime bound checks: all passed"), "{out}");
+        let report = MetricsReport::parse(&metrics).unwrap();
+        let engine = report.engine.as_ref().unwrap();
+        assert_eq!(engine.tiles, 3);
+        assert!(engine.throughput.is_finite());
+        assert_eq!(validate_report(&report), Vec::new());
 
         // Explicit band count wins over the stream default.
-        let out = cmd_engine(&denoise_spec(), 1, Some(4), 4).unwrap();
+        let (out, _) = cmd_engine(&denoise_spec(), 1, Some(4), 4).unwrap();
         assert!(out.contains("4 band(s)"), "{out}");
     }
 

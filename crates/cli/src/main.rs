@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! stencil plan     <spec.stencil>                 plan + verify optimality
-//! stencil simulate <spec.stencil> [--streams K] [--vcd OUT.vcd [--cycles N]]
+//! stencil simulate <spec.stencil> [--streams K] [--metrics-out M.json]
+//!                                 [--vcd OUT.vcd [--cycles N]]
 //! stencil engine   <spec.stencil> [--streams K] [--tiles N] [--threads T]
+//!                                 [--metrics-out M.json]
 //! stencil rtl      <spec.stencil> [--out DIR]     generate Verilog
 //! stencil compare  <spec.stencil>                 vs best uniform partitioning
 //! stencil report   <spec.stencil>                 full markdown design report
@@ -23,8 +25,9 @@ use spec_file::SpecFile;
 
 fn usage() -> &'static str {
     "usage:\n  stencil plan     <spec.stencil>\n  stencil simulate <spec.stencil> \
-     [--streams K] [--vcd OUT.vcd [--cycles N]]\n  stencil engine   <spec.stencil> \
-     [--streams K] [--tiles N] [--threads T]\n  stencil rtl      <spec.stencil> \
+     [--streams K] [--metrics-out M.json] [--vcd OUT.vcd [--cycles N]]\n  \
+     stencil engine   <spec.stencil> [--streams K] [--tiles N] [--threads T] \
+     [--metrics-out M.json]\n  stencil rtl      <spec.stencil> \
      [--out DIR]\n  stencil compare  <spec.stencil>\n  stencil report   <spec.stencil>"
 }
 
@@ -61,6 +64,7 @@ fn run(args: Vec<String>) -> Result<String, commands::CmdError> {
     let mut out_dir = PathBuf::from("rtl_out");
     let mut tiles: Option<usize> = None;
     let mut threads = 0usize;
+    let mut metrics_out: Option<PathBuf> = None;
     while let Some(opt) = it.next() {
         match opt.as_str() {
             "--streams" => {
@@ -94,6 +98,11 @@ fn run(args: Vec<String>) -> Result<String, commands::CmdError> {
             "--out" => {
                 out_dir = PathBuf::from(it.next().ok_or("--out needs a directory")?);
             }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    it.next().ok_or("--metrics-out needs a path")?,
+                ));
+            }
             other => return Err(format!("unknown option `{other}`").into()),
         }
     }
@@ -102,7 +111,10 @@ fn run(args: Vec<String>) -> Result<String, commands::CmdError> {
         "plan" => cmd_plan(&spec),
         "simulate" => {
             let trace = if vcd_path.is_some() { cycles } else { 0 };
-            let (out, vcd) = cmd_simulate(&spec, streams, trace)?;
+            let (mut out, vcd, metrics) = cmd_simulate(&spec, streams, trace)?;
+            if let Some(path) = &metrics_out {
+                out.push_str(&write_metrics(path, &metrics)?);
+            }
             if let (Some(path), Some(vcd)) = (&vcd_path, vcd) {
                 std::fs::write(path, vcd)
                     .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
@@ -110,7 +122,13 @@ fn run(args: Vec<String>) -> Result<String, commands::CmdError> {
             }
             Ok(out)
         }
-        "engine" => cmd_engine(&spec, streams, tiles, threads),
+        "engine" => {
+            let (mut out, metrics) = cmd_engine(&spec, streams, tiles, threads)?;
+            if let Some(path) = &metrics_out {
+                out.push_str(&write_metrics(path, &metrics)?);
+            }
+            Ok(out)
+        }
         "rtl" => {
             let bundle = cmd_rtl(&spec)?;
             bundle
@@ -127,6 +145,13 @@ fn run(args: Vec<String>) -> Result<String, commands::CmdError> {
         "fmt" => Ok(file.render()),
         other => Err(format!("unknown subcommand `{other}`").into()),
     }
+}
+
+/// Writes a telemetry JSON report to `path`, returning the
+/// confirmation line for the command output.
+fn write_metrics(path: &std::path::Path, json: &str) -> Result<String, commands::CmdError> {
+    std::fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(format!("metrics written to {}\n", path.display()))
 }
 
 #[cfg(test)]
@@ -180,6 +205,48 @@ mod tests {
         .unwrap();
         assert!(out.contains("2 band(s)"), "{out}");
         assert!(out.contains("verified against direct loop"), "{out}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_out_writes_valid_reports() {
+        let dir = std::env::temp_dir().join("stencil_cli_metrics_test");
+        fs::create_dir_all(&dir).unwrap();
+        let spec = write_spec(&dir);
+
+        let sim_json = dir.join("sim_metrics.json");
+        let out = run(vec![
+            "simulate".into(),
+            spec.display().to_string(),
+            "--streams".into(),
+            "2".into(),
+            "--metrics-out".into(),
+            sim_json.display().to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("metrics written to"), "{out}");
+        let report =
+            stencil_telemetry::MetricsReport::parse(&fs::read_to_string(&sim_json).unwrap())
+                .unwrap();
+        assert_eq!(report.name, "denoise");
+        let machine = report.machine.as_ref().unwrap();
+        assert_eq!(machine.offchip_streams, 2);
+        assert_eq!(stencil_telemetry::validate_report(&report), Vec::new());
+
+        let eng_json = dir.join("engine_metrics.json");
+        let out = run(vec![
+            "engine".into(),
+            spec.display().to_string(),
+            "--metrics-out".into(),
+            eng_json.display().to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("metrics written to"), "{out}");
+        let report =
+            stencil_telemetry::MetricsReport::parse(&fs::read_to_string(&eng_json).unwrap())
+                .unwrap();
+        assert!(report.engine.as_ref().unwrap().throughput.is_finite());
+        assert_eq!(stencil_telemetry::validate_report(&report), Vec::new());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -148,7 +148,11 @@ impl MemorySystemPlan {
         for (j, &c) in counts.iter().enumerate() {
             in_band += c;
             let i0 = lo0 + i64::try_from(j).expect("in box");
-            let share = (total * (out.len() as u64 + 1)).div_ceil(tiles as u64);
+            // Computed in u128: `total` can approach u64::MAX on huge
+            // (sparsely indexed) domains, where `total * (k + 1)` would
+            // wrap and silently misplace every remaining cut.
+            let share_wide = (u128::from(total) * (out.len() as u128 + 1)).div_ceil(tiles as u128);
+            let share = u64::try_from(share_wide).expect("share <= total outputs");
             let close_early = emitted + in_band >= share && out.len() + 1 < tiles;
             if in_band > 0 && (close_early || i0 == hi0) {
                 let tile = self.build_tile(out.len(), band_lo, i0, &window, &idx)?;
@@ -311,6 +315,36 @@ mod tests {
         for t in tp.tiles() {
             assert_eq!(t.len, 10);
         }
+    }
+
+    #[test]
+    fn huge_domain_share_does_not_overflow() {
+        // 3 rows of 2^62 iterations each: ~1.4e19 total outputs, so the
+        // old `total * (k + 1)` share numerator wrapped u64 at k = 1
+        // (panicking in debug builds, silently misplacing every cut in
+        // release). The domain has only 3 index rows, so planning it is
+        // cheap even though it is astronomically large.
+        let spec = StencilSpec::new(
+            "huge",
+            Polyhedron::rect(&[(1, 3), (1, 1 << 62)]),
+            vec![
+                Point::new(&[0, -1]),
+                Point::new(&[0, 0]),
+                Point::new(&[0, 1]),
+            ],
+        )
+        .unwrap();
+        let plan = MemorySystemPlan::generate(&spec).unwrap();
+        let tp = plan.tile_plan(3).unwrap();
+        assert_eq!(tp.tile_count(), 3);
+        assert_eq!(tp.total_outputs(), 3 * (1u64 << 62));
+        let mut next = 0u64;
+        for t in tp.tiles() {
+            assert_eq!(t.start_rank, next);
+            assert_eq!(t.len, 1 << 62, "bands must stay balanced");
+            next = t.end_rank();
+        }
+        assert_eq!(next, tp.total_outputs());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use stencil_core::{MemorySystemPlan, Tile, TilePlan};
-use stencil_polyhedral::Point;
+use stencil_polyhedral::{DomainIndex, Point};
 
 use crate::error::EngineError;
 use crate::input::InputGrid;
@@ -202,21 +202,16 @@ where
         let len = usize::try_from(row.len()).expect("row fits");
         let out_row = &mut out[usize::try_from(row.base).expect("fits")..][..len];
 
-        // A tap is batchable when the whole shifted row is contiguous
-        // in the input stream: both ends in-domain and exactly
-        // `len - 1` ranks apart.
         let mut all_fast = true;
         for (k, f) in offsets.iter().enumerate() {
             let start = tap_point(&row.prefix, row.lo, f);
             let end = tap_point(&row.prefix, row.hi, f);
-            if in_idx.contains(&start)
-                && in_idx.contains(&end)
-                && in_idx.rank_lt(&end) - in_idx.rank_lt(&start) == (len - 1) as u64
-            {
-                bases[k] = usize::try_from(in_idx.rank_lt(&start)).expect("fits");
-            } else {
-                all_fast = false;
-                break;
+            match contiguous_base(in_idx, &start, &end, len) {
+                Some(base) => bases[k] = usize::try_from(base).expect("fits"),
+                None => {
+                    all_fast = false;
+                    break;
+                }
             }
         }
 
@@ -268,6 +263,26 @@ where
 /// The input point read by tap `f` at iteration `(prefix, inner)`.
 fn tap_point(prefix: &Point, inner: i64, f: &Point) -> Point {
     prefix.pushed(inner) + *f
+}
+
+/// The batched-tap predicate: `Some(start rank)` iff the shifted row
+/// `start..=end` is one contiguous run of the input stream — both ends
+/// in-domain and exactly `len - 1` ranks apart.
+///
+/// The rank difference is taken with `checked_sub`: an index produced
+/// by [`DomainIndex::build`] ranks monotonically, but the engine also
+/// accepts hand-built indexes ([`DomainIndex::from_rows`]) whose base
+/// values may invert rank order, and the fast path must degrade to the
+/// gather fallback there instead of panicking on underflow.
+fn contiguous_base(in_idx: &DomainIndex, start: &Point, end: &Point, len: usize) -> Option<u64> {
+    if !in_idx.contains(start) || !in_idx.contains(end) {
+        return None;
+    }
+    let base = in_idx.rank_lt(start);
+    match in_idx.rank_lt(end).checked_sub(base) {
+        Some(span) if span == (len - 1) as u64 => Some(base),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -384,6 +399,62 @@ mod tests {
         let compute = |_: &[f64]| -> f64 { panic!("datapath bug") };
         let e = run_plan(&plan, &input, &compute, &EngineConfig::default()).unwrap_err();
         assert_eq!(e, EngineError::WorkerPanic);
+    }
+
+    #[test]
+    fn scrambled_rank_order_degrades_to_gather_not_panic() {
+        use stencil_polyhedral::Row;
+        // Hand-built index with inverted bases: the prefix-[1] row
+        // ranks *before* the prefix-[0] row, so rank_lt(end) <
+        // rank_lt(start) for a span crossing the two. The old unchecked
+        // subtraction panicked with overflow here; the predicate must
+        // report "not contiguous" instead.
+        let idx = DomainIndex::from_rows(
+            2,
+            vec![
+                Row {
+                    prefix: Point::new(&[0]),
+                    lo: 0,
+                    hi: 4,
+                    base: 5,
+                },
+                Row {
+                    prefix: Point::new(&[1]),
+                    lo: 0,
+                    hi: 4,
+                    base: 0,
+                },
+            ],
+        );
+        let start = Point::new(&[0, 0]); // rank 5
+        let end = Point::new(&[1, 4]); // rank 4 — inverted
+        assert!(idx.rank_lt(&end) < idx.rank_lt(&start));
+        assert_eq!(contiguous_base(&idx, &start, &end, 10), None);
+        // Sanity: a consistent span on the same index still batches.
+        let lo = Point::new(&[1, 0]);
+        let hi = Point::new(&[1, 4]);
+        assert_eq!(contiguous_base(&idx, &lo, &hi, 5), Some(0));
+    }
+
+    #[test]
+    fn scrambled_input_index_reports_missing_point() {
+        // An input index whose prefix-5 row is shifted left by one:
+        // same point count (so the size check passes), broken coverage.
+        // Output rows reading (5, 9) cannot batch; the gather fallback
+        // must name the exact missing point instead of reading garbage.
+        let plan = plan_5pt(10, 10);
+        let mut rows = plan.input_domain().index().unwrap().rows().to_vec();
+        assert_eq!((rows[5].lo, rows[5].hi), (0, 9));
+        rows[5].lo = -1;
+        rows[5].hi = 8;
+        let idx = DomainIndex::from_rows(2, rows);
+        let vals = ramp(idx.len());
+        let input = InputGrid::new(&idx, &vals).unwrap();
+        let e = run_plan(&plan, &input, &|w| w[2], &EngineConfig::with_tiles(1)).unwrap_err();
+        match e {
+            EngineError::MissingInput { point } => assert_eq!(point, "(5, 9)"),
+            other => panic!("expected MissingInput, got {other:?}"),
+        }
     }
 
     #[test]

@@ -4,6 +4,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use stencil_telemetry::{EngineMetrics, TileMetrics};
+
 /// Per-band execution statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TileReport {
@@ -44,14 +46,43 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// Outputs per wall-clock second.
+    /// Outputs per wall-clock second. Returns `0.0` when the elapsed
+    /// time is below timer resolution — a rate that short is unknown,
+    /// and infinity poisons every downstream aggregate (and cannot be
+    /// serialized to JSON).
     #[must_use]
     pub fn throughput(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs > 0.0 {
             self.outputs as f64 / secs
         } else {
-            f64::INFINITY
+            0.0
+        }
+    }
+
+    /// The run's counters in the `stencil-telemetry` wire schema, ready
+    /// for JSON serialization and report-level validation.
+    #[must_use]
+    pub fn metrics(&self) -> EngineMetrics {
+        EngineMetrics {
+            outputs: self.outputs,
+            tiles: self.tiles,
+            threads: self.threads,
+            halo_elements: self.halo_elements,
+            elapsed_ns: duration_ns(self.elapsed),
+            throughput: self.throughput(),
+            per_tile: self
+                .per_tile
+                .iter()
+                .map(|t| TileMetrics {
+                    id: t.id,
+                    outputs: t.outputs,
+                    halo_elements: t.halo_elements,
+                    fast_rows: t.fast_rows,
+                    gather_rows: t.gather_rows,
+                    elapsed_ns: duration_ns(t.elapsed),
+                })
+                .collect(),
         }
     }
 
@@ -86,8 +117,20 @@ impl fmt::Display for RunReport {
                 t.id, t.outputs, t.halo_elements, t.fast_rows, t.gather_rows, t.elapsed
             )?;
         }
-        Ok(())
+        let m = self.metrics();
+        let fast: u64 = m.per_tile.iter().map(|t| t.fast_rows).sum();
+        let gather: u64 = m.per_tile.iter().map(|t| t.gather_rows).sum();
+        writeln!(
+            f,
+            "  metrics: {:.0} elem/s, rows {fast} fast / {gather} gather, {} halo elems",
+            m.throughput, m.halo_elements
+        )
     }
+}
+
+/// Whole nanoseconds of `d`, saturating at `u64::MAX` (584 years).
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -131,10 +174,44 @@ mod tests {
     }
 
     #[test]
+    fn sub_resolution_elapsed_yields_zero_not_infinity() {
+        let r = RunReport {
+            elapsed: Duration::ZERO,
+            ..report()
+        };
+        assert_eq!(r.throughput(), 0.0);
+        assert!(r.throughput().is_finite());
+        assert!(r.metrics().throughput.is_finite());
+    }
+
+    #[test]
     fn display_lists_bands() {
         let s = report().to_string();
         assert!(s.contains("2 band(s)"), "{s}");
         assert!(s.contains("band  0"), "{s}");
         assert!(s.contains("band  1"), "{s}");
+        assert!(s.contains("metrics: 100000 elem/s"), "{s}");
+        assert!(s.contains("rows 20 fast / 0 gather"), "{s}");
+    }
+
+    #[test]
+    fn metrics_mirror_report() {
+        let r = report();
+        let m = r.metrics();
+        assert_eq!(m.outputs, 1000);
+        assert_eq!(m.tiles, 2);
+        assert_eq!(m.threads, 2);
+        assert_eq!(m.halo_elements, 1100);
+        assert_eq!(m.elapsed_ns, 10_000_000);
+        assert_eq!(m.per_tile.len(), 2);
+        assert_eq!(m.per_tile[1].elapsed_ns, 5_000_000);
+        assert_eq!(
+            stencil_telemetry::validate_report(&{
+                let mut rep = stencil_telemetry::MetricsReport::new("t");
+                rep.engine = Some(m);
+                rep
+            }),
+            Vec::new()
+        );
     }
 }

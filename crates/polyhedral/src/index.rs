@@ -149,6 +149,37 @@ impl DomainIndex {
         })
     }
 
+    /// Builds an index directly from hand-authored rows, bypassing the
+    /// polyhedral scan — for tests and tooling that need indexes no
+    /// polyhedron produces (gaps, shifted spans, inconsistent bases).
+    ///
+    /// Only basic shape is checked. Everything else is trusted: row
+    /// prefixes must be in strictly ascending lexicographic order for
+    /// binary-search queries to behave, and rank queries are exactly as
+    /// consistent as the provided `base` values. Consumers of arbitrary
+    /// indexes (e.g. the execution engine's fast path) must therefore
+    /// treat rank arithmetic defensively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`, a row's prefix does not have `dims - 1`
+    /// coordinates, or a row has `hi < lo`.
+    #[must_use]
+    pub fn from_rows(dims: usize, rows: Vec<Row>) -> Self {
+        assert!(dims >= 1, "a domain index needs at least one dimension");
+        let mut total = 0u64;
+        for row in &rows {
+            assert_eq!(
+                row.prefix.dims(),
+                dims - 1,
+                "row prefix must fix all outer dimensions"
+            );
+            assert!(row.lo <= row.hi, "row range must be non-empty");
+            total = total.max(row.base + row.len());
+        }
+        Self { dims, rows, total }
+    }
+
     /// Number of dimensions of the indexed domain.
     #[must_use]
     pub fn dims(&self) -> usize {
@@ -450,6 +481,69 @@ mod tests {
         let c = idx.cursor();
         assert!(c.is_done(&idx));
         assert_eq!(c.point(&idx), None);
+    }
+
+    #[test]
+    fn hand_built_rows_index() {
+        // Same shape as grid 2x3 but authored by hand.
+        let idx = DomainIndex::from_rows(
+            2,
+            vec![
+                Row {
+                    prefix: Point::new(&[0]),
+                    lo: 0,
+                    hi: 2,
+                    base: 0,
+                },
+                Row {
+                    prefix: Point::new(&[1]),
+                    lo: 0,
+                    hi: 2,
+                    base: 3,
+                },
+            ],
+        );
+        assert_eq!(idx.len(), 6);
+        assert_eq!(idx.rank_lt(&Point::new(&[1, 1])), 4);
+        assert!(idx.contains(&Point::new(&[0, 2])));
+        assert!(!idx.contains(&Point::new(&[0, 3])));
+        // Inconsistent bases are accepted — the constructor trusts the
+        // caller, and total sizing follows the largest end rank.
+        let scrambled = DomainIndex::from_rows(
+            2,
+            vec![
+                Row {
+                    prefix: Point::new(&[0]),
+                    lo: 0,
+                    hi: 2,
+                    base: 3,
+                },
+                Row {
+                    prefix: Point::new(&[1]),
+                    lo: 0,
+                    hi: 2,
+                    base: 0,
+                },
+            ],
+        );
+        assert_eq!(scrambled.len(), 6);
+        // Rank order now inverts lexicographic order: consumers must
+        // not assume monotonicity for hand-built indexes.
+        assert!(scrambled.rank_lt(&Point::new(&[1, 0])) < scrambled.rank_lt(&Point::new(&[0, 0])));
+    }
+
+    #[test]
+    #[should_panic(expected = "row prefix must fix all outer dimensions")]
+    fn from_rows_rejects_wrong_prefix_dims() {
+        let _ = DomainIndex::from_rows(
+            3,
+            vec![Row {
+                prefix: Point::new(&[0]),
+                lo: 0,
+                hi: 1,
+                base: 0,
+            }],
+        );
     }
 
     #[test]

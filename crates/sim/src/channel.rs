@@ -17,6 +17,7 @@ pub struct Channel {
     capacity: u64,
     max_occupancy: u64,
     pushes: u64,
+    pops: u64,
 }
 
 impl Channel {
@@ -31,6 +32,7 @@ impl Channel {
             capacity: capacity.max(1),
             max_occupancy: 0,
             pushes: 0,
+            pops: 0,
         }
     }
 
@@ -66,7 +68,11 @@ impl Channel {
 
     /// Removes and returns the head element.
     pub fn pop(&mut self) -> Option<Elem> {
-        self.buf.pop_front()
+        let e = self.buf.pop_front();
+        if e.is_some() {
+            self.pops += 1;
+        }
+        e
     }
 
     /// Appends an element.
@@ -99,6 +105,13 @@ impl Channel {
     pub fn total_pushes(&self) -> u64 {
         self.pushes
     }
+
+    /// Total elements ever popped (a pop of an empty FIFO does not
+    /// count).
+    #[must_use]
+    pub fn total_pops(&self) -> u64 {
+        self.pops
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +134,7 @@ mod tests {
         assert_eq!(ch.pop(), None);
         assert_eq!(ch.max_occupancy(), 2);
         assert_eq!(ch.total_pushes(), 3);
+        assert_eq!(ch.total_pops(), 3);
     }
 
     #[test]

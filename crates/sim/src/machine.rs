@@ -18,6 +18,7 @@
 
 use stencil_core::{Accelerator, Feed, MemorySystemPlan};
 use stencil_polyhedral::{DomainIndex, Point};
+use stencil_telemetry::{ChainMetrics, FifoMetrics, FilterMetrics, Histogram, MachineMetrics};
 
 use crate::channel::Channel;
 use crate::elem::Elem;
@@ -50,6 +51,14 @@ struct ChainState {
     statuses: Vec<FilterStatus>,
     trace: Option<Trace>,
     stream_latency: u64,
+    /// Planned (unpromoted) Eq. (2) capacity of each reuse FIFO, chain
+    /// order — the Channel itself only knows the promoted depth.
+    planned_caps: Vec<u64>,
+    /// Per-filter stall counts frozen at the first kernel firing; the
+    /// difference to the final counts is the steady-state share.
+    fill_stalls: Option<Vec<u64>>,
+    /// Per-FIFO occupancy histograms, when sampling is enabled.
+    occupancy: Option<Vec<Histogram>>,
 }
 
 impl ChainState {
@@ -68,6 +77,7 @@ impl ChainState {
         let mut offsets = Vec::with_capacity(n);
         let mut feeds = Vec::with_capacity(n);
         let mut filters = Vec::with_capacity(n);
+        let mut planned_caps = Vec::new();
         for (k, flt) in plan.filters().iter().enumerate() {
             let dom = flt.data_domain.index()?;
             filters.push(DataFilter::new(&input_index, &dom));
@@ -78,7 +88,10 @@ impl ChainState {
                 Feed::Offchip => FeedState::Stream(
                     OffchipStream::new(&input_index).with_initial_latency(stream_latency),
                 ),
-                Feed::Fifo { capacity, .. } => FeedState::Fifo(Channel::new(capacity)),
+                Feed::Fifo { capacity, .. } => {
+                    planned_caps.push(capacity);
+                    FeedState::Fifo(Channel::new(capacity))
+                }
             });
         }
         Ok(Self {
@@ -92,6 +105,9 @@ impl ChainState {
             statuses: vec![FilterStatus::Starved; n],
             trace: None,
             stream_latency,
+            planned_caps,
+            fill_stalls: None,
+            occupancy: None,
         })
     }
 
@@ -127,6 +143,86 @@ impl ChainState {
             filter_stalls: self.filters.iter().map(DataFilter::stall_cycles).collect(),
             forwarded: self.filters.iter().map(DataFilter::forwarded).collect(),
             discarded: self.filters.iter().map(DataFilter::discarded).collect(),
+        }
+    }
+
+    /// Allocates one occupancy histogram per reuse FIFO (eight linear
+    /// buckets up to the promoted capacity, plus overflow).
+    fn enable_occupancy_sampling(&mut self) {
+        let hists = self
+            .planned_caps
+            .iter()
+            .map(|&cap| {
+                let cap = cap.max(1);
+                Histogram::linear(cap, usize::try_from(cap.min(8)).expect("small"))
+            })
+            .collect();
+        self.occupancy = Some(hists);
+    }
+
+    /// Records each FIFO's current occupancy into its histogram.
+    fn sample_occupancy(&mut self) {
+        let Some(hists) = &mut self.occupancy else {
+            return;
+        };
+        let mut it = hists.iter_mut();
+        for feed in &self.feeds {
+            if let FeedState::Fifo(ch) = feed {
+                it.next().expect("one histogram per FIFO").record(ch.len());
+            }
+        }
+    }
+
+    /// Freezes the per-filter stall counts; later stalls are steady
+    /// state. Called once, at the first kernel firing.
+    fn snapshot_fill_stalls(&mut self) {
+        self.fill_stalls = Some(self.filters.iter().map(DataFilter::stall_cycles).collect());
+    }
+
+    fn metrics(&self) -> ChainMetrics {
+        let mut fifos = Vec::with_capacity(self.planned_caps.len());
+        let mut inputs_streamed = 0;
+        let mut fifo_idx = 0;
+        for feed in &self.feeds {
+            match feed {
+                FeedState::Fifo(ch) => {
+                    let occupancy = self
+                        .occupancy
+                        .as_ref()
+                        .map_or_else(Histogram::disabled, |h| h[fifo_idx].clone());
+                    fifos.push(FifoMetrics {
+                        capacity: self.planned_caps[fifo_idx],
+                        high_water: ch.max_occupancy(),
+                        pushes: ch.total_pushes(),
+                        pops: ch.total_pops(),
+                        occupancy,
+                    });
+                    fifo_idx += 1;
+                }
+                FeedState::Stream(s) => inputs_streamed += s.produced(),
+                FeedState::External(x) => inputs_streamed += x.produced(),
+            }
+        }
+        let filters = self
+            .filters
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let fill = self.fill_stalls.as_ref().map_or(f.stall_cycles(), |s| s[i]);
+                FilterMetrics {
+                    forwarded: f.forwarded(),
+                    discarded: f.discarded(),
+                    stalls: f.stall_cycles(),
+                    steady_stalls: f.stall_cycles() - fill,
+                }
+            })
+            .collect();
+        ChainMetrics {
+            array: self.array.clone(),
+            inputs_streamed,
+            input_elements: self.input_index.len(),
+            fifos,
+            filters,
         }
     }
 }
@@ -177,6 +273,36 @@ pub struct Machine {
     kernel: KernelModel,
     cycle: u64,
     last_fire: Option<FireRecord>,
+    /// Plan-level facts recorded at build time so the emitted metrics
+    /// are self-contained (validation needs no plan object).
+    facts: PlanFacts,
+}
+
+/// Static plan properties embedded into [`MachineMetrics`].
+#[derive(Debug, Clone)]
+struct PlanFacts {
+    offchip_streams: usize,
+    planned_total_buffer: u64,
+    min_total_buffer: u64,
+    linearity_holds: bool,
+}
+
+impl PlanFacts {
+    fn gather<'a>(plans: impl IntoIterator<Item = &'a MemorySystemPlan>) -> Self {
+        let mut facts = Self {
+            offchip_streams: 1,
+            planned_total_buffer: 0,
+            min_total_buffer: 0,
+            linearity_holds: true,
+        };
+        for p in plans {
+            facts.offchip_streams = facts.offchip_streams.max(p.offchip_streams());
+            facts.planned_total_buffer += p.total_buffer_size();
+            facts.min_total_buffer += p.min_total_size();
+            facts.linearity_holds &= p.linearity_holds();
+        }
+        facts
+    }
 }
 
 impl Machine {
@@ -203,6 +329,7 @@ impl Machine {
             iteration_index,
             cycle: 0,
             last_fire: None,
+            facts: PlanFacts::gather([plan]),
         })
     }
 
@@ -222,6 +349,7 @@ impl Machine {
             iteration_index,
             cycle: 0,
             last_fire: None,
+            facts: PlanFacts::gather([plan]),
         })
     }
 
@@ -302,6 +430,7 @@ impl Machine {
             iteration_index,
             cycle: 0,
             last_fire: None,
+            facts: PlanFacts::gather(&acc.memory_systems),
         })
     }
 
@@ -534,6 +663,18 @@ impl Machine {
             }
         }
 
+        // Telemetry: freeze fill-phase stall counts at the first kernel
+        // firing (everything after is steady state), then sample FIFO
+        // occupancy for this cycle.
+        if self.last_fire.is_some() && self.kernel.first_fire_cycle() == Some(cycle) {
+            for chain in &mut self.chains {
+                chain.snapshot_fill_stalls();
+            }
+        }
+        for chain in &mut self.chains {
+            chain.sample_occupancy();
+        }
+
         self.cycle += 1;
         if !activity && !self.is_done() {
             return Err(SimError::Deadlock {
@@ -614,6 +755,39 @@ impl Machine {
             );
         }
         out
+    }
+
+    /// Enables per-cycle FIFO occupancy histograms on every chain.
+    /// Call before running; each subsequent [`Machine::step`] records
+    /// one sample per FIFO. Costs one bucket lookup per FIFO per cycle;
+    /// when not enabled the recording path is a single branch.
+    pub fn enable_occupancy_sampling(&mut self) {
+        for chain in &mut self.chains {
+            chain.enable_occupancy_sampling();
+        }
+    }
+
+    /// A self-contained telemetry snapshot of the run so far: live
+    /// counters (occupancy high-water marks, push/pop totals, filter
+    /// forward/discard/stall counts split into fill and steady phases)
+    /// next to the plan's bounds (Eq. (2) capacities, the §2.3 minimum
+    /// total buffer, the bandwidth-limited cycle bound), ready for
+    /// [`stencil_telemetry::validate_machine`].
+    #[must_use]
+    pub fn metrics(&self) -> MachineMetrics {
+        MachineMetrics {
+            cycles: self.cycle,
+            outputs: self.kernel.outputs(),
+            iterations: self.iteration_index.len(),
+            fill_latency: self.kernel.first_fire_cycle().map_or(0, |c| c + 1),
+            steady_ii: self.kernel.steady_ii().unwrap_or(0.0),
+            ideal_cycles: self.ideal_cycles(),
+            offchip_streams: self.facts.offchip_streams,
+            planned_total_buffer: self.facts.planned_total_buffer,
+            min_total_buffer: self.facts.min_total_buffer,
+            linearity_holds: self.facts.linearity_holds,
+            chains: self.chains.iter().map(ChainState::metrics).collect(),
+        }
     }
 
     /// Statistics of the run so far.
@@ -818,6 +992,67 @@ mod tests {
         let stats = m.run(10_000).unwrap();
         assert_eq!(stats.outputs, 100);
         assert!(stats.fully_pipelined());
+    }
+
+    #[test]
+    fn metrics_capture_bounds_and_counters() {
+        let plan = small_denoise(10, 12);
+        let mut m = Machine::new(&plan).unwrap();
+        m.enable_occupancy_sampling();
+        let _ = m.run(100_000).unwrap();
+        let metrics = m.metrics();
+        assert_eq!(metrics.outputs, metrics.iterations);
+        assert_eq!(metrics.offchip_streams, 1);
+        assert_eq!(metrics.planned_total_buffer, plan.total_buffer_size());
+        assert_eq!(metrics.min_total_buffer, plan.min_total_size());
+        assert!(metrics.linearity_holds);
+        let chain = &metrics.chains[0];
+        assert_eq!(chain.input_elements, 10 * 12);
+        assert_eq!(chain.inputs_streamed, 10 * 12);
+        // Per-FIFO: planned capacity, tight high water, push/pop flow.
+        let caps: Vec<u64> = chain.fifos.iter().map(|f| f.capacity).collect();
+        assert_eq!(caps, plan.fifo_capacities());
+        for f in &chain.fifos {
+            assert_eq!(f.high_water, f.capacity.max(1));
+            assert!(f.pops <= f.pushes);
+            // Sampling was on: one record per simulated cycle.
+            assert_eq!(f.occupancy.total(), metrics.cycles);
+            assert_eq!(f.occupancy.overflow(), 0);
+        }
+        // The fill/steady stall split: this design stalls only while
+        // the reuse buffers fill, never afterwards.
+        assert!(chain.filters.iter().any(|f| f.stalls > 0));
+        assert_eq!(metrics.steady_stalls(), 0);
+        // And the validator agrees the run met every bound.
+        assert_eq!(stencil_telemetry::validate_machine(&metrics), Vec::new());
+    }
+
+    #[test]
+    fn tradeoff_metrics_validate_clean() {
+        for streams in [2, 3] {
+            let plan = small_denoise(10, 12).with_offchip_streams(streams).unwrap();
+            let mut m = Machine::new(&plan).unwrap();
+            let _ = m.run(100_000).unwrap();
+            let metrics = m.metrics();
+            assert_eq!(metrics.offchip_streams, streams);
+            let violations = stencil_telemetry::validate_machine(&metrics);
+            assert_eq!(violations, Vec::new(), "streams={streams}");
+        }
+    }
+
+    #[test]
+    fn partial_run_metrics_report_incomplete() {
+        let plan = small_denoise(10, 12);
+        let mut m = Machine::new(&plan).unwrap();
+        for _ in 0..10 {
+            m.step().unwrap();
+        }
+        let metrics = m.metrics();
+        assert!(metrics.outputs < metrics.iterations);
+        let violations = stencil_telemetry::validate_machine(&metrics);
+        assert!(violations
+            .iter()
+            .all(|v| v.check == stencil_telemetry::BoundCheck::OutputsComplete));
     }
 
     #[test]

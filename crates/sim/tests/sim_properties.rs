@@ -179,6 +179,72 @@ proptest! {
         prop_assert_eq!(delayed.cycles, base.cycles + latency);
     }
 
+    /// Eq. (2) tightness is not a planner artifact: on every random
+    /// rectangular machine the *live* occupancy high-water mark of
+    /// every reuse FIFO lands exactly on its planned capacity (with
+    /// capacity-0 FIFOs promoted to the one register the hardware
+    /// allocates), and the full bound validator finds nothing to flag.
+    #[test]
+    fn fifo_high_water_always_equals_planned_capacity(
+        offs in prop::collection::btree_set(((-2i64..=2), (-2i64..=2)), 2..=6),
+        rows in 8i64..20,
+        cols in 8i64..20,
+    ) {
+        let offs: Vec<(i64, i64)> = offs.into_iter().collect();
+        let window: Vec<Point> =
+            offs.iter().map(|&(a, b)| Point::new(&[a, b])).collect();
+        let lo0 = offs.iter().map(|t| t.0).min().unwrap().min(0).abs();
+        let hi0 = offs.iter().map(|t| t.0).max().unwrap().max(0);
+        let lo1 = offs.iter().map(|t| t.1).min().unwrap().min(0).abs();
+        let hi1 = offs.iter().map(|t| t.1).max().unwrap().max(0);
+        let spec = StencilSpec::new(
+            "hwm",
+            Polyhedron::rect(&[(lo0, rows - 1 - hi0), (lo1, cols - 1 - hi1)]),
+            window,
+        ).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let mut m = Machine::new(&plan).expect("machine");
+        m.enable_occupancy_sampling();
+        m.run(1_000_000).expect("run");
+        let metrics = m.metrics();
+        let caps: Vec<u64> = metrics
+            .chains
+            .iter()
+            .flat_map(|c| c.fifos.iter().map(|f| f.capacity))
+            .collect();
+        prop_assert_eq!(caps, plan.fifo_capacities());
+        for chain in &metrics.chains {
+            for fifo in &chain.fifos {
+                prop_assert_eq!(fifo.high_water, fifo.capacity.max(1));
+            }
+        }
+        let violations = stencil_telemetry::validate_machine(&metrics);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// Every live telemetry report survives the JSON round trip
+    /// bit-for-bit — counters, histograms, and plan facts included.
+    #[test]
+    fn telemetry_reports_roundtrip_through_json(
+        offs in prop::collection::btree_set(-4i64..=4, 2..=6),
+        extent in 16i64..80,
+        streams_pick in 0usize..3,
+    ) {
+        let offs: Vec<i64> = offs.into_iter().collect();
+        let spec = spec_1d(&offs, extent);
+        let streams = 1 + streams_pick % offs.len();
+        let plan = MemorySystemPlan::generate(&spec).expect("plan")
+            .with_offchip_streams(streams).expect("tradeoff");
+        let mut m = Machine::new(&plan).expect("machine");
+        m.enable_occupancy_sampling();
+        m.run(1_000_000).expect("run");
+        let mut report = stencil_telemetry::MetricsReport::new(spec.name());
+        report.machine = Some(m.metrics());
+        let reparsed = stencil_telemetry::MetricsReport::parse(&report.to_json())
+            .expect("parse");
+        prop_assert_eq!(reparsed, report);
+    }
+
     #[test]
     fn every_tradeoff_point_is_equivalent(
         offs in prop::collection::btree_set(((-2i64..=2), (-2i64..=2)), 2..=6),

@@ -1,0 +1,248 @@
+//! Metric primitives: monotone counters, high-water gauges, and
+//! fixed-bucket histograms.
+//!
+//! All three are plain values — recording is an add, a max, or a
+//! binary-search-free bucket walk. Disabled histograms (built with
+//! [`Histogram::disabled`]) skip recording after a single branch, so
+//! instrumentation left in a hot loop costs nothing measurable when it
+//! is off.
+
+use serde::json::{field, object, FromValue, JsonError, ToValue, Value};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// Counts one event.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Counts `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A high-water-mark gauge: remembers the largest value ever observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HighWater(u64);
+
+impl HighWater {
+    /// A gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// Observes a value, raising the mark if it is a new maximum.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        if value > self.0 {
+            self.0 = value;
+        }
+    }
+
+    /// The highest value observed so far.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Buckets are defined by their inclusive upper bounds; an implicit
+/// overflow bucket catches everything above the last bound. Bounds are
+/// fixed at construction — recording never allocates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bound of each explicit bucket, ascending.
+    bounds: Vec<u64>,
+    /// One count per explicit bucket, plus the trailing overflow bucket.
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending inclusive upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    #[must_use]
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly ascending"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+        }
+    }
+
+    /// `buckets` equal-width buckets covering `0..=max` (plus overflow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    #[must_use]
+    pub fn linear(max: u64, buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        let max = max.max(buckets as u64);
+        let bounds: Vec<u64> = (1..=buckets as u64)
+            .map(|k| max * k / buckets as u64)
+            .collect();
+        Self::new(&bounds)
+    }
+
+    /// A disabled histogram: [`Histogram::record`] is a no-op after one
+    /// branch, and the snapshot serializes as empty.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            bounds: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// True if this histogram records samples.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        !self.counts.is_empty()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        if self.counts.is_empty() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+    }
+
+    /// The inclusive upper bounds of the explicit buckets.
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// The per-bucket counts (explicit buckets, then overflow).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Samples in the overflow bucket (above the last bound).
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.counts.last().copied().unwrap_or(0)
+    }
+}
+
+impl ToValue for Histogram {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("bounds", self.bounds.to_value()),
+            ("counts", self.counts.to_value()),
+        ])
+    }
+}
+
+impl FromValue for Histogram {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        let bounds: Vec<u64> = field(value, "bounds")?;
+        let counts: Vec<u64> = field(value, "counts")?;
+        if !counts.is_empty() && counts.len() != bounds.len() + 1 {
+            return Err(JsonError::conversion(
+                "histogram counts must have one entry per bound plus overflow",
+            ));
+        }
+        Ok(Self { bounds, counts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_highwater() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let mut hw = HighWater::new();
+        hw.observe(3);
+        hw.observe(1);
+        hw.observe(7);
+        assert_eq!(hw.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1, 4, 9]);
+        for v in [0, 1, 2, 4, 5, 9, 10, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2, 2]);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.overflow(), 2);
+    }
+
+    #[test]
+    fn linear_bounds_cover_range() {
+        let h = Histogram::linear(100, 4);
+        assert_eq!(h.bounds(), &[25, 50, 75, 100]);
+        let tiny = Histogram::linear(2, 4);
+        assert_eq!(tiny.bounds(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn disabled_histogram_is_inert() {
+        let mut h = Histogram::disabled();
+        assert!(!h.is_enabled());
+        h.record(5);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn histogram_json_round_trip() {
+        let mut h = Histogram::new(&[2, 8]);
+        h.record(1);
+        h.record(9);
+        let v = h.to_value();
+        let text = v.to_json();
+        let back = Histogram::from_value(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(&[3, 1]);
+    }
+}

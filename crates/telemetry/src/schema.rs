@@ -1,0 +1,488 @@
+//! The metrics wire schema.
+//!
+//! One [`MetricsReport`] describes one run: the cycle-accurate
+//! machine's counters ([`MachineMetrics`]), the software engine's
+//! counters ([`EngineMetrics`]), or both (when a command runs the two
+//! back to back). Planned quantities (Eq. (2) FIFO capacities, the
+//! §2.3 minimum-buffer bound, the bandwidth-limited cycle bound) are
+//! recorded *next to* their observed counterparts, so a report is
+//! self-contained: [`crate::validate`] needs no plan object to check
+//! the paper's claims.
+
+use serde::json::{field, object, FromValue, JsonError, ToValue, Value};
+
+use crate::metric::Histogram;
+
+/// Version tag written into every report; bump on breaking schema
+/// changes so downstream tooling can dispatch.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Observed behaviour of one reuse FIFO, next to its planned capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FifoMetrics {
+    /// Planned depth in elements: the Eq. (2) maximum reuse distance
+    /// `r̄(A_k → A_{k+1})`, *before* the hardware's promotion of
+    /// zero-capacity FIFOs to a single register stage (the validator
+    /// applies the promotion when checking occupancy).
+    pub capacity: u64,
+    /// Highest occupancy ever observed.
+    pub high_water: u64,
+    /// Elements ever pushed.
+    pub pushes: u64,
+    /// Elements ever popped.
+    pub pops: u64,
+    /// Per-cycle occupancy distribution, when sampling was enabled
+    /// (disabled histograms serialize with empty bounds/counts).
+    pub occupancy: Histogram,
+}
+
+impl ToValue for FifoMetrics {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("capacity", self.capacity.to_value()),
+            ("high_water", self.high_water.to_value()),
+            ("pushes", self.pushes.to_value()),
+            ("pops", self.pops.to_value()),
+            ("occupancy", self.occupancy.to_value()),
+        ])
+    }
+}
+
+impl FromValue for FifoMetrics {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            capacity: field(v, "capacity")?,
+            high_water: field(v, "high_water")?,
+            pushes: field(v, "pushes")?,
+            pops: field(v, "pops")?,
+            occupancy: field(v, "occupancy")?,
+        })
+    }
+}
+
+/// Observed behaviour of one data filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterMetrics {
+    /// Elements forwarded to the kernel port.
+    pub forwarded: u64,
+    /// Elements discarded (not part of this reference's data domain).
+    pub discarded: u64,
+    /// Total stalled cycles, including the reuse-buffer fill phase.
+    pub stalls: u64,
+    /// Stalled cycles after the first kernel firing — the steady-state
+    /// share. Zero here, across all filters, is the paper's II = 1
+    /// condition.
+    pub steady_stalls: u64,
+}
+
+impl ToValue for FilterMetrics {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("forwarded", self.forwarded.to_value()),
+            ("discarded", self.discarded.to_value()),
+            ("stalls", self.stalls.to_value()),
+            ("steady_stalls", self.steady_stalls.to_value()),
+        ])
+    }
+}
+
+impl FromValue for FilterMetrics {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            forwarded: field(v, "forwarded")?,
+            discarded: field(v, "discarded")?,
+            stalls: field(v, "stalls")?,
+            steady_stalls: field(v, "steady_stalls")?,
+        })
+    }
+}
+
+/// One memory-system chain (one data array) of a machine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainMetrics {
+    /// The served array's name.
+    pub array: String,
+    /// Elements streamed from off-chip across all streams of the chain.
+    pub inputs_streamed: u64,
+    /// Size of the input domain `D_A` (planned stream length per
+    /// off-chip stream head).
+    pub input_elements: u64,
+    /// Reuse FIFOs in chain order.
+    pub fifos: Vec<FifoMetrics>,
+    /// Data filters in chain order.
+    pub filters: Vec<FilterMetrics>,
+}
+
+impl ToValue for ChainMetrics {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("array", self.array.to_value()),
+            ("inputs_streamed", self.inputs_streamed.to_value()),
+            ("input_elements", self.input_elements.to_value()),
+            ("fifos", self.fifos.to_value()),
+            ("filters", self.filters.to_value()),
+        ])
+    }
+}
+
+impl FromValue for ChainMetrics {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            array: field(v, "array")?,
+            inputs_streamed: field(v, "inputs_streamed")?,
+            input_elements: field(v, "input_elements")?,
+            fifos: field(v, "fifos")?,
+            filters: field(v, "filters")?,
+        })
+    }
+}
+
+/// Counters of one cycle-accurate machine run, with the plan's bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineMetrics {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Kernel outputs produced.
+    pub outputs: u64,
+    /// Planned iteration count (size of `D`); a complete run has
+    /// `outputs == iterations`.
+    pub iterations: u64,
+    /// Cycle of the first output (§3.4.1 automatic fill latency).
+    pub fill_latency: u64,
+    /// Measured cycles per output between first and last firing.
+    pub steady_ii: f64,
+    /// The input-bandwidth-limited lower bound on total cycles;
+    /// `cycles <= ideal_cycles` is the paper's full-pipelining target.
+    pub ideal_cycles: u64,
+    /// Off-chip streams consumed per cycle (1, or more under the
+    /// Appendix 9.4 tradeoff).
+    pub offchip_streams: usize,
+    /// Sum of allocated FIFO capacities in this configuration.
+    pub planned_total_buffer: u64,
+    /// The §2.3 minimum total buffer size `r̄(A_0 → A_{n-1})` of the
+    /// single-stream design.
+    pub min_total_buffer: u64,
+    /// Whether Property 3 (linearity of max reuse distances) held, in
+    /// which case the single-stream `planned_total_buffer` equals
+    /// `min_total_buffer` exactly.
+    pub linearity_holds: bool,
+    /// Per-chain detail.
+    pub chains: Vec<ChainMetrics>,
+}
+
+impl MachineMetrics {
+    /// Sum of observed FIFO high-water marks across every chain — the
+    /// steady-state buffering the run actually used.
+    #[must_use]
+    pub fn observed_total_buffer(&self) -> u64 {
+        self.chains
+            .iter()
+            .flat_map(|c| c.fifos.iter())
+            .map(|f| f.high_water)
+            .sum()
+    }
+
+    /// Total steady-state stalled cycles across every filter.
+    #[must_use]
+    pub fn steady_stalls(&self) -> u64 {
+        self.chains
+            .iter()
+            .flat_map(|c| c.filters.iter())
+            .map(|f| f.steady_stalls)
+            .sum()
+    }
+}
+
+impl ToValue for MachineMetrics {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("cycles", self.cycles.to_value()),
+            ("outputs", self.outputs.to_value()),
+            ("iterations", self.iterations.to_value()),
+            ("fill_latency", self.fill_latency.to_value()),
+            ("steady_ii", self.steady_ii.to_value()),
+            ("ideal_cycles", self.ideal_cycles.to_value()),
+            ("offchip_streams", self.offchip_streams.to_value()),
+            ("planned_total_buffer", self.planned_total_buffer.to_value()),
+            ("min_total_buffer", self.min_total_buffer.to_value()),
+            ("linearity_holds", self.linearity_holds.to_value()),
+            ("chains", self.chains.to_value()),
+        ])
+    }
+}
+
+impl FromValue for MachineMetrics {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            cycles: field(v, "cycles")?,
+            outputs: field(v, "outputs")?,
+            iterations: field(v, "iterations")?,
+            fill_latency: field(v, "fill_latency")?,
+            steady_ii: field(v, "steady_ii")?,
+            ideal_cycles: field(v, "ideal_cycles")?,
+            offchip_streams: field(v, "offchip_streams")?,
+            planned_total_buffer: field(v, "planned_total_buffer")?,
+            min_total_buffer: field(v, "min_total_buffer")?,
+            linearity_holds: field(v, "linearity_holds")?,
+            chains: field(v, "chains")?,
+        })
+    }
+}
+
+/// Per-band counters of one software-engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileMetrics {
+    /// Band id, outermost-dimension order.
+    pub id: usize,
+    /// Outputs the band produced.
+    pub outputs: u64,
+    /// Input elements in the band's halo.
+    pub halo_elements: u64,
+    /// Rows executed on the batched fast path.
+    pub fast_rows: u64,
+    /// Rows that fell back to per-point gathers.
+    pub gather_rows: u64,
+    /// Wall-clock nanoseconds the band's worker spent.
+    pub elapsed_ns: u64,
+}
+
+impl ToValue for TileMetrics {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("id", self.id.to_value()),
+            ("outputs", self.outputs.to_value()),
+            ("halo_elements", self.halo_elements.to_value()),
+            ("fast_rows", self.fast_rows.to_value()),
+            ("gather_rows", self.gather_rows.to_value()),
+            ("elapsed_ns", self.elapsed_ns.to_value()),
+        ])
+    }
+}
+
+impl FromValue for TileMetrics {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            id: field(v, "id")?,
+            outputs: field(v, "outputs")?,
+            halo_elements: field(v, "halo_elements")?,
+            fast_rows: field(v, "fast_rows")?,
+            gather_rows: field(v, "gather_rows")?,
+            elapsed_ns: field(v, "elapsed_ns")?,
+        })
+    }
+}
+
+/// Counters of one software-engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineMetrics {
+    /// Total outputs produced.
+    pub outputs: u64,
+    /// Bands executed.
+    pub tiles: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Input elements fetched across bands, halo overlap counted per
+    /// band.
+    pub halo_elements: u64,
+    /// End-to-end wall-clock nanoseconds.
+    pub elapsed_ns: u64,
+    /// Outputs per second (0.0 when the elapsed time is below timer
+    /// resolution — never non-finite).
+    pub throughput: f64,
+    /// Per-band detail, band order.
+    pub per_tile: Vec<TileMetrics>,
+}
+
+impl ToValue for EngineMetrics {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("outputs", self.outputs.to_value()),
+            ("tiles", self.tiles.to_value()),
+            ("threads", self.threads.to_value()),
+            ("halo_elements", self.halo_elements.to_value()),
+            ("elapsed_ns", self.elapsed_ns.to_value()),
+            ("throughput", self.throughput.to_value()),
+            ("per_tile", self.per_tile.to_value()),
+        ])
+    }
+}
+
+impl FromValue for EngineMetrics {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            outputs: field(v, "outputs")?,
+            tiles: field(v, "tiles")?,
+            threads: field(v, "threads")?,
+            halo_elements: field(v, "halo_elements")?,
+            elapsed_ns: field(v, "elapsed_ns")?,
+            throughput: field(v, "throughput")?,
+            per_tile: field(v, "per_tile")?,
+        })
+    }
+}
+
+/// A complete metrics report for one named run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The kernel / benchmark name.
+    pub name: String,
+    /// Cycle-accurate machine counters, if a machine ran.
+    pub machine: Option<MachineMetrics>,
+    /// Software-engine counters, if the engine ran.
+    pub engine: Option<EngineMetrics>,
+}
+
+impl MetricsReport {
+    /// An empty report for a named run.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            schema_version: SCHEMA_VERSION,
+            name: name.into(),
+            machine: None,
+            engine: None,
+        }
+    }
+
+    /// Renders the report as indented JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json_pretty()
+    }
+
+    /// Parses a report back from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed JSON or schema mismatch.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        Self::from_value(&Value::parse(text)?)
+    }
+}
+
+impl ToValue for MetricsReport {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("schema_version", self.schema_version.to_value()),
+            ("name", self.name.to_value()),
+            (
+                "machine",
+                self.machine
+                    .as_ref()
+                    .map(ToValue::to_value)
+                    .unwrap_or(Value::Null),
+            ),
+            (
+                "engine",
+                self.engine
+                    .as_ref()
+                    .map(ToValue::to_value)
+                    .unwrap_or(Value::Null),
+            ),
+        ])
+    }
+}
+
+impl FromValue for MetricsReport {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            schema_version: field(v, "schema_version")?,
+            name: field(v, "name")?,
+            machine: field(v, "machine")?,
+            engine: field(v, "engine")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_machine() -> MachineMetrics {
+        MachineMetrics {
+            cycles: 140,
+            outputs: 80,
+            iterations: 80,
+            fill_latency: 27,
+            steady_ii: 1.2,
+            ideal_cycles: 141,
+            offchip_streams: 1,
+            planned_total_buffer: 24,
+            min_total_buffer: 24,
+            linearity_holds: true,
+            chains: vec![ChainMetrics {
+                array: "A".into(),
+                inputs_streamed: 120,
+                input_elements: 120,
+                fifos: vec![
+                    FifoMetrics {
+                        capacity: 11,
+                        high_water: 11,
+                        pushes: 108,
+                        pops: 97,
+                        occupancy: Histogram::disabled(),
+                    },
+                    FifoMetrics {
+                        capacity: 1,
+                        high_water: 1,
+                        pushes: 100,
+                        pops: 99,
+                        occupancy: Histogram::new(&[1, 2]),
+                    },
+                ],
+                filters: vec![FilterMetrics {
+                    forwarded: 80,
+                    discarded: 40,
+                    stalls: 9,
+                    steady_stalls: 0,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json_text() {
+        let report = MetricsReport {
+            schema_version: SCHEMA_VERSION,
+            name: "denoise".into(),
+            machine: Some(sample_machine()),
+            engine: Some(EngineMetrics {
+                outputs: 80,
+                tiles: 2,
+                threads: 2,
+                halo_elements: 132,
+                elapsed_ns: 81_532,
+                throughput: 981_208.3,
+                per_tile: vec![TileMetrics {
+                    id: 0,
+                    outputs: 40,
+                    halo_elements: 66,
+                    fast_rows: 5,
+                    gather_rows: 0,
+                    elapsed_ns: 40_000,
+                }],
+            }),
+        };
+        let text = report.to_json();
+        let back = MetricsReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+        // And a partial report (engine only) stays partial.
+        let partial = MetricsReport::new("x");
+        assert_eq!(MetricsReport::parse(&partial.to_json()).unwrap(), partial);
+    }
+
+    #[test]
+    fn aggregates() {
+        let m = sample_machine();
+        assert_eq!(m.observed_total_buffer(), 12);
+        assert_eq!(m.steady_stalls(), 0);
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        assert!(MetricsReport::parse("{}").is_err());
+        assert!(MetricsReport::parse(r#"{"schema_version":"one"}"#).is_err());
+    }
+}

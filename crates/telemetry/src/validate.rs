@@ -1,0 +1,458 @@
+//! Runtime bound validation.
+//!
+//! The planner proves the paper's optimality claims statically; this
+//! module re-proves them against what a run actually did. Each
+//! [`BoundCheck`] names one claim, and [`validate_machine`] /
+//! [`validate_report`] return every [`BoundViolation`] found (empty
+//! means all bounds held).
+//!
+//! The checks, keyed to the paper:
+//!
+//! * [`BoundCheck::FifoCapacitySafe`] / [`BoundCheck::FifoCapacityTight`]
+//!   — Eq. (2): each reuse FIFO's occupancy high-water mark never
+//!   exceeds, and for complete runs exactly reaches, its allocated
+//!   capacity `r̄(A_k → A_{k+1})` (zero-capacity FIFOs count as the
+//!   single register stage the hardware allocates).
+//! * [`BoundCheck::TotalBufferTight`] — the summed high-water marks
+//!   equal the summed planned capacities, i.e. no allocated element
+//!   went unused.
+//! * [`BoundCheck::MinimumBuffer`] — §2.3: for single-stream plans
+//!   where Property 3 (linearity) holds, the observed total buffering
+//!   equals the minimum possible total `r̄(A_0 → A_{n-1})`.
+//! * [`BoundCheck::FullyPipelined`] — §3.4: a run with zero
+//!   steady-state filter stalls must meet the input-bandwidth-limited
+//!   cycle bound (II = 1), and vice versa.
+//! * [`BoundCheck::StreamConservation`] — each off-chip stream head
+//!   walks its input domain at most once, and enough of it arrives to
+//!   feed every output: `outputs ≤ streamed ≤ streams × |D_A|` per
+//!   chain.
+//! * [`BoundCheck::OutputsComplete`] — the run produced exactly `|D|`
+//!   outputs.
+//! * [`BoundCheck::Finite`] — the serialized report contains no NaN or
+//!   infinity (JSON cannot represent them).
+
+use serde::json::ToValue;
+
+use crate::schema::{MachineMetrics, MetricsReport};
+
+/// The individual claims the validator checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundCheck {
+    /// Eq. (2) safety: FIFO high-water mark ≤ allocated capacity.
+    FifoCapacitySafe,
+    /// Eq. (2) tightness: FIFO high-water mark = allocated capacity.
+    FifoCapacityTight,
+    /// Σ high-water = Σ planned capacity (no over-allocation).
+    TotalBufferTight,
+    /// §2.3 minimum total buffer bound met exactly.
+    MinimumBuffer,
+    /// Zero steady-state stalls ⇔ cycles within the bandwidth bound.
+    FullyPipelined,
+    /// Per chain, `outputs ≤ streamed ≤ streams × |D_A|`.
+    StreamConservation,
+    /// Outputs equal the iteration-domain size.
+    OutputsComplete,
+    /// No NaN/infinity anywhere in the report.
+    Finite,
+}
+
+impl core::fmt::Display for BoundCheck {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            Self::FifoCapacitySafe => "fifo-capacity-safe (Eq. 2)",
+            Self::FifoCapacityTight => "fifo-capacity-tight (Eq. 2)",
+            Self::TotalBufferTight => "total-buffer-tight",
+            Self::MinimumBuffer => "minimum-buffer (Sec. 2.3)",
+            Self::FullyPipelined => "fully-pipelined (II = 1)",
+            Self::StreamConservation => "stream-conservation",
+            Self::OutputsComplete => "outputs-complete",
+            Self::Finite => "finite",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One failed bound check, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundViolation {
+    /// Which claim failed.
+    pub check: BoundCheck,
+    /// Where in the report it failed (e.g. `chain "in" fifo 2`).
+    pub location: String,
+    /// Human-readable expected-vs-observed detail.
+    pub detail: String,
+}
+
+impl core::fmt::Display for BoundViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} at {}: {}", self.check, self.location, self.detail)
+    }
+}
+
+fn violation(
+    out: &mut Vec<BoundViolation>,
+    check: BoundCheck,
+    location: impl Into<String>,
+    detail: String,
+) {
+    out.push(BoundViolation {
+        check,
+        location: location.into(),
+        detail,
+    });
+}
+
+/// Checks every machine-level bound. An incomplete run (fewer outputs
+/// than iterations, e.g. a `--cycles`-capped simulation) skips the
+/// tightness checks — a partial run may legitimately not have filled
+/// its FIFOs — but still enforces the safety ones.
+#[must_use]
+pub fn validate_machine(m: &MachineMetrics) -> Vec<BoundViolation> {
+    let mut v = Vec::new();
+    let complete = m.outputs == m.iterations;
+
+    if !complete {
+        violation(
+            &mut v,
+            BoundCheck::OutputsComplete,
+            "machine",
+            format!("produced {} of {} outputs", m.outputs, m.iterations),
+        );
+    }
+
+    let mut observed_total = 0u64;
+    let mut planned_total = 0u64;
+    for chain in &m.chains {
+        for (k, fifo) in chain.fifos.iter().enumerate() {
+            let loc = format!("chain {:?} fifo {k}", chain.array);
+            // The hardware promotes capacity-0 FIFOs to one register.
+            let cap = fifo.capacity.max(1);
+            observed_total += fifo.high_water;
+            planned_total += cap;
+            if fifo.high_water > cap {
+                violation(
+                    &mut v,
+                    BoundCheck::FifoCapacitySafe,
+                    &loc,
+                    format!("high water {} exceeds capacity {cap}", fifo.high_water),
+                );
+            } else if complete && fifo.high_water < cap {
+                violation(
+                    &mut v,
+                    BoundCheck::FifoCapacityTight,
+                    &loc,
+                    format!(
+                        "high water {} never reached capacity {cap}",
+                        fifo.high_water
+                    ),
+                );
+            }
+            if fifo.pops > fifo.pushes {
+                violation(
+                    &mut v,
+                    BoundCheck::StreamConservation,
+                    &loc,
+                    format!("popped {} of {} pushed", fifo.pops, fifo.pushes),
+                );
+            }
+        }
+        if complete {
+            // Each off-chip stream head walks the input domain at most
+            // once, so streamed <= streams x |D_A|. The head stops as
+            // soon as the last output fires, leaving trailing elements
+            // no window needs unread — but every output has a distinct
+            // maximal input tap, so at least `outputs` elements must
+            // have been delivered. Chains with no off-chip feed at all
+            // (fully forwarded) stream nothing.
+            let hi = chain.input_elements * m.offchip_streams as u64;
+            let lo = m.outputs.min(hi);
+            let ok = chain.inputs_streamed == 0 && chain.input_elements == 0
+                || (lo..=hi).contains(&chain.inputs_streamed);
+            if !ok {
+                violation(
+                    &mut v,
+                    BoundCheck::StreamConservation,
+                    format!("chain {:?}", chain.array),
+                    format!(
+                        "streamed {} elements, expected {lo}..={hi} ({} stream(s) x {})",
+                        chain.inputs_streamed, m.offchip_streams, chain.input_elements
+                    ),
+                );
+            }
+        }
+    }
+
+    if complete && observed_total != planned_total {
+        violation(
+            &mut v,
+            BoundCheck::TotalBufferTight,
+            "machine",
+            format!(
+                "summed high water {observed_total} != summed planned capacity {planned_total}"
+            ),
+        );
+    }
+
+    // §2.3: with one stream and Property 3 holding, the plan — and
+    // therefore the observed steady occupancy — sits exactly on the
+    // minimum-buffer bound. Promoted register stages (capacity 0 → 1)
+    // are excluded from the planned total by `min_total_buffer`'s
+    // definition, so compare against the unpromoted plan figure.
+    if complete && m.linearity_holds && m.offchip_streams == 1 {
+        let unpromoted: u64 = m
+            .chains
+            .iter()
+            .flat_map(|c| c.fifos.iter())
+            .map(|f| f.capacity)
+            .sum();
+        if unpromoted != m.min_total_buffer {
+            violation(
+                &mut v,
+                BoundCheck::MinimumBuffer,
+                "machine",
+                format!(
+                    "planned total buffer {unpromoted} != minimum bound {}",
+                    m.min_total_buffer
+                ),
+            );
+        }
+    }
+
+    // II = 1: zero steady-state stalls and meeting the bandwidth-
+    // limited cycle bound must agree.
+    if complete {
+        let steady = m.steady_stalls();
+        let within_bound = m.cycles <= m.ideal_cycles;
+        if steady == 0 && !within_bound {
+            violation(
+                &mut v,
+                BoundCheck::FullyPipelined,
+                "machine",
+                format!(
+                    "no steady-state stalls but {} cycles exceed the bandwidth bound {}",
+                    m.cycles, m.ideal_cycles
+                ),
+            );
+        }
+        if steady > 0 && within_bound {
+            violation(
+                &mut v,
+                BoundCheck::FullyPipelined,
+                "machine",
+                format!("{steady} steady-state stall cycles yet the run met the bandwidth bound"),
+            );
+        }
+    }
+
+    v
+}
+
+/// Checks a whole report: machine bounds (when present) plus
+/// finiteness of every number in the serialized form.
+#[must_use]
+pub fn validate_report(report: &MetricsReport) -> Vec<BoundViolation> {
+    let mut v = match &report.machine {
+        Some(m) => validate_machine(m),
+        None => Vec::new(),
+    };
+    if let Some(path) = report.to_value().find_non_finite() {
+        violation(
+            &mut v,
+            BoundCheck::Finite,
+            path,
+            "non-finite number in report".to_string(),
+        );
+    }
+    if let Some(e) = &report.engine {
+        if !e.throughput.is_finite() {
+            violation(
+                &mut v,
+                BoundCheck::Finite,
+                "engine.throughput",
+                format!("throughput is {}", e.throughput),
+            );
+        }
+        let tile_outputs: u64 = e.per_tile.iter().map(|t| t.outputs).sum();
+        if !e.per_tile.is_empty() && tile_outputs != e.outputs {
+            violation(
+                &mut v,
+                BoundCheck::OutputsComplete,
+                "engine",
+                format!(
+                    "tile outputs sum to {tile_outputs}, run reports {}",
+                    e.outputs
+                ),
+            );
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Histogram;
+    use crate::schema::{
+        ChainMetrics, EngineMetrics, FifoMetrics, FilterMetrics, MachineMetrics, TileMetrics,
+    };
+
+    fn clean_machine() -> MachineMetrics {
+        MachineMetrics {
+            cycles: 140,
+            outputs: 80,
+            iterations: 80,
+            fill_latency: 27,
+            steady_ii: 1.0,
+            ideal_cycles: 141,
+            offchip_streams: 1,
+            planned_total_buffer: 12,
+            min_total_buffer: 12,
+            linearity_holds: true,
+            chains: vec![ChainMetrics {
+                array: "A".into(),
+                inputs_streamed: 120,
+                input_elements: 120,
+                fifos: vec![
+                    FifoMetrics {
+                        capacity: 11,
+                        high_water: 11,
+                        pushes: 108,
+                        pops: 97,
+                        occupancy: Histogram::disabled(),
+                    },
+                    FifoMetrics {
+                        capacity: 1,
+                        high_water: 1,
+                        pushes: 100,
+                        pops: 99,
+                        occupancy: Histogram::disabled(),
+                    },
+                ],
+                filters: vec![FilterMetrics {
+                    forwarded: 80,
+                    discarded: 40,
+                    stalls: 9,
+                    steady_stalls: 0,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        assert_eq!(validate_machine(&clean_machine()), Vec::new());
+    }
+
+    #[test]
+    fn overfull_fifo_is_flagged() {
+        let mut m = clean_machine();
+        m.chains[0].fifos[0].high_water = 12;
+        let v = validate_machine(&m);
+        assert!(v.iter().any(|x| x.check == BoundCheck::FifoCapacitySafe));
+    }
+
+    #[test]
+    fn underfull_fifo_breaks_tightness_only_when_complete() {
+        let mut m = clean_machine();
+        m.chains[0].fifos[0].high_water = 7;
+        let v = validate_machine(&m);
+        assert!(v.iter().any(|x| x.check == BoundCheck::FifoCapacityTight));
+        assert!(v.iter().any(|x| x.check == BoundCheck::TotalBufferTight));
+        // A truncated run must not be punished for unfilled FIFOs...
+        m.outputs = 3;
+        let v = validate_machine(&m);
+        assert!(!v.iter().any(|x| x.check == BoundCheck::FifoCapacityTight));
+        // ...but is reported as incomplete.
+        assert!(v.iter().any(|x| x.check == BoundCheck::OutputsComplete));
+    }
+
+    #[test]
+    fn minimum_buffer_bound_checked_for_single_stream_linear_plans() {
+        let mut m = clean_machine();
+        m.min_total_buffer = 11;
+        let v = validate_machine(&m);
+        assert!(v.iter().any(|x| x.check == BoundCheck::MinimumBuffer));
+        // Multi-stream tradeoff points trade buffer for bandwidth, so
+        // the single-stream minimum no longer applies.
+        m.offchip_streams = 2;
+        m.chains[0].inputs_streamed = 240;
+        let v = validate_machine(&m);
+        assert!(!v.iter().any(|x| x.check == BoundCheck::MinimumBuffer));
+    }
+
+    #[test]
+    fn steady_stalls_and_cycle_bound_must_agree() {
+        let mut m = clean_machine();
+        m.cycles = 500; // blew the bound with no steady stalls
+        let v = validate_machine(&m);
+        assert!(v.iter().any(|x| x.check == BoundCheck::FullyPipelined));
+        let mut m = clean_machine();
+        m.chains[0].filters[0].steady_stalls = 4; // stalled yet met bound
+        let v = validate_machine(&m);
+        assert!(v.iter().any(|x| x.check == BoundCheck::FullyPipelined));
+    }
+
+    #[test]
+    fn stream_conservation() {
+        // Fewer streamed elements than outputs: some output had no tap.
+        let mut m = clean_machine();
+        m.chains[0].inputs_streamed = 79;
+        let v = validate_machine(&m);
+        assert!(v.iter().any(|x| x.check == BoundCheck::StreamConservation));
+        // More than streams x |D_A|: a head re-walked its domain.
+        m.chains[0].inputs_streamed = 121;
+        let v = validate_machine(&m);
+        assert!(v.iter().any(|x| x.check == BoundCheck::StreamConservation));
+        // An early stop that still fed every output is legitimate.
+        m.chains[0].inputs_streamed = 110;
+        assert_eq!(validate_machine(&m), Vec::new());
+    }
+
+    #[test]
+    fn non_finite_engine_numbers_are_flagged() {
+        let mut report = MetricsReport::new("x");
+        report.engine = Some(EngineMetrics {
+            outputs: 10,
+            tiles: 1,
+            threads: 1,
+            halo_elements: 12,
+            elapsed_ns: 0,
+            throughput: f64::INFINITY,
+            per_tile: vec![TileMetrics {
+                id: 0,
+                outputs: 10,
+                halo_elements: 12,
+                fast_rows: 2,
+                gather_rows: 0,
+                elapsed_ns: 0,
+            }],
+        });
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::Finite));
+        report.engine.as_mut().unwrap().throughput = 1.0;
+        assert_eq!(validate_report(&report), Vec::new());
+    }
+
+    #[test]
+    fn tile_output_sum_must_match_run_total() {
+        let mut report = MetricsReport::new("x");
+        report.engine = Some(EngineMetrics {
+            outputs: 11,
+            tiles: 1,
+            threads: 1,
+            halo_elements: 12,
+            elapsed_ns: 5,
+            throughput: 1.0,
+            per_tile: vec![TileMetrics {
+                id: 0,
+                outputs: 10,
+                halo_elements: 12,
+                fast_rows: 2,
+                gather_rows: 0,
+                elapsed_ns: 5,
+            }],
+        });
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::OutputsComplete));
+    }
+}

@@ -1,0 +1,739 @@
+//! A minimal JSON data model: the offline stand-in for `serde_json`.
+//!
+//! [`Value`] is the self-describing tree every serializable type lowers
+//! to via [`ToValue`] and is rebuilt from via [`FromValue`]; the tree
+//! round-trips through RFC 8259 text with [`Value::to_json`] /
+//! [`Value::parse`]. Object key order is preserved (insertion order),
+//! so emission is deterministic.
+//!
+//! Unlike `serde_json`, numbers keep their integer-ness: unsigned and
+//! signed integers survive a round trip exactly (no `f64` detour), so
+//! 64-bit counters never lose precision. Non-finite floats have no JSON
+//! representation and are emitted as `null`; producers that must stay
+//! finite should validate before emission (see
+//! `stencil_telemetry::validate`).
+
+use std::fmt;
+
+/// A parse or conversion error, with the byte offset for parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset into the input where parsing failed (0 for
+    /// conversion errors raised by [`FromValue`]).
+    pub offset: usize,
+}
+
+impl JsonError {
+    /// A conversion (non-parse) error.
+    #[must_use]
+    pub fn conversion(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            offset: 0,
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (u64-exact).
+    UInt(u64),
+    /// A negative integer (i64-exact; non-negative integers parse as
+    /// [`Value::UInt`]).
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; key order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key of an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            Value::Int(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            Value::UInt(n) => i64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(x) => Some(x),
+            Value::UInt(n) => Some(n as f64),
+            Value::Int(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True for every number that is not a finite float — i.e. a NaN or
+    /// infinity (integers are always finite). Used by metric validators
+    /// to reject values JSON cannot represent.
+    #[must_use]
+    pub fn is_non_finite(&self) -> bool {
+        matches!(*self, Value::Float(x) if !x.is_finite())
+    }
+
+    /// Walks the tree and returns the path of the first non-finite
+    /// number, if any (e.g. `metrics.engine.throughput`).
+    #[must_use]
+    pub fn find_non_finite(&self) -> Option<String> {
+        fn walk(v: &Value, path: &str) -> Option<String> {
+            match v {
+                Value::Array(items) => items
+                    .iter()
+                    .enumerate()
+                    .find_map(|(i, item)| walk(item, &format!("{path}[{i}]"))),
+                Value::Object(fields) => fields.iter().find_map(|(k, item)| {
+                    let p = if path.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{path}.{k}")
+                    };
+                    walk(item, &p)
+                }),
+                _ if v.is_non_finite() => Some(path.to_owned()),
+                _ => None,
+            }
+        }
+        walk(self, "")
+    }
+
+    /// Renders compact JSON text.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders indented JSON text (two spaces per level).
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
+            Value::Int(n) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
+            Value::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` keeps a decimal point or exponent, so floats
+                    // re-parse as floats.
+                    let _ = fmt::Write::write_fmt(out, format_args!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text into a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] with the byte offset of the first syntax
+    /// error, including trailing garbage after the top-level value.
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                message: "trailing characters after JSON value".into(),
+                offset: pos,
+            });
+        }
+        Ok(value)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn err(message: impl Into<String>, offset: usize) -> JsonError {
+    JsonError {
+        message: message.into(),
+        offset,
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(format!("expected `{}`", b as char), *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err("unexpected end of input", *pos)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(err("expected `,` or `]` in array", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(err("expected `,` or `}` in object", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Value,
+) -> Result<Value, JsonError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(err(format!("expected `{word}`"), *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let start = *pos;
+        // Fast path: advance over a plain UTF-8 run.
+        while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+            *pos += 1;
+        }
+        out.push_str(
+            std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|_| err("invalid UTF-8 in string", start))?,
+        );
+        match bytes.get(*pos) {
+            None => return Err(err("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *bytes.get(*pos).ok_or_else(|| err("bad escape", *pos))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let code = parse_hex4(bytes, pos)?;
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| err("invalid \\u escape (surrogate)", *pos))?;
+                        out.push(c);
+                    }
+                    _ => return Err(err("unknown escape", *pos - 1)),
+                }
+            }
+            Some(_) => unreachable!("loop stops only at quote or backslash"),
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+    if *pos + 4 > bytes.len() {
+        return Err(err("truncated \\u escape", *pos));
+    }
+    let hex =
+        std::str::from_utf8(&bytes[*pos..*pos + 4]).map_err(|_| err("bad \\u escape", *pos))?;
+    let code = u32::from_str_radix(hex, 16).map_err(|_| err("bad \\u escape", *pos))?;
+    *pos += 4;
+    Ok(code)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII digits");
+    if text.is_empty() || text == "-" {
+        return Err(err("expected a JSON value", start));
+    }
+    if !is_float {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::UInt(n));
+        }
+        if let Ok(n) = text.parse::<i64>() {
+            return Ok(Value::Int(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| err(format!("invalid number `{text}`"), start))
+}
+
+/// Lowers a value into the JSON data model.
+///
+/// Implemented by hand (or via helper builders) on types that define a
+/// stable wire schema — the offline analogue of `serde::Serialize` with
+/// `serde_json::to_value`.
+pub trait ToValue {
+    /// The JSON tree representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds a value from the JSON data model — the offline analogue of
+/// `serde::Deserialize` with `serde_json::from_value`.
+pub trait FromValue: Sized {
+    /// Parses `self` out of a JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when the tree's shape or a field's type
+    /// does not match.
+    fn from_value(value: &Value) -> Result<Self, JsonError>;
+}
+
+macro_rules! uint_impls {
+    ($($t:ty),*) => {$(
+        impl ToValue for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl FromValue for $t {
+            fn from_value(value: &Value) -> Result<Self, JsonError> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| JsonError::conversion("expected unsigned integer"))?;
+                <$t>::try_from(n).map_err(|_| JsonError::conversion("integer out of range"))
+            }
+        }
+    )*};
+}
+uint_impls!(u8, u16, u32, u64);
+
+impl ToValue for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl FromValue for usize {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        let n = value
+            .as_u64()
+            .ok_or_else(|| JsonError::conversion("expected unsigned integer"))?;
+        usize::try_from(n).map_err(|_| JsonError::conversion("integer out of range"))
+    }
+}
+
+impl ToValue for i64 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(n) => Value::UInt(n),
+            Err(_) => Value::Int(*self),
+        }
+    }
+}
+
+impl FromValue for i64 {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        value
+            .as_i64()
+            .ok_or_else(|| JsonError::conversion("expected integer"))
+    }
+}
+
+impl ToValue for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl FromValue for f64 {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        // `null` reads back as NaN: emission writes non-finite floats as
+        // null, and this keeps the round trip total.
+        if *value == Value::Null {
+            return Ok(f64::NAN);
+        }
+        value
+            .as_f64()
+            .ok_or_else(|| JsonError::conversion("expected number"))
+    }
+}
+
+impl ToValue for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromValue for bool {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        value
+            .as_bool()
+            .ok_or_else(|| JsonError::conversion("expected bool"))
+    }
+}
+
+impl ToValue for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl FromValue for String {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| JsonError::conversion("expected string"))
+    }
+}
+
+impl ToValue for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_owned())
+    }
+}
+
+impl<T: ToValue> ToValue for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<T: FromValue> FromValue for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        value
+            .as_array()
+            .ok_or_else(|| JsonError::conversion("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: ToValue> ToValue for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: FromValue> FromValue for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Null => Ok(None),
+            v => T::from_value(v).map(Some),
+        }
+    }
+}
+
+/// Builds an object value from `(key, value)` pairs — the idiomatic way
+/// to implement [`ToValue`] on a struct.
+#[must_use]
+pub fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// Reads a required field of an object, with the field name in the
+/// error message.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] if the field is absent or has the wrong type.
+pub fn field<T: FromValue>(value: &Value, key: &str) -> Result<T, JsonError> {
+    let v = value
+        .get(key)
+        .ok_or_else(|| JsonError::conversion(format!("missing field `{key}`")))?;
+    T::from_value(v).map_err(|e| JsonError::conversion(format!("field `{key}`: {}", e.message)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "18446744073709551615", "-7"] {
+            let v = Value::parse(text).unwrap();
+            assert_eq!(v.to_json(), text);
+        }
+        assert_eq!(Value::parse("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(Value::Float(1.5).to_json(), "1.5");
+        assert_eq!(Value::parse("1e3").unwrap(), Value::Float(1000.0));
+    }
+
+    #[test]
+    fn u64_counters_survive_exactly() {
+        let v = Value::UInt(u64::MAX);
+        let back = Value::parse(&v.to_json()).unwrap();
+        assert_eq!(back.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let v = Value::Str("a\"b\\c\nd\tü \u{1}".to_owned());
+        let text = v.to_json();
+        assert_eq!(Value::parse(&text).unwrap(), v);
+        assert_eq!(
+            Value::parse(r#""A\n""#).unwrap(),
+            Value::Str("A\n".to_owned())
+        );
+    }
+
+    #[test]
+    fn nested_structure_round_trips() {
+        let text = r#"{"name":"denoise","fifos":[{"cap":1023,"hw":1023},{"cap":1,"hw":1}],"ok":true,"ii":1.004}"#;
+        let v = Value::parse(text).unwrap();
+        assert_eq!(v.to_json(), text);
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("denoise"));
+        assert_eq!(
+            v.get("fifos").and_then(Value::as_array).map(<[Value]>::len),
+            Some(2)
+        );
+        let pretty = v.to_json_pretty();
+        assert_eq!(Value::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_floats_emit_null_and_are_detectable() {
+        let v = object(vec![
+            ("ok", Value::Float(2.0)),
+            ("bad", Value::Float(f64::INFINITY)),
+        ]);
+        assert_eq!(v.to_json(), r#"{"ok":2.0,"bad":null}"#);
+        assert_eq!(v.find_non_finite(), Some("bad".to_owned()));
+        let clean = Value::parse(r#"{"a":[1,2.5],"b":"x"}"#).unwrap();
+        assert_eq!(clean.find_non_finite(), None);
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        assert!(Value::parse("").is_err());
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("12 34").unwrap_err().offset > 0);
+        assert!(Value::parse(r#"{"a" 1}"#).is_err());
+        assert!(Value::parse("nul").is_err());
+    }
+
+    #[test]
+    fn field_helpers() {
+        let v = Value::parse(r#"{"n":3,"s":"x","opt":null}"#).unwrap();
+        assert_eq!(field::<u64>(&v, "n").unwrap(), 3);
+        assert_eq!(field::<String>(&v, "s").unwrap(), "x");
+        assert_eq!(field::<Option<u64>>(&v, "opt").unwrap(), None);
+        assert!(field::<u64>(&v, "missing").is_err());
+        assert!(field::<bool>(&v, "n").is_err());
+    }
+}

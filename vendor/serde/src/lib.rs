@@ -1,13 +1,23 @@
 //! Offline stand-in for the `serde` facade.
 //!
-//! The workspace only uses serde as derive markers on plan/report types
-//! (no wire format is produced in this environment), so the traits are
-//! empty markers and the derives expand to empty impls. Swapping the
-//! workspace dependency back to the real crates.io `serde` requires no
-//! source changes.
+//! Two layers live here:
+//!
+//! * The derive markers: most of the workspace uses serde derives only
+//!   as trait markers on plan/report types, so [`Serialize`] /
+//!   [`Deserialize`] are empty traits and the derives expand to empty
+//!   impls. Swapping the workspace dependency back to the crates.io
+//!   `serde` requires no source changes.
+//! * The [`json`] data model: a real, minimal `serde_json`-shaped
+//!   [`json::Value`] tree with RFC 8259 emission/parsing plus the
+//!   [`json::ToValue`] / [`json::FromValue`] conversion traits, used by
+//!   `stencil-telemetry` to give runtime metrics a machine-readable
+//!   wire format. Against the real crates this module maps to
+//!   `serde_json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
 
 /// Marker for types that can be serialized.
 ///
