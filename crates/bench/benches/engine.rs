@@ -1,12 +1,12 @@
 //! Criterion bench: parallel tiled engine vs the cycle-accurate
-//! machine on full-size DENOISE (768x1024), and engine thread scaling
-//! at 1/2/4/8 workers.
+//! machine on full-size DENOISE (768x1024), engine thread scaling at
+//! 1/2/4/8 workers, and the bounded-memory streaming path vs in-core.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use stencil_core::MemorySystemPlan;
-use stencil_engine::{run_tiled, InputGrid};
+use stencil_engine::{run_streaming, run_tiled, InputGrid, SliceSource, StreamConfig, VecSink};
 use stencil_kernels::{denoise, GridValues};
 use stencil_polyhedral::Polyhedron;
 use stencil_sim::Machine;
@@ -52,6 +52,27 @@ fn bench_engine(c: &mut Criterion) {
                 let run = run_tiled(black_box(&plan), &tile_plan, &input, &compute, threads)
                     .expect("engine");
                 black_box(run.outputs.len())
+            })
+        });
+    }
+
+    // Streaming out-of-core path against the in-core engine: same
+    // kernel, 4 workers, at a bounded chunk (64-row bands, so only a
+    // 66-row halo window is ever resident) and whole-grid-as-one-band.
+    for chunk in [64u64, 768] {
+        g.bench_function(format!("streaming_chunk{chunk}_4thread"), |b| {
+            b.iter(|| {
+                let mut source = SliceSource::new(black_box(&in_vals));
+                let mut sink = VecSink::new();
+                let report = run_streaming(
+                    &plan,
+                    &mut source,
+                    &mut sink,
+                    &compute,
+                    &StreamConfig::with_chunk_rows(chunk).threads(4),
+                )
+                .expect("streaming");
+                black_box((sink.values.len(), report.peak_resident))
             })
         });
     }

@@ -6,7 +6,9 @@ use std::fmt::Write as _;
 use stencil_core::{
     verify_plan, MappingPolicy, MemorySystemPlan, ModuloSchedulePlan, ReuseAnalysis, StencilSpec,
 };
-use stencil_engine::{run_plan, EngineConfig, InputGrid};
+use stencil_engine::{
+    run_plan, run_streaming, EngineConfig, InputGrid, SliceSource, StreamConfig, VecSink,
+};
 use stencil_fpga::{estimate_nonuniform, estimate_uniform};
 use stencil_kernels::KernelOps;
 use stencil_sim::{trace_to_vcd, Machine};
@@ -53,7 +55,8 @@ pub fn cmd_plan(spec: &StencilSpec) -> Result<String, CmdError> {
 /// `stencil simulate`: run the design cycle-accurately, check the
 /// paper's bounds against the live counters, and optionally emit a VCD
 /// of the first `trace_cycles` cycles. The third result element is the
-/// telemetry report as JSON (for `--metrics-out`).
+/// telemetry report as JSON (for `--metrics-out`); the fourth is the
+/// validator's violation count, which drives the process exit code.
 ///
 /// # Errors
 ///
@@ -62,7 +65,7 @@ pub fn cmd_simulate(
     spec: &StencilSpec,
     streams: usize,
     trace_cycles: usize,
-) -> Result<(String, Option<String>, String), CmdError> {
+) -> Result<(String, Option<String>, String, usize), CmdError> {
     let plan = MemorySystemPlan::generate(spec)?.with_offchip_streams(streams)?;
     let mut machine = Machine::new(&plan)?;
     machine.enable_occupancy_sampling();
@@ -80,16 +83,17 @@ pub fn cmd_simulate(
     );
     let mut report = MetricsReport::new(spec.name());
     report.machine = Some(machine.metrics());
-    append_bound_checks(&mut out, &report);
+    let violations = append_bound_checks(&mut out, &report);
     let vcd = machine
         .trace(0)
         .filter(|t| !t.is_empty())
         .map(|t| trace_to_vcd(t, spec.name(), 5.0));
-    Ok((out, vcd, report.to_json()))
+    Ok((out, vcd, report.to_json(), violations))
 }
 
-/// Renders the validator's verdict on a telemetry report.
-fn append_bound_checks(out: &mut String, report: &MetricsReport) {
+/// Renders the validator's verdict on a telemetry report and returns
+/// the violation count (the CLI exits non-zero when it is positive).
+fn append_bound_checks(out: &mut String, report: &MetricsReport) -> usize {
     let violations = validate_report(report);
     if violations.is_empty() {
         let _ = writeln!(out, "runtime bound checks: all passed");
@@ -99,13 +103,17 @@ fn append_bound_checks(out: &mut String, report: &MetricsReport) {
             let _ = writeln!(out, "  violation: {v}");
         }
     }
+    violations.len()
 }
 
 /// `stencil engine`: execute the kernel with the parallel tiled
 /// software engine on a deterministic input grid, cross-check the
 /// result against a direct nested-loop evaluation, and report
-/// throughput per band. The second result element is the telemetry
-/// report as JSON (for `--metrics-out`).
+/// throughput per band. With `streaming`, additionally run the
+/// bounded-memory streaming path (band height `chunk_rows`) and verify
+/// it bit-exact against the in-core run. The second result element is
+/// the telemetry report as JSON (for `--metrics-out`); the third is
+/// the validator's violation count, which drives the exit code.
 ///
 /// The datapath is the spec-file fallback (plain window sum), since a
 /// spec file carries window geometry but no arithmetic.
@@ -113,13 +121,15 @@ fn append_bound_checks(out: &mut String, report: &MetricsReport) {
 /// # Errors
 ///
 /// Propagates planning and engine failures, and reports any mismatch
-/// against the direct loop.
+/// against the direct loop or between the two execution paths.
 pub fn cmd_engine(
     spec: &StencilSpec,
     streams: usize,
     tiles: Option<usize>,
     threads: usize,
-) -> Result<(String, String), CmdError> {
+    streaming: bool,
+    chunk_rows: Option<u64>,
+) -> Result<(String, String, usize), CmdError> {
     let plan = MemorySystemPlan::generate(spec)?.with_offchip_streams(streams)?;
     let in_idx = plan.input_domain().index()?;
 
@@ -176,8 +186,29 @@ pub fn cmd_engine(
     let _ = writeln!(out, "verified against direct loop: {rank} outputs match");
     let mut report = MetricsReport::new(spec.name());
     report.engine = Some(run.report.metrics());
-    append_bound_checks(&mut out, &report);
-    Ok((out, report.to_json()))
+
+    if streaming {
+        let mut source = SliceSource::new(&in_vals);
+        let mut sink = VecSink::new();
+        let stream_config = StreamConfig {
+            chunk_rows,
+            threads,
+        };
+        let stream = run_streaming(&plan, &mut source, &mut sink, &compute, &stream_config)?;
+        if sink.values != run.outputs {
+            return Err("streaming run diverged from the in-core run".into());
+        }
+        let _ = write!(out, "{stream}");
+        let _ = writeln!(
+            out,
+            "verified streaming against in-core: {} outputs match",
+            sink.values.len()
+        );
+        report.stream = Some(stream.metrics());
+    }
+
+    let violations = append_bound_checks(&mut out, &report);
+    Ok((out, report.to_json(), violations))
 }
 
 /// `stencil rtl`: generate the Verilog bundle.
@@ -412,9 +443,10 @@ mod tests {
 
     #[test]
     fn simulate_command_runs_and_traces() {
-        let (out, vcd, metrics) = cmd_simulate(&denoise_spec(), 1, 32).unwrap();
+        let (out, vcd, metrics, violations) = cmd_simulate(&denoise_spec(), 1, 32).unwrap();
         assert!(out.contains("bandwidth-limited: true"), "{out}");
         assert!(out.contains("runtime bound checks: all passed"), "{out}");
+        assert_eq!(violations, 0);
         let vcd = vcd.expect("trace requested");
         assert!(vcd.contains("$enddefinitions"), "{vcd}");
         let report = MetricsReport::parse(&metrics).unwrap();
@@ -425,9 +457,10 @@ mod tests {
 
     #[test]
     fn simulate_with_tradeoff_streams() {
-        let (out, vcd, metrics) = cmd_simulate(&denoise_spec(), 3, 0).unwrap();
+        let (out, vcd, metrics, violations) = cmd_simulate(&denoise_spec(), 3, 0).unwrap();
         assert!(out.contains("bandwidth-limited: true"), "{out}");
         assert!(out.contains("runtime bound checks: all passed"), "{out}");
+        assert_eq!(violations, 0);
         assert!(vcd.is_none());
         let report = MetricsReport::parse(&metrics).unwrap();
         assert_eq!(report.machine.as_ref().unwrap().offchip_streams, 3);
@@ -436,11 +469,13 @@ mod tests {
     #[test]
     fn engine_command_reports_bands_and_verifies() {
         // Default config shards one band per off-chip stream.
-        let (out, metrics) = cmd_engine(&denoise_spec(), 3, None, 2).unwrap();
+        let (out, metrics, violations) =
+            cmd_engine(&denoise_spec(), 3, None, 2, false, None).unwrap();
         assert!(out.contains("3 band(s)"), "{out}");
         assert!(out.contains("verified against direct loop"), "{out}");
         assert!(out.contains("fetch overhead"), "{out}");
         assert!(out.contains("runtime bound checks: all passed"), "{out}");
+        assert_eq!(violations, 0);
         let report = MetricsReport::parse(&metrics).unwrap();
         let engine = report.engine.as_ref().unwrap();
         assert_eq!(engine.tiles, 3);
@@ -448,8 +483,24 @@ mod tests {
         assert_eq!(validate_report(&report), Vec::new());
 
         // Explicit band count wins over the stream default.
-        let (out, _) = cmd_engine(&denoise_spec(), 1, Some(4), 4).unwrap();
+        let (out, _, _) = cmd_engine(&denoise_spec(), 1, Some(4), 4, false, None).unwrap();
         assert!(out.contains("4 band(s)"), "{out}");
+    }
+
+    #[test]
+    fn engine_streaming_mode_verifies_and_reports_residency() {
+        let (out, metrics, violations) =
+            cmd_engine(&denoise_spec(), 1, None, 2, true, Some(4)).unwrap();
+        assert!(out.contains("streaming run:"), "{out}");
+        assert!(out.contains("verified streaming against in-core"), "{out}");
+        assert!(out.contains("runtime bound checks: all passed"), "{out}");
+        assert_eq!(violations, 0);
+        let report = MetricsReport::parse(&metrics).unwrap();
+        let stream = report.stream.as_ref().unwrap();
+        assert_eq!(stream.chunk_rows, 4);
+        assert!(stream.peak_resident <= stream.resident_bound);
+        assert_eq!(stream.outputs, 62 * 94);
+        assert_eq!(validate_report(&report), Vec::new());
     }
 
     #[test]

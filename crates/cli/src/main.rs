@@ -6,7 +6,7 @@
 //! stencil simulate <spec.stencil> [--streams K] [--metrics-out M.json]
 //!                                 [--vcd OUT.vcd [--cycles N]]
 //! stencil engine   <spec.stencil> [--streams K] [--tiles N] [--threads T]
-//!                                 [--metrics-out M.json]
+//!                                 [--streaming [--chunk-rows N]] [--metrics-out M.json]
 //! stencil rtl      <spec.stencil> [--out DIR]     generate Verilog
 //! stencil compare  <spec.stencil>                 vs best uniform partitioning
 //! stencil report   <spec.stencil>                 full markdown design report
@@ -27,14 +27,42 @@ fn usage() -> &'static str {
     "usage:\n  stencil plan     <spec.stencil>\n  stencil simulate <spec.stencil> \
      [--streams K] [--metrics-out M.json] [--vcd OUT.vcd [--cycles N]]\n  \
      stencil engine   <spec.stencil> [--streams K] [--tiles N] [--threads T] \
-     [--metrics-out M.json]\n  stencil rtl      <spec.stencil> \
-     [--out DIR]\n  stencil compare  <spec.stencil>\n  stencil report   <spec.stencil>"
+     [--streaming [--chunk-rows N]] [--metrics-out M.json]\n  stencil rtl      <spec.stencil> \
+     [--out DIR]\n  stencil compare  <spec.stencil>\n  stencil report   <spec.stencil>\n\
+     \nsimulate/engine exit non-zero when the runtime bound validator reports\n\
+     violations; pass --no-fail-on-violation to report them but exit 0."
+}
+
+/// What [`run`] hands back to `main`: the text to print plus the
+/// runtime-bound validator's outcome, which decides the exit code.
+struct RunOutput {
+    text: String,
+    violations: usize,
+    fail_on_violation: bool,
+}
+
+impl From<String> for RunOutput {
+    fn from(text: String) -> Self {
+        RunOutput {
+            text,
+            violations: 0,
+            fail_on_violation: true,
+        }
+    }
 }
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
         Ok(out) => {
-            print!("{out}");
+            print!("{}", out.text);
+            if out.violations > 0 && out.fail_on_violation {
+                eprintln!(
+                    "stencil: {} runtime bound violation(s); \
+                     pass --no-fail-on-violation to downgrade",
+                    out.violations
+                );
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -45,11 +73,11 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: Vec<String>) -> Result<String, commands::CmdError> {
+fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
     let mut it = args.into_iter();
     let cmd = it.next().ok_or("missing subcommand")?;
     if cmd == "suite" {
-        return cmd_suite();
+        return cmd_suite().map(RunOutput::from);
     }
     let spec_path = it.next().ok_or("missing spec file")?;
     let text =
@@ -65,6 +93,9 @@ fn run(args: Vec<String>) -> Result<String, commands::CmdError> {
     let mut tiles: Option<usize> = None;
     let mut threads = 0usize;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut streaming = false;
+    let mut chunk_rows: Option<u64> = None;
+    let mut fail_on_violation = true;
     while let Some(opt) = it.next() {
         match opt.as_str() {
             "--streams" => {
@@ -103,46 +134,64 @@ fn run(args: Vec<String>) -> Result<String, commands::CmdError> {
                     it.next().ok_or("--metrics-out needs a path")?,
                 ));
             }
+            "--streaming" => streaming = true,
+            "--chunk-rows" => {
+                chunk_rows = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--chunk-rows needs a row count")?,
+                );
+            }
+            "--no-fail-on-violation" => fail_on_violation = false,
             other => return Err(format!("unknown option `{other}`").into()),
         }
     }
 
     match cmd.as_str() {
-        "plan" => cmd_plan(&spec),
+        "plan" => cmd_plan(&spec).map(RunOutput::from),
         "simulate" => {
             let trace = if vcd_path.is_some() { cycles } else { 0 };
-            let (mut out, vcd, metrics) = cmd_simulate(&spec, streams, trace)?;
+            let (mut out, vcd, metrics, violations) = cmd_simulate(&spec, streams, trace)?;
             if let Some(path) = &metrics_out {
                 out.push_str(&write_metrics(path, &metrics)?);
             }
             if let (Some(path), Some(vcd)) = (&vcd_path, vcd) {
                 std::fs::write(path, vcd)
                     .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-                return Ok(format!("{out}VCD written to {}\n", path.display()));
+                out.push_str(&format!("VCD written to {}\n", path.display()));
             }
-            Ok(out)
+            Ok(RunOutput {
+                text: out,
+                violations,
+                fail_on_violation,
+            })
         }
         "engine" => {
-            let (mut out, metrics) = cmd_engine(&spec, streams, tiles, threads)?;
+            let (mut out, metrics, violations) =
+                cmd_engine(&spec, streams, tiles, threads, streaming, chunk_rows)?;
             if let Some(path) = &metrics_out {
                 out.push_str(&write_metrics(path, &metrics)?);
             }
-            Ok(out)
+            Ok(RunOutput {
+                text: out,
+                violations,
+                fail_on_violation,
+            })
         }
         "rtl" => {
             let bundle = cmd_rtl(&spec)?;
             bundle
                 .write_to_dir(&out_dir)
                 .map_err(|e| format!("cannot write {}: {e}", out_dir.display()))?;
-            Ok(format!(
+            Ok(RunOutput::from(format!(
                 "wrote {} Verilog files to {}\n",
                 bundle.files().len(),
                 out_dir.display()
-            ))
+            )))
         }
-        "compare" => cmd_compare(&spec, &file.grid),
-        "report" => cmd_report(&spec, &file.grid),
-        "fmt" => Ok(file.render()),
+        "compare" => cmd_compare(&spec, &file.grid).map(RunOutput::from),
+        "report" => cmd_report(&spec, &file.grid).map(RunOutput::from),
+        "fmt" => Ok(RunOutput::from(file.render())),
         other => Err(format!("unknown subcommand `{other}`").into()),
     }
 }
@@ -175,7 +224,9 @@ mod tests {
         let dir = std::env::temp_dir().join("stencil_cli_test");
         fs::create_dir_all(&dir).unwrap();
         let spec = write_spec(&dir);
-        let out = run(vec!["plan".into(), spec.display().to_string()]).unwrap();
+        let out = run(vec!["plan".into(), spec.display().to_string()])
+            .unwrap()
+            .text;
         assert!(out.contains("OPTIMAL"), "{out}");
 
         let out = run(vec![
@@ -185,7 +236,9 @@ mod tests {
             "2".into(),
         ])
         .unwrap();
-        assert!(out.contains("bandwidth-limited: true"), "{out}");
+        assert!(out.text.contains("bandwidth-limited: true"), "{}", out.text);
+        assert_eq!(out.violations, 0);
+        assert!(out.fail_on_violation);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -202,9 +255,55 @@ mod tests {
             "--threads".into(),
             "2".into(),
         ])
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("2 band(s)"), "{out}");
         assert!(out.contains("verified against direct loop"), "{out}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_streaming_flags_run_the_streaming_path() {
+        let dir = std::env::temp_dir().join("stencil_cli_streaming_test");
+        fs::create_dir_all(&dir).unwrap();
+        let spec = write_spec(&dir);
+        let out = run(vec![
+            "engine".into(),
+            spec.display().to_string(),
+            "--streaming".into(),
+            "--chunk-rows".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        assert!(out.text.contains("streaming run:"), "{}", out.text);
+        assert!(
+            out.text.contains("verified streaming against in-core"),
+            "{}",
+            out.text
+        );
+        assert_eq!(out.violations, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_fail_on_violation_downgrades_exit_semantics() {
+        let dir = std::env::temp_dir().join("stencil_cli_violation_flag_test");
+        fs::create_dir_all(&dir).unwrap();
+        let spec = write_spec(&dir);
+        let out = run(vec![
+            "simulate".into(),
+            spec.display().to_string(),
+            "--no-fail-on-violation".into(),
+        ])
+        .unwrap();
+        assert!(!out.fail_on_violation);
+        // Missing operand for --chunk-rows is still an argument error.
+        assert!(run(vec![
+            "engine".into(),
+            spec.display().to_string(),
+            "--chunk-rows".into(),
+        ])
+        .is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -223,7 +322,8 @@ mod tests {
             "--metrics-out".into(),
             sim_json.display().to_string(),
         ])
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("metrics written to"), "{out}");
         let report =
             stencil_telemetry::MetricsReport::parse(&fs::read_to_string(&sim_json).unwrap())
@@ -237,15 +337,19 @@ mod tests {
         let out = run(vec![
             "engine".into(),
             spec.display().to_string(),
+            "--streaming".into(),
             "--metrics-out".into(),
             eng_json.display().to_string(),
         ])
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("metrics written to"), "{out}");
         let report =
             stencil_telemetry::MetricsReport::parse(&fs::read_to_string(&eng_json).unwrap())
                 .unwrap();
         assert!(report.engine.as_ref().unwrap().throughput.is_finite());
+        let stream = report.stream.as_ref().unwrap();
+        assert!(stream.peak_resident <= stream.resident_bound);
         assert_eq!(stencil_telemetry::validate_report(&report), Vec::new());
         let _ = fs::remove_dir_all(&dir);
     }
@@ -262,7 +366,8 @@ mod tests {
             "--out".into(),
             out_dir.display().to_string(),
         ])
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("Verilog files"), "{out}");
         assert!(out_dir.join("denoise_mem_system.v").exists());
         let _ = fs::remove_dir_all(&dir);
@@ -273,7 +378,9 @@ mod tests {
         let dir = std::env::temp_dir().join("stencil_cli_fmt_test");
         fs::create_dir_all(&dir).unwrap();
         let spec = write_spec(&dir);
-        let out = run(vec!["fmt".into(), spec.display().to_string()]).unwrap();
+        let out = run(vec!["fmt".into(), spec.display().to_string()])
+            .unwrap()
+            .text;
         assert!(out.starts_with("name denoise\n"), "{out}");
         assert!(out.contains("element_bits 16"), "{out}");
         let _ = fs::remove_dir_all(&dir);

@@ -38,6 +38,14 @@ pub struct Tile {
     /// The input region this band reads: the band dilated by the
     /// stencil window, clipped to the input domain `D_A`.
     pub halo_domain: Polyhedron,
+    /// Inclusive outermost-dimension range of the band's halo, *before*
+    /// clipping to `D_A`: `(band.0 + min window offset, band.1 + max
+    /// window offset)` along dimension 0. A streaming executor keeps
+    /// exactly the input rows whose outermost coordinate falls in this
+    /// range (intersected with the rows the input domain actually has)
+    /// resident while the band runs — this is the Sec. 2.3 reuse-window
+    /// bound expressed in rows.
+    pub halo_band: (i64, i64),
     /// Lexicographic rank in `D` of the band's first iteration.
     pub start_rank: u64,
     /// Number of iterations (outputs) in the band.
@@ -121,22 +129,7 @@ impl MemorySystemPlan {
         }
         let bb = idx.bounding_box().expect("non-empty domain has a box");
         let (lo0, hi0) = bb[0];
-
-        // Output count per outermost-dimension value. Rows fix all
-        // outer dimensions, so in 1D the "band axis" is the row axis
-        // itself and every point counts individually.
-        let span = usize::try_from(hi0 - lo0 + 1).expect("bounded dimension");
-        let mut counts = vec![0u64; span];
-        for row in idx.rows() {
-            if dims == 1 {
-                for i0 in row.lo..=row.hi {
-                    counts[usize::try_from(i0 - lo0).expect("in box")] += 1;
-                }
-            } else {
-                let i0 = row.prefix[0];
-                counts[usize::try_from(i0 - lo0).expect("in box")] += row.len();
-            }
-        }
+        let counts = outer_counts(&idx, dims, lo0, hi0);
 
         // Greedy balanced cut: close a band once it reaches the ideal
         // cumulative share of outputs; the last band takes the rest.
@@ -164,6 +157,61 @@ impl MemorySystemPlan {
             }
         }
         debug_assert_eq!(emitted, total, "bands must cover the domain");
+        Ok(TilePlan {
+            tiles: out,
+            total_outputs: total,
+        })
+    }
+
+    /// Partitions the iteration domain into row bands of at most
+    /// `chunk_rows` distinct outermost-dimension values each — the
+    /// fixed-height chunking a streaming (out-of-core) executor uses,
+    /// where band height directly sets the resident halo window.
+    ///
+    /// `chunk_rows` is clamped to at least 1. Outermost values holding
+    /// no iterations produce no band of their own; bands are contiguous
+    /// in lexicographic output order and jointly cover `D` exactly once,
+    /// like [`MemorySystemPlan::tile_plan`].
+    ///
+    /// # Errors
+    ///
+    /// * [`PlanError::EmptyIterationDomain`] if `D` has no points.
+    /// * Polyhedral failures as [`PlanError::Poly`].
+    pub fn tile_plan_chunked(&self, chunk_rows: u64) -> Result<TilePlan, PlanError> {
+        let chunk_rows = chunk_rows.max(1);
+        let iter = self.iteration_domain();
+        let idx = iter.index().map_err(PlanError::from)?;
+        let total = idx.len();
+        if total == 0 {
+            return Err(PlanError::EmptyIterationDomain);
+        }
+        let bb = idx.bounding_box().expect("non-empty domain has a box");
+        let (lo0, hi0) = bb[0];
+        let counts = outer_counts(&idx, iter.dims(), lo0, hi0);
+
+        let window: Vec<Point> = self.filters().iter().map(|f| f.offset).collect();
+        let mut out = Vec::new();
+        let mut band_lo = lo0;
+        let mut in_band = 0u64;
+        let mut span_used = 0u64;
+        for (j, &c) in counts.iter().enumerate() {
+            let i0 = lo0 + i64::try_from(j).expect("in box");
+            in_band += c;
+            span_used += 1;
+            if span_used == chunk_rows || i0 == hi0 {
+                if in_band > 0 {
+                    out.push(self.build_tile(out.len(), band_lo, i0, &window, &idx)?);
+                }
+                in_band = 0;
+                span_used = 0;
+                band_lo = i0 + 1;
+            }
+        }
+        debug_assert_eq!(
+            out.iter().map(|t| t.len).sum::<u64>(),
+            total,
+            "chunked bands must cover the domain"
+        );
         Ok(TilePlan {
             tiles: out,
             total_outputs: total,
@@ -200,6 +248,8 @@ impl MemorySystemPlan {
         let halo_domain = iter_domain
             .dilated(window)
             .intersection(self.input_domain());
+        let min0 = window.iter().map(|f| f[0]).min().unwrap_or(0);
+        let max0 = window.iter().map(|f| f[0]).max().unwrap_or(0);
         let band_index = iter_domain.index().map_err(PlanError::from)?;
         let first = band_index.first().ok_or(PlanError::EmptyIterationDomain)?;
         Ok(Tile {
@@ -207,10 +257,35 @@ impl MemorySystemPlan {
             band: (lo, hi),
             iter_domain,
             halo_domain,
+            halo_band: (lo + min0, hi + max0),
             start_rank: full_index.rank_lt(&first),
             len: band_index.len(),
         })
     }
+}
+
+/// Output count per outermost-dimension value of `idx` over `[lo0, hi0]`.
+/// Rows fix all outer dimensions, so in 1D the "band axis" is the row
+/// axis itself and every point counts individually.
+fn outer_counts(
+    idx: &stencil_polyhedral::DomainIndex,
+    dims: usize,
+    lo0: i64,
+    hi0: i64,
+) -> Vec<u64> {
+    let span = usize::try_from(hi0 - lo0 + 1).expect("bounded dimension");
+    let mut counts = vec![0u64; span];
+    for row in idx.rows() {
+        if dims == 1 {
+            for i0 in row.lo..=row.hi {
+                counts[usize::try_from(i0 - lo0).expect("in box")] += 1;
+            }
+        } else {
+            let i0 = row.prefix[0];
+            counts[usize::try_from(i0 - lo0).expect("in box")] += row.len();
+        }
+    }
+    counts
 }
 
 #[cfg(test)]
@@ -345,6 +420,47 @@ mod tests {
             next = t.end_rank();
         }
         assert_eq!(next, tp.total_outputs());
+    }
+
+    #[test]
+    fn chunked_bands_have_fixed_height_and_cover_domain() {
+        let plan = denoise_plan();
+        for chunk in [1u64, 2, 4, 7, 30, 100] {
+            let tp = plan.tile_plan_chunked(chunk).unwrap();
+            assert_eq!(tp.total_outputs(), 30 * 22);
+            let mut next = 0u64;
+            for t in tp.tiles() {
+                let (lo, hi) = t.band;
+                assert!((hi - lo + 1) as u64 <= chunk, "chunk={chunk}");
+                assert_eq!(t.start_rank, next, "chunk={chunk}");
+                assert!(t.len > 0);
+                next = t.end_rank();
+            }
+            assert_eq!(next, tp.total_outputs());
+        }
+        // Zero clamps to one row per band.
+        let tp = plan.tile_plan_chunked(0).unwrap();
+        assert_eq!(tp.tile_count(), 30);
+    }
+
+    #[test]
+    fn halo_band_is_window_dilation_of_band() {
+        let plan = denoise_plan();
+        // DENOISE window spans -1..=1 along dim 0.
+        for tp in [
+            plan.tile_plan(3).unwrap(),
+            plan.tile_plan_chunked(5).unwrap(),
+        ] {
+            for t in tp.tiles() {
+                assert_eq!(t.halo_band, (t.band.0 - 1, t.band.1 + 1));
+                // The clipped halo domain never extends past the
+                // unclipped halo band.
+                let idx = t.halo_domain.index().unwrap();
+                let bb = idx.bounding_box().unwrap();
+                assert!(bb[0].0 >= t.halo_band.0);
+                assert!(bb[0].1 <= t.halo_band.1);
+            }
+        }
     }
 
     #[test]

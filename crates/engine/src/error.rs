@@ -25,6 +25,30 @@ pub enum EngineError {
     },
     /// A worker thread panicked; the run produced no usable output.
     WorkerPanic,
+    /// The domain holds more points than this target can address — the
+    /// in-core paths need one `usize`-indexed slot per point. Stream the
+    /// run instead ([`crate::run_streaming`]) or use a 64-bit target.
+    DomainTooLarge {
+        /// Points the failing allocation or index would need to address.
+        points: u64,
+    },
+    /// A domain index produced rank arithmetic that contradicts itself
+    /// (e.g. hand-built rows with non-contiguous bases, or a resident
+    /// window that does not cover an in-domain tap).
+    InconsistentIndex {
+        /// What the index got wrong.
+        detail: String,
+    },
+    /// The input row source failed to produce a requested row.
+    Source {
+        /// The source's failure message.
+        detail: String,
+    },
+    /// The output row sink rejected a finished row.
+    Sink {
+        /// The sink's failure message.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -39,6 +63,15 @@ impl fmt::Display for EngineError {
                 write!(f, "window tap reads {point}, outside the input domain")
             }
             EngineError::WorkerPanic => write!(f, "a worker thread panicked"),
+            EngineError::DomainTooLarge { points } => write!(
+                f,
+                "domain has {points} points, more than this target can address in memory"
+            ),
+            EngineError::InconsistentIndex { detail } => {
+                write!(f, "inconsistent domain index: {detail}")
+            }
+            EngineError::Source { detail } => write!(f, "input row source failed: {detail}"),
+            EngineError::Sink { detail } => write!(f, "output row sink failed: {detail}"),
         }
     }
 }
@@ -81,5 +114,23 @@ mod tests {
         }
         .to_string()
         .contains("(9, 9)"));
+        assert!(EngineError::DomainTooLarge { points: u64::MAX }
+            .to_string()
+            .contains(&u64::MAX.to_string()));
+        assert!(EngineError::InconsistentIndex {
+            detail: "bases invert".into()
+        }
+        .to_string()
+        .contains("bases invert"));
+        assert!(EngineError::Source {
+            detail: "exhausted".into()
+        }
+        .to_string()
+        .contains("source"));
+        assert!(EngineError::Sink {
+            detail: "full".into()
+        }
+        .to_string()
+        .contains("sink"));
     }
 }

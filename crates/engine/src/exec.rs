@@ -4,7 +4,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use stencil_core::{MemorySystemPlan, Tile, TilePlan};
-use stencil_polyhedral::{DomainIndex, Point};
+use stencil_polyhedral::{DomainIndex, Point, Row};
 
 use crate::error::EngineError;
 use crate::input::InputGrid;
@@ -114,14 +114,28 @@ where
     }
 
     let started = Instant::now();
-    let total = usize::try_from(tile_plan.total_outputs()).expect("domain fits memory");
+    let total =
+        usize::try_from(tile_plan.total_outputs()).map_err(|_| EngineError::DomainTooLarge {
+            points: tile_plan.total_outputs(),
+        })?;
     let mut outputs = vec![0.0f64; total];
 
     // Disjoint per-band output slices: bands are contiguous rank ranges.
     let mut work: Vec<(&Tile, &mut [f64])> = Vec::with_capacity(tile_plan.tile_count());
     let mut rest: &mut [f64] = &mut outputs;
     for tile in tile_plan.tiles() {
-        let (head, tail) = rest.split_at_mut(usize::try_from(tile.len).expect("fits"));
+        let len = usize::try_from(tile.len)
+            .map_err(|_| EngineError::DomainTooLarge { points: tile.len })?;
+        if len > rest.len() {
+            return Err(EngineError::InconsistentIndex {
+                detail: format!(
+                    "band {} claims {len} outputs but only {} remain unassigned",
+                    tile.id,
+                    rest.len()
+                ),
+            });
+        }
+        let (head, tail) = rest.split_at_mut(len);
         work.push((tile, head));
         rest = tail;
     }
@@ -166,15 +180,161 @@ where
     Ok(EngineRun { outputs, report })
 }
 
-fn threads_for(requested: usize, tiles: usize) -> usize {
+pub(crate) fn threads_for(requested: usize, tiles: usize) -> usize {
     let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let t = if requested == 0 { hw } else { requested };
     t.clamp(1, tiles.max(1))
 }
 
-/// Runs one band with the line-buffer loop: per output row, every
-/// window tap becomes a base rank into the flat input stream and the
-/// inner loop is pure indexed arithmetic.
+/// A rank-windowed view of the input stream: `vals` holds the values of
+/// lexicographic ranks `[base, base + vals.len())` of the full input
+/// domain indexed by `idx`. The in-core paths use a full window
+/// (`base == 0`, every rank resident); the streaming path keeps only
+/// the current band's halo rows resident.
+pub(crate) struct RankWindow<'a> {
+    /// Index of the *full* input domain (rank queries stay global).
+    pub idx: &'a DomainIndex,
+    /// Values of the resident rank range, in rank order.
+    pub vals: &'a [f64],
+    /// Global rank of `vals[0]`.
+    pub base: u64,
+}
+
+impl RankWindow<'_> {
+    /// Window offset of global rank `b`, if `b..b + len` is resident.
+    fn resident_run(&self, b: u64, len: usize) -> Option<usize> {
+        let off = usize::try_from(b.checked_sub(self.base)?).ok()?;
+        let end = off.checked_add(len)?;
+        (end <= self.vals.len()).then_some(off)
+    }
+
+    /// The resident value at point `p`: `Err(false)` if `p` is outside
+    /// the input domain, `Err(true)` if in-domain but not resident.
+    fn value_at(&self, p: &Point) -> Result<f64, bool> {
+        if !self.idx.contains(p) {
+            return Err(false);
+        }
+        self.resident_run(self.idx.rank_lt(p), 1)
+            .map(|off| self.vals[off])
+            .ok_or(true)
+    }
+}
+
+/// Tallies of [`execute_rows`]: `(fast rows, gather rows)`.
+pub(crate) type RowStats = (u64, u64);
+
+/// The shared per-row executor behind both the in-core and streaming
+/// paths: runs the iteration rows `rows` (a contiguous slice of one
+/// band's index, whose `base` ranks start at `out_base`) against the
+/// resident input window, writing `out` (one slot per iteration).
+///
+/// Per output row, every window tap becomes a base rank into the flat
+/// input stream and the inner loop is pure indexed arithmetic; rows
+/// whose taps are not contiguous (or not fully resident) fall back to
+/// per-point gathers.
+pub(crate) fn execute_rows<C>(
+    rows: &[Row],
+    out_base: u64,
+    offsets: &[Point],
+    win: &RankWindow<'_>,
+    compute: &C,
+    out: &mut [f64],
+) -> Result<RowStats, EngineError>
+where
+    C: Fn(&[f64]) -> f64 + Sync,
+{
+    let n = offsets.len();
+    let mut window = vec![0.0f64; n];
+    let mut bases = vec![0usize; n];
+    let mut fast_rows = 0u64;
+    let mut gather_rows = 0u64;
+
+    for row in rows {
+        let len = usize::try_from(row.len())
+            .map_err(|_| EngineError::DomainTooLarge { points: row.len() })?;
+        let start = row
+            .base
+            .checked_sub(out_base)
+            .and_then(|s| usize::try_from(s).ok())
+            .ok_or_else(|| inconsistent_row(row, out_base))?;
+        let out_row = out
+            .get_mut(start..)
+            .and_then(|o| o.get_mut(..len))
+            .ok_or_else(|| inconsistent_row(row, out_base))?;
+
+        let mut all_fast = true;
+        for (k, f) in offsets.iter().enumerate() {
+            let start = tap_point(&row.prefix, row.lo, f);
+            let end = tap_point(&row.prefix, row.hi, f);
+            match contiguous_base(win.idx, &start, &end, len).and_then(|b| win.resident_run(b, len))
+            {
+                Some(off) => bases[k] = off,
+                None => {
+                    all_fast = false;
+                    break;
+                }
+            }
+        }
+
+        if all_fast {
+            fast_rows += 1;
+            for (t, slot) in out_row.iter_mut().enumerate() {
+                for (w, &b) in window.iter_mut().zip(&bases) {
+                    *w = win.vals[b + t];
+                }
+                *slot = compute(&window);
+            }
+        } else {
+            // Defensive fallback: gather taps point by point. A convex
+            // input domain keeps every shifted row contiguous, so
+            // plan-derived inputs never land here; custom input indexes
+            // that break contiguity still execute correctly (or report
+            // the exact missing point).
+            gather_rows += 1;
+            for (t, slot) in out_row.iter_mut().enumerate() {
+                let t_inner = i64::try_from(t)
+                    .map_err(|_| EngineError::DomainTooLarge { points: row.len() })?;
+                let i = row.prefix.pushed(row.lo + t_inner);
+                for (w, f) in window.iter_mut().zip(offsets) {
+                    let h = i + *f;
+                    *w = match win.value_at(&h) {
+                        Ok(v) => v,
+                        Err(false) => {
+                            return Err(EngineError::MissingInput {
+                                point: h.to_string(),
+                            })
+                        }
+                        Err(true) => {
+                            return Err(EngineError::InconsistentIndex {
+                                detail: format!(
+                                    "tap {h} is in the input domain but outside the \
+                                     resident window [{}, {})",
+                                    win.base,
+                                    win.base + win.vals.len() as u64
+                                ),
+                            })
+                        }
+                    };
+                }
+                *slot = compute(&window);
+            }
+        }
+    }
+
+    Ok((fast_rows, gather_rows))
+}
+
+fn inconsistent_row(row: &Row, out_base: u64) -> EngineError {
+    EngineError::InconsistentIndex {
+        detail: format!(
+            "iteration row at {} (base {}) does not fit its band's output \
+             slice starting at rank {out_base}",
+            row.prefix, row.base
+        ),
+    }
+}
+
+/// Runs one band against the full in-core input.
 fn execute_tile<C>(
     tile: &Tile,
     offsets: &[Point],
@@ -190,62 +350,12 @@ where
         .iter_domain
         .index()
         .map_err(|e| EngineError::Plan(e.into()))?;
-    let in_idx = input.index();
-    let vals = input.values();
-    let n = offsets.len();
-    let mut window = vec![0.0f64; n];
-    let mut bases = vec![0usize; n];
-    let mut fast_rows = 0u64;
-    let mut gather_rows = 0u64;
-
-    for row in idx.rows() {
-        let len = usize::try_from(row.len()).expect("row fits");
-        let out_row = &mut out[usize::try_from(row.base).expect("fits")..][..len];
-
-        let mut all_fast = true;
-        for (k, f) in offsets.iter().enumerate() {
-            let start = tap_point(&row.prefix, row.lo, f);
-            let end = tap_point(&row.prefix, row.hi, f);
-            match contiguous_base(in_idx, &start, &end, len) {
-                Some(base) => bases[k] = usize::try_from(base).expect("fits"),
-                None => {
-                    all_fast = false;
-                    break;
-                }
-            }
-        }
-
-        if all_fast {
-            fast_rows += 1;
-            for (t, slot) in out_row.iter_mut().enumerate() {
-                for (w, &b) in window.iter_mut().zip(&bases) {
-                    *w = vals[b + t];
-                }
-                *slot = compute(&window);
-            }
-        } else {
-            // Defensive fallback: gather taps point by point. A convex
-            // input domain keeps every shifted row contiguous, so
-            // plan-derived inputs never land here; custom input indexes
-            // that break contiguity still execute correctly (or report
-            // the exact missing point).
-            gather_rows += 1;
-            for (t, slot) in out_row.iter_mut().enumerate() {
-                let i = row
-                    .prefix
-                    .pushed(row.lo + i64::try_from(t).expect("row fits"));
-                for (w, f) in window.iter_mut().zip(offsets) {
-                    let h = i + *f;
-                    *w = input
-                        .value_at(&h)
-                        .ok_or_else(|| EngineError::MissingInput {
-                            point: h.to_string(),
-                        })?;
-                }
-                *slot = compute(&window);
-            }
-        }
-    }
+    let win = RankWindow {
+        idx: input.index(),
+        vals: input.values(),
+        base: 0,
+    };
+    let (fast_rows, gather_rows) = execute_rows(idx.rows(), 0, offsets, &win, compute, out)?;
 
     Ok(TileReport {
         id: tile.id,

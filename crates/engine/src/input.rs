@@ -46,11 +46,16 @@ impl<'a> InputGrid<'a> {
         self.values
     }
 
-    /// The value at point `p`, if inside the domain.
+    /// The value at point `p`, if inside the domain. `None` also covers
+    /// in-domain points whose rank cannot address `values` — a rank past
+    /// `usize` (32-bit targets) or past the buffer end (hand-built
+    /// indexes with inconsistent bases) — rather than truncating the
+    /// rank and silently reading the wrong element.
     #[must_use]
     pub fn value_at(&self, p: &Point) -> Option<f64> {
         if self.index.contains(p) {
-            Some(self.values[self.index.rank_lt(p) as usize])
+            let rank = usize::try_from(self.index.rank_lt(p)).ok()?;
+            self.values.get(rank).copied()
         } else {
             None
         }

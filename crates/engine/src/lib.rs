@@ -48,13 +48,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+#![deny(clippy::cast_possible_truncation)]
 
 mod error;
 mod exec;
 mod input;
 mod report;
+mod stream;
 
 pub use error::EngineError;
 pub use exec::{run_plan, run_tiled, EngineConfig, EngineRun};
 pub use input::InputGrid;
-pub use report::{RunReport, TileReport};
+pub use report::{RunReport, StreamReport, TileReport};
+pub use stream::{
+    run_streaming, FnSource, ReadSource, RowSink, RowSource, SliceSource, StreamConfig, VecSink,
+    WriteSink,
+};

@@ -4,7 +4,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use stencil_telemetry::{EngineMetrics, TileMetrics};
+use stencil_telemetry::{EngineMetrics, StreamMetrics, TileMetrics};
 
 /// Per-band execution statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +128,108 @@ impl fmt::Display for RunReport {
     }
 }
 
+/// Statistics of one out-of-core streaming run
+/// ([`crate::run_streaming`]). Where [`RunReport`] measures an in-core
+/// run, this additionally accounts the stream endpoints (rows pulled
+/// and pushed) and the memory story: `peak_resident` is the high-water
+/// mark of resident input values and `resident_bound` the planned
+/// Sec. 2.3 window — halo rows × widest resident row, maximized over
+/// bands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Total outputs produced (size of the iteration domain).
+    pub outputs: u64,
+    /// Bands executed.
+    pub bands: usize,
+    /// Worker threads used per band.
+    pub threads: usize,
+    /// Requested band height in outermost-dimension rows (0 = the
+    /// plan's default one-band-per-off-chip-stream sharding).
+    pub chunk_rows: u64,
+    /// Input index rows pulled from the row source.
+    pub rows_in: u64,
+    /// Input values pulled from the row source.
+    pub values_in: u64,
+    /// Output rows pushed to the row sink.
+    pub rows_out: u64,
+    /// High-water mark of resident input values.
+    pub peak_resident: u64,
+    /// Planned residency bound: max over bands of halo rows × widest
+    /// resident row length.
+    pub resident_bound: u64,
+    /// Output rows executed on the batched fast path.
+    pub fast_rows: u64,
+    /// Output rows that fell back to per-point gathers.
+    pub gather_rows: u64,
+    /// End-to-end wall-clock time (tiling + streaming + execution).
+    pub elapsed: Duration,
+}
+
+impl StreamReport {
+    /// Outputs per wall-clock second; `0.0` below timer resolution, as
+    /// [`RunReport::throughput`].
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.outputs as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// True when the measured peak residency honored the planned halo
+    /// window — the invariant the telemetry validator also enforces.
+    #[must_use]
+    pub fn within_residency_bound(&self) -> bool {
+        self.peak_resident <= self.resident_bound
+    }
+
+    /// The run's counters in the `stencil-telemetry` wire schema.
+    #[must_use]
+    pub fn metrics(&self) -> StreamMetrics {
+        StreamMetrics {
+            outputs: self.outputs,
+            bands: self.bands,
+            threads: self.threads,
+            chunk_rows: self.chunk_rows,
+            rows_in: self.rows_in,
+            values_in: self.values_in,
+            rows_out: self.rows_out,
+            peak_resident: self.peak_resident,
+            resident_bound: self.resident_bound,
+            fast_rows: self.fast_rows,
+            gather_rows: self.gather_rows,
+            elapsed_ns: duration_ns(self.elapsed),
+            throughput: self.throughput(),
+        }
+    }
+}
+
+impl fmt::Display for StreamReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "streaming run: {} outputs on {} band(s) x {} thread(s) in {:?} ({:.1} Melem/s)",
+            self.outputs,
+            self.bands,
+            self.threads,
+            self.elapsed,
+            self.throughput() / 1e6
+        )?;
+        writeln!(
+            f,
+            "  resident: peak {} values (bound {}), {} rows / {} values in, {} rows out",
+            self.peak_resident, self.resident_bound, self.rows_in, self.values_in, self.rows_out
+        )?;
+        writeln!(
+            f,
+            "  rows {} fast / {} gather",
+            self.fast_rows, self.gather_rows
+        )
+    }
+}
+
 /// Whole nanoseconds of `d`, saturating at `u64::MAX` (584 years).
 fn duration_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
@@ -192,6 +294,50 @@ mod tests {
         assert!(s.contains("band  1"), "{s}");
         assert!(s.contains("metrics: 100000 elem/s"), "{s}");
         assert!(s.contains("rows 20 fast / 0 gather"), "{s}");
+    }
+
+    fn stream_report() -> StreamReport {
+        StreamReport {
+            outputs: 1000,
+            bands: 10,
+            threads: 2,
+            chunk_rows: 2,
+            rows_in: 22,
+            values_in: 1188,
+            rows_out: 20,
+            peak_resident: 216,
+            resident_bound: 216,
+            fast_rows: 20,
+            gather_rows: 0,
+            elapsed: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn stream_report_throughput_bound_and_metrics() {
+        let r = stream_report();
+        assert!((r.throughput() - 100_000.0).abs() < 1e-6);
+        assert!(r.within_residency_bound());
+        let m = r.metrics();
+        assert_eq!(m.peak_resident, 216);
+        assert_eq!(m.resident_bound, 216);
+        assert_eq!(m.elapsed_ns, 10_000_000);
+        assert_eq!(
+            stencil_telemetry::validate_report(&{
+                let mut rep = stencil_telemetry::MetricsReport::new("s");
+                rep.stream = Some(m);
+                rep
+            }),
+            Vec::new()
+        );
+        let over = StreamReport {
+            peak_resident: 217,
+            ..stream_report()
+        };
+        assert!(!over.within_residency_bound());
+        let s = over.to_string();
+        assert!(s.contains("peak 217 values (bound 216)"), "{s}");
+        assert!(s.contains("10 band(s)"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,757 @@
+//! Bounded-memory streaming execution: out-of-core runs that keep only
+//! the current band's halo window resident.
+//!
+//! The in-core paths ([`crate::run_plan`]) hold the whole input and
+//! output grids in RAM, so domain size and memory footprint are
+//! coupled. The paper's central observation (Sec. 2.3) is that a
+//! stencil only ever needs the *reuse window* — the data between the
+//! first and last use of an element — resident at once. This module is
+//! the software form of that bound:
+//!
+//! * a [`RowSource`] delivers input values in lexicographic stream
+//!   order, one input index row per pull — the same order the
+//!   accelerator's off-chip interface consumes;
+//! * [`run_streaming`] walks the bands of a [`stencil_core::TilePlan`]
+//!   in rank order, keeping exactly the rows of the current band's
+//!   `halo_band` resident (evicting before pulling, so peak residency
+//!   never exceeds one band's halo: `halo rows × widest row`);
+//! * finished bands execute through the same fast/gather row executor
+//!   as the in-core path and push their output rows to a [`RowSink`]
+//!   before the next band's rows are pulled — the sink and source are
+//!   therefore never more than one band apart (bounded backpressure).
+//!
+//! Residency is telemetry-tracked with a [`stencil_telemetry::HighWater`]
+//! gauge; the report's `peak_resident` and its planned `resident_bound`
+//! feed the validator rule `peak_resident <= resident_bound`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use stencil_core::MemorySystemPlan;
+use stencil_polyhedral::{Point, Row};
+use stencil_telemetry::HighWater;
+
+use crate::error::EngineError;
+use crate::exec::{execute_rows, threads_for, RankWindow};
+use crate::report::StreamReport;
+
+/// Supplies input values in lexicographic stream order.
+///
+/// [`run_streaming`] pulls one input index row per call, in row order;
+/// rows before the first band's halo are pulled and discarded (the
+/// stream has no seek), rows after the last band's halo are never
+/// pulled. A source therefore needs no random access — a growing file,
+/// a generator, or a network stream all fit.
+pub trait RowSource {
+    /// Appends the next `len` values of the input stream to `buf`.
+    ///
+    /// # Errors
+    ///
+    /// A message describing why the row could not be produced
+    /// (exhausted stream, I/O failure, ...) — surfaced to the caller of
+    /// [`run_streaming`] as [`EngineError::Source`].
+    fn fill_row(&mut self, len: usize, buf: &mut Vec<f64>) -> Result<(), String>;
+}
+
+/// Receives finished output rows in lexicographic stream order.
+pub trait RowSink {
+    /// Consumes the next output row.
+    ///
+    /// # Errors
+    ///
+    /// A message describing why the row was rejected — surfaced as
+    /// [`EngineError::Sink`].
+    fn push_row(&mut self, row: &[f64]) -> Result<(), String>;
+}
+
+/// A [`RowSource`] over an in-memory slice in rank order — the
+/// streaming equivalent of [`crate::InputGrid`]'s value buffer.
+#[derive(Debug, Clone)]
+pub struct SliceSource<'a> {
+    vals: &'a [f64],
+    pos: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Streams `vals` front to back.
+    #[must_use]
+    pub fn new(vals: &'a [f64]) -> Self {
+        Self { vals, pos: 0 }
+    }
+}
+
+impl RowSource for SliceSource<'_> {
+    fn fill_row(&mut self, len: usize, buf: &mut Vec<f64>) -> Result<(), String> {
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.vals.len());
+        let Some(end) = end else {
+            return Err(format!(
+                "slice exhausted: {len} values requested at position {} of {}",
+                self.pos,
+                self.vals.len()
+            ));
+        };
+        buf.extend_from_slice(&self.vals[self.pos..end]);
+        self.pos = end;
+        Ok(())
+    }
+}
+
+/// A [`RowSource`] that generates each value from its stream rank — an
+/// out-of-core input that never exists in memory at full size.
+pub struct FnSource<F> {
+    gen: F,
+    next_rank: u64,
+}
+
+impl<F: FnMut(u64) -> f64> FnSource<F> {
+    /// Generates the value of rank `r` as `gen(r)`.
+    pub fn new(gen: F) -> Self {
+        Self { gen, next_rank: 0 }
+    }
+}
+
+impl<F> std::fmt::Debug for FnSource<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnSource")
+            .field("next_rank", &self.next_rank)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: FnMut(u64) -> f64> RowSource for FnSource<F> {
+    fn fill_row(&mut self, len: usize, buf: &mut Vec<f64>) -> Result<(), String> {
+        buf.reserve(len);
+        for _ in 0..len {
+            buf.push((self.gen)(self.next_rank));
+            self.next_rank += 1;
+        }
+        Ok(())
+    }
+}
+
+/// A file-backed [`RowSource`]: reads consecutive little-endian `f64`
+/// values from any [`std::io::Read`].
+#[derive(Debug)]
+pub struct ReadSource<R> {
+    reader: R,
+}
+
+impl<R: std::io::Read> ReadSource<R> {
+    /// Streams little-endian `f64` values from `reader`.
+    pub fn new(reader: R) -> Self {
+        Self { reader }
+    }
+}
+
+impl<R: std::io::Read> RowSource for ReadSource<R> {
+    fn fill_row(&mut self, len: usize, buf: &mut Vec<f64>) -> Result<(), String> {
+        let mut bytes = [0u8; 8];
+        buf.reserve(len);
+        for k in 0..len {
+            self.reader
+                .read_exact(&mut bytes)
+                .map_err(|e| format!("read failed at value {k} of {len}: {e}"))?;
+            buf.push(f64::from_le_bytes(bytes));
+        }
+        Ok(())
+    }
+}
+
+/// A [`RowSink`] that collects every output row into one vector —
+/// useful for tests and for comparing against in-core runs.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    /// All received values, in arrival (= rank) order.
+    pub values: Vec<f64>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RowSink for VecSink {
+    fn push_row(&mut self, row: &[f64]) -> Result<(), String> {
+        self.values.extend_from_slice(row);
+        Ok(())
+    }
+}
+
+/// A file-backed [`RowSink`]: writes consecutive little-endian `f64`
+/// values to any [`std::io::Write`].
+#[derive(Debug)]
+pub struct WriteSink<W> {
+    writer: W,
+}
+
+impl<W: std::io::Write> WriteSink<W> {
+    /// Streams little-endian `f64` values to `writer`.
+    pub fn new(writer: W) -> Self {
+        Self { writer }
+    }
+
+    /// Unwraps the writer (e.g. to flush or inspect it).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: std::io::Write> RowSink for WriteSink<W> {
+    fn push_row(&mut self, row: &[f64]) -> Result<(), String> {
+        for v in row {
+            self.writer
+                .write_all(&v.to_le_bytes())
+                .map_err(|e| format!("write failed: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Streaming tuning knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamConfig {
+    /// Band height in distinct outermost-dimension values. `None`
+    /// applies the plan's Appendix 9.4 sharding (one band per off-chip
+    /// stream); smaller chunks shrink peak residency at the cost of
+    /// more halo re-reads.
+    pub chunk_rows: Option<u64>,
+    /// Worker threads per band; `0` uses the machine's parallelism.
+    pub threads: usize,
+}
+
+impl StreamConfig {
+    /// A config with an explicit band height.
+    #[must_use]
+    pub fn with_chunk_rows(chunk_rows: u64) -> Self {
+        StreamConfig {
+            chunk_rows: Some(chunk_rows),
+            threads: 0,
+        }
+    }
+
+    /// Sets the worker thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// The outermost-dimension coordinate range `[min, max]` a row spans.
+/// Rows fix all outer dimensions, so for `dims >= 2` this is the single
+/// value `prefix[0]`; in 1D the band axis *is* the row axis.
+fn row_span0(row: &Row, dims: usize) -> (i64, i64) {
+    if dims == 1 {
+        (row.lo, row.hi)
+    } else {
+        (row.prefix[0], row.prefix[0])
+    }
+}
+
+/// Executes `plan`'s kernel out of core: input rows are pulled from
+/// `source` in stream order, only the current band's halo window is
+/// kept resident, and finished output rows are pushed to `sink` band by
+/// band. Outputs arrive at the sink in lexicographic rank order — the
+/// concatenated sink stream is bit-identical to [`crate::run_plan`]'s
+/// output buffer.
+///
+/// # Errors
+///
+/// * [`EngineError::Plan`] on tiling failures.
+/// * [`EngineError::Source`] / [`EngineError::Sink`] when the endpoints
+///   fail.
+/// * [`EngineError::InconsistentIndex`] if the input domain's index is
+///   not in contiguous stream order (streaming requires monotone row
+///   bases), or a band's arithmetic contradicts it.
+/// * [`EngineError::DomainTooLarge`] if a single band (not the whole
+///   domain) exceeds addressable memory.
+/// * [`EngineError::MissingInput`] / [`EngineError::WorkerPanic`] as in
+///   [`crate::run_plan`].
+pub fn run_streaming<C>(
+    plan: &MemorySystemPlan,
+    source: &mut dyn RowSource,
+    sink: &mut dyn RowSink,
+    compute: &C,
+    config: &StreamConfig,
+) -> Result<StreamReport, EngineError>
+where
+    C: Fn(&[f64]) -> f64 + Sync,
+{
+    let started = Instant::now();
+    let tile_plan = match config.chunk_rows {
+        Some(n) => plan.tile_plan_chunked(n)?,
+        None => plan.tile_plan_from_streams()?,
+    };
+    let in_idx = plan
+        .input_domain()
+        .index()
+        .map_err(|e| EngineError::Plan(e.into()))?;
+    let dims = in_idx.dims();
+    let rows = in_idx.rows();
+
+    // Streaming addresses residents by rank offset from the window
+    // base, which requires the input stream to be exactly the rows in
+    // order — i.e. contiguous monotone bases.
+    let mut expect_base = 0u64;
+    for row in rows {
+        if row.base != expect_base {
+            return Err(EngineError::InconsistentIndex {
+                detail: format!(
+                    "input row at {} has base {} but the stream is at rank {expect_base}; \
+                     streaming requires contiguous rank order",
+                    row.prefix, row.base
+                ),
+            });
+        }
+        expect_base += row.len();
+    }
+
+    // Window offsets in the user's declared reference order.
+    let mut offsets = vec![Point::zero(plan.iteration_domain().dims()); plan.port_count()];
+    for f in plan.filters() {
+        offsets[f.user_index] = f.offset;
+    }
+
+    let mut window: Vec<f64> = Vec::new();
+    let mut scratch: Vec<f64> = Vec::new();
+    let mut resident = 0usize..0usize; // row indices currently resident
+    let mut gauge = HighWater::new();
+    let mut resident_bound = 0u64;
+    let mut rows_in = 0u64;
+    let mut values_in = 0u64;
+    let mut rows_out = 0u64;
+    let mut fast_rows = 0u64;
+    let mut gather_rows = 0u64;
+    let mut out_buf: Vec<f64> = Vec::new();
+    let worker_count = threads_for(config.threads, usize::MAX);
+
+    for tile in tile_plan.tiles() {
+        let (h_lo, h_hi) = tile.halo_band;
+
+        // 1. Evict rows entirely below this band's halo. Evicting
+        // before pulling keeps the peak at one band's halo window.
+        while resident.start < resident.end && row_span0(&rows[resident.start], dims).1 < h_lo {
+            let n = usize::try_from(rows[resident.start].len()).map_err(|_| {
+                EngineError::DomainTooLarge {
+                    points: rows[resident.start].len(),
+                }
+            })?;
+            window.drain(0..n);
+            resident.start += 1;
+        }
+
+        // 2. Pull rows up to the halo's top edge. Rows still entirely
+        // below the halo were never needed (they precede the first
+        // band); pull them into scratch to honor stream order, then
+        // drop them without ever being resident.
+        while resident.end < rows.len() && row_span0(&rows[resident.end], dims).0 <= h_hi {
+            let row = &rows[resident.end];
+            let len = usize::try_from(row.len())
+                .map_err(|_| EngineError::DomainTooLarge { points: row.len() })?;
+            let pulled = if row_span0(row, dims).1 < h_lo {
+                scratch.clear();
+                source
+                    .fill_row(len, &mut scratch)
+                    .map_err(|detail| EngineError::Source { detail })?;
+                resident.start = resident.end + 1;
+                scratch.len()
+            } else {
+                let before = window.len();
+                source
+                    .fill_row(len, &mut window)
+                    .map_err(|detail| EngineError::Source { detail })?;
+                window.len() - before
+            };
+            if pulled != len {
+                return Err(EngineError::Source {
+                    detail: format!("source produced {pulled} of {len} requested values"),
+                });
+            }
+            resident.end += 1;
+            rows_in += 1;
+            values_in += row.len();
+        }
+
+        gauge.observe(window.len() as u64);
+        let widest = rows[resident.clone()]
+            .iter()
+            .map(Row::len)
+            .max()
+            .unwrap_or(0);
+        resident_bound = resident_bound.max(resident.len() as u64 * widest);
+
+        // 3. Execute the band through the shared fast/gather executor.
+        let band_idx = tile
+            .iter_domain
+            .index()
+            .map_err(|e| EngineError::Plan(e.into()))?;
+        let band_len = usize::try_from(tile.len)
+            .map_err(|_| EngineError::DomainTooLarge { points: tile.len })?;
+        out_buf.clear();
+        out_buf.resize(band_len, 0.0);
+        let win = RankWindow {
+            idx: &in_idx,
+            vals: &window,
+            base: rows.get(resident.start).map_or(0, |r| r.base),
+        };
+        let band_rows = band_idx.rows();
+        let workers = threads_for(worker_count, band_rows.len());
+        let (band_fast, band_gather) = if workers <= 1 {
+            catch_unwind(AssertUnwindSafe(|| {
+                execute_rows(band_rows, 0, &offsets, &win, compute, &mut out_buf)
+            }))
+            .map_err(|_| EngineError::WorkerPanic)??
+        } else {
+            execute_band_parallel(band_rows, &offsets, &win, compute, &mut out_buf, workers)?
+        };
+        fast_rows += band_fast;
+        gather_rows += band_gather;
+
+        // 4. Push the band's finished rows before touching the source
+        // again — sink and source stay at most one band apart.
+        for row in band_rows {
+            let start = usize::try_from(row.base)
+                .map_err(|_| EngineError::DomainTooLarge { points: row.base })?;
+            let len = usize::try_from(row.len())
+                .map_err(|_| EngineError::DomainTooLarge { points: row.len() })?;
+            let slice = out_buf
+                .get(start..)
+                .and_then(|s| s.get(..len))
+                .ok_or_else(|| EngineError::InconsistentIndex {
+                    detail: format!(
+                        "band {} output row at {} exceeds the band buffer",
+                        tile.id, row.prefix
+                    ),
+                })?;
+            sink.push_row(slice)
+                .map_err(|detail| EngineError::Sink { detail })?;
+            rows_out += 1;
+        }
+    }
+
+    Ok(StreamReport {
+        outputs: tile_plan.total_outputs(),
+        bands: tile_plan.tile_count(),
+        threads: worker_count,
+        chunk_rows: config.chunk_rows.unwrap_or(0),
+        rows_in,
+        values_in,
+        rows_out,
+        peak_resident: gauge.get(),
+        resident_bound,
+        fast_rows,
+        gather_rows,
+        elapsed: started.elapsed(),
+    })
+}
+
+/// Splits a band's iteration rows into contiguous per-worker chunks
+/// writing disjoint slices of the band buffer.
+fn execute_band_parallel<C>(
+    band_rows: &[Row],
+    offsets: &[Point],
+    win: &RankWindow<'_>,
+    compute: &C,
+    out: &mut [f64],
+    workers: usize,
+) -> Result<(u64, u64), EngineError>
+where
+    C: Fn(&[f64]) -> f64 + Sync,
+{
+    // Chunk boundaries in row space; output slices follow row bases.
+    let per = band_rows.len().div_ceil(workers);
+    let mut chunks: Vec<(&[Row], &mut [f64])> = Vec::with_capacity(workers);
+    let mut rest_rows = band_rows;
+    let mut rest_out: &mut [f64] = out;
+    let mut consumed = 0u64;
+    while !rest_rows.is_empty() {
+        let take = per.min(rest_rows.len());
+        let (head, tail) = rest_rows.split_at(take);
+        let chunk_vals: u64 = head.iter().map(Row::len).sum();
+        let chunk_len = usize::try_from(chunk_vals)
+            .map_err(|_| EngineError::DomainTooLarge { points: chunk_vals })?;
+        if head.first().map(|r| r.base) != Some(consumed) || chunk_len > rest_out.len() {
+            return Err(EngineError::InconsistentIndex {
+                detail: "band iteration rows are not in contiguous rank order".into(),
+            });
+        }
+        let (o_head, o_tail) = rest_out.split_at_mut(chunk_len);
+        chunks.push((head, o_head));
+        rest_rows = tail;
+        rest_out = o_tail;
+        consumed += chunk_vals;
+    }
+
+    let queue = Mutex::new(chunks);
+    let results: Mutex<Vec<RowChunkResult>> = Mutex::new(Vec::with_capacity(workers));
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let item = queue.lock().expect("queue lock").pop();
+                let Some((rows, out)) = item else { break };
+                let out_base = rows.first().map_or(0, |r| r.base);
+                let r = execute_rows(rows, out_base, offsets, win, compute, out);
+                let failed = r.is_err();
+                results.lock().expect("results lock").push(r);
+                if failed {
+                    break;
+                }
+            });
+        }
+    })
+    .map_err(|_| EngineError::WorkerPanic)?;
+
+    let mut fast = 0u64;
+    let mut gather = 0u64;
+    for r in results.into_inner().expect("results lock") {
+        let (f, g) = r?;
+        fast += f;
+        gather += g;
+    }
+    Ok((fast, gather))
+}
+
+type RowChunkResult = Result<(u64, u64), EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_plan, EngineConfig};
+    use crate::input::InputGrid;
+    use stencil_core::StencilSpec;
+    use stencil_polyhedral::Polyhedron;
+
+    fn plan_5pt(rows: i64, cols: i64) -> MemorySystemPlan {
+        let spec = StencilSpec::new(
+            "denoise",
+            Polyhedron::rect(&[(1, rows - 2), (1, cols - 2)]),
+            vec![
+                Point::new(&[-1, 0]),
+                Point::new(&[0, -1]),
+                Point::new(&[0, 0]),
+                Point::new(&[0, 1]),
+                Point::new(&[1, 0]),
+            ],
+        )
+        .unwrap();
+        MemorySystemPlan::generate(&spec).unwrap()
+    }
+
+    fn ramp(len: u64) -> Vec<f64> {
+        (0..len).map(|r| (r % 97) as f64 * 0.5 - 11.0).collect()
+    }
+
+    fn compute(w: &[f64]) -> f64 {
+        w[2] + 0.25 * (w[0] + w[1] + w[3] + w[4] - 4.0 * w[2])
+    }
+
+    #[test]
+    fn streaming_matches_in_core_at_every_chunk_size() {
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let reference = run_plan(&plan, &input, &compute, &EngineConfig::default())
+            .unwrap()
+            .outputs;
+        for chunk in [1u64, 3, 18, 100] {
+            for threads in [1usize, 3] {
+                let mut source = SliceSource::new(&vals);
+                let mut sink = VecSink::new();
+                let report = run_streaming(
+                    &plan,
+                    &mut source,
+                    &mut sink,
+                    &compute,
+                    &StreamConfig::with_chunk_rows(chunk).threads(threads),
+                )
+                .unwrap();
+                assert_eq!(sink.values, reference, "chunk={chunk} threads={threads}");
+                assert_eq!(report.outputs, 18 * 22);
+                assert!(
+                    report.within_residency_bound(),
+                    "chunk={chunk}: peak {} > bound {}",
+                    report.peak_resident,
+                    report.resident_bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residency_stays_at_one_halo_window() {
+        // 18 output rows in 1-row bands: halo = 3 input rows of 24.
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let mut source = SliceSource::new(&vals);
+        let mut sink = VecSink::new();
+        let report = run_streaming(
+            &plan,
+            &mut source,
+            &mut sink,
+            &compute,
+            &StreamConfig::with_chunk_rows(1),
+        )
+        .unwrap();
+        assert_eq!(report.peak_resident, 3 * 24);
+        assert_eq!(report.resident_bound, 3 * 24);
+        assert_eq!(report.bands, 18);
+        // Every input value crosses the window exactly once.
+        assert_eq!(report.values_in, in_idx.len());
+        assert_eq!(report.rows_in, 20);
+        assert_eq!(report.rows_out, 18);
+    }
+
+    #[test]
+    fn generated_source_never_materializes_input() {
+        let plan = plan_5pt(30, 16);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let reference = run_plan(&plan, &input, &compute, &EngineConfig::default())
+            .unwrap()
+            .outputs;
+        let mut source = FnSource::new(|r| (r % 97) as f64 * 0.5 - 11.0);
+        let mut sink = VecSink::new();
+        run_streaming(
+            &plan,
+            &mut source,
+            &mut sink,
+            &compute,
+            &StreamConfig::with_chunk_rows(4),
+        )
+        .unwrap();
+        assert_eq!(sink.values, reference);
+    }
+
+    #[test]
+    fn read_source_and_write_sink_round_trip_bytes() {
+        let plan = plan_5pt(12, 12);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut source = ReadSource::new(&bytes[..]);
+        let mut sink = WriteSink::new(Vec::<u8>::new());
+        run_streaming(
+            &plan,
+            &mut source,
+            &mut sink,
+            &compute,
+            &StreamConfig::default(),
+        )
+        .unwrap();
+        let out_bytes = sink.into_inner();
+        let streamed: Vec<f64> = out_bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let reference = run_plan(&plan, &input, &compute, &EngineConfig::default())
+            .unwrap()
+            .outputs;
+        assert_eq!(streamed, reference);
+    }
+
+    #[test]
+    fn exhausted_source_is_an_error_not_a_panic() {
+        let plan = plan_5pt(12, 12);
+        let short = ramp(10);
+        let mut source = SliceSource::new(&short);
+        let mut sink = VecSink::new();
+        let e = run_streaming(
+            &plan,
+            &mut source,
+            &mut sink,
+            &compute,
+            &StreamConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, EngineError::Source { .. }), "{e}");
+    }
+
+    #[test]
+    fn failing_sink_is_an_error_not_a_panic() {
+        struct FullSink;
+        impl RowSink for FullSink {
+            fn push_row(&mut self, _row: &[f64]) -> Result<(), String> {
+                Err("disk full".into())
+            }
+        }
+        let plan = plan_5pt(12, 12);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let mut source = SliceSource::new(&vals);
+        let e = run_streaming(
+            &plan,
+            &mut source,
+            &mut FullSink,
+            &compute,
+            &StreamConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            e,
+            EngineError::Sink {
+                detail: "disk full".into()
+            }
+        );
+    }
+
+    #[test]
+    fn compute_panic_is_reported_single_and_multi_thread() {
+        let plan = plan_5pt(14, 14);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let boom = |_: &[f64]| -> f64 { panic!("datapath bug") };
+        for threads in [1usize, 4] {
+            let mut source = SliceSource::new(&vals);
+            let mut sink = VecSink::new();
+            let e = run_streaming(
+                &plan,
+                &mut source,
+                &mut sink,
+                &boom,
+                &StreamConfig::with_chunk_rows(6).threads(threads),
+            )
+            .unwrap_err();
+            assert_eq!(e, EngineError::WorkerPanic, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn one_dimensional_stream() {
+        let spec = StencilSpec::new(
+            "blur1d",
+            Polyhedron::rect(&[(1, 40)]),
+            vec![Point::new(&[-1]), Point::new(&[0]), Point::new(&[1])],
+        )
+        .unwrap();
+        let plan = MemorySystemPlan::generate(&spec).unwrap();
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let blur = |w: &[f64]| (w[0] + w[1] + w[2]) / 3.0;
+        let reference = run_plan(&plan, &input, &blur, &EngineConfig::default())
+            .unwrap()
+            .outputs;
+        let mut source = SliceSource::new(&vals);
+        let mut sink = VecSink::new();
+        let report = run_streaming(
+            &plan,
+            &mut source,
+            &mut sink,
+            &blur,
+            &StreamConfig::with_chunk_rows(8),
+        )
+        .unwrap();
+        assert_eq!(sink.values, reference);
+        // A 1D domain is one index row: the whole grid is the window.
+        assert_eq!(report.peak_resident, in_idx.len());
+        assert!(report.within_residency_bound());
+    }
+}

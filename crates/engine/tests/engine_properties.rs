@@ -3,11 +3,15 @@
 //! the engine must agree bit-for-bit with the golden nested-loop
 //! executor and the cycle-accurate machine.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use proptest::prelude::*;
 use stencil_core::MemorySystemPlan;
-use stencil_engine::{run_plan, EngineConfig, InputGrid};
+use stencil_engine::{
+    run_plan, run_streaming, EngineConfig, InputGrid, SliceSource, StreamConfig, VecSink,
+};
 use stencil_kernels::{accelerate, run_golden, Benchmark, GridValues, KernelOps};
-use stencil_polyhedral::{Point, Polyhedron};
+use stencil_polyhedral::{DomainIndex, Point, Polyhedron};
 
 /// Index-weighted window sum: sensitive to tap order, so a backend
 /// that permutes the window is caught even when a plain sum would
@@ -181,5 +185,113 @@ proptest! {
         prop_assert!(run.report.halo_elements >= in_idx.len());
         prop_assert!(run.report.tiles >= 1);
         prop_assert!(run.report.tiles <= streams);
+    }
+
+    /// The bounded-memory streaming path agrees bit-for-bit with the
+    /// in-core engine at every chunk size and thread count, and its
+    /// measured peak residency honors the planned halo bound.
+    #[test]
+    fn streaming_matches_in_core_2d(
+        offs in prop::collection::btree_set(((-2i64..=2), (-2i64..=2)), 2..=6),
+        rows in 8i64..20,
+        cols in 8i64..20,
+        chunk in 1u64..=10,
+        threads in 1usize..=4,
+        seed in 0u64..1_000_000,
+    ) {
+        let offs: Vec<(i64, i64)> = offs.into_iter().collect();
+        let bench = bench_2d(&offs, rows, cols);
+        let extents = [rows, cols];
+        let grid = seeded_grid(&extents, seed);
+        let spec = bench.spec_for(&extents).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let in_core = engine_outputs(&plan, &grid, &EngineConfig::default())?;
+
+        let in_idx = plan.input_domain().index().expect("input index");
+        let mut in_vals = Vec::with_capacity(in_idx.len() as usize);
+        let mut c = in_idx.cursor();
+        while let Some(p) = c.point(&in_idx) {
+            in_vals.push(grid.value_at(&p).expect("covered"));
+            c.advance(&in_idx);
+        }
+        let mut source = SliceSource::new(&in_vals);
+        let mut sink = VecSink::new();
+        let report = run_streaming(
+            &plan,
+            &mut source,
+            &mut sink,
+            &weighted_sum,
+            &StreamConfig::with_chunk_rows(chunk).threads(threads),
+        )
+        .map_err(|e| TestCaseError::fail(format!("streaming: {e}")))?;
+        prop_assert_eq!(&sink.values, &in_core, "chunk={} threads={}", chunk, threads);
+        prop_assert!(
+            report.within_residency_bound(),
+            "peak {} > bound {}", report.peak_resident, report.resident_bound
+        );
+        prop_assert_eq!(report.values_in <= in_idx.len(), true);
+    }
+
+    /// Neither execution path may panic, whatever the spec shape, band
+    /// count, thread count, or input consistency: oversized domains,
+    /// scrambled hand-built indexes, and short value buffers must all
+    /// surface as `Err`, never as an abort.
+    #[test]
+    fn engine_and_streaming_never_panic(
+        offs in prop::collection::btree_set(((-2i64..=2), (-2i64..=2)), 1..=6),
+        rows in 6i64..16,
+        cols in 6i64..16,
+        tiles in 1usize..=10,
+        threads in 1usize..=4,
+        chunk in 0u64..=20,
+        scramble in 0usize..=3,
+        seed in 0u64..1_000_000,
+    ) {
+        let offs: Vec<(i64, i64)> = offs.into_iter().collect();
+        let bench = bench_2d(&offs, rows, cols);
+        let spec = bench.spec_for(&[rows, cols]).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let in_idx = plan.input_domain().index().expect("input index");
+        let mut idx_rows = in_idx.rows().to_vec();
+        match scramble {
+            // Shift one row left: same point count, broken coverage.
+            1 if !idx_rows.is_empty() => {
+                let k = (seed as usize) % idx_rows.len();
+                idx_rows[k].lo -= 1;
+                idx_rows[k].hi -= 1;
+            }
+            // Swap two bases: rank order inverts lexicographic order.
+            2 if idx_rows.len() > 1 => {
+                let k = (seed as usize) % (idx_rows.len() - 1);
+                let b = idx_rows[k].base;
+                idx_rows[k].base = idx_rows[k + 1].base;
+                idx_rows[k + 1].base = b;
+            }
+            _ => {}
+        }
+        let idx = DomainIndex::from_rows(in_idx.dims(), idx_rows);
+        // Case 3 starves the value buffer by one element.
+        let n = if scramble == 3 { idx.len().saturating_sub(1) } else { idx.len() };
+        let vals: Vec<f64> = (0..n).map(|r| r as f64 * 0.5 - 3.0).collect();
+
+        let config = EngineConfig::with_tiles(tiles).threads(threads);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            InputGrid::new(&idx, &vals)
+                .and_then(|input| run_plan(&plan, &input, &weighted_sum, &config))
+        }));
+        prop_assert!(caught.is_ok(), "run_plan panicked (scramble={})", scramble);
+
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let mut source = SliceSource::new(&vals);
+            let mut sink = VecSink::new();
+            run_streaming(
+                &plan,
+                &mut source,
+                &mut sink,
+                &weighted_sum,
+                &StreamConfig { chunk_rows: (chunk > 0).then_some(chunk), threads },
+            )
+        }));
+        prop_assert!(caught.is_ok(), "run_streaming panicked (scramble={})", scramble);
     }
 }

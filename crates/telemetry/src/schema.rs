@@ -321,6 +321,86 @@ impl FromValue for EngineMetrics {
     }
 }
 
+/// Counters of one streaming (out-of-core) engine run.
+///
+/// The defining figure is the pair `peak_resident` / `resident_bound`:
+/// the streaming executor promises to keep at most one band's halo
+/// window of input values resident (Sec. 2.3 — a stencil needs only its
+/// maximum reuse distance of history), and the validator checks the
+/// observed high-water mark against that planned bound
+/// ([`crate::validate::BoundCheck::ResidencyBound`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamMetrics {
+    /// Total outputs produced.
+    pub outputs: u64,
+    /// Bands executed.
+    pub bands: usize,
+    /// Worker threads used per band.
+    pub threads: usize,
+    /// Requested band height in outermost-dimension rows (0 = the
+    /// plan's default one-band-per-off-chip-stream sharding).
+    pub chunk_rows: u64,
+    /// Input index rows pulled from the row source.
+    pub rows_in: u64,
+    /// Input values pulled from the row source.
+    pub values_in: u64,
+    /// Output rows pushed to the row sink.
+    pub rows_out: u64,
+    /// High-water mark of resident input values (the gauge's maximum).
+    pub peak_resident: u64,
+    /// Planned residency bound: max over bands of halo rows x widest
+    /// resident row length.
+    pub resident_bound: u64,
+    /// Output rows executed on the batched fast path.
+    pub fast_rows: u64,
+    /// Output rows that fell back to per-point gathers.
+    pub gather_rows: u64,
+    /// End-to-end wall-clock nanoseconds.
+    pub elapsed_ns: u64,
+    /// Outputs per second (0.0 when below timer resolution).
+    pub throughput: f64,
+}
+
+impl ToValue for StreamMetrics {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("outputs", self.outputs.to_value()),
+            ("bands", self.bands.to_value()),
+            ("threads", self.threads.to_value()),
+            ("chunk_rows", self.chunk_rows.to_value()),
+            ("rows_in", self.rows_in.to_value()),
+            ("values_in", self.values_in.to_value()),
+            ("rows_out", self.rows_out.to_value()),
+            ("peak_resident", self.peak_resident.to_value()),
+            ("resident_bound", self.resident_bound.to_value()),
+            ("fast_rows", self.fast_rows.to_value()),
+            ("gather_rows", self.gather_rows.to_value()),
+            ("elapsed_ns", self.elapsed_ns.to_value()),
+            ("throughput", self.throughput.to_value()),
+        ])
+    }
+}
+
+impl FromValue for StreamMetrics {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            outputs: field(v, "outputs")?,
+            bands: field(v, "bands")?,
+            threads: field(v, "threads")?,
+            chunk_rows: field(v, "chunk_rows")?,
+            rows_in: field(v, "rows_in")?,
+            values_in: field(v, "values_in")?,
+            rows_out: field(v, "rows_out")?,
+            peak_resident: field(v, "peak_resident")?,
+            resident_bound: field(v, "resident_bound")?,
+            fast_rows: field(v, "fast_rows")?,
+            gather_rows: field(v, "gather_rows")?,
+            elapsed_ns: field(v, "elapsed_ns")?,
+            throughput: field(v, "throughput")?,
+        })
+    }
+}
+
 /// A complete metrics report for one named run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsReport {
@@ -330,8 +410,10 @@ pub struct MetricsReport {
     pub name: String,
     /// Cycle-accurate machine counters, if a machine ran.
     pub machine: Option<MachineMetrics>,
-    /// Software-engine counters, if the engine ran.
+    /// Software-engine counters, if the in-core engine ran.
     pub engine: Option<EngineMetrics>,
+    /// Streaming-engine counters, if the out-of-core backend ran.
+    pub stream: Option<StreamMetrics>,
 }
 
 impl MetricsReport {
@@ -343,6 +425,7 @@ impl MetricsReport {
             name: name.into(),
             machine: None,
             engine: None,
+            stream: None,
         }
     }
 
@@ -381,6 +464,13 @@ impl ToValue for MetricsReport {
                     .map(ToValue::to_value)
                     .unwrap_or(Value::Null),
             ),
+            (
+                "stream",
+                self.stream
+                    .as_ref()
+                    .map(ToValue::to_value)
+                    .unwrap_or(Value::Null),
+            ),
         ])
     }
 }
@@ -392,6 +482,12 @@ impl FromValue for MetricsReport {
             name: field(v, "name")?,
             machine: field(v, "machine")?,
             engine: field(v, "engine")?,
+            // Reports written before the streaming backend existed have
+            // no `stream` key at all; treat absence like `null`.
+            stream: match v.get("stream") {
+                None => None,
+                Some(s) => FromValue::from_value(s)?,
+            },
         })
     }
 }
@@ -464,6 +560,21 @@ mod tests {
                     elapsed_ns: 40_000,
                 }],
             }),
+            stream: Some(StreamMetrics {
+                outputs: 80,
+                bands: 4,
+                threads: 2,
+                chunk_rows: 3,
+                rows_in: 12,
+                values_in: 144,
+                rows_out: 10,
+                peak_resident: 60,
+                resident_bound: 60,
+                fast_rows: 10,
+                gather_rows: 0,
+                elapsed_ns: 91_004,
+                throughput: 879_082.5,
+            }),
         };
         let text = report.to_json();
         let back = MetricsReport::parse(&text).unwrap();
@@ -471,6 +582,23 @@ mod tests {
         // And a partial report (engine only) stays partial.
         let partial = MetricsReport::new("x");
         assert_eq!(MetricsReport::parse(&partial.to_json()).unwrap(), partial);
+    }
+
+    #[test]
+    fn pre_streaming_reports_still_parse() {
+        // A report serialized before the `stream` section existed has no
+        // such key; parsing must default it to None, not error.
+        let mut old = MetricsReport::new("legacy");
+        old.machine = Some(sample_machine());
+        let Value::Object(mut fields) = old.to_value() else {
+            panic!("reports serialize as objects");
+        };
+        fields.retain(|(k, _)| k != "stream");
+        let text = Value::Object(fields).to_json();
+        assert!(!text.contains("\"stream\""), "{text}");
+        let back = MetricsReport::parse(&text).unwrap();
+        assert_eq!(back.machine, old.machine);
+        assert_eq!(back.stream, None);
     }
 
     #[test]

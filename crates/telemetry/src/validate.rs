@@ -52,6 +52,9 @@ pub enum BoundCheck {
     StreamConservation,
     /// Outputs equal the iteration-domain size.
     OutputsComplete,
+    /// Streaming engine: peak resident input values stay within the
+    /// per-band halo-window bound (Sec. 2.3 reuse window).
+    ResidencyBound,
     /// No NaN/infinity anywhere in the report.
     Finite,
 }
@@ -66,6 +69,7 @@ impl core::fmt::Display for BoundCheck {
             Self::FullyPipelined => "fully-pipelined (II = 1)",
             Self::StreamConservation => "stream-conservation",
             Self::OutputsComplete => "outputs-complete",
+            Self::ResidencyBound => "residency-bound (Sec. 2.3)",
             Self::Finite => "finite",
         };
         f.write_str(name)
@@ -285,6 +289,50 @@ pub fn validate_report(report: &MetricsReport) -> Vec<BoundViolation> {
             );
         }
     }
+    if let Some(s) = &report.stream {
+        // The streaming backend's defining promise: only one band's
+        // halo window of input values is ever resident (Sec. 2.3).
+        if s.peak_resident > s.resident_bound {
+            violation(
+                &mut v,
+                BoundCheck::ResidencyBound,
+                "stream",
+                format!(
+                    "peak resident {} values exceeds the halo-window bound {}",
+                    s.peak_resident, s.resident_bound
+                ),
+            );
+        }
+        if !s.throughput.is_finite() {
+            violation(
+                &mut v,
+                BoundCheck::Finite,
+                "stream.throughput",
+                format!("throughput is {}", s.throughput),
+            );
+        }
+        // Every value the source handed over belongs to some pulled
+        // row, and all output rows together carry all outputs.
+        if s.rows_in > 0 && s.values_in == 0 {
+            violation(
+                &mut v,
+                BoundCheck::StreamConservation,
+                "stream",
+                format!("{} rows pulled but zero values", s.rows_in),
+            );
+        }
+        if s.outputs > 0 && s.rows_out == 0 {
+            violation(
+                &mut v,
+                BoundCheck::OutputsComplete,
+                "stream",
+                format!(
+                    "{} outputs produced but no rows reached the sink",
+                    s.outputs
+                ),
+            );
+        }
+    }
     v
 }
 
@@ -431,6 +479,41 @@ mod tests {
         assert!(v.iter().any(|x| x.check == BoundCheck::Finite));
         report.engine.as_mut().unwrap().throughput = 1.0;
         assert_eq!(validate_report(&report), Vec::new());
+    }
+
+    #[test]
+    fn residency_bound_violation_is_flagged() {
+        use crate::schema::StreamMetrics;
+        let mut report = MetricsReport::new("x");
+        report.stream = Some(StreamMetrics {
+            outputs: 100,
+            bands: 5,
+            threads: 2,
+            chunk_rows: 4,
+            rows_in: 12,
+            values_in: 144,
+            rows_out: 10,
+            peak_resident: 72,
+            resident_bound: 72,
+            fast_rows: 10,
+            gather_rows: 0,
+            elapsed_ns: 1000,
+            throughput: 1.0,
+        });
+        assert_eq!(validate_report(&report), Vec::new());
+        // Exceeding the halo-window bound is the core violation.
+        report.stream.as_mut().unwrap().peak_resident = 73;
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::ResidencyBound));
+        assert!(v[0].to_string().contains("residency-bound"), "{}", v[0]);
+        // Non-finite throughput and empty-output inconsistencies too.
+        let s = report.stream.as_mut().unwrap();
+        s.peak_resident = 72;
+        s.throughput = f64::NAN;
+        s.rows_out = 0;
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::Finite));
+        assert!(v.iter().any(|x| x.check == BoundCheck::OutputsComplete));
     }
 
     #[test]

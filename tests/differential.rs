@@ -14,7 +14,9 @@
 //! Any divergence between the three is a bug in one of them.
 
 use stencil_core::MemorySystemPlan;
-use stencil_engine::{run_plan, run_tiled, EngineConfig, InputGrid};
+use stencil_engine::{
+    run_plan, run_streaming, run_tiled, EngineConfig, InputGrid, SliceSource, StreamConfig, VecSink,
+};
 use stencil_kernels::{accelerate, paper_suite, run_golden, Benchmark, GridValues};
 use stencil_polyhedral::Polyhedron;
 
@@ -37,6 +39,19 @@ fn small_extents(bench: &Benchmark) -> Vec<i64> {
     }
 }
 
+/// The plan's input domain values drawn from `grid`, in rank order —
+/// both the `InputGrid` buffer and the streaming source stream.
+fn input_values(plan: &MemorySystemPlan, grid: &GridValues) -> Vec<f64> {
+    let in_idx = plan.input_domain().index().expect("input index");
+    let mut in_vals = Vec::with_capacity(in_idx.len() as usize);
+    let mut c = in_idx.cursor();
+    while let Some(p) = c.point(&in_idx) {
+        in_vals.push(grid.value_at(&p).expect("grid covers input domain"));
+        c.advance(&in_idx);
+    }
+    in_vals
+}
+
 /// Runs the engine for `bench` over `grid`, returning outputs.
 fn engine_outputs(
     bench: &Benchmark,
@@ -45,12 +60,7 @@ fn engine_outputs(
     config: &EngineConfig,
 ) -> Vec<f64> {
     let in_idx = plan.input_domain().index().expect("input index");
-    let mut in_vals = Vec::with_capacity(in_idx.len() as usize);
-    let mut c = in_idx.cursor();
-    while let Some(p) = c.point(&in_idx) {
-        in_vals.push(grid.value_at(&p).expect("grid covers input domain"));
-        c.advance(&in_idx);
-    }
+    let in_vals = input_values(plan, grid);
     let input = InputGrid::new(&in_idx, &in_vals).expect("sized input");
     let compute = bench.compute_fn();
     run_plan(plan, &input, &compute, config)
@@ -114,6 +124,61 @@ fn engine_follows_stream_sharding_of_tradeoff_plans() {
                 golden,
                 "engine({streams} streams) vs golden: {}",
                 bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_equals_plan_and_golden_on_paper_suite() {
+    // The bounded-memory streaming path must be bit-exact with both the
+    // in-core engine and the golden executor on every paper benchmark,
+    // at the three characteristic chunk sizes: one row per band, one
+    // halo height per band, and the whole grid in one band.
+    for bench in paper_suite() {
+        let extents = small_extents(&bench);
+        let grid = test_grid(&extents);
+        let golden = run_golden(&bench, &extents, &grid).expect("golden");
+        let spec = bench.spec_for(&extents).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let in_core = engine_outputs(&bench, &plan, &grid, &EngineConfig::default());
+        assert_eq!(in_core, golden, "in-core vs golden: {}", bench.name());
+
+        let in_vals = input_values(&plan, &grid);
+        let compute = bench.compute_fn();
+        let halo_rows = {
+            let lo = bench.window().iter().map(|f| f[0]).min().unwrap();
+            let hi = bench.window().iter().map(|f| f[0]).max().unwrap();
+            (hi - lo + 1) as u64
+        };
+        let whole_grid = extents[0] as u64;
+        for chunk in [1u64, halo_rows, whole_grid] {
+            let mut source = SliceSource::new(&in_vals);
+            let mut sink = VecSink::new();
+            let report = run_streaming(
+                &plan,
+                &mut source,
+                &mut sink,
+                &compute,
+                &StreamConfig::with_chunk_rows(chunk).threads(2),
+            )
+            .expect("streaming run");
+            assert_eq!(
+                sink.values,
+                golden,
+                "streaming(chunk={chunk}) vs golden: {}",
+                bench.name()
+            );
+            assert!(
+                report.within_residency_bound(),
+                "{} chunk={chunk}: peak {} > bound {}",
+                bench.name(),
+                report.peak_resident,
+                report.resident_bound
+            );
+            assert_eq!(
+                report.rows_out,
+                spec.iteration_domain().index().unwrap().rows().len() as u64
             );
         }
     }
