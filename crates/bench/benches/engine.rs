@@ -1,12 +1,16 @@
 //! Criterion bench: parallel tiled engine vs the cycle-accurate
 //! machine on full-size DENOISE (768x1024), engine thread scaling at
-//! 1/2/4/8 workers, and the bounded-memory streaming path vs in-core.
+//! 1/2/4/8 workers, the compiled row-sweep backend vs the closure
+//! datapath, and the bounded-memory streaming path vs in-core.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use stencil_core::MemorySystemPlan;
-use stencil_engine::{run_streaming, run_tiled, InputGrid, SliceSource, StreamConfig, VecSink};
+use stencil_engine::{
+    run_plan_compiled, run_streaming, run_streaming_compiled, run_tiled, CompiledKernel,
+    EngineConfig, InputGrid, SliceSource, StreamConfig, VecSink,
+};
 use stencil_kernels::{denoise, GridValues};
 use stencil_polyhedral::Polyhedron;
 use stencil_sim::Machine;
@@ -56,6 +60,22 @@ fn bench_engine(c: &mut Criterion) {
         });
     }
 
+    // Compiled row-sweep backend: the same kernel authored as a
+    // KernelExpr, lowered to stack bytecode, swept over lane chunks.
+    let kernel = CompiledKernel::for_benchmark(&bench)
+        .expect("compile")
+        .expect("DENOISE carries an expression");
+    for threads in [1usize, 4] {
+        let config = EngineConfig::new().tiles(threads).threads(threads);
+        g.bench_function(format!("compiled_{threads}thread"), |b| {
+            b.iter(|| {
+                let run = run_plan_compiled(black_box(&plan), &input, &kernel, &config)
+                    .expect("compiled engine");
+                black_box(run.outputs.len())
+            })
+        });
+    }
+
     // Streaming out-of-core path against the in-core engine: same
     // kernel, 4 workers, at a bounded chunk (64-row bands, so only a
     // 66-row halo window is ever resident) and whole-grid-as-one-band.
@@ -69,13 +89,30 @@ fn bench_engine(c: &mut Criterion) {
                     &mut source,
                     &mut sink,
                     &compute,
-                    &StreamConfig::with_chunk_rows(chunk).threads(4),
+                    &StreamConfig::new().chunk_rows(chunk).threads(4),
                 )
                 .expect("streaming");
                 black_box((sink.values.len(), report.peak_resident))
             })
         });
     }
+
+    // Compiled streaming: the row sweep under the bounded-memory path.
+    g.bench_function("streaming_compiled_chunk64_4thread", |b| {
+        b.iter(|| {
+            let mut source = SliceSource::new(black_box(&in_vals));
+            let mut sink = VecSink::new();
+            let report = run_streaming_compiled(
+                &plan,
+                &mut source,
+                &mut sink,
+                &kernel,
+                &StreamConfig::new().chunk_rows(64).threads(4),
+            )
+            .expect("compiled streaming");
+            black_box((sink.values.len(), report.peak_resident))
+        })
+    });
     g.finish();
 }
 

@@ -97,7 +97,7 @@ fn build_report() -> Result<MetricsReport, Box<dyn std::error::Error>> {
         &mut source,
         &mut sink,
         &compute,
-        &StreamConfig::with_chunk_rows(64).threads(4),
+        &StreamConfig::new().chunk_rows(64).threads(4),
     )?;
     if sink.values != run.outputs {
         return Err("streaming outputs diverged from the in-core engine".into());

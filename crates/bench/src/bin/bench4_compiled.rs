@@ -1,0 +1,230 @@
+//! Emits `BENCH_4.json`: closure-vs-compiled kernel throughput on
+//! full-size DENOISE (768x1024), the report the CI bench-smoke job
+//! publishes and gates on.
+//!
+//! Runs the same plan four ways — in-core and streaming, each through
+//! the original closure datapath and through the compiled row-sweep
+//! backend (`KernelExpr` lowered to stack bytecode, evaluated over
+//! lane chunks) — best of three runs each. All four output buffers
+//! must agree bit-for-bit, every telemetry report must pass the
+//! runtime bound validator, and the compiled backend must not be
+//! slower than the closure it replaces; any of those failing exits
+//! nonzero so a regression fails the pipeline.
+//!
+//! Usage: `bench4_compiled [OUT.json [BENCHMARK]]` (defaults:
+//! `BENCH_4.json`, `DENOISE`; any paper-suite or extra benchmark name
+//! is accepted, e.g. `SOBEL`).
+
+use std::process::ExitCode;
+
+use stencil_core::MemorySystemPlan;
+use stencil_engine::{
+    run_plan, run_plan_compiled, run_streaming, run_streaming_compiled, CompiledKernel,
+    EngineConfig, InputGrid, SliceSource, StreamConfig, VecSink,
+};
+use stencil_kernels::{extra_suite, paper_suite, Benchmark};
+use stencil_telemetry::{validate_report, MetricsReport};
+
+/// Measurement repetitions per configuration; the best run is kept.
+const RUNS: usize = 3;
+
+/// The four measured throughputs (elements per second).
+struct Measurements {
+    name: String,
+    extents: Vec<i64>,
+    incore_closure: f64,
+    incore_compiled: f64,
+    streaming_closure: f64,
+    streaming_compiled: f64,
+    outputs: u64,
+    violations: usize,
+}
+
+impl Measurements {
+    fn incore_speedup(&self) -> f64 {
+        self.incore_compiled / self.incore_closure
+    }
+
+    fn streaming_speedup(&self) -> f64 {
+        self.streaming_compiled / self.streaming_closure
+    }
+
+    /// The flat JSON document written to `BENCH_4.json`.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"{}\",\n  \"extents\": {:?},\n  \
+             \"outputs\": {},\n  \"incore_closure_elem_per_s\": {:.1},\n  \
+             \"incore_compiled_elem_per_s\": {:.1},\n  \"incore_speedup\": {:.4},\n  \
+             \"streaming_closure_elem_per_s\": {:.1},\n  \
+             \"streaming_compiled_elem_per_s\": {:.1},\n  \"streaming_speedup\": {:.4},\n  \
+             \"violations\": {}\n}}\n",
+            self.name,
+            self.extents,
+            self.outputs,
+            self.incore_closure,
+            self.incore_compiled,
+            self.incore_speedup(),
+            self.streaming_closure,
+            self.streaming_compiled,
+            self.streaming_speedup(),
+            self.violations,
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_4.json".into());
+    let name = std::env::args().nth(2).unwrap_or_else(|| "DENOISE".into());
+    let Some(bench) = paper_suite()
+        .into_iter()
+        .chain(extra_suite())
+        .find(|b| b.name() == name)
+    else {
+        eprintln!("bench4_compiled: unknown benchmark `{name}`");
+        return ExitCode::FAILURE;
+    };
+    match measure(&bench) {
+        Ok(m) => {
+            if let Err(e) = std::fs::write(&out_path, m.to_json()) {
+                eprintln!("bench4_compiled: cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {out_path}: {} {} outputs; in-core {:.1} -> {:.1} Melem/s ({:.2}x), \
+                 streaming {:.1} -> {:.1} Melem/s ({:.2}x)",
+                m.name,
+                m.outputs,
+                m.incore_closure / 1e6,
+                m.incore_compiled / 1e6,
+                m.incore_speedup(),
+                m.streaming_closure / 1e6,
+                m.streaming_compiled / 1e6,
+                m.streaming_speedup(),
+            );
+            if m.violations > 0 {
+                eprintln!("runtime bound checks: {} FAILED", m.violations);
+                return ExitCode::FAILURE;
+            }
+            if m.incore_speedup() < 1.0 {
+                eprintln!(
+                    "compiled backend is SLOWER than the closure in-core: {:.2}x",
+                    m.incore_speedup()
+                );
+                return ExitCode::FAILURE;
+            }
+            println!("runtime bound checks: all passed");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench4_compiled: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Plans the benchmark at its full paper extents and measures all four
+/// configurations, cross-checking every output buffer bit-for-bit and
+/// validating each run's telemetry.
+fn measure(bench: &Benchmark) -> Result<Measurements, Box<dyn std::error::Error>> {
+    let extents: Vec<i64> = bench.extents().to_vec();
+    let spec = bench.spec_for(&extents)?;
+    let plan = MemorySystemPlan::generate(&spec)?;
+
+    let in_idx = plan.input_domain().index()?;
+    let mut state = 0x5EED_BA5E_D00Du64;
+    let in_vals: Vec<f64> = (0..in_idx.len())
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005u64)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f64) / 256.0
+        })
+        .collect();
+    let input = InputGrid::new(&in_idx, &in_vals)?;
+    let compute = bench.compute_fn();
+    let kernel = CompiledKernel::for_benchmark(bench)?
+        .ok_or_else(|| format!("{} carries no expression", bench.name()))?;
+
+    let config = EngineConfig::new();
+    let stream_config = StreamConfig::new().chunk_rows(64).threads(4);
+
+    let mut violations = 0usize;
+    let mut validate = |report: &MetricsReport| {
+        let v = validate_report(report);
+        for violation in &v {
+            eprintln!("  violation: {violation}");
+        }
+        violations += v.len();
+    };
+
+    // In-core, closure datapath.
+    let mut reference: Option<Vec<f64>> = None;
+    let mut incore_closure = 0.0f64;
+    for _ in 0..RUNS {
+        let run = run_plan(&plan, &input, &compute, &config)?;
+        incore_closure = incore_closure.max(run.report.throughput());
+        let mut report = MetricsReport::new(spec.name());
+        report.engine = Some(run.report.metrics());
+        validate(&report);
+        reference = Some(run.outputs);
+    }
+    let reference = reference.expect("at least one run");
+    let outputs = reference.len() as u64;
+
+    // In-core, compiled row sweep.
+    let mut incore_compiled = 0.0f64;
+    for _ in 0..RUNS {
+        let run = run_plan_compiled(&plan, &input, &kernel, &config)?;
+        incore_compiled = incore_compiled.max(run.report.throughput());
+        let mut report = MetricsReport::new(spec.name());
+        report.engine = Some(run.report.metrics());
+        validate(&report);
+        if run.outputs != reference {
+            return Err("compiled in-core outputs diverge from the closure run".into());
+        }
+    }
+
+    // Streaming, closure datapath.
+    let mut streaming_closure = 0.0f64;
+    for _ in 0..RUNS {
+        let mut source = SliceSource::new(&in_vals);
+        let mut sink = VecSink::new();
+        let streamed = run_streaming(&plan, &mut source, &mut sink, &compute, &stream_config)?;
+        streaming_closure = streaming_closure.max(streamed.throughput());
+        let mut report = MetricsReport::new(spec.name());
+        report.stream = Some(streamed.metrics());
+        validate(&report);
+        if sink.values != reference {
+            return Err("closure streaming outputs diverge from the in-core run".into());
+        }
+    }
+
+    // Streaming, compiled row sweep.
+    let mut streaming_compiled = 0.0f64;
+    for _ in 0..RUNS {
+        let mut source = SliceSource::new(&in_vals);
+        let mut sink = VecSink::new();
+        let streamed =
+            run_streaming_compiled(&plan, &mut source, &mut sink, &kernel, &stream_config)?;
+        streaming_compiled = streaming_compiled.max(streamed.throughput());
+        let mut report = MetricsReport::new(spec.name());
+        report.stream = Some(streamed.metrics());
+        validate(&report);
+        if sink.values != reference {
+            return Err("compiled streaming outputs diverge from the in-core run".into());
+        }
+    }
+
+    Ok(Measurements {
+        name: bench.name().to_string(),
+        extents,
+        incore_closure,
+        incore_compiled,
+        streaming_closure,
+        streaming_compiled,
+        outputs,
+        violations,
+    })
+}

@@ -7,10 +7,11 @@ use stencil_core::{
     verify_plan, MappingPolicy, MemorySystemPlan, ModuloSchedulePlan, ReuseAnalysis, StencilSpec,
 };
 use stencil_engine::{
-    run_plan, run_streaming, EngineConfig, InputGrid, SliceSource, StreamConfig, VecSink,
+    run_plan, run_plan_compiled, run_streaming, run_streaming_compiled, CompiledKernel,
+    EngineConfig, InputGrid, KernelBackend, SliceSource, StreamConfig, VecSink,
 };
 use stencil_fpga::{estimate_nonuniform, estimate_uniform};
-use stencil_kernels::KernelOps;
+use stencil_kernels::{KernelExpr, KernelOps};
 use stencil_sim::{trace_to_vcd, Machine};
 use stencil_telemetry::{validate_report, MetricsReport};
 use stencil_uniform::{best_uniform, multidim_cyclic, survey, unpartitioned};
@@ -116,12 +117,18 @@ fn append_bound_checks(out: &mut String, report: &MetricsReport) -> usize {
 /// the validator's violation count, which drives the exit code.
 ///
 /// The datapath is the spec-file fallback (plain window sum), since a
-/// spec file carries window geometry but no arithmetic.
+/// spec file carries window geometry but no arithmetic. With
+/// `backend == Compiled` (the default) the sum is authored as a
+/// [`KernelExpr`], compiled to stack bytecode validated against the
+/// closure, and executed through the vectorized row sweep; `Closure`
+/// keeps the original per-window call. `crosscheck` runs *both*
+/// backends and demands bit-identical outputs.
 ///
 /// # Errors
 ///
 /// Propagates planning and engine failures, and reports any mismatch
 /// against the direct loop or between the two execution paths.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 pub fn cmd_engine(
     spec: &StencilSpec,
     streams: usize,
@@ -129,6 +136,8 @@ pub fn cmd_engine(
     threads: usize,
     streaming: bool,
     chunk_rows: Option<u64>,
+    backend: KernelBackend,
+    crosscheck: bool,
 ) -> Result<(String, String, usize), CmdError> {
     let plan = MemorySystemPlan::generate(spec)?.with_offchip_streams(streams)?;
     let in_idx = plan.input_domain().index()?;
@@ -146,12 +155,22 @@ pub fn cmd_engine(
     let input = InputGrid::new(&in_idx, &in_vals)?;
     let compute = stencil_kernels::default_compute();
 
-    let config = match tiles {
-        Some(n) => EngineConfig::with_tiles(n),
-        None => EngineConfig::default(),
+    // The spec-file datapath as an expression: compile it to bytecode,
+    // validated bit-for-bit against the closure it mirrors.
+    let kernel = CompiledKernel::compile_checked(
+        &KernelExpr::window_sum(spec.window_size()),
+        spec.window_size(),
+        &compute,
+    )?;
+
+    let mut config = EngineConfig::new().threads(threads).backend(backend);
+    if let Some(n) = tiles {
+        config = config.tiles(n);
     }
-    .threads(threads);
-    let run = run_plan(&plan, &input, &compute, &config)?;
+    let run = match backend {
+        KernelBackend::Compiled => run_plan_compiled(&plan, &input, &kernel, &config)?,
+        KernelBackend::Closure => run_plan(&plan, &input, &compute, &config)?,
+    };
 
     // Cross-check against a direct nested loop in declared offset order.
     let iter_idx = spec.iteration_domain().index()?;
@@ -187,14 +206,41 @@ pub fn cmd_engine(
     let mut report = MetricsReport::new(spec.name());
     report.engine = Some(run.report.metrics());
 
+    if crosscheck {
+        // Run the *other* backend over the same plan and demand
+        // bit-identical outputs.
+        let other = match backend {
+            KernelBackend::Compiled => run_plan(&plan, &input, &compute, &config)?,
+            KernelBackend::Closure => {
+                let cc = config.backend(KernelBackend::Compiled);
+                run_plan_compiled(&plan, &input, &kernel, &cc)?
+            }
+        };
+        if other.outputs != run.outputs {
+            return Err("cross-check failed: compiled and closure backends diverge".into());
+        }
+        let _ = writeln!(
+            out,
+            "cross-check compiled vs closure: {} outputs bit-identical",
+            run.outputs.len()
+        );
+    }
+
     if streaming {
         let mut source = SliceSource::new(&in_vals);
         let mut sink = VecSink::new();
-        let stream_config = StreamConfig {
-            chunk_rows,
-            threads,
+        let mut stream_config = StreamConfig::new().threads(threads).backend(backend);
+        if let Some(n) = chunk_rows {
+            stream_config = stream_config.chunk_rows(n);
+        }
+        let stream = match backend {
+            KernelBackend::Compiled => {
+                run_streaming_compiled(&plan, &mut source, &mut sink, &kernel, &stream_config)?
+            }
+            KernelBackend::Closure => {
+                run_streaming(&plan, &mut source, &mut sink, &compute, &stream_config)?
+            }
         };
-        let stream = run_streaming(&plan, &mut source, &mut sink, &compute, &stream_config)?;
         if sink.values != run.outputs {
             return Err("streaming run diverged from the in-core run".into());
         }
@@ -469,9 +515,19 @@ mod tests {
     #[test]
     fn engine_command_reports_bands_and_verifies() {
         // Default config shards one band per off-chip stream.
-        let (out, metrics, violations) =
-            cmd_engine(&denoise_spec(), 3, None, 2, false, None).unwrap();
+        let (out, metrics, violations) = cmd_engine(
+            &denoise_spec(),
+            3,
+            None,
+            2,
+            false,
+            None,
+            KernelBackend::Compiled,
+            false,
+        )
+        .unwrap();
         assert!(out.contains("3 band(s)"), "{out}");
+        assert!(out.contains("[compiled kernel]"), "{out}");
         assert!(out.contains("verified against direct loop"), "{out}");
         assert!(out.contains("fetch overhead"), "{out}");
         assert!(out.contains("runtime bound checks: all passed"), "{out}");
@@ -479,25 +535,71 @@ mod tests {
         let report = MetricsReport::parse(&metrics).unwrap();
         let engine = report.engine.as_ref().unwrap();
         assert_eq!(engine.tiles, 3);
+        assert_eq!(engine.backend, "compiled");
         assert!(engine.throughput.is_finite());
         assert_eq!(validate_report(&report), Vec::new());
 
         // Explicit band count wins over the stream default.
-        let (out, _, _) = cmd_engine(&denoise_spec(), 1, Some(4), 4, false, None).unwrap();
+        let (out, _, _) = cmd_engine(
+            &denoise_spec(),
+            1,
+            Some(4),
+            4,
+            false,
+            None,
+            KernelBackend::Compiled,
+            false,
+        )
+        .unwrap();
         assert!(out.contains("4 band(s)"), "{out}");
     }
 
     #[test]
+    fn engine_closure_backend_crosschecks_against_compiled() {
+        let (out, metrics, violations) = cmd_engine(
+            &denoise_spec(),
+            1,
+            None,
+            2,
+            false,
+            None,
+            KernelBackend::Closure,
+            true,
+        )
+        .unwrap();
+        assert!(out.contains("[closure kernel]"), "{out}");
+        assert!(
+            out.contains("cross-check compiled vs closure: 5828 outputs bit-identical"),
+            "{out}"
+        );
+        assert_eq!(violations, 0);
+        let report = MetricsReport::parse(&metrics).unwrap();
+        assert_eq!(report.engine.as_ref().unwrap().backend, "closure");
+    }
+
+    #[test]
     fn engine_streaming_mode_verifies_and_reports_residency() {
-        let (out, metrics, violations) =
-            cmd_engine(&denoise_spec(), 1, None, 2, true, Some(4)).unwrap();
+        let (out, metrics, violations) = cmd_engine(
+            &denoise_spec(),
+            1,
+            None,
+            2,
+            true,
+            Some(4),
+            KernelBackend::Compiled,
+            true,
+        )
+        .unwrap();
         assert!(out.contains("streaming run:"), "{out}");
+        assert!(out.contains("cross-check compiled vs closure"), "{out}");
         assert!(out.contains("verified streaming against in-core"), "{out}");
         assert!(out.contains("runtime bound checks: all passed"), "{out}");
         assert_eq!(violations, 0);
         let report = MetricsReport::parse(&metrics).unwrap();
         let stream = report.stream.as_ref().unwrap();
         assert_eq!(stream.chunk_rows, 4);
+        assert_eq!(stream.backend, "compiled");
+        assert!(stream.sweep_rows > 0);
         assert!(stream.peak_resident <= stream.resident_bound);
         assert_eq!(stream.outputs, 62 * 94);
         assert_eq!(validate_report(&report), Vec::new());

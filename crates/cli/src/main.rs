@@ -6,6 +6,7 @@
 //! stencil simulate <spec.stencil> [--streams K] [--metrics-out M.json]
 //!                                 [--vcd OUT.vcd [--cycles N]]
 //! stencil engine   <spec.stencil> [--streams K] [--tiles N] [--threads T]
+//!                                 [--kernel compiled|closure] [--crosscheck]
 //!                                 [--streaming [--chunk-rows N]] [--metrics-out M.json]
 //! stencil rtl      <spec.stencil> [--out DIR]     generate Verilog
 //! stencil compare  <spec.stencil>                 vs best uniform partitioning
@@ -27,6 +28,7 @@ fn usage() -> &'static str {
     "usage:\n  stencil plan     <spec.stencil>\n  stencil simulate <spec.stencil> \
      [--streams K] [--metrics-out M.json] [--vcd OUT.vcd [--cycles N]]\n  \
      stencil engine   <spec.stencil> [--streams K] [--tiles N] [--threads T] \
+     [--kernel compiled|closure] [--crosscheck] \
      [--streaming [--chunk-rows N]] [--metrics-out M.json]\n  stencil rtl      <spec.stencil> \
      [--out DIR]\n  stencil compare  <spec.stencil>\n  stencil report   <spec.stencil>\n\
      \nsimulate/engine exit non-zero when the runtime bound validator reports\n\
@@ -95,6 +97,8 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
     let mut metrics_out: Option<PathBuf> = None;
     let mut streaming = false;
     let mut chunk_rows: Option<u64> = None;
+    let mut backend = stencil_engine::KernelBackend::default();
+    let mut crosscheck = false;
     let mut fail_on_violation = true;
     while let Some(opt) = it.next() {
         match opt.as_str() {
@@ -135,6 +139,13 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
                 ));
             }
             "--streaming" => streaming = true,
+            "--kernel" => {
+                backend = it
+                    .next()
+                    .ok_or("--kernel needs `compiled` or `closure`")?
+                    .parse()?;
+            }
+            "--crosscheck" => crosscheck = true,
             "--chunk-rows" => {
                 chunk_rows = Some(
                     it.next()
@@ -167,8 +178,9 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
             })
         }
         "engine" => {
-            let (mut out, metrics, violations) =
-                cmd_engine(&spec, streams, tiles, threads, streaming, chunk_rows)?;
+            let (mut out, metrics, violations) = cmd_engine(
+                &spec, streams, tiles, threads, streaming, chunk_rows, backend, crosscheck,
+            )?;
             if let Some(path) = &metrics_out {
                 out.push_str(&write_metrics(path, &metrics)?);
             }
@@ -258,7 +270,35 @@ mod tests {
         .unwrap()
         .text;
         assert!(out.contains("2 band(s)"), "{out}");
+        assert!(out.contains("[compiled kernel]"), "{out}");
         assert!(out.contains("verified against direct loop"), "{out}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_kernel_flag_selects_backend_and_crosschecks() {
+        let dir = std::env::temp_dir().join("stencil_cli_kernel_flag_test");
+        fs::create_dir_all(&dir).unwrap();
+        let spec = write_spec(&dir);
+        let out = run(vec![
+            "engine".into(),
+            spec.display().to_string(),
+            "--kernel".into(),
+            "closure".into(),
+            "--crosscheck".into(),
+        ])
+        .unwrap()
+        .text;
+        assert!(out.contains("[closure kernel]"), "{out}");
+        assert!(out.contains("cross-check compiled vs closure"), "{out}");
+        // An unknown backend is an argument error.
+        assert!(run(vec![
+            "engine".into(),
+            spec.display().to_string(),
+            "--kernel".into(),
+            "simd".into(),
+        ])
+        .is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -77,6 +77,6 @@ pub use modulo::{DelayBank, ModuloSchedulePlan};
 pub use plan::{Feed, FilterPlan, MemorySystemPlan};
 pub use sort::SortedRefs;
 pub use spec::StencilSpec;
-pub use tiling::{Tile, TilePlan};
+pub use tiling::{row_outer_span, Tile, TilePlan};
 pub use tradeoff::TradeoffPoint;
 pub use verify::{verify_accelerator, verify_plan, OptimalityReport};

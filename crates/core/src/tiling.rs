@@ -21,7 +21,7 @@
 //! `k` bands ([`MemorySystemPlan::tile_plan_from_streams`]).
 
 use serde::{Deserialize, Serialize};
-use stencil_polyhedral::{Constraint, Point, Polyhedron};
+use stencil_polyhedral::{Constraint, Point, Polyhedron, Row};
 
 use crate::error::PlanError;
 use crate::plan::MemorySystemPlan;
@@ -57,6 +57,35 @@ impl Tile {
     #[must_use]
     pub fn end_rank(&self) -> u64 {
         self.start_rank + self.len
+    }
+
+    /// True when a row spanning `span0` along the outermost dimension
+    /// (see [`row_outer_span`]) lies entirely *below* this band's halo
+    /// window — a streaming executor may evict it before running the
+    /// band.
+    #[must_use]
+    pub fn row_below_halo(&self, span0: (i64, i64)) -> bool {
+        span0.1 < self.halo_band.0
+    }
+
+    /// True when a row spanning `span0` lies entirely *above* this
+    /// band's halo window — the band does not need it resident yet.
+    #[must_use]
+    pub fn row_above_halo(&self, span0: (i64, i64)) -> bool {
+        span0.0 > self.halo_band.1
+    }
+}
+
+/// The outermost-dimension coordinate range `[min, max]` an input index
+/// row spans. Index rows fix all outer dimensions, so for `dims >= 2`
+/// this is the single value `prefix[0]`; in 1D the band axis *is* the
+/// row axis and the span is the row's own extent.
+#[must_use]
+pub fn row_outer_span(row: &Row, dims: usize) -> (i64, i64) {
+    if dims == 1 {
+        (row.lo, row.hi)
+    } else {
+        (row.prefix[0], row.prefix[0])
     }
 }
 

@@ -39,6 +39,20 @@ pub enum EngineError {
         /// What the index got wrong.
         detail: String,
     },
+    /// A kernel expression could not be lowered to bytecode (tap out of
+    /// range, or the expression exceeds the evaluator's fixed stack or
+    /// slot capacity).
+    KernelCompile {
+        /// What the compiler rejected.
+        detail: String,
+    },
+    /// The compiled bytecode disagreed with the reference closure during
+    /// construction-time validation — the expression does not mirror the
+    /// closure's arithmetic.
+    KernelMismatch {
+        /// The diverging window and values.
+        detail: String,
+    },
     /// The input row source failed to produce a requested row.
     Source {
         /// The source's failure message.
@@ -69,6 +83,12 @@ impl fmt::Display for EngineError {
             ),
             EngineError::InconsistentIndex { detail } => {
                 write!(f, "inconsistent domain index: {detail}")
+            }
+            EngineError::KernelCompile { detail } => {
+                write!(f, "kernel compilation failed: {detail}")
+            }
+            EngineError::KernelMismatch { detail } => {
+                write!(f, "compiled kernel diverges from its closure: {detail}")
             }
             EngineError::Source { detail } => write!(f, "input row source failed: {detail}"),
             EngineError::Sink { detail } => write!(f, "output row sink failed: {detail}"),
@@ -122,6 +142,16 @@ mod tests {
         }
         .to_string()
         .contains("bases invert"));
+        assert!(EngineError::KernelCompile {
+            detail: "stack too deep".into()
+        }
+        .to_string()
+        .contains("compilation failed"));
+        assert!(EngineError::KernelMismatch {
+            detail: "window [0, 1]".into()
+        }
+        .to_string()
+        .contains("diverges"));
         assert!(EngineError::Source {
             detail: "exhausted".into()
         }

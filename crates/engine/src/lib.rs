@@ -15,7 +15,15 @@
 //!   hot loop is pure indexed arithmetic with no per-element channel
 //!   simulation;
 //! * bands execute in parallel on scoped worker threads pulling from a
-//!   shared work queue, writing disjoint slices of one output buffer.
+//!   shared work queue, writing disjoint slices of one output buffer;
+//! * kernels authored as [`stencil_kernels::KernelExpr`] trees compile
+//!   at plan time to flat stack bytecode ([`CompiledKernel`]) and run
+//!   through a vectorized *row sweep* ([`run_plan_compiled`],
+//!   [`run_streaming_compiled`]): each window tap binds to a
+//!   column-shifted contiguous slice of the resident rows and the
+//!   bytecode evaluates over fixed-width lane chunks the compiler can
+//!   autovectorize — bit-identical to the closure datapath by
+//!   construction ([`CompiledKernel::compile_checked`]).
 //!
 //! The engine consumes the same [`MemorySystemPlan`] interface as the
 //! simulator and returns the output grid plus a [`RunReport`] with
@@ -50,17 +58,22 @@
 #![forbid(unsafe_code)]
 #![deny(clippy::cast_possible_truncation)]
 
+mod compile;
 mod error;
 mod exec;
 mod input;
 mod report;
+mod rowexec;
 mod stream;
 
+pub use compile::{CompiledKernel, KernelBackend};
 pub use error::EngineError;
-pub use exec::{run_plan, run_tiled, EngineConfig, EngineRun};
+pub use exec::{
+    run_plan, run_plan_compiled, run_tiled, run_tiled_compiled, EngineConfig, EngineRun,
+};
 pub use input::InputGrid;
 pub use report::{RunReport, StreamReport, TileReport};
 pub use stream::{
-    run_streaming, FnSource, ReadSource, RowSink, RowSource, SliceSource, StreamConfig, VecSink,
-    WriteSink,
+    run_streaming, run_streaming_compiled, FnSource, ReadSource, RowSink, RowSource, SliceSource,
+    StreamConfig, VecSink, WriteSink,
 };

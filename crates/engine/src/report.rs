@@ -6,6 +6,8 @@ use std::time::Duration;
 
 use stencil_telemetry::{EngineMetrics, StreamMetrics, TileMetrics};
 
+use crate::compile::KernelBackend;
+
 /// Per-band execution statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TileReport {
@@ -15,6 +17,8 @@ pub struct TileReport {
     pub outputs: u64,
     /// Input elements in the band's halo (its off-chip traffic share).
     pub halo_elements: u64,
+    /// Output rows evaluated by the vectorized bytecode row sweep.
+    pub sweep_rows: u64,
     /// Output rows executed on the batched fast path (every window tap
     /// contiguous in the input stream).
     pub fast_rows: u64,
@@ -36,6 +40,8 @@ pub struct RunReport {
     pub tiles: usize,
     /// Worker threads used.
     pub threads: usize,
+    /// How the kernel datapath executed.
+    pub backend: KernelBackend,
     /// Total input elements fetched across bands, halo overlap counted
     /// per band — the off-chip traffic of the sharded execution.
     pub halo_elements: u64,
@@ -68,6 +74,7 @@ impl RunReport {
             outputs: self.outputs,
             tiles: self.tiles,
             threads: self.threads,
+            backend: self.backend.as_str().to_string(),
             halo_elements: self.halo_elements,
             elapsed_ns: duration_ns(self.elapsed),
             throughput: self.throughput(),
@@ -78,6 +85,7 @@ impl RunReport {
                     id: t.id,
                     outputs: t.outputs,
                     halo_elements: t.halo_elements,
+                    sweep_rows: t.sweep_rows,
                     fast_rows: t.fast_rows,
                     gather_rows: t.gather_rows,
                     elapsed_ns: duration_ns(t.elapsed),
@@ -103,26 +111,34 @@ impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "engine run: {} outputs on {} band(s) x {} thread(s) in {:?} ({:.1} Melem/s)",
+            "engine run: {} outputs on {} band(s) x {} thread(s) [{} kernel] in {:?} ({:.1} Melem/s)",
             self.outputs,
             self.tiles,
             self.threads,
+            self.backend,
             self.elapsed,
             self.throughput() / 1e6
         )?;
         for t in &self.per_tile {
             writeln!(
                 f,
-                "  band {:>2}: {:>9} outputs, {:>9} halo elems, rows {}F/{}G, {:?}",
-                t.id, t.outputs, t.halo_elements, t.fast_rows, t.gather_rows, t.elapsed
+                "  band {:>2}: {:>9} outputs, {:>9} halo elems, rows {}V/{}F/{}G, {:?}",
+                t.id,
+                t.outputs,
+                t.halo_elements,
+                t.sweep_rows,
+                t.fast_rows,
+                t.gather_rows,
+                t.elapsed
             )?;
         }
         let m = self.metrics();
+        let sweep: u64 = m.per_tile.iter().map(|t| t.sweep_rows).sum();
         let fast: u64 = m.per_tile.iter().map(|t| t.fast_rows).sum();
         let gather: u64 = m.per_tile.iter().map(|t| t.gather_rows).sum();
         writeln!(
             f,
-            "  metrics: {:.0} elem/s, rows {fast} fast / {gather} gather, {} halo elems",
+            "  metrics: {:.0} elem/s, rows {sweep} sweep / {fast} fast / {gather} gather, {} halo elems",
             m.throughput, m.halo_elements
         )
     }
@@ -143,6 +159,8 @@ pub struct StreamReport {
     pub bands: usize,
     /// Worker threads used per band.
     pub threads: usize,
+    /// How the kernel datapath executed.
+    pub backend: KernelBackend,
     /// Requested band height in outermost-dimension rows (0 = the
     /// plan's default one-band-per-off-chip-stream sharding).
     pub chunk_rows: u64,
@@ -157,6 +175,8 @@ pub struct StreamReport {
     /// Planned residency bound: max over bands of halo rows × widest
     /// resident row length.
     pub resident_bound: u64,
+    /// Output rows evaluated by the vectorized bytecode row sweep.
+    pub sweep_rows: u64,
     /// Output rows executed on the batched fast path.
     pub fast_rows: u64,
     /// Output rows that fell back to per-point gathers.
@@ -192,12 +212,14 @@ impl StreamReport {
             outputs: self.outputs,
             bands: self.bands,
             threads: self.threads,
+            backend: self.backend.as_str().to_string(),
             chunk_rows: self.chunk_rows,
             rows_in: self.rows_in,
             values_in: self.values_in,
             rows_out: self.rows_out,
             peak_resident: self.peak_resident,
             resident_bound: self.resident_bound,
+            sweep_rows: self.sweep_rows,
             fast_rows: self.fast_rows,
             gather_rows: self.gather_rows,
             elapsed_ns: duration_ns(self.elapsed),
@@ -210,10 +232,11 @@ impl fmt::Display for StreamReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "streaming run: {} outputs on {} band(s) x {} thread(s) in {:?} ({:.1} Melem/s)",
+            "streaming run: {} outputs on {} band(s) x {} thread(s) [{} kernel] in {:?} ({:.1} Melem/s)",
             self.outputs,
             self.bands,
             self.threads,
+            self.backend,
             self.elapsed,
             self.throughput() / 1e6
         )?;
@@ -224,8 +247,8 @@ impl fmt::Display for StreamReport {
         )?;
         writeln!(
             f,
-            "  rows {} fast / {} gather",
-            self.fast_rows, self.gather_rows
+            "  rows {} sweep / {} fast / {} gather",
+            self.sweep_rows, self.fast_rows, self.gather_rows
         )
     }
 }
@@ -244,6 +267,7 @@ mod tests {
             outputs: 1000,
             tiles: 2,
             threads: 2,
+            backend: KernelBackend::Closure,
             halo_elements: 1100,
             elapsed: Duration::from_millis(10),
             per_tile: vec![
@@ -251,6 +275,7 @@ mod tests {
                     id: 0,
                     outputs: 500,
                     halo_elements: 550,
+                    sweep_rows: 0,
                     fast_rows: 10,
                     gather_rows: 0,
                     elapsed: Duration::from_millis(5),
@@ -259,6 +284,7 @@ mod tests {
                     id: 1,
                     outputs: 500,
                     halo_elements: 550,
+                    sweep_rows: 0,
                     fast_rows: 10,
                     gather_rows: 0,
                     elapsed: Duration::from_millis(5),
@@ -290,10 +316,16 @@ mod tests {
     fn display_lists_bands() {
         let s = report().to_string();
         assert!(s.contains("2 band(s)"), "{s}");
+        assert!(s.contains("[closure kernel]"), "{s}");
         assert!(s.contains("band  0"), "{s}");
         assert!(s.contains("band  1"), "{s}");
         assert!(s.contains("metrics: 100000 elem/s"), "{s}");
-        assert!(s.contains("rows 20 fast / 0 gather"), "{s}");
+        assert!(s.contains("rows 0 sweep / 20 fast / 0 gather"), "{s}");
+        let compiled = RunReport {
+            backend: KernelBackend::Compiled,
+            ..report()
+        };
+        assert!(compiled.to_string().contains("[compiled kernel]"));
     }
 
     fn stream_report() -> StreamReport {
@@ -301,13 +333,15 @@ mod tests {
             outputs: 1000,
             bands: 10,
             threads: 2,
+            backend: KernelBackend::Compiled,
             chunk_rows: 2,
             rows_in: 22,
             values_in: 1188,
             rows_out: 20,
             peak_resident: 216,
             resident_bound: 216,
-            fast_rows: 20,
+            sweep_rows: 20,
+            fast_rows: 0,
             gather_rows: 0,
             elapsed: Duration::from_millis(10),
         }
@@ -338,6 +372,8 @@ mod tests {
         let s = over.to_string();
         assert!(s.contains("peak 217 values (bound 216)"), "{s}");
         assert!(s.contains("10 band(s)"), "{s}");
+        assert!(s.contains("[compiled kernel]"), "{s}");
+        assert!(s.contains("rows 20 sweep / 0 fast / 0 gather"), "{s}");
     }
 
     #[test]

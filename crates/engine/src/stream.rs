@@ -15,10 +15,11 @@
 //!   in rank order, keeping exactly the rows of the current band's
 //!   `halo_band` resident (evicting before pulling, so peak residency
 //!   never exceeds one band's halo: `halo rows × widest row`);
-//! * finished bands execute through the same fast/gather row executor
-//!   as the in-core path and push their output rows to a [`RowSink`]
-//!   before the next band's rows are pulled — the sink and source are
-//!   therefore never more than one band apart (bounded backpressure).
+//! * finished bands execute through the same sweep/fast/gather row
+//!   executor as the in-core path and push their output rows to a
+//!   [`RowSink`] before the next band's rows are pulled — the sink and
+//!   source are therefore never more than one band apart (bounded
+//!   backpressure).
 //!
 //! Residency is telemetry-tracked with a [`stencil_telemetry::HighWater`]
 //! gauge; the report's `peak_resident` and its planned `resident_bound`
@@ -28,13 +29,17 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use stencil_core::MemorySystemPlan;
+use stencil_core::{row_outer_span, MemorySystemPlan};
 use stencil_polyhedral::{Point, Row};
 use stencil_telemetry::HighWater;
 
+use crate::compile::{CompiledKernel, KernelBackend};
 use crate::error::EngineError;
-use crate::exec::{execute_rows, threads_for, RankWindow};
+use crate::exec::{check_kernel_window, threads_for};
 use crate::report::StreamReport;
+use crate::rowexec::{
+    execute_rows, ClosureKernel, RankWindow, RowKernel, RowStats, ScalarKernel, SweepKernel,
+};
 
 /// Supplies input values in lexicographic stream order.
 ///
@@ -212,6 +217,9 @@ impl<W: std::io::Write> RowSink for WriteSink<W> {
 }
 
 /// Streaming tuning knobs.
+///
+/// Build with the uniform chained builder:
+/// `StreamConfig::new().chunk_rows(4).threads(2)`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StreamConfig {
     /// Band height in distinct outermost-dimension values. `None`
@@ -221,34 +229,44 @@ pub struct StreamConfig {
     pub chunk_rows: Option<u64>,
     /// Worker threads per band; `0` uses the machine's parallelism.
     pub threads: usize,
+    /// How the kernel datapath executes on the compiled entry point
+    /// ([`run_streaming_compiled`]); the closure entry point ignores it.
+    pub backend: KernelBackend,
 }
 
 impl StreamConfig {
-    /// A config with an explicit band height.
+    /// The all-defaults config — the anchor of the chained builder.
     #[must_use]
-    pub fn with_chunk_rows(chunk_rows: u64) -> Self {
-        StreamConfig {
-            chunk_rows: Some(chunk_rows),
-            threads: 0,
-        }
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Sets the worker thread count.
+    /// Sets an explicit band height.
+    #[must_use]
+    pub fn chunk_rows(mut self, chunk_rows: u64) -> Self {
+        self.chunk_rows = Some(chunk_rows);
+        self
+    }
+
+    /// Sets the worker thread count (`0` = machine parallelism).
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
     }
-}
 
-/// The outermost-dimension coordinate range `[min, max]` a row spans.
-/// Rows fix all outer dimensions, so for `dims >= 2` this is the single
-/// value `prefix[0]`; in 1D the band axis *is* the row axis.
-fn row_span0(row: &Row, dims: usize) -> (i64, i64) {
-    if dims == 1 {
-        (row.lo, row.hi)
-    } else {
-        (row.prefix[0], row.prefix[0])
+    /// Selects the kernel backend for the compiled entry point.
+    #[must_use]
+    pub fn backend(mut self, backend: KernelBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// A config with an explicit band height.
+    #[deprecated(note = "use the uniform builder: `StreamConfig::new().chunk_rows(n)`")]
+    #[must_use]
+    pub fn with_chunk_rows(chunk_rows: u64) -> Self {
+        Self::new().chunk_rows(chunk_rows)
     }
 }
 
@@ -281,6 +299,61 @@ pub fn run_streaming<C>(
 where
     C: Fn(&[f64]) -> f64 + Sync,
 {
+    run_streaming_inner(
+        plan,
+        source,
+        sink,
+        &ClosureKernel(compute),
+        config,
+        KernelBackend::Closure,
+    )
+}
+
+/// [`run_streaming`] through pre-compiled bytecode: interior rows run
+/// the vectorized row sweep when `config.backend` is
+/// [`KernelBackend::Compiled`], or the per-element bytecode interpreter
+/// under [`KernelBackend::Closure`].
+///
+/// # Errors
+///
+/// As [`run_streaming`], plus [`EngineError::KernelCompile`] when the
+/// kernel's tap count does not match the plan's window.
+pub fn run_streaming_compiled(
+    plan: &MemorySystemPlan,
+    source: &mut dyn RowSource,
+    sink: &mut dyn RowSink,
+    kernel: &CompiledKernel,
+    config: &StreamConfig,
+) -> Result<StreamReport, EngineError> {
+    check_kernel_window(plan, kernel)?;
+    match config.backend {
+        KernelBackend::Compiled => run_streaming_inner(
+            plan,
+            source,
+            sink,
+            &SweepKernel(kernel),
+            config,
+            KernelBackend::Compiled,
+        ),
+        KernelBackend::Closure => run_streaming_inner(
+            plan,
+            source,
+            sink,
+            &ScalarKernel(kernel),
+            config,
+            KernelBackend::Closure,
+        ),
+    }
+}
+
+fn run_streaming_inner<K: RowKernel>(
+    plan: &MemorySystemPlan,
+    source: &mut dyn RowSource,
+    sink: &mut dyn RowSink,
+    kernel: &K,
+    config: &StreamConfig,
+    backend: KernelBackend,
+) -> Result<StreamReport, EngineError> {
     let started = Instant::now();
     let tile_plan = match config.chunk_rows {
         Some(n) => plan.tile_plan_chunked(n)?,
@@ -324,17 +397,16 @@ where
     let mut rows_in = 0u64;
     let mut values_in = 0u64;
     let mut rows_out = 0u64;
-    let mut fast_rows = 0u64;
-    let mut gather_rows = 0u64;
+    let mut stats = RowStats::default();
     let mut out_buf: Vec<f64> = Vec::new();
     let worker_count = threads_for(config.threads, usize::MAX);
 
     for tile in tile_plan.tiles() {
-        let (h_lo, h_hi) = tile.halo_band;
-
         // 1. Evict rows entirely below this band's halo. Evicting
         // before pulling keeps the peak at one band's halo window.
-        while resident.start < resident.end && row_span0(&rows[resident.start], dims).1 < h_lo {
+        while resident.start < resident.end
+            && tile.row_below_halo(row_outer_span(&rows[resident.start], dims))
+        {
             let n = usize::try_from(rows[resident.start].len()).map_err(|_| {
                 EngineError::DomainTooLarge {
                     points: rows[resident.start].len(),
@@ -348,11 +420,13 @@ where
         // below the halo were never needed (they precede the first
         // band); pull them into scratch to honor stream order, then
         // drop them without ever being resident.
-        while resident.end < rows.len() && row_span0(&rows[resident.end], dims).0 <= h_hi {
+        while resident.end < rows.len()
+            && !tile.row_above_halo(row_outer_span(&rows[resident.end], dims))
+        {
             let row = &rows[resident.end];
             let len = usize::try_from(row.len())
                 .map_err(|_| EngineError::DomainTooLarge { points: row.len() })?;
-            let pulled = if row_span0(row, dims).1 < h_lo {
+            let pulled = if tile.row_below_halo(row_outer_span(row, dims)) {
                 scratch.clear();
                 source
                     .fill_row(len, &mut scratch)
@@ -384,7 +458,8 @@ where
             .unwrap_or(0);
         resident_bound = resident_bound.max(resident.len() as u64 * widest);
 
-        // 3. Execute the band through the shared fast/gather executor.
+        // 3. Execute the band through the shared sweep/fast/gather
+        // executor.
         let band_idx = tile
             .iter_domain
             .index()
@@ -400,16 +475,15 @@ where
         };
         let band_rows = band_idx.rows();
         let workers = threads_for(worker_count, band_rows.len());
-        let (band_fast, band_gather) = if workers <= 1 {
+        let band_stats = if workers <= 1 {
             catch_unwind(AssertUnwindSafe(|| {
-                execute_rows(band_rows, 0, &offsets, &win, compute, &mut out_buf)
+                execute_rows(band_rows, 0, &offsets, &win, kernel, &mut out_buf)
             }))
             .map_err(|_| EngineError::WorkerPanic)??
         } else {
-            execute_band_parallel(band_rows, &offsets, &win, compute, &mut out_buf, workers)?
+            execute_band_parallel(band_rows, &offsets, &win, kernel, &mut out_buf, workers)?
         };
-        fast_rows += band_fast;
-        gather_rows += band_gather;
+        stats.merge(band_stats);
 
         // 4. Push the band's finished rows before touching the source
         // again — sink and source stay at most one band apart.
@@ -437,31 +511,30 @@ where
         outputs: tile_plan.total_outputs(),
         bands: tile_plan.tile_count(),
         threads: worker_count,
+        backend,
         chunk_rows: config.chunk_rows.unwrap_or(0),
         rows_in,
         values_in,
         rows_out,
         peak_resident: gauge.get(),
         resident_bound,
-        fast_rows,
-        gather_rows,
+        sweep_rows: stats.sweep,
+        fast_rows: stats.fast,
+        gather_rows: stats.gather,
         elapsed: started.elapsed(),
     })
 }
 
 /// Splits a band's iteration rows into contiguous per-worker chunks
 /// writing disjoint slices of the band buffer.
-fn execute_band_parallel<C>(
+fn execute_band_parallel<K: RowKernel>(
     band_rows: &[Row],
     offsets: &[Point],
     win: &RankWindow<'_>,
-    compute: &C,
+    kernel: &K,
     out: &mut [f64],
     workers: usize,
-) -> Result<(u64, u64), EngineError>
-where
-    C: Fn(&[f64]) -> f64 + Sync,
-{
+) -> Result<RowStats, EngineError> {
     // Chunk boundaries in row space; output slices follow row bases.
     let per = band_rows.len().div_ceil(workers);
     let mut chunks: Vec<(&[Row], &mut [f64])> = Vec::with_capacity(workers);
@@ -494,7 +567,7 @@ where
                 let item = queue.lock().expect("queue lock").pop();
                 let Some((rows, out)) = item else { break };
                 let out_base = rows.first().map_or(0, |r| r.base);
-                let r = execute_rows(rows, out_base, offsets, win, compute, out);
+                let r = execute_rows(rows, out_base, offsets, win, kernel, out);
                 let failed = r.is_err();
                 results.lock().expect("results lock").push(r);
                 if failed {
@@ -505,17 +578,14 @@ where
     })
     .map_err(|_| EngineError::WorkerPanic)?;
 
-    let mut fast = 0u64;
-    let mut gather = 0u64;
+    let mut stats = RowStats::default();
     for r in results.into_inner().expect("results lock") {
-        let (f, g) = r?;
-        fast += f;
-        gather += g;
+        stats.merge(r?);
     }
-    Ok((fast, gather))
+    Ok(stats)
 }
 
-type RowChunkResult = Result<(u64, u64), EngineError>;
+type RowChunkResult = Result<RowStats, EngineError>;
 
 #[cfg(test)]
 mod tests {
@@ -523,6 +593,7 @@ mod tests {
     use crate::exec::{run_plan, EngineConfig};
     use crate::input::InputGrid;
     use stencil_core::StencilSpec;
+    use stencil_kernels::KernelExpr;
     use stencil_polyhedral::Polyhedron;
 
     fn plan_5pt(rows: i64, cols: i64) -> MemorySystemPlan {
@@ -549,6 +620,12 @@ mod tests {
         w[2] + 0.25 * (w[0] + w[1] + w[3] + w[4] - 4.0 * w[2])
     }
 
+    fn compiled_5pt() -> CompiledKernel {
+        let [t0, t1, t2, t3, t4] = KernelExpr::taps::<5>();
+        let expr = t2.clone() + 0.25 * (t0 + t1 + t3 + t4 - 4.0 * t2);
+        CompiledKernel::compile_checked(&expr, 5, &compute).unwrap()
+    }
+
     #[test]
     fn streaming_matches_in_core_at_every_chunk_size() {
         let plan = plan_5pt(20, 24);
@@ -567,11 +644,13 @@ mod tests {
                     &mut source,
                     &mut sink,
                     &compute,
-                    &StreamConfig::with_chunk_rows(chunk).threads(threads),
+                    &StreamConfig::new().chunk_rows(chunk).threads(threads),
                 )
                 .unwrap();
                 assert_eq!(sink.values, reference, "chunk={chunk} threads={threads}");
                 assert_eq!(report.outputs, 18 * 22);
+                assert_eq!(report.backend, KernelBackend::Closure);
+                assert_eq!(report.sweep_rows, 0);
                 assert!(
                     report.within_residency_bound(),
                     "chunk={chunk}: peak {} > bound {}",
@@ -580,6 +659,108 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn compiled_streaming_matches_closure_streaming_bit_exact() {
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let kernel = compiled_5pt();
+        for chunk in [1u64, 3, 18] {
+            for threads in [1usize, 3] {
+                let mut source = SliceSource::new(&vals);
+                let mut closure_sink = VecSink::new();
+                run_streaming(
+                    &plan,
+                    &mut source,
+                    &mut closure_sink,
+                    &compute,
+                    &StreamConfig::new().chunk_rows(chunk).threads(threads),
+                )
+                .unwrap();
+                let mut source = SliceSource::new(&vals);
+                let mut compiled_sink = VecSink::new();
+                let report = run_streaming_compiled(
+                    &plan,
+                    &mut source,
+                    &mut compiled_sink,
+                    &kernel,
+                    &StreamConfig::new().chunk_rows(chunk).threads(threads),
+                )
+                .unwrap();
+                assert_eq!(
+                    compiled_sink.values, closure_sink.values,
+                    "chunk={chunk} threads={threads}"
+                );
+                assert_eq!(report.backend, KernelBackend::Compiled);
+                // Rectangular grid: every output row sweeps.
+                assert_eq!(report.sweep_rows, 18, "chunk={chunk} threads={threads}");
+                assert_eq!(report.fast_rows, 0);
+                assert_eq!(report.gather_rows, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn forced_closure_backend_interprets_without_sweeping() {
+        let plan = plan_5pt(14, 14);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let kernel = compiled_5pt();
+        let mut source = SliceSource::new(&vals);
+        let mut sink = VecSink::new();
+        let report = run_streaming_compiled(
+            &plan,
+            &mut source,
+            &mut sink,
+            &kernel,
+            &StreamConfig::new()
+                .chunk_rows(4)
+                .backend(KernelBackend::Closure),
+        )
+        .unwrap();
+        assert_eq!(report.backend, KernelBackend::Closure);
+        assert_eq!(report.sweep_rows, 0);
+        assert_eq!(report.fast_rows, 12);
+        let mut source = SliceSource::new(&vals);
+        let mut swept = VecSink::new();
+        run_streaming_compiled(
+            &plan,
+            &mut source,
+            &mut swept,
+            &kernel,
+            &StreamConfig::new().chunk_rows(4),
+        )
+        .unwrap();
+        assert_eq!(sink.values, swept.values);
+    }
+
+    #[test]
+    fn mismatched_kernel_window_is_rejected() {
+        let plan = plan_5pt(12, 12);
+        let kernel = CompiledKernel::compile(&KernelExpr::window_sum(3), 3).unwrap();
+        let mut source = SliceSource::new(&[]);
+        let mut sink = VecSink::new();
+        let e = run_streaming_compiled(
+            &plan,
+            &mut source,
+            &mut sink,
+            &kernel,
+            &StreamConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, EngineError::KernelCompile { .. }), "{e}");
+    }
+
+    #[test]
+    fn deprecated_with_chunk_rows_still_builds_the_same_config() {
+        #[allow(deprecated)]
+        let old = StreamConfig::with_chunk_rows(6).threads(3);
+        let new = StreamConfig::new().chunk_rows(6).threads(3);
+        assert_eq!(old.chunk_rows, new.chunk_rows);
+        assert_eq!(old.threads, new.threads);
+        assert_eq!(old.backend, new.backend);
     }
 
     #[test]
@@ -595,7 +776,7 @@ mod tests {
             &mut source,
             &mut sink,
             &compute,
-            &StreamConfig::with_chunk_rows(1),
+            &StreamConfig::new().chunk_rows(1),
         )
         .unwrap();
         assert_eq!(report.peak_resident, 3 * 24);
@@ -623,7 +804,7 @@ mod tests {
             &mut source,
             &mut sink,
             &compute,
-            &StreamConfig::with_chunk_rows(4),
+            &StreamConfig::new().chunk_rows(4),
         )
         .unwrap();
         assert_eq!(sink.values, reference);
@@ -716,7 +897,7 @@ mod tests {
                 &mut source,
                 &mut sink,
                 &boom,
-                &StreamConfig::with_chunk_rows(6).threads(threads),
+                &StreamConfig::new().chunk_rows(6).threads(threads),
             )
             .unwrap_err();
             assert_eq!(e, EngineError::WorkerPanic, "threads={threads}");
@@ -746,7 +927,7 @@ mod tests {
             &mut source,
             &mut sink,
             &blur,
-            &StreamConfig::with_chunk_rows(8),
+            &StreamConfig::new().chunk_rows(8),
         )
         .unwrap();
         assert_eq!(sink.values, reference);

@@ -8,9 +8,12 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use proptest::prelude::*;
 use stencil_core::MemorySystemPlan;
 use stencil_engine::{
-    run_plan, run_streaming, EngineConfig, InputGrid, SliceSource, StreamConfig, VecSink,
+    run_plan, run_plan_compiled, run_streaming, run_streaming_compiled, CompiledKernel,
+    EngineConfig, InputGrid, KernelBackend, SliceSource, StreamConfig, VecSink,
 };
-use stencil_kernels::{accelerate, run_golden, Benchmark, GridValues, KernelOps};
+use stencil_kernels::{
+    accelerate, extra_suite, paper_suite, run_golden, Benchmark, GridValues, KernelExpr, KernelOps,
+};
 use stencil_polyhedral::{DomainIndex, Point, Polyhedron};
 
 /// Index-weighted window sum: sensitive to tap order, so a backend
@@ -21,6 +24,15 @@ fn weighted_sum(vals: &[f64]) -> f64 {
         .enumerate()
         .map(|(i, v)| (i as f64 + 1.0) * v)
         .sum()
+}
+
+/// [`weighted_sum`] authored as an expression tree. Mirrors the
+/// closure's evaluation order exactly (including `sum()`'s leading
+/// `0.0`) so bytecode and closure agree bit-for-bit.
+fn weighted_expr(taps: usize) -> KernelExpr {
+    (0..taps).fold(KernelExpr::constant(0.0), |acc, i| {
+        acc + KernelExpr::constant(i as f64 + 1.0) * KernelExpr::tap(i)
+    })
 }
 
 /// Deterministic pseudo-random grid values seeded per case.
@@ -100,7 +112,7 @@ proptest! {
         let engine = engine_outputs(
             &plan,
             &grid,
-            &EngineConfig::with_tiles(tiles).threads(threads),
+            &EngineConfig::new().tiles(tiles).threads(threads),
         )?;
         prop_assert_eq!(
             &engine, &golden,
@@ -141,7 +153,7 @@ proptest! {
         let spec = bench.spec_for(&extents).expect("spec");
         let plan = MemorySystemPlan::generate(&spec).expect("plan");
         let engine =
-            engine_outputs(&plan, &grid, &EngineConfig::with_tiles(tiles))?;
+            engine_outputs(&plan, &grid, &EngineConfig::new().tiles(tiles))?;
         prop_assert_eq!(&engine, &golden, "engine({} tiles) vs golden", tiles);
     }
 
@@ -221,7 +233,7 @@ proptest! {
             &mut source,
             &mut sink,
             &weighted_sum,
-            &StreamConfig::with_chunk_rows(chunk).threads(threads),
+            &StreamConfig::new().chunk_rows(chunk).threads(threads),
         )
         .map_err(|e| TestCaseError::fail(format!("streaming: {e}")))?;
         prop_assert_eq!(&sink.values, &in_core, "chunk={} threads={}", chunk, threads);
@@ -274,7 +286,7 @@ proptest! {
         let n = if scramble == 3 { idx.len().saturating_sub(1) } else { idx.len() };
         let vals: Vec<f64> = (0..n).map(|r| r as f64 * 0.5 - 3.0).collect();
 
-        let config = EngineConfig::with_tiles(tiles).threads(threads);
+        let config = EngineConfig::new().tiles(tiles).threads(threads);
         let caught = catch_unwind(AssertUnwindSafe(|| {
             InputGrid::new(&idx, &vals)
                 .and_then(|input| run_plan(&plan, &input, &weighted_sum, &config))
@@ -289,9 +301,110 @@ proptest! {
                 &mut source,
                 &mut sink,
                 &weighted_sum,
-                &StreamConfig { chunk_rows: (chunk > 0).then_some(chunk), threads },
+                &{
+                    let sc = StreamConfig::new().threads(threads);
+                    if chunk > 0 { sc.chunk_rows(chunk) } else { sc }
+                },
             )
         }));
         prop_assert!(caught.is_ok(), "run_streaming panicked (scramble={})", scramble);
+    }
+
+    /// Every suite benchmark's expression compiles to bytecode that is
+    /// bit-identical to its authoring closure on arbitrary windows
+    /// (NaNs compare equal) — the compiled datapath is a drop-in
+    /// replacement for the authored one on all twelve kernels.
+    #[test]
+    fn compiled_suite_kernels_match_closures_on_arbitrary_windows(
+        raw in prop::collection::vec(-4_000_000_000i64..4_000_000_000, 8..=48),
+    ) {
+        for bench in paper_suite().into_iter().chain(extra_suite()) {
+            let ck = CompiledKernel::for_benchmark(&bench)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", bench.name())))?
+                .expect("every suite benchmark carries an expression");
+            let compute = bench.compute_fn();
+            let window: Vec<f64> = (0..bench.window().len())
+                .map(|i| raw[i % raw.len()] as f64 / 1e6)
+                .collect();
+            let got = ck.eval(&window);
+            let want = compute(&window);
+            prop_assert!(
+                got == want || (got.is_nan() && want.is_nan()),
+                "{}: bytecode {:?} vs closure {:?} on {:?}",
+                bench.name(), got, want, window
+            );
+        }
+    }
+
+    /// The compiled row-sweep executor and the scalar bytecode
+    /// interpreter both agree bit-for-bit with the closure engine on
+    /// random 2D windows, grids, band counts, and thread counts — and
+    /// the compiled streaming path matches them all.
+    #[test]
+    fn compiled_engine_matches_closure_engine_2d(
+        offs in prop::collection::btree_set(((-2i64..=2), (-2i64..=2)), 2..=6),
+        rows in 8i64..20,
+        cols in 8i64..20,
+        tiles in 1usize..=6,
+        threads in 1usize..=4,
+        chunk in 1u64..=8,
+        seed in 0u64..1_000_000,
+    ) {
+        let offs: Vec<(i64, i64)> = offs.into_iter().collect();
+        let bench = bench_2d(&offs, rows, cols);
+        let extents = [rows, cols];
+        let grid = seeded_grid(&extents, seed);
+        let spec = bench.spec_for(&extents).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+
+        let kernel = CompiledKernel::compile_checked(
+            &weighted_expr(offs.len()),
+            offs.len(),
+            &weighted_sum,
+        )
+        .map_err(|e| TestCaseError::fail(format!("compile: {e}")))?;
+
+        let config = EngineConfig::new().tiles(tiles).threads(threads);
+        let closure = engine_outputs(&plan, &grid, &config)?;
+
+        let in_idx = plan.input_domain().index().expect("input index");
+        let mut in_vals = Vec::with_capacity(in_idx.len() as usize);
+        let mut c = in_idx.cursor();
+        while let Some(p) = c.point(&in_idx) {
+            in_vals.push(grid.value_at(&p).expect("covered"));
+            c.advance(&in_idx);
+        }
+        let input = InputGrid::new(&in_idx, &in_vals).expect("input");
+
+        let swept = run_plan_compiled(&plan, &input, &kernel, &config)
+            .map_err(|e| TestCaseError::fail(format!("sweep: {e}")))?;
+        prop_assert_eq!(
+            &swept.outputs, &closure,
+            "sweep vs closure ({} tiles, {} threads)", tiles, threads
+        );
+
+        let scalar = run_plan_compiled(
+            &plan,
+            &input,
+            &kernel,
+            &config.backend(KernelBackend::Closure),
+        )
+        .map_err(|e| TestCaseError::fail(format!("scalar: {e}")))?;
+        prop_assert_eq!(&scalar.outputs, &closure, "scalar bytecode vs closure");
+
+        let mut source = SliceSource::new(&in_vals);
+        let mut sink = VecSink::new();
+        run_streaming_compiled(
+            &plan,
+            &mut source,
+            &mut sink,
+            &kernel,
+            &StreamConfig::new().chunk_rows(chunk).threads(threads),
+        )
+        .map_err(|e| TestCaseError::fail(format!("streaming: {e}")))?;
+        prop_assert_eq!(
+            &sink.values, &closure,
+            "compiled streaming vs closure (chunk={})", chunk
+        );
     }
 }

@@ -7,6 +7,8 @@ use serde::{Deserialize, Serialize};
 use stencil_core::{PlanError, StencilSpec};
 use stencil_polyhedral::{Point, Polyhedron};
 
+use crate::expr::KernelExpr;
+
 /// Datapath operation counts of one kernel iteration, used by the FPGA
 /// resource model to estimate the computation kernel's footprint.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,6 +52,8 @@ pub struct Benchmark {
     element_bits: u32,
     #[serde(skip, default = "default_compute")]
     compute: ComputeFn,
+    #[serde(skip)]
+    expr: Option<KernelExpr>,
 }
 
 /// The fallback datapath (plain window sum) used when a benchmark is
@@ -86,7 +90,39 @@ impl Benchmark {
             ops,
             element_bits: StencilSpec::DEFAULT_ELEMENT_BITS,
             compute,
+            expr: None,
         }
+    }
+
+    /// Attaches the [`KernelExpr`] form of the datapath — the same
+    /// formula as `compute`, in the compilable IR. Execution backends
+    /// that lower the expression validate it against the closure on
+    /// construction, so the two stay the reference/compiled pair of one
+    /// kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression references a tap at or beyond the
+    /// window size.
+    #[must_use]
+    pub fn with_expr(mut self, expr: KernelExpr) -> Self {
+        if let Some(k) = expr.max_tap() {
+            assert!(
+                k < self.offsets.len(),
+                "expression taps v[{k}] but the window has {} points",
+                self.offsets.len()
+            );
+        }
+        self.expr = Some(expr);
+        self
+    }
+
+    /// The datapath as a compilable [`KernelExpr`], when the benchmark
+    /// carries one (all suite benchmarks do; hand-built benchmarks may
+    /// only have the closure).
+    #[must_use]
+    pub fn expr(&self) -> Option<&KernelExpr> {
+        self.expr.as_ref()
     }
 
     /// Sets the data element width in bits (e.g. 16 for imaging pixels).
@@ -320,6 +356,21 @@ mod tests {
             |v| v[0],
         );
         let _ = b.iteration_domain();
+    }
+
+    #[test]
+    fn with_expr_attaches_and_validates_taps() {
+        let b = toy();
+        assert!(b.expr().is_none());
+        let b = b.with_expr(KernelExpr::window_sum(3));
+        let e = b.expr().expect("expr attached");
+        assert_eq!(e.eval(&[1.0, 2.0, 3.0]), b.compute(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "expression taps v[3]")]
+    fn with_expr_rejects_out_of_window_taps() {
+        let _ = toy().with_expr(KernelExpr::tap(3));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use stencil_core::{PlanError, StencilSpec};
 use stencil_polyhedral::{Constraint, Point, Polyhedron};
 
 use crate::benchmark::{Benchmark, KernelOps};
+use crate::expr::KernelExpr;
 
 /// JACOBI_2D (2D, 512×512): the standard 5-point Jacobi relaxation —
 /// same window as DENOISE with plain averaging.
@@ -28,6 +29,10 @@ pub fn jacobi_2d() -> Benchmark {
         },
         |v| 0.2 * (v[0] + v[1] + v[2] + v[3] + v[4]),
     )
+    .with_expr({
+        let [t0, t1, t2, t3, t4] = KernelExpr::taps::<5>();
+        0.2 * (t0 + t1 + t2 + t3 + t4)
+    })
 }
 
 /// GAUSSIAN_3X3 (2D, 512×512): full 9-point Gaussian blur — a
@@ -55,6 +60,17 @@ pub fn gaussian_3x3() -> Benchmark {
             v.iter().zip(&w).map(|(x, c)| x * c).sum::<f64>() / 16.0
         },
     )
+    .with_expr({
+        // `sum()` folds from 0.0; keep that exact order.
+        let w = [1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0];
+        let weighted = w
+            .iter()
+            .enumerate()
+            .fold(KernelExpr::constant(0.0), |acc, (k, &c)| {
+                acc + KernelExpr::tap(k) * c
+            });
+        weighted / 16.0
+    })
 }
 
 /// HEAT_1D (1D, 4096): the 3-point explicit heat-equation step — the
@@ -72,6 +88,10 @@ pub fn heat_1d() -> Benchmark {
         },
         |v| v[1] + 0.25 * (v[0] - 2.0 * v[1] + v[2]),
     )
+    .with_expr({
+        let [t0, t1, t2] = KernelExpr::taps::<3>();
+        t1.clone() + 0.25 * (t0 - 2.0 * t1 + t2)
+    })
 }
 
 /// A wide fused window: DENOISE after one step of loop fusion (§2.1:
@@ -104,6 +124,11 @@ pub fn fused_denoise() -> Benchmark {
             center + 0.04 * (sum - 13.0 * center)
         },
     )
+    .with_expr({
+        let sum = KernelExpr::window_sum(13);
+        let center = KernelExpr::tap(6);
+        center.clone() + 0.04 * (sum - 13.0 * center)
+    })
 }
 
 /// The skewed-grid DENOISE variant of Fig. 9: the rectangular grid is
@@ -181,6 +206,12 @@ pub fn high_order_2d() -> Benchmark {
             c + (16.0 * near - far - 60.0 * c) / 720.0
         },
     )
+    .with_expr({
+        let [t0, t1, t2, t3, c, t5, t6, t7, t8] = KernelExpr::taps::<9>();
+        let near = t1 + t3 + t5 + t7;
+        let far = t0 + t2 + t6 + t8;
+        c.clone() + (16.0 * near - far - 60.0 * c) / 720.0
+    })
 }
 
 /// ASYMMETRIC_2D (2D, 512×512): a deliberately lopsided 4-point window
@@ -204,6 +235,10 @@ pub fn asymmetric_2d() -> Benchmark {
         },
         |v| 0.5 * v[2] + 0.25 * v[1] + 0.15 * v[0] + 0.1 * v[3],
     )
+    .with_expr({
+        let [t0, t1, t2, t3] = KernelExpr::taps::<4>();
+        0.5 * t2 + 0.25 * t1 + 0.15 * t0 + 0.1 * t3
+    })
 }
 
 /// Extra kernels for extended validation (excludes the skewed spec,

@@ -34,12 +34,14 @@
 
 mod accel;
 mod benchmark;
+mod expr;
 mod extras;
 mod golden;
 mod suite;
 
 pub use accel::{accelerate, accelerate_steps, AcceleratedRun};
 pub use benchmark::{default_compute, Benchmark, ComputeFn, KernelOps};
+pub use expr::KernelExpr;
 pub use extras::{
     asymmetric_2d, extra_suite, fused_denoise, gaussian_3x3, heat_1d, high_order_2d, jacobi_2d,
     skewed_denoise,

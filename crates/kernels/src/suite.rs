@@ -10,6 +10,7 @@
 use stencil_polyhedral::Point;
 
 use crate::benchmark::{Benchmark, KernelOps};
+use crate::expr::KernelExpr;
 
 /// DENOISE (2D, 768×1024): the 5-point total-variation denoising window
 /// of the paper's Fig. 1/2 — one damped-Laplacian relaxation step.
@@ -36,6 +37,10 @@ pub fn denoise() -> Benchmark {
         },
     )
     .with_element_bits(16)
+    .with_expr({
+        let [n, w, c, e, s] = KernelExpr::taps::<5>();
+        c.clone() + 0.2 * (n + s + e + w - 4.0 * c)
+    })
 }
 
 /// RICIAN (2D, 768×1024): the 4-point centerless cross of the
@@ -66,6 +71,11 @@ pub fn rician() -> Benchmark {
         },
     )
     .with_element_bits(16)
+    .with_expr({
+        let [t0, t1, t2, t3] = KernelExpr::taps::<4>();
+        let avg = 0.25 * (t0 + t1 + t2 + t3);
+        (avg.clone() * avg.clone() / (avg.abs() + 1.0)).sqrt()
+    })
 }
 
 /// SOBEL (2D, 1024×1024): the 8-point 3×3-minus-center window of Sobel
@@ -99,6 +109,12 @@ pub fn sobel() -> Benchmark {
         },
     )
     .with_element_bits(16)
+    .with_expr({
+        let [nw, n, ne, w, e, sw, s, se] = KernelExpr::taps::<8>();
+        let gx = (ne.clone() + 2.0 * e + se.clone()) - (nw.clone() + 2.0 * w + sw.clone());
+        let gy = (sw + 2.0 * s + se) - (nw + 2.0 * n + ne);
+        gx.abs() + gy.abs()
+    })
 }
 
 /// BICUBIC (2D, 1024×1024): a 4-point stride-2 window (Fig. 6a) — the
@@ -123,6 +139,10 @@ pub fn bicubic() -> Benchmark {
         |v| (9.0 * (v[0] + v[3]) - (v[1] + v[2])) / 16.0,
     )
     .with_element_bits(16)
+    .with_expr({
+        let [t0, t1, t2, t3] = KernelExpr::taps::<4>();
+        (9.0 * (t0 + t3) - (t1 + t2)) / 16.0
+    })
 }
 
 /// DENOISE_3D (3D, 96×96×96): the 7-point face-neighbour window — the
@@ -153,6 +173,11 @@ pub fn denoise_3d() -> Benchmark {
         },
     )
     .with_element_bits(16)
+    .with_expr({
+        let [t0, t1, t2, c, t4, t5, t6] = KernelExpr::taps::<7>();
+        let sum = t0 + t1 + t2 + t4 + t5 + t6;
+        c.clone() + 0.1 * (sum - 6.0 * c)
+    })
 }
 
 /// SEGMENTATION_3D (3D, 96×96×96): the 19-point window of Fig. 6(c) —
@@ -204,6 +229,24 @@ pub fn segmentation_3d() -> Benchmark {
         },
     )
     .with_element_bits(16)
+    .with_expr({
+        // Mirror the closure's accumulation order exactly: both running
+        // sums start at 0.0 and take taps in ascending lex position.
+        let mut faces = KernelExpr::constant(0.0);
+        let mut edges = KernelExpr::constant(0.0);
+        for k in 0..19 {
+            if k == 9 {
+                continue;
+            }
+            if FACE_POSITIONS.contains(&k) {
+                faces = faces + KernelExpr::tap(k);
+            } else {
+                edges = edges + KernelExpr::tap(k);
+            }
+        }
+        let center = KernelExpr::tap(9);
+        center.clone() + (2.0 * faces + edges - 24.0 * center) / 32.0
+    })
 }
 
 /// Lex positions of the 6 face neighbours among the 19 offsets of
@@ -324,6 +367,39 @@ mod tests {
             let spec = b.spec().unwrap();
             assert_eq!(spec.window_size(), b.window().len());
             assert_eq!(spec.dims(), b.dims());
+        }
+    }
+
+    #[test]
+    fn every_suite_expr_is_bit_identical_to_its_closure() {
+        // Deterministic pseudo-random windows; the expressions mirror
+        // the closures' association order, so equality is exact.
+        let mut state = 0x5EED_0004_u64;
+        for b in paper_suite()
+            .into_iter()
+            .chain(crate::extras::extra_suite())
+        {
+            let e = b
+                .expr()
+                .unwrap_or_else(|| panic!("{} has no expr", b.name()));
+            assert_eq!(e.max_tap(), Some(b.window().len() - 1), "{}", b.name());
+            for _ in 0..64 {
+                let window: Vec<f64> = (0..b.window().len())
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((state >> 33) as f64) / 1e8 - 42.0
+                    })
+                    .collect();
+                let got = e.eval(&window);
+                let want = b.compute(&window);
+                assert!(
+                    got == want || (got.is_nan() && want.is_nan()),
+                    "{}: expr {got} != closure {want} on {window:?}",
+                    b.name()
+                );
+            }
         }
     }
 }

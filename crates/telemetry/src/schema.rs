@@ -238,6 +238,8 @@ pub struct TileMetrics {
     pub outputs: u64,
     /// Input elements in the band's halo.
     pub halo_elements: u64,
+    /// Rows evaluated by the vectorized bytecode row sweep.
+    pub sweep_rows: u64,
     /// Rows executed on the batched fast path.
     pub fast_rows: u64,
     /// Rows that fell back to per-point gathers.
@@ -252,6 +254,7 @@ impl ToValue for TileMetrics {
             ("id", self.id.to_value()),
             ("outputs", self.outputs.to_value()),
             ("halo_elements", self.halo_elements.to_value()),
+            ("sweep_rows", self.sweep_rows.to_value()),
             ("fast_rows", self.fast_rows.to_value()),
             ("gather_rows", self.gather_rows.to_value()),
             ("elapsed_ns", self.elapsed_ns.to_value()),
@@ -265,6 +268,12 @@ impl FromValue for TileMetrics {
             id: field(v, "id")?,
             outputs: field(v, "outputs")?,
             halo_elements: field(v, "halo_elements")?,
+            // Reports written before the compiled row sweep existed
+            // have no `sweep_rows` key; those runs swept zero rows.
+            sweep_rows: match v.get("sweep_rows") {
+                None => 0,
+                Some(s) => FromValue::from_value(s)?,
+            },
             fast_rows: field(v, "fast_rows")?,
             gather_rows: field(v, "gather_rows")?,
             elapsed_ns: field(v, "elapsed_ns")?,
@@ -281,6 +290,9 @@ pub struct EngineMetrics {
     pub tiles: usize,
     /// Worker threads used.
     pub threads: usize,
+    /// Kernel backend that executed the datapath (`"compiled"` for the
+    /// bytecode row sweep, `"closure"` otherwise).
+    pub backend: String,
     /// Input elements fetched across bands, halo overlap counted per
     /// band.
     pub halo_elements: u64,
@@ -299,6 +311,7 @@ impl ToValue for EngineMetrics {
             ("outputs", self.outputs.to_value()),
             ("tiles", self.tiles.to_value()),
             ("threads", self.threads.to_value()),
+            ("backend", self.backend.to_value()),
             ("halo_elements", self.halo_elements.to_value()),
             ("elapsed_ns", self.elapsed_ns.to_value()),
             ("throughput", self.throughput.to_value()),
@@ -313,6 +326,12 @@ impl FromValue for EngineMetrics {
             outputs: field(v, "outputs")?,
             tiles: field(v, "tiles")?,
             threads: field(v, "threads")?,
+            // Pre-compilation reports carry no `backend` key; every run
+            // back then executed the closure datapath.
+            backend: match v.get("backend") {
+                None => "closure".to_string(),
+                Some(s) => FromValue::from_value(s)?,
+            },
             halo_elements: field(v, "halo_elements")?,
             elapsed_ns: field(v, "elapsed_ns")?,
             throughput: field(v, "throughput")?,
@@ -329,7 +348,7 @@ impl FromValue for EngineMetrics {
 /// maximum reuse distance of history), and the validator checks the
 /// observed high-water mark against that planned bound
 /// ([`crate::validate::BoundCheck::ResidencyBound`]).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamMetrics {
     /// Total outputs produced.
     pub outputs: u64,
@@ -337,6 +356,9 @@ pub struct StreamMetrics {
     pub bands: usize,
     /// Worker threads used per band.
     pub threads: usize,
+    /// Kernel backend that executed the datapath (`"compiled"` for the
+    /// bytecode row sweep, `"closure"` otherwise).
+    pub backend: String,
     /// Requested band height in outermost-dimension rows (0 = the
     /// plan's default one-band-per-off-chip-stream sharding).
     pub chunk_rows: u64,
@@ -351,6 +373,8 @@ pub struct StreamMetrics {
     /// Planned residency bound: max over bands of halo rows x widest
     /// resident row length.
     pub resident_bound: u64,
+    /// Output rows evaluated by the vectorized bytecode row sweep.
+    pub sweep_rows: u64,
     /// Output rows executed on the batched fast path.
     pub fast_rows: u64,
     /// Output rows that fell back to per-point gathers.
@@ -367,12 +391,14 @@ impl ToValue for StreamMetrics {
             ("outputs", self.outputs.to_value()),
             ("bands", self.bands.to_value()),
             ("threads", self.threads.to_value()),
+            ("backend", self.backend.to_value()),
             ("chunk_rows", self.chunk_rows.to_value()),
             ("rows_in", self.rows_in.to_value()),
             ("values_in", self.values_in.to_value()),
             ("rows_out", self.rows_out.to_value()),
             ("peak_resident", self.peak_resident.to_value()),
             ("resident_bound", self.resident_bound.to_value()),
+            ("sweep_rows", self.sweep_rows.to_value()),
             ("fast_rows", self.fast_rows.to_value()),
             ("gather_rows", self.gather_rows.to_value()),
             ("elapsed_ns", self.elapsed_ns.to_value()),
@@ -387,12 +413,22 @@ impl FromValue for StreamMetrics {
             outputs: field(v, "outputs")?,
             bands: field(v, "bands")?,
             threads: field(v, "threads")?,
+            // Absent in pre-compilation reports: closure datapath.
+            backend: match v.get("backend") {
+                None => "closure".to_string(),
+                Some(s) => FromValue::from_value(s)?,
+            },
             chunk_rows: field(v, "chunk_rows")?,
             rows_in: field(v, "rows_in")?,
             values_in: field(v, "values_in")?,
             rows_out: field(v, "rows_out")?,
             peak_resident: field(v, "peak_resident")?,
             resident_bound: field(v, "resident_bound")?,
+            // Absent in pre-compilation reports: zero swept rows.
+            sweep_rows: match v.get("sweep_rows") {
+                None => 0,
+                Some(s) => FromValue::from_value(s)?,
+            },
             fast_rows: field(v, "fast_rows")?,
             gather_rows: field(v, "gather_rows")?,
             elapsed_ns: field(v, "elapsed_ns")?,
@@ -548,6 +584,7 @@ mod tests {
                 outputs: 80,
                 tiles: 2,
                 threads: 2,
+                backend: "compiled".into(),
                 halo_elements: 132,
                 elapsed_ns: 81_532,
                 throughput: 981_208.3,
@@ -555,7 +592,8 @@ mod tests {
                     id: 0,
                     outputs: 40,
                     halo_elements: 66,
-                    fast_rows: 5,
+                    sweep_rows: 5,
+                    fast_rows: 0,
                     gather_rows: 0,
                     elapsed_ns: 40_000,
                 }],
@@ -564,12 +602,14 @@ mod tests {
                 outputs: 80,
                 bands: 4,
                 threads: 2,
+                backend: "closure".into(),
                 chunk_rows: 3,
                 rows_in: 12,
                 values_in: 144,
                 rows_out: 10,
                 peak_resident: 60,
                 resident_bound: 60,
+                sweep_rows: 0,
                 fast_rows: 10,
                 gather_rows: 0,
                 elapsed_ns: 91_004,
@@ -599,6 +639,71 @@ mod tests {
         let back = MetricsReport::parse(&text).unwrap();
         assert_eq!(back.machine, old.machine);
         assert_eq!(back.stream, None);
+    }
+
+    #[test]
+    fn pre_compilation_reports_default_backend_and_sweep_fields() {
+        // Strip the PR 4 additions from a serialized report; parsing
+        // must default them (closure backend, zero swept rows).
+        let mut report = MetricsReport::new("legacy");
+        report.engine = Some(EngineMetrics {
+            outputs: 80,
+            tiles: 1,
+            threads: 1,
+            backend: "compiled".into(),
+            halo_elements: 132,
+            elapsed_ns: 81_532,
+            throughput: 981_208.3,
+            per_tile: vec![TileMetrics {
+                id: 0,
+                outputs: 80,
+                halo_elements: 132,
+                sweep_rows: 5,
+                fast_rows: 0,
+                gather_rows: 0,
+                elapsed_ns: 40_000,
+            }],
+        });
+        report.stream = Some(StreamMetrics {
+            outputs: 80,
+            bands: 4,
+            threads: 2,
+            backend: "compiled".into(),
+            chunk_rows: 3,
+            rows_in: 12,
+            values_in: 144,
+            rows_out: 10,
+            peak_resident: 60,
+            resident_bound: 60,
+            sweep_rows: 10,
+            fast_rows: 0,
+            gather_rows: 0,
+            elapsed_ns: 91_004,
+            throughput: 879_082.5,
+        });
+        fn strip(v: Value) -> Value {
+            match v {
+                Value::Object(fields) => Value::Object(
+                    fields
+                        .into_iter()
+                        .filter(|(k, _)| k != "backend" && k != "sweep_rows")
+                        .map(|(k, v)| (k, strip(v)))
+                        .collect(),
+                ),
+                Value::Array(items) => Value::Array(items.into_iter().map(strip).collect()),
+                other => other,
+            }
+        }
+        let text = strip(report.to_value()).to_json();
+        assert!(!text.contains("backend"), "{text}");
+        let back = MetricsReport::parse(&text).unwrap();
+        let engine = back.engine.unwrap();
+        assert_eq!(engine.backend, "closure");
+        assert_eq!(engine.per_tile[0].sweep_rows, 0);
+        assert_eq!(engine.per_tile[0].fast_rows, 0);
+        let stream = back.stream.unwrap();
+        assert_eq!(stream.backend, "closure");
+        assert_eq!(stream.sweep_rows, 0);
     }
 
     #[test]

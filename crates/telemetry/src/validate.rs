@@ -55,6 +55,9 @@ pub enum BoundCheck {
     /// Streaming engine: peak resident input values stay within the
     /// per-band halo-window bound (Sec. 2.3 reuse window).
     ResidencyBound,
+    /// Sweep-row tallies agree with the reported kernel backend: only
+    /// the `"compiled"` backend may report vectorized sweep rows.
+    BackendConsistent,
     /// No NaN/infinity anywhere in the report.
     Finite,
 }
@@ -70,6 +73,7 @@ impl core::fmt::Display for BoundCheck {
             Self::StreamConservation => "stream-conservation",
             Self::OutputsComplete => "outputs-complete",
             Self::ResidencyBound => "residency-bound (Sec. 2.3)",
+            Self::BackendConsistent => "backend-consistent",
             Self::Finite => "finite",
         };
         f.write_str(name)
@@ -288,6 +292,16 @@ pub fn validate_report(report: &MetricsReport) -> Vec<BoundViolation> {
                 ),
             );
         }
+        // Only the compiled backend owns the vectorized row sweep.
+        let sweep: u64 = e.per_tile.iter().map(|t| t.sweep_rows).sum();
+        if e.backend != "compiled" && sweep > 0 {
+            violation(
+                &mut v,
+                BoundCheck::BackendConsistent,
+                "engine",
+                format!("backend {:?} reports {sweep} swept rows", e.backend),
+            );
+        }
     }
     if let Some(s) = &report.stream {
         // The streaming backend's defining promise: only one band's
@@ -329,6 +343,17 @@ pub fn validate_report(report: &MetricsReport) -> Vec<BoundViolation> {
                 format!(
                     "{} outputs produced but no rows reached the sink",
                     s.outputs
+                ),
+            );
+        }
+        if s.backend != "compiled" && s.sweep_rows > 0 {
+            violation(
+                &mut v,
+                BoundCheck::BackendConsistent,
+                "stream",
+                format!(
+                    "backend {:?} reports {} swept rows",
+                    s.backend, s.sweep_rows
                 ),
             );
         }
@@ -463,6 +488,7 @@ mod tests {
             outputs: 10,
             tiles: 1,
             threads: 1,
+            backend: "closure".into(),
             halo_elements: 12,
             elapsed_ns: 0,
             throughput: f64::INFINITY,
@@ -470,6 +496,7 @@ mod tests {
                 id: 0,
                 outputs: 10,
                 halo_elements: 12,
+                sweep_rows: 0,
                 fast_rows: 2,
                 gather_rows: 0,
                 elapsed_ns: 0,
@@ -482,6 +509,35 @@ mod tests {
     }
 
     #[test]
+    fn closure_backend_reporting_swept_rows_is_flagged() {
+        let mut report = MetricsReport::new("x");
+        report.engine = Some(EngineMetrics {
+            outputs: 10,
+            tiles: 1,
+            threads: 1,
+            backend: "closure".into(),
+            halo_elements: 12,
+            elapsed_ns: 5,
+            throughput: 1.0,
+            per_tile: vec![TileMetrics {
+                id: 0,
+                outputs: 10,
+                halo_elements: 12,
+                sweep_rows: 2,
+                fast_rows: 0,
+                gather_rows: 0,
+                elapsed_ns: 5,
+            }],
+        });
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::BackendConsistent));
+        assert!(v[0].to_string().contains("backend-consistent"), "{}", v[0]);
+        // The same tallies under the compiled backend are legitimate.
+        report.engine.as_mut().unwrap().backend = "compiled".into();
+        assert_eq!(validate_report(&report), Vec::new());
+    }
+
+    #[test]
     fn residency_bound_violation_is_flagged() {
         use crate::schema::StreamMetrics;
         let mut report = MetricsReport::new("x");
@@ -489,18 +545,25 @@ mod tests {
             outputs: 100,
             bands: 5,
             threads: 2,
+            backend: "compiled".into(),
             chunk_rows: 4,
             rows_in: 12,
             values_in: 144,
             rows_out: 10,
             peak_resident: 72,
             resident_bound: 72,
-            fast_rows: 10,
+            sweep_rows: 10,
+            fast_rows: 0,
             gather_rows: 0,
             elapsed_ns: 1000,
             throughput: 1.0,
         });
         assert_eq!(validate_report(&report), Vec::new());
+        // A closure-backend stream claiming swept rows is inconsistent.
+        report.stream.as_mut().unwrap().backend = "closure".into();
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::BackendConsistent));
+        report.stream.as_mut().unwrap().backend = "compiled".into();
         // Exceeding the halo-window bound is the core violation.
         report.stream.as_mut().unwrap().peak_resident = 73;
         let v = validate_report(&report);
@@ -523,6 +586,7 @@ mod tests {
             outputs: 11,
             tiles: 1,
             threads: 1,
+            backend: "closure".into(),
             halo_elements: 12,
             elapsed_ns: 5,
             throughput: 1.0,
@@ -530,6 +594,7 @@ mod tests {
                 id: 0,
                 outputs: 10,
                 halo_elements: 12,
+                sweep_rows: 0,
                 fast_rows: 2,
                 gather_rows: 0,
                 elapsed_ns: 5,

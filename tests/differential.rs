@@ -15,7 +15,8 @@
 
 use stencil_core::MemorySystemPlan;
 use stencil_engine::{
-    run_plan, run_streaming, run_tiled, EngineConfig, InputGrid, SliceSource, StreamConfig, VecSink,
+    run_plan, run_plan_compiled, run_streaming, run_streaming_compiled, run_tiled, CompiledKernel,
+    EngineConfig, InputGrid, KernelBackend, SliceSource, StreamConfig, VecSink,
 };
 use stencil_kernels::{accelerate, paper_suite, run_golden, Benchmark, GridValues};
 use stencil_polyhedral::Polyhedron;
@@ -90,7 +91,7 @@ fn engine_equals_golden_and_machine_on_paper_suite() {
                 &bench,
                 &plan,
                 &grid,
-                &EngineConfig::with_tiles(tiles).threads(tiles.min(4)),
+                &EngineConfig::new().tiles(tiles).threads(tiles.min(4)),
             );
             assert_eq!(
                 engine,
@@ -160,7 +161,7 @@ fn streaming_equals_plan_and_golden_on_paper_suite() {
                 &mut source,
                 &mut sink,
                 &compute,
-                &StreamConfig::with_chunk_rows(chunk).threads(2),
+                &StreamConfig::new().chunk_rows(chunk).threads(2),
             )
             .expect("streaming run");
             assert_eq!(
@@ -179,6 +180,89 @@ fn streaming_equals_plan_and_golden_on_paper_suite() {
             assert_eq!(
                 report.rows_out,
                 spec.iteration_domain().index().unwrap().rows().len() as u64
+            );
+        }
+    }
+}
+
+#[test]
+fn compiled_backend_equals_closure_and_golden_on_paper_suite() {
+    // The compiled row-sweep executor, the scalar bytecode interpreter
+    // (backend forced to `Closure`), and the original closure engine
+    // must all be bit-identical to the golden executor on every paper
+    // benchmark — in-core and through the bounded-memory streaming
+    // path at the three characteristic chunk sizes (one row, one halo
+    // height, the whole grid).
+    for bench in paper_suite() {
+        let extents = small_extents(&bench);
+        let grid = test_grid(&extents);
+        let golden = run_golden(&bench, &extents, &grid).expect("golden");
+        let spec = bench.spec_for(&extents).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+        let kernel = CompiledKernel::for_benchmark(&bench)
+            .expect("compile")
+            .expect("every paper benchmark carries an expression");
+
+        let in_idx = plan.input_domain().index().expect("input index");
+        let in_vals = input_values(&plan, &grid);
+        let input = InputGrid::new(&in_idx, &in_vals).expect("input");
+
+        for tiles in [1usize, 3] {
+            let config = EngineConfig::new().tiles(tiles).threads(2);
+            let closure = engine_outputs(&bench, &plan, &grid, &config);
+            assert_eq!(closure, golden, "closure vs golden: {}", bench.name());
+
+            let swept = run_plan_compiled(&plan, &input, &kernel, &config).expect("compiled run");
+            assert_eq!(
+                swept.outputs,
+                golden,
+                "compiled sweep({tiles} tiles) vs golden: {}",
+                bench.name()
+            );
+
+            let scalar = run_plan_compiled(
+                &plan,
+                &input,
+                &kernel,
+                &config.backend(KernelBackend::Closure),
+            )
+            .expect("scalar run");
+            assert_eq!(
+                scalar.outputs,
+                golden,
+                "scalar bytecode({tiles} tiles) vs golden: {}",
+                bench.name()
+            );
+        }
+
+        let halo_rows = {
+            let lo = bench.window().iter().map(|f| f[0]).min().unwrap();
+            let hi = bench.window().iter().map(|f| f[0]).max().unwrap();
+            (hi - lo + 1) as u64
+        };
+        for chunk in [1u64, halo_rows, extents[0] as u64] {
+            let mut source = SliceSource::new(&in_vals);
+            let mut sink = VecSink::new();
+            let report = run_streaming_compiled(
+                &plan,
+                &mut source,
+                &mut sink,
+                &kernel,
+                &StreamConfig::new().chunk_rows(chunk).threads(2),
+            )
+            .expect("compiled streaming run");
+            assert_eq!(
+                sink.values,
+                golden,
+                "compiled streaming(chunk={chunk}) vs golden: {}",
+                bench.name()
+            );
+            assert!(
+                report.within_residency_bound(),
+                "{} chunk={chunk}: peak {} > bound {}",
+                bench.name(),
+                report.peak_resident,
+                report.resident_bound
             );
         }
     }
@@ -251,7 +335,7 @@ fn skewed_grid_stays_exact_and_batched() {
     }
 
     for tiles in [1usize, 3, 4] {
-        let run = run_plan(&plan, &input, &compute, &EngineConfig::with_tiles(tiles))
+        let run = run_plan(&plan, &input, &compute, &EngineConfig::new().tiles(tiles))
             .expect("engine run");
         assert_eq!(run.outputs, expect, "skewed engine({tiles} tiles)");
         let gathers: u64 = run.report.per_tile.iter().map(|t| t.gather_rows).sum();

@@ -115,7 +115,7 @@ fn combined_machine_and_engine_report_validates() {
     let in_vals: Vec<f64> = (0..in_idx.len()).map(|r| r as f64 * 0.5).collect();
     let input = InputGrid::new(&in_idx, &in_vals).unwrap();
     let compute = stencil_kernels::default_compute();
-    let run = run_plan(&plan, &input, &compute, &EngineConfig::with_tiles(3)).unwrap();
+    let run = run_plan(&plan, &input, &compute, &EngineConfig::new().tiles(3)).unwrap();
 
     let mut report = MetricsReport::new(spec.name());
     report.machine = Some(machine.metrics());
