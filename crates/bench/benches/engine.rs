@@ -8,8 +8,7 @@ use std::hint::black_box;
 
 use stencil_core::MemorySystemPlan;
 use stencil_engine::{
-    run_plan_compiled, run_streaming, run_streaming_compiled, run_tiled, CompiledKernel,
-    EngineConfig, InputGrid, SliceSource, StreamConfig, VecSink,
+    CompiledKernel, ExecMode, InputGrid, Session, SessionKernel, SliceSource, VecSink,
 };
 use stencil_kernels::{denoise, GridValues};
 use stencil_polyhedral::Polyhedron;
@@ -53,7 +52,11 @@ fn bench_engine(c: &mut Criterion) {
         let tile_plan = plan.tile_plan(threads).expect("tile plan");
         g.bench_function(format!("engine_{threads}thread"), |b| {
             b.iter(|| {
-                let run = run_tiled(black_box(&plan), &tile_plan, &input, &compute, threads)
+                let run = Session::new(black_box(&plan))
+                    .kernel(SessionKernel::Closure(&compute))
+                    .tile_plan(&tile_plan)
+                    .threads(threads)
+                    .run(&input)
                     .expect("engine");
                 black_box(run.outputs.len())
             })
@@ -66,10 +69,13 @@ fn bench_engine(c: &mut Criterion) {
         .expect("compile")
         .expect("DENOISE carries an expression");
     for threads in [1usize, 4] {
-        let config = EngineConfig::new().tiles(threads).threads(threads);
         g.bench_function(format!("compiled_{threads}thread"), |b| {
             b.iter(|| {
-                let run = run_plan_compiled(black_box(&plan), &input, &kernel, &config)
+                let run = Session::new(black_box(&plan))
+                    .kernel(SessionKernel::Compiled(&kernel))
+                    .mode(ExecMode::Tiled { tiles: threads })
+                    .threads(threads)
+                    .run(&input)
                     .expect("compiled engine");
                 black_box(run.outputs.len())
             })
@@ -84,14 +90,14 @@ fn bench_engine(c: &mut Criterion) {
             b.iter(|| {
                 let mut source = SliceSource::new(black_box(&in_vals));
                 let mut sink = VecSink::new();
-                let report = run_streaming(
-                    &plan,
-                    &mut source,
-                    &mut sink,
-                    &compute,
-                    &StreamConfig::new().chunk_rows(chunk).threads(4),
-                )
-                .expect("streaming");
+                let report = Session::new(&plan)
+                    .kernel(SessionKernel::Closure(&compute))
+                    .mode(ExecMode::Streaming {
+                        chunk_rows: Some(chunk),
+                    })
+                    .threads(4)
+                    .run_streaming(&mut source, &mut sink)
+                    .expect("streaming");
                 black_box((sink.values.len(), report.peak_resident))
             })
         });
@@ -102,14 +108,35 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| {
             let mut source = SliceSource::new(black_box(&in_vals));
             let mut sink = VecSink::new();
-            let report = run_streaming_compiled(
-                &plan,
-                &mut source,
-                &mut sink,
-                &kernel,
-                &StreamConfig::new().chunk_rows(64).threads(4),
-            )
-            .expect("compiled streaming");
+            let report = Session::new(&plan)
+                .kernel(SessionKernel::Compiled(&kernel))
+                .mode(ExecMode::Streaming {
+                    chunk_rows: Some(64),
+                })
+                .threads(4)
+                .run_streaming(&mut source, &mut sink)
+                .expect("compiled streaming");
+            black_box((sink.values.len(), report.peak_resident))
+        })
+    });
+
+    // Temporal chaining: two DENOISE stages through the bounded
+    // halo-window hand-off, versus materializing the intermediate grid.
+    let stage2 = bench.stage();
+    g.bench_function("chained_2stage_streaming_chunk64_4thread", |b| {
+        b.iter(|| {
+            let mut source = SliceSource::new(black_box(&in_vals));
+            let mut sink = VecSink::new();
+            let report = Session::new(&plan)
+                .kernel(SessionKernel::Closure(&compute))
+                .then(&stage2)
+                .expect("chain")
+                .mode(ExecMode::Streaming {
+                    chunk_rows: Some(64),
+                })
+                .threads(4)
+                .run_streaming(&mut source, &mut sink)
+                .expect("chained streaming");
             black_box((sink.values.len(), report.peak_resident))
         })
     });

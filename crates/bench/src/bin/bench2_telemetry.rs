@@ -15,7 +15,7 @@ use std::process::ExitCode;
 
 use stencil_bench::scaled_extents;
 use stencil_core::MemorySystemPlan;
-use stencil_engine::{run_plan, EngineConfig, InputGrid};
+use stencil_engine::{InputGrid, Session, SessionKernel};
 use stencil_kernels::denoise;
 use stencil_sim::Machine;
 use stencil_telemetry::{validate_report, MetricsReport};
@@ -80,10 +80,16 @@ fn build_report() -> Result<MetricsReport, Box<dyn std::error::Error>> {
         .collect();
     let input = InputGrid::new(&in_idx, &in_vals)?;
     let compute = stencil_kernels::default_compute();
-    let run = run_plan(&plan, &input, &compute, &EngineConfig::default())?;
+    let run = Session::new(&plan)
+        .kernel(SessionKernel::Closure(&compute))
+        .run(&input)?;
+    let engine = run.report.stages[0]
+        .engine
+        .clone()
+        .ok_or("session produced no in-core stage report")?;
 
     let mut report = MetricsReport::new(spec.name());
     report.machine = Some(machine.metrics());
-    report.engine = Some(run.report.metrics());
+    report.engine = Some(engine.metrics());
     Ok(report)
 }

@@ -14,9 +14,7 @@ use std::process::ExitCode;
 
 use stencil_bench::scaled_extents;
 use stencil_core::MemorySystemPlan;
-use stencil_engine::{
-    run_plan, run_streaming, EngineConfig, InputGrid, SliceSource, StreamConfig, VecSink,
-};
+use stencil_engine::{ExecMode, InputGrid, Session, SessionKernel, SliceSource, VecSink};
 use stencil_kernels::denoise;
 use stencil_telemetry::{validate_report, MetricsReport};
 
@@ -88,23 +86,33 @@ fn build_report() -> Result<MetricsReport, Box<dyn std::error::Error>> {
         .collect();
     let input = InputGrid::new(&in_idx, &in_vals)?;
     let compute = stencil_kernels::default_compute();
-    let run = run_plan(&plan, &input, &compute, &EngineConfig::default())?;
+    let run = Session::new(&plan)
+        .kernel(SessionKernel::Closure(&compute))
+        .run(&input)?;
+    let engine = run.report.stages[0]
+        .engine
+        .clone()
+        .ok_or("session produced no in-core stage report")?;
 
     let mut source = SliceSource::new(&in_vals);
     let mut sink = VecSink::new();
-    let streamed = run_streaming(
-        &plan,
-        &mut source,
-        &mut sink,
-        &compute,
-        &StreamConfig::new().chunk_rows(64).threads(4),
-    )?;
+    let streamed = Session::new(&plan)
+        .kernel(SessionKernel::Closure(&compute))
+        .mode(ExecMode::Streaming {
+            chunk_rows: Some(64),
+        })
+        .threads(4)
+        .run_streaming(&mut source, &mut sink)?;
     if sink.values != run.outputs {
         return Err("streaming outputs diverged from the in-core engine".into());
     }
+    let streamed = streamed.stages[0]
+        .stream
+        .clone()
+        .ok_or("session produced no streaming stage report")?;
 
     let mut report = MetricsReport::new(spec.name());
-    report.engine = Some(run.report.metrics());
+    report.engine = Some(engine.metrics());
     report.stream = Some(streamed.metrics());
     Ok(report)
 }

@@ -19,8 +19,7 @@ use std::process::ExitCode;
 
 use stencil_core::MemorySystemPlan;
 use stencil_engine::{
-    run_plan, run_plan_compiled, run_streaming, run_streaming_compiled, CompiledKernel,
-    EngineConfig, InputGrid, SliceSource, StreamConfig, VecSink,
+    CompiledKernel, ExecMode, InputGrid, Session, SessionKernel, SliceSource, VecSink,
 };
 use stencil_kernels::{extra_suite, paper_suite, Benchmark};
 use stencil_telemetry::{validate_report, MetricsReport};
@@ -147,8 +146,9 @@ fn measure(bench: &Benchmark) -> Result<Measurements, Box<dyn std::error::Error>
     let kernel = CompiledKernel::for_benchmark(bench)?
         .ok_or_else(|| format!("{} carries no expression", bench.name()))?;
 
-    let config = EngineConfig::new();
-    let stream_config = StreamConfig::new().chunk_rows(64).threads(4);
+    let stream_mode = ExecMode::Streaming {
+        chunk_rows: Some(64),
+    };
 
     let mut violations = 0usize;
     let mut validate = |report: &MetricsReport| {
@@ -163,10 +163,16 @@ fn measure(bench: &Benchmark) -> Result<Measurements, Box<dyn std::error::Error>
     let mut reference: Option<Vec<f64>> = None;
     let mut incore_closure = 0.0f64;
     for _ in 0..RUNS {
-        let run = run_plan(&plan, &input, &compute, &config)?;
-        incore_closure = incore_closure.max(run.report.throughput());
+        let run = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .run(&input)?;
+        let engine = run.report.stages[0]
+            .engine
+            .clone()
+            .ok_or("session produced no in-core stage report")?;
+        incore_closure = incore_closure.max(engine.throughput());
         let mut report = MetricsReport::new(spec.name());
-        report.engine = Some(run.report.metrics());
+        report.engine = Some(engine.metrics());
         validate(&report);
         reference = Some(run.outputs);
     }
@@ -176,10 +182,16 @@ fn measure(bench: &Benchmark) -> Result<Measurements, Box<dyn std::error::Error>
     // In-core, compiled row sweep.
     let mut incore_compiled = 0.0f64;
     for _ in 0..RUNS {
-        let run = run_plan_compiled(&plan, &input, &kernel, &config)?;
-        incore_compiled = incore_compiled.max(run.report.throughput());
+        let run = Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .run(&input)?;
+        let engine = run.report.stages[0]
+            .engine
+            .clone()
+            .ok_or("session produced no in-core stage report")?;
+        incore_compiled = incore_compiled.max(engine.throughput());
         let mut report = MetricsReport::new(spec.name());
-        report.engine = Some(run.report.metrics());
+        report.engine = Some(engine.metrics());
         validate(&report);
         if run.outputs != reference {
             return Err("compiled in-core outputs diverge from the closure run".into());
@@ -191,7 +203,15 @@ fn measure(bench: &Benchmark) -> Result<Measurements, Box<dyn std::error::Error>
     for _ in 0..RUNS {
         let mut source = SliceSource::new(&in_vals);
         let mut sink = VecSink::new();
-        let streamed = run_streaming(&plan, &mut source, &mut sink, &compute, &stream_config)?;
+        let session = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .mode(stream_mode)
+            .threads(4)
+            .run_streaming(&mut source, &mut sink)?;
+        let streamed = session.stages[0]
+            .stream
+            .clone()
+            .ok_or("session produced no streaming stage report")?;
         streaming_closure = streaming_closure.max(streamed.throughput());
         let mut report = MetricsReport::new(spec.name());
         report.stream = Some(streamed.metrics());
@@ -206,8 +226,15 @@ fn measure(bench: &Benchmark) -> Result<Measurements, Box<dyn std::error::Error>
     for _ in 0..RUNS {
         let mut source = SliceSource::new(&in_vals);
         let mut sink = VecSink::new();
-        let streamed =
-            run_streaming_compiled(&plan, &mut source, &mut sink, &kernel, &stream_config)?;
+        let session = Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .mode(stream_mode)
+            .threads(4)
+            .run_streaming(&mut source, &mut sink)?;
+        let streamed = session.stages[0]
+            .stream
+            .clone()
+            .ok_or("session produced no streaming stage report")?;
         streaming_compiled = streaming_compiled.max(streamed.throughput());
         let mut report = MetricsReport::new(spec.name());
         report.stream = Some(streamed.metrics());

@@ -7,11 +7,11 @@ use stencil_core::{
     verify_plan, MappingPolicy, MemorySystemPlan, ModuloSchedulePlan, ReuseAnalysis, StencilSpec,
 };
 use stencil_engine::{
-    run_plan, run_plan_compiled, run_streaming, run_streaming_compiled, CompiledKernel,
-    EngineConfig, InputGrid, KernelBackend, SliceSource, StreamConfig, VecSink,
+    CompiledKernel, ExecMode, InputGrid, KernelBackend, Session, SessionKernel, SliceSource,
+    VecSink,
 };
 use stencil_fpga::{estimate_nonuniform, estimate_uniform};
-use stencil_kernels::{KernelExpr, KernelOps};
+use stencil_kernels::{KernelExpr, KernelOps, KernelStage};
 use stencil_sim::{trace_to_vcd, Machine};
 use stencil_telemetry::{validate_report, MetricsReport};
 use stencil_uniform::{best_uniform, multidim_cyclic, survey, unpartitioned};
@@ -107,14 +107,16 @@ fn append_bound_checks(out: &mut String, report: &MetricsReport) -> usize {
     violations.len()
 }
 
-/// `stencil engine`: execute the kernel with the parallel tiled
-/// software engine on a deterministic input grid, cross-check the
-/// result against a direct nested-loop evaluation, and report
-/// throughput per band. With `streaming`, additionally run the
-/// bounded-memory streaming path (band height `chunk_rows`) and verify
-/// it bit-exact against the in-core run. The second result element is
-/// the telemetry report as JSON (for `--metrics-out`); the third is
-/// the validator's violation count, which drives the exit code.
+/// `stencil engine`: execute the kernel through the unified [`Session`]
+/// layer on a deterministic input grid, cross-check the result against
+/// a direct nested-loop evaluation, and report throughput per band.
+/// With `streaming`, additionally run the bounded-memory streaming mode
+/// (band height `chunk_rows`) and verify it bit-exact against the
+/// in-core run. With `chain`, append one temporally chained stage per
+/// name and verify the pipeline against running the stages
+/// sequentially. The second result element is the telemetry report as
+/// JSON (for `--metrics-out`); the third is the validator's violation
+/// count, which drives the exit code.
 ///
 /// The datapath is the spec-file fallback (plain window sum), since a
 /// spec file carries window geometry but no arithmetic. With
@@ -138,6 +140,7 @@ pub fn cmd_engine(
     chunk_rows: Option<u64>,
     backend: KernelBackend,
     crosscheck: bool,
+    chain: &[String],
 ) -> Result<(String, String, usize), CmdError> {
     let plan = MemorySystemPlan::generate(spec)?.with_offchip_streams(streams)?;
     let in_idx = plan.input_domain().index()?;
@@ -163,14 +166,24 @@ pub fn cmd_engine(
         &compute,
     )?;
 
-    let mut config = EngineConfig::new().threads(threads).backend(backend);
-    if let Some(n) = tiles {
-        config = config.tiles(n);
-    }
-    let run = match backend {
-        KernelBackend::Compiled => run_plan_compiled(&plan, &input, &kernel, &config)?,
-        KernelBackend::Closure => run_plan(&plan, &input, &compute, &config)?,
+    let mode = match tiles {
+        None => ExecMode::InCore,
+        Some(n) => ExecMode::Tiled { tiles: n },
     };
+    let session_kernel = match backend {
+        KernelBackend::Compiled => SessionKernel::Compiled(&kernel),
+        KernelBackend::Closure => SessionKernel::Closure(&compute),
+    };
+    let run = Session::new(&plan)
+        .kernel(session_kernel)
+        .backend(backend)
+        .mode(mode)
+        .threads(threads)
+        .run(&input)?;
+    let engine_report = run.report.stages[0]
+        .engine
+        .clone()
+        .ok_or("session produced no in-core stage report")?;
 
     // Cross-check against a direct nested loop in declared offset order.
     let iter_idx = spec.iteration_domain().index()?;
@@ -196,26 +209,28 @@ pub fn cmd_engine(
     }
 
     let mut out = String::new();
-    let _ = write!(out, "{}", run.report);
+    let _ = write!(out, "{engine_report}");
     let _ = writeln!(
         out,
         "fetch overhead vs single band: {:.3}x",
-        run.report.fetch_overhead(in_idx.len())
+        engine_report.fetch_overhead(in_idx.len())
     );
     let _ = writeln!(out, "verified against direct loop: {rank} outputs match");
     let mut report = MetricsReport::new(spec.name());
-    report.engine = Some(run.report.metrics());
+    report.engine = Some(engine_report.metrics());
 
     if crosscheck {
         // Run the *other* backend over the same plan and demand
         // bit-identical outputs.
-        let other = match backend {
-            KernelBackend::Compiled => run_plan(&plan, &input, &compute, &config)?,
-            KernelBackend::Closure => {
-                let cc = config.backend(KernelBackend::Compiled);
-                run_plan_compiled(&plan, &input, &kernel, &cc)?
-            }
+        let other_kernel = match backend {
+            KernelBackend::Compiled => SessionKernel::Closure(&compute),
+            KernelBackend::Closure => SessionKernel::Compiled(&kernel),
         };
+        let other = Session::new(&plan)
+            .kernel(other_kernel)
+            .mode(mode)
+            .threads(threads)
+            .run(&input)?;
         if other.outputs != run.outputs {
             return Err("cross-check failed: compiled and closure backends diverge".into());
         }
@@ -229,32 +244,140 @@ pub fn cmd_engine(
     if streaming {
         let mut source = SliceSource::new(&in_vals);
         let mut sink = VecSink::new();
-        let mut stream_config = StreamConfig::new().threads(threads).backend(backend);
-        if let Some(n) = chunk_rows {
-            stream_config = stream_config.chunk_rows(n);
-        }
-        let stream = match backend {
-            KernelBackend::Compiled => {
-                run_streaming_compiled(&plan, &mut source, &mut sink, &kernel, &stream_config)?
-            }
-            KernelBackend::Closure => {
-                run_streaming(&plan, &mut source, &mut sink, &compute, &stream_config)?
-            }
-        };
+        let stream = Session::new(&plan)
+            .kernel(session_kernel)
+            .backend(backend)
+            .mode(ExecMode::Streaming { chunk_rows })
+            .threads(threads)
+            .run_streaming(&mut source, &mut sink)?;
         if sink.values != run.outputs {
             return Err("streaming run diverged from the in-core run".into());
         }
-        let _ = write!(out, "{stream}");
+        let stream_report = stream.stages[0]
+            .stream
+            .clone()
+            .ok_or("session produced no streaming stage report")?;
+        let _ = write!(out, "{stream_report}");
         let _ = writeln!(
             out,
             "verified streaming against in-core: {} outputs match",
             sink.values.len()
         );
-        report.stream = Some(stream.metrics());
+        report.stream = Some(stream_report.metrics());
+    }
+
+    if !chain.is_empty() {
+        let (chain_out, session_metrics) = run_chain(
+            &plan,
+            &input,
+            spec,
+            session_kernel,
+            backend,
+            threads,
+            streaming,
+            chunk_rows,
+            chain,
+        )?;
+        out.push_str(&chain_out);
+        report.session = Some(session_metrics);
     }
 
     let violations = append_bound_checks(&mut out, &report);
     Ok((out, report.to_json(), violations))
+}
+
+/// Runs the temporally chained pipeline for `cmd_engine`: one stage per
+/// name in `chain` appended after the spec's kernel, executed through
+/// [`Session::then`] in the requested mode, and verified bit-exact
+/// against running the stages sequentially with a materialized
+/// intermediate grid between each pair.
+#[allow(clippy::too_many_arguments)]
+fn run_chain(
+    plan: &MemorySystemPlan,
+    input: &InputGrid<'_>,
+    spec: &StencilSpec,
+    session_kernel: SessionKernel<'_>,
+    backend: KernelBackend,
+    threads: usize,
+    streaming: bool,
+    chunk_rows: Option<u64>,
+    chain: &[String],
+) -> Result<(String, stencil_telemetry::SessionMetrics), CmdError> {
+    let compute = stencil_kernels::default_compute();
+    // Every chained stage reuses the spec's window and the spec-file
+    // window-sum datapath; compiled backends get the expression form so
+    // chained stages sweep too.
+    let stages: Vec<KernelStage> = chain
+        .iter()
+        .map(|name| {
+            let stage = KernelStage::new(name.clone(), spec.offsets().to_vec(), compute);
+            match backend {
+                KernelBackend::Compiled => {
+                    stage.with_expr(KernelExpr::window_sum(spec.window_size()))
+                }
+                KernelBackend::Closure => stage,
+            }
+        })
+        .collect();
+
+    let mode = if streaming {
+        ExecMode::Streaming { chunk_rows }
+    } else {
+        ExecMode::InCore
+    };
+    let mut session = Session::new(plan)
+        .kernel(session_kernel)
+        .backend(backend)
+        .mode(mode)
+        .threads(threads);
+    for stage in &stages {
+        session = session.then(stage)?;
+    }
+    let planned_bound = session.planned_residency_bound(chunk_rows)?;
+    let run = session.run(input)?;
+
+    // Sequential reference: fold the grid through one single-stage
+    // session per chained kernel, materializing every intermediate.
+    let mut cur_plan = plan.clone();
+    let mut cur = Session::new(plan)
+        .kernel(session_kernel)
+        .backend(backend)
+        .run(input)?
+        .outputs;
+    for stage in &stages {
+        let next = cur_plan.chain_next(stage.name(), stage.window())?;
+        let idx = next.input_domain().index()?;
+        let grid = InputGrid::new(&idx, &cur)?;
+        cur = Session::new(&next)
+            .kernel(SessionKernel::Closure(&compute))
+            .run(&grid)?
+            .outputs;
+        cur_plan = next;
+    }
+    if run.outputs != cur {
+        return Err("chained pipeline diverged from sequential stage execution".into());
+    }
+
+    let mut out = String::new();
+    let _ = write!(out, "{}", run.report);
+    let _ = writeln!(
+        out,
+        "chained residency: peak {} values, planned bound {}",
+        run.report.peak_resident, planned_bound
+    );
+    let _ = writeln!(
+        out,
+        "verified chained pipeline against sequential stages: {} outputs match",
+        run.outputs.len()
+    );
+    if run.report.peak_resident > planned_bound {
+        return Err(format!(
+            "chained peak residency {} exceeds the planned bound {planned_bound}",
+            run.report.peak_resident
+        )
+        .into());
+    }
+    Ok((out, run.report.metrics()))
 }
 
 /// `stencil rtl`: generate the Verilog bundle.
@@ -524,6 +647,7 @@ mod tests {
             None,
             KernelBackend::Compiled,
             false,
+            &[],
         )
         .unwrap();
         assert!(out.contains("3 band(s)"), "{out}");
@@ -549,6 +673,7 @@ mod tests {
             None,
             KernelBackend::Compiled,
             false,
+            &[],
         )
         .unwrap();
         assert!(out.contains("4 band(s)"), "{out}");
@@ -565,6 +690,7 @@ mod tests {
             None,
             KernelBackend::Closure,
             true,
+            &[],
         )
         .unwrap();
         assert!(out.contains("[closure kernel]"), "{out}");
@@ -588,6 +714,7 @@ mod tests {
             Some(4),
             KernelBackend::Compiled,
             true,
+            &[],
         )
         .unwrap();
         assert!(out.contains("streaming run:"), "{out}");
@@ -602,6 +729,87 @@ mod tests {
         assert!(stream.sweep_rows > 0);
         assert!(stream.peak_resident <= stream.resident_bound);
         assert_eq!(stream.outputs, 62 * 94);
+        assert_eq!(validate_report(&report), Vec::new());
+    }
+
+    #[test]
+    fn engine_chain_flag_runs_and_verifies_the_pipeline() {
+        // In-core chained run: session report plus sequential check.
+        let (out, metrics, violations) = cmd_engine(
+            &denoise_spec(),
+            1,
+            None,
+            1,
+            false,
+            None,
+            KernelBackend::Compiled,
+            false,
+            &["s2".into()],
+        )
+        .unwrap();
+        assert!(out.contains("session [incore]: 2 stage(s)"), "{out}");
+        assert!(
+            out.contains("verified chained pipeline against sequential stages"),
+            "{out}"
+        );
+        assert!(out.contains("runtime bound checks: all passed"), "{out}");
+        assert_eq!(violations, 0);
+        let report = MetricsReport::parse(&metrics).unwrap();
+        let session = report.session.as_ref().unwrap();
+        assert_eq!(session.mode, "incore");
+        assert_eq!(session.stages.len(), 2);
+        assert_eq!(session.stages[1].label, "s2");
+        // 64x96 grid -> 62x94 after stage 1 -> 60x92 after stage 2.
+        assert_eq!(session.outputs, 60 * 92);
+        assert_eq!(validate_report(&report), Vec::new());
+
+        // Streaming chained run keeps only the coupled halo windows
+        // resident — far below the 62x94 intermediate grid.
+        let (out, metrics, violations) = cmd_engine(
+            &denoise_spec(),
+            1,
+            None,
+            1,
+            true,
+            Some(1),
+            KernelBackend::Compiled,
+            false,
+            &["s2".into()],
+        )
+        .unwrap();
+        assert!(out.contains("session [streaming]: 2 stage(s)"), "{out}");
+        assert!(out.contains("chained residency: peak"), "{out}");
+        assert_eq!(violations, 0);
+        let report = MetricsReport::parse(&metrics).unwrap();
+        let session = report.session.as_ref().unwrap();
+        assert_eq!(session.mode, "streaming");
+        assert_eq!(session.outputs, 60 * 92);
+        assert_eq!(session.peak_resident, 3 * 96 + 3 * 94);
+        assert!(session.peak_resident < 62 * 94);
+        assert!(session.stages.iter().all(|s| s.stream.is_some()));
+        assert_eq!(validate_report(&report), Vec::new());
+    }
+
+    #[test]
+    fn engine_chain_depth_three_composes() {
+        let (out, metrics, violations) = cmd_engine(
+            &denoise_spec(),
+            1,
+            None,
+            1,
+            true,
+            Some(2),
+            KernelBackend::Closure,
+            false,
+            &["s2".into(), "s3".into()],
+        )
+        .unwrap();
+        assert!(out.contains("session [streaming]: 3 stage(s)"), "{out}");
+        assert_eq!(violations, 0);
+        let report = MetricsReport::parse(&metrics).unwrap();
+        let session = report.session.as_ref().unwrap();
+        assert_eq!(session.stages.len(), 3);
+        assert_eq!(session.outputs, 58 * 90);
         assert_eq!(validate_report(&report), Vec::new());
     }
 

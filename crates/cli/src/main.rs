@@ -7,7 +7,8 @@
 //!                                 [--vcd OUT.vcd [--cycles N]]
 //! stencil engine   <spec.stencil> [--streams K] [--tiles N] [--threads T]
 //!                                 [--kernel compiled|closure] [--crosscheck]
-//!                                 [--streaming [--chunk-rows N]] [--metrics-out M.json]
+//!                                 [--streaming [--chunk-rows N]] [--chain s2,s3,...]
+//!                                 [--metrics-out M.json]
 //! stencil rtl      <spec.stencil> [--out DIR]     generate Verilog
 //! stencil compare  <spec.stencil>                 vs best uniform partitioning
 //! stencil report   <spec.stencil>                 full markdown design report
@@ -29,7 +30,8 @@ fn usage() -> &'static str {
      [--streams K] [--metrics-out M.json] [--vcd OUT.vcd [--cycles N]]\n  \
      stencil engine   <spec.stencil> [--streams K] [--tiles N] [--threads T] \
      [--kernel compiled|closure] [--crosscheck] \
-     [--streaming [--chunk-rows N]] [--metrics-out M.json]\n  stencil rtl      <spec.stencil> \
+     [--streaming [--chunk-rows N]] [--chain s2,s3,...] [--metrics-out M.json]\n  \
+     stencil rtl      <spec.stencil> \
      [--out DIR]\n  stencil compare  <spec.stencil>\n  stencil report   <spec.stencil>\n\
      \nsimulate/engine exit non-zero when the runtime bound validator reports\n\
      violations; pass --no-fail-on-violation to report them but exit 0."
@@ -99,6 +101,7 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
     let mut chunk_rows: Option<u64> = None;
     let mut backend = stencil_engine::KernelBackend::default();
     let mut crosscheck = false;
+    let mut chain: Vec<String> = Vec::new();
     let mut fail_on_violation = true;
     while let Some(opt) = it.next() {
         match opt.as_str() {
@@ -146,6 +149,20 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
                     .parse()?;
             }
             "--crosscheck" => crosscheck = true,
+            "--chain" => {
+                let names = it
+                    .next()
+                    .ok_or("--chain needs comma-separated stage names")?;
+                chain = names
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                if chain.is_empty() {
+                    return Err("--chain needs comma-separated stage names".into());
+                }
+            }
             "--chunk-rows" => {
                 chunk_rows = Some(
                     it.next()
@@ -179,7 +196,7 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
         }
         "engine" => {
             let (mut out, metrics, violations) = cmd_engine(
-                &spec, streams, tiles, threads, streaming, chunk_rows, backend, crosscheck,
+                &spec, streams, tiles, threads, streaming, chunk_rows, backend, crosscheck, &chain,
             )?;
             if let Some(path) = &metrics_out {
                 out.push_str(&write_metrics(path, &metrics)?);
@@ -322,6 +339,50 @@ mod tests {
             out.text
         );
         assert_eq!(out.violations, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_chain_flag_runs_a_pipeline() {
+        let dir = std::env::temp_dir().join("stencil_cli_chain_test");
+        fs::create_dir_all(&dir).unwrap();
+        let spec = write_spec(&dir);
+        let out = run(vec![
+            "engine".into(),
+            spec.display().to_string(),
+            "--streaming".into(),
+            "--chunk-rows".into(),
+            "1".into(),
+            "--chain".into(),
+            "s2,s3".into(),
+        ])
+        .unwrap();
+        assert!(
+            out.text.contains("session [streaming]: 3 stage(s)"),
+            "{}",
+            out.text
+        );
+        assert!(
+            out.text
+                .contains("verified chained pipeline against sequential stages"),
+            "{}",
+            out.text
+        );
+        assert_eq!(out.violations, 0);
+        // A bare --chain with no names is an argument error.
+        assert!(run(vec![
+            "engine".into(),
+            spec.display().to_string(),
+            "--chain".into(),
+        ])
+        .is_err());
+        assert!(run(vec![
+            "engine".into(),
+            spec.display().to_string(),
+            "--chain".into(),
+            ",".into(),
+        ])
+        .is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -248,6 +248,67 @@ impl MemorySystemPlan {
         1
     }
 
+    /// Plans the follow-on stage of a temporal chain: a stencil with
+    /// window `offsets` whose input array is *this* plan's output grid.
+    ///
+    /// The chained stage can only fire where every tap lands on an
+    /// upstream output, so its iteration domain is this plan's
+    /// iteration domain eroded by the new window
+    /// ([`Polyhedron::eroded`]). For the convex domains the analysis
+    /// accepts, the generated stage's input domain (the dilation of the
+    /// erosion) recovers exactly the upstream iteration domain — the
+    /// invariant [`MemorySystemPlan::chains_from`] verifies and the
+    /// band-by-band streaming handoff relies on. Element width is
+    /// inherited.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] when the eroded domain is empty (the
+    /// window consumes the whole upstream output) or analysis fails.
+    pub fn chain_next(
+        &self,
+        name: impl Into<String>,
+        offsets: &[Point],
+    ) -> Result<Self, crate::PlanError> {
+        let spec = crate::spec::StencilSpec::with_element_bits(
+            name,
+            self.iteration_domain().eroded(offsets),
+            offsets.to_vec(),
+            self.element_bits(),
+        )?
+        .with_array_name(self.array());
+        Self::generate(&spec)
+    }
+
+    /// True if this plan's input domain covers exactly `upstream`'s
+    /// iteration domain, row for row — i.e. `upstream`'s output stream
+    /// can feed this plan's input stream directly, with no gaps and no
+    /// unused rows. This is the structural precondition for temporal
+    /// chaining: stage *i*'s produced rows are pulled verbatim as stage
+    /// *i+1*'s input rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates indexing failures as [`PlanError`].
+    pub fn chains_from(&self, upstream: &Self) -> Result<bool, crate::PlanError> {
+        let need = self
+            .input_domain()
+            .index()
+            .map_err(crate::PlanError::from)?;
+        let have = upstream
+            .iteration_domain()
+            .index()
+            .map_err(crate::PlanError::from)?;
+        if need.dims() != have.dims() || need.len() != have.len() {
+            return Ok(false);
+        }
+        Ok(need
+            .rows()
+            .iter()
+            .zip(have.rows())
+            .all(|(n, h)| n.prefix == h.prefix && n.lo == h.lo && n.hi == h.hi))
+    }
+
     pub(crate) fn feeds_mut(&mut self) -> &mut Vec<Feed> {
         &mut self.feeds
     }
@@ -341,6 +402,45 @@ mod tests {
                 StorageKind::BlockRam,
             ]
         );
+    }
+
+    #[test]
+    fn chain_next_erodes_and_chains_exactly() {
+        let p = denoise_plan();
+        let window: Vec<Point> = p.filters().iter().map(|f| f.offset).collect();
+        let next = p.chain_next("denoise2", &window).unwrap();
+        // Stage 2 fires one ring further in: [2, 765] x [2, 1021].
+        assert!(next.iteration_domain().contains(&Point::new(&[2, 2])));
+        assert!(!next.iteration_domain().contains(&Point::new(&[1, 500])));
+        assert!(!next.iteration_domain().contains(&Point::new(&[766, 500])));
+        // Its input domain recovers stage 1's iteration domain exactly,
+        // so stage 1's output rows feed stage 2 verbatim.
+        assert!(next.chains_from(&p).unwrap());
+        assert!(!p.chains_from(&next).unwrap());
+        assert_eq!(next.element_bits(), p.element_bits());
+        assert_eq!(next.array(), p.array());
+        // Depth 3 keeps composing.
+        let third = next.chain_next("denoise3", &window).unwrap();
+        assert!(third.chains_from(&next).unwrap());
+        assert!(!third.chains_from(&p).unwrap());
+    }
+
+    #[test]
+    fn chain_next_rejects_windows_that_consume_the_grid() {
+        let spec = StencilSpec::new(
+            "tiny",
+            Polyhedron::rect(&[(0, 1), (0, 5)]),
+            vec![
+                Point::new(&[-1, 0]),
+                Point::new(&[0, 0]),
+                Point::new(&[1, 0]),
+            ],
+        )
+        .unwrap();
+        let p = MemorySystemPlan::generate(&spec).unwrap();
+        let window: Vec<Point> = p.filters().iter().map(|f| f.offset).collect();
+        // Eroding a 2-row domain by a 3-row window leaves nothing.
+        assert!(p.chain_next("gone", &window).is_err());
     }
 
     #[test]

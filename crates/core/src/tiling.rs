@@ -261,6 +261,35 @@ impl MemorySystemPlan {
         self.tile_plan(self.offchip_streams())
     }
 
+    /// Plan-time upper bound on streaming residency under `tile_plan`:
+    /// the largest band halo window, measured as resident input rows ×
+    /// the widest such row. A streaming run that evicts before pulling
+    /// keeps its observed `peak_resident` at or below this bound (the
+    /// Sec. 2.3 reuse-window argument, band-granular); chained sessions
+    /// sum the per-stage bounds to bound the whole pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates indexing failures as [`PlanError`].
+    pub fn planned_residency_bound(&self, tile_plan: &TilePlan) -> Result<u64, PlanError> {
+        let in_idx = self.input_domain().index().map_err(PlanError::from)?;
+        let dims = in_idx.dims();
+        let mut bound = 0u64;
+        for tile in tile_plan.tiles() {
+            let resident = in_idx.rows().iter().filter(|row| {
+                let span = row_outer_span(row, dims);
+                !tile.row_below_halo(span) && !tile.row_above_halo(span)
+            });
+            let (mut rows, mut widest) = (0u64, 0u64);
+            for row in resident {
+                rows += 1;
+                widest = widest.max(row.len());
+            }
+            bound = bound.max(rows * widest);
+        }
+        Ok(bound)
+    }
+
     fn build_tile(
         &self,
         id: usize,
@@ -353,6 +382,21 @@ mod tests {
             }
             assert_eq!(next, tp.total_outputs());
         }
+    }
+
+    #[test]
+    fn planned_residency_bound_is_one_band_halo() {
+        // 30x22 iteration grid, 32x24 input grid, 5-point window.
+        let plan = denoise_plan();
+        // 1-row bands: 3 input rows of width 24 resident at the peak.
+        let tp = plan.tile_plan_chunked(1).unwrap();
+        assert_eq!(plan.planned_residency_bound(&tp).unwrap(), 3 * 24);
+        // 4-row bands: 6 resident input rows.
+        let tp = plan.tile_plan_chunked(4).unwrap();
+        assert_eq!(plan.planned_residency_bound(&tp).unwrap(), 6 * 24);
+        // One band: the whole input grid.
+        let tp = plan.tile_plan(1).unwrap();
+        assert_eq!(plan.planned_residency_bound(&tp).unwrap(), 32 * 24);
     }
 
     #[test]

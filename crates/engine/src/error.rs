@@ -63,6 +63,13 @@ pub enum EngineError {
         /// The sink's failure message.
         detail: String,
     },
+    /// A [`crate::Session`] was configured inconsistently (a stage with
+    /// no kernel, a chained stage whose input domain does not match its
+    /// upstream stage's iteration domain, ...).
+    Config {
+        /// What the configuration got wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -92,6 +99,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::Source { detail } => write!(f, "input row source failed: {detail}"),
             EngineError::Sink { detail } => write!(f, "output row sink failed: {detail}"),
+            EngineError::Config { detail } => {
+                write!(f, "invalid session configuration: {detail}")
+            }
         }
     }
 }
@@ -162,5 +172,10 @@ mod tests {
         }
         .to_string()
         .contains("sink"));
+        assert!(EngineError::Config {
+            detail: "stage has no kernel".into()
+        }
+        .to_string()
+        .contains("invalid session configuration"));
     }
 }

@@ -25,6 +25,16 @@
 //!   autovectorize — bit-identical to the closure datapath by
 //!   construction ([`CompiledKernel::compile_checked`]).
 //!
+//! Every mode × backend combination executes through one composable
+//! [`Session`] pipeline layer: `Session::new(&plan).kernel(..)
+//! .backend(..).mode(..).threads(..)` resolves the axes orthogonally,
+//! and [`Session::then`] chains kernels *temporally* — stage `k`'s
+//! output rows stream into stage `k + 1` through the same bounded
+//! halo-window machinery, so a chained pipeline keeps roughly the sum
+//! of the stages' halo windows resident instead of any full
+//! intermediate grid. The legacy `run_*` entry points survive as
+//! deprecated delegates over the same builder.
+//!
 //! The engine consumes the same [`MemorySystemPlan`] interface as the
 //! simulator and returns the output grid plus a [`RunReport`] with
 //! throughput figures, so results are directly comparable — the
@@ -35,7 +45,7 @@
 //!
 //! ```
 //! use stencil_core::{MemorySystemPlan, StencilSpec};
-//! use stencil_engine::{EngineConfig, InputGrid, run_plan};
+//! use stencil_engine::{InputGrid, Session, SessionKernel};
 //! use stencil_polyhedral::{Point, Polyhedron};
 //!
 //! let spec = StencilSpec::new(
@@ -47,9 +57,12 @@
 //! let index = plan.input_domain().index()?;
 //! let values: Vec<f64> = (0..index.len()).map(|r| r as f64).collect();
 //! let input = InputGrid::new(&index, &values)?;
-//! let run = run_plan(&plan, &input, &|w| w.iter().sum(), &EngineConfig::default())?;
+//! let sum = |w: &[f64]| w.iter().sum();
+//! let run = Session::new(&plan)
+//!     .kernel(SessionKernel::Closure(&sum))
+//!     .run(&input)?;
 //! assert_eq!(run.outputs.len(), 14 * 14);
-//! assert_eq!(run.report.outputs, 14 * 14);
+//! assert_eq!(run.report.outputs(), 14 * 14);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -58,21 +71,26 @@
 #![forbid(unsafe_code)]
 #![deny(clippy::cast_possible_truncation)]
 
+mod chain;
 mod compile;
 mod error;
 mod exec;
 mod input;
 mod report;
 mod rowexec;
+mod session;
 mod stream;
 
 pub use compile::{CompiledKernel, KernelBackend};
 pub use error::EngineError;
+#[allow(deprecated)]
 pub use exec::{
     run_plan, run_plan_compiled, run_tiled, run_tiled_compiled, EngineConfig, EngineRun,
 };
 pub use input::InputGrid;
 pub use report::{RunReport, StreamReport, TileReport};
+pub use session::{ExecMode, Session, SessionKernel, SessionReport, SessionRun, StageReport};
+#[allow(deprecated)]
 pub use stream::{
     run_streaming, run_streaming_compiled, FnSource, ReadSource, RowSink, RowSource, SliceSource,
     StreamConfig, VecSink, WriteSink,

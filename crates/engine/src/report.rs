@@ -254,7 +254,7 @@ impl fmt::Display for StreamReport {
 }
 
 /// Whole nanoseconds of `d`, saturating at `u64::MAX` (584 years).
-fn duration_ns(d: Duration) -> u64 {
+pub(crate) fn duration_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 

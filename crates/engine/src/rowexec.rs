@@ -17,10 +17,16 @@
 //! * **gather rows** — some tap is non-contiguous or non-resident: the
 //!   defensive per-point fallback with exact error reporting.
 
+use std::sync::Mutex;
+use std::time::Instant;
+
+use stencil_core::{MemorySystemPlan, Tile, TilePlan};
 use stencil_polyhedral::{DomainIndex, Point, Row};
 
 use crate::compile::CompiledKernel;
 use crate::error::EngineError;
+use crate::input::InputGrid;
+use crate::report::{RunReport, TileReport};
 
 /// How the row executor evaluates the kernel datapath — implemented by
 /// closure adapters and by compiled bytecode, so one generic executor
@@ -36,10 +42,12 @@ pub(crate) trait RowKernel: Sync {
     }
 }
 
-/// A closure datapath: always per-element.
-pub(crate) struct ClosureKernel<'a, C>(pub &'a C);
+/// A closure datapath: always per-element. `C` may be unsized (a
+/// `dyn Fn` behind the reference), so heterogeneous session stages can
+/// hold their kernels as trait objects.
+pub(crate) struct ClosureKernel<'a, C: ?Sized>(pub &'a C);
 
-impl<C: Fn(&[f64]) -> f64 + Sync> RowKernel for ClosureKernel<'_, C> {
+impl<C: Fn(&[f64]) -> f64 + Sync + ?Sized> RowKernel for ClosureKernel<'_, C> {
     fn eval_window(&self, window: &[f64]) -> f64 {
         (self.0)(window)
     }
@@ -132,7 +140,7 @@ impl RowStats {
 /// bytecode over the whole row or run the batched per-element loop,
 /// while rows whose taps are not contiguous (or not fully resident)
 /// fall back to per-point gathers.
-pub(crate) fn execute_rows<K: RowKernel>(
+pub(crate) fn execute_rows<K: RowKernel + ?Sized>(
     rows: &[Row],
     out_base: u64,
     offsets: &[Point],
@@ -226,6 +234,233 @@ pub(crate) fn execute_rows<K: RowKernel>(
 
     Ok(stats)
 }
+
+/// Window offsets in the user's declared reference order — the order
+/// the kernel consumes (`FilterPlan.user_index` inverts the chain's
+/// descending sort).
+pub(crate) fn plan_offsets(plan: &MemorySystemPlan) -> Vec<Point> {
+    let mut offsets = vec![Point::zero(plan.iteration_domain().dims()); plan.port_count()];
+    for f in plan.filters() {
+        offsets[f.user_index] = f.offset;
+    }
+    offsets
+}
+
+/// Rejects a compiled kernel whose tap count does not match the plan's
+/// window.
+pub(crate) fn check_kernel_window(
+    plan: &MemorySystemPlan,
+    kernel: &CompiledKernel,
+) -> Result<(), EngineError> {
+    if kernel.taps() != plan.port_count() {
+        return Err(EngineError::KernelCompile {
+            detail: format!(
+                "kernel compiled for {} taps but the plan's window has {} points",
+                kernel.taps(),
+                plan.port_count()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Resolves the worker count: `0` requests the machine's parallelism,
+/// and no run uses more workers than it has bands (or rows).
+pub(crate) fn threads_for(requested: usize, tiles: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let t = if requested == 0 { hw } else { requested };
+    t.clamp(1, tiles.max(1))
+}
+
+/// The in-core tiled executor: validates the input, splits the output
+/// buffer into disjoint per-band slices, and runs the bands on a scoped
+/// worker pool pulling from a shared queue. This is the single real
+/// implementation behind the session's `InCore`/`Tiled` modes (and,
+/// transitively, the deprecated `run_plan`/`run_tiled` entry points).
+pub(crate) fn execute_tiled<K: RowKernel + ?Sized>(
+    plan: &MemorySystemPlan,
+    tile_plan: &TilePlan,
+    input: &InputGrid<'_>,
+    kernel: &K,
+    threads: usize,
+    backend: crate::compile::KernelBackend,
+) -> Result<(Vec<f64>, RunReport), EngineError> {
+    let expected = input.index().len();
+    let declared = plan
+        .input_domain()
+        .count()
+        .map_err(|e| EngineError::Plan(e.into()))?;
+    if expected != declared {
+        return Err(EngineError::InputSizeMismatch {
+            expected: declared,
+            got: expected,
+        });
+    }
+
+    let offsets = plan_offsets(plan);
+    let started = Instant::now();
+    let total =
+        usize::try_from(tile_plan.total_outputs()).map_err(|_| EngineError::DomainTooLarge {
+            points: tile_plan.total_outputs(),
+        })?;
+    let mut outputs = vec![0.0f64; total];
+
+    // Disjoint per-band output slices: bands are contiguous rank ranges.
+    let mut work: Vec<(&Tile, &mut [f64])> = Vec::with_capacity(tile_plan.tile_count());
+    let mut rest: &mut [f64] = &mut outputs;
+    for tile in tile_plan.tiles() {
+        let len = usize::try_from(tile.len)
+            .map_err(|_| EngineError::DomainTooLarge { points: tile.len })?;
+        if len > rest.len() {
+            return Err(EngineError::InconsistentIndex {
+                detail: format!(
+                    "band {} claims {len} outputs but only {} remain unassigned",
+                    tile.id,
+                    rest.len()
+                ),
+            });
+        }
+        let (head, tail) = rest.split_at_mut(len);
+        work.push((tile, head));
+        rest = tail;
+    }
+    // Shared work queue; idle workers steal the next unclaimed band.
+    work.reverse(); // pop() hands out bands in rank order
+    let queue = Mutex::new(work);
+    let results: Mutex<Vec<TileReport>> = Mutex::new(Vec::with_capacity(tile_plan.tile_count()));
+    let failure: Mutex<Option<EngineError>> = Mutex::new(None);
+
+    let worker_count = threads_for(threads, tile_plan.tile_count());
+    crossbeam::scope(|s| {
+        for _ in 0..worker_count {
+            s.spawn(|_| loop {
+                let item = queue.lock().expect("queue lock").pop();
+                let Some((tile, out)) = item else { break };
+                match execute_tile(tile, &offsets, input, kernel, out) {
+                    Ok(report) => results.lock().expect("results lock").push(report),
+                    Err(e) => {
+                        failure.lock().expect("failure lock").get_or_insert(e);
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .map_err(|_| EngineError::WorkerPanic)?;
+
+    if let Some(e) = failure.into_inner().expect("failure lock") {
+        return Err(e);
+    }
+    let mut per_tile = results.into_inner().expect("results lock");
+    per_tile.sort_by_key(|t| t.id);
+
+    let report = RunReport {
+        outputs: tile_plan.total_outputs(),
+        tiles: tile_plan.tile_count(),
+        threads: worker_count,
+        backend,
+        halo_elements: per_tile.iter().map(|t| t.halo_elements).sum(),
+        elapsed: started.elapsed(),
+        per_tile,
+    };
+    Ok((outputs, report))
+}
+
+/// Runs one band against the full in-core input.
+fn execute_tile<K: RowKernel + ?Sized>(
+    tile: &Tile,
+    offsets: &[Point],
+    input: &InputGrid<'_>,
+    kernel: &K,
+    out: &mut [f64],
+) -> Result<TileReport, EngineError> {
+    let tile_started = Instant::now();
+    let idx = tile
+        .iter_domain
+        .index()
+        .map_err(|e| EngineError::Plan(e.into()))?;
+    let win = RankWindow {
+        idx: input.index(),
+        vals: input.values(),
+        base: 0,
+    };
+    let stats = execute_rows(idx.rows(), 0, offsets, &win, kernel, out)?;
+
+    Ok(TileReport {
+        id: tile.id,
+        outputs: tile.len,
+        halo_elements: tile
+            .halo_domain
+            .count()
+            .map_err(|e| EngineError::Plan(e.into()))?,
+        sweep_rows: stats.sweep,
+        fast_rows: stats.fast,
+        gather_rows: stats.gather,
+        elapsed: tile_started.elapsed(),
+    })
+}
+
+/// Splits a band's iteration rows into contiguous per-worker chunks
+/// writing disjoint slices of the band buffer.
+pub(crate) fn execute_band_parallel<K: RowKernel + ?Sized>(
+    band_rows: &[Row],
+    offsets: &[Point],
+    win: &RankWindow<'_>,
+    kernel: &K,
+    out: &mut [f64],
+    workers: usize,
+) -> Result<RowStats, EngineError> {
+    // Chunk boundaries in row space; output slices follow row bases.
+    let per = band_rows.len().div_ceil(workers);
+    let mut chunks: Vec<(&[Row], &mut [f64])> = Vec::with_capacity(workers);
+    let mut rest_rows = band_rows;
+    let mut rest_out: &mut [f64] = out;
+    let mut consumed = 0u64;
+    while !rest_rows.is_empty() {
+        let take = per.min(rest_rows.len());
+        let (head, tail) = rest_rows.split_at(take);
+        let chunk_vals: u64 = head.iter().map(Row::len).sum();
+        let chunk_len = usize::try_from(chunk_vals)
+            .map_err(|_| EngineError::DomainTooLarge { points: chunk_vals })?;
+        if head.first().map(|r| r.base) != Some(consumed) || chunk_len > rest_out.len() {
+            return Err(EngineError::InconsistentIndex {
+                detail: "band iteration rows are not in contiguous rank order".into(),
+            });
+        }
+        let (o_head, o_tail) = rest_out.split_at_mut(chunk_len);
+        chunks.push((head, o_head));
+        rest_rows = tail;
+        rest_out = o_tail;
+        consumed += chunk_vals;
+    }
+
+    let queue = Mutex::new(chunks);
+    let results: Mutex<Vec<RowChunkResult>> = Mutex::new(Vec::with_capacity(workers));
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let item = queue.lock().expect("queue lock").pop();
+                let Some((rows, out)) = item else { break };
+                let out_base = rows.first().map_or(0, |r| r.base);
+                let r = execute_rows(rows, out_base, offsets, win, kernel, out);
+                let failed = r.is_err();
+                results.lock().expect("results lock").push(r);
+                if failed {
+                    break;
+                }
+            });
+        }
+    })
+    .map_err(|_| EngineError::WorkerPanic)?;
+
+    let mut stats = RowStats::default();
+    for r in results.into_inner().expect("results lock") {
+        stats.merge(r?);
+    }
+    Ok(stats)
+}
+
+type RowChunkResult = Result<RowStats, EngineError>;
 
 fn inconsistent_row(row: &Row, out_base: u64) -> EngineError {
     EngineError::InconsistentIndex {

@@ -1,0 +1,1561 @@
+//! The unified execution layer: one [`Session`] builder behind every
+//! backend × mode combination, with temporal kernel chaining.
+//!
+//! Before this layer the engine exposed an execution *matrix* — six
+//! entry points crossing {closure, compiled} kernels with {in-core,
+//! pre-tiled, streaming} drivers, each re-implementing backend
+//! selection, tiling, and metrics. A [`Session`] factors those axes
+//! orthogonally:
+//!
+//! ```text
+//! Session::new(&plan)                  // what to compute
+//!     .kernel(SessionKernel::..)       // datapath: closure or bytecode
+//!     .backend(KernelBackend::..)      // how bytecode executes
+//!     .mode(ExecMode::..)              // in-core / tiled / streaming
+//!     .threads(n)                      // worker parallelism
+//!     .run(&input)                     // or .run_streaming(src, sink)
+//! ```
+//!
+//! The legacy `run_*` functions survive as deprecated delegates over
+//! this builder, so every combination executes through one code path.
+//!
+//! # Temporal chaining
+//!
+//! [`Session::then`] appends a second kernel stage whose input is the
+//! previous stage's output. The chained plan is derived by *eroding*
+//! the upstream iteration domain by the new stage's window
+//! ([`MemorySystemPlan::chain_next`]), which makes the stages line up
+//! exactly: stage `k + 1`'s input domain equals stage `k`'s iteration
+//! domain, row for row. Under [`ExecMode::Streaming`] the stages run as
+//! coupled halo windows — stage `k`'s output rows feed stage `k + 1`
+//! without materializing an intermediate grid, so a 2-stage DENOISE
+//! chain keeps roughly *two* halo windows resident instead of a full
+//! frame. The session report sums the per-stage windows into one
+//! chained residency bound that the telemetry validator can check.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use stencil_core::{MemorySystemPlan, TilePlan};
+use stencil_kernels::{ComputeFn, KernelStage};
+
+use crate::chain::{pump_chain, StreamStage};
+use crate::compile::{CompiledKernel, KernelBackend};
+use crate::error::EngineError;
+use crate::exec::EngineRun;
+use crate::input::InputGrid;
+use crate::report::{RunReport, StreamReport};
+use crate::rowexec::{
+    check_kernel_window, execute_tiled, ClosureKernel, RowKernel, ScalarKernel, SweepKernel,
+};
+use crate::stream::{RowSink, RowSource, SliceSource, VecSink};
+
+/// How a [`Session`] drives execution — orthogonal to the kernel and
+/// backend choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Whole grids in RAM; band count follows the plan's off-chip
+    /// stream sharding (Appendix 9.4).
+    #[default]
+    InCore,
+    /// Whole grids in RAM with an explicit band count.
+    Tiled {
+        /// Number of row bands (clamped to at least 1).
+        tiles: usize,
+    },
+    /// Bounded-memory streaming: only each stage's current halo window
+    /// stays resident.
+    Streaming {
+        /// Band height in outermost-dimension rows; `None` applies the
+        /// plan's one-band-per-off-chip-stream sharding.
+        chunk_rows: Option<u64>,
+    },
+}
+
+impl ExecMode {
+    /// The mode's telemetry wire name.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExecMode::InCore => "incore",
+            ExecMode::Tiled { .. } => "tiled",
+            ExecMode::Streaming { .. } => "streaming",
+        }
+    }
+}
+
+/// The datapath of a session stage.
+#[derive(Clone, Copy)]
+pub enum SessionKernel<'a> {
+    /// An arbitrary window closure; always evaluates per element.
+    Closure(&'a (dyn Fn(&[f64]) -> f64 + Sync)),
+    /// Pre-compiled bytecode; row-sweeps under
+    /// [`KernelBackend::Compiled`].
+    Compiled(&'a CompiledKernel),
+}
+
+impl fmt::Debug for SessionKernel<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionKernel::Closure(_) => f.write_str("SessionKernel::Closure"),
+            SessionKernel::Compiled(k) => f
+                .debug_tuple("SessionKernel::Compiled")
+                .field(&k.taps())
+                .finish(),
+        }
+    }
+}
+
+/// A plain-`fn` datapath, used by chained stages built from
+/// [`KernelStage`] metadata.
+struct FnKernel(ComputeFn);
+
+impl RowKernel for FnKernel {
+    fn eval_window(&self, window: &[f64]) -> f64 {
+        (self.0)(window)
+    }
+}
+
+/// A stage's datapath, covering both borrowed builder inputs and
+/// kernels the chain owns (compiled on the fly from stage metadata).
+enum StageKernel<'a> {
+    Closure(&'a (dyn Fn(&[f64]) -> f64 + Sync)),
+    ClosureFn(ComputeFn),
+    Compiled(&'a CompiledKernel),
+    CompiledOwned(Box<CompiledKernel>),
+}
+
+/// A stage's plan: borrowed for stage 0, owned for chained stages
+/// (derived by domain erosion).
+enum PlanRef<'a> {
+    Borrowed(&'a MemorySystemPlan),
+    Owned(Box<MemorySystemPlan>),
+}
+
+impl PlanRef<'_> {
+    fn get(&self) -> &MemorySystemPlan {
+        match self {
+            PlanRef::Borrowed(p) => p,
+            PlanRef::Owned(p) => p,
+        }
+    }
+}
+
+/// One kernel application in the session's temporal pipeline.
+struct Stage<'a> {
+    plan: PlanRef<'a>,
+    kernel: Option<StageKernel<'a>>,
+    label: String,
+}
+
+impl Stage<'_> {
+    /// The compiled form, when this stage has one (for window checks).
+    fn compiled(&self) -> Option<&CompiledKernel> {
+        match &self.kernel {
+            Some(StageKernel::Compiled(k)) => Some(k),
+            Some(StageKernel::CompiledOwned(k)) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// The backend this stage actually executes under: closures always
+    /// run per element; compiled kernels follow the session backend.
+    fn effective_backend(&self, session_backend: KernelBackend) -> KernelBackend {
+        match &self.kernel {
+            Some(StageKernel::Compiled(_) | StageKernel::CompiledOwned(_)) => session_backend,
+            _ => KernelBackend::Closure,
+        }
+    }
+
+    /// The stage's row executor, or a config error if no kernel was
+    /// supplied.
+    fn row_kernel(
+        &self,
+        session_backend: KernelBackend,
+    ) -> Result<Box<dyn RowKernel + '_>, EngineError> {
+        match &self.kernel {
+            None => Err(EngineError::Config {
+                detail: format!("stage '{}' has no kernel; call Session::kernel", self.label),
+            }),
+            Some(StageKernel::Closure(c)) => Ok(Box::new(ClosureKernel(*c))),
+            Some(StageKernel::ClosureFn(f)) => Ok(Box::new(FnKernel(*f))),
+            Some(StageKernel::Compiled(k)) => Ok(match session_backend {
+                KernelBackend::Compiled => Box::new(SweepKernel(k)),
+                KernelBackend::Closure => Box::new(ScalarKernel(k)),
+            }),
+            Some(StageKernel::CompiledOwned(k)) => Ok(match session_backend {
+                KernelBackend::Compiled => Box::new(SweepKernel(k)),
+                KernelBackend::Closure => Box::new(ScalarKernel(k)),
+            }),
+        }
+    }
+}
+
+/// A composable execution pipeline over one or more kernel stages.
+///
+/// See the [module docs](self) for the builder shape. A session borrows
+/// its stage-0 plan and kernel; chained stages own their derived plans.
+pub struct Session<'a> {
+    stages: Vec<Stage<'a>>,
+    mode: ExecMode,
+    threads: usize,
+    backend: KernelBackend,
+    tile_plan: Option<&'a TilePlan>,
+    label: Option<String>,
+}
+
+impl fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field(
+                "stages",
+                &self.stages.iter().map(|s| &s.label).collect::<Vec<_>>(),
+            )
+            .field("mode", &self.mode)
+            .field("threads", &self.threads)
+            .field("backend", &self.backend)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Session<'a> {
+    /// A single-stage session over `plan` with default mode
+    /// ([`ExecMode::InCore`]), backend, and machine-chosen threads. A
+    /// kernel must be supplied via [`Session::kernel`] before running.
+    #[must_use]
+    pub fn new(plan: &'a MemorySystemPlan) -> Self {
+        Self {
+            stages: vec![Stage {
+                plan: PlanRef::Borrowed(plan),
+                kernel: None,
+                label: plan.name().to_string(),
+            }],
+            mode: ExecMode::default(),
+            threads: 0,
+            backend: KernelBackend::default(),
+            tile_plan: None,
+            label: None,
+        }
+    }
+
+    /// Sets the first stage's datapath.
+    #[must_use]
+    pub fn kernel(mut self, kernel: SessionKernel<'a>) -> Self {
+        self.stages[0].kernel = Some(match kernel {
+            SessionKernel::Closure(c) => StageKernel::Closure(c),
+            SessionKernel::Compiled(k) => StageKernel::Compiled(k),
+        });
+        self
+    }
+
+    /// Selects how compiled kernels execute (closure stages ignore it).
+    #[must_use]
+    pub fn backend(mut self, backend: KernelBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Selects the execution mode.
+    #[must_use]
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the worker thread count (`0` = machine parallelism).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the first stage's tiling with a pre-computed
+    /// [`TilePlan`] (in-core modes only; streaming derives its own band
+    /// schedule from the mode's `chunk_rows`).
+    #[must_use]
+    pub fn tile_plan(mut self, tile_plan: &'a TilePlan) -> Self {
+        self.tile_plan = Some(tile_plan);
+        self
+    }
+
+    /// Labels the session's telemetry output.
+    #[must_use]
+    pub fn telemetry(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Appends a chained stage: `stage`'s kernel consumes the previous
+    /// stage's output grid. The chained plan is derived by eroding the
+    /// upstream iteration domain by `stage`'s window, so the stages
+    /// line up row for row (checked with
+    /// [`MemorySystemPlan::chains_from`]).
+    ///
+    /// When `stage` carries a [`stencil_kernels::KernelExpr`], the
+    /// chained stage compiles it to bytecode (validated against the
+    /// stage's closure); otherwise it evaluates the closure directly.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::Plan`] if the eroded domain is empty or the
+    ///   derived plan cannot be generated (window consumes the grid).
+    /// * [`EngineError::Config`] if the derived plan does not chain
+    ///   exactly from the upstream stage.
+    /// * [`EngineError::KernelCompile`] / [`EngineError::KernelMismatch`]
+    ///   if the stage's expression fails to compile or validate.
+    pub fn then(mut self, stage: &KernelStage) -> Result<Self, EngineError> {
+        let upstream = self
+            .stages
+            .last()
+            .expect("a session always has at least one stage")
+            .plan
+            .get();
+        let next = upstream.chain_next(stage.name(), stage.window())?;
+        if !next.chains_from(upstream)? {
+            return Err(EngineError::Config {
+                detail: format!(
+                    "stage '{}' does not chain from '{}': its input domain is not the upstream \
+                     iteration domain",
+                    stage.name(),
+                    upstream.name()
+                ),
+            });
+        }
+        let kernel = match stage.expr() {
+            Some(expr) => StageKernel::CompiledOwned(Box::new(CompiledKernel::compile_checked(
+                expr,
+                stage.window().len(),
+                &stage.compute_fn(),
+            )?)),
+            None => StageKernel::ClosureFn(stage.compute_fn()),
+        };
+        self.stages.push(Stage {
+            plan: PlanRef::Owned(Box::new(next)),
+            kernel: Some(kernel),
+            label: stage.name().to_string(),
+        });
+        Ok(self)
+    }
+
+    /// Number of kernel stages in the pipeline.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The plan of stage `i`, if it exists (stage 0 is the plan passed
+    /// to [`Session::new`]; later stages are derived by erosion).
+    #[must_use]
+    pub fn stage_plan(&self, i: usize) -> Option<&MemorySystemPlan> {
+        self.stages.get(i).map(|s| s.plan.get())
+    }
+
+    /// The planned chained residency bound under streaming: the sum
+    /// over stages of each stage's one-band halo window (Sec. 2.3),
+    /// for the band schedule `chunk_rows` would produce.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Plan`] if a stage's band schedule cannot be
+    /// derived.
+    pub fn planned_residency_bound(&self, chunk_rows: Option<u64>) -> Result<u64, EngineError> {
+        let mut total = 0u64;
+        for stage in &self.stages {
+            let plan = stage.plan.get();
+            let tile_plan = match chunk_rows {
+                Some(n) => plan.tile_plan_chunked(n)?,
+                None => plan.tile_plan_from_streams()?,
+            };
+            total += plan.planned_residency_bound(&tile_plan)?;
+        }
+        Ok(total)
+    }
+
+    /// Band count for an in-core stage under the session mode.
+    fn bands_for(&self, plan: &MemorySystemPlan) -> usize {
+        match self.mode {
+            ExecMode::Tiled { tiles } => tiles.max(1),
+            _ => plan.offchip_streams().max(1),
+        }
+    }
+
+    /// Executes the pipeline over an in-memory input grid and returns
+    /// the final stage's outputs. Under [`ExecMode::Streaming`] the
+    /// input buffer is streamed row by row and outputs are collected
+    /// from the sink, so results are identical across modes.
+    ///
+    /// # Errors
+    ///
+    /// Everything the legacy entry points report — see
+    /// [`crate::run_plan`] and [`crate::run_streaming`] — plus
+    /// [`EngineError::Config`] for sessions missing a kernel.
+    pub fn run(&self, input: &InputGrid<'_>) -> Result<SessionRun, EngineError> {
+        match self.mode {
+            ExecMode::InCore | ExecMode::Tiled { .. } => self.run_incore(input),
+            ExecMode::Streaming { chunk_rows } => {
+                let declared = self.stages[0]
+                    .plan
+                    .get()
+                    .input_domain()
+                    .count()
+                    .map_err(|e| EngineError::Plan(e.into()))?;
+                if input.index().len() != declared {
+                    return Err(EngineError::InputSizeMismatch {
+                        expected: declared,
+                        got: input.index().len(),
+                    });
+                }
+                let mut source = SliceSource::new(input.values());
+                let mut sink = VecSink::new();
+                let report = self.stream_into(&mut source, &mut sink, chunk_rows)?;
+                Ok(SessionRun {
+                    outputs: sink.values,
+                    report,
+                })
+            }
+        }
+    }
+
+    /// Executes the pipeline between a row source and a row sink. Under
+    /// the in-core modes the input is materialized from the source
+    /// first and the final outputs pushed row by row afterwards; under
+    /// [`ExecMode::Streaming`] the stages run as coupled halo windows
+    /// and only the chained reuse windows stay resident.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`], plus [`EngineError::Source`] /
+    /// [`EngineError::Sink`] when the endpoints fail.
+    pub fn run_streaming(
+        &self,
+        source: &mut dyn RowSource,
+        sink: &mut dyn RowSink,
+    ) -> Result<SessionReport, EngineError> {
+        match self.mode {
+            ExecMode::Streaming { chunk_rows } => self.stream_into(source, sink, chunk_rows),
+            ExecMode::InCore | ExecMode::Tiled { .. } => {
+                // Materialize the input, run in core, stream the result
+                // out — mode stays orthogonal to the endpoints.
+                let plan = self.stages[0].plan.get();
+                let in_idx = plan
+                    .input_domain()
+                    .index()
+                    .map_err(|e| EngineError::Plan(e.into()))?;
+                let mut vals = Vec::new();
+                for row in in_idx.rows() {
+                    let len = usize::try_from(row.len())
+                        .map_err(|_| EngineError::DomainTooLarge { points: row.len() })?;
+                    let before = vals.len();
+                    source
+                        .fill_row(len, &mut vals)
+                        .map_err(|detail| EngineError::Source { detail })?;
+                    if vals.len() - before != len {
+                        return Err(EngineError::Source {
+                            detail: format!(
+                                "source produced {} of {len} requested values",
+                                vals.len() - before
+                            ),
+                        });
+                    }
+                }
+                let input = InputGrid::new(&in_idx, &vals)?;
+                let run = self.run_incore(&input)?;
+                let out_plan = self
+                    .stages
+                    .last()
+                    .expect("a session always has at least one stage")
+                    .plan
+                    .get();
+                let out_idx = out_plan
+                    .iteration_domain()
+                    .index()
+                    .map_err(|e| EngineError::Plan(e.into()))?;
+                for row in out_idx.rows() {
+                    let start = usize::try_from(row.base)
+                        .map_err(|_| EngineError::DomainTooLarge { points: row.base })?;
+                    let len = usize::try_from(row.len())
+                        .map_err(|_| EngineError::DomainTooLarge { points: row.len() })?;
+                    let slice = run.outputs.get(start..start + len).ok_or_else(|| {
+                        EngineError::InconsistentIndex {
+                            detail: format!(
+                                "output row at {} exceeds the output buffer",
+                                row.prefix
+                            ),
+                        }
+                    })?;
+                    sink.push_row(slice)
+                        .map_err(|detail| EngineError::Sink { detail })?;
+                }
+                Ok(run.report)
+            }
+        }
+    }
+
+    /// Sequential in-core execution: each stage runs through the shared
+    /// tiled executor, its output buffer becoming the next stage's
+    /// input grid.
+    fn run_incore(&self, input: &InputGrid<'_>) -> Result<SessionRun, EngineError> {
+        let started = Instant::now();
+        let mut stage_reports = Vec::with_capacity(self.stages.len());
+        let mut cur: Vec<f64> = Vec::new();
+        let mut peak = 0u64;
+        let mut threads_used = 1usize;
+        for (i, stage) in self.stages.iter().enumerate() {
+            let plan = stage.plan.get();
+            if let Some(k) = stage.compiled() {
+                check_kernel_window(plan, k)?;
+            }
+            let kernel = stage.row_kernel(self.backend)?;
+            let backend = stage.effective_backend(self.backend);
+            let tp_owned;
+            let tile_plan = match (i, self.tile_plan) {
+                (0, Some(tp)) => tp,
+                _ => {
+                    tp_owned = plan.tile_plan(self.bands_for(plan))?;
+                    &tp_owned
+                }
+            };
+            // In core, a stage's whole input grid is resident.
+            peak += plan
+                .input_domain()
+                .count()
+                .map_err(|e| EngineError::Plan(e.into()))?;
+            let (outputs, report) = if i == 0 {
+                execute_tiled(plan, tile_plan, input, &*kernel, self.threads, backend)?
+            } else {
+                let idx = plan
+                    .input_domain()
+                    .index()
+                    .map_err(|e| EngineError::Plan(e.into()))?;
+                let grid = InputGrid::new(&idx, &cur)?;
+                execute_tiled(plan, tile_plan, &grid, &*kernel, self.threads, backend)?
+            };
+            threads_used = threads_used.max(report.threads);
+            stage_reports.push(StageReport {
+                label: stage.label.clone(),
+                engine: Some(report),
+                stream: None,
+            });
+            cur = outputs;
+        }
+        Ok(SessionRun {
+            outputs: cur,
+            report: SessionReport {
+                label: self.label.clone(),
+                mode: self.mode,
+                threads: threads_used,
+                stages: stage_reports,
+                peak_resident: peak,
+                resident_bound: peak,
+                elapsed: started.elapsed(),
+            },
+        })
+    }
+
+    /// Chained streaming execution: one [`StreamStage`] per kernel,
+    /// pumped back to front so upstream rows are produced on demand.
+    fn stream_into(
+        &self,
+        source: &mut dyn RowSource,
+        sink: &mut dyn RowSink,
+        chunk_rows: Option<u64>,
+    ) -> Result<SessionReport, EngineError> {
+        let started = Instant::now();
+        let mut machines: Vec<StreamStage<'_>> = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let plan = stage.plan.get();
+            if let Some(k) = stage.compiled() {
+                check_kernel_window(plan, k)?;
+            }
+            let kernel = stage.row_kernel(self.backend)?;
+            let backend = stage.effective_backend(self.backend);
+            machines.push(StreamStage::new(
+                plan,
+                kernel,
+                backend,
+                chunk_rows,
+                self.threads,
+            )?);
+        }
+
+        let mut buf = Vec::new();
+        while let Some(row) = pump_chain(&mut machines, source, &mut buf)? {
+            sink.push_row(&row)
+                .map_err(|detail| EngineError::Sink { detail })?;
+        }
+
+        let elapsed = started.elapsed();
+        let mut peak = 0u64;
+        let mut bound = 0u64;
+        let mut threads_used = 1usize;
+        let mut stage_reports = Vec::with_capacity(machines.len());
+        for (stage, m) in self.stages.iter().zip(&machines) {
+            peak += m.peak_resident();
+            bound += m.runtime_bound();
+            let r = m.report(elapsed);
+            threads_used = threads_used.max(r.threads);
+            stage_reports.push(StageReport {
+                label: stage.label.clone(),
+                engine: None,
+                stream: Some(r),
+            });
+        }
+        Ok(SessionReport {
+            label: self.label.clone(),
+            mode: self.mode,
+            threads: threads_used,
+            stages: stage_reports,
+            peak_resident: peak,
+            resident_bound: bound,
+            elapsed,
+        })
+    }
+}
+
+/// The result of [`Session::run`].
+#[derive(Debug, Clone)]
+pub struct SessionRun {
+    /// Final-stage output values in lexicographic iteration order.
+    pub outputs: Vec<f64>,
+    /// Per-stage and pipeline-level statistics.
+    pub report: SessionReport,
+}
+
+impl SessionRun {
+    /// Converts a single-stage in-core run back to the legacy
+    /// [`EngineRun`] shape (used by the deprecated delegates).
+    pub(crate) fn into_engine_run(self) -> Result<EngineRun, EngineError> {
+        let mut stages = self.report.stages;
+        let report = stages
+            .pop()
+            .and_then(|s| s.engine)
+            .ok_or_else(|| EngineError::Config {
+                detail: "session did not produce an in-core stage report".into(),
+            })?;
+        Ok(EngineRun {
+            outputs: self.outputs,
+            report,
+        })
+    }
+}
+
+/// Statistics of one pipeline stage within a [`SessionReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// The stage's kernel/plan name.
+    pub label: String,
+    /// In-core statistics, when the stage ran through the tiled
+    /// executor.
+    pub engine: Option<RunReport>,
+    /// Streaming statistics, when the stage ran as a halo window.
+    pub stream: Option<StreamReport>,
+}
+
+/// Statistics of one [`Session`] execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// The session's telemetry label, if one was set.
+    pub label: Option<String>,
+    /// The mode the session executed under.
+    pub mode: ExecMode,
+    /// Worker threads actually used (max across stages).
+    pub threads: usize,
+    /// Per-stage statistics, pipeline order.
+    pub stages: Vec<StageReport>,
+    /// Peak resident input values, summed across stages. Streaming
+    /// sums the per-stage halo-window high-water marks (the windows
+    /// coexist); in core it is the sum of whole stage input grids.
+    pub peak_resident: u64,
+    /// The residency bound the run was expected to honor, summed the
+    /// same way.
+    pub resident_bound: u64,
+    /// End-to-end wall-clock time across all stages.
+    pub elapsed: Duration,
+}
+
+impl SessionReport {
+    /// Final-stage outputs produced.
+    #[must_use]
+    pub fn outputs(&self) -> u64 {
+        self.stages.last().map_or(0, |s| {
+            s.engine
+                .as_ref()
+                .map(|r| r.outputs)
+                .or_else(|| s.stream.as_ref().map(|r| r.outputs))
+                .unwrap_or(0)
+        })
+    }
+
+    /// Final-stage outputs per wall-clock second; `0.0` below timer
+    /// resolution, as [`RunReport::throughput`].
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.outputs() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// True when the measured peak residency honored the chained bound.
+    #[must_use]
+    pub fn within_residency_bound(&self) -> bool {
+        self.peak_resident <= self.resident_bound
+    }
+
+    /// The session's counters in the `stencil-telemetry` wire schema,
+    /// ready for JSON serialization and [`stencil_telemetry::validate`]
+    /// report-level validation (the `ChainResidency` rule re-checks the
+    /// chained Sec. 2.3 bound from the serialized figures alone).
+    #[must_use]
+    pub fn metrics(&self) -> stencil_telemetry::SessionMetrics {
+        stencil_telemetry::SessionMetrics {
+            mode: self.mode.as_str().to_string(),
+            threads: self.threads,
+            outputs: self.outputs(),
+            peak_resident: self.peak_resident,
+            resident_bound: self.resident_bound,
+            elapsed_ns: crate::report::duration_ns(self.elapsed),
+            throughput: self.throughput(),
+            stages: self
+                .stages
+                .iter()
+                .map(|s| stencil_telemetry::StageMetrics {
+                    label: s.label.clone(),
+                    engine: s.engine.as_ref().map(RunReport::metrics),
+                    stream: s.stream.as_ref().map(StreamReport::metrics),
+                })
+                .collect(),
+        }
+    }
+
+    /// Converts a single-stage streaming report back to the legacy
+    /// [`StreamReport`] shape (used by the deprecated delegates).
+    pub(crate) fn into_stream_report(self) -> Result<StreamReport, EngineError> {
+        let mut stages = self.stages;
+        stages
+            .pop()
+            .and_then(|s| s.stream)
+            .ok_or_else(|| EngineError::Config {
+                detail: "session did not produce a streaming stage report".into(),
+            })
+    }
+}
+
+impl fmt::Display for SessionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "session [{}]: {} stage(s), {} outputs x {} thread(s) in {:?} ({:.1} Melem/s)",
+            self.mode.as_str(),
+            self.stages.len(),
+            self.outputs(),
+            self.threads,
+            self.elapsed,
+            self.throughput() / 1e6
+        )?;
+        writeln!(
+            f,
+            "  resident: peak {} values (bound {})",
+            self.peak_resident, self.resident_bound
+        )?;
+        for s in &self.stages {
+            if let Some(r) = &s.engine {
+                write!(f, "  stage '{}': {r}", s.label)?;
+            }
+            if let Some(r) = &s.stream {
+                write!(f, "  stage '{}': {r}", s.label)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{FnSource, SliceSource, VecSink};
+    use stencil_core::StencilSpec;
+    use stencil_kernels::{KernelExpr, KernelStage};
+    use stencil_polyhedral::{Point, Polyhedron};
+
+    fn plan_5pt(rows: i64, cols: i64) -> MemorySystemPlan {
+        let spec = StencilSpec::new(
+            "denoise",
+            Polyhedron::rect(&[(1, rows - 2), (1, cols - 2)]),
+            window_5pt(),
+        )
+        .unwrap();
+        MemorySystemPlan::generate(&spec).unwrap()
+    }
+
+    fn window_5pt() -> Vec<Point> {
+        vec![
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ]
+    }
+
+    fn ramp(len: u64) -> Vec<f64> {
+        (0..len).map(|r| (r % 97) as f64 * 0.5 - 11.0).collect()
+    }
+
+    fn compute(w: &[f64]) -> f64 {
+        w[2] + 0.25 * (w[0] + w[1] + w[3] + w[4] - 4.0 * w[2])
+    }
+
+    fn expr_5pt() -> KernelExpr {
+        let [t0, t1, t2, t3, t4] = KernelExpr::taps::<5>();
+        t2.clone() + 0.25 * (t0 + t1 + t3 + t4 - 4.0 * t2)
+    }
+
+    fn compiled_5pt() -> CompiledKernel {
+        CompiledKernel::compile_checked(&expr_5pt(), 5, &compute).unwrap()
+    }
+
+    #[test]
+    fn session_matches_direct_loop() {
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+
+        let run = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .mode(ExecMode::Tiled { tiles: 3 })
+            .run(&input)
+            .unwrap();
+
+        // Direct nested-loop reference in user offset order:
+        // (-1,0), (0,-1), (0,0), (0,1), (1,0).
+        let iter_idx = plan.iteration_domain().index().unwrap();
+        let mut c = iter_idx.cursor();
+        let mut expect = Vec::new();
+        while let Some(p) = c.point(&iter_idx) {
+            let at = |dr: i64, dc: i64| {
+                input
+                    .value_at(&Point::new(&[p[0] + dr, p[1] + dc]))
+                    .unwrap()
+            };
+            expect.push(compute(&[
+                at(-1, 0),
+                at(0, -1),
+                at(0, 0),
+                at(0, 1),
+                at(1, 0),
+            ]));
+            c.advance(&iter_idx);
+        }
+        assert_eq!(run.outputs, expect);
+        assert_eq!(run.report.outputs(), 18 * 22);
+        let engine = run.report.stages[0].engine.as_ref().unwrap();
+        assert_eq!(engine.tiles, 3);
+        assert_eq!(engine.backend, KernelBackend::Closure);
+    }
+
+    #[test]
+    fn tile_counts_and_threads_do_not_change_results() {
+        let plan = plan_5pt(17, 13);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let sum = |w: &[f64]| w.iter().sum::<f64>() * 0.2;
+        let reference = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&sum))
+            .mode(ExecMode::Tiled { tiles: 1 })
+            .run(&input)
+            .unwrap()
+            .outputs;
+        for tiles in [2usize, 3, 5, 8, 100] {
+            for threads in [1usize, 2, 4] {
+                let run = Session::new(&plan)
+                    .kernel(SessionKernel::Closure(&sum))
+                    .mode(ExecMode::Tiled { tiles })
+                    .threads(threads)
+                    .run(&input)
+                    .unwrap();
+                assert_eq!(run.outputs, reference, "tiles={tiles} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_backend_sweeps_and_matches_the_closure() {
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let kernel = compiled_5pt();
+
+        let reference = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .mode(ExecMode::Tiled { tiles: 3 })
+            .run(&input)
+            .unwrap();
+        let compiled = Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .mode(ExecMode::Tiled { tiles: 3 })
+            .run(&input)
+            .unwrap();
+        assert_eq!(compiled.outputs, reference.outputs);
+        let report = compiled.report.stages[0].engine.as_ref().unwrap();
+        assert_eq!(report.backend, KernelBackend::Compiled);
+        // Every interior row swept; the closure run swept none.
+        let sweep: u64 = report.per_tile.iter().map(|t| t.sweep_rows).sum();
+        let fast: u64 = report.per_tile.iter().map(|t| t.fast_rows).sum();
+        assert_eq!(sweep, 18);
+        assert_eq!(fast, 0);
+        let ref_report = reference.report.stages[0].engine.as_ref().unwrap();
+        assert_eq!(
+            ref_report
+                .per_tile
+                .iter()
+                .map(|t| t.sweep_rows)
+                .sum::<u64>(),
+            0
+        );
+
+        // Forcing the Closure backend routes the same bytecode through
+        // the per-element path — identical values, zero sweeps.
+        let scalar = Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .backend(KernelBackend::Closure)
+            .mode(ExecMode::Tiled { tiles: 3 })
+            .run(&input)
+            .unwrap();
+        assert_eq!(scalar.outputs, reference.outputs);
+        let report = scalar.report.stages[0].engine.as_ref().unwrap();
+        assert_eq!(report.backend, KernelBackend::Closure);
+        assert_eq!(report.per_tile.iter().map(|t| t.sweep_rows).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn compiled_kernel_window_is_validated_against_the_plan() {
+        let plan = plan_5pt(12, 12);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let three_tap = CompiledKernel::compile(&KernelExpr::window_sum(3), 3).unwrap();
+        for mode in [ExecMode::InCore, ExecMode::Streaming { chunk_rows: None }] {
+            let e = Session::new(&plan)
+                .kernel(SessionKernel::Compiled(&three_tap))
+                .mode(mode)
+                .run(&input)
+                .unwrap_err();
+            match e {
+                EngineError::KernelCompile { detail } => {
+                    assert!(detail.contains("3 taps"), "{detail}");
+                    assert!(detail.contains("5 points"), "{detail}");
+                }
+                other => panic!("expected KernelCompile, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn input_size_is_validated_in_every_mode() {
+        let plan = plan_5pt(10, 10);
+        let other = Polyhedron::grid(&[4, 4]).index().unwrap();
+        let vals = ramp(other.len());
+        let input = InputGrid::new(&other, &vals).unwrap();
+        let id = |w: &[f64]| w[0];
+        for mode in [ExecMode::InCore, ExecMode::Streaming { chunk_rows: None }] {
+            let e = Session::new(&plan)
+                .kernel(SessionKernel::Closure(&id))
+                .mode(mode)
+                .run(&input)
+                .unwrap_err();
+            assert!(matches!(e, EngineError::InputSizeMismatch { .. }));
+        }
+    }
+
+    #[test]
+    fn missing_kernel_is_a_config_error() {
+        let plan = plan_5pt(10, 10);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let e = Session::new(&plan).run(&input).unwrap_err();
+        match e {
+            EngineError::Config { detail } => assert!(detail.contains("no kernel"), "{detail}"),
+            other => panic!("expected Config, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_mode_follows_stream_count() {
+        let plan = plan_5pt(12, 12).with_offchip_streams(2).unwrap();
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let center = |w: &[f64]| w[2];
+        let run = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&center))
+            .run(&input)
+            .unwrap();
+        assert_eq!(run.report.stages[0].engine.as_ref().unwrap().tiles, 2);
+    }
+
+    #[test]
+    fn worker_panic_is_reported_in_every_mode() {
+        let plan = plan_5pt(10, 10);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let boom = |_: &[f64]| -> f64 { panic!("datapath bug") };
+        for mode in [
+            ExecMode::InCore,
+            ExecMode::Streaming {
+                chunk_rows: Some(3),
+            },
+        ] {
+            for threads in [1usize, 4] {
+                let e = Session::new(&plan)
+                    .kernel(SessionKernel::Closure(&boom))
+                    .mode(mode)
+                    .threads(threads)
+                    .run(&input)
+                    .unwrap_err();
+                assert_eq!(
+                    e,
+                    EngineError::WorkerPanic,
+                    "mode={mode:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scrambled_input_index_reports_missing_point() {
+        use stencil_polyhedral::DomainIndex;
+        // An input index whose prefix-5 row is shifted left by one:
+        // same point count (so the size check passes), broken coverage.
+        // Output rows reading (5, 9) cannot batch; the gather fallback
+        // must name the exact missing point instead of reading garbage.
+        let plan = plan_5pt(10, 10);
+        let mut rows = plan.input_domain().index().unwrap().rows().to_vec();
+        assert_eq!((rows[5].lo, rows[5].hi), (0, 9));
+        rows[5].lo = -1;
+        rows[5].hi = 8;
+        let idx = DomainIndex::from_rows(2, rows);
+        let vals = ramp(idx.len());
+        let input = InputGrid::new(&idx, &vals).unwrap();
+        let center = |w: &[f64]| w[2];
+        let e = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&center))
+            .mode(ExecMode::Tiled { tiles: 1 })
+            .run(&input)
+            .unwrap_err();
+        match e {
+            EngineError::MissingInput { point } => assert_eq!(point, "(5, 9)"),
+            other => panic!("expected MissingInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_accounts_all_rows_fast_for_rect_grids() {
+        let plan = plan_5pt(16, 16);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let center = |w: &[f64]| w[2];
+        let run = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&center))
+            .mode(ExecMode::Tiled { tiles: 2 })
+            .run(&input)
+            .unwrap();
+        let report = run.report.stages[0].engine.as_ref().unwrap();
+        let fast: u64 = report.per_tile.iter().map(|t| t.fast_rows).sum();
+        let gather: u64 = report.per_tile.iter().map(|t| t.gather_rows).sum();
+        assert_eq!(fast, 14);
+        assert_eq!(gather, 0);
+        assert!(report.halo_elements > in_idx.len());
+    }
+
+    #[test]
+    fn streaming_matches_in_core_at_every_chunk_size() {
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let reference = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .run(&input)
+            .unwrap()
+            .outputs;
+        for chunk in [1u64, 3, 18, 100] {
+            for threads in [1usize, 3] {
+                let run = Session::new(&plan)
+                    .kernel(SessionKernel::Closure(&compute))
+                    .mode(ExecMode::Streaming {
+                        chunk_rows: Some(chunk),
+                    })
+                    .threads(threads)
+                    .run(&input)
+                    .unwrap();
+                assert_eq!(run.outputs, reference, "chunk={chunk} threads={threads}");
+                let report = run.report.stages[0].stream.as_ref().unwrap();
+                assert_eq!(report.outputs, 18 * 22);
+                assert_eq!(report.backend, KernelBackend::Closure);
+                assert_eq!(report.sweep_rows, 0);
+                assert!(run.report.within_residency_bound());
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_streaming_sweeps_and_matches_closure_streaming() {
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let kernel = compiled_5pt();
+        for chunk in [1u64, 3, 18] {
+            let closure = Session::new(&plan)
+                .kernel(SessionKernel::Closure(&compute))
+                .mode(ExecMode::Streaming {
+                    chunk_rows: Some(chunk),
+                })
+                .run(&input)
+                .unwrap();
+            let compiled = Session::new(&plan)
+                .kernel(SessionKernel::Compiled(&kernel))
+                .mode(ExecMode::Streaming {
+                    chunk_rows: Some(chunk),
+                })
+                .run(&input)
+                .unwrap();
+            assert_eq!(compiled.outputs, closure.outputs, "chunk={chunk}");
+            let report = compiled.report.stages[0].stream.as_ref().unwrap();
+            assert_eq!(report.backend, KernelBackend::Compiled);
+            // Rectangular grid: every output row sweeps.
+            assert_eq!(report.sweep_rows, 18, "chunk={chunk}");
+            assert_eq!(report.fast_rows, 0);
+            assert_eq!(report.gather_rows, 0);
+
+            let scalar = Session::new(&plan)
+                .kernel(SessionKernel::Compiled(&kernel))
+                .backend(KernelBackend::Closure)
+                .mode(ExecMode::Streaming {
+                    chunk_rows: Some(chunk),
+                })
+                .run(&input)
+                .unwrap();
+            assert_eq!(scalar.outputs, closure.outputs);
+            let report = scalar.report.stages[0].stream.as_ref().unwrap();
+            assert_eq!(report.backend, KernelBackend::Closure);
+            assert_eq!(report.sweep_rows, 0);
+        }
+    }
+
+    #[test]
+    fn residency_stays_at_one_halo_window() {
+        // 18 output rows in 1-row bands: halo = 3 input rows of 24.
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let run = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .mode(ExecMode::Streaming {
+                chunk_rows: Some(1),
+            })
+            .run(&input)
+            .unwrap();
+        let report = run.report.stages[0].stream.as_ref().unwrap();
+        assert_eq!(report.peak_resident, 3 * 24);
+        assert_eq!(report.resident_bound, 3 * 24);
+        assert_eq!(report.bands, 18);
+        // Every input value crosses the window exactly once.
+        assert_eq!(report.values_in, in_idx.len());
+        assert_eq!(report.rows_in, 20);
+        assert_eq!(report.rows_out, 18);
+        assert_eq!(run.report.peak_resident, 3 * 24);
+        assert_eq!(run.report.resident_bound, 3 * 24);
+    }
+
+    #[test]
+    fn streaming_endpoints_work_in_every_mode() {
+        // run_streaming(source, sink) is mode-orthogonal: in-core modes
+        // materialize the input and stream the result out.
+        let plan = plan_5pt(30, 16);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let reference = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .run(&input)
+            .unwrap()
+            .outputs;
+        for mode in [
+            ExecMode::InCore,
+            ExecMode::Tiled { tiles: 4 },
+            ExecMode::Streaming {
+                chunk_rows: Some(4),
+            },
+        ] {
+            let mut source = FnSource::new(|r| (r % 97) as f64 * 0.5 - 11.0);
+            let mut sink = VecSink::new();
+            let report = Session::new(&plan)
+                .kernel(SessionKernel::Closure(&compute))
+                .mode(mode)
+                .run_streaming(&mut source, &mut sink)
+                .unwrap();
+            assert_eq!(sink.values, reference, "mode={mode:?}");
+            assert_eq!(report.mode, mode);
+            assert_eq!(report.outputs(), 28 * 14);
+        }
+    }
+
+    #[test]
+    fn exhausted_source_is_an_error_not_a_panic() {
+        let plan = plan_5pt(12, 12);
+        let short = ramp(10);
+        let mut source = SliceSource::new(&short);
+        let mut sink = VecSink::new();
+        let e = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .mode(ExecMode::Streaming { chunk_rows: None })
+            .run_streaming(&mut source, &mut sink)
+            .unwrap_err();
+        assert!(matches!(e, EngineError::Source { .. }), "{e}");
+    }
+
+    #[test]
+    fn failing_sink_is_an_error_not_a_panic() {
+        struct FullSink;
+        impl crate::stream::RowSink for FullSink {
+            fn push_row(&mut self, _row: &[f64]) -> Result<(), String> {
+                Err("disk full".into())
+            }
+        }
+        let plan = plan_5pt(12, 12);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let mut source = SliceSource::new(&vals);
+        let e = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .mode(ExecMode::Streaming { chunk_rows: None })
+            .run_streaming(&mut source, &mut FullSink)
+            .unwrap_err();
+        assert_eq!(
+            e,
+            EngineError::Sink {
+                detail: "disk full".into()
+            }
+        );
+    }
+
+    #[test]
+    fn one_dimensional_stream() {
+        let spec = StencilSpec::new(
+            "blur1d",
+            Polyhedron::rect(&[(1, 40)]),
+            vec![Point::new(&[-1]), Point::new(&[0]), Point::new(&[1])],
+        )
+        .unwrap();
+        let plan = MemorySystemPlan::generate(&spec).unwrap();
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let blur = |w: &[f64]| (w[0] + w[1] + w[2]) / 3.0;
+        let reference = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&blur))
+            .run(&input)
+            .unwrap()
+            .outputs;
+        let run = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&blur))
+            .mode(ExecMode::Streaming {
+                chunk_rows: Some(8),
+            })
+            .run(&input)
+            .unwrap();
+        assert_eq!(run.outputs, reference);
+        // A 1D domain is one index row: the whole grid is the window.
+        let report = run.report.stages[0].stream.as_ref().unwrap();
+        assert_eq!(report.peak_resident, in_idx.len());
+        assert!(run.report.within_residency_bound());
+    }
+
+    // ---- temporal chaining ----
+
+    fn stage_5pt(name: &str) -> KernelStage {
+        KernelStage::new(name, window_5pt(), compute)
+    }
+
+    /// Sequential reference: run stage 2 as its own session over stage
+    /// 1's materialized output grid.
+    fn sequential_two_stage(plan1: &MemorySystemPlan, vals: &[f64]) -> Vec<f64> {
+        let in_idx = plan1.input_domain().index().unwrap();
+        let input = InputGrid::new(&in_idx, vals).unwrap();
+        let out1 = Session::new(plan1)
+            .kernel(SessionKernel::Closure(&compute))
+            .run(&input)
+            .unwrap()
+            .outputs;
+        let plan2 = plan1.chain_next("stage2", &window_5pt()).unwrap();
+        let mid_idx = plan2.input_domain().index().unwrap();
+        let mid = InputGrid::new(&mid_idx, &out1).unwrap();
+        Session::new(&plan2)
+            .kernel(SessionKernel::Closure(&compute))
+            .run(&mid)
+            .unwrap()
+            .outputs
+    }
+
+    #[test]
+    fn chained_incore_matches_sequential_stages() {
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let expect = sequential_two_stage(&plan, &vals);
+
+        let session = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .then(&stage_5pt("stage2"))
+            .unwrap();
+        assert_eq!(session.stage_count(), 2);
+        let run = session.run(&input).unwrap();
+        assert_eq!(run.outputs, expect);
+        // 20x24 grid -> 18x22 after stage 1 -> 16x20 after stage 2.
+        assert_eq!(run.outputs.len(), 16 * 20);
+        assert_eq!(run.report.stages.len(), 2);
+        assert_eq!(run.report.stages[1].label, "stage2");
+    }
+
+    #[test]
+    fn chained_streaming_is_bit_identical_and_residency_bounded() {
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let expect = sequential_two_stage(&plan, &vals);
+
+        for chunk in [1u64, 3, 9] {
+            let session = Session::new(&plan)
+                .kernel(SessionKernel::Closure(&compute))
+                .then(&stage_5pt("stage2"))
+                .unwrap()
+                .mode(ExecMode::Streaming {
+                    chunk_rows: Some(chunk),
+                });
+            let planned = session.planned_residency_bound(Some(chunk)).unwrap();
+            let run = session.run(&input).unwrap();
+            assert_eq!(run.outputs, expect, "chunk={chunk}");
+            // The chained peak is the sum of the per-stage windows and
+            // honors both the runtime and the planned bound.
+            let stage_peaks: u64 = run
+                .report
+                .stages
+                .iter()
+                .map(|s| s.stream.as_ref().unwrap().peak_resident)
+                .sum();
+            assert_eq!(run.report.peak_resident, stage_peaks);
+            assert!(run.report.within_residency_bound());
+            assert!(
+                run.report.peak_resident <= planned,
+                "chunk={chunk}: peak {} > planned {planned}",
+                run.report.peak_resident
+            );
+        }
+
+        // At 1-row bands, two coupled halo windows stay resident:
+        // 3 input rows of 24 plus 3 intermediate rows of 22 — far below
+        // the 18x22 intermediate grid a sequential run materializes.
+        let run = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .then(&stage_5pt("stage2"))
+            .unwrap()
+            .mode(ExecMode::Streaming {
+                chunk_rows: Some(1),
+            })
+            .run(&input)
+            .unwrap();
+        assert_eq!(run.report.peak_resident, 3 * 24 + 3 * 22);
+        assert!(run.report.peak_resident < 18 * 22);
+    }
+
+    #[test]
+    fn session_metrics_serialize_and_validate_clean() {
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+
+        let run = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .then(&stage_5pt("stage2"))
+            .unwrap()
+            .mode(ExecMode::Streaming {
+                chunk_rows: Some(1),
+            })
+            .run(&input)
+            .unwrap();
+        let metrics = run.report.metrics();
+        assert_eq!(metrics.mode, "streaming");
+        assert_eq!(metrics.outputs, 16 * 20);
+        assert_eq!(metrics.peak_resident, run.report.peak_resident);
+        assert_eq!(metrics.stages.len(), 2);
+        assert_eq!(metrics.stages[0].label, "denoise");
+        assert_eq!(metrics.stages[1].label, "stage2");
+        assert!(metrics.stages.iter().all(|s| s.stream.is_some()));
+        // Every stage-1 output value flows into stage 2 — the
+        // hand-off figure the ChainResidency validator rule re-checks.
+        assert_eq!(
+            metrics.stages[1].stream.as_ref().unwrap().values_in,
+            metrics.stages[0].stream.as_ref().unwrap().outputs
+        );
+
+        // The wire form round-trips and passes report validation,
+        // including the chained-residency rule.
+        let mut report = stencil_telemetry::MetricsReport::new("denoise-chain");
+        report.session = Some(metrics);
+        let text = report.to_json();
+        let back = stencil_telemetry::MetricsReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(stencil_telemetry::validate_report(&back), Vec::new());
+
+        // In-core chained runs serialize engine-stage metrics instead.
+        let run = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .then(&stage_5pt("stage2"))
+            .unwrap()
+            .run(&input)
+            .unwrap();
+        let metrics = run.report.metrics();
+        assert_eq!(metrics.mode, "incore");
+        assert!(metrics.stages.iter().all(|s| s.engine.is_some()));
+        let mut report = stencil_telemetry::MetricsReport::new("denoise-chain");
+        report.session = Some(metrics);
+        assert_eq!(stencil_telemetry::validate_report(&report), Vec::new());
+    }
+
+    #[test]
+    fn three_stage_chain_matches_iterated_sequential() {
+        let plan = plan_5pt(22, 20);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+
+        // Sequential: fold the grid through three planned stages.
+        let mut cur_plan = MemorySystemPlan::generate(
+            &StencilSpec::new("denoise", plan.iteration_domain().clone(), window_5pt()).unwrap(),
+        )
+        .unwrap();
+        let mut cur = {
+            let input = InputGrid::new(&in_idx, &vals).unwrap();
+            Session::new(&plan)
+                .kernel(SessionKernel::Closure(&compute))
+                .run(&input)
+                .unwrap()
+                .outputs
+        };
+        for name in ["s2", "s3"] {
+            let next = cur_plan.chain_next(name, &window_5pt()).unwrap();
+            let idx = next.input_domain().index().unwrap();
+            let grid = InputGrid::new(&idx, &cur).unwrap();
+            cur = Session::new(&next)
+                .kernel(SessionKernel::Closure(&compute))
+                .run(&grid)
+                .unwrap()
+                .outputs;
+            cur_plan = next;
+        }
+
+        for mode in [
+            ExecMode::InCore,
+            ExecMode::Streaming {
+                chunk_rows: Some(2),
+            },
+        ] {
+            let run = Session::new(&plan)
+                .kernel(SessionKernel::Closure(&compute))
+                .then(&stage_5pt("s2"))
+                .unwrap()
+                .then(&stage_5pt("s3"))
+                .unwrap()
+                .mode(mode)
+                .run(&input)
+                .unwrap();
+            assert_eq!(run.outputs, cur, "mode={mode:?}");
+            assert_eq!(run.report.stages.len(), 3);
+        }
+    }
+
+    #[test]
+    fn chained_stage_with_expr_compiles_and_sweeps() {
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let expect = sequential_two_stage(&plan, &vals);
+        let kernel = compiled_5pt();
+
+        let stage = stage_5pt("stage2").with_expr(expr_5pt());
+        let run = Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .then(&stage)
+            .unwrap()
+            .mode(ExecMode::Streaming {
+                chunk_rows: Some(3),
+            })
+            .run(&input)
+            .unwrap();
+        assert_eq!(run.outputs, expect);
+        // Both stages row-sweep their full rectangular iteration space.
+        let s1 = run.report.stages[0].stream.as_ref().unwrap();
+        let s2 = run.report.stages[1].stream.as_ref().unwrap();
+        assert_eq!(s1.backend, KernelBackend::Compiled);
+        assert_eq!(s2.backend, KernelBackend::Compiled);
+        assert_eq!(s1.sweep_rows, 18);
+        assert_eq!(s2.sweep_rows, 16);
+    }
+
+    #[test]
+    fn chain_rejects_windows_that_consume_the_grid() {
+        let plan = plan_5pt(8, 8); // 6x6 iteration domain
+        let tall = KernelStage::new(
+            "tall",
+            vec![
+                Point::new(&[-3, 0]),
+                Point::new(&[0, 0]),
+                Point::new(&[3, 0]),
+            ],
+            compute,
+        );
+        let session = Session::new(&plan).kernel(SessionKernel::Closure(&compute));
+        // 6 rows erode to nothing under a 7-row vertical window.
+        let e = session.then(&tall).unwrap_err();
+        assert!(matches!(e, EngineError::Plan(_)), "{e}");
+    }
+
+    #[test]
+    fn session_report_displays_the_pipeline() {
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let run = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .then(&stage_5pt("stage2"))
+            .unwrap()
+            .mode(ExecMode::Streaming {
+                chunk_rows: Some(3),
+            })
+            .telemetry("denoise-x2")
+            .run(&input)
+            .unwrap();
+        assert_eq!(run.report.label.as_deref(), Some("denoise-x2"));
+        let s = run.report.to_string();
+        assert!(s.contains("session [streaming]"), "{s}");
+        assert!(s.contains("2 stage(s)"), "{s}");
+        assert!(s.contains("stage 'stage2'"), "{s}");
+        assert!(run.report.throughput() >= 0.0);
+    }
+}

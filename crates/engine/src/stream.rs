@@ -1,20 +1,21 @@
-//! Bounded-memory streaming execution: out-of-core runs that keep only
-//! the current band's halo window resident.
+//! Streaming endpoints and the legacy out-of-core entry points, kept
+//! as thin delegates over the unified [`Session`] layer.
 //!
 //! The in-core paths ([`crate::run_plan`]) hold the whole input and
 //! output grids in RAM, so domain size and memory footprint are
 //! coupled. The paper's central observation (Sec. 2.3) is that a
 //! stencil only ever needs the *reuse window* — the data between the
-//! first and last use of an element — resident at once. This module is
+//! first and last use of an element — resident at once. Streaming is
 //! the software form of that bound:
 //!
 //! * a [`RowSource`] delivers input values in lexicographic stream
 //!   order, one input index row per pull — the same order the
 //!   accelerator's off-chip interface consumes;
-//! * [`run_streaming`] walks the bands of a [`stencil_core::TilePlan`]
-//!   in rank order, keeping exactly the rows of the current band's
-//!   `halo_band` resident (evicting before pulling, so peak residency
-//!   never exceeds one band's halo: `halo rows × widest row`);
+//! * the session's stage machine ([`crate::ExecMode::Streaming`]) walks
+//!   the bands of a [`stencil_core::TilePlan`] in rank order, keeping
+//!   exactly the rows of the current band's `halo_band` resident
+//!   (evicting before pulling, so peak residency never exceeds one
+//!   band's halo: `halo rows × widest row`);
 //! * finished bands execute through the same sweep/fast/gather row
 //!   executor as the in-core path and push their output rows to a
 //!   [`RowSink`] before the next band's rows are pulled — the sink and
@@ -25,21 +26,12 @@
 //! gauge; the report's `peak_resident` and its planned `resident_bound`
 //! feed the validator rule `peak_resident <= resident_bound`.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
-use std::time::Instant;
-
-use stencil_core::{row_outer_span, MemorySystemPlan};
-use stencil_polyhedral::{Point, Row};
-use stencil_telemetry::HighWater;
+use stencil_core::MemorySystemPlan;
 
 use crate::compile::{CompiledKernel, KernelBackend};
 use crate::error::EngineError;
-use crate::exec::{check_kernel_window, threads_for};
 use crate::report::StreamReport;
-use crate::rowexec::{
-    execute_rows, ClosureKernel, RankWindow, RowKernel, RowStats, ScalarKernel, SweepKernel,
-};
+use crate::session::{ExecMode, Session, SessionKernel};
 
 /// Supplies input values in lexicographic stream order.
 ///
@@ -289,6 +281,9 @@ impl StreamConfig {
 ///   domain) exceeds addressable memory.
 /// * [`EngineError::MissingInput`] / [`EngineError::WorkerPanic`] as in
 ///   [`crate::run_plan`].
+#[deprecated(
+    note = "use `Session::new(plan).kernel(..).mode(ExecMode::Streaming{..}).run_streaming(source, sink)`"
+)]
 pub fn run_streaming<C>(
     plan: &MemorySystemPlan,
     source: &mut dyn RowSource,
@@ -299,14 +294,14 @@ pub fn run_streaming<C>(
 where
     C: Fn(&[f64]) -> f64 + Sync,
 {
-    run_streaming_inner(
-        plan,
-        source,
-        sink,
-        &ClosureKernel(compute),
-        config,
-        KernelBackend::Closure,
-    )
+    Session::new(plan)
+        .kernel(SessionKernel::Closure(compute))
+        .mode(ExecMode::Streaming {
+            chunk_rows: config.chunk_rows,
+        })
+        .threads(config.threads)
+        .run_streaming(source, sink)?
+        .into_stream_report()
 }
 
 /// [`run_streaming`] through pre-compiled bytecode: interior rows run
@@ -318,6 +313,9 @@ where
 ///
 /// As [`run_streaming`], plus [`EngineError::KernelCompile`] when the
 /// kernel's tap count does not match the plan's window.
+#[deprecated(
+    note = "use `Session::new(plan).kernel(SessionKernel::Compiled(kernel)).mode(ExecMode::Streaming{..}).run_streaming(source, sink)`"
+)]
 pub fn run_streaming_compiled(
     plan: &MemorySystemPlan,
     source: &mut dyn RowSource,
@@ -325,276 +323,24 @@ pub fn run_streaming_compiled(
     kernel: &CompiledKernel,
     config: &StreamConfig,
 ) -> Result<StreamReport, EngineError> {
-    check_kernel_window(plan, kernel)?;
-    match config.backend {
-        KernelBackend::Compiled => run_streaming_inner(
-            plan,
-            source,
-            sink,
-            &SweepKernel(kernel),
-            config,
-            KernelBackend::Compiled,
-        ),
-        KernelBackend::Closure => run_streaming_inner(
-            plan,
-            source,
-            sink,
-            &ScalarKernel(kernel),
-            config,
-            KernelBackend::Closure,
-        ),
-    }
+    Session::new(plan)
+        .kernel(SessionKernel::Compiled(kernel))
+        .backend(config.backend)
+        .mode(ExecMode::Streaming {
+            chunk_rows: config.chunk_rows,
+        })
+        .threads(config.threads)
+        .run_streaming(source, sink)?
+        .into_stream_report()
 }
-
-fn run_streaming_inner<K: RowKernel>(
-    plan: &MemorySystemPlan,
-    source: &mut dyn RowSource,
-    sink: &mut dyn RowSink,
-    kernel: &K,
-    config: &StreamConfig,
-    backend: KernelBackend,
-) -> Result<StreamReport, EngineError> {
-    let started = Instant::now();
-    let tile_plan = match config.chunk_rows {
-        Some(n) => plan.tile_plan_chunked(n)?,
-        None => plan.tile_plan_from_streams()?,
-    };
-    let in_idx = plan
-        .input_domain()
-        .index()
-        .map_err(|e| EngineError::Plan(e.into()))?;
-    let dims = in_idx.dims();
-    let rows = in_idx.rows();
-
-    // Streaming addresses residents by rank offset from the window
-    // base, which requires the input stream to be exactly the rows in
-    // order — i.e. contiguous monotone bases.
-    let mut expect_base = 0u64;
-    for row in rows {
-        if row.base != expect_base {
-            return Err(EngineError::InconsistentIndex {
-                detail: format!(
-                    "input row at {} has base {} but the stream is at rank {expect_base}; \
-                     streaming requires contiguous rank order",
-                    row.prefix, row.base
-                ),
-            });
-        }
-        expect_base += row.len();
-    }
-
-    // Window offsets in the user's declared reference order.
-    let mut offsets = vec![Point::zero(plan.iteration_domain().dims()); plan.port_count()];
-    for f in plan.filters() {
-        offsets[f.user_index] = f.offset;
-    }
-
-    let mut window: Vec<f64> = Vec::new();
-    let mut scratch: Vec<f64> = Vec::new();
-    let mut resident = 0usize..0usize; // row indices currently resident
-    let mut gauge = HighWater::new();
-    let mut resident_bound = 0u64;
-    let mut rows_in = 0u64;
-    let mut values_in = 0u64;
-    let mut rows_out = 0u64;
-    let mut stats = RowStats::default();
-    let mut out_buf: Vec<f64> = Vec::new();
-    let worker_count = threads_for(config.threads, usize::MAX);
-
-    for tile in tile_plan.tiles() {
-        // 1. Evict rows entirely below this band's halo. Evicting
-        // before pulling keeps the peak at one band's halo window.
-        while resident.start < resident.end
-            && tile.row_below_halo(row_outer_span(&rows[resident.start], dims))
-        {
-            let n = usize::try_from(rows[resident.start].len()).map_err(|_| {
-                EngineError::DomainTooLarge {
-                    points: rows[resident.start].len(),
-                }
-            })?;
-            window.drain(0..n);
-            resident.start += 1;
-        }
-
-        // 2. Pull rows up to the halo's top edge. Rows still entirely
-        // below the halo were never needed (they precede the first
-        // band); pull them into scratch to honor stream order, then
-        // drop them without ever being resident.
-        while resident.end < rows.len()
-            && !tile.row_above_halo(row_outer_span(&rows[resident.end], dims))
-        {
-            let row = &rows[resident.end];
-            let len = usize::try_from(row.len())
-                .map_err(|_| EngineError::DomainTooLarge { points: row.len() })?;
-            let pulled = if tile.row_below_halo(row_outer_span(row, dims)) {
-                scratch.clear();
-                source
-                    .fill_row(len, &mut scratch)
-                    .map_err(|detail| EngineError::Source { detail })?;
-                resident.start = resident.end + 1;
-                scratch.len()
-            } else {
-                let before = window.len();
-                source
-                    .fill_row(len, &mut window)
-                    .map_err(|detail| EngineError::Source { detail })?;
-                window.len() - before
-            };
-            if pulled != len {
-                return Err(EngineError::Source {
-                    detail: format!("source produced {pulled} of {len} requested values"),
-                });
-            }
-            resident.end += 1;
-            rows_in += 1;
-            values_in += row.len();
-        }
-
-        gauge.observe(window.len() as u64);
-        let widest = rows[resident.clone()]
-            .iter()
-            .map(Row::len)
-            .max()
-            .unwrap_or(0);
-        resident_bound = resident_bound.max(resident.len() as u64 * widest);
-
-        // 3. Execute the band through the shared sweep/fast/gather
-        // executor.
-        let band_idx = tile
-            .iter_domain
-            .index()
-            .map_err(|e| EngineError::Plan(e.into()))?;
-        let band_len = usize::try_from(tile.len)
-            .map_err(|_| EngineError::DomainTooLarge { points: tile.len })?;
-        out_buf.clear();
-        out_buf.resize(band_len, 0.0);
-        let win = RankWindow {
-            idx: &in_idx,
-            vals: &window,
-            base: rows.get(resident.start).map_or(0, |r| r.base),
-        };
-        let band_rows = band_idx.rows();
-        let workers = threads_for(worker_count, band_rows.len());
-        let band_stats = if workers <= 1 {
-            catch_unwind(AssertUnwindSafe(|| {
-                execute_rows(band_rows, 0, &offsets, &win, kernel, &mut out_buf)
-            }))
-            .map_err(|_| EngineError::WorkerPanic)??
-        } else {
-            execute_band_parallel(band_rows, &offsets, &win, kernel, &mut out_buf, workers)?
-        };
-        stats.merge(band_stats);
-
-        // 4. Push the band's finished rows before touching the source
-        // again — sink and source stay at most one band apart.
-        for row in band_rows {
-            let start = usize::try_from(row.base)
-                .map_err(|_| EngineError::DomainTooLarge { points: row.base })?;
-            let len = usize::try_from(row.len())
-                .map_err(|_| EngineError::DomainTooLarge { points: row.len() })?;
-            let slice = out_buf
-                .get(start..)
-                .and_then(|s| s.get(..len))
-                .ok_or_else(|| EngineError::InconsistentIndex {
-                    detail: format!(
-                        "band {} output row at {} exceeds the band buffer",
-                        tile.id, row.prefix
-                    ),
-                })?;
-            sink.push_row(slice)
-                .map_err(|detail| EngineError::Sink { detail })?;
-            rows_out += 1;
-        }
-    }
-
-    Ok(StreamReport {
-        outputs: tile_plan.total_outputs(),
-        bands: tile_plan.tile_count(),
-        threads: worker_count,
-        backend,
-        chunk_rows: config.chunk_rows.unwrap_or(0),
-        rows_in,
-        values_in,
-        rows_out,
-        peak_resident: gauge.get(),
-        resident_bound,
-        sweep_rows: stats.sweep,
-        fast_rows: stats.fast,
-        gather_rows: stats.gather,
-        elapsed: started.elapsed(),
-    })
-}
-
-/// Splits a band's iteration rows into contiguous per-worker chunks
-/// writing disjoint slices of the band buffer.
-fn execute_band_parallel<K: RowKernel>(
-    band_rows: &[Row],
-    offsets: &[Point],
-    win: &RankWindow<'_>,
-    kernel: &K,
-    out: &mut [f64],
-    workers: usize,
-) -> Result<RowStats, EngineError> {
-    // Chunk boundaries in row space; output slices follow row bases.
-    let per = band_rows.len().div_ceil(workers);
-    let mut chunks: Vec<(&[Row], &mut [f64])> = Vec::with_capacity(workers);
-    let mut rest_rows = band_rows;
-    let mut rest_out: &mut [f64] = out;
-    let mut consumed = 0u64;
-    while !rest_rows.is_empty() {
-        let take = per.min(rest_rows.len());
-        let (head, tail) = rest_rows.split_at(take);
-        let chunk_vals: u64 = head.iter().map(Row::len).sum();
-        let chunk_len = usize::try_from(chunk_vals)
-            .map_err(|_| EngineError::DomainTooLarge { points: chunk_vals })?;
-        if head.first().map(|r| r.base) != Some(consumed) || chunk_len > rest_out.len() {
-            return Err(EngineError::InconsistentIndex {
-                detail: "band iteration rows are not in contiguous rank order".into(),
-            });
-        }
-        let (o_head, o_tail) = rest_out.split_at_mut(chunk_len);
-        chunks.push((head, o_head));
-        rest_rows = tail;
-        rest_out = o_tail;
-        consumed += chunk_vals;
-    }
-
-    let queue = Mutex::new(chunks);
-    let results: Mutex<Vec<RowChunkResult>> = Mutex::new(Vec::with_capacity(workers));
-    crossbeam::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let item = queue.lock().expect("queue lock").pop();
-                let Some((rows, out)) = item else { break };
-                let out_base = rows.first().map_or(0, |r| r.base);
-                let r = execute_rows(rows, out_base, offsets, win, kernel, out);
-                let failed = r.is_err();
-                results.lock().expect("results lock").push(r);
-                if failed {
-                    break;
-                }
-            });
-        }
-    })
-    .map_err(|_| EngineError::WorkerPanic)?;
-
-    let mut stats = RowStats::default();
-    for r in results.into_inner().expect("results lock") {
-        stats.merge(r?);
-    }
-    Ok(stats)
-}
-
-type RowChunkResult = Result<RowStats, EngineError>;
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::exec::{run_plan, EngineConfig};
-    use crate::input::InputGrid;
     use stencil_core::StencilSpec;
     use stencil_kernels::KernelExpr;
-    use stencil_polyhedral::Polyhedron;
+    use stencil_polyhedral::{Point, Polyhedron};
 
     fn plan_5pt(rows: i64, cols: i64) -> MemorySystemPlan {
         let spec = StencilSpec::new(
@@ -620,142 +366,8 @@ mod tests {
         w[2] + 0.25 * (w[0] + w[1] + w[3] + w[4] - 4.0 * w[2])
     }
 
-    fn compiled_5pt() -> CompiledKernel {
-        let [t0, t1, t2, t3, t4] = KernelExpr::taps::<5>();
-        let expr = t2.clone() + 0.25 * (t0 + t1 + t3 + t4 - 4.0 * t2);
-        CompiledKernel::compile_checked(&expr, 5, &compute).unwrap()
-    }
-
-    #[test]
-    fn streaming_matches_in_core_at_every_chunk_size() {
-        let plan = plan_5pt(20, 24);
-        let in_idx = plan.input_domain().index().unwrap();
-        let vals = ramp(in_idx.len());
-        let input = InputGrid::new(&in_idx, &vals).unwrap();
-        let reference = run_plan(&plan, &input, &compute, &EngineConfig::default())
-            .unwrap()
-            .outputs;
-        for chunk in [1u64, 3, 18, 100] {
-            for threads in [1usize, 3] {
-                let mut source = SliceSource::new(&vals);
-                let mut sink = VecSink::new();
-                let report = run_streaming(
-                    &plan,
-                    &mut source,
-                    &mut sink,
-                    &compute,
-                    &StreamConfig::new().chunk_rows(chunk).threads(threads),
-                )
-                .unwrap();
-                assert_eq!(sink.values, reference, "chunk={chunk} threads={threads}");
-                assert_eq!(report.outputs, 18 * 22);
-                assert_eq!(report.backend, KernelBackend::Closure);
-                assert_eq!(report.sweep_rows, 0);
-                assert!(
-                    report.within_residency_bound(),
-                    "chunk={chunk}: peak {} > bound {}",
-                    report.peak_resident,
-                    report.resident_bound
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn compiled_streaming_matches_closure_streaming_bit_exact() {
-        let plan = plan_5pt(20, 24);
-        let in_idx = plan.input_domain().index().unwrap();
-        let vals = ramp(in_idx.len());
-        let kernel = compiled_5pt();
-        for chunk in [1u64, 3, 18] {
-            for threads in [1usize, 3] {
-                let mut source = SliceSource::new(&vals);
-                let mut closure_sink = VecSink::new();
-                run_streaming(
-                    &plan,
-                    &mut source,
-                    &mut closure_sink,
-                    &compute,
-                    &StreamConfig::new().chunk_rows(chunk).threads(threads),
-                )
-                .unwrap();
-                let mut source = SliceSource::new(&vals);
-                let mut compiled_sink = VecSink::new();
-                let report = run_streaming_compiled(
-                    &plan,
-                    &mut source,
-                    &mut compiled_sink,
-                    &kernel,
-                    &StreamConfig::new().chunk_rows(chunk).threads(threads),
-                )
-                .unwrap();
-                assert_eq!(
-                    compiled_sink.values, closure_sink.values,
-                    "chunk={chunk} threads={threads}"
-                );
-                assert_eq!(report.backend, KernelBackend::Compiled);
-                // Rectangular grid: every output row sweeps.
-                assert_eq!(report.sweep_rows, 18, "chunk={chunk} threads={threads}");
-                assert_eq!(report.fast_rows, 0);
-                assert_eq!(report.gather_rows, 0);
-            }
-        }
-    }
-
-    #[test]
-    fn forced_closure_backend_interprets_without_sweeping() {
-        let plan = plan_5pt(14, 14);
-        let in_idx = plan.input_domain().index().unwrap();
-        let vals = ramp(in_idx.len());
-        let kernel = compiled_5pt();
-        let mut source = SliceSource::new(&vals);
-        let mut sink = VecSink::new();
-        let report = run_streaming_compiled(
-            &plan,
-            &mut source,
-            &mut sink,
-            &kernel,
-            &StreamConfig::new()
-                .chunk_rows(4)
-                .backend(KernelBackend::Closure),
-        )
-        .unwrap();
-        assert_eq!(report.backend, KernelBackend::Closure);
-        assert_eq!(report.sweep_rows, 0);
-        assert_eq!(report.fast_rows, 12);
-        let mut source = SliceSource::new(&vals);
-        let mut swept = VecSink::new();
-        run_streaming_compiled(
-            &plan,
-            &mut source,
-            &mut swept,
-            &kernel,
-            &StreamConfig::new().chunk_rows(4),
-        )
-        .unwrap();
-        assert_eq!(sink.values, swept.values);
-    }
-
-    #[test]
-    fn mismatched_kernel_window_is_rejected() {
-        let plan = plan_5pt(12, 12);
-        let kernel = CompiledKernel::compile(&KernelExpr::window_sum(3), 3).unwrap();
-        let mut source = SliceSource::new(&[]);
-        let mut sink = VecSink::new();
-        let e = run_streaming_compiled(
-            &plan,
-            &mut source,
-            &mut sink,
-            &kernel,
-            &StreamConfig::default(),
-        )
-        .unwrap_err();
-        assert!(matches!(e, EngineError::KernelCompile { .. }), "{e}");
-    }
-
     #[test]
     fn deprecated_with_chunk_rows_still_builds_the_same_config() {
-        #[allow(deprecated)]
         let old = StreamConfig::with_chunk_rows(6).threads(3);
         let new = StreamConfig::new().chunk_rows(6).threads(3);
         assert_eq!(old.chunk_rows, new.chunk_rows);
@@ -764,11 +376,19 @@ mod tests {
     }
 
     #[test]
-    fn residency_stays_at_one_halo_window() {
-        // 18 output rows in 1-row bands: halo = 3 input rows of 24.
+    fn legacy_streaming_delegates_match_the_session() {
         let plan = plan_5pt(20, 24);
         let in_idx = plan.input_domain().index().unwrap();
         let vals = ramp(in_idx.len());
+        let input = crate::InputGrid::new(&in_idx, &vals).unwrap();
+        let session = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .mode(ExecMode::Streaming {
+                chunk_rows: Some(3),
+            })
+            .run(&input)
+            .unwrap();
+
         let mut source = SliceSource::new(&vals);
         let mut sink = VecSink::new();
         let report = run_streaming(
@@ -776,163 +396,52 @@ mod tests {
             &mut source,
             &mut sink,
             &compute,
-            &StreamConfig::new().chunk_rows(1),
+            &StreamConfig::new().chunk_rows(3),
         )
         .unwrap();
-        assert_eq!(report.peak_resident, 3 * 24);
-        assert_eq!(report.resident_bound, 3 * 24);
-        assert_eq!(report.bands, 18);
-        // Every input value crosses the window exactly once.
-        assert_eq!(report.values_in, in_idx.len());
-        assert_eq!(report.rows_in, 20);
-        assert_eq!(report.rows_out, 18);
-    }
+        assert_eq!(sink.values, session.outputs);
+        assert_eq!(report.chunk_rows, 3);
+        assert_eq!(report.backend, KernelBackend::Closure);
 
-    #[test]
-    fn generated_source_never_materializes_input() {
-        let plan = plan_5pt(30, 16);
-        let in_idx = plan.input_domain().index().unwrap();
-        let vals = ramp(in_idx.len());
-        let input = InputGrid::new(&in_idx, &vals).unwrap();
-        let reference = run_plan(&plan, &input, &compute, &EngineConfig::default())
-            .unwrap()
-            .outputs;
-        let mut source = FnSource::new(|r| (r % 97) as f64 * 0.5 - 11.0);
+        let [t0, t1, t2, t3, t4] = KernelExpr::taps::<5>();
+        let expr = t2.clone() + 0.25 * (t0 + t1 + t3 + t4 - 4.0 * t2);
+        let kernel = CompiledKernel::compile_checked(&expr, 5, &compute).unwrap();
+        let mut source = SliceSource::new(&vals);
         let mut sink = VecSink::new();
-        run_streaming(
+        let report = run_streaming_compiled(
             &plan,
             &mut source,
             &mut sink,
-            &compute,
-            &StreamConfig::new().chunk_rows(4),
+            &kernel,
+            &StreamConfig::new().chunk_rows(3),
         )
         .unwrap();
-        assert_eq!(sink.values, reference);
+        assert_eq!(sink.values, session.outputs);
+        assert_eq!(report.backend, KernelBackend::Compiled);
+        assert_eq!(report.sweep_rows, 18);
     }
 
     #[test]
-    fn read_source_and_write_sink_round_trip_bytes() {
-        let plan = plan_5pt(12, 12);
-        let in_idx = plan.input_domain().index().unwrap();
-        let vals = ramp(in_idx.len());
+    fn slice_source_reports_exhaustion() {
+        let vals = [1.0, 2.0];
+        let mut s = SliceSource::new(&vals);
+        let mut buf = Vec::new();
+        s.fill_row(2, &mut buf).unwrap();
+        assert_eq!(buf, vals);
+        let e = s.fill_row(1, &mut buf).unwrap_err();
+        assert!(e.contains("slice exhausted"), "{e}");
+    }
+
+    #[test]
+    fn read_source_and_write_sink_round_trip_values() {
+        let vals = [3.5f64, -2.25, 0.125];
         let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
         let mut source = ReadSource::new(&bytes[..]);
+        let mut buf = Vec::new();
+        source.fill_row(3, &mut buf).unwrap();
+        assert_eq!(buf, vals);
         let mut sink = WriteSink::new(Vec::<u8>::new());
-        run_streaming(
-            &plan,
-            &mut source,
-            &mut sink,
-            &compute,
-            &StreamConfig::default(),
-        )
-        .unwrap();
-        let out_bytes = sink.into_inner();
-        let streamed: Vec<f64> = out_bytes
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-            .collect();
-        let input = InputGrid::new(&in_idx, &vals).unwrap();
-        let reference = run_plan(&plan, &input, &compute, &EngineConfig::default())
-            .unwrap()
-            .outputs;
-        assert_eq!(streamed, reference);
-    }
-
-    #[test]
-    fn exhausted_source_is_an_error_not_a_panic() {
-        let plan = plan_5pt(12, 12);
-        let short = ramp(10);
-        let mut source = SliceSource::new(&short);
-        let mut sink = VecSink::new();
-        let e = run_streaming(
-            &plan,
-            &mut source,
-            &mut sink,
-            &compute,
-            &StreamConfig::default(),
-        )
-        .unwrap_err();
-        assert!(matches!(e, EngineError::Source { .. }), "{e}");
-    }
-
-    #[test]
-    fn failing_sink_is_an_error_not_a_panic() {
-        struct FullSink;
-        impl RowSink for FullSink {
-            fn push_row(&mut self, _row: &[f64]) -> Result<(), String> {
-                Err("disk full".into())
-            }
-        }
-        let plan = plan_5pt(12, 12);
-        let in_idx = plan.input_domain().index().unwrap();
-        let vals = ramp(in_idx.len());
-        let mut source = SliceSource::new(&vals);
-        let e = run_streaming(
-            &plan,
-            &mut source,
-            &mut FullSink,
-            &compute,
-            &StreamConfig::default(),
-        )
-        .unwrap_err();
-        assert_eq!(
-            e,
-            EngineError::Sink {
-                detail: "disk full".into()
-            }
-        );
-    }
-
-    #[test]
-    fn compute_panic_is_reported_single_and_multi_thread() {
-        let plan = plan_5pt(14, 14);
-        let in_idx = plan.input_domain().index().unwrap();
-        let vals = ramp(in_idx.len());
-        let boom = |_: &[f64]| -> f64 { panic!("datapath bug") };
-        for threads in [1usize, 4] {
-            let mut source = SliceSource::new(&vals);
-            let mut sink = VecSink::new();
-            let e = run_streaming(
-                &plan,
-                &mut source,
-                &mut sink,
-                &boom,
-                &StreamConfig::new().chunk_rows(6).threads(threads),
-            )
-            .unwrap_err();
-            assert_eq!(e, EngineError::WorkerPanic, "threads={threads}");
-        }
-    }
-
-    #[test]
-    fn one_dimensional_stream() {
-        let spec = StencilSpec::new(
-            "blur1d",
-            Polyhedron::rect(&[(1, 40)]),
-            vec![Point::new(&[-1]), Point::new(&[0]), Point::new(&[1])],
-        )
-        .unwrap();
-        let plan = MemorySystemPlan::generate(&spec).unwrap();
-        let in_idx = plan.input_domain().index().unwrap();
-        let vals = ramp(in_idx.len());
-        let input = InputGrid::new(&in_idx, &vals).unwrap();
-        let blur = |w: &[f64]| (w[0] + w[1] + w[2]) / 3.0;
-        let reference = run_plan(&plan, &input, &blur, &EngineConfig::default())
-            .unwrap()
-            .outputs;
-        let mut source = SliceSource::new(&vals);
-        let mut sink = VecSink::new();
-        let report = run_streaming(
-            &plan,
-            &mut source,
-            &mut sink,
-            &blur,
-            &StreamConfig::new().chunk_rows(8),
-        )
-        .unwrap();
-        assert_eq!(sink.values, reference);
-        // A 1D domain is one index row: the whole grid is the window.
-        assert_eq!(report.peak_resident, in_idx.len());
-        assert!(report.within_residency_bound());
+        sink.push_row(&vals).unwrap();
+        assert_eq!(sink.into_inner(), bytes);
     }
 }

@@ -8,8 +8,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use proptest::prelude::*;
 use stencil_core::MemorySystemPlan;
 use stencil_engine::{
-    run_plan, run_plan_compiled, run_streaming, run_streaming_compiled, CompiledKernel,
-    EngineConfig, InputGrid, KernelBackend, SliceSource, StreamConfig, VecSink,
+    CompiledKernel, ExecMode, InputGrid, KernelBackend, Session, SessionKernel, SliceSource,
+    VecSink,
 };
 use stencil_kernels::{
     accelerate, extra_suite, paper_suite, run_golden, Benchmark, GridValues, KernelExpr, KernelOps,
@@ -51,7 +51,8 @@ fn seeded_grid(extents: &[i64], seed: u64) -> GridValues {
 fn engine_outputs(
     plan: &MemorySystemPlan,
     grid: &GridValues,
-    config: &EngineConfig,
+    mode: ExecMode,
+    threads: usize,
 ) -> Result<Vec<f64>, TestCaseError> {
     let in_idx = plan
         .input_domain()
@@ -68,7 +69,11 @@ fn engine_outputs(
     }
     let input =
         InputGrid::new(&in_idx, &in_vals).map_err(|e| TestCaseError::fail(format!("{e}")))?;
-    run_plan(plan, &input, &weighted_sum, config)
+    Session::new(plan)
+        .kernel(SessionKernel::Closure(&weighted_sum))
+        .mode(mode)
+        .threads(threads)
+        .run(&input)
         .map(|run| run.outputs)
         .map_err(|e| TestCaseError::fail(format!("engine: {e}")))
 }
@@ -109,11 +114,7 @@ proptest! {
 
         let spec = bench.spec_for(&extents).expect("spec");
         let plan = MemorySystemPlan::generate(&spec).expect("plan");
-        let engine = engine_outputs(
-            &plan,
-            &grid,
-            &EngineConfig::new().tiles(tiles).threads(threads),
-        )?;
+        let engine = engine_outputs(&plan, &grid, ExecMode::Tiled { tiles }, threads)?;
         prop_assert_eq!(
             &engine, &golden,
             "engine({} tiles, {} threads) vs golden", tiles, threads
@@ -152,8 +153,7 @@ proptest! {
 
         let spec = bench.spec_for(&extents).expect("spec");
         let plan = MemorySystemPlan::generate(&spec).expect("plan");
-        let engine =
-            engine_outputs(&plan, &grid, &EngineConfig::new().tiles(tiles))?;
+        let engine = engine_outputs(&plan, &grid, ExecMode::Tiled { tiles }, 0)?;
         prop_assert_eq!(&engine, &golden, "engine({} tiles) vs golden", tiles);
     }
 
@@ -188,15 +188,18 @@ proptest! {
             c.advance(&in_idx);
         }
         let input = InputGrid::new(&in_idx, &in_vals).expect("input");
-        let run = run_plan(&plan, &input, &weighted_sum, &EngineConfig::default())
+        let run = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&weighted_sum))
+            .run(&input)
             .map_err(|e| TestCaseError::fail(format!("engine: {e}")))?;
 
         prop_assert_eq!(&run.outputs, &golden, "{} streams", streams);
         // Sharding into k bands re-fetches halo rows, never fewer
         // elements than the input domain itself.
-        prop_assert!(run.report.halo_elements >= in_idx.len());
-        prop_assert!(run.report.tiles >= 1);
-        prop_assert!(run.report.tiles <= streams);
+        let report = run.report.stages[0].engine.as_ref().expect("engine report");
+        prop_assert!(report.halo_elements >= in_idx.len());
+        prop_assert!(report.tiles >= 1);
+        prop_assert!(report.tiles <= streams);
     }
 
     /// The bounded-memory streaming path agrees bit-for-bit with the
@@ -217,7 +220,7 @@ proptest! {
         let grid = seeded_grid(&extents, seed);
         let spec = bench.spec_for(&extents).expect("spec");
         let plan = MemorySystemPlan::generate(&spec).expect("plan");
-        let in_core = engine_outputs(&plan, &grid, &EngineConfig::default())?;
+        let in_core = engine_outputs(&plan, &grid, ExecMode::InCore, 0)?;
 
         let in_idx = plan.input_domain().index().expect("input index");
         let mut in_vals = Vec::with_capacity(in_idx.len() as usize);
@@ -228,20 +231,19 @@ proptest! {
         }
         let mut source = SliceSource::new(&in_vals);
         let mut sink = VecSink::new();
-        let report = run_streaming(
-            &plan,
-            &mut source,
-            &mut sink,
-            &weighted_sum,
-            &StreamConfig::new().chunk_rows(chunk).threads(threads),
-        )
-        .map_err(|e| TestCaseError::fail(format!("streaming: {e}")))?;
+        let report = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&weighted_sum))
+            .mode(ExecMode::Streaming { chunk_rows: Some(chunk) })
+            .threads(threads)
+            .run_streaming(&mut source, &mut sink)
+            .map_err(|e| TestCaseError::fail(format!("streaming: {e}")))?;
         prop_assert_eq!(&sink.values, &in_core, "chunk={} threads={}", chunk, threads);
         prop_assert!(
             report.within_residency_bound(),
             "peak {} > bound {}", report.peak_resident, report.resident_bound
         );
-        prop_assert_eq!(report.values_in <= in_idx.len(), true);
+        let stage = report.stages[0].stream.as_ref().expect("stream report");
+        prop_assert_eq!(stage.values_in <= in_idx.len(), true);
     }
 
     /// Neither execution path may panic, whatever the spec shape, band
@@ -286,28 +288,29 @@ proptest! {
         let n = if scramble == 3 { idx.len().saturating_sub(1) } else { idx.len() };
         let vals: Vec<f64> = (0..n).map(|r| r as f64 * 0.5 - 3.0).collect();
 
-        let config = EngineConfig::new().tiles(tiles).threads(threads);
         let caught = catch_unwind(AssertUnwindSafe(|| {
-            InputGrid::new(&idx, &vals)
-                .and_then(|input| run_plan(&plan, &input, &weighted_sum, &config))
+            InputGrid::new(&idx, &vals).and_then(|input| {
+                Session::new(&plan)
+                    .kernel(SessionKernel::Closure(&weighted_sum))
+                    .mode(ExecMode::Tiled { tiles })
+                    .threads(threads)
+                    .run(&input)
+            })
         }));
-        prop_assert!(caught.is_ok(), "run_plan panicked (scramble={})", scramble);
+        prop_assert!(caught.is_ok(), "in-core session panicked (scramble={})", scramble);
 
         let caught = catch_unwind(AssertUnwindSafe(|| {
             let mut source = SliceSource::new(&vals);
             let mut sink = VecSink::new();
-            run_streaming(
-                &plan,
-                &mut source,
-                &mut sink,
-                &weighted_sum,
-                &{
-                    let sc = StreamConfig::new().threads(threads);
-                    if chunk > 0 { sc.chunk_rows(chunk) } else { sc }
-                },
-            )
+            Session::new(&plan)
+                .kernel(SessionKernel::Closure(&weighted_sum))
+                .mode(ExecMode::Streaming {
+                    chunk_rows: if chunk > 0 { Some(chunk) } else { None },
+                })
+                .threads(threads)
+                .run_streaming(&mut source, &mut sink)
         }));
-        prop_assert!(caught.is_ok(), "run_streaming panicked (scramble={})", scramble);
+        prop_assert!(caught.is_ok(), "streaming session panicked (scramble={})", scramble);
     }
 
     /// Every suite benchmark's expression compiles to bytecode that is
@@ -364,8 +367,7 @@ proptest! {
         )
         .map_err(|e| TestCaseError::fail(format!("compile: {e}")))?;
 
-        let config = EngineConfig::new().tiles(tiles).threads(threads);
-        let closure = engine_outputs(&plan, &grid, &config)?;
+        let closure = engine_outputs(&plan, &grid, ExecMode::Tiled { tiles }, threads)?;
 
         let in_idx = plan.input_domain().index().expect("input index");
         let mut in_vals = Vec::with_capacity(in_idx.len() as usize);
@@ -376,32 +378,34 @@ proptest! {
         }
         let input = InputGrid::new(&in_idx, &in_vals).expect("input");
 
-        let swept = run_plan_compiled(&plan, &input, &kernel, &config)
+        let swept = Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .mode(ExecMode::Tiled { tiles })
+            .threads(threads)
+            .run(&input)
             .map_err(|e| TestCaseError::fail(format!("sweep: {e}")))?;
         prop_assert_eq!(
             &swept.outputs, &closure,
             "sweep vs closure ({} tiles, {} threads)", tiles, threads
         );
 
-        let scalar = run_plan_compiled(
-            &plan,
-            &input,
-            &kernel,
-            &config.backend(KernelBackend::Closure),
-        )
-        .map_err(|e| TestCaseError::fail(format!("scalar: {e}")))?;
+        let scalar = Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .backend(KernelBackend::Closure)
+            .mode(ExecMode::Tiled { tiles })
+            .threads(threads)
+            .run(&input)
+            .map_err(|e| TestCaseError::fail(format!("scalar: {e}")))?;
         prop_assert_eq!(&scalar.outputs, &closure, "scalar bytecode vs closure");
 
         let mut source = SliceSource::new(&in_vals);
         let mut sink = VecSink::new();
-        run_streaming_compiled(
-            &plan,
-            &mut source,
-            &mut sink,
-            &kernel,
-            &StreamConfig::new().chunk_rows(chunk).threads(threads),
-        )
-        .map_err(|e| TestCaseError::fail(format!("streaming: {e}")))?;
+        Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .mode(ExecMode::Streaming { chunk_rows: Some(chunk) })
+            .threads(threads)
+            .run_streaming(&mut source, &mut sink)
+            .map_err(|e| TestCaseError::fail(format!("streaming: {e}")))?;
         prop_assert_eq!(
             &sink.values, &closure,
             "compiled streaming vs closure (chunk={})", chunk

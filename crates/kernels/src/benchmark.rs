@@ -244,6 +244,20 @@ impl Benchmark {
         )
     }
 
+    /// The per-stage metadata of this kernel for temporal chaining —
+    /// everything a pipeline stage needs (name, window, datapath,
+    /// compilable expression), detached from the benchmark's grid
+    /// extents: a chained stage runs on whatever domain the upstream
+    /// stage produces, not on this benchmark's problem size.
+    #[must_use]
+    pub fn stage(&self) -> KernelStage {
+        let mut stage = KernelStage::new(&self.name, self.offsets.clone(), self.compute);
+        if let Some(expr) = &self.expr {
+            stage = stage.with_expr(expr.clone());
+        }
+        stage
+    }
+
     /// Reorders port values (delivered in some port-offset order, e.g.
     /// the memory system's filter order) into this benchmark's declared
     /// offset order, ready for [`Benchmark::compute`].
@@ -264,6 +278,90 @@ impl Benchmark {
                 values[k]
             })
             .collect()
+    }
+}
+
+/// One stage of a temporal kernel pipeline: a named window plus its
+/// datapath (closure form, and optionally the compilable
+/// [`KernelExpr`]), without any grid geometry. Stage metadata is what
+/// execution sessions chain on — the iteration domain of stage *i+1*
+/// is derived from stage *i*'s output domain and this window, so the
+/// stage itself stays extent-free.
+///
+/// Obtain one from [`Benchmark::stage`] or build one directly for a
+/// custom datapath.
+#[derive(Debug, Clone)]
+pub struct KernelStage {
+    name: String,
+    offsets: Vec<Point>,
+    compute: ComputeFn,
+    expr: Option<KernelExpr>,
+}
+
+impl KernelStage {
+    /// Creates a stage from a window and its closure datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty or dimensionality is inconsistent.
+    #[must_use]
+    pub fn new(name: impl Into<String>, offsets: Vec<Point>, compute: ComputeFn) -> Self {
+        assert!(!offsets.is_empty(), "window must be non-empty");
+        let dims = offsets[0].dims();
+        assert!(
+            offsets.iter().all(|f| f.dims() == dims),
+            "offset dimensionality mismatch"
+        );
+        Self {
+            name: name.into(),
+            offsets,
+            compute,
+            expr: None,
+        }
+    }
+
+    /// Attaches the compilable expression form of the datapath (same
+    /// semantics as [`Benchmark::with_expr`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression references a tap at or beyond the
+    /// window size.
+    #[must_use]
+    pub fn with_expr(mut self, expr: KernelExpr) -> Self {
+        if let Some(k) = expr.max_tap() {
+            assert!(
+                k < self.offsets.len(),
+                "expression taps v[{k}] but the window has {} points",
+                self.offsets.len()
+            );
+        }
+        self.expr = Some(expr);
+        self
+    }
+
+    /// The stage name (for per-stage reports and metrics).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stage's window offsets, in declared (datapath) order.
+    #[must_use]
+    pub fn window(&self) -> &[Point] {
+        &self.offsets
+    }
+
+    /// The closure datapath.
+    #[must_use]
+    pub fn compute_fn(&self) -> ComputeFn {
+        self.compute
+    }
+
+    /// The compilable expression form, when the stage carries one.
+    #[must_use]
+    pub fn expr(&self) -> Option<&KernelExpr> {
+        self.expr.as_ref()
     }
 }
 
@@ -330,6 +428,25 @@ mod tests {
     #[test]
     fn compute_applies_datapath() {
         assert_eq!(toy().compute(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn stage_metadata_mirrors_the_benchmark() {
+        let b = crate::suite::denoise();
+        let s = b.stage();
+        assert_eq!(s.name(), b.name());
+        assert_eq!(s.window(), b.window());
+        assert!(s.expr().is_some());
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!((s.compute_fn())(&w), b.compute(&w));
+    }
+
+    #[test]
+    #[should_panic(expected = "window has 2 points")]
+    fn stage_rejects_out_of_window_expr_taps() {
+        let [_, _, t2] = KernelExpr::taps::<3>();
+        let _ = KernelStage::new("bad", vec![Point::new(&[0]), Point::new(&[1])], |w| w[0])
+            .with_expr(t2);
     }
 
     #[test]

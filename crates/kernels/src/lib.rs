@@ -40,7 +40,7 @@ mod golden;
 mod suite;
 
 pub use accel::{accelerate, accelerate_steps, AcceleratedRun};
-pub use benchmark::{default_compute, Benchmark, ComputeFn, KernelOps};
+pub use benchmark::{default_compute, Benchmark, ComputeFn, KernelOps, KernelStage};
 pub use expr::KernelExpr;
 pub use extras::{
     asymmetric_2d, extra_suite, fused_denoise, gaussian_3x3, heat_1d, high_order_2d, jacobi_2d,

@@ -190,6 +190,52 @@ impl Polyhedron {
         }
     }
 
+    /// The *erosion* of this polyhedron by a set of offsets: the points
+    /// `p` with `p + f ∈ self` for every offset `f` — exactly
+    /// `⋂_x (self - f_x)`.
+    ///
+    /// This is the dual of [`Polyhedron::dilated`] and the domain
+    /// algebra behind temporal kernel chaining: a stage whose window is
+    /// `offsets` can only fire where every tap lands inside the
+    /// upstream stage's output domain, so the chained iteration domain
+    /// is the upstream iteration domain eroded by the downstream
+    /// window. For an intersection of half-planes the erosion is exact:
+    /// each constraint `a·x + b ≥ 0` tightens to
+    /// `a·x + b + min_x(a·f_x) ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty or has mismatched dimensionality.
+    #[must_use]
+    pub fn eroded(&self, offsets: &[Point]) -> Self {
+        assert!(!offsets.is_empty(), "erosion requires at least one offset");
+        let constraints = self
+            .constraints
+            .iter()
+            .map(|c| {
+                // The copy (self - f) has constant b + a·f; the
+                // intersection keeps the strongest, i.e. the smallest.
+                let shift = offsets
+                    .iter()
+                    .map(|f| {
+                        assert_eq!(f.dims(), self.dims, "offset dimensionality mismatch");
+                        c.coeffs()
+                            .iter()
+                            .zip(f.as_slice())
+                            .map(|(a, x)| a * x)
+                            .sum::<i64>()
+                    })
+                    .min()
+                    .expect("non-empty offsets");
+                Constraint::new(c.coeffs(), c.constant() + shift)
+            })
+            .collect();
+        Self {
+            dims: self.dims,
+            constraints,
+        }
+    }
+
     /// Prepares the per-loop-level bound systems via Fourier–Motzkin
     /// elimination.
     ///
@@ -327,6 +373,43 @@ mod tests {
             assert!(input.contains(&Point::new(&[766 + f[0], 1022 + f[1]])));
             let _ = copy;
         }
+    }
+
+    #[test]
+    fn eroded_is_the_exact_dual_of_dilated() {
+        let dom = Polyhedron::rect(&[(1, 766), (1, 1022)]);
+        let offsets = [
+            Point::new(&[1, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[-1, 0]),
+        ];
+        let inner = dom.eroded(&offsets);
+        // Every tap from an eroded point stays inside the domain.
+        assert!(inner.contains(&Point::new(&[2, 2])));
+        assert!(inner.contains(&Point::new(&[765, 1021])));
+        assert!(!inner.contains(&Point::new(&[1, 5])));
+        assert!(!inner.contains(&Point::new(&[766, 5])));
+        for f in &offsets {
+            assert!(dom.contains(&(Point::new(&[2, 2]) + *f)));
+            assert!(dom.contains(&(Point::new(&[765, 1021]) + *f)));
+        }
+        // Rectangles recover exactly under erode-then-dilate — the
+        // invariant temporal chaining relies on (a chained stage's
+        // input domain equals the upstream stage's output domain).
+        let back = inner.dilated(&offsets);
+        for p in [[1, 1], [1, 1022], [766, 1], [766, 1022], [300, 500]] {
+            assert!(back.contains(&Point::new(&[p[0], p[1]])));
+        }
+        assert!(!back.contains(&Point::new(&[0, 5])));
+        assert!(!back.contains(&Point::new(&[767, 5])));
+        // One-sided windows erode asymmetrically and exactly.
+        let fwd = [Point::new(&[0, 0]), Point::new(&[2, 0])];
+        let one_sided = dom.eroded(&fwd);
+        assert!(one_sided.contains(&Point::new(&[1, 1])));
+        assert!(one_sided.contains(&Point::new(&[764, 1])));
+        assert!(!one_sided.contains(&Point::new(&[765, 1])));
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod validate;
 pub use metric::{Counter, HighWater, Histogram};
 pub use schema::{
     ChainMetrics, EngineMetrics, FifoMetrics, FilterMetrics, MachineMetrics, MetricsReport,
-    StreamMetrics, TileMetrics, SCHEMA_VERSION,
+    SessionMetrics, StageMetrics, StreamMetrics, TileMetrics, SCHEMA_VERSION,
 };
 pub use validate::{validate_machine, validate_report, BoundCheck, BoundViolation};

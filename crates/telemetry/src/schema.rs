@@ -437,6 +437,112 @@ impl FromValue for StreamMetrics {
     }
 }
 
+/// Counters of one pipeline stage of a session run.
+///
+/// Exactly one of `engine` / `stream` is populated, matching the
+/// session's execution mode (in-core and tiled stages carry an
+/// [`EngineMetrics`], streaming stages a [`StreamMetrics`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageMetrics {
+    /// The stage's kernel label (benchmark or stage name).
+    pub label: String,
+    /// In-core counters, when the stage executed in core.
+    pub engine: Option<EngineMetrics>,
+    /// Streaming counters, when the stage executed out of core.
+    pub stream: Option<StreamMetrics>,
+}
+
+impl ToValue for StageMetrics {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("label", self.label.to_value()),
+            (
+                "engine",
+                self.engine
+                    .as_ref()
+                    .map(ToValue::to_value)
+                    .unwrap_or(Value::Null),
+            ),
+            (
+                "stream",
+                self.stream
+                    .as_ref()
+                    .map(ToValue::to_value)
+                    .unwrap_or(Value::Null),
+            ),
+        ])
+    }
+}
+
+impl FromValue for StageMetrics {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            label: field(v, "label")?,
+            engine: field(v, "engine")?,
+            stream: field(v, "stream")?,
+        })
+    }
+}
+
+/// Counters of one unified session run — a temporally chained pipeline
+/// of one or more kernel stages executed through `stencil_engine`'s
+/// `Session` layer.
+///
+/// The defining figure of a chained run is `peak_resident` against
+/// `resident_bound`: summed across stages, a streaming chain holds
+/// roughly the *sum of the stages' halo windows* resident rather than
+/// any full intermediate grid
+/// ([`crate::validate::BoundCheck::ChainResidency`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionMetrics {
+    /// Execution mode (`"incore"`, `"tiled"`, or `"streaming"`).
+    pub mode: String,
+    /// Worker threads used (max across stages).
+    pub threads: usize,
+    /// Final-stage outputs produced.
+    pub outputs: u64,
+    /// Peak resident values summed across all stages.
+    pub peak_resident: u64,
+    /// Planned residency bound summed across all stages.
+    pub resident_bound: u64,
+    /// End-to-end wall-clock nanoseconds.
+    pub elapsed_ns: u64,
+    /// Final-stage outputs per second (0.0 when below resolution).
+    pub throughput: f64,
+    /// Per-stage detail, pipeline order.
+    pub stages: Vec<StageMetrics>,
+}
+
+impl ToValue for SessionMetrics {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("mode", self.mode.to_value()),
+            ("threads", self.threads.to_value()),
+            ("outputs", self.outputs.to_value()),
+            ("peak_resident", self.peak_resident.to_value()),
+            ("resident_bound", self.resident_bound.to_value()),
+            ("elapsed_ns", self.elapsed_ns.to_value()),
+            ("throughput", self.throughput.to_value()),
+            ("stages", self.stages.to_value()),
+        ])
+    }
+}
+
+impl FromValue for SessionMetrics {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            mode: field(v, "mode")?,
+            threads: field(v, "threads")?,
+            outputs: field(v, "outputs")?,
+            peak_resident: field(v, "peak_resident")?,
+            resident_bound: field(v, "resident_bound")?,
+            elapsed_ns: field(v, "elapsed_ns")?,
+            throughput: field(v, "throughput")?,
+            stages: field(v, "stages")?,
+        })
+    }
+}
+
 /// A complete metrics report for one named run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsReport {
@@ -450,6 +556,8 @@ pub struct MetricsReport {
     pub engine: Option<EngineMetrics>,
     /// Streaming-engine counters, if the out-of-core backend ran.
     pub stream: Option<StreamMetrics>,
+    /// Session-pipeline counters, if a (possibly chained) session ran.
+    pub session: Option<SessionMetrics>,
 }
 
 impl MetricsReport {
@@ -462,6 +570,7 @@ impl MetricsReport {
             machine: None,
             engine: None,
             stream: None,
+            session: None,
         }
     }
 
@@ -507,6 +616,13 @@ impl ToValue for MetricsReport {
                     .map(ToValue::to_value)
                     .unwrap_or(Value::Null),
             ),
+            (
+                "session",
+                self.session
+                    .as_ref()
+                    .map(ToValue::to_value)
+                    .unwrap_or(Value::Null),
+            ),
         ])
     }
 }
@@ -521,6 +637,12 @@ impl FromValue for MetricsReport {
             // Reports written before the streaming backend existed have
             // no `stream` key at all; treat absence like `null`.
             stream: match v.get("stream") {
+                None => None,
+                Some(s) => FromValue::from_value(s)?,
+            },
+            // Reports written before the session layer existed have no
+            // `session` key either.
+            session: match v.get("session") {
                 None => None,
                 Some(s) => FromValue::from_value(s)?,
             },
@@ -615,6 +737,59 @@ mod tests {
                 elapsed_ns: 91_004,
                 throughput: 879_082.5,
             }),
+            session: Some(SessionMetrics {
+                mode: "streaming".into(),
+                threads: 2,
+                outputs: 60,
+                peak_resident: 138,
+                resident_bound: 138,
+                elapsed_ns: 120_330,
+                throughput: 498_628.9,
+                stages: vec![
+                    StageMetrics {
+                        label: "denoise".into(),
+                        engine: None,
+                        stream: Some(StreamMetrics {
+                            outputs: 80,
+                            bands: 4,
+                            threads: 2,
+                            backend: "compiled".into(),
+                            chunk_rows: 1,
+                            rows_in: 12,
+                            values_in: 144,
+                            rows_out: 10,
+                            peak_resident: 72,
+                            resident_bound: 72,
+                            sweep_rows: 10,
+                            fast_rows: 0,
+                            gather_rows: 0,
+                            elapsed_ns: 60_000,
+                            throughput: 1.0e6,
+                        }),
+                    },
+                    StageMetrics {
+                        label: "denoise+1".into(),
+                        engine: None,
+                        stream: Some(StreamMetrics {
+                            outputs: 60,
+                            bands: 4,
+                            threads: 2,
+                            backend: "compiled".into(),
+                            chunk_rows: 1,
+                            rows_in: 10,
+                            values_in: 80,
+                            rows_out: 8,
+                            peak_resident: 66,
+                            resident_bound: 66,
+                            sweep_rows: 8,
+                            fast_rows: 0,
+                            gather_rows: 0,
+                            elapsed_ns: 60_330,
+                            throughput: 0.9e6,
+                        }),
+                    },
+                ],
+            }),
         };
         let text = report.to_json();
         let back = MetricsReport::parse(&text).unwrap();
@@ -633,12 +808,14 @@ mod tests {
         let Value::Object(mut fields) = old.to_value() else {
             panic!("reports serialize as objects");
         };
-        fields.retain(|(k, _)| k != "stream");
+        fields.retain(|(k, _)| k != "stream" && k != "session");
         let text = Value::Object(fields).to_json();
         assert!(!text.contains("\"stream\""), "{text}");
+        assert!(!text.contains("\"session\""), "{text}");
         let back = MetricsReport::parse(&text).unwrap();
         assert_eq!(back.machine, old.machine);
         assert_eq!(back.stream, None);
+        assert_eq!(back.session, None);
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //!   chain.
 //! * [`BoundCheck::OutputsComplete`] — the run produced exactly `|D|`
 //!   outputs.
+//! * [`BoundCheck::ChainResidency`] — a chained session keeps its
+//!   summed peak residency within the summed per-stage halo-window
+//!   bound (the Sec. 2.3 reuse window, applied per pipeline stage),
+//!   and adjacent streaming stages hand every produced value
+//!   downstream.
 //! * [`BoundCheck::Finite`] — the serialized report contains no NaN or
 //!   infinity (JSON cannot represent them).
 
@@ -55,6 +60,11 @@ pub enum BoundCheck {
     /// Streaming engine: peak resident input values stay within the
     /// per-band halo-window bound (Sec. 2.3 reuse window).
     ResidencyBound,
+    /// Session pipeline: summed peak residency across chained stages
+    /// stays within the summed per-stage halo-window bound, per-stage
+    /// streaming residency holds, and adjacent streaming stages hand
+    /// every produced value downstream.
+    ChainResidency,
     /// Sweep-row tallies agree with the reported kernel backend: only
     /// the `"compiled"` backend may report vectorized sweep rows.
     BackendConsistent,
@@ -73,6 +83,7 @@ impl core::fmt::Display for BoundCheck {
             Self::StreamConservation => "stream-conservation",
             Self::OutputsComplete => "outputs-complete",
             Self::ResidencyBound => "residency-bound (Sec. 2.3)",
+            Self::ChainResidency => "chain-residency (Sec. 2.3)",
             Self::BackendConsistent => "backend-consistent",
             Self::Finite => "finite",
         };
@@ -358,7 +369,92 @@ pub fn validate_report(report: &MetricsReport) -> Vec<BoundViolation> {
             );
         }
     }
+    if let Some(s) = &report.session {
+        validate_session(s, &mut v);
+    }
     v
+}
+
+/// Checks a session pipeline's chained-residency claims: the summed
+/// peak never exceeds the summed per-stage halo-window bound, each
+/// streaming stage individually honours its own bound, and adjacent
+/// streaming stages conserve the rows flowing between them.
+fn validate_session(s: &crate::schema::SessionMetrics, v: &mut Vec<BoundViolation>) {
+    if s.peak_resident > s.resident_bound {
+        violation(
+            v,
+            BoundCheck::ChainResidency,
+            "session",
+            format!(
+                "summed peak resident {} values exceeds the summed halo-window bound {}",
+                s.peak_resident, s.resident_bound
+            ),
+        );
+    }
+    if !s.throughput.is_finite() {
+        violation(
+            v,
+            BoundCheck::Finite,
+            "session.throughput",
+            format!("throughput is {}", s.throughput),
+        );
+    }
+    for (i, stage) in s.stages.iter().enumerate() {
+        let loc = format!("session stage {i} ({:?})", stage.label);
+        if let Some(sm) = &stage.stream {
+            if sm.peak_resident > sm.resident_bound {
+                violation(
+                    v,
+                    BoundCheck::ChainResidency,
+                    &loc,
+                    format!(
+                        "stage peak resident {} values exceeds its halo-window bound {}",
+                        sm.peak_resident, sm.resident_bound
+                    ),
+                );
+            }
+            if sm.backend != "compiled" && sm.sweep_rows > 0 {
+                violation(
+                    v,
+                    BoundCheck::BackendConsistent,
+                    &loc,
+                    format!(
+                        "backend {:?} reports {} swept rows",
+                        sm.backend, sm.sweep_rows
+                    ),
+                );
+            }
+        }
+        if let Some(em) = &stage.engine {
+            let sweep: u64 = em.per_tile.iter().map(|t| t.sweep_rows).sum();
+            if em.backend != "compiled" && sweep > 0 {
+                violation(
+                    v,
+                    BoundCheck::BackendConsistent,
+                    &loc,
+                    format!("backend {:?} reports {sweep} swept rows", em.backend),
+                );
+            }
+        }
+        // A chained streaming stage consumes exactly what its upstream
+        // stage produced — no intermediate grid materializes, so any
+        // mismatch means rows leaked or were fabricated between stages.
+        if i > 0 {
+            if let (Some(prev), Some(cur)) = (&s.stages[i - 1].stream, &stage.stream) {
+                if cur.values_in != prev.outputs {
+                    violation(
+                        v,
+                        BoundCheck::ChainResidency,
+                        &loc,
+                        format!(
+                            "stage consumed {} values but its upstream stage produced {}",
+                            cur.values_in, prev.outputs
+                        ),
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -577,6 +673,154 @@ mod tests {
         let v = validate_report(&report);
         assert!(v.iter().any(|x| x.check == BoundCheck::Finite));
         assert!(v.iter().any(|x| x.check == BoundCheck::OutputsComplete));
+    }
+
+    #[test]
+    fn chain_residency_violations_are_flagged() {
+        use crate::schema::{SessionMetrics, StageMetrics, StreamMetrics};
+        fn stage(label: &str, outputs: u64, values_in: u64, peak: u64, bound: u64) -> StageMetrics {
+            StageMetrics {
+                label: label.into(),
+                engine: None,
+                stream: Some(StreamMetrics {
+                    outputs,
+                    bands: 4,
+                    threads: 1,
+                    backend: "closure".into(),
+                    chunk_rows: 1,
+                    rows_in: 10,
+                    values_in,
+                    rows_out: 8,
+                    peak_resident: peak,
+                    resident_bound: bound,
+                    sweep_rows: 0,
+                    fast_rows: 8,
+                    gather_rows: 0,
+                    elapsed_ns: 100,
+                    throughput: 1.0,
+                }),
+            }
+        }
+        let mut report = MetricsReport::new("chain");
+        report.session = Some(SessionMetrics {
+            mode: "streaming".into(),
+            threads: 1,
+            outputs: 320,
+            peak_resident: 138,
+            resident_bound: 138,
+            elapsed_ns: 250,
+            throughput: 1.0,
+            stages: vec![stage("s1", 396, 480, 72, 72), stage("s2", 320, 396, 66, 66)],
+        });
+        assert_eq!(validate_report(&report), Vec::new());
+
+        // Summed peak above the summed bound is the core violation.
+        report.session.as_mut().unwrap().peak_resident = 139;
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::ChainResidency));
+        assert!(v[0].to_string().contains("chain-residency"), "{}", v[0]);
+        report.session.as_mut().unwrap().peak_resident = 138;
+
+        // A single stage blowing its own bound is flagged with the
+        // stage's position and label.
+        report.session.as_mut().unwrap().stages[1]
+            .stream
+            .as_mut()
+            .unwrap()
+            .peak_resident = 67;
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::ChainResidency
+            && x.location.contains("stage 1")
+            && x.location.contains("s2")));
+        report.session.as_mut().unwrap().stages[1]
+            .stream
+            .as_mut()
+            .unwrap()
+            .peak_resident = 66;
+
+        // A downstream stage consuming a different value count than its
+        // upstream stage produced means the hand-off leaked rows.
+        report.session.as_mut().unwrap().stages[1]
+            .stream
+            .as_mut()
+            .unwrap()
+            .values_in = 395;
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::ChainResidency
+            && x.detail.contains("upstream stage produced 396")));
+        report.session.as_mut().unwrap().stages[1]
+            .stream
+            .as_mut()
+            .unwrap()
+            .values_in = 396;
+
+        // Backend consistency applies per stage.
+        report.session.as_mut().unwrap().stages[0]
+            .stream
+            .as_mut()
+            .unwrap()
+            .sweep_rows = 3;
+        let v = validate_report(&report);
+        assert!(v
+            .iter()
+            .any(|x| x.check == BoundCheck::BackendConsistent && x.location.contains("stage 0")));
+        report.session.as_mut().unwrap().stages[0]
+            .stream
+            .as_mut()
+            .unwrap()
+            .sweep_rows = 0;
+
+        // Non-finite session throughput is rejected like any other.
+        report.session.as_mut().unwrap().throughput = f64::NAN;
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::Finite));
+    }
+
+    #[test]
+    fn in_core_session_stage_backend_is_checked() {
+        use crate::schema::{SessionMetrics, StageMetrics};
+        let mut report = MetricsReport::new("chain");
+        report.session = Some(SessionMetrics {
+            mode: "incore".into(),
+            threads: 1,
+            outputs: 10,
+            peak_resident: 12,
+            resident_bound: 12,
+            elapsed_ns: 50,
+            throughput: 1.0,
+            stages: vec![StageMetrics {
+                label: "s1".into(),
+                engine: Some(EngineMetrics {
+                    outputs: 10,
+                    tiles: 1,
+                    threads: 1,
+                    backend: "closure".into(),
+                    halo_elements: 12,
+                    elapsed_ns: 50,
+                    throughput: 1.0,
+                    per_tile: vec![TileMetrics {
+                        id: 0,
+                        outputs: 10,
+                        halo_elements: 12,
+                        sweep_rows: 4,
+                        fast_rows: 0,
+                        gather_rows: 0,
+                        elapsed_ns: 50,
+                    }],
+                }),
+                stream: None,
+            }],
+        });
+        let v = validate_report(&report);
+        assert!(v
+            .iter()
+            .any(|x| x.check == BoundCheck::BackendConsistent && x.location.contains("stage 0")));
+        report.session.as_mut().unwrap().stages[0]
+            .engine
+            .as_mut()
+            .unwrap()
+            .backend = "compiled".into();
+        assert_eq!(validate_report(&report), Vec::new());
     }
 
     #[test]

@@ -8,15 +8,15 @@
 //! * `stencil_kernels::run_golden` — direct nested-loop execution;
 //! * `stencil_kernels::accelerate` — the simulated microarchitecture,
 //!   element by element through FIFOs and filters;
-//! * `stencil_engine::run_plan` — batched row loops over row-band
+//! * `stencil_engine::Session` — batched row loops over row-band
 //!   tiles on worker threads.
 //!
 //! Any divergence between the three is a bug in one of them.
 
 use stencil_core::MemorySystemPlan;
 use stencil_engine::{
-    run_plan, run_plan_compiled, run_streaming, run_streaming_compiled, run_tiled, CompiledKernel,
-    EngineConfig, InputGrid, KernelBackend, SliceSource, StreamConfig, VecSink,
+    CompiledKernel, ExecMode, InputGrid, KernelBackend, Session, SessionKernel, SliceSource,
+    VecSink,
 };
 use stencil_kernels::{accelerate, paper_suite, run_golden, Benchmark, GridValues};
 use stencil_polyhedral::Polyhedron;
@@ -58,13 +58,18 @@ fn engine_outputs(
     bench: &Benchmark,
     plan: &MemorySystemPlan,
     grid: &GridValues,
-    config: &EngineConfig,
+    mode: ExecMode,
+    threads: usize,
 ) -> Vec<f64> {
     let in_idx = plan.input_domain().index().expect("input index");
     let in_vals = input_values(plan, grid);
     let input = InputGrid::new(&in_idx, &in_vals).expect("sized input");
     let compute = bench.compute_fn();
-    run_plan(plan, &input, &compute, config)
+    Session::new(plan)
+        .kernel(SessionKernel::Closure(&compute))
+        .mode(mode)
+        .threads(threads)
+        .run(&input)
         .expect("engine run")
         .outputs
 }
@@ -91,7 +96,8 @@ fn engine_equals_golden_and_machine_on_paper_suite() {
                 &bench,
                 &plan,
                 &grid,
-                &EngineConfig::new().tiles(tiles).threads(tiles.min(4)),
+                ExecMode::Tiled { tiles },
+                tiles.min(4),
             );
             assert_eq!(
                 engine,
@@ -119,7 +125,7 @@ fn engine_follows_stream_sharding_of_tradeoff_plans() {
                 .clone()
                 .with_offchip_streams(streams)
                 .expect("tradeoff");
-            let engine = engine_outputs(&bench, &plan, &grid, &EngineConfig::default());
+            let engine = engine_outputs(&bench, &plan, &grid, ExecMode::InCore, 0);
             assert_eq!(
                 engine,
                 golden,
@@ -142,7 +148,7 @@ fn streaming_equals_plan_and_golden_on_paper_suite() {
         let golden = run_golden(&bench, &extents, &grid).expect("golden");
         let spec = bench.spec_for(&extents).expect("spec");
         let plan = MemorySystemPlan::generate(&spec).expect("plan");
-        let in_core = engine_outputs(&bench, &plan, &grid, &EngineConfig::default());
+        let in_core = engine_outputs(&bench, &plan, &grid, ExecMode::InCore, 0);
         assert_eq!(in_core, golden, "in-core vs golden: {}", bench.name());
 
         let in_vals = input_values(&plan, &grid);
@@ -156,14 +162,15 @@ fn streaming_equals_plan_and_golden_on_paper_suite() {
         for chunk in [1u64, halo_rows, whole_grid] {
             let mut source = SliceSource::new(&in_vals);
             let mut sink = VecSink::new();
-            let report = run_streaming(
-                &plan,
-                &mut source,
-                &mut sink,
-                &compute,
-                &StreamConfig::new().chunk_rows(chunk).threads(2),
-            )
-            .expect("streaming run");
+            let session = Session::new(&plan)
+                .kernel(SessionKernel::Closure(&compute))
+                .mode(ExecMode::Streaming {
+                    chunk_rows: Some(chunk),
+                })
+                .threads(2)
+                .run_streaming(&mut source, &mut sink)
+                .expect("streaming run");
+            let report = session.stages[0].stream.as_ref().expect("stream report");
             assert_eq!(
                 sink.values,
                 golden,
@@ -208,11 +215,15 @@ fn compiled_backend_equals_closure_and_golden_on_paper_suite() {
         let input = InputGrid::new(&in_idx, &in_vals).expect("input");
 
         for tiles in [1usize, 3] {
-            let config = EngineConfig::new().tiles(tiles).threads(2);
-            let closure = engine_outputs(&bench, &plan, &grid, &config);
+            let closure = engine_outputs(&bench, &plan, &grid, ExecMode::Tiled { tiles }, 2);
             assert_eq!(closure, golden, "closure vs golden: {}", bench.name());
 
-            let swept = run_plan_compiled(&plan, &input, &kernel, &config).expect("compiled run");
+            let swept = Session::new(&plan)
+                .kernel(SessionKernel::Compiled(&kernel))
+                .mode(ExecMode::Tiled { tiles })
+                .threads(2)
+                .run(&input)
+                .expect("compiled run");
             assert_eq!(
                 swept.outputs,
                 golden,
@@ -220,13 +231,13 @@ fn compiled_backend_equals_closure_and_golden_on_paper_suite() {
                 bench.name()
             );
 
-            let scalar = run_plan_compiled(
-                &plan,
-                &input,
-                &kernel,
-                &config.backend(KernelBackend::Closure),
-            )
-            .expect("scalar run");
+            let scalar = Session::new(&plan)
+                .kernel(SessionKernel::Compiled(&kernel))
+                .backend(KernelBackend::Closure)
+                .mode(ExecMode::Tiled { tiles })
+                .threads(2)
+                .run(&input)
+                .expect("scalar run");
             assert_eq!(
                 scalar.outputs,
                 golden,
@@ -243,14 +254,14 @@ fn compiled_backend_equals_closure_and_golden_on_paper_suite() {
         for chunk in [1u64, halo_rows, extents[0] as u64] {
             let mut source = SliceSource::new(&in_vals);
             let mut sink = VecSink::new();
-            let report = run_streaming_compiled(
-                &plan,
-                &mut source,
-                &mut sink,
-                &kernel,
-                &StreamConfig::new().chunk_rows(chunk).threads(2),
-            )
-            .expect("compiled streaming run");
+            let report = Session::new(&plan)
+                .kernel(SessionKernel::Compiled(&kernel))
+                .mode(ExecMode::Streaming {
+                    chunk_rows: Some(chunk),
+                })
+                .threads(2)
+                .run_streaming(&mut source, &mut sink)
+                .expect("compiled streaming run");
             assert_eq!(
                 sink.values,
                 golden,
@@ -287,21 +298,27 @@ fn engine_report_is_consistent_with_machine_stats() {
     }
     let input = InputGrid::new(&in_idx, &in_vals).expect("input");
     let compute = bench.compute_fn();
-    let run = run_tiled(&plan, &tile_plan, &input, &compute, 1).expect("engine");
+    let run = Session::new(&plan)
+        .kernel(SessionKernel::Closure(&compute))
+        .tile_plan(&tile_plan)
+        .threads(1)
+        .run(&input)
+        .expect("engine");
+    let report = run.report.stages[0].engine.as_ref().expect("engine report");
 
     // Same outputs, and the single-band halo equals the full input
     // domain the machine streams.
     assert_eq!(run.outputs, machine.outputs);
-    assert_eq!(run.report.outputs, machine.stats.outputs);
-    assert_eq!(run.report.tiles, 1);
-    assert_eq!(run.report.halo_elements, in_idx.len());
+    assert_eq!(report.outputs, machine.stats.outputs);
+    assert_eq!(report.tiles, 1);
+    assert_eq!(report.halo_elements, in_idx.len());
     let streamed: u64 = machine
         .stats
         .chains
         .iter()
         .map(|chain| chain.inputs_streamed)
         .sum();
-    assert_eq!(run.report.halo_elements, streamed);
+    assert_eq!(report.halo_elements, streamed);
 }
 
 #[test]
@@ -335,10 +352,14 @@ fn skewed_grid_stays_exact_and_batched() {
     }
 
     for tiles in [1usize, 3, 4] {
-        let run = run_plan(&plan, &input, &compute, &EngineConfig::new().tiles(tiles))
+        let run = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .mode(ExecMode::Tiled { tiles })
+            .run(&input)
             .expect("engine run");
         assert_eq!(run.outputs, expect, "skewed engine({tiles} tiles)");
-        let gathers: u64 = run.report.per_tile.iter().map(|t| t.gather_rows).sum();
+        let report = run.report.stages[0].engine.as_ref().expect("engine report");
+        let gathers: u64 = report.per_tile.iter().map(|t| t.gather_rows).sum();
         assert_eq!(gathers, 0, "convex halos keep every row on the fast path");
     }
 }

@@ -15,7 +15,7 @@
 
 use stencil_bench::scaled_extents;
 use stencil_core::MemorySystemPlan;
-use stencil_engine::{run_plan, EngineConfig, InputGrid};
+use stencil_engine::{ExecMode, InputGrid, Session, SessionKernel};
 use stencil_kernels::{denoise, paper_suite};
 use stencil_sim::Machine;
 use stencil_telemetry::{validate_machine, validate_report, MachineMetrics, MetricsReport};
@@ -115,11 +115,18 @@ fn combined_machine_and_engine_report_validates() {
     let in_vals: Vec<f64> = (0..in_idx.len()).map(|r| r as f64 * 0.5).collect();
     let input = InputGrid::new(&in_idx, &in_vals).unwrap();
     let compute = stencil_kernels::default_compute();
-    let run = run_plan(&plan, &input, &compute, &EngineConfig::new().tiles(3)).unwrap();
+    let run = Session::new(&plan)
+        .kernel(SessionKernel::Closure(&compute))
+        .mode(ExecMode::Tiled { tiles: 3 })
+        .telemetry(spec.name())
+        .run(&input)
+        .unwrap();
+    let engine_report = run.report.stages[0].engine.as_ref().unwrap();
 
     let mut report = MetricsReport::new(spec.name());
     report.machine = Some(machine.metrics());
-    report.engine = Some(run.report.metrics());
+    report.engine = Some(engine_report.metrics());
+    report.session = Some(run.report.metrics());
     let violations = validate_report(&report);
     assert!(violations.is_empty(), "{violations:?}");
 

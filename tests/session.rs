@@ -1,0 +1,344 @@
+//! Integration test: the `Session` layer is a drop-in replacement for
+//! every legacy engine entry point, and temporal chaining is faithful.
+//!
+//! Two guarantees are certified here:
+//!
+//! * **Entry-point parity.** For every paper benchmark, a `Session`
+//!   configured like each of the six deprecated entry points
+//!   (`run_plan`, `run_tiled`, `run_plan_compiled`,
+//!   `run_tiled_compiled`, `run_streaming`, `run_streaming_compiled`)
+//!   produces bit-identical outputs. The legacy functions are now thin
+//!   delegates, so this pins the delegation down forever.
+//! * **Chained fidelity.** A 2- and 3-stage `Session::then` pipeline
+//!   over the DENOISE window matches running each stage to completion
+//!   sequentially with fully materialised intermediates, while the
+//!   chained run's peak residency stays within the planned per-stage
+//!   halo-window bound (Sec. 2.3) instead of holding whole grids.
+
+use stencil_bench::scaled_extents;
+use stencil_core::MemorySystemPlan;
+#[allow(deprecated)]
+use stencil_engine::{
+    run_plan, run_plan_compiled, run_streaming, run_streaming_compiled, run_tiled,
+    run_tiled_compiled, EngineConfig, StreamConfig,
+};
+use stencil_engine::{
+    CompiledKernel, ExecMode, InputGrid, Session, SessionKernel, SliceSource, VecSink,
+};
+use stencil_kernels::{denoise, paper_suite, Benchmark};
+
+/// Deterministic pseudo-random input values for `n` grid cells.
+fn input_values(n: u64) -> Vec<f64> {
+    let mut state = 0x00c0_ffee_u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f64) / 1024.0 - 8.0
+        })
+        .collect()
+}
+
+/// Builds a scaled plan and matching input grid values for `bench`.
+fn plan_and_values(bench: &Benchmark) -> (MemorySystemPlan, Vec<f64>) {
+    let extents = scaled_extents(bench, 4_000);
+    let spec = bench.spec_for(&extents).expect("spec");
+    let plan = MemorySystemPlan::generate(&spec).expect("plan");
+    let n = plan.input_domain().index().expect("input index").len();
+    (plan, input_values(n))
+}
+
+#[test]
+fn session_matches_every_legacy_entry_point() {
+    for bench in paper_suite() {
+        let (plan, in_vals) = plan_and_values(&bench);
+        let in_idx = plan.input_domain().index().expect("input index");
+        let input = InputGrid::new(&in_idx, &in_vals).expect("sized input");
+        let compute = bench.compute_fn();
+
+        // run_plan (default in-core) vs Session InCore.
+        #[allow(deprecated)]
+        let legacy = run_plan(&plan, &input, &compute, &EngineConfig::default()).expect("run_plan");
+        let session = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .run(&input)
+            .expect("session in-core");
+        assert_eq!(session.outputs, legacy.outputs, "{}: in-core", bench.name());
+
+        // run_plan with explicit tiling vs Session Tiled.
+        #[allow(deprecated)]
+        let legacy = run_plan(
+            &plan,
+            &input,
+            &compute,
+            &EngineConfig::new().tiles(3).threads(2),
+        )
+        .expect("run_plan tiled");
+        let session = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .mode(ExecMode::Tiled { tiles: 3 })
+            .threads(2)
+            .run(&input)
+            .expect("session tiled");
+        assert_eq!(session.outputs, legacy.outputs, "{}: tiled", bench.name());
+
+        // run_tiled with a precomputed tile plan vs Session::tile_plan.
+        let tile_plan = plan.tile_plan(2).expect("tile plan");
+        #[allow(deprecated)]
+        let legacy = run_tiled(&plan, &tile_plan, &input, &compute, 2).expect("run_tiled");
+        let session = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .tile_plan(&tile_plan)
+            .threads(2)
+            .run(&input)
+            .expect("session tile_plan");
+        assert_eq!(
+            session.outputs,
+            legacy.outputs,
+            "{}: tile plan",
+            bench.name()
+        );
+
+        // run_streaming vs Session Streaming.
+        for chunk in [1u64, 5] {
+            #[allow(deprecated)]
+            let legacy_out = {
+                let mut source = SliceSource::new(&in_vals);
+                let mut sink = VecSink::new();
+                run_streaming(
+                    &plan,
+                    &mut source,
+                    &mut sink,
+                    &compute,
+                    &StreamConfig::new().chunk_rows(chunk).threads(2),
+                )
+                .expect("run_streaming");
+                sink.values
+            };
+            let mut source = SliceSource::new(&in_vals);
+            let mut sink = VecSink::new();
+            Session::new(&plan)
+                .kernel(SessionKernel::Closure(&compute))
+                .mode(ExecMode::Streaming {
+                    chunk_rows: Some(chunk),
+                })
+                .threads(2)
+                .run_streaming(&mut source, &mut sink)
+                .expect("session streaming");
+            assert_eq!(
+                sink.values,
+                legacy_out,
+                "{}: streaming chunk {chunk}",
+                bench.name()
+            );
+        }
+
+        // Compiled entry points, where the benchmark carries an expression.
+        let Some(kernel) = CompiledKernel::for_benchmark(&bench).expect("compile") else {
+            continue;
+        };
+
+        #[allow(deprecated)]
+        let legacy = run_plan_compiled(&plan, &input, &kernel, &EngineConfig::new().tiles(2))
+            .expect("run_plan_compiled");
+        let session = Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .mode(ExecMode::Tiled { tiles: 2 })
+            .run(&input)
+            .expect("session compiled");
+        assert_eq!(
+            session.outputs,
+            legacy.outputs,
+            "{}: compiled",
+            bench.name()
+        );
+
+        #[allow(deprecated)]
+        let legacy = run_tiled_compiled(
+            &plan,
+            &tile_plan,
+            &input,
+            &kernel,
+            &EngineConfig::new().threads(2),
+        )
+        .expect("run_tiled_compiled");
+        let session = Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .tile_plan(&tile_plan)
+            .threads(2)
+            .run(&input)
+            .expect("session compiled tile_plan");
+        assert_eq!(
+            session.outputs,
+            legacy.outputs,
+            "{}: compiled tile plan",
+            bench.name()
+        );
+
+        #[allow(deprecated)]
+        let legacy_out = {
+            let mut source = SliceSource::new(&in_vals);
+            let mut sink = VecSink::new();
+            run_streaming_compiled(
+                &plan,
+                &mut source,
+                &mut sink,
+                &kernel,
+                &StreamConfig::new().chunk_rows(3),
+            )
+            .expect("run_streaming_compiled");
+            sink.values
+        };
+        let mut source = SliceSource::new(&in_vals);
+        let mut sink = VecSink::new();
+        Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .mode(ExecMode::Streaming {
+                chunk_rows: Some(3),
+            })
+            .run_streaming(&mut source, &mut sink)
+            .expect("session compiled streaming");
+        assert_eq!(
+            sink.values,
+            legacy_out,
+            "{}: compiled streaming",
+            bench.name()
+        );
+    }
+}
+
+/// Runs `stages` sequentially with fully materialised intermediates,
+/// returning the final stage's outputs. This is the golden reference a
+/// chained `Session` must reproduce bit-for-bit.
+fn sequential_reference(
+    bench: &Benchmark,
+    plan: &MemorySystemPlan,
+    in_vals: &[f64],
+    stages: &[stencil_kernels::KernelStage],
+) -> Vec<f64> {
+    let compute = bench.compute_fn();
+    let mut cur_plan = plan.clone();
+    let mut cur_vals = in_vals.to_vec();
+    let in_idx = cur_plan.input_domain().index().expect("input index");
+    let input = InputGrid::new(&in_idx, &cur_vals).expect("sized input");
+    cur_vals = Session::new(&cur_plan)
+        .kernel(SessionKernel::Closure(&compute))
+        .run(&input)
+        .expect("stage 0")
+        .outputs;
+    for stage in stages {
+        cur_plan = cur_plan
+            .chain_next(stage.name(), stage.window())
+            .expect("chained plan");
+        let idx = cur_plan.input_domain().index().expect("input index");
+        let input = InputGrid::new(&idx, &cur_vals).expect("sized intermediate");
+        let stage_compute = stage.compute_fn();
+        cur_vals = Session::new(&cur_plan)
+            .kernel(SessionKernel::Closure(&stage_compute))
+            .run(&input)
+            .expect("chained stage")
+            .outputs;
+    }
+    cur_vals
+}
+
+#[test]
+fn chained_session_matches_sequential_stages() {
+    let bench = denoise();
+    let (plan, in_vals) = plan_and_values(&bench);
+    let in_idx = plan.input_domain().index().expect("input index");
+    let input = InputGrid::new(&in_idx, &in_vals).expect("sized input");
+    let compute = bench.compute_fn();
+
+    for depth in [1usize, 2] {
+        let stages: Vec<_> = (0..depth).map(|_| bench.stage()).collect();
+        let golden = sequential_reference(&bench, &plan, &in_vals, &stages);
+
+        // In-core chained run.
+        let mut session = Session::new(&plan).kernel(SessionKernel::Closure(&compute));
+        for stage in &stages {
+            session = session.then(stage).expect("then");
+        }
+        let run = session.run(&input).expect("chained in-core");
+        assert_eq!(run.outputs, golden, "in-core chain depth {}", depth + 1);
+        assert_eq!(run.report.stages.len(), depth + 1);
+
+        // Streaming chained run: bounded residency, identical outputs.
+        for chunk in [1u64, 4] {
+            let mut session = Session::new(&plan)
+                .kernel(SessionKernel::Closure(&compute))
+                .mode(ExecMode::Streaming {
+                    chunk_rows: Some(chunk),
+                })
+                .threads(2);
+            for stage in &stages {
+                session = session.then(stage).expect("then");
+            }
+            let bound = session
+                .planned_residency_bound(Some(chunk))
+                .expect("planned bound");
+            let mut source = SliceSource::new(&in_vals);
+            let mut sink = VecSink::new();
+            let report = session
+                .run_streaming(&mut source, &mut sink)
+                .expect("chained streaming");
+            assert_eq!(
+                sink.values,
+                golden,
+                "streaming chain depth {} chunk {chunk}",
+                depth + 1
+            );
+            assert!(
+                report.peak_resident <= bound,
+                "chain depth {} chunk {chunk}: peak {} > planned bound {bound}",
+                depth + 1,
+                report.peak_resident
+            );
+            assert!(report.within_residency_bound());
+            // Adjacent stages hand rows off demand-driven: each stage
+            // consumes exactly what its upstream produced.
+            for pair in report.stages.windows(2) {
+                let up = pair[0].stream.as_ref().expect("upstream stream report");
+                let down = pair[1].stream.as_ref().expect("downstream stream report");
+                assert_eq!(down.values_in, up.outputs, "hand-off conservation");
+            }
+        }
+    }
+}
+
+#[test]
+fn chained_session_residency_stays_near_one_stage() {
+    // The point of chaining: a 2-stage pipeline's peak residency is
+    // about two stages' halo windows, far below holding a full
+    // intermediate grid in memory.
+    let bench = denoise();
+    let (plan, in_vals) = plan_and_values(&bench);
+    let compute = bench.compute_fn();
+    let stage2 = bench.stage();
+
+    let session = Session::new(&plan)
+        .kernel(SessionKernel::Closure(&compute))
+        .mode(ExecMode::Streaming {
+            chunk_rows: Some(1),
+        })
+        .then(&stage2)
+        .expect("then");
+    let mut source = SliceSource::new(&in_vals);
+    let mut sink = VecSink::new();
+    let report = session
+        .run_streaming(&mut source, &mut sink)
+        .expect("chained streaming");
+
+    let full_intermediate = plan
+        .iteration_domain()
+        .index()
+        .expect("iteration index")
+        .len();
+    assert!(
+        report.peak_resident < full_intermediate,
+        "peak {} should undercut a materialised intermediate of {}",
+        report.peak_resident,
+        full_intermediate
+    );
+}
