@@ -114,9 +114,13 @@ fn append_bound_checks(out: &mut String, report: &MetricsReport) -> usize {
 /// (band height `chunk_rows`) and verify it bit-exact against the
 /// in-core run. With `chain`, append one temporally chained stage per
 /// name and verify the pipeline against running the stages
-/// sequentially. The second result element is the telemetry report as
-/// JSON (for `--metrics-out`); the third is the validator's violation
-/// count, which drives the exit code.
+/// sequentially. With `iterate`, apply the kernel to its own output for
+/// the requested number of time steps as a self-chained ring and verify
+/// it against sequential materialized runs — or, with `epsilon`, stop
+/// early once the per-step max-abs delta falls under the threshold. The
+/// second result element is the telemetry report as JSON (for
+/// `--metrics-out`); the third is the validator's violation count,
+/// which drives the exit code.
 ///
 /// The datapath is the spec-file fallback (plain window sum), since a
 /// spec file carries window geometry but no arithmetic. With
@@ -141,7 +145,14 @@ pub fn cmd_engine(
     backend: KernelBackend,
     crosscheck: bool,
     chain: &[String],
+    iterate: Option<usize>,
+    epsilon: Option<f64>,
 ) -> Result<(String, String, usize), CmdError> {
+    if iterate.is_some() && !chain.is_empty() {
+        return Err("--iterate cannot be combined with --chain; \
+                    the ring is already a temporal chain of the kernel with itself"
+            .into());
+    }
     let plan = MemorySystemPlan::generate(spec)?.with_offchip_streams(streams)?;
     let in_idx = plan.input_domain().index()?;
 
@@ -282,8 +293,137 @@ pub fn cmd_engine(
         report.session = Some(session_metrics);
     }
 
+    if let Some(steps) = iterate {
+        let (iter_out, session_metrics) = run_iterate(
+            &plan,
+            &input,
+            spec,
+            session_kernel,
+            backend,
+            threads,
+            streaming,
+            chunk_rows,
+            steps,
+            epsilon,
+        )?;
+        out.push_str(&iter_out);
+        report.session = Some(session_metrics);
+    }
+
     let violations = append_bound_checks(&mut out, &report);
     Ok((out, report.to_json(), violations))
+}
+
+/// Runs the iterated time-stepping ring for `cmd_engine`: the spec's
+/// kernel applied to its own output for `steps` time steps through
+/// [`Session::iterate`], verified bit-exact against folding the grid
+/// through one materialized single-step run per time step. With
+/// `epsilon`, runs [`Session::iterate_until`] instead and reports
+/// whether the per-step max-abs delta converged within the step budget
+/// (the spec-file window-sum datapath is expansive, so expect
+/// convergence only for loose thresholds).
+#[allow(clippy::too_many_arguments)]
+fn run_iterate(
+    plan: &MemorySystemPlan,
+    input: &InputGrid<'_>,
+    spec: &StencilSpec,
+    session_kernel: SessionKernel<'_>,
+    backend: KernelBackend,
+    threads: usize,
+    streaming: bool,
+    chunk_rows: Option<u64>,
+    steps: usize,
+    epsilon: Option<f64>,
+) -> Result<(String, stencil_telemetry::SessionMetrics), CmdError> {
+    let mut out = String::new();
+
+    if let Some(eps) = epsilon {
+        let run = Session::new(plan)
+            .kernel(session_kernel)
+            .backend(backend)
+            .threads(threads)
+            .iterate_until(input, eps, steps)?;
+        let it = run
+            .report
+            .iterate
+            .clone()
+            .ok_or("iterate_until produced no iterate report")?;
+        let _ = write!(out, "{}", run.report);
+        let _ = writeln!(
+            out,
+            "convergence: {} after {} of {} step(s) (epsilon {eps}, final delta {:.6e})",
+            if it.converged {
+                "reached"
+            } else {
+                "NOT reached"
+            },
+            it.steps,
+            it.max_steps,
+            it.final_delta
+        );
+        return Ok((out, run.report.metrics()));
+    }
+
+    let mode = if streaming {
+        ExecMode::Streaming { chunk_rows }
+    } else {
+        ExecMode::InCore
+    };
+    let session = Session::new(plan)
+        .kernel(session_kernel)
+        .backend(backend)
+        .mode(mode)
+        .threads(threads)
+        .iterate(steps)?;
+    let planned_bound = streaming
+        .then(|| session.planned_residency_bound(chunk_rows))
+        .transpose()?;
+    let run = session.run(input)?;
+
+    // Sequential reference: fold the grid through one materialized
+    // single-step run per time step.
+    let compute = stencil_kernels::default_compute();
+    let mut cur_plan = plan.clone();
+    let mut cur = Session::new(plan)
+        .kernel(session_kernel)
+        .backend(backend)
+        .run(input)?
+        .outputs;
+    for k in 1..steps {
+        let next = cur_plan.chain_next(format!("{}@t{}", plan.name(), k + 1), spec.offsets())?;
+        let idx = next.input_domain().index()?;
+        let grid = InputGrid::new(&idx, &cur)?;
+        cur = Session::new(&next)
+            .kernel(SessionKernel::Closure(&compute))
+            .run(&grid)?
+            .outputs;
+        cur_plan = next;
+    }
+    if run.outputs != cur {
+        return Err("iterated ring diverged from sequential time steps".into());
+    }
+
+    let _ = write!(out, "{}", run.report);
+    if let Some(bound) = planned_bound {
+        let _ = writeln!(
+            out,
+            "iterate residency: peak {} values, planned bound {bound}",
+            run.report.peak_resident
+        );
+        if run.report.peak_resident > bound {
+            return Err(format!(
+                "iterate peak residency {} exceeds the planned bound {bound}",
+                run.report.peak_resident
+            )
+            .into());
+        }
+    }
+    let _ = writeln!(
+        out,
+        "verified iterate({steps}) against sequential time steps: {} outputs match",
+        run.outputs.len()
+    );
+    Ok((out, run.report.metrics()))
 }
 
 /// Runs the temporally chained pipeline for `cmd_engine`: one stage per
@@ -648,6 +788,8 @@ mod tests {
             KernelBackend::Compiled,
             false,
             &[],
+            None,
+            None,
         )
         .unwrap();
         assert!(out.contains("3 band(s)"), "{out}");
@@ -674,6 +816,8 @@ mod tests {
             KernelBackend::Compiled,
             false,
             &[],
+            None,
+            None,
         )
         .unwrap();
         assert!(out.contains("4 band(s)"), "{out}");
@@ -691,6 +835,8 @@ mod tests {
             KernelBackend::Closure,
             true,
             &[],
+            None,
+            None,
         )
         .unwrap();
         assert!(out.contains("[closure kernel]"), "{out}");
@@ -715,6 +861,8 @@ mod tests {
             KernelBackend::Compiled,
             true,
             &[],
+            None,
+            None,
         )
         .unwrap();
         assert!(out.contains("streaming run:"), "{out}");
@@ -745,6 +893,8 @@ mod tests {
             KernelBackend::Compiled,
             false,
             &["s2".into()],
+            None,
+            None,
         )
         .unwrap();
         assert!(out.contains("session [incore]: 2 stage(s)"), "{out}");
@@ -775,6 +925,8 @@ mod tests {
             KernelBackend::Compiled,
             false,
             &["s2".into()],
+            None,
+            None,
         )
         .unwrap();
         assert!(out.contains("session [streaming]: 2 stage(s)"), "{out}");
@@ -802,6 +954,8 @@ mod tests {
             KernelBackend::Closure,
             false,
             &["s2".into(), "s3".into()],
+            None,
+            None,
         )
         .unwrap();
         assert!(out.contains("session [streaming]: 3 stage(s)"), "{out}");
@@ -811,6 +965,146 @@ mod tests {
         assert_eq!(session.stages.len(), 3);
         assert_eq!(session.outputs, 58 * 90);
         assert_eq!(validate_report(&report), Vec::new());
+    }
+
+    #[test]
+    fn engine_iterate_flag_runs_the_ring_in_both_modes() {
+        // In-core ring: three time steps, verified against three
+        // materialized sequential runs.
+        let (out, metrics, violations) = cmd_engine(
+            &denoise_spec(),
+            1,
+            None,
+            1,
+            false,
+            None,
+            KernelBackend::Compiled,
+            false,
+            &[],
+            Some(3),
+            None,
+        )
+        .unwrap();
+        assert!(out.contains("session [incore]: 3 stage(s)"), "{out}");
+        assert!(out.contains("iterate: 3 / 3 step(s)"), "{out}");
+        assert!(
+            out.contains("verified iterate(3) against sequential time steps"),
+            "{out}"
+        );
+        assert!(out.contains("runtime bound checks: all passed"), "{out}");
+        assert_eq!(violations, 0);
+        let report = MetricsReport::parse(&metrics).unwrap();
+        let session = report.session.as_ref().unwrap();
+        let it = session.iterate.as_ref().unwrap();
+        assert_eq!(it.steps, 3);
+        assert!(!it.converged);
+        // 64x96 grid erodes one ring per step: 58x90 after three.
+        assert_eq!(session.outputs, 58 * 90);
+        assert_eq!(validate_report(&report), Vec::new());
+
+        // Streaming ring: the coupled halo windows stay far below the
+        // full grid, and the planned bound holds.
+        let (out, metrics, violations) = cmd_engine(
+            &denoise_spec(),
+            1,
+            None,
+            1,
+            true,
+            Some(1),
+            KernelBackend::Compiled,
+            false,
+            &[],
+            Some(3),
+            None,
+        )
+        .unwrap();
+        assert!(out.contains("session [streaming]: 3 stage(s)"), "{out}");
+        assert!(out.contains("iterate residency: peak"), "{out}");
+        assert_eq!(violations, 0);
+        let report = MetricsReport::parse(&metrics).unwrap();
+        let session = report.session.as_ref().unwrap();
+        assert_eq!(session.mode, "streaming");
+        assert_eq!(session.outputs, 58 * 90);
+        assert!(session.peak_resident < 62 * 94);
+        assert!(session.iterate.is_some());
+        assert_eq!(validate_report(&report), Vec::new());
+    }
+
+    #[test]
+    fn engine_iterate_with_epsilon_reports_convergence() {
+        // The window-sum datapath is expansive, so a tight epsilon
+        // exhausts the step budget without converging — the command
+        // still succeeds and reports the outcome honestly.
+        let (out, metrics, violations) = cmd_engine(
+            &denoise_spec(),
+            1,
+            None,
+            1,
+            false,
+            None,
+            KernelBackend::Compiled,
+            false,
+            &[],
+            Some(4),
+            Some(1e-6),
+        )
+        .unwrap();
+        assert!(
+            out.contains("convergence: NOT reached after 4 of 4 step(s)"),
+            "{out}"
+        );
+        assert!(out.contains("runtime bound checks: all passed"), "{out}");
+        assert_eq!(violations, 0);
+        let report = MetricsReport::parse(&metrics).unwrap();
+        let it = report.session.as_ref().unwrap().iterate.as_ref().unwrap();
+        assert_eq!(it.steps, 4);
+        assert!(!it.converged);
+        assert!(it.final_delta > 1e-6);
+        assert_eq!(validate_report(&report), Vec::new());
+
+        // An absurdly loose threshold converges after the first
+        // measured delta.
+        let (out, metrics, _) = cmd_engine(
+            &denoise_spec(),
+            1,
+            None,
+            1,
+            false,
+            None,
+            KernelBackend::Closure,
+            false,
+            &[],
+            Some(4),
+            Some(1e12),
+        )
+        .unwrap();
+        assert!(
+            out.contains("convergence: reached after 1 of 4 step(s)"),
+            "{out}"
+        );
+        let report = MetricsReport::parse(&metrics).unwrap();
+        let it = report.session.as_ref().unwrap().iterate.as_ref().unwrap();
+        assert!(it.converged);
+        assert_eq!(it.steps, 1);
+    }
+
+    #[test]
+    fn engine_iterate_rejects_chain_combination() {
+        let err = cmd_engine(
+            &denoise_spec(),
+            1,
+            None,
+            1,
+            false,
+            None,
+            KernelBackend::Compiled,
+            false,
+            &["s2".into()],
+            Some(2),
+            None,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--iterate"), "{err}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! stencil engine   <spec.stencil> [--streams K] [--tiles N] [--threads T]
 //!                                 [--kernel compiled|closure] [--crosscheck]
 //!                                 [--streaming [--chunk-rows N]] [--chain s2,s3,...]
-//!                                 [--metrics-out M.json]
+//!                                 [--iterate T [--epsilon E]] [--metrics-out M.json]
 //! stencil rtl      <spec.stencil> [--out DIR]     generate Verilog
 //! stencil compare  <spec.stencil>                 vs best uniform partitioning
 //! stencil report   <spec.stencil>                 full markdown design report
@@ -30,7 +30,8 @@ fn usage() -> &'static str {
      [--streams K] [--metrics-out M.json] [--vcd OUT.vcd [--cycles N]]\n  \
      stencil engine   <spec.stencil> [--streams K] [--tiles N] [--threads T] \
      [--kernel compiled|closure] [--crosscheck] \
-     [--streaming [--chunk-rows N]] [--chain s2,s3,...] [--metrics-out M.json]\n  \
+     [--streaming [--chunk-rows N]] [--chain s2,s3,...] \
+     [--iterate T [--epsilon E]] [--metrics-out M.json]\n  \
      stencil rtl      <spec.stencil> \
      [--out DIR]\n  stencil compare  <spec.stencil>\n  stencil report   <spec.stencil>\n\
      \nsimulate/engine exit non-zero when the runtime bound validator reports\n\
@@ -102,6 +103,8 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
     let mut backend = stencil_engine::KernelBackend::default();
     let mut crosscheck = false;
     let mut chain: Vec<String> = Vec::new();
+    let mut iterate: Option<usize> = None;
+    let mut epsilon: Option<f64> = None;
     let mut fail_on_violation = true;
     while let Some(opt) = it.next() {
         match opt.as_str() {
@@ -170,6 +173,22 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
                         .ok_or("--chunk-rows needs a row count")?,
                 );
             }
+            "--iterate" => {
+                iterate = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or("--iterate needs a positive time-step count")?,
+                );
+            }
+            "--epsilon" => {
+                epsilon = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|e: &f64| e.is_finite() && *e >= 0.0)
+                        .ok_or("--epsilon needs a finite non-negative threshold")?,
+                );
+            }
             "--no-fail-on-violation" => fail_on_violation = false,
             other => return Err(format!("unknown option `{other}`").into()),
         }
@@ -195,8 +214,12 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
             })
         }
         "engine" => {
+            if epsilon.is_some() && iterate.is_none() {
+                return Err("--epsilon needs --iterate to bound the step count".into());
+            }
             let (mut out, metrics, violations) = cmd_engine(
                 &spec, streams, tiles, threads, streaming, chunk_rows, backend, crosscheck, &chain,
+                iterate, epsilon,
             )?;
             if let Some(path) = &metrics_out {
                 out.push_str(&write_metrics(path, &metrics)?);
@@ -383,6 +406,75 @@ mod tests {
             ",".into(),
         ])
         .is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_iterate_flag_runs_the_time_step_ring() {
+        let dir = std::env::temp_dir().join("stencil_cli_iterate_test");
+        fs::create_dir_all(&dir).unwrap();
+        let spec = write_spec(&dir);
+        let out = run(vec![
+            "engine".into(),
+            spec.display().to_string(),
+            "--streaming".into(),
+            "--chunk-rows".into(),
+            "2".into(),
+            "--iterate".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        assert!(
+            out.text.contains("session [streaming]: 3 stage(s)"),
+            "{}",
+            out.text
+        );
+        assert!(
+            out.text
+                .contains("verified iterate(3) against sequential time steps"),
+            "{}",
+            out.text
+        );
+        assert_eq!(out.violations, 0);
+
+        // Convergence mode piggybacks on --iterate as the step budget.
+        let out = run(vec![
+            "engine".into(),
+            spec.display().to_string(),
+            "--iterate".into(),
+            "2".into(),
+            "--epsilon".into(),
+            "1e-9".into(),
+        ])
+        .unwrap();
+        assert!(
+            out.text
+                .contains("convergence: NOT reached after 2 of 2 step(s)"),
+            "{}",
+            out.text
+        );
+
+        // Argument errors: zero steps, bare flags, epsilon without a
+        // budget, NaN thresholds.
+        let s = spec.display().to_string();
+        assert!(run(vec![
+            "engine".into(),
+            s.clone(),
+            "--iterate".into(),
+            "0".into()
+        ])
+        .is_err());
+        assert!(run(vec!["engine".into(), s.clone(), "--iterate".into()]).is_err());
+        assert!(run(vec![
+            "engine".into(),
+            s.clone(),
+            "--iterate".into(),
+            "2".into(),
+            "--epsilon".into(),
+            "NaN".into(),
+        ])
+        .is_err());
+        assert!(run(vec!["engine".into(), s, "--epsilon".into(), "0.5".into()]).is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 

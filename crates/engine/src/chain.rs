@@ -1,19 +1,22 @@
 //! The pump-driven streaming stage machine behind [`crate::Session`].
 //!
-//! The legacy streaming loop ([`crate::run_streaming`]) drives a single
-//! kernel from inside one function: it owns the control flow, pulling
-//! from the source and pushing to the sink. Temporal chaining inverts
-//! that: each stage becomes a [`StreamStage`] state machine that is
-//! *pumped* for output rows and *fed* input rows, so stage `k`'s output
-//! rows can flow straight into stage `k + 1`'s halo window without an
-//! intermediate grid. [`pump_chain`] wires the stages: it pumps the
-//! last stage, and whenever a stage reports [`StagePump::Need`], the
-//! demand recurses upstream until it reaches the real [`RowSource`].
+//! A monolithic streaming loop drives a single kernel from inside one
+//! function: it owns the control flow, pulling from the source and
+//! pushing to the sink. Temporal chaining inverts that: each stage
+//! becomes a [`StreamStage`] state machine that is *pumped* for output
+//! rows and *fed* input rows, so stage `k`'s output rows can flow
+//! straight into stage `k + 1`'s halo window without an intermediate
+//! grid. [`pump_chain`] wires the stages: it pumps the last stage, and
+//! whenever a stage reports [`StagePump::Need`], the demand recurses
+//! upstream until it reaches the real [`RowSource`].
 //!
-//! For a single stage the pump schedule replays the legacy loop
-//! bit-exactly — same evict-before-pull order, same pre-halo discard,
-//! same residency gauge observation points — which is what lets
-//! [`crate::run_streaming`] shrink to a delegate over this machinery.
+//! The same machinery serves both spatial pipelines (`Session::then`,
+//! distinct kernels) and iterative time-stepping (`Session::iterate`,
+//! one kernel self-chained T times): either way each stage holds one
+//! halo window, so T coupled steps stay within a T×halo residency
+//! budget instead of materializing T intermediate grids. Band
+//! schedules are built once at session construction and handed in
+//! prebuilt, so a T-step ring pays plan validation once, not per step.
 
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -89,19 +92,17 @@ impl std::fmt::Debug for StreamStage<'_> {
 }
 
 impl<'k> StreamStage<'k> {
-    /// Prepares the band schedule and validates that the stage's input
-    /// index is in contiguous stream order.
+    /// Adopts a prebuilt band schedule (validated once at session
+    /// construction) and checks that the stage's input index is in
+    /// contiguous stream order.
     pub(crate) fn new(
         plan: &MemorySystemPlan,
+        tile_plan: TilePlan,
         kernel: Box<dyn RowKernel + 'k>,
         backend: KernelBackend,
         chunk_rows: Option<u64>,
         threads: usize,
     ) -> Result<Self, EngineError> {
-        let tile_plan = match chunk_rows {
-            Some(n) => plan.tile_plan_chunked(n)?,
-            None => plan.tile_plan_from_streams()?,
-        };
         let in_idx = plan
             .input_domain()
             .index()
@@ -365,17 +366,27 @@ pub(crate) fn pump_chain(
                         .map_err(|detail| EngineError::Source { detail })?;
                     last.feed(buf)?;
                 } else {
-                    match pump_chain(upstream, source, buf)? {
-                        Some(row) => last.feed(&row)?,
-                        None => {
-                            return Err(EngineError::Source {
-                                detail: format!(
-                                    "upstream stage exhausted while {len} more input values \
-                                     were required"
-                                ),
-                            })
+                    // An upstream stage emits one row per *band* row. In
+                    // 1-D domains bands subdivide the single index row,
+                    // so accumulate emissions (they arrive in rank
+                    // order) until the downstream request is whole.
+                    let mut row: Vec<f64> = Vec::new();
+                    while row.len() < len {
+                        match pump_chain(upstream, source, buf)? {
+                            Some(part) if row.is_empty() => row = part,
+                            Some(part) => row.extend_from_slice(&part),
+                            None => {
+                                return Err(EngineError::Source {
+                                    detail: format!(
+                                        "upstream stage exhausted while {} more input values \
+                                         were required",
+                                        len - row.len()
+                                    ),
+                                })
+                            }
                         }
                     }
+                    last.feed(&row)?;
                 }
             }
         }

@@ -27,7 +27,8 @@ pub enum EngineError {
     WorkerPanic,
     /// The domain holds more points than this target can address — the
     /// in-core paths need one `usize`-indexed slot per point. Stream the
-    /// run instead ([`crate::run_streaming`]) or use a 64-bit target.
+    /// run instead ([`crate::ExecMode::Streaming`]) or use a 64-bit
+    /// target.
     DomainTooLarge {
         /// Points the failing allocation or index would need to address.
         points: u64,

@@ -18,8 +18,7 @@
 //!   shared work queue, writing disjoint slices of one output buffer;
 //! * kernels authored as [`stencil_kernels::KernelExpr`] trees compile
 //!   at plan time to flat stack bytecode ([`CompiledKernel`]) and run
-//!   through a vectorized *row sweep* ([`run_plan_compiled`],
-//!   [`run_streaming_compiled`]): each window tap binds to a
+//!   through a vectorized *row sweep*: each window tap binds to a
 //!   column-shifted contiguous slice of the resident rows and the
 //!   bytecode evaluates over fixed-width lane chunks the compiler can
 //!   autovectorize — bit-identical to the closure datapath by
@@ -32,8 +31,10 @@
 //! output rows stream into stage `k + 1` through the same bounded
 //! halo-window machinery, so a chained pipeline keeps roughly the sum
 //! of the stages' halo windows resident instead of any full
-//! intermediate grid. The legacy `run_*` entry points survive as
-//! deprecated delegates over the same builder.
+//! intermediate grid. [`Session::iterate`] closes that chain into a
+//! time-stepping ring (the same kernel applied T times to its own
+//! output) and [`Session::iterate_until`] adds epsilon-based
+//! convergence early exit; both report an [`IterateReport`].
 //!
 //! The engine consumes the same [`MemorySystemPlan`] interface as the
 //! simulator and returns the output grid plus a [`RunReport`] with
@@ -74,7 +75,6 @@
 mod chain;
 mod compile;
 mod error;
-mod exec;
 mod input;
 mod report;
 mod rowexec;
@@ -83,15 +83,9 @@ mod stream;
 
 pub use compile::{CompiledKernel, KernelBackend};
 pub use error::EngineError;
-#[allow(deprecated)]
-pub use exec::{
-    run_plan, run_plan_compiled, run_tiled, run_tiled_compiled, EngineConfig, EngineRun,
-};
 pub use input::InputGrid;
 pub use report::{RunReport, StreamReport, TileReport};
-pub use session::{ExecMode, Session, SessionKernel, SessionReport, SessionRun, StageReport};
-#[allow(deprecated)]
-pub use stream::{
-    run_streaming, run_streaming_compiled, FnSource, ReadSource, RowSink, RowSource, SliceSource,
-    StreamConfig, VecSink, WriteSink,
+pub use session::{
+    ExecMode, IterateReport, Session, SessionKernel, SessionReport, SessionRun, StageReport,
 };
+pub use stream::{FnSource, ReadSource, RowSink, RowSource, SliceSource, VecSink, WriteSink};

@@ -145,7 +145,8 @@ impl fmt::Display for RunReport {
 }
 
 /// Statistics of one out-of-core streaming run
-/// ([`crate::run_streaming`]). Where [`RunReport`] measures an in-core
+/// ([`crate::ExecMode::Streaming`]). Where [`RunReport`] measures an
+/// in-core
 /// run, this additionally accounts the stream endpoints (rows pulled
 /// and pushed) and the memory story: `peak_resident` is the high-water
 /// mark of resident input values and `resident_bound` the planned

@@ -1,7 +1,7 @@
 //! The shared per-row executor behind every engine path.
 //!
-//! Both the in-core tiled runner ([`crate::run_plan`]) and the
-//! bounded-memory streaming runner ([`crate::run_streaming`]) reduce to
+//! The session's in-core tiled modes and its bounded-memory streaming
+//! mode ([`crate::ExecMode`]) reduce to
 //! the same inner problem: given a contiguous run of iteration rows and
 //! a resident window of the input stream, produce one output per
 //! iteration. This module is that single integration point — the
@@ -275,8 +275,7 @@ pub(crate) fn threads_for(requested: usize, tiles: usize) -> usize {
 /// The in-core tiled executor: validates the input, splits the output
 /// buffer into disjoint per-band slices, and runs the bands on a scoped
 /// worker pool pulling from a shared queue. This is the single real
-/// implementation behind the session's `InCore`/`Tiled` modes (and,
-/// transitively, the deprecated `run_plan`/`run_tiled` entry points).
+/// implementation behind the session's `InCore`/`Tiled` modes.
 pub(crate) fn execute_tiled<K: RowKernel + ?Sized>(
     plan: &MemorySystemPlan,
     tile_plan: &TilePlan,

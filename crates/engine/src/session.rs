@@ -16,8 +16,8 @@
 //!     .run(&input)                     // or .run_streaming(src, sink)
 //! ```
 //!
-//! The legacy `run_*` functions survive as deprecated delegates over
-//! this builder, so every combination executes through one code path.
+//! Every backend × mode combination executes through this one builder;
+//! there are no parallel entry points.
 //!
 //! # Temporal chaining
 //!
@@ -32,21 +32,45 @@
 //! chain keeps roughly *two* halo windows resident instead of a full
 //! frame. The session report sums the per-stage windows into one
 //! chained residency bound that the telemetry validator can check.
+//!
+//! # Iterative time-stepping
+//!
+//! [`Session::iterate`] generalizes the chain to a *self-chained ring*:
+//! the single stage's own window erodes its own iteration domain, T
+//! times, so a Jacobi/heat-style kernel runs for T time steps through
+//! one plan built once. Under streaming, T coupled halo windows stay
+//! resident — a T×halo budget instead of T−1 materialized grids.
+//! [`Session::iterate_until`] adds an epsilon-based convergence early
+//! exit: after each step a row-aligned max-abs-delta reduction compares
+//! the step's output against its input, and stepping stops as soon as
+//! the update falls to `epsilon`. Both report [`IterateReport`]
+//! telemetry (steps, convergence, per-step residency, planned vs
+//! observed peak) that the `IterateResidency` validator rule re-checks
+//! from the serialized figures alone.
+//!
+//! Tile plans are hoisted to session construction: [`Session::then`]
+//! and [`Session::iterate`] prebuild each stage's band schedule for the
+//! session's mode, so a T-step run pays plan validation once, not per
+//! step. The report's `tile_plans_built` counter pins this — a
+//! well-prepared run reports 0.
 
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
 use std::fmt;
 use std::time::{Duration, Instant};
 
 use stencil_core::{MemorySystemPlan, TilePlan};
 use stencil_kernels::{ComputeFn, KernelStage};
+use stencil_polyhedral::{lex_cmp, DomainIndex};
 
 use crate::chain::{pump_chain, StreamStage};
 use crate::compile::{CompiledKernel, KernelBackend};
 use crate::error::EngineError;
-use crate::exec::EngineRun;
 use crate::input::InputGrid;
 use crate::report::{RunReport, StreamReport};
 use crate::rowexec::{
-    check_kernel_window, execute_tiled, ClosureKernel, RowKernel, ScalarKernel, SweepKernel,
+    check_kernel_window, execute_tiled, plan_offsets, ClosureKernel, RowKernel, ScalarKernel,
+    SweepKernel,
 };
 use crate::stream::{RowSink, RowSource, SliceSource, VecSink};
 
@@ -125,6 +149,30 @@ enum StageKernel<'a> {
     CompiledOwned(Box<CompiledKernel>),
 }
 
+impl<'a> StageKernel<'a> {
+    /// A second stage handle over the same datapath, for the
+    /// self-chained ring [`Session::iterate`] builds: borrowed kernels
+    /// are re-borrowed, owned bytecode is cloned.
+    fn duplicate(&self) -> StageKernel<'a> {
+        match self {
+            StageKernel::Closure(c) => StageKernel::Closure(*c),
+            StageKernel::ClosureFn(f) => StageKernel::ClosureFn(*f),
+            StageKernel::Compiled(k) => StageKernel::Compiled(k),
+            StageKernel::CompiledOwned(k) => StageKernel::CompiledOwned(k.clone()),
+        }
+    }
+}
+
+/// Which band schedule a stage's cached [`TilePlan`] was built for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TileKey {
+    /// In-core execution with this many row bands.
+    Bands(usize),
+    /// Streaming execution at this chunk height (`None` = the plan's
+    /// one-band-per-off-chip-stream sharding).
+    Chunk(Option<u64>),
+}
+
 /// A stage's plan: borrowed for stage 0, owned for chained stages
 /// (derived by domain erosion).
 enum PlanRef<'a> {
@@ -146,9 +194,45 @@ struct Stage<'a> {
     plan: PlanRef<'a>,
     kernel: Option<StageKernel<'a>>,
     label: String,
+    /// The stage's band schedule, built once per (mode, chunk) key and
+    /// reused across runs — the hoist that keeps `iterate` from paying
+    /// tile-plan validation per step.
+    tile: RefCell<Option<(TileKey, TilePlan)>>,
 }
 
-impl Stage<'_> {
+impl<'a> Stage<'a> {
+    fn new(plan: PlanRef<'a>, kernel: Option<StageKernel<'a>>, label: String) -> Stage<'a> {
+        Stage {
+            plan,
+            kernel,
+            label,
+            tile: RefCell::new(None),
+        }
+    }
+
+    /// The stage's tile plan for `key`, building and caching it on
+    /// miss. Misses during execution (as opposed to session
+    /// construction) are tallied into `built` — the figure the
+    /// `tile_plans_built` telemetry counter reports.
+    fn tiles(&self, key: TileKey, built: Option<&Cell<u64>>) -> Result<TilePlan, EngineError> {
+        let mut slot = self.tile.borrow_mut();
+        if let Some((k, tp)) = slot.as_ref() {
+            if *k == key {
+                return Ok(tp.clone());
+            }
+        }
+        let plan = self.plan.get();
+        let tp = match key {
+            TileKey::Bands(n) => plan.tile_plan(n)?,
+            TileKey::Chunk(Some(n)) => plan.tile_plan_chunked(n)?,
+            TileKey::Chunk(None) => plan.tile_plan_from_streams()?,
+        };
+        if let Some(c) = built {
+            c.set(c.get() + 1);
+        }
+        *slot = Some((key, tp.clone()));
+        Ok(tp)
+    }
     /// The compiled form, when this stage has one (for window checks).
     fn compiled(&self) -> Option<&CompiledKernel> {
         match &self.kernel {
@@ -202,6 +286,11 @@ pub struct Session<'a> {
     backend: KernelBackend,
     tile_plan: Option<&'a TilePlan>,
     label: Option<String>,
+    /// `Some(T)` when the stages form a [`Session::iterate`] ring.
+    iterate_steps: Option<usize>,
+    /// Tile plans constructed during execution (cache misses past the
+    /// hoisted construction-time prefill), across this session's runs.
+    tiles_built: Cell<u64>,
 }
 
 impl fmt::Debug for Session<'_> {
@@ -225,16 +314,18 @@ impl<'a> Session<'a> {
     #[must_use]
     pub fn new(plan: &'a MemorySystemPlan) -> Self {
         Self {
-            stages: vec![Stage {
-                plan: PlanRef::Borrowed(plan),
-                kernel: None,
-                label: plan.name().to_string(),
-            }],
+            stages: vec![Stage::new(
+                PlanRef::Borrowed(plan),
+                None,
+                plan.name().to_string(),
+            )],
             mode: ExecMode::default(),
             threads: 0,
             backend: KernelBackend::default(),
             tile_plan: None,
             label: None,
+            iterate_steps: None,
+            tiles_built: Cell::new(0),
         }
     }
 
@@ -329,12 +420,114 @@ impl<'a> Session<'a> {
             )?)),
             None => StageKernel::ClosureFn(stage.compute_fn()),
         };
-        self.stages.push(Stage {
-            plan: PlanRef::Owned(Box::new(next)),
-            kernel: Some(kernel),
-            label: stage.name().to_string(),
-        });
+        self.stages.push(Stage::new(
+            PlanRef::Owned(Box::new(next)),
+            Some(kernel),
+            stage.name().to_string(),
+        ));
+        self.prepare_tiles()?;
         Ok(self)
+    }
+
+    /// Expands the single-stage session into a *self-chained ring* of
+    /// `steps` time steps: the stage's own window erodes its own
+    /// iteration domain per step ([`MemorySystemPlan::chain_next`]
+    /// applied to itself), and the same kernel executes every step.
+    /// Each step's plan and band schedule are built here, once — a run
+    /// then reuses them, whether in core or streaming. Under
+    /// [`ExecMode::Streaming`] the steps run as T coupled halo windows,
+    /// keeping peak residency within a T×halo budget with no
+    /// intermediate grid.
+    ///
+    /// The run's report carries an [`IterateReport`] (`converged` stays
+    /// `false`: a fixed-count run never tests convergence — see
+    /// [`Session::iterate_until`] for the epsilon-based early exit).
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::Config`] if `steps` is zero, the session has
+    ///   more than one stage, or no kernel was supplied yet.
+    /// * [`EngineError::Plan`] if the domain erodes away before step
+    ///   `steps` (grid smaller than the window's reach × T).
+    pub fn iterate(mut self, steps: usize) -> Result<Self, EngineError> {
+        if steps == 0 {
+            return Err(EngineError::Config {
+                detail: "iterate requires at least one time step".into(),
+            });
+        }
+        if self.stages.len() != 1 {
+            return Err(EngineError::Config {
+                detail: format!(
+                    "iterate requires a single-stage session; this one has {} stages",
+                    self.stages.len()
+                ),
+            });
+        }
+        if self.stages[0].kernel.is_none() {
+            return Err(EngineError::Config {
+                detail: "iterate requires a kernel; call Session::kernel first".into(),
+            });
+        }
+        let name = self.stages[0].plan.get().name().to_string();
+        let window = plan_offsets(self.stages[0].plan.get());
+        for k in 1..steps {
+            let upstream = self
+                .stages
+                .last()
+                .expect("a session always has at least one stage")
+                .plan
+                .get();
+            let label = format!("{name}@t{}", k + 1);
+            let next = upstream.chain_next(&label, &window)?;
+            if !next.chains_from(upstream)? {
+                return Err(EngineError::Config {
+                    detail: format!(
+                        "step {} does not chain from step {k}: its input domain is not the \
+                         upstream iteration domain",
+                        k + 1
+                    ),
+                });
+            }
+            let kernel = self.stages[0]
+                .kernel
+                .as_ref()
+                .expect("checked above")
+                .duplicate();
+            self.stages.push(Stage::new(
+                PlanRef::Owned(Box::new(next)),
+                Some(kernel),
+                label,
+            ));
+        }
+        self.iterate_steps = Some(steps);
+        self.prepare_tiles()?;
+        Ok(self)
+    }
+
+    /// The band-schedule cache key the session's current mode implies
+    /// for `plan`.
+    fn mode_key(&self, plan: &MemorySystemPlan) -> TileKey {
+        match self.mode {
+            ExecMode::Streaming { chunk_rows } => TileKey::Chunk(chunk_rows),
+            _ => TileKey::Bands(self.bands_for(plan)),
+        }
+    }
+
+    /// Prebuilds every stage's band schedule for the current mode, so
+    /// runs start with warm caches (misses during a run are what the
+    /// `tile_plans_built` telemetry counter reports).
+    fn prepare_tiles(&self) -> Result<(), EngineError> {
+        for (i, stage) in self.stages.iter().enumerate() {
+            // A stage-0 explicit tile plan overrides the cache in core.
+            if i == 0
+                && self.tile_plan.is_some()
+                && !matches!(self.mode, ExecMode::Streaming { .. })
+            {
+                continue;
+            }
+            stage.tiles(self.mode_key(stage.plan.get()), None)?;
+        }
+        Ok(())
     }
 
     /// Number of kernel stages in the pipeline.
@@ -386,9 +579,9 @@ impl<'a> Session<'a> {
     ///
     /// # Errors
     ///
-    /// Everything the legacy entry points report — see
-    /// [`crate::run_plan`] and [`crate::run_streaming`] — plus
-    /// [`EngineError::Config`] for sessions missing a kernel.
+    /// [`EngineError::Config`] for sessions missing a kernel, plus the
+    /// executor's own errors: plan/index failures, input size
+    /// mismatches, kernel window mismatches, and worker panics.
     pub fn run(&self, input: &InputGrid<'_>) -> Result<SessionRun, EngineError> {
         match self.mode {
             ExecMode::InCore | ExecMode::Tiled { .. } => self.run_incore(input),
@@ -496,9 +689,11 @@ impl<'a> Session<'a> {
     /// input grid.
     fn run_incore(&self, input: &InputGrid<'_>) -> Result<SessionRun, EngineError> {
         let started = Instant::now();
+        let built_before = self.tiles_built.get();
         let mut stage_reports = Vec::with_capacity(self.stages.len());
         let mut cur: Vec<f64> = Vec::new();
         let mut peak = 0u64;
+        let mut stage_peaks = Vec::with_capacity(self.stages.len());
         let mut threads_used = 1usize;
         for (i, stage) in self.stages.iter().enumerate() {
             let plan = stage.plan.get();
@@ -511,15 +706,20 @@ impl<'a> Session<'a> {
             let tile_plan = match (i, self.tile_plan) {
                 (0, Some(tp)) => tp,
                 _ => {
-                    tp_owned = plan.tile_plan(self.bands_for(plan))?;
+                    tp_owned = stage.tiles(
+                        TileKey::Bands(self.bands_for(plan)),
+                        Some(&self.tiles_built),
+                    )?;
                     &tp_owned
                 }
             };
             // In core, a stage's whole input grid is resident.
-            peak += plan
+            let stage_peak = plan
                 .input_domain()
                 .count()
                 .map_err(|e| EngineError::Plan(e.into()))?;
+            peak += stage_peak;
+            stage_peaks.push(stage_peak);
             let (outputs, report) = if i == 0 {
                 execute_tiled(plan, tile_plan, input, &*kernel, self.threads, backend)?
             } else {
@@ -548,7 +748,32 @@ impl<'a> Session<'a> {
                 peak_resident: peak,
                 resident_bound: peak,
                 elapsed: started.elapsed(),
+                tile_plans_built: self.tiles_built.get() - built_before,
+                iterate: self.fixed_iterate_report(&stage_peaks, peak, peak),
             },
+        })
+    }
+
+    /// The [`IterateReport`] of a fixed-count [`Session::iterate`] run,
+    /// or `None` for plain/chained sessions. Fixed-count runs never
+    /// test convergence, so `converged` is `false` and the epsilon
+    /// fields are zero.
+    fn fixed_iterate_report(
+        &self,
+        stage_peaks: &[u64],
+        observed_peak: u64,
+        planned_peak: u64,
+    ) -> Option<IterateReport> {
+        let steps = self.iterate_steps? as u64;
+        Some(IterateReport {
+            steps,
+            max_steps: steps,
+            converged: false,
+            epsilon: 0.0,
+            final_delta: 0.0,
+            step_peaks: stage_peaks.to_vec(),
+            planned_peak,
+            observed_peak,
         })
     }
 
@@ -561,6 +786,7 @@ impl<'a> Session<'a> {
         chunk_rows: Option<u64>,
     ) -> Result<SessionReport, EngineError> {
         let started = Instant::now();
+        let built_before = self.tiles_built.get();
         let mut machines: Vec<StreamStage<'_>> = Vec::with_capacity(self.stages.len());
         for stage in &self.stages {
             let plan = stage.plan.get();
@@ -569,8 +795,10 @@ impl<'a> Session<'a> {
             }
             let kernel = stage.row_kernel(self.backend)?;
             let backend = stage.effective_backend(self.backend);
+            let tile_plan = stage.tiles(TileKey::Chunk(chunk_rows), Some(&self.tiles_built))?;
             machines.push(StreamStage::new(
                 plan,
+                tile_plan,
                 kernel,
                 backend,
                 chunk_rows,
@@ -587,11 +815,13 @@ impl<'a> Session<'a> {
         let elapsed = started.elapsed();
         let mut peak = 0u64;
         let mut bound = 0u64;
+        let mut stage_peaks = Vec::with_capacity(machines.len());
         let mut threads_used = 1usize;
         let mut stage_reports = Vec::with_capacity(machines.len());
         for (stage, m) in self.stages.iter().zip(&machines) {
             peak += m.peak_resident();
             bound += m.runtime_bound();
+            stage_peaks.push(m.peak_resident());
             let r = m.report(elapsed);
             threads_used = threads_used.max(r.threads);
             stage_reports.push(StageReport {
@@ -608,8 +838,226 @@ impl<'a> Session<'a> {
             peak_resident: peak,
             resident_bound: bound,
             elapsed,
+            tile_plans_built: self.tiles_built.get() - built_before,
+            iterate: self.fixed_iterate_report(&stage_peaks, peak, bound),
         })
     }
+
+    /// Time-steps the single-stage session until the per-step update
+    /// falls to `epsilon` or `max_steps` is reached, whichever comes
+    /// first. Steps run sequentially in core, each step's plan derived
+    /// from the previous by self-chaining ([`Session::iterate`]'s
+    /// ring, unrolled lazily so unneeded steps are never planned);
+    /// after each step a row-aligned max-abs-delta reduction compares
+    /// the step's output against its input over the step's iteration
+    /// domain. Because closure and compiled backends produce
+    /// bit-identical outputs by construction, the measured deltas — and
+    /// therefore the step count — are identical across backends.
+    ///
+    /// Steps execute strictly one at a time (the early exit requires
+    /// each step to finish before the next is planned), so the reported
+    /// peak residency is the *maximum* per-step input grid, not a sum,
+    /// and the report's mode is [`ExecMode::InCore`] regardless of the
+    /// configured mode.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::Config`] if the session is not single-stage, or
+    ///   `epsilon` is negative/non-finite, or `max_steps` is zero.
+    /// * [`EngineError::Plan`] if the domain erodes away before either
+    ///   exit condition fires.
+    /// * Everything [`Session::run`] reports.
+    pub fn iterate_until(
+        &self,
+        input: &InputGrid<'_>,
+        epsilon: f64,
+        max_steps: usize,
+    ) -> Result<SessionRun, EngineError> {
+        if self.stages.len() != 1 {
+            return Err(EngineError::Config {
+                detail: format!(
+                    "iterate_until requires a single-stage session; this one has {} stages",
+                    self.stages.len()
+                ),
+            });
+        }
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(EngineError::Config {
+                detail: format!("epsilon must be finite and non-negative, got {epsilon}"),
+            });
+        }
+        if max_steps == 0 {
+            return Err(EngineError::Config {
+                detail: "max_steps must be at least 1".into(),
+            });
+        }
+        let started = Instant::now();
+        let built_before = self.tiles_built.get();
+        let stage = &self.stages[0];
+        let base_plan = stage.plan.get();
+        if let Some(k) = stage.compiled() {
+            check_kernel_window(base_plan, k)?;
+        }
+        let kernel = stage.row_kernel(self.backend)?;
+        let backend = stage.effective_backend(self.backend);
+        let window = plan_offsets(base_plan);
+        let name = base_plan.name().to_string();
+
+        let mut derived: Option<MemorySystemPlan> = None;
+        let mut cur_vals: Vec<f64> = Vec::new();
+        let mut stage_reports = Vec::new();
+        let mut step_peaks: Vec<u64> = Vec::new();
+        let mut converged = false;
+        let mut final_delta = 0.0f64;
+        let mut steps = 0u64;
+        let mut threads_used = 1usize;
+
+        for k in 1..=max_steps {
+            let plan = derived.as_ref().unwrap_or(base_plan);
+            let tp_owned: TilePlan;
+            let tile_plan: &TilePlan = match (k, self.tile_plan) {
+                (1, Some(tp)) => tp,
+                (1, None) => {
+                    tp_owned = stage.tiles(
+                        TileKey::Bands(self.bands_for(plan)),
+                        Some(&self.tiles_built),
+                    )?;
+                    &tp_owned
+                }
+                _ => {
+                    // Derived step plans are fresh objects; their band
+                    // schedules are inherently built per executed step.
+                    self.tiles_built.set(self.tiles_built.get() + 1);
+                    tp_owned = plan.tile_plan(self.bands_for(plan))?;
+                    &tp_owned
+                }
+            };
+            let in_idx = plan
+                .input_domain()
+                .index()
+                .map_err(|e| EngineError::Plan(e.into()))?;
+            let (outputs, report) = if k == 1 {
+                execute_tiled(plan, tile_plan, input, &*kernel, self.threads, backend)?
+            } else {
+                let grid = InputGrid::new(&in_idx, &cur_vals)?;
+                execute_tiled(plan, tile_plan, &grid, &*kernel, self.threads, backend)?
+            };
+            let out_idx = plan
+                .iteration_domain()
+                .index()
+                .map_err(|e| EngineError::Plan(e.into()))?;
+            let (prev_idx, prev_vals): (&DomainIndex, &[f64]) = if k == 1 {
+                (input.index(), input.values())
+            } else {
+                (&in_idx, &cur_vals)
+            };
+            let delta = max_abs_delta(&out_idx, &outputs, prev_idx, prev_vals)?;
+            steps += 1;
+            threads_used = threads_used.max(report.threads);
+            step_peaks.push(
+                plan.input_domain()
+                    .count()
+                    .map_err(|e| EngineError::Plan(e.into()))?,
+            );
+            stage_reports.push(StageReport {
+                label: if k == 1 {
+                    name.clone()
+                } else {
+                    format!("{name}@t{k}")
+                },
+                engine: Some(report),
+                stream: None,
+            });
+            cur_vals = outputs;
+            final_delta = delta;
+            if delta <= epsilon {
+                converged = true;
+                break;
+            }
+            if k == max_steps {
+                break;
+            }
+            derived = Some(plan.chain_next(format!("{name}@t{}", k + 1), &window)?);
+        }
+
+        let peak = step_peaks.iter().copied().max().unwrap_or(0);
+        Ok(SessionRun {
+            outputs: cur_vals,
+            report: SessionReport {
+                label: self.label.clone(),
+                mode: ExecMode::InCore,
+                threads: threads_used,
+                stages: stage_reports,
+                peak_resident: peak,
+                resident_bound: peak,
+                elapsed: started.elapsed(),
+                tile_plans_built: self.tiles_built.get() - built_before,
+                iterate: Some(IterateReport {
+                    steps,
+                    max_steps: max_steps as u64,
+                    converged,
+                    epsilon,
+                    final_delta,
+                    step_peaks,
+                    planned_peak: peak,
+                    observed_peak: peak,
+                }),
+            },
+        })
+    }
+}
+
+/// Row-aligned max-abs-delta reduction between a time step's outputs
+/// (over `out_idx`, the step's iteration domain) and the values the
+/// step consumed (over `in_idx`, a superset domain): the convergence
+/// figure [`Session::iterate_until`] tests against epsilon after every
+/// step. Both indices are lexicographically row-sorted, so the inputs
+/// are walked with a single forward cursor — one fused pass, no point
+/// lookups.
+fn max_abs_delta(
+    out_idx: &DomainIndex,
+    outs: &[f64],
+    in_idx: &DomainIndex,
+    ins: &[f64],
+) -> Result<f64, EngineError> {
+    let in_rows = in_idx.rows();
+    let mut j = 0usize;
+    let mut delta = 0.0f64;
+    for row in out_idx.rows() {
+        while j < in_rows.len() && lex_cmp(&in_rows[j].prefix, &row.prefix) == Ordering::Less {
+            j += 1;
+        }
+        let irow = in_rows
+            .get(j)
+            .filter(|r| r.prefix == row.prefix && r.lo <= row.lo && row.hi <= r.hi)
+            .ok_or_else(|| EngineError::InconsistentIndex {
+                detail: format!("step output row at {} has no aligned input row", row.prefix),
+            })?;
+        let olen = usize::try_from(row.len())
+            .map_err(|_| EngineError::DomainTooLarge { points: row.len() })?;
+        let ostart = usize::try_from(row.base)
+            .map_err(|_| EngineError::DomainTooLarge { points: row.base })?;
+        let skip = u64::try_from(row.lo - irow.lo).expect("checked lo <= row.lo");
+        let istart =
+            usize::try_from(irow.base + skip).map_err(|_| EngineError::DomainTooLarge {
+                points: irow.base + skip,
+            })?;
+        let (o, i) = match (
+            outs.get(ostart..ostart + olen),
+            ins.get(istart..istart + olen),
+        ) {
+            (Some(o), Some(i)) => (o, i),
+            _ => {
+                return Err(EngineError::InconsistentIndex {
+                    detail: format!("step delta row at {} exceeds a value buffer", row.prefix),
+                })
+            }
+        };
+        for (a, b) in o.iter().zip(i) {
+            delta = delta.max((a - b).abs());
+        }
+    }
+    Ok(delta)
 }
 
 /// The result of [`Session::run`].
@@ -619,24 +1067,6 @@ pub struct SessionRun {
     pub outputs: Vec<f64>,
     /// Per-stage and pipeline-level statistics.
     pub report: SessionReport,
-}
-
-impl SessionRun {
-    /// Converts a single-stage in-core run back to the legacy
-    /// [`EngineRun`] shape (used by the deprecated delegates).
-    pub(crate) fn into_engine_run(self) -> Result<EngineRun, EngineError> {
-        let mut stages = self.report.stages;
-        let report = stages
-            .pop()
-            .and_then(|s| s.engine)
-            .ok_or_else(|| EngineError::Config {
-                detail: "session did not produce an in-core stage report".into(),
-            })?;
-        Ok(EngineRun {
-            outputs: self.outputs,
-            report,
-        })
-    }
 }
 
 /// Statistics of one pipeline stage within a [`SessionReport`].
@@ -671,6 +1101,41 @@ pub struct SessionReport {
     pub resident_bound: u64,
     /// End-to-end wall-clock time across all stages.
     pub elapsed: Duration,
+    /// Band/chunk schedules built *during this run*. After
+    /// [`Session::then`] or [`Session::iterate`] hoisted the schedules
+    /// at construction, a run whose mode is unchanged reports zero.
+    pub tile_plans_built: u64,
+    /// Time-stepping statistics, present only for [`Session::iterate`]
+    /// and [`Session::iterate_until`] runs.
+    pub iterate: Option<IterateReport>,
+}
+
+/// Time-stepping statistics of a [`Session::iterate`] or
+/// [`Session::iterate_until`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterateReport {
+    /// Time steps actually executed.
+    pub steps: u64,
+    /// The configured step ceiling (equals `steps` for fixed-count
+    /// [`Session::iterate`] runs).
+    pub max_steps: u64,
+    /// Whether the max-abs-delta reduction fell to `epsilon` before
+    /// `max_steps`. Always `false` for fixed-count runs, which do not
+    /// measure deltas.
+    pub converged: bool,
+    /// The convergence threshold (zero for fixed-count runs).
+    pub epsilon: f64,
+    /// The last measured per-step max-abs-delta (zero for fixed-count
+    /// runs).
+    pub final_delta: f64,
+    /// Per-step peak resident input values, step order.
+    pub step_peaks: Vec<u64>,
+    /// The planned residency ceiling: the summed T×halo bound when the
+    /// ring streams, the summed (sequential: maximum) step grids in
+    /// core.
+    pub planned_peak: u64,
+    /// The observed peak residency the bound is checked against.
+    pub observed_peak: u64,
 }
 
 impl SessionReport {
@@ -727,19 +1192,21 @@ impl SessionReport {
                     stream: s.stream.as_ref().map(StreamReport::metrics),
                 })
                 .collect(),
+            tile_plans_built: self.tile_plans_built,
+            iterate: self
+                .iterate
+                .as_ref()
+                .map(|it| stencil_telemetry::IterateMetrics {
+                    steps: it.steps,
+                    max_steps: it.max_steps,
+                    converged: it.converged,
+                    epsilon: it.epsilon,
+                    final_delta: it.final_delta,
+                    step_peaks: it.step_peaks.clone(),
+                    planned_peak: it.planned_peak,
+                    observed_peak: it.observed_peak,
+                }),
         }
-    }
-
-    /// Converts a single-stage streaming report back to the legacy
-    /// [`StreamReport`] shape (used by the deprecated delegates).
-    pub(crate) fn into_stream_report(self) -> Result<StreamReport, EngineError> {
-        let mut stages = self.stages;
-        stages
-            .pop()
-            .and_then(|s| s.stream)
-            .ok_or_else(|| EngineError::Config {
-                detail: "session did not produce a streaming stage report".into(),
-            })
     }
 }
 
@@ -760,6 +1227,24 @@ impl fmt::Display for SessionReport {
             "  resident: peak {} values (bound {})",
             self.peak_resident, self.resident_bound
         )?;
+        if let Some(it) = &self.iterate {
+            writeln!(
+                f,
+                "  iterate: {} / {} step(s), {}, peak {} (planned {})",
+                it.steps,
+                it.max_steps,
+                if it.converged {
+                    format!(
+                        "converged (delta {:.3e} <= eps {:.3e})",
+                        it.final_delta, it.epsilon
+                    )
+                } else {
+                    "not converged".to_string()
+                },
+                it.observed_peak,
+                it.planned_peak
+            )?;
+        }
         for s in &self.stages {
             if let Some(r) = &s.engine {
                 write!(f, "  stage '{}': {r}", s.label)?;
@@ -1557,5 +2042,243 @@ mod tests {
         assert!(s.contains("2 stage(s)"), "{s}");
         assert!(s.contains("stage 'stage2'"), "{s}");
         assert!(run.report.throughput() >= 0.0);
+    }
+
+    // ---- iterative time-stepping ----
+
+    /// Sequential reference: T materialized runs of the same kernel,
+    /// each re-planned over the previous step's output grid.
+    fn sequential_steps(plan: &MemorySystemPlan, vals: &[f64], steps: usize) -> Vec<f64> {
+        let in_idx = plan.input_domain().index().unwrap();
+        let input = InputGrid::new(&in_idx, vals).unwrap();
+        let mut cur = Session::new(plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .run(&input)
+            .unwrap()
+            .outputs;
+        let mut cur_plan = plan.clone();
+        for k in 1..steps {
+            let next = cur_plan
+                .chain_next(format!("t{}", k + 1), &window_5pt())
+                .unwrap();
+            let idx = next.input_domain().index().unwrap();
+            let grid = InputGrid::new(&idx, &cur).unwrap();
+            cur = Session::new(&next)
+                .kernel(SessionKernel::Closure(&compute))
+                .run(&grid)
+                .unwrap()
+                .outputs;
+            cur_plan = next;
+        }
+        cur
+    }
+
+    #[test]
+    fn iterate_matches_sequential_steps_in_both_modes() {
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let expect = sequential_steps(&plan, &vals, 3);
+
+        let incore = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .iterate(3)
+            .unwrap();
+        assert_eq!(incore.stage_count(), 3);
+        let run = incore.run(&input).unwrap();
+        assert_eq!(run.outputs, expect);
+        // 18x22 iteration domain erodes one ring per step: t3 is 14x18.
+        assert_eq!(run.outputs.len(), 14 * 18);
+        assert_eq!(run.report.stages[1].label, "denoise@t2");
+        let it = run.report.iterate.as_ref().unwrap();
+        assert_eq!(it.steps, 3);
+        assert_eq!(it.max_steps, 3);
+        assert!(!it.converged);
+        assert_eq!(it.step_peaks.len(), 3);
+        assert_eq!(it.observed_peak, run.report.peak_resident);
+        assert!(it.observed_peak <= it.planned_peak);
+
+        for chunk in [1u64, 3] {
+            let session = Session::new(&plan)
+                .kernel(SessionKernel::Closure(&compute))
+                .mode(ExecMode::Streaming {
+                    chunk_rows: Some(chunk),
+                })
+                .iterate(3)
+                .unwrap();
+            let planned = session.planned_residency_bound(Some(chunk)).unwrap();
+            let run = session.run(&input).unwrap();
+            assert_eq!(run.outputs, expect, "chunk={chunk}");
+            assert!(run.report.within_residency_bound());
+            let it = run.report.iterate.as_ref().unwrap();
+            assert_eq!(it.steps, 3);
+            assert_eq!(it.planned_peak, run.report.resident_bound);
+            assert!(it.observed_peak <= planned, "chunk={chunk}");
+        }
+
+        // At 1-row bands, three coupled step windows stay resident —
+        // far below even one materialized intermediate grid.
+        let run = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .mode(ExecMode::Streaming {
+                chunk_rows: Some(1),
+            })
+            .iterate(3)
+            .unwrap()
+            .run(&input)
+            .unwrap();
+        assert_eq!(run.report.peak_resident, 3 * 24 + 3 * 22 + 3 * 20);
+        assert!(run.report.peak_resident < 18 * 22);
+
+        // The iterate metrics serialize and validate clean, including
+        // the IterateResidency rule.
+        let mut report = stencil_telemetry::MetricsReport::new("denoise-iterate");
+        report.session = Some(run.report.metrics());
+        let back = stencil_telemetry::MetricsReport::parse(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(stencil_telemetry::validate_report(&back), Vec::new());
+    }
+
+    #[test]
+    fn iterate_rejects_bad_configs() {
+        let plan = plan_5pt(20, 24);
+        let e = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .iterate(0)
+            .unwrap_err();
+        assert!(matches!(e, EngineError::Config { .. }), "{e}");
+
+        let e = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .then(&stage_5pt("stage2"))
+            .unwrap()
+            .iterate(2)
+            .unwrap_err();
+        match e {
+            EngineError::Config { detail } => assert!(detail.contains("single-stage"), "{detail}"),
+            other => panic!("expected Config, got {other:?}"),
+        }
+
+        let e = Session::new(&plan).iterate(2).unwrap_err();
+        match e {
+            EngineError::Config { detail } => assert!(detail.contains("kernel"), "{detail}"),
+            other => panic!("expected Config, got {other:?}"),
+        }
+
+        // A 6x6 iteration domain erodes away before step 4.
+        let small = plan_5pt(8, 8);
+        let e = Session::new(&small)
+            .kernel(SessionKernel::Closure(&compute))
+            .iterate(4)
+            .unwrap_err();
+        assert!(matches!(e, EngineError::Plan(_)), "{e}");
+    }
+
+    #[test]
+    fn iterate_builds_tile_plans_once_per_mode() {
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+
+        // Mode fixed before iterate: construction hoists every step's
+        // band schedule, so runs never build one.
+        let session = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .mode(ExecMode::Streaming {
+                chunk_rows: Some(3),
+            })
+            .iterate(3)
+            .unwrap();
+        let first = session.run(&input).unwrap();
+        assert_eq!(first.report.tile_plans_built, 0);
+        let second = session.run(&input).unwrap();
+        assert_eq!(second.report.tile_plans_built, 0);
+        assert_eq!(first.outputs, second.outputs);
+
+        // Mode changed after construction: the first run re-tiles each
+        // stage once (counted), the second hits the warm cache.
+        let session = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .iterate(3)
+            .unwrap()
+            .mode(ExecMode::Streaming {
+                chunk_rows: Some(3),
+            });
+        let first = session.run(&input).unwrap();
+        assert_eq!(first.report.tile_plans_built, 3);
+        let second = session.run(&input).unwrap();
+        assert_eq!(second.report.tile_plans_built, 0);
+    }
+
+    #[test]
+    fn iterate_until_converges_identically_across_backends() {
+        let plan = plan_5pt(40, 40);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        // Contractive relaxation: total tap weight 0.4, so values (and
+        // the per-step delta) shrink geometrically toward zero.
+        let relax = |w: &[f64]| 0.2 * w[2] + 0.05 * (w[0] + w[1] + w[3] + w[4]);
+        let [t0, t1, t2, t3, t4] = KernelExpr::taps::<5>();
+        let expr = 0.2 * t2 + 0.05 * (t0 + t1 + t3 + t4);
+        let kernel = CompiledKernel::compile_checked(&expr, 5, &relax).unwrap();
+
+        let closure_run = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&relax))
+            .iterate_until(&input, 1e-2, 18)
+            .unwrap();
+        let it = closure_run.report.iterate.as_ref().unwrap();
+        assert!(it.converged);
+        assert!(it.steps >= 2, "converged suspiciously fast: {}", it.steps);
+        assert!(it.steps < 18, "no early exit: {} steps", it.steps);
+        assert!(it.final_delta <= 1e-2);
+        assert_eq!(it.step_peaks.len(), usize::try_from(it.steps).unwrap());
+        assert_eq!(
+            closure_run.report.stages.len(),
+            usize::try_from(it.steps).unwrap()
+        );
+        // Steps run one at a time: the peak is the largest step grid,
+        // not a sum.
+        assert_eq!(
+            closure_run.report.peak_resident,
+            it.step_peaks.iter().copied().max().unwrap()
+        );
+
+        // The compiled backend measures bit-identical deltas, so it
+        // exits after the same number of steps with the same values.
+        let compiled_run = Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .iterate_until(&input, 1e-2, 18)
+            .unwrap();
+        let it2 = compiled_run.report.iterate.as_ref().unwrap();
+        assert_eq!(it2.steps, it.steps);
+        assert_eq!(it2.final_delta, it.final_delta);
+        assert_eq!(compiled_run.outputs, closure_run.outputs);
+
+        // Convergence metrics serialize and validate clean.
+        let mut report = stencil_telemetry::MetricsReport::new("relax-converge");
+        report.session = Some(closure_run.report.metrics());
+        assert_eq!(stencil_telemetry::validate_report(&report), Vec::new());
+
+        // Epsilon no run can reach: steps == max_steps, not converged.
+        let capped = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&relax))
+            .iterate_until(&input, 0.0, 3)
+            .unwrap();
+        let it3 = capped.report.iterate.as_ref().unwrap();
+        assert!(!it3.converged);
+        assert_eq!(it3.steps, 3);
+        assert_eq!(it3.max_steps, 3);
+
+        // Bad arguments are config errors.
+        for (eps, max) in [(-1.0, 4usize), (f64::NAN, 4), (0.1, 0)] {
+            let e = Session::new(&plan)
+                .kernel(SessionKernel::Closure(&relax))
+                .iterate_until(&input, eps, max)
+                .unwrap_err();
+            assert!(matches!(e, EngineError::Config { .. }), "{e}");
+        }
     }
 }

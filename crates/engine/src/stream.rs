@@ -1,12 +1,11 @@
-//! Streaming endpoints and the legacy out-of-core entry points, kept
-//! as thin delegates over the unified [`Session`] layer.
+//! Streaming endpoints: the row sources and sinks the unified
+//! [`crate::Session`] layer pulls from and pushes to out of core.
 //!
-//! The in-core paths ([`crate::run_plan`]) hold the whole input and
-//! output grids in RAM, so domain size and memory footprint are
-//! coupled. The paper's central observation (Sec. 2.3) is that a
-//! stencil only ever needs the *reuse window* — the data between the
-//! first and last use of an element — resident at once. Streaming is
-//! the software form of that bound:
+//! The in-core modes hold the whole input and output grids in RAM, so
+//! domain size and memory footprint are coupled. The paper's central
+//! observation (Sec. 2.3) is that a stencil only ever needs the *reuse
+//! window* — the data between the first and last use of an element —
+//! resident at once. Streaming is the software form of that bound:
 //!
 //! * a [`RowSource`] delivers input values in lexicographic stream
 //!   order, one input index row per pull — the same order the
@@ -26,28 +25,21 @@
 //! gauge; the report's `peak_resident` and its planned `resident_bound`
 //! feed the validator rule `peak_resident <= resident_bound`.
 
-use stencil_core::MemorySystemPlan;
-
-use crate::compile::{CompiledKernel, KernelBackend};
-use crate::error::EngineError;
-use crate::report::StreamReport;
-use crate::session::{ExecMode, Session, SessionKernel};
-
 /// Supplies input values in lexicographic stream order.
 ///
-/// [`run_streaming`] pulls one input index row per call, in row order;
-/// rows before the first band's halo are pulled and discarded (the
-/// stream has no seek), rows after the last band's halo are never
-/// pulled. A source therefore needs no random access — a growing file,
-/// a generator, or a network stream all fit.
+/// [`crate::Session::run_streaming`] pulls one input index row per
+/// call, in row order; rows before the first band's halo are pulled and
+/// discarded (the stream has no seek), rows after the last band's halo
+/// are never pulled. A source therefore needs no random access — a
+/// growing file, a generator, or a network stream all fit.
 pub trait RowSource {
     /// Appends the next `len` values of the input stream to `buf`.
     ///
     /// # Errors
     ///
     /// A message describing why the row could not be produced
-    /// (exhausted stream, I/O failure, ...) — surfaced to the caller of
-    /// [`run_streaming`] as [`EngineError::Source`].
+    /// (exhausted stream, I/O failure, ...) — surfaced to the caller as
+    /// [`crate::EngineError::Source`].
     fn fill_row(&mut self, len: usize, buf: &mut Vec<f64>) -> Result<(), String>;
 }
 
@@ -58,7 +50,7 @@ pub trait RowSink {
     /// # Errors
     ///
     /// A message describing why the row was rejected — surfaced as
-    /// [`EngineError::Sink`].
+    /// [`crate::EngineError::Sink`].
     fn push_row(&mut self, row: &[f64]) -> Result<(), String>;
 }
 
@@ -208,218 +200,9 @@ impl<W: std::io::Write> RowSink for WriteSink<W> {
     }
 }
 
-/// Streaming tuning knobs.
-///
-/// Build with the uniform chained builder:
-/// `StreamConfig::new().chunk_rows(4).threads(2)`.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct StreamConfig {
-    /// Band height in distinct outermost-dimension values. `None`
-    /// applies the plan's Appendix 9.4 sharding (one band per off-chip
-    /// stream); smaller chunks shrink peak residency at the cost of
-    /// more halo re-reads.
-    pub chunk_rows: Option<u64>,
-    /// Worker threads per band; `0` uses the machine's parallelism.
-    pub threads: usize,
-    /// How the kernel datapath executes on the compiled entry point
-    /// ([`run_streaming_compiled`]); the closure entry point ignores it.
-    pub backend: KernelBackend,
-}
-
-impl StreamConfig {
-    /// The all-defaults config — the anchor of the chained builder.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Sets an explicit band height.
-    #[must_use]
-    pub fn chunk_rows(mut self, chunk_rows: u64) -> Self {
-        self.chunk_rows = Some(chunk_rows);
-        self
-    }
-
-    /// Sets the worker thread count (`0` = machine parallelism).
-    #[must_use]
-    pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
-        self
-    }
-
-    /// Selects the kernel backend for the compiled entry point.
-    #[must_use]
-    pub fn backend(mut self, backend: KernelBackend) -> Self {
-        self.backend = backend;
-        self
-    }
-
-    /// A config with an explicit band height.
-    #[deprecated(note = "use the uniform builder: `StreamConfig::new().chunk_rows(n)`")]
-    #[must_use]
-    pub fn with_chunk_rows(chunk_rows: u64) -> Self {
-        Self::new().chunk_rows(chunk_rows)
-    }
-}
-
-/// Executes `plan`'s kernel out of core: input rows are pulled from
-/// `source` in stream order, only the current band's halo window is
-/// kept resident, and finished output rows are pushed to `sink` band by
-/// band. Outputs arrive at the sink in lexicographic rank order — the
-/// concatenated sink stream is bit-identical to [`crate::run_plan`]'s
-/// output buffer.
-///
-/// # Errors
-///
-/// * [`EngineError::Plan`] on tiling failures.
-/// * [`EngineError::Source`] / [`EngineError::Sink`] when the endpoints
-///   fail.
-/// * [`EngineError::InconsistentIndex`] if the input domain's index is
-///   not in contiguous stream order (streaming requires monotone row
-///   bases), or a band's arithmetic contradicts it.
-/// * [`EngineError::DomainTooLarge`] if a single band (not the whole
-///   domain) exceeds addressable memory.
-/// * [`EngineError::MissingInput`] / [`EngineError::WorkerPanic`] as in
-///   [`crate::run_plan`].
-#[deprecated(
-    note = "use `Session::new(plan).kernel(..).mode(ExecMode::Streaming{..}).run_streaming(source, sink)`"
-)]
-pub fn run_streaming<C>(
-    plan: &MemorySystemPlan,
-    source: &mut dyn RowSource,
-    sink: &mut dyn RowSink,
-    compute: &C,
-    config: &StreamConfig,
-) -> Result<StreamReport, EngineError>
-where
-    C: Fn(&[f64]) -> f64 + Sync,
-{
-    Session::new(plan)
-        .kernel(SessionKernel::Closure(compute))
-        .mode(ExecMode::Streaming {
-            chunk_rows: config.chunk_rows,
-        })
-        .threads(config.threads)
-        .run_streaming(source, sink)?
-        .into_stream_report()
-}
-
-/// [`run_streaming`] through pre-compiled bytecode: interior rows run
-/// the vectorized row sweep when `config.backend` is
-/// [`KernelBackend::Compiled`], or the per-element bytecode interpreter
-/// under [`KernelBackend::Closure`].
-///
-/// # Errors
-///
-/// As [`run_streaming`], plus [`EngineError::KernelCompile`] when the
-/// kernel's tap count does not match the plan's window.
-#[deprecated(
-    note = "use `Session::new(plan).kernel(SessionKernel::Compiled(kernel)).mode(ExecMode::Streaming{..}).run_streaming(source, sink)`"
-)]
-pub fn run_streaming_compiled(
-    plan: &MemorySystemPlan,
-    source: &mut dyn RowSource,
-    sink: &mut dyn RowSink,
-    kernel: &CompiledKernel,
-    config: &StreamConfig,
-) -> Result<StreamReport, EngineError> {
-    Session::new(plan)
-        .kernel(SessionKernel::Compiled(kernel))
-        .backend(config.backend)
-        .mode(ExecMode::Streaming {
-            chunk_rows: config.chunk_rows,
-        })
-        .threads(config.threads)
-        .run_streaming(source, sink)?
-        .into_stream_report()
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use stencil_core::StencilSpec;
-    use stencil_kernels::KernelExpr;
-    use stencil_polyhedral::{Point, Polyhedron};
-
-    fn plan_5pt(rows: i64, cols: i64) -> MemorySystemPlan {
-        let spec = StencilSpec::new(
-            "denoise",
-            Polyhedron::rect(&[(1, rows - 2), (1, cols - 2)]),
-            vec![
-                Point::new(&[-1, 0]),
-                Point::new(&[0, -1]),
-                Point::new(&[0, 0]),
-                Point::new(&[0, 1]),
-                Point::new(&[1, 0]),
-            ],
-        )
-        .unwrap();
-        MemorySystemPlan::generate(&spec).unwrap()
-    }
-
-    fn ramp(len: u64) -> Vec<f64> {
-        (0..len).map(|r| (r % 97) as f64 * 0.5 - 11.0).collect()
-    }
-
-    fn compute(w: &[f64]) -> f64 {
-        w[2] + 0.25 * (w[0] + w[1] + w[3] + w[4] - 4.0 * w[2])
-    }
-
-    #[test]
-    fn deprecated_with_chunk_rows_still_builds_the_same_config() {
-        let old = StreamConfig::with_chunk_rows(6).threads(3);
-        let new = StreamConfig::new().chunk_rows(6).threads(3);
-        assert_eq!(old.chunk_rows, new.chunk_rows);
-        assert_eq!(old.threads, new.threads);
-        assert_eq!(old.backend, new.backend);
-    }
-
-    #[test]
-    fn legacy_streaming_delegates_match_the_session() {
-        let plan = plan_5pt(20, 24);
-        let in_idx = plan.input_domain().index().unwrap();
-        let vals = ramp(in_idx.len());
-        let input = crate::InputGrid::new(&in_idx, &vals).unwrap();
-        let session = Session::new(&plan)
-            .kernel(SessionKernel::Closure(&compute))
-            .mode(ExecMode::Streaming {
-                chunk_rows: Some(3),
-            })
-            .run(&input)
-            .unwrap();
-
-        let mut source = SliceSource::new(&vals);
-        let mut sink = VecSink::new();
-        let report = run_streaming(
-            &plan,
-            &mut source,
-            &mut sink,
-            &compute,
-            &StreamConfig::new().chunk_rows(3),
-        )
-        .unwrap();
-        assert_eq!(sink.values, session.outputs);
-        assert_eq!(report.chunk_rows, 3);
-        assert_eq!(report.backend, KernelBackend::Closure);
-
-        let [t0, t1, t2, t3, t4] = KernelExpr::taps::<5>();
-        let expr = t2.clone() + 0.25 * (t0 + t1 + t3 + t4 - 4.0 * t2);
-        let kernel = CompiledKernel::compile_checked(&expr, 5, &compute).unwrap();
-        let mut source = SliceSource::new(&vals);
-        let mut sink = VecSink::new();
-        let report = run_streaming_compiled(
-            &plan,
-            &mut source,
-            &mut sink,
-            &kernel,
-            &StreamConfig::new().chunk_rows(3),
-        )
-        .unwrap();
-        assert_eq!(sink.values, session.outputs);
-        assert_eq!(report.backend, KernelBackend::Compiled);
-        assert_eq!(report.sweep_rows, 18);
-    }
 
     #[test]
     fn slice_source_reports_exhaustion() {

@@ -50,6 +50,8 @@ pub struct Benchmark {
     offsets: Vec<Point>,
     ops: KernelOps,
     element_bits: u32,
+    #[serde(default)]
+    iteration_stable: bool,
     #[serde(skip, default = "default_compute")]
     compute: ComputeFn,
     #[serde(skip)]
@@ -89,9 +91,28 @@ impl Benchmark {
             offsets,
             ops,
             element_bits: StencilSpec::DEFAULT_ELEMENT_BITS,
+            iteration_stable: false,
             compute,
             expr: None,
         }
+    }
+
+    /// Declares the kernel *iteration-stable*: applying it to its own
+    /// output is the intended workload (Jacobi/heat-style relaxation on
+    /// a like-typed grid), so execution layers may time-step it with
+    /// `Session::iterate`. Kernels that change the value semantics
+    /// (edge magnitudes, strided interpolation) stay unmarked.
+    #[must_use]
+    pub fn with_iteration_stable(mut self) -> Self {
+        self.iteration_stable = true;
+        self
+    }
+
+    /// Whether repeated self-application of this kernel is meaningful
+    /// (see [`Benchmark::with_iteration_stable`]).
+    #[must_use]
+    pub fn iteration_stable(&self) -> bool {
+        self.iteration_stable
     }
 
     /// Attaches the [`KernelExpr`] form of the datapath — the same

@@ -29,9 +29,41 @@ pub fn jacobi_2d() -> Benchmark {
         },
         |v| 0.2 * (v[0] + v[1] + v[2] + v[3] + v[4]),
     )
+    .with_iteration_stable()
     .with_expr({
         let [t0, t1, t2, t3, t4] = KernelExpr::taps::<5>();
         0.2 * (t0 + t1 + t2 + t3 + t4)
+    })
+}
+
+/// RELAX_2D (2D, 512×512): damped Jacobi relaxation with ω = 0.8 —
+/// the canonical convergent time-stepper. Each step moves the center
+/// 80% of the way toward its neighbour average, so on any bounded
+/// field the per-step max-abs update contracts geometrically: the
+/// reference workload for `iterate_until`-style convergence detection.
+#[must_use]
+pub fn relax_2d() -> Benchmark {
+    Benchmark::new(
+        "RELAX_2D",
+        vec![512, 512],
+        vec![
+            Point::new(&[-1, 0]),
+            Point::new(&[0, -1]),
+            Point::new(&[0, 0]),
+            Point::new(&[0, 1]),
+            Point::new(&[1, 0]),
+        ],
+        KernelOps {
+            adds: 5,
+            muls: 2,
+            ..KernelOps::default()
+        },
+        |v| 0.2 * v[2] + 0.2 * (v[0] + v[1] + v[3] + v[4]),
+    )
+    .with_iteration_stable()
+    .with_expr({
+        let [t0, t1, t2, t3, t4] = KernelExpr::taps::<5>();
+        0.2 * t2 + 0.2 * (t0 + t1 + t3 + t4)
     })
 }
 
@@ -60,6 +92,7 @@ pub fn gaussian_3x3() -> Benchmark {
             v.iter().zip(&w).map(|(x, c)| x * c).sum::<f64>() / 16.0
         },
     )
+    .with_iteration_stable()
     .with_expr({
         // `sum()` folds from 0.0; keep that exact order.
         let w = [1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0];
@@ -88,6 +121,7 @@ pub fn heat_1d() -> Benchmark {
         },
         |v| v[1] + 0.25 * (v[0] - 2.0 * v[1] + v[2]),
     )
+    .with_iteration_stable()
     .with_expr({
         let [t0, t1, t2] = KernelExpr::taps::<3>();
         t1.clone() + 0.25 * (t0 - 2.0 * t1 + t2)
@@ -247,6 +281,7 @@ pub fn asymmetric_2d() -> Benchmark {
 pub fn extra_suite() -> Vec<Benchmark> {
     vec![
         jacobi_2d(),
+        relax_2d(),
         gaussian_3x3(),
         heat_1d(),
         fused_denoise(),
@@ -262,7 +297,19 @@ mod tests {
     #[test]
     fn extra_suite_windows() {
         let sizes: Vec<usize> = extra_suite().iter().map(|b| b.window().len()).collect();
-        assert_eq!(sizes, vec![5, 9, 3, 13, 9, 4]);
+        assert_eq!(sizes, vec![5, 5, 9, 3, 13, 9, 4]);
+    }
+
+    #[test]
+    fn relax_preserves_constants_and_contracts() {
+        let b = relax_2d();
+        assert!(b.iteration_stable());
+        assert!((b.compute(&[4.0; 5]) - 4.0).abs() < 1e-12);
+        // One step from a unit spike at the center: the update shrinks
+        // the center by the damping factor (contraction toward the
+        // neighbour average).
+        let out = b.compute(&[0.0, 0.0, 1.0, 0.0, 0.0]);
+        assert!((out - 0.2).abs() < 1e-12);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub use benchmark::{default_compute, Benchmark, ComputeFn, KernelOps, KernelStag
 pub use expr::KernelExpr;
 pub use extras::{
     asymmetric_2d, extra_suite, fused_denoise, gaussian_3x3, heat_1d, high_order_2d, jacobi_2d,
-    skewed_denoise,
+    relax_2d, skewed_denoise,
 };
 pub use golden::{run_golden, GridValues};
 pub use suite::{

@@ -37,6 +37,7 @@ pub fn denoise() -> Benchmark {
         },
     )
     .with_element_bits(16)
+    .with_iteration_stable()
     .with_expr({
         let [n, w, c, e, s] = KernelExpr::taps::<5>();
         c.clone() + 0.2 * (n + s + e + w - 4.0 * c)
@@ -173,6 +174,7 @@ pub fn denoise_3d() -> Benchmark {
         },
     )
     .with_element_bits(16)
+    .with_iteration_stable()
     .with_expr({
         let [t0, t1, t2, c, t4, t5, t6] = KernelExpr::taps::<7>();
         let sum = t0 + t1 + t2 + t4 + t5 + t6;
@@ -247,6 +249,7 @@ pub fn segmentation_3d() -> Benchmark {
         let center = KernelExpr::tap(9);
         center.clone() + (2.0 * faces + edges - 24.0 * center) / 32.0
     })
+    .with_iteration_stable()
 }
 
 /// Lex positions of the 6 face neighbours among the 19 offsets of
@@ -297,6 +300,20 @@ mod tests {
         );
         let window_sizes: Vec<usize> = suite.iter().map(|b| b.window().len()).collect();
         assert_eq!(window_sizes, vec![5, 4, 8, 4, 7, 19]);
+    }
+
+    #[test]
+    fn iteration_stable_marks_the_relaxation_kernels() {
+        // Relaxations consume and produce like-typed grids; SOBEL emits
+        // gradient magnitudes and BICUBIC reads a strided coarse grid,
+        // so neither is meaningful to self-iterate. RICIAN's fixed-point
+        // update rewrites values through a sqrt, not a damped average.
+        let stable: Vec<String> = paper_suite()
+            .iter()
+            .filter(|b| b.iteration_stable())
+            .map(|b| b.name().to_owned())
+            .collect();
+        assert_eq!(stable, vec!["DENOISE", "DENOISE_3D", "SEGMENTATION_3D"]);
     }
 
     #[test]

@@ -484,6 +484,69 @@ impl FromValue for StageMetrics {
     }
 }
 
+/// Counters of one iterative time-stepping run — a session that applied
+/// the *same* kernel for `steps` time steps (`Session::iterate`), or
+/// stepped until an epsilon-based convergence criterion fired
+/// (`Session::iterate_until`).
+///
+/// The defining figures are `observed_peak` against `planned_peak`
+/// (residency stayed within the planned T×halo budget — no intermediate
+/// grid was materialized) and `steps`/`converged` (how many steps
+/// actually ran, and whether the per-step max-abs-delta reduction fell
+/// to `epsilon` before `max_steps`). Checked by
+/// [`crate::validate::BoundCheck::IterateResidency`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterateMetrics {
+    /// Time steps actually executed.
+    pub steps: u64,
+    /// Step budget the run was allowed (equals `steps` for fixed-count
+    /// `iterate(T)` runs).
+    pub max_steps: u64,
+    /// Whether the convergence criterion fired before `max_steps`.
+    pub converged: bool,
+    /// The convergence threshold on the per-step max-abs delta (0.0 for
+    /// fixed-count runs, which never test convergence).
+    pub epsilon: f64,
+    /// The last step's max-abs delta (0.0 for fixed-count runs).
+    pub final_delta: f64,
+    /// Per-step peak resident values, step order.
+    pub step_peaks: Vec<u64>,
+    /// The planned residency budget for the whole run.
+    pub planned_peak: u64,
+    /// The observed peak residency for the whole run.
+    pub observed_peak: u64,
+}
+
+impl ToValue for IterateMetrics {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("steps", self.steps.to_value()),
+            ("max_steps", self.max_steps.to_value()),
+            ("converged", self.converged.to_value()),
+            ("epsilon", self.epsilon.to_value()),
+            ("final_delta", self.final_delta.to_value()),
+            ("step_peaks", self.step_peaks.to_value()),
+            ("planned_peak", self.planned_peak.to_value()),
+            ("observed_peak", self.observed_peak.to_value()),
+        ])
+    }
+}
+
+impl FromValue for IterateMetrics {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            steps: field(v, "steps")?,
+            max_steps: field(v, "max_steps")?,
+            converged: field(v, "converged")?,
+            epsilon: field(v, "epsilon")?,
+            final_delta: field(v, "final_delta")?,
+            step_peaks: field(v, "step_peaks")?,
+            planned_peak: field(v, "planned_peak")?,
+            observed_peak: field(v, "observed_peak")?,
+        })
+    }
+}
+
 /// Counters of one unified session run — a temporally chained pipeline
 /// of one or more kernel stages executed through `stencil_engine`'s
 /// `Session` layer.
@@ -509,8 +572,15 @@ pub struct SessionMetrics {
     pub elapsed_ns: u64,
     /// Final-stage outputs per second (0.0 when below resolution).
     pub throughput: f64,
+    /// Tile plans constructed *during* execution — cache misses past
+    /// the plans hoisted to session construction. A well-prepared
+    /// iterate run reports 0 here.
+    pub tile_plans_built: u64,
     /// Per-stage detail, pipeline order.
     pub stages: Vec<StageMetrics>,
+    /// Iterative time-stepping counters, when the session ran via
+    /// `iterate`/`iterate_until`.
+    pub iterate: Option<IterateMetrics>,
 }
 
 impl ToValue for SessionMetrics {
@@ -523,7 +593,15 @@ impl ToValue for SessionMetrics {
             ("resident_bound", self.resident_bound.to_value()),
             ("elapsed_ns", self.elapsed_ns.to_value()),
             ("throughput", self.throughput.to_value()),
+            ("tile_plans_built", self.tile_plans_built.to_value()),
             ("stages", self.stages.to_value()),
+            (
+                "iterate",
+                self.iterate
+                    .as_ref()
+                    .map(ToValue::to_value)
+                    .unwrap_or(Value::Null),
+            ),
         ])
     }
 }
@@ -538,7 +616,17 @@ impl FromValue for SessionMetrics {
             resident_bound: field(v, "resident_bound")?,
             elapsed_ns: field(v, "elapsed_ns")?,
             throughput: field(v, "throughput")?,
+            // Absent in pre-iterate reports: no tile-plan counter, and
+            // no iterative time-stepping section.
+            tile_plans_built: match v.get("tile_plans_built") {
+                None => 0,
+                Some(s) => FromValue::from_value(s)?,
+            },
             stages: field(v, "stages")?,
+            iterate: match v.get("iterate") {
+                None => None,
+                Some(s) => FromValue::from_value(s)?,
+            },
         })
     }
 }
@@ -745,6 +833,17 @@ mod tests {
                 resident_bound: 138,
                 elapsed_ns: 120_330,
                 throughput: 498_628.9,
+                tile_plans_built: 0,
+                iterate: Some(IterateMetrics {
+                    steps: 2,
+                    max_steps: 2,
+                    converged: false,
+                    epsilon: 0.0,
+                    final_delta: 0.0,
+                    step_peaks: vec![72, 66],
+                    planned_peak: 138,
+                    observed_peak: 138,
+                }),
                 stages: vec![
                     StageMetrics {
                         label: "denoise".into(),
@@ -881,6 +980,46 @@ mod tests {
         let stream = back.stream.unwrap();
         assert_eq!(stream.backend, "closure");
         assert_eq!(stream.sweep_rows, 0);
+    }
+
+    #[test]
+    fn pre_iterate_session_reports_still_parse() {
+        // Session sections written before iterative time-stepping have
+        // neither `iterate` nor `tile_plans_built`; schema v1 parsing
+        // must default them rather than error.
+        let mut report = MetricsReport::new("legacy-session");
+        report.session = Some(SessionMetrics {
+            mode: "incore".into(),
+            threads: 1,
+            outputs: 80,
+            peak_resident: 120,
+            resident_bound: 120,
+            elapsed_ns: 10_000,
+            throughput: 8.0e6,
+            tile_plans_built: 3,
+            stages: Vec::new(),
+            iterate: None,
+        });
+        fn strip(v: Value) -> Value {
+            match v {
+                Value::Object(fields) => Value::Object(
+                    fields
+                        .into_iter()
+                        .filter(|(k, _)| k != "iterate" && k != "tile_plans_built")
+                        .map(|(k, v)| (k, strip(v)))
+                        .collect(),
+                ),
+                Value::Array(items) => Value::Array(items.into_iter().map(strip).collect()),
+                other => other,
+            }
+        }
+        let text = strip(report.to_value()).to_json();
+        assert!(!text.contains("iterate"), "{text}");
+        let back = MetricsReport::parse(&text).unwrap();
+        let session = back.session.unwrap();
+        assert_eq!(session.iterate, None);
+        assert_eq!(session.tile_plans_built, 0);
+        assert_eq!(SCHEMA_VERSION, back.schema_version);
     }
 
     #[test]

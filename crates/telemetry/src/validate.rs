@@ -33,6 +33,11 @@
 //!   bound (the Sec. 2.3 reuse window, applied per pipeline stage),
 //!   and adjacent streaming stages hand every produced value
 //!   downstream.
+//! * [`BoundCheck::IterateResidency`] — an iterative time-stepping run
+//!   (Sec. 2.3 applied across T self-chained steps) executed within its
+//!   step budget, its per-step telemetry is internally consistent, the
+//!   observed peak stayed within the planned T×halo budget, and a
+//!   converged run's final max-abs delta actually fell to epsilon.
 //! * [`BoundCheck::Finite`] — the serialized report contains no NaN or
 //!   infinity (JSON cannot represent them).
 
@@ -65,6 +70,11 @@ pub enum BoundCheck {
     /// streaming residency holds, and adjacent streaming stages hand
     /// every produced value downstream.
     ChainResidency,
+    /// Iterative time-stepping: steps stayed within the budget, the
+    /// per-step telemetry agrees with the per-stage figures, the
+    /// observed peak stayed within the planned T×halo budget, and a
+    /// converged run's final delta fell to epsilon.
+    IterateResidency,
     /// Sweep-row tallies agree with the reported kernel backend: only
     /// the `"compiled"` backend may report vectorized sweep rows.
     BackendConsistent,
@@ -84,6 +94,7 @@ impl core::fmt::Display for BoundCheck {
             Self::OutputsComplete => "outputs-complete",
             Self::ResidencyBound => "residency-bound (Sec. 2.3)",
             Self::ChainResidency => "chain-residency (Sec. 2.3)",
+            Self::IterateResidency => "iterate-residency (Sec. 2.3)",
             Self::BackendConsistent => "backend-consistent",
             Self::Finite => "finite",
         };
@@ -455,6 +466,118 @@ fn validate_session(s: &crate::schema::SessionMetrics, v: &mut Vec<BoundViolatio
             }
         }
     }
+    if let Some(it) = &s.iterate {
+        validate_iterate(it, s, v);
+    }
+}
+
+/// Checks an iterative time-stepping run (Sec. 2.3 applied across T
+/// self-chained steps): the executed step count stays within its budget
+/// and agrees with the per-stage telemetry, the observed peak residency
+/// stays within the planned T×halo budget, and a run that claims
+/// convergence actually drove its final max-abs delta down to epsilon.
+fn validate_iterate(
+    it: &crate::schema::IterateMetrics,
+    s: &crate::schema::SessionMetrics,
+    v: &mut Vec<BoundViolation>,
+) {
+    let loc = "session.iterate";
+    if it.steps == 0 || it.steps > it.max_steps {
+        violation(
+            v,
+            BoundCheck::IterateResidency,
+            loc,
+            format!(
+                "executed {} step(s) against a budget of {}",
+                it.steps, it.max_steps
+            ),
+        );
+    }
+    if it.steps != s.stages.len() as u64 {
+        violation(
+            v,
+            BoundCheck::IterateResidency,
+            loc,
+            format!(
+                "{} step(s) reported but {} stage reports present",
+                it.steps,
+                s.stages.len()
+            ),
+        );
+    }
+    if it.step_peaks.len() as u64 != it.steps {
+        violation(
+            v,
+            BoundCheck::IterateResidency,
+            loc,
+            format!(
+                "{} step(s) reported but {} per-step peaks recorded",
+                it.steps,
+                it.step_peaks.len()
+            ),
+        );
+    }
+    if it.observed_peak > it.planned_peak {
+        violation(
+            v,
+            BoundCheck::IterateResidency,
+            loc,
+            format!(
+                "observed peak {} values exceeds the planned T×halo budget {}",
+                it.observed_peak, it.planned_peak
+            ),
+        );
+    }
+    if it.observed_peak != s.peak_resident {
+        violation(
+            v,
+            BoundCheck::IterateResidency,
+            loc,
+            format!(
+                "iterate observed peak {} disagrees with the session peak {}",
+                it.observed_peak, s.peak_resident
+            ),
+        );
+    }
+    if !it.epsilon.is_finite() || it.epsilon < 0.0 || !it.final_delta.is_finite() {
+        violation(
+            v,
+            BoundCheck::Finite,
+            loc,
+            format!(
+                "epsilon {} / final delta {} must be finite and non-negative",
+                it.epsilon, it.final_delta
+            ),
+        );
+    } else if it.converged && it.final_delta > it.epsilon {
+        violation(
+            v,
+            BoundCheck::IterateResidency,
+            loc,
+            format!(
+                "run claims convergence but the final delta {} exceeds epsilon {}",
+                it.final_delta, it.epsilon
+            ),
+        );
+    }
+    // Step-k input conservation: the per-step peaks must be the very
+    // figures the per-stage streaming reports measured — the iterate
+    // section cannot claim a residency the stages did not see.
+    for (k, stage) in s.stages.iter().enumerate() {
+        if let (Some(sm), Some(&peak)) = (&stage.stream, it.step_peaks.get(k)) {
+            if sm.peak_resident != peak {
+                violation(
+                    v,
+                    BoundCheck::IterateResidency,
+                    format!("session.iterate step {k}"),
+                    format!(
+                        "step peak {} disagrees with stage peak {}",
+                        peak, sm.peak_resident
+                    ),
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -710,7 +833,9 @@ mod tests {
             resident_bound: 138,
             elapsed_ns: 250,
             throughput: 1.0,
+            tile_plans_built: 0,
             stages: vec![stage("s1", 396, 480, 72, 72), stage("s2", 320, 396, 66, 66)],
+            iterate: None,
         });
         assert_eq!(validate_report(&report), Vec::new());
 
@@ -777,6 +902,107 @@ mod tests {
     }
 
     #[test]
+    fn iterate_residency_violations_are_flagged() {
+        use crate::schema::{IterateMetrics, SessionMetrics, StageMetrics, StreamMetrics};
+        fn step(label: &str, outputs: u64, values_in: u64, peak: u64) -> StageMetrics {
+            StageMetrics {
+                label: label.into(),
+                engine: None,
+                stream: Some(StreamMetrics {
+                    outputs,
+                    bands: 4,
+                    threads: 1,
+                    backend: "closure".into(),
+                    chunk_rows: 1,
+                    rows_in: 10,
+                    values_in,
+                    rows_out: 8,
+                    peak_resident: peak,
+                    resident_bound: peak,
+                    sweep_rows: 0,
+                    fast_rows: 8,
+                    gather_rows: 0,
+                    elapsed_ns: 100,
+                    throughput: 1.0,
+                }),
+            }
+        }
+        let mut report = MetricsReport::new("iterate");
+        report.session = Some(SessionMetrics {
+            mode: "streaming".into(),
+            threads: 1,
+            outputs: 320,
+            peak_resident: 138,
+            resident_bound: 138,
+            elapsed_ns: 250,
+            throughput: 1.0,
+            tile_plans_built: 0,
+            stages: vec![step("j@t1", 396, 480, 72), step("j@t2", 320, 396, 66)],
+            iterate: Some(IterateMetrics {
+                steps: 2,
+                max_steps: 2,
+                converged: false,
+                epsilon: 0.0,
+                final_delta: 0.0,
+                step_peaks: vec![72, 66],
+                planned_peak: 138,
+                observed_peak: 138,
+            }),
+        });
+        assert_eq!(validate_report(&report), Vec::new());
+        fn it(r: &mut MetricsReport) -> &mut IterateMetrics {
+            r.session.as_mut().unwrap().iterate.as_mut().unwrap()
+        }
+
+        // Observed peak above the planned T×halo budget is the core
+        // violation.
+        it(&mut report).observed_peak = 139;
+        it(&mut report).planned_peak = 138;
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::IterateResidency));
+        assert!(v[0].to_string().contains("iterate-residency"), "{}", v[0]);
+        it(&mut report).observed_peak = 138;
+
+        // Step count must stay within the budget and match the stages.
+        it(&mut report).max_steps = 1;
+        let v = validate_report(&report);
+        assert!(v
+            .iter()
+            .any(|x| x.check == BoundCheck::IterateResidency && x.detail.contains("budget")));
+        it(&mut report).max_steps = 2;
+        it(&mut report).steps = 3;
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.detail.contains("stage reports present")));
+        assert!(v.iter().any(|x| x.detail.contains("per-step peaks")));
+        it(&mut report).steps = 2;
+
+        // Claimed convergence needs the delta at or below epsilon.
+        it(&mut report).converged = true;
+        it(&mut report).epsilon = 1e-6;
+        it(&mut report).final_delta = 1e-3;
+        let v = validate_report(&report);
+        assert!(v
+            .iter()
+            .any(|x| x.check == BoundCheck::IterateResidency
+                && x.detail.contains("claims convergence")));
+        it(&mut report).final_delta = 1e-9;
+        assert_eq!(validate_report(&report), Vec::new());
+
+        // Step-k conservation: step peaks are the stage peaks.
+        it(&mut report).step_peaks = vec![72, 65];
+        let v = validate_report(&report);
+        assert!(v
+            .iter()
+            .any(|x| x.check == BoundCheck::IterateResidency && x.location.contains("step 1")));
+        it(&mut report).step_peaks = vec![72, 66];
+
+        // A negative epsilon can never be a meaningful threshold.
+        it(&mut report).epsilon = -1.0;
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::Finite));
+    }
+
+    #[test]
     fn in_core_session_stage_backend_is_checked() {
         use crate::schema::{SessionMetrics, StageMetrics};
         let mut report = MetricsReport::new("chain");
@@ -788,6 +1014,8 @@ mod tests {
             resident_bound: 12,
             elapsed_ns: 50,
             throughput: 1.0,
+            tile_plans_built: 0,
+            iterate: None,
             stages: vec![StageMetrics {
                 label: "s1".into(),
                 engine: Some(EngineMetrics {

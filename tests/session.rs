@@ -1,14 +1,14 @@
-//! Integration test: the `Session` layer is a drop-in replacement for
-//! every legacy engine entry point, and temporal chaining is faithful.
+//! Integration test: the `Session` layer is the one execution surface
+//! for every mode × backend combination, and temporal chaining is
+//! faithful.
 //!
 //! Two guarantees are certified here:
 //!
-//! * **Entry-point parity.** For every paper benchmark, a `Session`
-//!   configured like each of the six deprecated entry points
-//!   (`run_plan`, `run_tiled`, `run_plan_compiled`,
-//!   `run_tiled_compiled`, `run_streaming`, `run_streaming_compiled`)
-//!   produces bit-identical outputs. The legacy functions are now thin
-//!   delegates, so this pins the delegation down forever.
+//! * **Cross-mode parity.** For every paper benchmark, every `Session`
+//!   configuration (in-core, explicitly tiled, precomputed tile plan,
+//!   streaming at several chunk heights — each with the closure and,
+//!   where the benchmark carries an expression, the compiled backend)
+//!   produces bit-identical outputs.
 //! * **Chained fidelity.** A 2- and 3-stage `Session::then` pipeline
 //!   over the DENOISE window matches running each stage to completion
 //!   sequentially with fully materialised intermediates, while the
@@ -17,11 +17,6 @@
 
 use stencil_bench::scaled_extents;
 use stencil_core::MemorySystemPlan;
-#[allow(deprecated)]
-use stencil_engine::{
-    run_plan, run_plan_compiled, run_streaming, run_streaming_compiled, run_tiled,
-    run_tiled_compiled, EngineConfig, StreamConfig,
-};
 use stencil_engine::{
     CompiledKernel, ExecMode, InputGrid, Session, SessionKernel, SliceSource, VecSink,
 };
@@ -50,75 +45,45 @@ fn plan_and_values(bench: &Benchmark) -> (MemorySystemPlan, Vec<f64>) {
 }
 
 #[test]
-fn session_matches_every_legacy_entry_point() {
+fn session_modes_and_backends_agree_on_every_benchmark() {
     for bench in paper_suite() {
         let (plan, in_vals) = plan_and_values(&bench);
         let in_idx = plan.input_domain().index().expect("input index");
         let input = InputGrid::new(&in_idx, &in_vals).expect("sized input");
         let compute = bench.compute_fn();
 
-        // run_plan (default in-core) vs Session InCore.
-        #[allow(deprecated)]
-        let legacy = run_plan(&plan, &input, &compute, &EngineConfig::default()).expect("run_plan");
-        let session = Session::new(&plan)
+        // Default in-core run: the golden reference for every other
+        // configuration of the same benchmark.
+        let golden = Session::new(&plan)
             .kernel(SessionKernel::Closure(&compute))
             .run(&input)
-            .expect("session in-core");
-        assert_eq!(session.outputs, legacy.outputs, "{}: in-core", bench.name());
+            .expect("session in-core")
+            .outputs;
 
-        // run_plan with explicit tiling vs Session Tiled.
-        #[allow(deprecated)]
-        let legacy = run_plan(
-            &plan,
-            &input,
-            &compute,
-            &EngineConfig::new().tiles(3).threads(2),
-        )
-        .expect("run_plan tiled");
+        // Explicit band tiling with worker threads.
         let session = Session::new(&plan)
             .kernel(SessionKernel::Closure(&compute))
             .mode(ExecMode::Tiled { tiles: 3 })
             .threads(2)
             .run(&input)
             .expect("session tiled");
-        assert_eq!(session.outputs, legacy.outputs, "{}: tiled", bench.name());
+        assert_eq!(session.outputs, golden, "{}: tiled", bench.name());
 
-        // run_tiled with a precomputed tile plan vs Session::tile_plan.
+        // Precomputed tile plan via Session::tile_plan.
         let tile_plan = plan.tile_plan(2).expect("tile plan");
-        #[allow(deprecated)]
-        let legacy = run_tiled(&plan, &tile_plan, &input, &compute, 2).expect("run_tiled");
         let session = Session::new(&plan)
             .kernel(SessionKernel::Closure(&compute))
             .tile_plan(&tile_plan)
             .threads(2)
             .run(&input)
             .expect("session tile_plan");
-        assert_eq!(
-            session.outputs,
-            legacy.outputs,
-            "{}: tile plan",
-            bench.name()
-        );
+        assert_eq!(session.outputs, golden, "{}: tile plan", bench.name());
 
-        // run_streaming vs Session Streaming.
+        // Streaming through endpoints at several chunk heights.
         for chunk in [1u64, 5] {
-            #[allow(deprecated)]
-            let legacy_out = {
-                let mut source = SliceSource::new(&in_vals);
-                let mut sink = VecSink::new();
-                run_streaming(
-                    &plan,
-                    &mut source,
-                    &mut sink,
-                    &compute,
-                    &StreamConfig::new().chunk_rows(chunk).threads(2),
-                )
-                .expect("run_streaming");
-                sink.values
-            };
             let mut source = SliceSource::new(&in_vals);
             let mut sink = VecSink::new();
-            Session::new(&plan)
+            let report = Session::new(&plan)
                 .kernel(SessionKernel::Closure(&compute))
                 .mode(ExecMode::Streaming {
                     chunk_rows: Some(chunk),
@@ -128,41 +93,25 @@ fn session_matches_every_legacy_entry_point() {
                 .expect("session streaming");
             assert_eq!(
                 sink.values,
-                legacy_out,
+                golden,
                 "{}: streaming chunk {chunk}",
                 bench.name()
             );
+            assert!(report.within_residency_bound());
         }
 
-        // Compiled entry points, where the benchmark carries an expression.
+        // Compiled backend, where the benchmark carries an expression.
         let Some(kernel) = CompiledKernel::for_benchmark(&bench).expect("compile") else {
             continue;
         };
 
-        #[allow(deprecated)]
-        let legacy = run_plan_compiled(&plan, &input, &kernel, &EngineConfig::new().tiles(2))
-            .expect("run_plan_compiled");
         let session = Session::new(&plan)
             .kernel(SessionKernel::Compiled(&kernel))
             .mode(ExecMode::Tiled { tiles: 2 })
             .run(&input)
             .expect("session compiled");
-        assert_eq!(
-            session.outputs,
-            legacy.outputs,
-            "{}: compiled",
-            bench.name()
-        );
+        assert_eq!(session.outputs, golden, "{}: compiled", bench.name());
 
-        #[allow(deprecated)]
-        let legacy = run_tiled_compiled(
-            &plan,
-            &tile_plan,
-            &input,
-            &kernel,
-            &EngineConfig::new().threads(2),
-        )
-        .expect("run_tiled_compiled");
         let session = Session::new(&plan)
             .kernel(SessionKernel::Compiled(&kernel))
             .tile_plan(&tile_plan)
@@ -171,25 +120,11 @@ fn session_matches_every_legacy_entry_point() {
             .expect("session compiled tile_plan");
         assert_eq!(
             session.outputs,
-            legacy.outputs,
+            golden,
             "{}: compiled tile plan",
             bench.name()
         );
 
-        #[allow(deprecated)]
-        let legacy_out = {
-            let mut source = SliceSource::new(&in_vals);
-            let mut sink = VecSink::new();
-            run_streaming_compiled(
-                &plan,
-                &mut source,
-                &mut sink,
-                &kernel,
-                &StreamConfig::new().chunk_rows(3),
-            )
-            .expect("run_streaming_compiled");
-            sink.values
-        };
         let mut source = SliceSource::new(&in_vals);
         let mut sink = VecSink::new();
         Session::new(&plan)
@@ -199,12 +134,7 @@ fn session_matches_every_legacy_entry_point() {
             })
             .run_streaming(&mut source, &mut sink)
             .expect("session compiled streaming");
-        assert_eq!(
-            sink.values,
-            legacy_out,
-            "{}: compiled streaming",
-            bench.name()
-        );
+        assert_eq!(sink.values, golden, "{}: compiled streaming", bench.name());
     }
 }
 
