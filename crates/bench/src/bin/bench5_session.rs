@@ -58,6 +58,17 @@ struct Measurements {
     violations: usize,
 }
 
+/// Clamps a rate to something JSON can carry: `{:.1}` would happily
+/// interpolate `inf`/`NaN` (a zero-elapsed timer on a coarse clock),
+/// which no JSON parser accepts back.
+fn finite_or_zero(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
 impl Measurements {
     /// The flat JSON document written to `BENCH_5.json`.
     fn to_json(&self) -> String {
@@ -71,9 +82,9 @@ impl Measurements {
             self.name,
             self.extents,
             self.outputs,
-            self.incore,
-            self.streaming,
-            self.chained,
+            finite_or_zero(self.incore),
+            finite_or_zero(self.streaming),
+            finite_or_zero(self.chained),
             self.chained_stages,
             self.chained_peak_resident,
             self.chained_resident_bound,

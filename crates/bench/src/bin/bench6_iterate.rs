@@ -66,6 +66,17 @@ struct Measurements {
     violations: usize,
 }
 
+/// Clamps a rate to something JSON can carry: `{:.1}`/`{:.6e}` would
+/// happily interpolate `inf`/`NaN` (a zero-elapsed timer on a coarse
+/// clock, or a diverged delta), which no JSON parser accepts back.
+fn finite_or_zero(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
 impl Measurements {
     /// The flat JSON document written to `BENCH_6.json`.
     fn to_json(&self) -> String {
@@ -82,14 +93,14 @@ impl Measurements {
             self.extents,
             self.steps,
             self.outputs,
-            self.incore,
-            self.streaming,
+            finite_or_zero(self.incore),
+            finite_or_zero(self.streaming),
             self.peak_resident,
             self.resident_bound,
             self.converge_steps,
             self.converge_budget,
             self.converged,
-            self.final_delta,
+            finite_or_zero(self.final_delta),
             self.violations,
         )
     }

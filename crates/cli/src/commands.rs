@@ -620,6 +620,252 @@ pub fn cmd_suite() -> Result<String, CmdError> {
     Ok(out)
 }
 
+/// One parsed manifest line: a job template, possibly repeated.
+struct ManifestJob {
+    bench: stencil_kernels::Benchmark,
+    extents: Option<Vec<i64>>,
+    mode: ExecMode,
+    shards: stencil_engine::ShardPolicy,
+    repeat: usize,
+}
+
+/// Parses one job-manifest line:
+///
+/// ```text
+/// <benchmark> [e0 e1 ...] [mode=incore|streaming[:ROWS]|tiled:N]
+///             [shards=auto|whole|N] [repeat=N]
+/// ```
+///
+/// Bare integers are grid extents (defaulting to the benchmark's paper
+/// problem size); `#` starts a comment.
+fn parse_manifest_line(line: &str, lineno: usize) -> Result<Option<ManifestJob>, CmdError> {
+    use stencil_engine::ShardPolicy;
+    let line = line.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let mut tokens = line.split_whitespace();
+    let name = tokens.next().expect("non-empty line has a first token");
+    let bench = stencil_kernels::find_benchmark(name)
+        .ok_or_else(|| format!("manifest line {lineno}: unknown benchmark `{name}`"))?;
+    let mut extents: Vec<i64> = Vec::new();
+    let mut mode = ExecMode::Streaming { chunk_rows: None };
+    let mut shards = ShardPolicy::Auto;
+    let mut repeat = 1usize;
+    for tok in tokens {
+        if let Ok(e) = tok.parse::<i64>() {
+            if e <= 0 {
+                return Err(format!("manifest line {lineno}: extent {e} must be positive").into());
+            }
+            extents.push(e);
+        } else if let Some(v) = tok.strip_prefix("mode=") {
+            mode = match v.split_once(':') {
+                None if v == "incore" => ExecMode::InCore,
+                None if v == "streaming" => ExecMode::Streaming { chunk_rows: None },
+                Some(("streaming", rows)) => ExecMode::Streaming {
+                    chunk_rows: Some(rows.parse().map_err(|_| {
+                        format!("manifest line {lineno}: bad chunk rows `{rows}`")
+                    })?),
+                },
+                Some(("tiled", n)) => ExecMode::Tiled {
+                    tiles: n.parse().map_err(|_| {
+                        format!("manifest line {lineno}: bad tile count `{n}`")
+                    })?,
+                },
+                _ => return Err(format!("manifest line {lineno}: bad mode `{v}`").into()),
+            };
+        } else if let Some(v) = tok.strip_prefix("shards=") {
+            shards = match v {
+                "auto" => ShardPolicy::Auto,
+                "whole" => ShardPolicy::Whole,
+                n => ShardPolicy::Fixed(n.parse().map_err(|_| {
+                    format!("manifest line {lineno}: bad shard count `{n}`")
+                })?),
+            };
+        } else if let Some(v) = tok.strip_prefix("repeat=") {
+            repeat = v
+                .parse()
+                .ok()
+                .filter(|&r: &usize| r > 0)
+                .ok_or_else(|| format!("manifest line {lineno}: bad repeat `{v}`"))?;
+        } else {
+            return Err(format!("manifest line {lineno}: unknown token `{tok}`").into());
+        }
+    }
+    Ok(Some(ManifestJob {
+        bench,
+        extents: if extents.is_empty() {
+            None
+        } else {
+            Some(extents)
+        },
+        mode,
+        shards,
+        repeat,
+    }))
+}
+
+/// `stencil serve`: drive a batch of grid jobs from a manifest file
+/// through the sharded serving front-end ([`ServiceFront`]) — a worker
+/// pool of sessions behind a bounded queue with residency-budget
+/// admission control. Rejected submissions are retried after the
+/// front-end's `retry_after` hint (so backpressure shows up in the
+/// telemetry as rejections, not as dropped jobs). The second result
+/// element is the aggregated telemetry report as JSON (for
+/// `--metrics-out`); the third is the validator's violation count,
+/// which drives the exit code.
+///
+/// Inputs are deterministic pseudo-random grids seeded per manifest
+/// line, so repeated jobs exercise the shared plan cache with
+/// bit-identical expectations.
+///
+/// # Errors
+///
+/// Propagates manifest parse errors and typed engine failures; a job
+/// still rejected after `SERVE_MAX_RETRIES` backoffs is an error too.
+pub fn cmd_serve(
+    manifest: &str,
+    workers: usize,
+    queue_depth: usize,
+    memory_budget: u64,
+) -> Result<(String, String, usize), CmdError> {
+    use std::sync::Arc;
+    use stencil_engine::{JobRequest, ServiceConfig, ServiceFront, Submission};
+
+    /// Backoff attempts before a persistently rejected job is an error.
+    const SERVE_MAX_RETRIES: usize = 1000;
+
+    let mut jobs: Vec<ManifestJob> = Vec::new();
+    for (i, line) in manifest.lines().enumerate() {
+        if let Some(job) = parse_manifest_line(line, i + 1)? {
+            jobs.push(job);
+        }
+    }
+    if jobs.is_empty() {
+        return Err("manifest lists no jobs".into());
+    }
+
+    let front = ServiceFront::new(ServiceConfig {
+        workers,
+        queue_depth,
+        memory_budget,
+        session_threads: 1,
+    });
+    let mut labels: Vec<String> = Vec::new();
+    for (line_idx, job) in jobs.iter().enumerate() {
+        let extents: Vec<i64> = job
+            .extents
+            .clone()
+            .unwrap_or_else(|| job.bench.extents().to_vec());
+        let len: i64 = extents.iter().product();
+        let len = usize::try_from(len).map_err(|_| "manifest grid too large")?;
+        // Deterministic pseudo-random input, seeded per manifest line.
+        let mut state = 0x5EED_BA5E_D00Du64 ^ ((line_idx as u64) << 17);
+        let input: Arc<Vec<f64>> = Arc::new(
+            (0..len)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005u64)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 40) as f64) / 256.0
+                })
+                .collect(),
+        );
+        let req = JobRequest {
+            benchmark: job.bench.clone(),
+            extents: Some(extents),
+            mode: job.mode,
+            shards: job.shards,
+            input,
+        };
+        for r in 0..job.repeat {
+            let mut attempts = 0usize;
+            loop {
+                match front.submit(&req)? {
+                    Submission::Admitted(_) => break,
+                    Submission::Rejected(rej) => {
+                        attempts += 1;
+                        if attempts > SERVE_MAX_RETRIES {
+                            return Err(format!(
+                                "job {}[{r}] still rejected ({:?}) after {SERVE_MAX_RETRIES} \
+                                 retries; raise --queue-depth or --memory-budget",
+                                job.bench.name(),
+                                rej.reason
+                            )
+                            .into());
+                        }
+                        std::thread::sleep(rej.retry_after);
+                    }
+                }
+            }
+            labels.push(format!("{}[{r}]", job.bench.name()));
+        }
+    }
+
+    let outcome = front.finish();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>7} {:>12}  {}",
+        "job", "shards", "outputs", "status"
+    );
+    let mut failed = 0usize;
+    for (label, job) in labels.iter().zip(&outcome.jobs) {
+        let status = match &job.error {
+            None => "ok".to_string(),
+            Some(e) => {
+                failed += 1;
+                format!("FAILED: {e}")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>7} {:>12}  {}",
+            label,
+            job.shards,
+            job.outputs.len(),
+            status
+        );
+    }
+    let m = &outcome.metrics;
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "pool: {} worker(s), queue depth {}, budget {}",
+        m.workers,
+        m.queue_depth,
+        if m.memory_budget == 0 {
+            "unbounded".to_string()
+        } else {
+            m.memory_budget.to_string()
+        }
+    );
+    let _ = writeln!(
+        out,
+        "jobs: {} submitted, {} admitted, {} rejected (retried), {} failed",
+        m.jobs_submitted, m.jobs_admitted, m.jobs_rejected, m.jobs_failed
+    );
+    let _ = writeln!(
+        out,
+        "shards: {} executed, peak resident {} of {} admitted bound",
+        m.shards_executed, m.peak_resident, m.admitted_bound_peak
+    );
+    let _ = writeln!(
+        out,
+        "plan cache: {} hit(s), {} miss(es), {} tile plan(s) built in sessions",
+        m.plan_cache_hits, m.plan_cache_misses, m.tile_plans_built
+    );
+    let _ = writeln!(out, "aggregate throughput: {:.1} Melem/s", m.throughput / 1e6);
+
+    let report = outcome.report("serve");
+    let mut violations = append_bound_checks(&mut out, &report);
+    if failed > 0 {
+        let _ = writeln!(out, "{failed} job(s) FAILED");
+        violations += failed;
+    }
+    Ok((out, report.to_json(), violations))
+}
+
 /// `stencil report`: a complete markdown design report — window art,
 /// plan, optimality, baseline comparison, resources, and simulation.
 ///

@@ -13,6 +13,8 @@
 //! stencil compare  <spec.stencil>                 vs best uniform partitioning
 //! stencil report   <spec.stencil>                 full markdown design report
 //! stencil suite                                   paper benchmark suite summary
+//! stencil serve    <jobs.manifest> [--workers N] [--queue-depth N]
+//!                                  [--memory-budget ELEMS] [--metrics-out M.json]
 //! stencil fmt      <spec.stencil>                 canonicalize a spec file
 //! ```
 
@@ -22,7 +24,9 @@ use std::process::ExitCode;
 mod commands;
 mod spec_file;
 
-use commands::{cmd_compare, cmd_engine, cmd_plan, cmd_report, cmd_rtl, cmd_simulate, cmd_suite};
+use commands::{
+    cmd_compare, cmd_engine, cmd_plan, cmd_report, cmd_rtl, cmd_serve, cmd_simulate, cmd_suite,
+};
 use spec_file::SpecFile;
 
 fn usage() -> &'static str {
@@ -33,8 +37,10 @@ fn usage() -> &'static str {
      [--streaming [--chunk-rows N]] [--chain s2,s3,...] \
      [--iterate T [--epsilon E]] [--metrics-out M.json]\n  \
      stencil rtl      <spec.stencil> \
-     [--out DIR]\n  stencil compare  <spec.stencil>\n  stencil report   <spec.stencil>\n\
-     \nsimulate/engine exit non-zero when the runtime bound validator reports\n\
+     [--out DIR]\n  stencil compare  <spec.stencil>\n  stencil report   <spec.stencil>\n  \
+     stencil serve    <jobs.manifest> [--workers N] [--queue-depth N] \
+     [--memory-budget ELEMS] [--metrics-out M.json]\n\
+     \nsimulate/engine/serve exit non-zero when the runtime bound validator reports\n\
      violations; pass --no-fail-on-violation to report them but exit 0."
 }
 
@@ -83,6 +89,9 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
     let cmd = it.next().ok_or("missing subcommand")?;
     if cmd == "suite" {
         return cmd_suite().map(RunOutput::from);
+    }
+    if cmd == "serve" {
+        return run_serve(it);
     }
     let spec_path = it.next().ok_or("missing spec file")?;
     let text =
@@ -246,6 +255,62 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
         "fmt" => Ok(RunOutput::from(file.render())),
         other => Err(format!("unknown subcommand `{other}`").into()),
     }
+}
+
+/// `stencil serve <jobs.manifest> [--workers N] [--queue-depth N]
+/// [--memory-budget ELEMS] [--metrics-out M.json]
+/// [--no-fail-on-violation]` — parses its own trailing options because,
+/// unlike the spec-file subcommands, its positional argument is a job
+/// manifest (one benchmark job per line).
+fn run_serve(mut it: std::vec::IntoIter<String>) -> Result<RunOutput, commands::CmdError> {
+    let manifest_path = it.next().ok_or("missing job manifest")?;
+    let mut workers = 4usize;
+    let mut queue_depth = 64usize;
+    let mut memory_budget = 0u64;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut fail_on_violation = true;
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--workers needs a positive count")?;
+            }
+            "--queue-depth" => {
+                queue_depth = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--queue-depth needs a positive count")?;
+            }
+            "--memory-budget" => {
+                memory_budget = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--memory-budget needs an element count")?;
+            }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    it.next().ok_or("--metrics-out needs a path")?,
+                ));
+            }
+            "--no-fail-on-violation" => fail_on_violation = false,
+            other => return Err(format!("unknown option `{other}`").into()),
+        }
+    }
+    let manifest = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read {manifest_path}: {e}"))?;
+    let (mut out, metrics, violations) = cmd_serve(&manifest, workers, queue_depth, memory_budget)?;
+    if let Some(path) = &metrics_out {
+        out.push_str(&write_metrics(path, &metrics)?);
+    }
+    Ok(RunOutput {
+        text: out,
+        violations,
+        fail_on_violation,
+    })
 }
 
 /// Writes a telemetry JSON report to `path`, returning the

@@ -767,14 +767,20 @@ mod tests {
     }
 
     #[test]
-    fn every_suite_benchmark_compiles_checked() {
+    fn every_suite_benchmark_compiles_checked() -> Result<(), EngineError> {
+        // Typed propagation, not panics: a failing benchmark surfaces
+        // as the same `EngineError::KernelCompile` a serving worker
+        // would report instead of dying.
         for b in paper_suite().into_iter().chain(extra_suite()) {
-            let ck = CompiledKernel::for_benchmark(&b)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name()))
-                .unwrap_or_else(|| panic!("{} has no expression", b.name()));
+            let ck = CompiledKernel::for_benchmark(&b)?.ok_or_else(|| {
+                EngineError::KernelCompile {
+                    detail: format!("{} has no expression", b.name()),
+                }
+            })?;
             assert_eq!(ck.taps(), b.window().len());
             assert!(ck.max_stack <= MAX_STACK);
         }
+        Ok(())
     }
 
     #[test]

@@ -78,6 +78,7 @@ mod error;
 mod input;
 mod report;
 mod rowexec;
+mod serve;
 mod session;
 mod stream;
 
@@ -85,6 +86,10 @@ pub use compile::{CompiledKernel, KernelBackend};
 pub use error::EngineError;
 pub use input::InputGrid;
 pub use report::{RunReport, StreamReport, TileReport};
+pub use serve::{
+    finite_throughput, JobId, JobRequest, JobResult, RejectReason, Rejection, ServiceConfig,
+    ServiceFront, ServiceOutcome, ShardPolicy, Submission,
+};
 pub use session::{
     ExecMode, IterateReport, Session, SessionKernel, SessionReport, SessionRun, StageReport,
 };

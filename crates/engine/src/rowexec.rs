@@ -28,6 +28,21 @@ use crate::error::EngineError;
 use crate::input::InputGrid;
 use crate::report::{RunReport, TileReport};
 
+/// Locks `m`, recovering from poisoning: a panicked worker already
+/// surfaces as [`EngineError::WorkerPanic`] through the scope join, and
+/// the guarded collections stay consistent (push/pop only), so a
+/// poisoned lock must not turn into a second panic on the submit path.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Consumes `m`, recovering its value even when poisoned (see
+/// [`lock_recover`]).
+fn into_inner_recover<T>(m: Mutex<T>) -> T {
+    m.into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// How the row executor evaluates the kernel datapath — implemented by
 /// closure adapters and by compiled bytecode, so one generic executor
 /// serves both backends.
@@ -333,12 +348,12 @@ pub(crate) fn execute_tiled<K: RowKernel + ?Sized>(
     crossbeam::scope(|s| {
         for _ in 0..worker_count {
             s.spawn(|_| loop {
-                let item = queue.lock().expect("queue lock").pop();
+                let item = lock_recover(&queue).pop();
                 let Some((tile, out)) = item else { break };
                 match execute_tile(tile, &offsets, input, kernel, out) {
-                    Ok(report) => results.lock().expect("results lock").push(report),
+                    Ok(report) => lock_recover(&results).push(report),
                     Err(e) => {
-                        failure.lock().expect("failure lock").get_or_insert(e);
+                        lock_recover(&failure).get_or_insert(e);
                         break;
                     }
                 }
@@ -347,10 +362,10 @@ pub(crate) fn execute_tiled<K: RowKernel + ?Sized>(
     })
     .map_err(|_| EngineError::WorkerPanic)?;
 
-    if let Some(e) = failure.into_inner().expect("failure lock") {
+    if let Some(e) = into_inner_recover(failure) {
         return Err(e);
     }
-    let mut per_tile = results.into_inner().expect("results lock");
+    let mut per_tile = into_inner_recover(results);
     per_tile.sort_by_key(|t| t.id);
 
     let report = RunReport {
@@ -438,12 +453,12 @@ pub(crate) fn execute_band_parallel<K: RowKernel + ?Sized>(
     crossbeam::scope(|s| {
         for _ in 0..workers {
             s.spawn(|_| loop {
-                let item = queue.lock().expect("queue lock").pop();
+                let item = lock_recover(&queue).pop();
                 let Some((rows, out)) = item else { break };
                 let out_base = rows.first().map_or(0, |r| r.base);
                 let r = execute_rows(rows, out_base, offsets, win, kernel, out);
                 let failed = r.is_err();
-                results.lock().expect("results lock").push(r);
+                lock_recover(&results).push(r);
                 if failed {
                     break;
                 }
@@ -453,7 +468,7 @@ pub(crate) fn execute_band_parallel<K: RowKernel + ?Sized>(
     .map_err(|_| EngineError::WorkerPanic)?;
 
     let mut stats = RowStats::default();
-    for r in results.into_inner().expect("results lock") {
+    for r in into_inner_recover(results) {
         stats.merge(r?);
     }
     Ok(stats)

@@ -194,10 +194,13 @@ struct Stage<'a> {
     plan: PlanRef<'a>,
     kernel: Option<StageKernel<'a>>,
     label: String,
-    /// The stage's band schedule, built once per (mode, chunk) key and
-    /// reused across runs — the hoist that keeps `iterate` from paying
-    /// tile-plan validation per step.
-    tile: RefCell<Option<(TileKey, TilePlan)>>,
+    /// The stage's band schedules, one entry per [`TileKey`], built on
+    /// first use and reused across runs — the hoist that keeps
+    /// `iterate` from paying tile-plan validation per step. Keyed (not
+    /// single-slot) so a session alternating `run()` and
+    /// `run_streaming()` — the CLI crosscheck path — keeps both
+    /// schedules warm instead of evicting one with the other.
+    tile: RefCell<Vec<(TileKey, TilePlan)>>,
 }
 
 impl<'a> Stage<'a> {
@@ -206,20 +209,19 @@ impl<'a> Stage<'a> {
             plan,
             kernel,
             label,
-            tile: RefCell::new(None),
+            tile: RefCell::new(Vec::new()),
         }
     }
 
     /// The stage's tile plan for `key`, building and caching it on
     /// miss. Misses during execution (as opposed to session
     /// construction) are tallied into `built` — the figure the
-    /// `tile_plans_built` telemetry counter reports.
+    /// `tile_plans_built` telemetry counter reports. Each distinct key
+    /// gets its own cache entry; a key never evicts another.
     fn tiles(&self, key: TileKey, built: Option<&Cell<u64>>) -> Result<TilePlan, EngineError> {
-        let mut slot = self.tile.borrow_mut();
-        if let Some((k, tp)) = slot.as_ref() {
-            if *k == key {
-                return Ok(tp.clone());
-            }
+        let mut slots = self.tile.borrow_mut();
+        if let Some((_, tp)) = slots.iter().find(|(k, _)| *k == key) {
+            return Ok(tp.clone());
         }
         let plan = self.plan.get();
         let tp = match key {
@@ -230,7 +232,7 @@ impl<'a> Stage<'a> {
         if let Some(c) = built {
             c.set(c.get() + 1);
         }
-        *slot = Some((key, tp.clone()));
+        slots.push((key, tp.clone()));
         Ok(tp)
     }
     /// The compiled form, when this stage has one (for window checks).
@@ -329,6 +331,35 @@ impl<'a> Session<'a> {
         }
     }
 
+    /// A single-stage session over `plan` whose datapath comes from
+    /// `stage` metadata: when the stage carries a
+    /// [`stencil_kernels::KernelExpr`] it is compiled to owned bytecode
+    /// and validated against the stage closure, otherwise the closure
+    /// runs directly. This is the fallible entry point the serving
+    /// front-end uses — a benchmark whose expression fails checked
+    /// compilation surfaces as a typed error instead of killing the
+    /// worker.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::KernelCompile`] if the stage's expression fails
+    ///   checked compilation.
+    /// * [`EngineError::KernelMismatch`] if the compiled bytecode
+    ///   diverges from the stage closure on the validation sweep.
+    pub fn build(plan: &'a MemorySystemPlan, stage: &KernelStage) -> Result<Self, EngineError> {
+        let kernel = match stage.expr() {
+            Some(expr) => StageKernel::CompiledOwned(Box::new(CompiledKernel::compile_checked(
+                expr,
+                stage.window().len(),
+                &stage.compute_fn(),
+            )?)),
+            None => StageKernel::ClosureFn(stage.compute_fn()),
+        };
+        let mut session = Self::new(plan);
+        session.stages[0].kernel = Some(kernel);
+        Ok(session)
+    }
+
     /// Sets the first stage's datapath.
     #[must_use]
     pub fn kernel(mut self, kernel: SessionKernel<'a>) -> Self {
@@ -395,12 +426,7 @@ impl<'a> Session<'a> {
     /// * [`EngineError::KernelCompile`] / [`EngineError::KernelMismatch`]
     ///   if the stage's expression fails to compile or validate.
     pub fn then(mut self, stage: &KernelStage) -> Result<Self, EngineError> {
-        let upstream = self
-            .stages
-            .last()
-            .expect("a session always has at least one stage")
-            .plan
-            .get();
+        let upstream = self.last_stage()?.plan.get();
         let next = upstream.chain_next(stage.name(), stage.window())?;
         if !next.chains_from(upstream)? {
             return Err(EngineError::Config {
@@ -471,12 +497,7 @@ impl<'a> Session<'a> {
         let name = self.stages[0].plan.get().name().to_string();
         let window = plan_offsets(self.stages[0].plan.get());
         for k in 1..steps {
-            let upstream = self
-                .stages
-                .last()
-                .expect("a session always has at least one stage")
-                .plan
-                .get();
+            let upstream = self.last_stage()?.plan.get();
             let label = format!("{name}@t{}", k + 1);
             let next = upstream.chain_next(&label, &window)?;
             if !next.chains_from(upstream)? {
@@ -502,6 +523,31 @@ impl<'a> Session<'a> {
         self.iterate_steps = Some(steps);
         self.prepare_tiles()?;
         Ok(self)
+    }
+
+    /// Seeds the first stage's band-schedule cache with a pre-built
+    /// [`TilePlan`] for the session's *current* mode key. The serving
+    /// front-end's shared plan cache hands shard sessions their
+    /// schedule through this hook, so steady-state shard runs report
+    /// `tile_plans_built == 0`. The seeded plan must be the one the
+    /// mode key would build (the cache constructs it with the same
+    /// plan functions); an already-warm key is left untouched.
+    pub(crate) fn seed_tiles(&self, tile_plan: TilePlan) {
+        let stage = &self.stages[0];
+        let key = self.mode_key(stage.plan.get());
+        let mut slots = stage.tile.borrow_mut();
+        if !slots.iter().any(|(k, _)| *k == key) {
+            slots.push((key, tile_plan));
+        }
+    }
+
+    /// The session's final stage, as a typed error rather than a panic
+    /// on the (unreachable by construction) empty-pipeline case — the
+    /// submit path must never kill a serving worker.
+    fn last_stage(&self) -> Result<&Stage<'a>, EngineError> {
+        self.stages.last().ok_or_else(|| EngineError::Config {
+            detail: "session has no stages".into(),
+        })
     }
 
     /// The band-schedule cache key the session's current mode implies
@@ -653,12 +699,7 @@ impl<'a> Session<'a> {
                 }
                 let input = InputGrid::new(&in_idx, &vals)?;
                 let run = self.run_incore(&input)?;
-                let out_plan = self
-                    .stages
-                    .last()
-                    .expect("a session always has at least one stage")
-                    .plan
-                    .get();
+                let out_plan = self.last_stage()?.plan.get();
                 let out_idx = out_plan
                     .iteration_domain()
                     .index()
@@ -1589,6 +1630,50 @@ mod tests {
                 assert_eq!(report.sweep_rows, 0);
                 assert!(run.report.within_residency_bound());
             }
+        }
+    }
+
+    #[test]
+    fn alternating_modes_keep_every_band_schedule_warm() {
+        // Regression test for the single-slot tile-plan cache: a
+        // session alternating in-core and streaming execution (the CLI
+        // crosscheck shape) used to evict one band schedule with the
+        // other and rebuild on every switch. The cache is keyed now, so
+        // after one cold call per mode every later call reports
+        // `tile_plans_built == 0`.
+        let plan = plan_5pt(20, 24);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let streaming = ExecMode::Streaming {
+            chunk_rows: Some(4),
+        };
+        let mut session = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .mode(streaming);
+        // Cold calls: one build per distinct band-schedule key.
+        let warm_stream = session.run(&input).unwrap();
+        assert_eq!(warm_stream.report.tile_plans_built, 1);
+        session = session.mode(ExecMode::InCore);
+        let warm_core = session.run(&input).unwrap();
+        assert_eq!(warm_core.report.tile_plans_built, 1);
+        assert_eq!(warm_core.outputs, warm_stream.outputs);
+        // Alternate run() / run_streaming() across both modes: every
+        // schedule stays cached, nothing is rebuilt.
+        for _ in 0..3 {
+            session = session.mode(streaming);
+            let run = session.run(&input).unwrap();
+            assert_eq!(run.report.tile_plans_built, 0);
+            assert_eq!(run.outputs, warm_core.outputs);
+            let mut source = SliceSource::new(&vals);
+            let mut sink = VecSink::new();
+            let report = session.run_streaming(&mut source, &mut sink).unwrap();
+            assert_eq!(report.tile_plans_built, 0);
+            assert_eq!(sink.values, warm_core.outputs);
+            session = session.mode(ExecMode::InCore);
+            let run = session.run(&input).unwrap();
+            assert_eq!(run.report.tile_plans_built, 0);
+            assert_eq!(run.outputs, warm_core.outputs);
         }
     }
 

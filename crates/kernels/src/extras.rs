@@ -30,6 +30,7 @@ pub fn jacobi_2d() -> Benchmark {
         |v| 0.2 * (v[0] + v[1] + v[2] + v[3] + v[4]),
     )
     .with_iteration_stable()
+    .with_shard_stable()
     .with_expr({
         let [t0, t1, t2, t3, t4] = KernelExpr::taps::<5>();
         0.2 * (t0 + t1 + t2 + t3 + t4)
@@ -61,6 +62,7 @@ pub fn relax_2d() -> Benchmark {
         |v| 0.2 * v[2] + 0.2 * (v[0] + v[1] + v[3] + v[4]),
     )
     .with_iteration_stable()
+    .with_shard_stable()
     .with_expr({
         let [t0, t1, t2, t3, t4] = KernelExpr::taps::<5>();
         0.2 * t2 + 0.2 * (t0 + t1 + t3 + t4)
@@ -93,6 +95,7 @@ pub fn gaussian_3x3() -> Benchmark {
         },
     )
     .with_iteration_stable()
+    .with_shard_stable()
     .with_expr({
         // `sum()` folds from 0.0; keep that exact order.
         let w = [1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0];
@@ -122,6 +125,7 @@ pub fn heat_1d() -> Benchmark {
         |v| v[1] + 0.25 * (v[0] - 2.0 * v[1] + v[2]),
     )
     .with_iteration_stable()
+    .with_shard_stable()
     .with_expr({
         let [t0, t1, t2] = KernelExpr::taps::<3>();
         t1.clone() + 0.25 * (t0 - 2.0 * t1 + t2)
@@ -158,6 +162,7 @@ pub fn fused_denoise() -> Benchmark {
             center + 0.04 * (sum - 13.0 * center)
         },
     )
+    .with_shard_stable()
     .with_expr({
         let sum = KernelExpr::window_sum(13);
         let center = KernelExpr::tap(6);
@@ -240,6 +245,7 @@ pub fn high_order_2d() -> Benchmark {
             c + (16.0 * near - far - 60.0 * c) / 720.0
         },
     )
+    .with_shard_stable()
     .with_expr({
         let [t0, t1, t2, t3, c, t5, t6, t7, t8] = KernelExpr::taps::<9>();
         let near = t1 + t3 + t5 + t7;
@@ -269,6 +275,7 @@ pub fn asymmetric_2d() -> Benchmark {
         },
         |v| 0.5 * v[2] + 0.25 * v[1] + 0.15 * v[0] + 0.1 * v[3],
     )
+    .with_shard_stable()
     .with_expr({
         let [t0, t1, t2, t3] = KernelExpr::taps::<4>();
         0.5 * t2 + 0.25 * t1 + 0.15 * t0 + 0.1 * t3

@@ -37,6 +37,7 @@ pub fn denoise() -> Benchmark {
         },
     )
     .with_element_bits(16)
+    .with_shard_stable()
     .with_iteration_stable()
     .with_expr({
         let [n, w, c, e, s] = KernelExpr::taps::<5>();
@@ -72,6 +73,7 @@ pub fn rician() -> Benchmark {
         },
     )
     .with_element_bits(16)
+    .with_shard_stable()
     .with_expr({
         let [t0, t1, t2, t3] = KernelExpr::taps::<4>();
         let avg = 0.25 * (t0 + t1 + t2 + t3);
@@ -110,6 +112,7 @@ pub fn sobel() -> Benchmark {
         },
     )
     .with_element_bits(16)
+    .with_shard_stable()
     .with_expr({
         let [nw, n, ne, w, e, sw, s, se] = KernelExpr::taps::<8>();
         let gx = (ne.clone() + 2.0 * e + se.clone()) - (nw.clone() + 2.0 * w + sw.clone());
@@ -140,6 +143,7 @@ pub fn bicubic() -> Benchmark {
         |v| (9.0 * (v[0] + v[3]) - (v[1] + v[2])) / 16.0,
     )
     .with_element_bits(16)
+    .with_shard_stable()
     .with_expr({
         let [t0, t1, t2, t3] = KernelExpr::taps::<4>();
         (9.0 * (t0 + t3) - (t1 + t2)) / 16.0
@@ -174,6 +178,7 @@ pub fn denoise_3d() -> Benchmark {
         },
     )
     .with_element_bits(16)
+    .with_shard_stable()
     .with_iteration_stable()
     .with_expr({
         let [t0, t1, t2, c, t4, t5, t6] = KernelExpr::taps::<7>();
@@ -231,6 +236,7 @@ pub fn segmentation_3d() -> Benchmark {
         },
     )
     .with_element_bits(16)
+    .with_shard_stable()
     .with_expr({
         // Mirror the closure's accumulation order exactly: both running
         // sums start at 0.0 and take taps in ascending lex position.

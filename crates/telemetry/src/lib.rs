@@ -34,6 +34,7 @@ pub mod validate;
 pub use metric::{Counter, HighWater, Histogram};
 pub use schema::{
     ChainMetrics, EngineMetrics, FifoMetrics, FilterMetrics, IterateMetrics, MachineMetrics,
-    MetricsReport, SessionMetrics, StageMetrics, StreamMetrics, TileMetrics, SCHEMA_VERSION,
+    MetricsReport, ServiceMetrics, SessionMetrics, StageMetrics, StreamMetrics, TileMetrics,
+    SCHEMA_VERSION,
 };
 pub use validate::{validate_machine, validate_report, BoundCheck, BoundViolation};

@@ -631,6 +631,113 @@ impl FromValue for SessionMetrics {
     }
 }
 
+/// Counters of one serving-front-end run — a batch of grid jobs
+/// admitted against a memory budget, dispatched across a worker pool of
+/// sessions, and (for oversized grids) sharded into halo-overlapped row
+/// bands and merged.
+///
+/// The defining figures are `peak_resident` against
+/// `admitted_bound_peak` (the executing shards never held more resident
+/// than admission accounted for) and `outputs_produced` against
+/// `outputs_expected` (shard merge conserved every output element).
+/// Checked by [`crate::validate::BoundCheck::ServiceResidency`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMetrics {
+    /// Worker pool size.
+    pub workers: u64,
+    /// Bounded-queue capacity (pending shard tasks).
+    pub queue_depth: u64,
+    /// Admission-control budget in resident f64 elements (0 = no
+    /// budget; admission is then queue-bounded only).
+    pub memory_budget: u64,
+    /// Jobs offered to the front-end.
+    pub jobs_submitted: u64,
+    /// Jobs admitted past admission control.
+    pub jobs_admitted: u64,
+    /// Jobs rejected with a retry-after hint (backpressure).
+    pub jobs_rejected: u64,
+    /// Admitted jobs that failed with a typed engine error.
+    pub jobs_failed: u64,
+    /// Shard sessions executed (≥ jobs_admitted; sharded jobs run one
+    /// session per row band).
+    pub shards_executed: u64,
+    /// High-water mark of the summed `planned_residency_bound`s of
+    /// admitted, not-yet-completed jobs.
+    pub admitted_bound_peak: u64,
+    /// High-water mark of the summed bounds of shards concurrently
+    /// *executing* — the aggregate the service actually held resident.
+    pub peak_resident: u64,
+    /// Shards whose observed session peak exceeded their own planned
+    /// bound (0 in a correct run).
+    pub shards_over_bound: u64,
+    /// Output elements the admitted jobs' iteration domains promise.
+    pub outputs_expected: u64,
+    /// Output elements produced and merged across all shards.
+    pub outputs_produced: u64,
+    /// Tile plans built during shard execution (plan-cache misses past
+    /// the schedules seeded from the shared cache).
+    pub tile_plans_built: u64,
+    /// Shared plan-cache hits across all shard lookups.
+    pub plan_cache_hits: u64,
+    /// Shared plan-cache misses (one per distinct plan actually built).
+    pub plan_cache_misses: u64,
+    /// End-to-end wall-clock nanoseconds for the batch.
+    pub elapsed_ns: u64,
+    /// Merged output elements per second (0.0 when below timer
+    /// resolution; always finite).
+    pub throughput: f64,
+}
+
+impl ToValue for ServiceMetrics {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("workers", self.workers.to_value()),
+            ("queue_depth", self.queue_depth.to_value()),
+            ("memory_budget", self.memory_budget.to_value()),
+            ("jobs_submitted", self.jobs_submitted.to_value()),
+            ("jobs_admitted", self.jobs_admitted.to_value()),
+            ("jobs_rejected", self.jobs_rejected.to_value()),
+            ("jobs_failed", self.jobs_failed.to_value()),
+            ("shards_executed", self.shards_executed.to_value()),
+            ("admitted_bound_peak", self.admitted_bound_peak.to_value()),
+            ("peak_resident", self.peak_resident.to_value()),
+            ("shards_over_bound", self.shards_over_bound.to_value()),
+            ("outputs_expected", self.outputs_expected.to_value()),
+            ("outputs_produced", self.outputs_produced.to_value()),
+            ("tile_plans_built", self.tile_plans_built.to_value()),
+            ("plan_cache_hits", self.plan_cache_hits.to_value()),
+            ("plan_cache_misses", self.plan_cache_misses.to_value()),
+            ("elapsed_ns", self.elapsed_ns.to_value()),
+            ("throughput", self.throughput.to_value()),
+        ])
+    }
+}
+
+impl FromValue for ServiceMetrics {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            workers: field(v, "workers")?,
+            queue_depth: field(v, "queue_depth")?,
+            memory_budget: field(v, "memory_budget")?,
+            jobs_submitted: field(v, "jobs_submitted")?,
+            jobs_admitted: field(v, "jobs_admitted")?,
+            jobs_rejected: field(v, "jobs_rejected")?,
+            jobs_failed: field(v, "jobs_failed")?,
+            shards_executed: field(v, "shards_executed")?,
+            admitted_bound_peak: field(v, "admitted_bound_peak")?,
+            peak_resident: field(v, "peak_resident")?,
+            shards_over_bound: field(v, "shards_over_bound")?,
+            outputs_expected: field(v, "outputs_expected")?,
+            outputs_produced: field(v, "outputs_produced")?,
+            tile_plans_built: field(v, "tile_plans_built")?,
+            plan_cache_hits: field(v, "plan_cache_hits")?,
+            plan_cache_misses: field(v, "plan_cache_misses")?,
+            elapsed_ns: field(v, "elapsed_ns")?,
+            throughput: field(v, "throughput")?,
+        })
+    }
+}
+
 /// A complete metrics report for one named run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsReport {
@@ -646,6 +753,9 @@ pub struct MetricsReport {
     pub stream: Option<StreamMetrics>,
     /// Session-pipeline counters, if a (possibly chained) session ran.
     pub session: Option<SessionMetrics>,
+    /// Serving-front-end counters, if a job batch ran through the
+    /// sharded multi-grid service.
+    pub service: Option<ServiceMetrics>,
 }
 
 impl MetricsReport {
@@ -659,6 +769,7 @@ impl MetricsReport {
             engine: None,
             stream: None,
             session: None,
+            service: None,
         }
     }
 
@@ -711,6 +822,13 @@ impl ToValue for MetricsReport {
                     .map(ToValue::to_value)
                     .unwrap_or(Value::Null),
             ),
+            (
+                "service",
+                self.service
+                    .as_ref()
+                    .map(ToValue::to_value)
+                    .unwrap_or(Value::Null),
+            ),
         ])
     }
 }
@@ -731,6 +849,11 @@ impl FromValue for MetricsReport {
             // Reports written before the session layer existed have no
             // `session` key either.
             session: match v.get("session") {
+                None => None,
+                Some(s) => FromValue::from_value(s)?,
+            },
+            // ... and pre-serving reports have no `service` key.
+            service: match v.get("service") {
                 None => None,
                 Some(s) => FromValue::from_value(s)?,
             },
@@ -781,6 +904,29 @@ mod tests {
                     steady_stalls: 0,
                 }],
             }],
+        }
+    }
+
+    pub(crate) fn sample_service() -> ServiceMetrics {
+        ServiceMetrics {
+            workers: 4,
+            queue_depth: 16,
+            memory_budget: 100_000,
+            jobs_submitted: 12,
+            jobs_admitted: 10,
+            jobs_rejected: 2,
+            jobs_failed: 0,
+            shards_executed: 18,
+            admitted_bound_peak: 90_000,
+            peak_resident: 64_000,
+            shards_over_bound: 0,
+            outputs_expected: 48_000,
+            outputs_produced: 48_000,
+            tile_plans_built: 0,
+            plan_cache_hits: 14,
+            plan_cache_misses: 4,
+            elapsed_ns: 1_200_000,
+            throughput: 4.0e7,
         }
     }
 
@@ -889,6 +1035,7 @@ mod tests {
                     },
                 ],
             }),
+            service: Some(sample_service()),
         };
         let text = report.to_json();
         let back = MetricsReport::parse(&text).unwrap();
@@ -907,13 +1054,15 @@ mod tests {
         let Value::Object(mut fields) = old.to_value() else {
             panic!("reports serialize as objects");
         };
-        fields.retain(|(k, _)| k != "stream" && k != "session");
+        fields.retain(|(k, _)| k != "stream" && k != "session" && k != "service");
         let text = Value::Object(fields).to_json();
         assert!(!text.contains("\"stream\""), "{text}");
         assert!(!text.contains("\"session\""), "{text}");
+        assert!(!text.contains("\"service\""), "{text}");
         let back = MetricsReport::parse(&text).unwrap();
         assert_eq!(back.machine, old.machine);
         assert_eq!(back.stream, None);
+        assert_eq!(back.service, None);
         assert_eq!(back.session, None);
     }
 

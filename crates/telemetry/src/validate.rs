@@ -75,6 +75,13 @@ pub enum BoundCheck {
     /// observed peak stayed within the planned T×halo budget, and a
     /// converged run's final delta fell to epsilon.
     IterateResidency,
+    /// Serving front-end: the aggregate resident high-water across
+    /// concurrently executing shards stays within the sum of admitted
+    /// `planned_residency_bound`s (which itself stays within the
+    /// configured memory budget), no shard exceeded its own bound, and
+    /// shard merge conserved every output element of every admitted
+    /// job.
+    ServiceResidency,
     /// Sweep-row tallies agree with the reported kernel backend: only
     /// the `"compiled"` backend may report vectorized sweep rows.
     BackendConsistent,
@@ -95,6 +102,7 @@ impl core::fmt::Display for BoundCheck {
             Self::ResidencyBound => "residency-bound (Sec. 2.3)",
             Self::ChainResidency => "chain-residency (Sec. 2.3)",
             Self::IterateResidency => "iterate-residency (Sec. 2.3)",
+            Self::ServiceResidency => "service-residency",
             Self::BackendConsistent => "backend-consistent",
             Self::Finite => "finite",
         };
@@ -383,7 +391,85 @@ pub fn validate_report(report: &MetricsReport) -> Vec<BoundViolation> {
     if let Some(s) = &report.session {
         validate_session(s, &mut v);
     }
+    if let Some(s) = &report.service {
+        validate_service(s, &mut v);
+    }
     v
+}
+
+/// Checks a serving front-end's admission-control claims: the executing
+/// shards' aggregate resident high-water stays within the admitted
+/// bound sum, the admitted bound sum stays within the memory budget, no
+/// shard exceeded its own planned bound, shard merge conserved every
+/// output element, and the reported throughput is finite.
+fn validate_service(s: &crate::schema::ServiceMetrics, v: &mut Vec<BoundViolation>) {
+    if s.peak_resident > s.admitted_bound_peak {
+        violation(
+            v,
+            BoundCheck::ServiceResidency,
+            "service",
+            format!(
+                "aggregate peak resident {} exceeds the admitted bound sum {}",
+                s.peak_resident, s.admitted_bound_peak
+            ),
+        );
+    }
+    if s.memory_budget > 0 && s.admitted_bound_peak > s.memory_budget {
+        violation(
+            v,
+            BoundCheck::ServiceResidency,
+            "service",
+            format!(
+                "admitted bound high-water {} exceeds the memory budget {}",
+                s.admitted_bound_peak, s.memory_budget
+            ),
+        );
+    }
+    if s.shards_over_bound > 0 {
+        violation(
+            v,
+            BoundCheck::ServiceResidency,
+            "service",
+            format!(
+                "{} shard(s) exceeded their own planned residency bound",
+                s.shards_over_bound
+            ),
+        );
+    }
+    // Shard-merge conservation only holds for a clean batch: a failed
+    // job legitimately produces fewer outputs than it promised.
+    if s.jobs_failed == 0 && s.outputs_produced != s.outputs_expected {
+        violation(
+            v,
+            BoundCheck::ServiceResidency,
+            "service",
+            format!(
+                "shards produced {} outputs but admitted jobs promised {}",
+                s.outputs_produced, s.outputs_expected
+            ),
+        );
+    }
+    if s.jobs_admitted > s.jobs_submitted
+        || s.jobs_admitted + s.jobs_rejected != s.jobs_submitted
+    {
+        violation(
+            v,
+            BoundCheck::ServiceResidency,
+            "service",
+            format!(
+                "admission arithmetic broken: {} admitted + {} rejected != {} submitted",
+                s.jobs_admitted, s.jobs_rejected, s.jobs_submitted
+            ),
+        );
+    }
+    if !s.throughput.is_finite() {
+        violation(
+            v,
+            BoundCheck::Finite,
+            "service.throughput",
+            format!("throughput is {}", s.throughput),
+        );
+    }
 }
 
 /// Checks a session pipeline's chained-residency claims: the summed
@@ -1074,5 +1160,99 @@ mod tests {
         });
         let v = validate_report(&report);
         assert!(v.iter().any(|x| x.check == BoundCheck::OutputsComplete));
+    }
+
+    fn clean_service() -> crate::schema::ServiceMetrics {
+        crate::schema::ServiceMetrics {
+            workers: 4,
+            queue_depth: 16,
+            memory_budget: 100_000,
+            jobs_submitted: 12,
+            jobs_admitted: 10,
+            jobs_rejected: 2,
+            jobs_failed: 0,
+            shards_executed: 18,
+            admitted_bound_peak: 90_000,
+            peak_resident: 64_000,
+            shards_over_bound: 0,
+            outputs_expected: 48_000,
+            outputs_produced: 48_000,
+            tile_plans_built: 0,
+            plan_cache_hits: 14,
+            plan_cache_misses: 4,
+            elapsed_ns: 1_200_000,
+            throughput: 4.0e7,
+        }
+    }
+
+    #[test]
+    fn clean_service_report_validates() {
+        let mut report = MetricsReport::new("service");
+        report.service = Some(clean_service());
+        assert_eq!(validate_report(&report), vec![]);
+    }
+
+    #[test]
+    fn service_peak_over_admitted_bound_is_flagged() {
+        let mut report = MetricsReport::new("service");
+        let mut s = clean_service();
+        s.peak_resident = s.admitted_bound_peak + 1;
+        report.service = Some(s);
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::ServiceResidency));
+    }
+
+    #[test]
+    fn service_admission_over_budget_is_flagged() {
+        let mut report = MetricsReport::new("service");
+        let mut s = clean_service();
+        s.admitted_bound_peak = s.memory_budget + 1;
+        s.peak_resident = s.memory_budget + 1;
+        report.service = Some(s);
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::ServiceResidency));
+        // An unbudgeted service (0 = unlimited) skips only that check.
+        let mut s = clean_service();
+        s.memory_budget = 0;
+        let mut report = MetricsReport::new("service");
+        report.service = Some(s);
+        assert_eq!(validate_report(&report), vec![]);
+    }
+
+    #[test]
+    fn service_output_conservation_is_checked() {
+        let mut report = MetricsReport::new("service");
+        let mut s = clean_service();
+        s.outputs_produced = s.outputs_expected - 1;
+        report.service = Some(s);
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::ServiceResidency));
+        // ...but a batch with failed jobs may legitimately come up short.
+        let mut s = clean_service();
+        s.outputs_produced = s.outputs_expected - 1;
+        s.jobs_failed = 1;
+        let mut report = MetricsReport::new("service");
+        report.service = Some(s);
+        assert_eq!(validate_report(&report), vec![]);
+    }
+
+    #[test]
+    fn service_admission_arithmetic_is_checked() {
+        let mut report = MetricsReport::new("service");
+        let mut s = clean_service();
+        s.jobs_rejected = 0; // 10 admitted + 0 rejected != 12 submitted
+        report.service = Some(s);
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::ServiceResidency));
+    }
+
+    #[test]
+    fn service_throughput_must_be_finite() {
+        let mut report = MetricsReport::new("service");
+        let mut s = clean_service();
+        s.throughput = f64::INFINITY;
+        report.service = Some(s);
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::Finite));
     }
 }
