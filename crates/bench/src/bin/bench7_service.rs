@@ -196,7 +196,7 @@ fn measure(bench: &Benchmark) -> Result<Measurements, Box<dyn std::error::Error>
             extents: Some(extents.clone()),
             mode: ExecMode::InCore,
             shards: ShardPolicy::Auto,
-            input: Arc::clone(&input),
+            input: Arc::clone(&input).into(),
         };
         for _ in 0..2 {
             let _ = warm.submit(&warm_req)?;
@@ -215,7 +215,7 @@ fn measure(bench: &Benchmark) -> Result<Measurements, Box<dyn std::error::Error>
         extents: Some(extents.clone()),
         mode: ExecMode::InCore,
         shards: ShardPolicy::Auto,
-        input: Arc::clone(&input),
+        input: Arc::clone(&input).into(),
     };
     let started = Instant::now();
     let mut submitted = 0usize;
@@ -263,7 +263,7 @@ fn measure(bench: &Benchmark) -> Result<Measurements, Box<dyn std::error::Error>
         extents: Some(flood_extents),
         mode: ExecMode::InCore,
         shards: ShardPolicy::Whole,
-        input: flood_input,
+        input: flood_input.into(),
     };
     for _ in 0..64 {
         let _ = flood.submit(&flood_req)?;
@@ -283,7 +283,11 @@ fn measure(bench: &Benchmark) -> Result<Measurements, Box<dyn std::error::Error>
         outputs: m.outputs_produced,
         single,
         aggregate,
-        speedup: if single > 0.0 { aggregate / single } else { 0.0 },
+        speedup: if single > 0.0 {
+            aggregate / single
+        } else {
+            0.0
+        },
         peak_resident: m.peak_resident,
         admitted_bound_peak: m.admitted_bound_peak,
         plan_cache_hits: m.plan_cache_hits,

@@ -7,8 +7,8 @@ use stencil_core::{
     verify_plan, MappingPolicy, MemorySystemPlan, ModuloSchedulePlan, ReuseAnalysis, StencilSpec,
 };
 use stencil_engine::{
-    CompiledKernel, ExecMode, InputGrid, KernelBackend, Session, SessionKernel, SliceSource,
-    VecSink,
+    pack_grid, CompiledKernel, ExecMode, InputGrid, KernelBackend, MappedGrid, MmapSink,
+    MmapSource, Session, SessionKernel, SliceSource, VecSink,
 };
 use stencil_fpga::{estimate_nonuniform, estimate_uniform};
 use stencil_kernels::{KernelExpr, KernelOps, KernelStage};
@@ -122,6 +122,16 @@ fn append_bound_checks(out: &mut String, report: &MetricsReport) -> usize {
 /// `--metrics-out`); the third is the validator's violation count,
 /// which drives the exit code.
 ///
+/// With `input_grid`, the input values come from a packed `.sgrid`
+/// file instead of the deterministic generator: the file is
+/// memory-mapped ([`MappedGrid`]) and both the in-core run and the
+/// streaming run read the mapping directly — the streaming path pulls
+/// zero payload copies, which the session's grid-io telemetry records.
+/// With `output_grid` (streaming only), output rows are written
+/// straight into a pre-sized mapped `.sgrid` file ([`MmapSink`]) and
+/// the file is re-opened afterwards to verify it bit-exact against the
+/// in-core outputs.
+///
 /// The datapath is the spec-file fallback (plain window sum), since a
 /// spec file carries window geometry but no arithmetic. With
 /// `backend == Compiled` (the default) the sum is authored as a
@@ -147,26 +157,60 @@ pub fn cmd_engine(
     chain: &[String],
     iterate: Option<usize>,
     epsilon: Option<f64>,
+    input_grid: Option<&std::path::Path>,
+    output_grid: Option<&std::path::Path>,
 ) -> Result<(String, String, usize), CmdError> {
     if iterate.is_some() && !chain.is_empty() {
         return Err("--iterate cannot be combined with --chain; \
                     the ring is already a temporal chain of the kernel with itself"
             .into());
     }
+    if output_grid.is_some() && !streaming {
+        return Err("--output-grid needs --streaming; only the streaming \
+                    path writes rows through a mapped sink"
+            .into());
+    }
     let plan = MemorySystemPlan::generate(spec)?.with_offchip_streams(streams)?;
     let in_idx = plan.input_domain().index()?;
 
-    // Deterministic pseudo-random input values in rank order.
-    let mut state = 0x5EED_BA5E_D00Du64;
-    let in_vals: Vec<f64> = (0..in_idx.len())
-        .map(|_| {
-            state = state
-                .wrapping_mul(6364136223846793005u64)
-                .wrapping_add(1442695040888963407);
-            ((state >> 40) as f64) / 256.0
-        })
-        .collect();
-    let input = InputGrid::new(&in_idx, &in_vals)?;
+    // Input values: a memory-mapped `.sgrid` file when given, otherwise
+    // deterministic pseudo-random values in rank order.
+    let mapped_input = match input_grid {
+        Some(path) => {
+            let grid = MappedGrid::open(path)
+                .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+            let bb = in_idx
+                .bounding_box()
+                .ok_or("the plan's input domain is empty")?;
+            let want: Vec<u64> = bb.iter().map(|&(lo, hi)| (hi - lo + 1) as u64).collect();
+            if grid.header().extents() != want.as_slice() {
+                return Err(format!(
+                    "{}: grid extents {:?} do not match the plan's input domain extents {want:?}",
+                    path.display(),
+                    grid.header().extents(),
+                )
+                .into());
+            }
+            Some(grid)
+        }
+        None => None,
+    };
+    let generated: Vec<f64>;
+    let in_vals: &[f64] = if let Some(grid) = &mapped_input {
+        grid.values()
+    } else {
+        let mut state = 0x5EED_BA5E_D00Du64;
+        generated = (0..in_idx.len())
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005u64)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 40) as f64) / 256.0
+            })
+            .collect();
+        &generated
+    };
+    let input = InputGrid::new(&in_idx, in_vals)?;
     let compute = stencil_kernels::default_compute();
 
     // The spec-file datapath as an expression: compile it to bytecode,
@@ -253,28 +297,74 @@ pub fn cmd_engine(
     }
 
     if streaming {
-        let mut source = SliceSource::new(&in_vals);
-        let mut sink = VecSink::new();
-        let stream = Session::new(&plan)
+        // Mapped inputs stream straight off the page cache; plain runs
+        // keep the in-memory slice source.
+        let mut source: Box<dyn stencil_engine::RowSource> = match &mapped_input {
+            Some(grid) => Box::new(MmapSource::from_grid(grid.clone())),
+            None => Box::new(SliceSource::new(in_vals)),
+        };
+        let session = Session::new(&plan)
             .kernel(session_kernel)
             .backend(backend)
             .mode(ExecMode::Streaming { chunk_rows })
-            .threads(threads)
-            .run_streaming(&mut source, &mut sink)?;
-        if sink.values != run.outputs {
-            return Err("streaming run diverged from the in-core run".into());
-        }
+            .threads(threads);
+        let stream = match output_grid {
+            Some(path) => {
+                let out_bb = iter_idx
+                    .bounding_box()
+                    .ok_or("the iteration domain is empty")?;
+                let out_extents: Vec<u64> = out_bb
+                    .iter()
+                    .map(|&(lo, hi)| (hi - lo + 1) as u64)
+                    .collect();
+                let mut sink = MmapSink::create(path, &out_extents)
+                    .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+                let stream = session.run_streaming(&mut source, &mut sink)?;
+                // Re-open the finished file: the bytes on disk, not the
+                // in-flight buffer, must match the in-core run.
+                let written = MappedGrid::open(path)?;
+                if written.values() != run.outputs.as_slice() {
+                    return Err(format!(
+                        "{}: streamed output grid diverged from the in-core run",
+                        path.display()
+                    )
+                    .into());
+                }
+                let _ = writeln!(
+                    out,
+                    "output grid written to {} ({} values, verified bit-exact)",
+                    path.display(),
+                    written.values().len()
+                );
+                stream
+            }
+            None => {
+                let mut sink = VecSink::new();
+                let stream = session.run_streaming(&mut source, &mut sink)?;
+                if sink.values != run.outputs {
+                    return Err("streaming run diverged from the in-core run".into());
+                }
+                let _ = writeln!(
+                    out,
+                    "verified streaming against in-core: {} outputs match",
+                    sink.values.len()
+                );
+                stream
+            }
+        };
         let stream_report = stream.stages[0]
             .stream
             .clone()
             .ok_or("session produced no streaming stage report")?;
         let _ = write!(out, "{stream_report}");
-        let _ = writeln!(
-            out,
-            "verified streaming against in-core: {} outputs match",
-            sink.values.len()
-        );
+        if let Some(io) = &stream.grid_io {
+            let _ = writeln!(out, "{io}");
+        }
         report.stream = Some(stream_report.metrics());
+        if mapped_input.is_some() || output_grid.is_some() {
+            // Surface the grid-io block so the validator can check it.
+            report.session = Some(stream.metrics());
+        }
     }
 
     if !chain.is_empty() {
@@ -620,6 +710,81 @@ pub fn cmd_suite() -> Result<String, CmdError> {
     Ok(out)
 }
 
+/// `stencil grid pack`: generate a deterministic pseudo-random grid
+/// (the same LCG recipe the `engine` subcommand uses) and pack it into
+/// a `.sgrid` binary file that `engine --input-grid` and `serve`
+/// manifests can memory-map without parsing.
+///
+/// # Errors
+///
+/// Rejects extents whose element count overflows, and propagates
+/// filesystem failures from the packer.
+pub fn cmd_grid_pack(
+    path: &std::path::Path,
+    extents: &[u64],
+    seed: u64,
+) -> Result<String, CmdError> {
+    let elements = extents
+        .iter()
+        .try_fold(1u64, |acc, &e| acc.checked_mul(e))
+        .ok_or_else(|| format!("grid extents {extents:?} overflow the element count"))?;
+    let elements = usize::try_from(elements)
+        .map_err(|_| format!("grid extents {extents:?} exceed the address space"))?;
+    let mut state = seed;
+    let values: Vec<f64> = (0..elements)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005u64)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f64) / 256.0
+        })
+        .collect();
+    pack_grid(path, extents, &values)
+        .map_err(|e| format!("cannot pack {}: {e}", path.display()))?;
+    Ok(format!(
+        "packed {} values ({} bytes) into {} (extents {:?}, seed {seed:#x})\n",
+        values.len(),
+        values.len() * 8,
+        path.display(),
+        extents,
+    ))
+}
+
+/// `stencil grid inspect`: decode and print a `.sgrid` header, then map
+/// the payload and report its value range — a quick integrity check
+/// that exercises the same validation path the engine uses.
+///
+/// # Errors
+///
+/// Propagates the typed format errors for missing, truncated, or
+/// corrupt files.
+pub fn cmd_grid_inspect(path: &std::path::Path) -> Result<String, CmdError> {
+    let header =
+        stencil_engine::inspect_grid(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let grid = MappedGrid::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}: sgrid v1, dtype f64le", path.display());
+    let _ = writeln!(
+        out,
+        "extents {:?}: {} values, {} payload bytes at offset {}",
+        header.extents(),
+        header.elements(),
+        header.payload_bytes(),
+        header.payload_offset(),
+    );
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in grid.values() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let _ = writeln!(
+        out,
+        "value range [{lo}, {hi}], {} bytes mapped",
+        grid.bytes_mapped()
+    );
+    Ok(out)
+}
+
 /// One parsed manifest line: a job template, possibly repeated.
 struct ManifestJob {
     bench: stencil_kernels::Benchmark,
@@ -627,17 +792,21 @@ struct ManifestJob {
     mode: ExecMode,
     shards: stencil_engine::ShardPolicy,
     repeat: usize,
+    input: Option<std::path::PathBuf>,
 }
 
 /// Parses one job-manifest line:
 ///
 /// ```text
 /// <benchmark> [e0 e1 ...] [mode=incore|streaming[:ROWS]|tiled:N]
-///             [shards=auto|whole|N] [repeat=N]
+///             [shards=auto|whole|N] [repeat=N] [input=FILE.sgrid]
 /// ```
 ///
 /// Bare integers are grid extents (defaulting to the benchmark's paper
-/// problem size); `#` starts a comment.
+/// problem size); `#` starts a comment. With `input=`, the job's input
+/// values come from a memory-mapped `.sgrid` file instead of the
+/// per-line pseudo-random generator, and the file's extents must agree
+/// with any explicit extents on the line.
 fn parse_manifest_line(line: &str, lineno: usize) -> Result<Option<ManifestJob>, CmdError> {
     use stencil_engine::ShardPolicy;
     let line = line.split('#').next().unwrap_or("").trim();
@@ -652,6 +821,7 @@ fn parse_manifest_line(line: &str, lineno: usize) -> Result<Option<ManifestJob>,
     let mut mode = ExecMode::Streaming { chunk_rows: None };
     let mut shards = ShardPolicy::Auto;
     let mut repeat = 1usize;
+    let mut input: Option<std::path::PathBuf> = None;
     for tok in tokens {
         if let Ok(e) = tok.parse::<i64>() {
             if e <= 0 {
@@ -659,28 +829,30 @@ fn parse_manifest_line(line: &str, lineno: usize) -> Result<Option<ManifestJob>,
             }
             extents.push(e);
         } else if let Some(v) = tok.strip_prefix("mode=") {
-            mode = match v.split_once(':') {
-                None if v == "incore" => ExecMode::InCore,
-                None if v == "streaming" => ExecMode::Streaming { chunk_rows: None },
-                Some(("streaming", rows)) => ExecMode::Streaming {
-                    chunk_rows: Some(rows.parse().map_err(|_| {
-                        format!("manifest line {lineno}: bad chunk rows `{rows}`")
-                    })?),
-                },
-                Some(("tiled", n)) => ExecMode::Tiled {
-                    tiles: n.parse().map_err(|_| {
-                        format!("manifest line {lineno}: bad tile count `{n}`")
-                    })?,
-                },
-                _ => return Err(format!("manifest line {lineno}: bad mode `{v}`").into()),
-            };
+            mode =
+                match v.split_once(':') {
+                    None if v == "incore" => ExecMode::InCore,
+                    None if v == "streaming" => ExecMode::Streaming { chunk_rows: None },
+                    Some(("streaming", rows)) => ExecMode::Streaming {
+                        chunk_rows: Some(rows.parse().map_err(|_| {
+                            format!("manifest line {lineno}: bad chunk rows `{rows}`")
+                        })?),
+                    },
+                    Some(("tiled", n)) => ExecMode::Tiled {
+                        tiles: n
+                            .parse()
+                            .map_err(|_| format!("manifest line {lineno}: bad tile count `{n}`"))?,
+                    },
+                    _ => return Err(format!("manifest line {lineno}: bad mode `{v}`").into()),
+                };
         } else if let Some(v) = tok.strip_prefix("shards=") {
             shards = match v {
                 "auto" => ShardPolicy::Auto,
                 "whole" => ShardPolicy::Whole,
-                n => ShardPolicy::Fixed(n.parse().map_err(|_| {
-                    format!("manifest line {lineno}: bad shard count `{n}`")
-                })?),
+                n => ShardPolicy::Fixed(
+                    n.parse()
+                        .map_err(|_| format!("manifest line {lineno}: bad shard count `{n}`"))?,
+                ),
             };
         } else if let Some(v) = tok.strip_prefix("repeat=") {
             repeat = v
@@ -688,6 +860,11 @@ fn parse_manifest_line(line: &str, lineno: usize) -> Result<Option<ManifestJob>,
                 .ok()
                 .filter(|&r: &usize| r > 0)
                 .ok_or_else(|| format!("manifest line {lineno}: bad repeat `{v}`"))?;
+        } else if let Some(v) = tok.strip_prefix("input=") {
+            if v.is_empty() {
+                return Err(format!("manifest line {lineno}: input= needs a path").into());
+            }
+            input = Some(std::path::PathBuf::from(v));
         } else {
             return Err(format!("manifest line {lineno}: unknown token `{tok}`").into());
         }
@@ -702,6 +879,7 @@ fn parse_manifest_line(line: &str, lineno: usize) -> Result<Option<ManifestJob>,
         mode,
         shards,
         repeat,
+        input,
     }))
 }
 
@@ -717,7 +895,10 @@ fn parse_manifest_line(line: &str, lineno: usize) -> Result<Option<ManifestJob>,
 ///
 /// Inputs are deterministic pseudo-random grids seeded per manifest
 /// line, so repeated jobs exercise the shared plan cache with
-/// bit-identical expectations.
+/// bit-identical expectations — unless the line names an
+/// `input=FILE.sgrid`, in which case the file is memory-mapped once and
+/// every repeat (and every shard) reads the same mapping with zero
+/// payload copies.
 ///
 /// # Errors
 ///
@@ -753,24 +934,54 @@ pub fn cmd_serve(
     });
     let mut labels: Vec<String> = Vec::new();
     for (line_idx, job) in jobs.iter().enumerate() {
-        let extents: Vec<i64> = job
-            .extents
-            .clone()
-            .unwrap_or_else(|| job.bench.extents().to_vec());
-        let len: i64 = extents.iter().product();
-        let len = usize::try_from(len).map_err(|_| "manifest grid too large")?;
-        // Deterministic pseudo-random input, seeded per manifest line.
-        let mut state = 0x5EED_BA5E_D00Du64 ^ ((line_idx as u64) << 17);
-        let input: Arc<Vec<f64>> = Arc::new(
-            (0..len)
-                .map(|_| {
-                    state = state
-                        .wrapping_mul(6364136223846793005u64)
-                        .wrapping_add(1442695040888963407);
-                    ((state >> 40) as f64) / 256.0
-                })
-                .collect(),
-        );
+        let (extents, input): (Vec<i64>, stencil_engine::JobInput) = match &job.input {
+            Some(path) => {
+                // Map the grid file once; repeats and shards share it.
+                let grid = MappedGrid::open(path)
+                    .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+                let file_extents: Vec<i64> = grid
+                    .header()
+                    .extents()
+                    .iter()
+                    .map(|&e| {
+                        i64::try_from(e)
+                            .map_err(|_| format!("{}: extent {e} too large", path.display()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if let Some(explicit) = &job.extents {
+                    if *explicit != file_extents {
+                        return Err(format!(
+                            "{}: grid extents {file_extents:?} contradict the manifest \
+                             extents {explicit:?}",
+                            path.display()
+                        )
+                        .into());
+                    }
+                }
+                (file_extents, stencil_engine::JobInput::Mapped(grid))
+            }
+            None => {
+                let extents: Vec<i64> = job
+                    .extents
+                    .clone()
+                    .unwrap_or_else(|| job.bench.extents().to_vec());
+                let len: i64 = extents.iter().product();
+                let len = usize::try_from(len).map_err(|_| "manifest grid too large")?;
+                // Deterministic pseudo-random input, seeded per line.
+                let mut state = 0x5EED_BA5E_D00Du64 ^ ((line_idx as u64) << 17);
+                let input: Arc<Vec<f64>> = Arc::new(
+                    (0..len)
+                        .map(|_| {
+                            state = state
+                                .wrapping_mul(6364136223846793005u64)
+                                .wrapping_add(1442695040888963407);
+                            ((state >> 40) as f64) / 256.0
+                        })
+                        .collect(),
+                );
+                (extents, input.into())
+            }
+        };
         let req = JobRequest {
             benchmark: job.bench.clone(),
             extents: Some(extents),
@@ -806,8 +1017,8 @@ pub fn cmd_serve(
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<22} {:>7} {:>12}  {}",
-        "job", "shards", "outputs", "status"
+        "{:<22} {:>7} {:>12}  status",
+        "job", "shards", "outputs"
     );
     let mut failed = 0usize;
     for (label, job) in labels.iter().zip(&outcome.jobs) {
@@ -855,7 +1066,11 @@ pub fn cmd_serve(
         "plan cache: {} hit(s), {} miss(es), {} tile plan(s) built in sessions",
         m.plan_cache_hits, m.plan_cache_misses, m.tile_plans_built
     );
-    let _ = writeln!(out, "aggregate throughput: {:.1} Melem/s", m.throughput / 1e6);
+    let _ = writeln!(
+        out,
+        "aggregate throughput: {:.1} Melem/s",
+        m.throughput / 1e6
+    );
 
     let report = outcome.report("serve");
     let mut violations = append_bound_checks(&mut out, &report);
@@ -1036,6 +1251,8 @@ mod tests {
             &[],
             None,
             None,
+            None,
+            None,
         )
         .unwrap();
         assert!(out.contains("3 band(s)"), "{out}");
@@ -1064,6 +1281,8 @@ mod tests {
             &[],
             None,
             None,
+            None,
+            None,
         )
         .unwrap();
         assert!(out.contains("4 band(s)"), "{out}");
@@ -1081,6 +1300,8 @@ mod tests {
             KernelBackend::Closure,
             true,
             &[],
+            None,
+            None,
             None,
             None,
         )
@@ -1107,6 +1328,8 @@ mod tests {
             KernelBackend::Compiled,
             true,
             &[],
+            None,
+            None,
             None,
             None,
         )
@@ -1141,6 +1364,8 @@ mod tests {
             &["s2".into()],
             None,
             None,
+            None,
+            None,
         )
         .unwrap();
         assert!(out.contains("session [incore]: 2 stage(s)"), "{out}");
@@ -1173,6 +1398,8 @@ mod tests {
             &["s2".into()],
             None,
             None,
+            None,
+            None,
         )
         .unwrap();
         assert!(out.contains("session [streaming]: 2 stage(s)"), "{out}");
@@ -1202,6 +1429,8 @@ mod tests {
             &["s2".into(), "s3".into()],
             None,
             None,
+            None,
+            None,
         )
         .unwrap();
         assert!(out.contains("session [streaming]: 3 stage(s)"), "{out}");
@@ -1228,6 +1457,8 @@ mod tests {
             false,
             &[],
             Some(3),
+            None,
+            None,
             None,
         )
         .unwrap();
@@ -1262,6 +1493,8 @@ mod tests {
             &[],
             Some(3),
             None,
+            None,
+            None,
         )
         .unwrap();
         assert!(out.contains("session [streaming]: 3 stage(s)"), "{out}");
@@ -1293,6 +1526,8 @@ mod tests {
             &[],
             Some(4),
             Some(1e-6),
+            None,
+            None,
         )
         .unwrap();
         assert!(
@@ -1322,6 +1557,8 @@ mod tests {
             &[],
             Some(4),
             Some(1e12),
+            None,
+            None,
         )
         .unwrap();
         assert!(
@@ -1347,6 +1584,8 @@ mod tests {
             false,
             &["s2".into()],
             Some(2),
+            None,
+            None,
             None,
         )
         .unwrap_err();
@@ -1389,5 +1628,106 @@ o o o
         let out = cmd_compare(&denoise_spec(), &[64, 96]).unwrap();
         assert!(out.contains("savings: 1 bank(s)"), "{out}");
         assert!(out.contains("II = 5"), "{out}");
+    }
+
+    /// The plan's input-domain extents for `denoise_spec`, as the
+    /// `.sgrid` header wants them.
+    fn input_grid_extents() -> Vec<u64> {
+        let plan = MemorySystemPlan::generate(&denoise_spec()).unwrap();
+        let bb = plan.input_domain().index().unwrap().bounding_box().unwrap();
+        bb.iter().map(|&(lo, hi)| (hi - lo + 1) as u64).collect()
+    }
+
+    #[test]
+    fn engine_grid_files_round_trip_with_zero_copies() {
+        let dir = std::env::temp_dir().join("stencil_cli_gridio_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let in_path = dir.join("in.sgrid");
+        let out_path = dir.join("out.sgrid");
+        // Pack with the engine's own seed: the mapped run must agree
+        // with the generator-driven direct-loop cross-check.
+        let pack = cmd_grid_pack(&in_path, &input_grid_extents(), 0x5EED_BA5E_D00D).unwrap();
+        assert!(pack.contains("packed"), "{pack}");
+        let (out, metrics, violations) = cmd_engine(
+            &denoise_spec(),
+            1,
+            None,
+            1,
+            true,
+            Some(4),
+            KernelBackend::Compiled,
+            false,
+            &[],
+            None,
+            None,
+            Some(&in_path),
+            Some(&out_path),
+        )
+        .unwrap();
+        assert!(out.contains("output grid written to"), "{out}");
+        assert!(out.contains("grid io:"), "{out}");
+        assert!(out.contains("/ 0 copied in"), "{out}");
+        assert!(out.contains("runtime bound checks: all passed"), "{out}");
+        assert_eq!(violations, 0);
+        let report = MetricsReport::parse(&metrics).unwrap();
+        let io = report.session.as_ref().unwrap().grid_io.as_ref().unwrap();
+        assert_eq!(io.values_copied, 0);
+        assert!(io.values_mapped > 0);
+        assert!(io.sink_finalized);
+        let inspect = cmd_grid_inspect(&out_path).unwrap();
+        assert!(inspect.contains("sgrid v1"), "{inspect}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_rejects_mismatched_input_grid_extents() {
+        let dir = std::env::temp_dir().join("stencil_cli_gridio_mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let in_path = dir.join("wrong.sgrid");
+        cmd_grid_pack(&in_path, &[4, 4], 1).unwrap();
+        let err = cmd_engine(
+            &denoise_spec(),
+            1,
+            None,
+            1,
+            false,
+            None,
+            KernelBackend::Compiled,
+            false,
+            &[],
+            None,
+            None,
+            Some(&in_path),
+            None,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("do not match"),
+            "unexpected error: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_manifest_accepts_mapped_input_grids() {
+        let dir = std::env::temp_dir().join("stencil_cli_serve_grid");
+        std::fs::create_dir_all(&dir).unwrap();
+        let grid = dir.join("denoise.sgrid");
+        cmd_grid_pack(&grid, &[20, 12], 7).unwrap();
+        let manifest = format!(
+            "denoise 20 12 mode=incore shards=whole repeat=2 input={}\n",
+            grid.display()
+        );
+        let (out, metrics, violations) = cmd_serve(&manifest, 1, 8, 0).unwrap();
+        assert!(out.contains("DENOISE[0]"), "{out}");
+        assert!(out.contains("DENOISE[1]"), "{out}");
+        assert!(!out.contains("FAILED"), "{out}");
+        assert_eq!(violations, 0);
+        assert!(MetricsReport::parse(&metrics).is_ok());
+        // Contradictory explicit extents are a manifest error.
+        let bad = format!("denoise 21 12 mode=incore input={}\n", grid.display());
+        let err = cmd_serve(&bad, 1, 8, 0).unwrap_err();
+        assert!(err.to_string().contains("contradict"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -35,9 +35,12 @@ fn usage() -> &'static str {
      stencil engine   <spec.stencil> [--streams K] [--tiles N] [--threads T] \
      [--kernel compiled|closure] [--crosscheck] \
      [--streaming [--chunk-rows N]] [--chain s2,s3,...] \
-     [--iterate T [--epsilon E]] [--metrics-out M.json]\n  \
+     [--iterate T [--epsilon E]] [--input-grid F.sgrid] [--output-grid F.sgrid] \
+     [--metrics-out M.json]\n  \
      stencil rtl      <spec.stencil> \
      [--out DIR]\n  stencil compare  <spec.stencil>\n  stencil report   <spec.stencil>\n  \
+     stencil grid     pack <out.sgrid> --extents E0xE1[x...] [--seed N] | \
+     inspect <file.sgrid>\n  \
      stencil serve    <jobs.manifest> [--workers N] [--queue-depth N] \
      [--memory-budget ELEMS] [--metrics-out M.json]\n\
      \nsimulate/engine/serve exit non-zero when the runtime bound validator reports\n\
@@ -93,6 +96,9 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
     if cmd == "serve" {
         return run_serve(it);
     }
+    if cmd == "grid" {
+        return run_grid(it);
+    }
     let spec_path = it.next().ok_or("missing spec file")?;
     let text =
         std::fs::read_to_string(&spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
@@ -114,6 +120,8 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
     let mut chain: Vec<String> = Vec::new();
     let mut iterate: Option<usize> = None;
     let mut epsilon: Option<f64> = None;
+    let mut input_grid: Option<PathBuf> = None;
+    let mut output_grid: Option<PathBuf> = None;
     let mut fail_on_violation = true;
     while let Some(opt) = it.next() {
         match opt.as_str() {
@@ -198,6 +206,16 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
                         .ok_or("--epsilon needs a finite non-negative threshold")?,
                 );
             }
+            "--input-grid" => {
+                input_grid = Some(PathBuf::from(
+                    it.next().ok_or("--input-grid needs a .sgrid path")?,
+                ));
+            }
+            "--output-grid" => {
+                output_grid = Some(PathBuf::from(
+                    it.next().ok_or("--output-grid needs a .sgrid path")?,
+                ));
+            }
             "--no-fail-on-violation" => fail_on_violation = false,
             other => return Err(format!("unknown option `{other}`").into()),
         }
@@ -227,8 +245,19 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
                 return Err("--epsilon needs --iterate to bound the step count".into());
             }
             let (mut out, metrics, violations) = cmd_engine(
-                &spec, streams, tiles, threads, streaming, chunk_rows, backend, crosscheck, &chain,
-                iterate, epsilon,
+                &spec,
+                streams,
+                tiles,
+                threads,
+                streaming,
+                chunk_rows,
+                backend,
+                crosscheck,
+                &chain,
+                iterate,
+                epsilon,
+                input_grid.as_deref(),
+                output_grid.as_deref(),
             )?;
             if let Some(path) = &metrics_out {
                 out.push_str(&write_metrics(path, &metrics)?);
@@ -311,6 +340,51 @@ fn run_serve(mut it: std::vec::IntoIter<String>) -> Result<RunOutput, commands::
         violations,
         fail_on_violation,
     })
+}
+
+/// `stencil grid pack <out.sgrid> --extents E0xE1[x...] [--seed N]` /
+/// `stencil grid inspect <file.sgrid>` — pack a deterministic grid
+/// into the binary `.sgrid` format, or decode and summarize one.
+fn run_grid(mut it: std::vec::IntoIter<String>) -> Result<RunOutput, commands::CmdError> {
+    let action = it.next().ok_or("grid needs `pack` or `inspect`")?;
+    match action.as_str() {
+        "pack" => {
+            let path = PathBuf::from(it.next().ok_or("grid pack needs an output path")?);
+            let mut extents: Vec<u64> = Vec::new();
+            let mut seed = 0x5EED_BA5E_D00Du64;
+            while let Some(opt) = it.next() {
+                match opt.as_str() {
+                    "--extents" => {
+                        let spec = it.next().ok_or("--extents needs E0xE1[x...]")?;
+                        extents = spec
+                            .split('x')
+                            .map(|t| t.trim().parse::<u64>())
+                            .collect::<Result<_, _>>()
+                            .map_err(|_| format!("bad extents `{spec}`; expected E0xE1[x...]"))?;
+                        if extents.contains(&0) {
+                            return Err(format!("bad extents `{spec}`; zero extent").into());
+                        }
+                    }
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--seed needs an integer")?;
+                    }
+                    other => return Err(format!("unknown option `{other}`").into()),
+                }
+            }
+            if extents.is_empty() {
+                return Err("grid pack needs --extents E0xE1[x...]".into());
+            }
+            commands::cmd_grid_pack(&path, &extents, seed).map(RunOutput::from)
+        }
+        "inspect" => {
+            let path = PathBuf::from(it.next().ok_or("grid inspect needs a .sgrid path")?);
+            commands::cmd_grid_inspect(&path).map(RunOutput::from)
+        }
+        other => Err(format!("unknown grid action `{other}`; use pack or inspect").into()),
+    }
 }
 
 /// Writes a telemetry JSON report to `path`, returning the
@@ -657,6 +731,46 @@ mod tests {
             "plan".into(),
             spec.display().to_string(),
             "--bogus".into()
+        ])
+        .is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn grid_pack_and_inspect_round_trip() {
+        let dir = std::env::temp_dir().join("stencil_cli_grid_cmd_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.sgrid");
+        let out = run(vec![
+            "grid".into(),
+            "pack".into(),
+            path.display().to_string(),
+            "--extents".into(),
+            "6x9".into(),
+            "--seed".into(),
+            "42".into(),
+        ])
+        .unwrap()
+        .text;
+        assert!(out.contains("packed 54 values"), "{out}");
+        let out = run(vec![
+            "grid".into(),
+            "inspect".into(),
+            path.display().to_string(),
+        ])
+        .unwrap()
+        .text;
+        assert!(out.contains("sgrid v1"), "{out}");
+        assert!(out.contains("extents [6, 9]"), "{out}");
+
+        assert!(run(vec!["grid".into()]).is_err());
+        assert!(run(vec!["grid".into(), "frob".into()]).is_err());
+        assert!(run(vec![
+            "grid".into(),
+            "pack".into(),
+            path.display().to_string(),
+            "--extents".into(),
+            "6x0".into(),
         ])
         .is_err());
         let _ = fs::remove_dir_all(&dir);

@@ -28,6 +28,7 @@ use stencil_telemetry::HighWater;
 
 use crate::compile::KernelBackend;
 use crate::error::EngineError;
+use crate::format::MappedGrid;
 use crate::report::StreamReport;
 use crate::rowexec::{
     execute_band_parallel, execute_rows, plan_offsets, threads_for, RankWindow, RowKernel, RowStats,
@@ -65,7 +66,11 @@ pub(crate) struct StreamStage<'k> {
     backend: KernelBackend,
     chunk_rows: u64,
     worker_count: usize,
-    // Rolling halo window state.
+    // Rolling halo window state. With `mapped` set the whole input is
+    // resident in mapped pages, `window` stays empty, and the resident
+    // range alone tracks the logical halo window (rank == map offset,
+    // guaranteed by the contiguity check in `new`).
+    mapped: Option<MappedGrid>,
     window: Vec<f64>,
     resident: Range<usize>,
     cursor: usize,
@@ -132,6 +137,7 @@ impl<'k> StreamStage<'k> {
             backend,
             chunk_rows: chunk_rows.unwrap_or(0),
             worker_count: threads_for(threads, usize::MAX),
+            mapped: None,
             window: Vec::new(),
             resident: 0..0,
             cursor: 0,
@@ -147,6 +153,37 @@ impl<'k> StreamStage<'k> {
             tile_plan,
             in_idx,
         })
+    }
+
+    /// Attaches a memory-mapped input covering the whole stream: bands
+    /// execute as slices of the mapped payload and the stage never
+    /// reports [`StagePump::Need`] — zero copies into the halo window.
+    ///
+    /// Only valid on a fresh stage (nothing pulled yet) whose input
+    /// domain matches the mapped element count exactly.
+    pub(crate) fn attach_mapped(&mut self, grid: MappedGrid) -> Result<(), EngineError> {
+        if self.rows_in > 0 || self.pending.is_some() {
+            return Err(EngineError::InconsistentIndex {
+                detail: "mapped input attached to a stage that already pulled rows".into(),
+            });
+        }
+        let expected: u64 = self.in_idx.rows().iter().map(Row::len).sum();
+        let got = grid.values().len() as u64;
+        if got != expected {
+            return Err(EngineError::InputSizeMismatch { expected, got });
+        }
+        self.mapped = Some(grid);
+        Ok(())
+    }
+
+    /// Whether a mapped input is attached (the zero-copy path).
+    pub(crate) fn is_mapped(&self) -> bool {
+        self.mapped.is_some()
+    }
+
+    /// Values pulled into (or logically admitted to) the halo window.
+    pub(crate) fn values_in(&self) -> u64 {
+        self.values_in
     }
 
     /// Advances the stage until it emits a row, needs input, or
@@ -171,6 +208,12 @@ impl<'k> StreamStage<'k> {
                 self.evicted = true;
             }
             if let Some(need) = self.next_pull()? {
+                if self.mapped.is_some() {
+                    // The row is already resident in the mapping:
+                    // admit it logically instead of asking upstream.
+                    self.absorb(&need);
+                    continue;
+                }
                 let len = need.len;
                 self.pending = Some(need);
                 return Ok(StagePump::Need(len));
@@ -209,6 +252,35 @@ impl<'k> StreamStage<'k> {
         Ok(())
     }
 
+    /// Mapped-mode twin of [`feed`](Self::feed): the row's values are
+    /// already resident in the mapping, so only the window bookkeeping
+    /// advances — nothing is copied.
+    fn absorb(&mut self, p: &PendingPull) {
+        if p.discard {
+            self.resident.start = self.resident.end + 1;
+        }
+        self.resident.end += 1;
+        self.rows_in += 1;
+        self.values_in += p.len as u64;
+    }
+
+    /// The logical halo-window length in values: the owned buffer's
+    /// length on the copying path, the resident rows' rank span on the
+    /// mapped path (both identical by the contiguity invariant).
+    fn window_len(&self) -> Result<usize, EngineError> {
+        if self.mapped.is_none() {
+            return Ok(self.window.len());
+        }
+        if self.resident.is_empty() {
+            return Ok(0);
+        }
+        let rows = self.in_idx.rows();
+        let first = &rows[self.resident.start];
+        let last = &rows[self.resident.end - 1];
+        let span = last.base + last.len() - first.base;
+        usize::try_from(span).map_err(|_| EngineError::DomainTooLarge { points: span })
+    }
+
     /// Evicts rows entirely below the current band's halo. Evicting
     /// before pulling keeps the peak at one band's halo window.
     fn evict_below_halo(&mut self) -> Result<(), EngineError> {
@@ -217,12 +289,14 @@ impl<'k> StreamStage<'k> {
         while self.resident.start < self.resident.end
             && tile.row_below_halo(row_outer_span(&rows[self.resident.start], self.dims))
         {
-            let n = usize::try_from(rows[self.resident.start].len()).map_err(|_| {
-                EngineError::DomainTooLarge {
-                    points: rows[self.resident.start].len(),
-                }
-            })?;
-            self.window.drain(0..n);
+            if self.mapped.is_none() {
+                let n = usize::try_from(rows[self.resident.start].len()).map_err(|_| {
+                    EngineError::DomainTooLarge {
+                        points: rows[self.resident.start].len(),
+                    }
+                })?;
+                self.window.drain(0..n);
+            }
             self.resident.start += 1;
         }
         Ok(())
@@ -254,7 +328,8 @@ impl<'k> StreamStage<'k> {
         let tile = &self.tile_plan.tiles()[self.cursor];
         let rows = self.in_idx.rows();
 
-        self.gauge.observe(self.window.len() as u64);
+        let window_len = self.window_len()?;
+        self.gauge.observe(window_len as u64);
         let widest = rows[self.resident.clone()]
             .iter()
             .map(Row::len)
@@ -269,10 +344,30 @@ impl<'k> StreamStage<'k> {
         let band_len = usize::try_from(tile.len)
             .map_err(|_| EngineError::DomainTooLarge { points: tile.len })?;
         let mut out_buf = vec![0.0f64; band_len];
+        let base = rows.get(self.resident.start).map_or(0, |r| r.base);
+        // Mapped path: the "window" is a borrowed slice of the mapped
+        // payload (rank == offset by the contiguity invariant); nothing
+        // was ever copied in. Copying path: the owned rolling buffer.
+        let vals: &[f64] = match &self.mapped {
+            Some(grid) => {
+                let start = usize::try_from(base)
+                    .map_err(|_| EngineError::DomainTooLarge { points: base })?;
+                start
+                    .checked_add(window_len)
+                    .and_then(|end| grid.values().get(start..end))
+                    .ok_or_else(|| EngineError::InconsistentIndex {
+                        detail: format!(
+                            "band {} window [{base}, +{window_len}) exceeds the mapped payload",
+                            tile.id
+                        ),
+                    })?
+            }
+            None => &self.window,
+        };
         let win = RankWindow {
             idx: &self.in_idx,
-            vals: &self.window,
-            base: rows.get(self.resident.start).map_or(0, |r| r.base),
+            vals,
+            base,
         };
         let band_rows = band_idx.rows();
         let workers = threads_for(self.worker_count, band_rows.len());
@@ -361,9 +456,7 @@ pub(crate) fn pump_chain(
             StagePump::Need(len) => {
                 if upstream.is_empty() {
                     buf.clear();
-                    source
-                        .fill_row(len, buf)
-                        .map_err(|detail| EngineError::Source { detail })?;
+                    source.fill_row(len, buf)?;
                     last.feed(buf)?;
                 } else {
                     // An upstream stage emits one row per *band* row. In

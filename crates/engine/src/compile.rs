@@ -772,11 +772,10 @@ mod tests {
         // as the same `EngineError::KernelCompile` a serving worker
         // would report instead of dying.
         for b in paper_suite().into_iter().chain(extra_suite()) {
-            let ck = CompiledKernel::for_benchmark(&b)?.ok_or_else(|| {
-                EngineError::KernelCompile {
+            let ck =
+                CompiledKernel::for_benchmark(&b)?.ok_or_else(|| EngineError::KernelCompile {
                     detail: format!("{} has no expression", b.name()),
-                }
-            })?;
+                })?;
             assert_eq!(ck.taps(), b.window().len());
             assert!(ck.max_stack <= MAX_STACK);
         }

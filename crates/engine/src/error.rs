@@ -71,6 +71,24 @@ pub enum EngineError {
         /// What the configuration got wrong.
         detail: String,
     },
+    /// An `.sgrid` grid file is malformed or does not match the run.
+    GridFormat(crate::format::GridFormatError),
+    /// A byte stream ended before yielding the requested values — the
+    /// input was truncated, possibly mid-value.
+    TruncatedInput {
+        /// Values the caller asked for.
+        values_expected: usize,
+        /// Whole values actually decoded before the stream ended.
+        values_got: usize,
+        /// Leftover bytes of a final partial value (0..=7).
+        trailing_bytes: usize,
+    },
+    /// A job's grid geometry overflows shard/admission arithmetic — the
+    /// requested domain cannot be sized, let alone admitted.
+    JobTooLarge {
+        /// The extents whose element or byte count overflowed.
+        extents: Vec<i64>,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -103,6 +121,20 @@ impl fmt::Display for EngineError {
             EngineError::Config { detail } => {
                 write!(f, "invalid session configuration: {detail}")
             }
+            EngineError::GridFormat(e) => write!(f, "grid file rejected: {e}"),
+            EngineError::TruncatedInput {
+                values_expected,
+                values_got,
+                trailing_bytes,
+            } => write!(
+                f,
+                "input truncated: {values_got} of {values_expected} values read, \
+                 {trailing_bytes} trailing bytes of a partial value"
+            ),
+            EngineError::JobTooLarge { extents } => write!(
+                f,
+                "job too large: grid extents {extents:?} overflow size arithmetic"
+            ),
         }
     }
 }
@@ -111,6 +143,7 @@ impl Error for EngineError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             EngineError::Plan(e) => Some(e),
+            EngineError::GridFormat(e) => Some(e),
             _ => None,
         }
     }
@@ -119,6 +152,12 @@ impl Error for EngineError {
 impl From<PlanError> for EngineError {
     fn from(e: PlanError) -> Self {
         EngineError::Plan(e)
+    }
+}
+
+impl From<crate::format::GridFormatError> for EngineError {
+    fn from(e: crate::format::GridFormatError) -> Self {
+        EngineError::GridFormat(e)
     }
 }
 
@@ -178,5 +217,22 @@ mod tests {
         }
         .to_string()
         .contains("invalid session configuration"));
+        let g = EngineError::from(crate::format::GridFormatError::BadMagic);
+        assert!(g.to_string().contains("grid file rejected"));
+        assert!(g.source().is_some());
+        assert_eq!(
+            EngineError::TruncatedInput {
+                values_expected: 8,
+                values_got: 3,
+                trailing_bytes: 5
+            }
+            .to_string(),
+            "input truncated: 3 of 8 values read, 5 trailing bytes of a partial value"
+        );
+        assert!(EngineError::JobTooLarge {
+            extents: vec![i64::MAX, 2]
+        }
+        .to_string()
+        .contains("overflow"));
     }
 }

@@ -1,0 +1,575 @@
+//! The `.sgrid` binary grid format and its zero-copy mmap reader.
+//!
+//! `.sgrid` is the engine's on-disk grid container: a fixed little-endian
+//! header followed immediately by the row-major `f64` payload, stored
+//! exactly as the in-memory streaming layer lays values out. Because the
+//! header length is a multiple of 8 and `mmap` returns page-aligned
+//! memory, the payload of a mapped file is always 8-byte aligned — a
+//! [`MappedGrid`] hands out the payload as a borrowed `&[f64]` with zero
+//! parsing and zero copying, which is what lets [`crate::MmapSource`]
+//! feed the contiguous fast path ([`crate::chain`] → `rowexec`) straight
+//! from the page cache.
+//!
+//! ## Layout (version 1)
+//!
+//! | offset        | size      | field                                  |
+//! |---------------|-----------|----------------------------------------|
+//! | 0             | 8         | magic `b"SGRIDBIN"`                    |
+//! | 8             | 4         | `u32` LE version (must be 1)           |
+//! | 12            | 4         | `u32` LE dtype (1 = little-endian f64) |
+//! | 16            | 8         | `u64` LE dimension count `n` (1..=8)   |
+//! | 24            | 8·`n`     | `u64` LE extent per dimension, all > 0 |
+//! | 24 + 8·`n`    | 8·∏extent | row-major little-endian f64 payload    |
+//!
+//! The file length must equal the payload offset plus the payload size
+//! *exactly*; trailing bytes are rejected, so a well-formed header can
+//! never mask a half-written payload.
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use memmap2::Mmap;
+
+/// Magic bytes opening every `.sgrid` file.
+pub const SGRID_MAGIC: [u8; 8] = *b"SGRIDBIN";
+/// The only format version this engine reads or writes.
+pub const SGRID_VERSION: u32 = 1;
+/// The only dtype this engine reads or writes: little-endian `f64`.
+pub const SGRID_DTYPE_F64: u32 = 1;
+/// Most dimensions a grid header may declare.
+pub const SGRID_MAX_DIMS: u64 = 8;
+
+/// Why an `.sgrid` file (or a buffer claiming to be one) was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GridFormatError {
+    /// The file ends inside the fixed or extents header.
+    TruncatedHeader {
+        /// Bytes the header needed.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The first 8 bytes are not `b"SGRIDBIN"`.
+    BadMagic,
+    /// A version this engine does not speak.
+    UnsupportedVersion {
+        /// The version the file declared.
+        version: u32,
+    },
+    /// A payload dtype this engine does not speak.
+    UnsupportedDtype {
+        /// The dtype the file declared.
+        dtype: u32,
+    },
+    /// Dimension count outside `1..=8`.
+    BadDimCount {
+        /// The count the file declared.
+        dims: u64,
+    },
+    /// An extent of zero — the grid would hold no points.
+    ZeroExtent {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// The extents multiply past `u64` (or the payload byte count past
+    /// the addressable range) — the declared grid cannot exist.
+    ExtentOverflow,
+    /// The file is shorter than header + declared payload.
+    TruncatedPayload {
+        /// Payload bytes the extents promise.
+        expected_bytes: u64,
+        /// Payload bytes actually present.
+        got_bytes: u64,
+    },
+    /// The file is longer than header + declared payload.
+    TrailingBytes {
+        /// Unexplained bytes past the payload.
+        extra: u64,
+    },
+    /// The mapped payload is not 8-byte aligned or the platform cannot
+    /// view little-endian bytes as host `f64`s (big-endian target).
+    Misaligned,
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The I/O error's message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GridFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridFormatError::TruncatedHeader { needed, got } => {
+                write!(f, "header truncated: need {needed} bytes, file has {got}")
+            }
+            GridFormatError::BadMagic => write!(f, "not an .sgrid file (bad magic)"),
+            GridFormatError::UnsupportedVersion { version } => {
+                write!(f, "unsupported .sgrid version {version} (engine speaks 1)")
+            }
+            GridFormatError::UnsupportedDtype { dtype } => {
+                write!(f, "unsupported dtype {dtype} (engine speaks 1 = f64 LE)")
+            }
+            GridFormatError::BadDimCount { dims } => {
+                write!(f, "dimension count {dims} outside 1..={SGRID_MAX_DIMS}")
+            }
+            GridFormatError::ZeroExtent { dim } => {
+                write!(f, "extent of dimension {dim} is zero")
+            }
+            GridFormatError::ExtentOverflow => {
+                write!(f, "extents overflow the addressable payload size")
+            }
+            GridFormatError::TruncatedPayload {
+                expected_bytes,
+                got_bytes,
+            } => write!(
+                f,
+                "payload truncated: extents promise {expected_bytes} bytes, file has {got_bytes}"
+            ),
+            GridFormatError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes past the declared payload")
+            }
+            GridFormatError::Misaligned => {
+                write!(f, "payload is not viewable as aligned host f64s")
+            }
+            GridFormatError::Io { detail } => write!(f, "grid file i/o failed: {detail}"),
+        }
+    }
+}
+
+impl Error for GridFormatError {}
+
+impl From<std::io::Error> for GridFormatError {
+    fn from(e: std::io::Error) -> Self {
+        GridFormatError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// Fixed-header byte count: magic + version + dtype + dim count.
+const FIXED_HEADER: usize = 24;
+
+/// A decoded, validated `.sgrid` header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridHeader {
+    extents: Vec<u64>,
+}
+
+impl GridHeader {
+    /// Builds a header for the given extents.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty/oversized dimension lists, zero extents, and
+    /// element counts that overflow `u64` bytes.
+    pub fn new(extents: &[u64]) -> Result<GridHeader, GridFormatError> {
+        let dims = extents.len() as u64;
+        if dims == 0 || dims > SGRID_MAX_DIMS {
+            return Err(GridFormatError::BadDimCount { dims });
+        }
+        let mut elements: u64 = 1;
+        for (dim, &e) in extents.iter().enumerate() {
+            if e == 0 {
+                return Err(GridFormatError::ZeroExtent { dim });
+            }
+            elements = elements
+                .checked_mul(e)
+                .ok_or(GridFormatError::ExtentOverflow)?;
+        }
+        elements
+            .checked_mul(8)
+            .ok_or(GridFormatError::ExtentOverflow)?;
+        Ok(GridHeader {
+            extents: extents.to_vec(),
+        })
+    }
+
+    /// The per-dimension extents.
+    #[must_use]
+    pub fn extents(&self) -> &[u64] {
+        &self.extents
+    }
+
+    /// Total points in the grid (product of extents).
+    #[must_use]
+    pub fn elements(&self) -> u64 {
+        self.extents.iter().product()
+    }
+
+    /// Byte offset of the payload: `24 + 8 * ndim`. Always a multiple
+    /// of 8, so a page-aligned map keeps the payload `f64`-aligned.
+    #[must_use]
+    pub fn payload_offset(&self) -> usize {
+        FIXED_HEADER + 8 * self.extents.len()
+    }
+
+    /// Payload byte count: `8 * elements()`.
+    #[must_use]
+    pub fn payload_bytes(&self) -> u64 {
+        self.elements() * 8
+    }
+
+    /// Serializes the header to its on-disk byte form.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload_offset());
+        out.extend_from_slice(&SGRID_MAGIC);
+        out.extend_from_slice(&SGRID_VERSION.to_le_bytes());
+        out.extend_from_slice(&SGRID_DTYPE_F64.to_le_bytes());
+        out.extend_from_slice(&(self.extents.len() as u64).to_le_bytes());
+        for &e in &self.extents {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes and validates a header from the opening bytes of a file.
+    ///
+    /// `file_len`, when known, is checked against the declared payload:
+    /// short files are [`GridFormatError::TruncatedPayload`], long ones
+    /// [`GridFormatError::TrailingBytes`].
+    ///
+    /// # Errors
+    ///
+    /// Any structural defect listed on [`GridFormatError`].
+    pub fn decode(bytes: &[u8], file_len: Option<u64>) -> Result<GridHeader, GridFormatError> {
+        if bytes.len() < FIXED_HEADER {
+            return Err(GridFormatError::TruncatedHeader {
+                needed: FIXED_HEADER,
+                got: bytes.len(),
+            });
+        }
+        if bytes[0..8] != SGRID_MAGIC {
+            return Err(GridFormatError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != SGRID_VERSION {
+            return Err(GridFormatError::UnsupportedVersion { version });
+        }
+        let dtype = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+        if dtype != SGRID_DTYPE_F64 {
+            return Err(GridFormatError::UnsupportedDtype { dtype });
+        }
+        let dims = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        if dims == 0 || dims > SGRID_MAX_DIMS {
+            return Err(GridFormatError::BadDimCount { dims });
+        }
+        let ndim = usize::try_from(dims).expect("dims <= 8 fits usize");
+        let needed = FIXED_HEADER + 8 * ndim;
+        if bytes.len() < needed {
+            return Err(GridFormatError::TruncatedHeader {
+                needed,
+                got: bytes.len(),
+            });
+        }
+        let mut extents = Vec::with_capacity(ndim);
+        for d in 0..ndim {
+            let at = FIXED_HEADER + 8 * d;
+            extents.push(u64::from_le_bytes(
+                bytes[at..at + 8].try_into().expect("8 bytes"),
+            ));
+        }
+        let header = GridHeader::new(&extents)?;
+        if let Some(len) = file_len {
+            let expected = header.payload_offset() as u64 + header.payload_bytes();
+            let got_payload = len.saturating_sub(header.payload_offset() as u64);
+            if len < expected {
+                return Err(GridFormatError::TruncatedPayload {
+                    expected_bytes: header.payload_bytes(),
+                    got_bytes: got_payload,
+                });
+            }
+            if len > expected {
+                return Err(GridFormatError::TrailingBytes {
+                    extra: len - expected,
+                });
+            }
+        }
+        Ok(header)
+    }
+}
+
+/// A validated `.sgrid` file mapped into memory: a shared handle whose
+/// [`values`](MappedGrid::values) is a borrowed `&[f64]` view of the
+/// payload pages — no decode, no copy. Clones share the same mapping.
+#[derive(Debug, Clone)]
+pub struct MappedGrid {
+    map: Arc<Mmap>,
+    header: GridHeader,
+    /// Eager decode fallback for targets where the little-endian payload
+    /// cannot be viewed as host floats (big-endian). `None` on LE.
+    #[cfg(target_endian = "big")]
+    decoded: Arc<Vec<f64>>,
+}
+
+impl MappedGrid {
+    /// Opens and maps an `.sgrid` file, validating the header and the
+    /// exact file length before exposing the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`GridFormatError`] for I/O failures or any structural defect.
+    pub fn open(path: &Path) -> Result<MappedGrid, GridFormatError> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let map = Mmap::map(&file)?;
+        let header = GridHeader::decode(&map, Some(len))?;
+        Self::from_parts(map, header)
+    }
+
+    fn from_parts(map: Mmap, header: GridHeader) -> Result<MappedGrid, GridFormatError> {
+        #[cfg(not(target_endian = "big"))]
+        {
+            // Prove the payload view once so `values()` can be infallible.
+            let view = map
+                .as_f64s(header.payload_offset())
+                .ok_or(GridFormatError::Misaligned)?;
+            debug_assert_eq!(view.len() as u64, header.elements());
+            Ok(MappedGrid {
+                map: Arc::new(map),
+                header,
+            })
+        }
+        #[cfg(target_endian = "big")]
+        {
+            let off = header.payload_offset();
+            let decoded: Vec<f64> = map[off..]
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect();
+            Ok(MappedGrid {
+                map: Arc::new(map),
+                header,
+                decoded: Arc::new(decoded),
+            })
+        }
+    }
+
+    /// The validated header.
+    #[must_use]
+    pub fn header(&self) -> &GridHeader {
+        &self.header
+    }
+
+    /// The full row-major payload. On little-endian targets this is a
+    /// direct view of the mapped file pages — zero copies.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        #[cfg(not(target_endian = "big"))]
+        {
+            self.map
+                .as_f64s(self.header.payload_offset())
+                .expect("alignment proven at open")
+        }
+        #[cfg(target_endian = "big")]
+        {
+            &self.decoded
+        }
+    }
+
+    /// Bytes of file mapped (header + payload).
+    #[must_use]
+    pub fn bytes_mapped(&self) -> u64 {
+        self.map.len() as u64
+    }
+}
+
+/// Writes `values` to `path` as an `.sgrid` file with the given extents.
+///
+/// # Errors
+///
+/// [`GridFormatError`] when the extents are invalid, `values.len()`
+/// disagrees with their product, or the filesystem write fails.
+pub fn pack_grid(path: &Path, extents: &[u64], values: &[f64]) -> Result<(), GridFormatError> {
+    let header = GridHeader::new(extents)?;
+    if values.len() as u64 != header.elements() {
+        return Err(GridFormatError::TruncatedPayload {
+            expected_bytes: header.payload_bytes(),
+            got_bytes: values.len() as u64 * 8,
+        });
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&header.encode())?;
+    for v in values {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads and validates only the header of an `.sgrid` file — extents
+/// and sizes without touching the payload.
+///
+/// # Errors
+///
+/// [`GridFormatError`] for I/O failures or a malformed header, including
+/// a file length that disagrees with the declared payload.
+pub fn inspect_grid(path: &Path) -> Result<GridHeader, GridFormatError> {
+    let mut file = File::open(path)?;
+    let len = file.metadata()?.len();
+    let max_dims = usize::try_from(SGRID_MAX_DIMS).expect("8 fits usize");
+    let mut head = vec![0u8; FIXED_HEADER + 8 * max_dims];
+    let mut got = 0;
+    while got < head.len() {
+        match file.read(&mut head[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    GridHeader::decode(&head[..got], Some(len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sgrid_{name}_{}.sgrid", std::process::id()))
+    }
+
+    #[test]
+    fn header_round_trips_through_encode_decode() {
+        let h = GridHeader::new(&[3, 5, 7]).unwrap();
+        assert_eq!(h.elements(), 105);
+        assert_eq!(h.payload_offset(), 48);
+        assert_eq!(h.payload_bytes(), 840);
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), h.payload_offset());
+        let back = GridHeader::decode(&bytes, None).unwrap();
+        assert_eq!(back, h);
+        let back2 = GridHeader::decode(&bytes, Some(48 + 840)).unwrap();
+        assert_eq!(back2.extents(), &[3, 5, 7]);
+    }
+
+    #[test]
+    fn header_rejects_structural_defects() {
+        assert_eq!(
+            GridHeader::new(&[]),
+            Err(GridFormatError::BadDimCount { dims: 0 })
+        );
+        assert_eq!(
+            GridHeader::new(&[1; 9]),
+            Err(GridFormatError::BadDimCount { dims: 9 })
+        );
+        assert_eq!(
+            GridHeader::new(&[4, 0]),
+            Err(GridFormatError::ZeroExtent { dim: 1 })
+        );
+        assert_eq!(
+            GridHeader::new(&[u64::MAX, 2]),
+            Err(GridFormatError::ExtentOverflow)
+        );
+        // Element count fits u64 but byte count does not.
+        assert_eq!(
+            GridHeader::new(&[u64::MAX / 4]),
+            Err(GridFormatError::ExtentOverflow)
+        );
+
+        let h = GridHeader::new(&[2, 2]).unwrap();
+        let bytes = h.encode();
+        assert!(matches!(
+            GridHeader::decode(&bytes[..10], None),
+            Err(GridFormatError::TruncatedHeader { .. })
+        ));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            GridHeader::decode(&bad, None),
+            Err(GridFormatError::BadMagic)
+        );
+        let mut bad = bytes.clone();
+        bad[8] = 9;
+        assert_eq!(
+            GridHeader::decode(&bad, None),
+            Err(GridFormatError::UnsupportedVersion { version: 9 })
+        );
+        let mut bad = bytes.clone();
+        bad[12] = 7;
+        assert_eq!(
+            GridHeader::decode(&bad, None),
+            Err(GridFormatError::UnsupportedDtype { dtype: 7 })
+        );
+        let expected = h.payload_offset() as u64 + h.payload_bytes();
+        assert!(matches!(
+            GridHeader::decode(&bytes, Some(expected - 8)),
+            Err(GridFormatError::TruncatedPayload { .. })
+        ));
+        assert_eq!(
+            GridHeader::decode(&bytes, Some(expected + 3)),
+            Err(GridFormatError::TrailingBytes { extra: 3 })
+        );
+    }
+
+    #[test]
+    fn pack_then_map_hands_back_the_exact_payload() {
+        let p = temp("roundtrip");
+        let vals: Vec<f64> = (0..24).map(|k| f64::from(k) * 0.5 - 3.0).collect();
+        pack_grid(&p, &[4, 6], &vals).unwrap();
+        let grid = MappedGrid::open(&p).unwrap();
+        assert_eq!(grid.header().extents(), &[4, 6]);
+        assert_eq!(grid.values(), &vals[..]);
+        assert_eq!(
+            grid.bytes_mapped(),
+            grid.header().payload_offset() as u64 + grid.header().payload_bytes()
+        );
+        let h = inspect_grid(&p).unwrap();
+        assert_eq!(h.extents(), &[4, 6]);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn pack_rejects_wrong_value_count() {
+        let p = temp("badcount");
+        assert!(matches!(
+            pack_grid(&p, &[4, 6], &[0.0; 23]),
+            Err(GridFormatError::TruncatedPayload { .. })
+        ));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn open_rejects_truncated_and_padded_files() {
+        let p = temp("cut");
+        let vals = vec![1.0; 12];
+        pack_grid(&p, &[3, 4], &vals).unwrap();
+        let full = std::fs::read(&p).unwrap();
+
+        std::fs::write(&p, &full[..full.len() - 5]).unwrap();
+        assert!(matches!(
+            MappedGrid::open(&p),
+            Err(GridFormatError::TruncatedPayload { .. })
+        ));
+
+        let mut padded = full.clone();
+        padded.push(0);
+        std::fs::write(&p, &padded).unwrap();
+        assert_eq!(
+            MappedGrid::open(&p).unwrap_err(),
+            GridFormatError::TrailingBytes { extra: 1 }
+        );
+
+        std::fs::write(&p, &full[..20]).unwrap();
+        assert!(matches!(
+            MappedGrid::open(&p),
+            Err(GridFormatError::TruncatedHeader { .. })
+        ));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn open_missing_file_is_a_typed_io_error() {
+        let p = temp("nosuch_gone");
+        let _ = std::fs::remove_file(&p);
+        assert!(matches!(
+            MappedGrid::open(&p),
+            Err(GridFormatError::Io { .. })
+        ));
+    }
+}

@@ -75,6 +75,7 @@
 mod chain;
 mod compile;
 mod error;
+mod format;
 mod input;
 mod report;
 mod rowexec;
@@ -84,13 +85,19 @@ mod stream;
 
 pub use compile::{CompiledKernel, KernelBackend};
 pub use error::EngineError;
+pub use format::{
+    inspect_grid, pack_grid, GridFormatError, GridHeader, MappedGrid, SGRID_DTYPE_F64, SGRID_MAGIC,
+    SGRID_MAX_DIMS, SGRID_VERSION,
+};
 pub use input::InputGrid;
-pub use report::{RunReport, StreamReport, TileReport};
+pub use report::{GridIoReport, RunReport, StreamReport, TileReport};
 pub use serve::{
-    finite_throughput, JobId, JobRequest, JobResult, RejectReason, Rejection, ServiceConfig,
-    ServiceFront, ServiceOutcome, ShardPolicy, Submission,
+    finite_throughput, JobId, JobInput, JobRequest, JobResult, RejectReason, Rejection,
+    ServiceConfig, ServiceFront, ServiceOutcome, ShardPolicy, Submission,
 };
 pub use session::{
     ExecMode, IterateReport, Session, SessionKernel, SessionReport, SessionRun, StageReport,
 };
-pub use stream::{FnSource, ReadSource, RowSink, RowSource, SliceSource, VecSink, WriteSink};
+pub use stream::{
+    FnSource, MmapSink, MmapSource, ReadSource, RowSink, RowSource, SliceSource, VecSink, WriteSink,
+};

@@ -254,6 +254,67 @@ impl fmt::Display for StreamReport {
     }
 }
 
+/// Grid I/O accounting for a run driven through streaming endpoints:
+/// how input values reached the engine (mapped pages vs copies pulled
+/// through [`crate::RowSource::fill_row`]) and whether the sink was
+/// finalized. The mmap fast path is *provably* zero-copy when
+/// `values_copied == 0` with `values_mapped` covering the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridIoReport {
+    /// Bytes of input file mapped into memory (header + payload);
+    /// zero for non-mapped sources.
+    pub bytes_mapped: u64,
+    /// Input values consumed as slices of the mapped payload — never
+    /// copied into the halo window.
+    pub values_mapped: u64,
+    /// Input values copied out of the source into engine-owned buffers.
+    pub values_copied: u64,
+    /// Output values pushed to the sink.
+    pub output_values: u64,
+    /// Whether [`crate::RowSink::finish`] ran to completion (flush /
+    /// msync succeeded) — `false` means tail rows may not be durable.
+    pub sink_finalized: bool,
+}
+
+impl GridIoReport {
+    /// True when the input fed the engine without a single payload
+    /// copy: everything arrived as mapped slices.
+    #[must_use]
+    pub fn zero_copy(&self) -> bool {
+        self.values_copied == 0 && self.values_mapped > 0
+    }
+
+    /// The counters in the `stencil-telemetry` wire schema.
+    #[must_use]
+    pub fn metrics(&self) -> stencil_telemetry::GridIoMetrics {
+        stencil_telemetry::GridIoMetrics {
+            bytes_mapped: self.bytes_mapped,
+            values_mapped: self.values_mapped,
+            values_copied: self.values_copied,
+            output_values: self.output_values,
+            sink_finalized: self.sink_finalized,
+        }
+    }
+}
+
+impl fmt::Display for GridIoReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "grid io: {} bytes mapped, {} values mapped / {} copied in, {} values out{}",
+            self.bytes_mapped,
+            self.values_mapped,
+            self.values_copied,
+            self.output_values,
+            if self.sink_finalized {
+                ", sink finalized"
+            } else {
+                ", SINK NOT FINALIZED"
+            }
+        )
+    }
+}
+
 /// Whole nanoseconds of `d`, saturating at `u64::MAX` (584 years).
 pub(crate) fn duration_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)

@@ -40,6 +40,7 @@ use stencil_telemetry::{MetricsReport, ServiceMetrics};
 
 use crate::compile::CompiledKernel;
 use crate::error::EngineError;
+use crate::format::MappedGrid;
 use crate::input::InputGrid;
 use crate::session::{ExecMode, Session, SessionKernel};
 
@@ -91,6 +92,59 @@ pub enum ShardPolicy {
     Auto,
 }
 
+/// A job's row-major input values: either an in-memory vector or a
+/// memory-mapped `.sgrid` payload. Both are cheaply cloneable shared
+/// handles, so shard tasks fan out without duplicating the grid.
+#[derive(Debug, Clone)]
+pub enum JobInput {
+    /// Values held in an owned, shared vector.
+    InMemory(Arc<Vec<f64>>),
+    /// Values borrowed straight from a mapped `.sgrid` file — no parse,
+    /// no copy; shards slice the mapped payload.
+    Mapped(MappedGrid),
+}
+
+impl JobInput {
+    /// The full row-major value slice.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        match self {
+            JobInput::InMemory(v) => v,
+            JobInput::Mapped(g) => g.values(),
+        }
+    }
+
+    /// Total values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values().len()
+    }
+
+    /// Whether the input holds no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values().is_empty()
+    }
+}
+
+impl From<Arc<Vec<f64>>> for JobInput {
+    fn from(v: Arc<Vec<f64>>) -> Self {
+        JobInput::InMemory(v)
+    }
+}
+
+impl From<Vec<f64>> for JobInput {
+    fn from(v: Vec<f64>) -> Self {
+        JobInput::InMemory(Arc::new(v))
+    }
+}
+
+impl From<MappedGrid> for JobInput {
+    fn from(g: MappedGrid) -> Self {
+        JobInput::Mapped(g)
+    }
+}
+
 /// One grid job offered to the front-end.
 #[derive(Debug, Clone)]
 pub struct JobRequest {
@@ -103,19 +157,19 @@ pub struct JobRequest {
     /// Sharding policy.
     pub shards: ShardPolicy,
     /// Row-major input values over the full grid.
-    pub input: Arc<Vec<f64>>,
+    pub input: JobInput,
 }
 
 impl JobRequest {
     /// A whole-grid job over the benchmark's paper problem size.
     #[must_use]
-    pub fn new(benchmark: Benchmark, mode: ExecMode, input: Arc<Vec<f64>>) -> Self {
+    pub fn new(benchmark: Benchmark, mode: ExecMode, input: impl Into<JobInput>) -> Self {
         Self {
             benchmark,
             extents: None,
             mode,
             shards: ShardPolicy::Whole,
-            input,
+            input: input.into(),
         }
     }
 }
@@ -280,7 +334,7 @@ struct ShardTask {
     job: JobId,
     shard: usize,
     cached: Arc<CachedPlan>,
-    input: Arc<Vec<f64>>,
+    input: JobInput,
     /// Element offset of the shard's input band in the job input.
     input_offset: usize,
     mode: ExecMode,
@@ -381,16 +435,18 @@ impl Inner {
     fn run_shard(&self, task: &ShardTask) -> Result<Vec<f64>, EngineError> {
         let cached = &task.cached;
         let in_idx = &cached.index;
-        let len = usize::try_from(in_idx.len())
-            .map_err(|_| EngineError::DomainTooLarge { points: in_idx.len() })?;
+        let len = usize::try_from(in_idx.len()).map_err(|_| EngineError::DomainTooLarge {
+            points: in_idx.len(),
+        })?;
         let band = task
             .input
+            .values()
             .get(task.input_offset..task.input_offset + len)
             .ok_or_else(|| EngineError::InputSizeMismatch {
                 expected: (task.input_offset as u64) + in_idx.len(),
                 got: task.input.len() as u64,
             })?;
-        let grid = InputGrid::new(&in_idx, band)?;
+        let grid = InputGrid::new(in_idx, band)?;
         let session = match &cached.kernel {
             Some(ck) => Session::new(&cached.plan).kernel(SessionKernel::Compiled(ck)),
             None => Session::build(&cached.plan, &cached.stage)?,
@@ -520,11 +576,10 @@ impl ServiceFront {
     /// across the pool at the observed per-shard service time.
     fn retry_after(&self, pending: usize) -> Duration {
         let c = lock(&self.inner.counters);
-        let avg_ns = if c.shards_executed > 0 {
-            c.shard_ns_total / c.shards_executed
-        } else {
-            1_000_000 // 1 ms floor before any observation exists
-        };
+        let avg_ns = c
+            .shard_ns_total
+            .checked_div(c.shards_executed)
+            .unwrap_or(1_000_000); // 1 ms floor before any observation
         drop(c);
         let per_worker = (pending as u64 + 1).div_ceil(self.inner.cfg.workers as u64);
         Duration::from_nanos((per_worker * avg_ns).max(1_000_000))
@@ -633,7 +688,7 @@ impl ServiceFront {
                 job: job_id,
                 shard,
                 cached: cp,
-                input: Arc::clone(&req.input),
+                input: req.input.clone(),
                 input_offset: band.input_offset,
                 mode: req.mode,
                 threads: self.inner.cfg.session_threads,
@@ -800,10 +855,17 @@ impl ShardGeometry {
                 detail: format!("invalid grid extents {extents:?}"),
             });
         }
+        // Overflow is a typed rejection, not a saturated count that
+        // fails later as a confusing length mismatch.
+        let too_large = || EngineError::JobTooLarge {
+            extents: extents.to_vec(),
+        };
         let mut input_elements = 1u64;
         for &e in extents {
-            input_elements = input_elements.saturating_mul(e as u64);
+            input_elements = input_elements.checked_mul(e as u64).ok_or_else(too_large)?;
         }
+        // The elements must also be addressable as payload bytes.
+        input_elements.checked_mul(8).ok_or_else(too_large)?;
         // Window reach along the outermost dimension.
         let min0 = bench.window().iter().map(|p| p[0]).min().unwrap_or(0);
         let max0 = bench.window().iter().map(|p| p[0]).max().unwrap_or(0);
@@ -828,9 +890,10 @@ impl ShardGeometry {
         } else {
             requested.min(usize::try_from(n_out).unwrap_or(1))
         };
-        let slab: u64 = extents[1..]
-            .iter()
-            .fold(1u64, |acc, &e| acc.saturating_mul(e as u64));
+        let mut slab = 1u64;
+        for &e in &extents[1..] {
+            slab = slab.checked_mul(e as u64).ok_or_else(too_large)?;
+        }
         let shards_u = shards as u64;
         let n_out_u = n_out as u64;
         let base = n_out_u / shards_u;
@@ -840,7 +903,11 @@ impl ShardGeometry {
         for k in 0..shards_u {
             let owned = base + u64::from(k < rem);
             let mut band_extents = extents.to_vec();
-            band_extents[0] = i64::try_from(owned).unwrap_or(i64::MAX) + r_lo + r_hi;
+            band_extents[0] = i64::try_from(owned)
+                .ok()
+                .and_then(|o| o.checked_add(r_lo))
+                .and_then(|o| o.checked_add(r_hi))
+                .ok_or_else(too_large)?;
             let input_offset =
                 usize::try_from(first_slab * slab).map_err(|_| EngineError::DomainTooLarge {
                     points: first_slab * slab,
@@ -893,8 +960,7 @@ mod tests {
         let bench = denoise();
         let extents = [24i64, 16];
         for shards in [1usize, 2, 3, 5, 22, 100] {
-            let g =
-                ShardGeometry::plan(&bench, &extents, ShardPolicy::Fixed(shards), 4).unwrap();
+            let g = ShardGeometry::plan(&bench, &extents, ShardPolicy::Fixed(shards), 4).unwrap();
             // 5-point cross: reach 1 above and below, 22 output slabs.
             let owned: i64 = g.bands.iter().map(|b| b.extents[0] - 2).sum();
             assert_eq!(owned, 22, "shards={shards}");
@@ -919,7 +985,8 @@ mod tests {
                 _ => vec![20, 12, 10],
             };
             let len: i64 = extents.iter().product();
-            let input = Arc::new(lcg_input(len as usize, 0x5EED_BA5E_D00D));
+            let len = usize::try_from(len).expect("test extents fit");
+            let input = Arc::new(lcg_input(len, 0x5EED_BA5E_D00D));
             let reference = unsharded_outputs(&bench, &extents, &input);
 
             let front = ServiceFront::new(ServiceConfig {
@@ -931,7 +998,7 @@ mod tests {
                 extents: Some(extents.clone()),
                 mode: ExecMode::InCore,
                 shards: ShardPolicy::Fixed(3),
-                input: Arc::clone(&input),
+                input: Arc::clone(&input).into(),
             };
             let Submission::Admitted(id) = front.submit(&req).unwrap() else {
                 panic!("{}: unbudgeted submit rejected", bench.name());
@@ -963,7 +1030,7 @@ mod tests {
                 chunk_rows: Some(4),
             },
             shards: ShardPolicy::Fixed(4),
-            input,
+            input: input.into(),
         };
         let Submission::Admitted(id) = front.submit(&req).unwrap() else {
             panic!("submit rejected under a roomy budget");
@@ -995,7 +1062,7 @@ mod tests {
             extents: Some(extents),
             mode: ExecMode::InCore,
             shards: ShardPolicy::Whole,
-            input,
+            input: input.into(),
         };
         for _ in 0..5 {
             let s = front.submit(&req).unwrap();
@@ -1027,7 +1094,7 @@ mod tests {
             extents: Some(extents),
             mode: ExecMode::InCore,
             shards: ShardPolicy::Whole,
-            input,
+            input: input.into(),
         };
         let s = front.submit(&req).unwrap();
         let Submission::Rejected(r) = s else {
@@ -1040,7 +1107,10 @@ mod tests {
         assert_eq!(m.jobs_submitted, 1);
         assert_eq!(m.jobs_rejected, 1);
         assert_eq!(m.jobs_admitted, 0);
-        assert_eq!(stencil_telemetry::validate_report(&outcome.report("serve")), vec![]);
+        assert_eq!(
+            stencil_telemetry::validate_report(&outcome.report("serve")),
+            vec![]
+        );
     }
 
     #[test]
@@ -1058,7 +1128,7 @@ mod tests {
             extents: Some(extents),
             mode: ExecMode::InCore,
             shards: ShardPolicy::Whole,
-            input,
+            input: input.into(),
         };
         // Flood: with a depth-2 queue and one worker, some of a burst
         // of submissions must be rejected with QueueFull.
@@ -1073,12 +1143,18 @@ mod tests {
                 Submission::Admitted(_) => {}
             }
         }
-        assert!(rejected > 0, "a depth-2 queue absorbed 32 instant submissions");
+        assert!(
+            rejected > 0,
+            "a depth-2 queue absorbed 32 instant submissions"
+        );
         let outcome = front.finish();
         let m = &outcome.metrics;
         assert_eq!(m.jobs_rejected, rejected);
         assert_eq!(m.jobs_admitted + m.jobs_rejected, m.jobs_submitted);
-        assert_eq!(stencil_telemetry::validate_report(&outcome.report("serve")), vec![]);
+        assert_eq!(
+            stencil_telemetry::validate_report(&outcome.report("serve")),
+            vec![]
+        );
     }
 
     #[test]
@@ -1102,6 +1178,19 @@ mod tests {
     }
 
     #[test]
+    fn overflowing_extents_are_a_typed_job_too_large() {
+        // Element count (and byte count) of these extents overflows
+        // u64 multiplication; the planner must reject with a typed
+        // error instead of saturating into a bogus geometry.
+        let extents = vec![i64::MAX / 2, 8, 8];
+        let e = ShardGeometry::plan(&denoise(), &extents, ShardPolicy::Whole, 1).unwrap_err();
+        match e {
+            EngineError::JobTooLarge { extents: got } => assert_eq!(got, extents),
+            other => panic!("expected JobTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn input_size_mismatch_is_a_typed_error() {
         let front = ServiceFront::new(ServiceConfig::default());
         let req = JobRequest {
@@ -1109,7 +1198,7 @@ mod tests {
             extents: Some(vec![20, 12]),
             mode: ExecMode::InCore,
             shards: ShardPolicy::Whole,
-            input: Arc::new(vec![0.0; 7]),
+            input: Arc::new(vec![0.0; 7]).into(),
         };
         let e = front.submit(&req).unwrap_err();
         assert!(matches!(e, EngineError::InputSizeMismatch { .. }));

@@ -67,7 +67,7 @@ use crate::chain::{pump_chain, StreamStage};
 use crate::compile::{CompiledKernel, KernelBackend};
 use crate::error::EngineError;
 use crate::input::InputGrid;
-use crate::report::{RunReport, StreamReport};
+use crate::report::{GridIoReport, RunReport, StreamReport};
 use crate::rowexec::{
     check_kernel_window, execute_tiled, plan_offsets, ClosureKernel, RowKernel, ScalarKernel,
     SweepKernel,
@@ -674,31 +674,52 @@ impl<'a> Session<'a> {
             ExecMode::Streaming { chunk_rows } => self.stream_into(source, sink, chunk_rows),
             ExecMode::InCore | ExecMode::Tiled { .. } => {
                 // Materialize the input, run in core, stream the result
-                // out — mode stays orthogonal to the endpoints.
+                // out — mode stays orthogonal to the endpoints. A
+                // mapped source skips materialization entirely: the
+                // mapped payload *is* the input grid's value buffer.
                 let plan = self.stages[0].plan.get();
                 let in_idx = plan
                     .input_domain()
                     .index()
                     .map_err(|e| EngineError::Plan(e.into()))?;
-                let mut vals = Vec::new();
-                for row in in_idx.rows() {
-                    let len = usize::try_from(row.len())
-                        .map_err(|_| EngineError::DomainTooLarge { points: row.len() })?;
-                    let before = vals.len();
-                    source
-                        .fill_row(len, &mut vals)
-                        .map_err(|detail| EngineError::Source { detail })?;
-                    if vals.len() - before != len {
-                        return Err(EngineError::Source {
-                            detail: format!(
-                                "source produced {} of {len} requested values",
-                                vals.len() - before
-                            ),
-                        });
+                let mapped = source.mapped();
+                let (run, mut grid_io) = if let Some(grid) = &mapped {
+                    let input = InputGrid::new(&in_idx, grid.values())?;
+                    let run = self.run_incore(&input)?;
+                    let io = GridIoReport {
+                        bytes_mapped: grid.bytes_mapped(),
+                        values_mapped: grid.values().len() as u64,
+                        values_copied: 0,
+                        output_values: 0,
+                        sink_finalized: false,
+                    };
+                    (run, io)
+                } else {
+                    let mut vals = Vec::new();
+                    for row in in_idx.rows() {
+                        let len = usize::try_from(row.len())
+                            .map_err(|_| EngineError::DomainTooLarge { points: row.len() })?;
+                        let before = vals.len();
+                        source.fill_row(len, &mut vals)?;
+                        if vals.len() - before != len {
+                            return Err(EngineError::Source {
+                                detail: format!(
+                                    "source produced {} of {len} requested values",
+                                    vals.len() - before
+                                ),
+                            });
+                        }
                     }
-                }
-                let input = InputGrid::new(&in_idx, &vals)?;
-                let run = self.run_incore(&input)?;
+                    let io = GridIoReport {
+                        bytes_mapped: 0,
+                        values_mapped: 0,
+                        values_copied: vals.len() as u64,
+                        output_values: 0,
+                        sink_finalized: false,
+                    };
+                    let input = InputGrid::new(&in_idx, &vals)?;
+                    (self.run_incore(&input)?, io)
+                };
                 let out_plan = self.last_stage()?.plan.get();
                 let out_idx = out_plan
                     .iteration_domain()
@@ -717,10 +738,14 @@ impl<'a> Session<'a> {
                             ),
                         }
                     })?;
-                    sink.push_row(slice)
-                        .map_err(|detail| EngineError::Sink { detail })?;
+                    sink.push_row(slice)?;
+                    grid_io.output_values += slice.len() as u64;
                 }
-                Ok(run.report)
+                sink.finish()?;
+                grid_io.sink_finalized = true;
+                let mut report = run.report;
+                report.grid_io = Some(grid_io);
+                Ok(report)
             }
         }
     }
@@ -791,6 +816,7 @@ impl<'a> Session<'a> {
                 elapsed: started.elapsed(),
                 tile_plans_built: self.tiles_built.get() - built_before,
                 iterate: self.fixed_iterate_report(&stage_peaks, peak, peak),
+                grid_io: None,
             },
         })
     }
@@ -847,11 +873,22 @@ impl<'a> Session<'a> {
             )?);
         }
 
-        let mut buf = Vec::new();
-        while let Some(row) = pump_chain(&mut machines, source, &mut buf)? {
-            sink.push_row(&row)
-                .map_err(|detail| EngineError::Sink { detail })?;
+        // A mapped source puts the whole payload logically resident in
+        // the first stage: bands execute as slices of the mapped pages
+        // and no value is ever copied into the halo window.
+        let mut bytes_mapped = 0u64;
+        if let Some(grid) = source.mapped() {
+            bytes_mapped = grid.bytes_mapped();
+            machines[0].attach_mapped(grid)?;
         }
+
+        let mut buf = Vec::new();
+        let mut output_values = 0u64;
+        while let Some(row) = pump_chain(&mut machines, source, &mut buf)? {
+            output_values += row.len() as u64;
+            sink.push_row(&row)?;
+        }
+        sink.finish()?;
 
         let elapsed = started.elapsed();
         let mut peak = 0u64;
@@ -871,6 +908,11 @@ impl<'a> Session<'a> {
                 stream: Some(r),
             });
         }
+        let (values_mapped, values_copied) = if machines[0].is_mapped() {
+            (machines[0].values_in(), 0)
+        } else {
+            (0, machines[0].values_in())
+        };
         Ok(SessionReport {
             label: self.label.clone(),
             mode: self.mode,
@@ -881,6 +923,13 @@ impl<'a> Session<'a> {
             elapsed,
             tile_plans_built: self.tiles_built.get() - built_before,
             iterate: self.fixed_iterate_report(&stage_peaks, peak, bound),
+            grid_io: Some(GridIoReport {
+                bytes_mapped,
+                values_mapped,
+                values_copied,
+                output_values,
+                sink_finalized: true,
+            }),
         })
     }
 
@@ -1043,6 +1092,7 @@ impl<'a> Session<'a> {
                     planned_peak: peak,
                     observed_peak: peak,
                 }),
+                grid_io: None,
             },
         })
     }
@@ -1149,6 +1199,9 @@ pub struct SessionReport {
     /// Time-stepping statistics, present only for [`Session::iterate`]
     /// and [`Session::iterate_until`] runs.
     pub iterate: Option<IterateReport>,
+    /// Grid I/O accounting (bytes mapped vs values copied), present for
+    /// runs driven through [`Session::run_streaming`]'s endpoints.
+    pub grid_io: Option<crate::report::GridIoReport>,
 }
 
 /// Time-stepping statistics of a [`Session::iterate`] or
@@ -1247,6 +1300,10 @@ impl SessionReport {
                     planned_peak: it.planned_peak,
                     observed_peak: it.observed_peak,
                 }),
+            grid_io: self
+                .grid_io
+                .as_ref()
+                .map(crate::report::GridIoReport::metrics),
         }
     }
 }
@@ -1799,8 +1856,10 @@ mod tests {
     fn failing_sink_is_an_error_not_a_panic() {
         struct FullSink;
         impl crate::stream::RowSink for FullSink {
-            fn push_row(&mut self, _row: &[f64]) -> Result<(), String> {
-                Err("disk full".into())
+            fn push_row(&mut self, _row: &[f64]) -> Result<(), EngineError> {
+                Err(EngineError::Sink {
+                    detail: "disk full".into(),
+                })
             }
         }
         let plan = plan_5pt(12, 12);

@@ -19,11 +19,22 @@
 //!   executor as the in-core path and push their output rows to a
 //!   [`RowSink`] before the next band's rows are pulled — the sink and
 //!   source are therefore never more than one band apart (bounded
-//!   backpressure).
+//!   backpressure);
+//! * a source backed by an `.sgrid` file ([`MmapSource`]) can skip the
+//!   pull/copy cycle entirely: it advertises the whole payload as a
+//!   [`MappedGrid`] and the stage machine executes bands as slices of
+//!   the mapped pages — zero parse, zero copy.
 //!
 //! Residency is telemetry-tracked with a [`stencil_telemetry::HighWater`]
 //! gauge; the report's `peak_resident` and its planned `resident_bound`
 //! feed the validator rule `peak_resident <= resident_bound`.
+
+use std::path::Path;
+
+use memmap2::MmapMut;
+
+use crate::error::EngineError;
+use crate::format::{GridFormatError, GridHeader, MappedGrid};
 
 /// Supplies input values in lexicographic stream order.
 ///
@@ -37,10 +48,21 @@ pub trait RowSource {
     ///
     /// # Errors
     ///
-    /// A message describing why the row could not be produced
-    /// (exhausted stream, I/O failure, ...) — surfaced to the caller as
-    /// [`crate::EngineError::Source`].
-    fn fill_row(&mut self, len: usize, buf: &mut Vec<f64>) -> Result<(), String>;
+    /// A typed [`EngineError`] describing why the row could not be
+    /// produced (exhausted stream, truncated input, I/O failure, ...).
+    fn fill_row(&mut self, len: usize, buf: &mut Vec<f64>) -> Result<(), EngineError>;
+
+    /// The whole input as one contiguous mapped payload, when this
+    /// source is backed by memory-mapped storage. The streaming stage
+    /// machine uses this to execute bands as slices of the mapping
+    /// instead of pulling row copies through [`fill_row`].
+    ///
+    /// The default (`None`) keeps plain sources on the copying path.
+    ///
+    /// [`fill_row`]: RowSource::fill_row
+    fn mapped(&self) -> Option<MappedGrid> {
+        None
+    }
 }
 
 /// Receives finished output rows in lexicographic stream order.
@@ -49,9 +71,41 @@ pub trait RowSink {
     ///
     /// # Errors
     ///
-    /// A message describing why the row was rejected — surfaced as
-    /// [`crate::EngineError::Sink`].
-    fn push_row(&mut self, row: &[f64]) -> Result<(), String>;
+    /// A typed [`EngineError`] describing why the row was rejected.
+    fn push_row(&mut self, row: &[f64]) -> Result<(), EngineError>;
+
+    /// Finalizes the sink after the last row: flush buffered bytes,
+    /// sync mapped pages, verify completeness. The streaming endpoints
+    /// call this exactly once at end-of-run; the default is a no-op for
+    /// sinks with nothing buffered.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`EngineError`] when finalization fails — a failed flush
+    /// here means tail rows were lost, so it must not be ignored.
+    fn finish(&mut self) -> Result<(), EngineError> {
+        Ok(())
+    }
+}
+
+impl<S: RowSource + ?Sized> RowSource for Box<S> {
+    fn fill_row(&mut self, len: usize, buf: &mut Vec<f64>) -> Result<(), EngineError> {
+        (**self).fill_row(len, buf)
+    }
+
+    fn mapped(&self) -> Option<MappedGrid> {
+        (**self).mapped()
+    }
+}
+
+impl<S: RowSink + ?Sized> RowSink for Box<S> {
+    fn push_row(&mut self, row: &[f64]) -> Result<(), EngineError> {
+        (**self).push_row(row)
+    }
+
+    fn finish(&mut self) -> Result<(), EngineError> {
+        (**self).finish()
+    }
 }
 
 /// A [`RowSource`] over an in-memory slice in rank order — the
@@ -71,14 +125,16 @@ impl<'a> SliceSource<'a> {
 }
 
 impl RowSource for SliceSource<'_> {
-    fn fill_row(&mut self, len: usize, buf: &mut Vec<f64>) -> Result<(), String> {
+    fn fill_row(&mut self, len: usize, buf: &mut Vec<f64>) -> Result<(), EngineError> {
         let end = self.pos.checked_add(len).filter(|&e| e <= self.vals.len());
         let Some(end) = end else {
-            return Err(format!(
-                "slice exhausted: {len} values requested at position {} of {}",
-                self.pos,
-                self.vals.len()
-            ));
+            return Err(EngineError::Source {
+                detail: format!(
+                    "slice exhausted: {len} values requested at position {} of {}",
+                    self.pos,
+                    self.vals.len()
+                ),
+            });
         };
         buf.extend_from_slice(&self.vals[self.pos..end]);
         self.pos = end;
@@ -109,7 +165,7 @@ impl<F> std::fmt::Debug for FnSource<F> {
 }
 
 impl<F: FnMut(u64) -> f64> RowSource for FnSource<F> {
-    fn fill_row(&mut self, len: usize, buf: &mut Vec<f64>) -> Result<(), String> {
+    fn fill_row(&mut self, len: usize, buf: &mut Vec<f64>) -> Result<(), EngineError> {
         buf.reserve(len);
         for _ in 0..len {
             buf.push((self.gen)(self.next_rank));
@@ -121,27 +177,58 @@ impl<F: FnMut(u64) -> f64> RowSource for FnSource<F> {
 
 /// A file-backed [`RowSource`]: reads consecutive little-endian `f64`
 /// values from any [`std::io::Read`].
+///
+/// Each pull issues (at most a handful of) bulk reads for the whole
+/// row's bytes and decodes in place — one syscall per row against a raw
+/// [`std::fs::File`], not one per value. A stream that ends mid-row
+/// surfaces as [`EngineError::TruncatedInput`] with the partial-value
+/// byte count, so a torn file is distinguishable from a short one.
 #[derive(Debug)]
 pub struct ReadSource<R> {
     reader: R,
+    scratch: Vec<u8>,
 }
 
 impl<R: std::io::Read> ReadSource<R> {
     /// Streams little-endian `f64` values from `reader`.
     pub fn new(reader: R) -> Self {
-        Self { reader }
+        Self {
+            reader,
+            scratch: Vec::new(),
+        }
     }
 }
 
 impl<R: std::io::Read> RowSource for ReadSource<R> {
-    fn fill_row(&mut self, len: usize, buf: &mut Vec<f64>) -> Result<(), String> {
-        let mut bytes = [0u8; 8];
+    fn fill_row(&mut self, len: usize, buf: &mut Vec<f64>) -> Result<(), EngineError> {
+        let need = len
+            .checked_mul(8)
+            .ok_or(EngineError::DomainTooLarge { points: len as u64 })?;
+        self.scratch.clear();
+        self.scratch.resize(need, 0);
+        let mut got = 0;
+        while got < need {
+            match self.reader.read(&mut self.scratch[got..]) {
+                Ok(0) => break,
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    return Err(EngineError::Source {
+                        detail: format!("read failed at byte {got} of {need}: {e}"),
+                    })
+                }
+            }
+        }
+        if got < need {
+            return Err(EngineError::TruncatedInput {
+                values_expected: len,
+                values_got: got / 8,
+                trailing_bytes: got % 8,
+            });
+        }
         buf.reserve(len);
-        for k in 0..len {
-            self.reader
-                .read_exact(&mut bytes)
-                .map_err(|e| format!("read failed at value {k} of {len}: {e}"))?;
-            buf.push(f64::from_le_bytes(bytes));
+        for chunk in self.scratch.chunks_exact(8) {
+            buf.push(f64::from_le_bytes(chunk.try_into().expect("8 bytes")));
         }
         Ok(())
     }
@@ -164,7 +251,7 @@ impl VecSink {
 }
 
 impl RowSink for VecSink {
-    fn push_row(&mut self, row: &[f64]) -> Result<(), String> {
+    fn push_row(&mut self, row: &[f64]) -> Result<(), EngineError> {
         self.values.extend_from_slice(row);
         Ok(())
     }
@@ -172,37 +259,212 @@ impl RowSink for VecSink {
 
 /// A file-backed [`RowSink`]: writes consecutive little-endian `f64`
 /// values to any [`std::io::Write`].
+///
+/// Each row is encoded into a reusable byte buffer and written with one
+/// `write_all`; [`finish`](RowSink::finish) flushes the writer, so tail
+/// rows buffered by a [`std::io::BufWriter`] reach the file without the
+/// caller having to remember [`into_inner`](WriteSink::into_inner).
 #[derive(Debug)]
 pub struct WriteSink<W> {
     writer: W,
+    scratch: Vec<u8>,
 }
 
 impl<W: std::io::Write> WriteSink<W> {
     /// Streams little-endian `f64` values to `writer`.
     pub fn new(writer: W) -> Self {
-        Self { writer }
+        Self {
+            writer,
+            scratch: Vec::new(),
+        }
     }
 
-    /// Unwraps the writer (e.g. to flush or inspect it).
+    /// Unwraps the writer (e.g. to inspect it). Prefer letting the
+    /// streaming run call [`RowSink::finish`] for flushing.
     pub fn into_inner(self) -> W {
         self.writer
     }
 }
 
 impl<W: std::io::Write> RowSink for WriteSink<W> {
-    fn push_row(&mut self, row: &[f64]) -> Result<(), String> {
+    fn push_row(&mut self, row: &[f64]) -> Result<(), EngineError> {
+        self.scratch.clear();
+        self.scratch.reserve(row.len() * 8);
         for v in row {
-            self.writer
-                .write_all(&v.to_le_bytes())
-                .map_err(|e| format!("write failed: {e}"))?;
+            self.scratch.extend_from_slice(&v.to_le_bytes());
         }
+        self.writer
+            .write_all(&self.scratch)
+            .map_err(|e| EngineError::Sink {
+                detail: format!("write failed: {e}"),
+            })
+    }
+
+    fn finish(&mut self) -> Result<(), EngineError> {
+        self.writer.flush().map_err(|e| EngineError::Sink {
+            detail: format!("flush failed: {e}"),
+        })
+    }
+}
+
+/// A [`RowSource`] over a memory-mapped `.sgrid` file.
+///
+/// `fill_row` copies out of the mapping (the fallback for non-streaming
+/// consumers), but the streaming stage machine asks
+/// [`mapped`](RowSource::mapped) first and, finding the whole payload
+/// resident, executes bands directly over the mapped pages — the
+/// zero-copy fast path the format exists for.
+#[derive(Debug, Clone)]
+pub struct MmapSource {
+    grid: MappedGrid,
+    pos: usize,
+}
+
+impl MmapSource {
+    /// Opens and maps `path`, validating the `.sgrid` header.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::GridFormat`] for a missing or malformed file.
+    pub fn open(path: &Path) -> Result<MmapSource, EngineError> {
+        Ok(Self::from_grid(MappedGrid::open(path)?))
+    }
+
+    /// Wraps an already-opened mapping.
+    #[must_use]
+    pub fn from_grid(grid: MappedGrid) -> MmapSource {
+        MmapSource { grid, pos: 0 }
+    }
+
+    /// The underlying mapping.
+    #[must_use]
+    pub fn grid(&self) -> &MappedGrid {
+        &self.grid
+    }
+}
+
+impl RowSource for MmapSource {
+    fn fill_row(&mut self, len: usize, buf: &mut Vec<f64>) -> Result<(), EngineError> {
+        let vals = self.grid.values();
+        let end = self.pos.checked_add(len).filter(|&e| e <= vals.len());
+        let Some(end) = end else {
+            return Err(EngineError::TruncatedInput {
+                values_expected: len,
+                values_got: vals.len().saturating_sub(self.pos),
+                trailing_bytes: 0,
+            });
+        };
+        buf.extend_from_slice(&vals[self.pos..end]);
+        self.pos = end;
         Ok(())
+    }
+
+    fn mapped(&self) -> Option<MappedGrid> {
+        Some(self.grid.clone())
+    }
+}
+
+/// A [`RowSink`] writing an `.sgrid` file through a shared writable
+/// mapping: the file is sized up front from the output extents, the
+/// header written once, and each pushed row stored directly into the
+/// mapped payload. [`finish`](RowSink::finish) verifies every declared
+/// value arrived and syncs the pages to disk.
+#[derive(Debug)]
+pub struct MmapSink {
+    map: MmapMut,
+    header: GridHeader,
+    /// Values written so far (= payload write cursor / 8).
+    cursor: u64,
+}
+
+impl MmapSink {
+    /// Creates (truncating) `path` as an `.sgrid` file of the given
+    /// extents, sized for the full payload and ready to receive rows.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::GridFormat`] for invalid extents, a payload too
+    /// large to map on this target, or filesystem failures.
+    pub fn create(path: &Path, extents: &[u64]) -> Result<MmapSink, EngineError> {
+        let header = GridHeader::new(extents).map_err(EngineError::GridFormat)?;
+        let file_len = header.payload_offset() as u64 + header.payload_bytes();
+        usize::try_from(file_len)
+            .map_err(|_| EngineError::GridFormat(GridFormatError::ExtentOverflow))?;
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| EngineError::GridFormat(e.into()))?;
+        file.set_len(file_len)
+            .map_err(|e| EngineError::GridFormat(e.into()))?;
+        let mut map = MmapMut::map_mut(&file).map_err(|e| EngineError::GridFormat(e.into()))?;
+        let encoded = header.encode();
+        map[..encoded.len()].copy_from_slice(&encoded);
+        Ok(MmapSink {
+            map,
+            header,
+            cursor: 0,
+        })
+    }
+
+    /// The declared output header.
+    #[must_use]
+    pub fn header(&self) -> &GridHeader {
+        &self.header
+    }
+}
+
+impl RowSink for MmapSink {
+    fn push_row(&mut self, row: &[f64]) -> Result<(), EngineError> {
+        let end = self
+            .cursor
+            .checked_add(row.len() as u64)
+            .filter(|&e| e <= self.header.elements());
+        let Some(end) = end else {
+            return Err(EngineError::Sink {
+                detail: format!(
+                    "row of {} values overflows the declared {}-element grid at value {}",
+                    row.len(),
+                    self.header.elements(),
+                    self.cursor
+                ),
+            });
+        };
+        let offset = self.header.payload_offset()
+            + usize::try_from(self.cursor * 8).expect("file length fits usize (checked at create)");
+        let bytes = &mut self.map[offset..offset + row.len() * 8];
+        for (slot, v) in bytes.chunks_exact_mut(8).zip(row) {
+            slot.copy_from_slice(&v.to_le_bytes());
+        }
+        self.cursor = end;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), EngineError> {
+        if self.cursor != self.header.elements() {
+            return Err(EngineError::Sink {
+                detail: format!(
+                    "finalized with {} of {} declared values written",
+                    self.cursor,
+                    self.header.elements()
+                ),
+            });
+        }
+        self.map.flush().map_err(|e| EngineError::Sink {
+            detail: format!("msync failed: {e}"),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("stream_{name}_{}.sgrid", std::process::id()))
+    }
 
     #[test]
     fn slice_source_reports_exhaustion() {
@@ -212,7 +474,7 @@ mod tests {
         s.fill_row(2, &mut buf).unwrap();
         assert_eq!(buf, vals);
         let e = s.fill_row(1, &mut buf).unwrap_err();
-        assert!(e.contains("slice exhausted"), "{e}");
+        assert!(e.to_string().contains("slice exhausted"), "{e}");
     }
 
     #[test]
@@ -225,6 +487,77 @@ mod tests {
         assert_eq!(buf, vals);
         let mut sink = WriteSink::new(Vec::<u8>::new());
         sink.push_row(&vals).unwrap();
+        sink.finish().unwrap();
         assert_eq!(sink.into_inner(), bytes);
+    }
+
+    #[test]
+    fn read_source_types_truncation_with_partial_value_bytes() {
+        let vals = [1.0f64, 2.0, 3.0];
+        let mut bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        bytes.truncate(21); // 2 whole values + 5 bytes of the third
+        let mut source = ReadSource::new(&bytes[..]);
+        let mut buf = Vec::new();
+        let err = source.fill_row(3, &mut buf).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::TruncatedInput {
+                values_expected: 3,
+                values_got: 2,
+                trailing_bytes: 5,
+            }
+        );
+        assert!(buf.is_empty(), "no values delivered from a torn row");
+    }
+
+    #[test]
+    fn write_sink_finish_flushes_a_bufwriter() {
+        let p = temp("flush");
+        {
+            let file = std::fs::File::create(&p).unwrap();
+            let mut sink = WriteSink::new(std::io::BufWriter::new(file));
+            sink.push_row(&[42.0, -1.0]).unwrap();
+            sink.finish().unwrap();
+            // Read while the BufWriter is still alive: finish() must
+            // already have flushed, not rely on Drop.
+            let on_disk = std::fs::read(&p).unwrap();
+            assert_eq!(on_disk.len(), 16);
+            assert_eq!(&on_disk[..8], &42.0f64.to_le_bytes());
+        }
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn mmap_source_reads_and_advertises_the_mapping() {
+        let p = temp("mmsrc");
+        let vals: Vec<f64> = (0..12).map(f64::from).collect();
+        crate::format::pack_grid(&p, &[3, 4], &vals).unwrap();
+        let mut src = MmapSource::open(&p).unwrap();
+        assert_eq!(src.grid().header().extents(), &[3, 4]);
+        assert_eq!(src.mapped().unwrap().values(), &vals[..]);
+        let mut buf = Vec::new();
+        src.fill_row(4, &mut buf).unwrap();
+        src.fill_row(8, &mut buf).unwrap();
+        assert_eq!(buf, vals);
+        let err = src.fill_row(1, &mut buf).unwrap_err();
+        assert!(matches!(err, EngineError::TruncatedInput { .. }));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn mmap_sink_round_trips_and_rejects_incomplete_finish() {
+        let p = temp("mmsink");
+        let mut sink = MmapSink::create(&p, &[2, 3]).unwrap();
+        sink.push_row(&[1.0, 2.0, 3.0]).unwrap();
+        let err = sink.finish().unwrap_err();
+        assert!(err.to_string().contains("3 of 6"), "{err}");
+        sink.push_row(&[4.0, 5.0, 6.0]).unwrap();
+        sink.finish().unwrap();
+        let overflow = sink.push_row(&[7.0]).unwrap_err();
+        assert!(overflow.to_string().contains("overflows"), "{overflow}");
+        drop(sink);
+        let grid = MappedGrid::open(&p).unwrap();
+        assert_eq!(grid.values(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let _ = std::fs::remove_file(&p);
     }
 }

@@ -33,8 +33,8 @@ pub mod validate;
 
 pub use metric::{Counter, HighWater, Histogram};
 pub use schema::{
-    ChainMetrics, EngineMetrics, FifoMetrics, FilterMetrics, IterateMetrics, MachineMetrics,
-    MetricsReport, ServiceMetrics, SessionMetrics, StageMetrics, StreamMetrics, TileMetrics,
-    SCHEMA_VERSION,
+    ChainMetrics, EngineMetrics, FifoMetrics, FilterMetrics, GridIoMetrics, IterateMetrics,
+    MachineMetrics, MetricsReport, ServiceMetrics, SessionMetrics, StageMetrics, StreamMetrics,
+    TileMetrics, SCHEMA_VERSION,
 };
 pub use validate::{validate_machine, validate_report, BoundCheck, BoundViolation};

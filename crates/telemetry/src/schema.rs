@@ -547,6 +547,57 @@ impl FromValue for IterateMetrics {
     }
 }
 
+/// Grid I/O accounting for a session driven through streaming
+/// endpoints: how input values reached the engine (slices of a mapped
+/// `.sgrid` payload vs copies pulled through a row source) and whether
+/// the sink was finalized (flushed/synced).
+///
+/// The defining claim of the mmap fast path is `values_copied == 0`
+/// with `values_mapped` covering the input. Consistency is checked by
+/// [`crate::validate::BoundCheck::GridIoConsistent`]: a run that mapped
+/// zero bytes cannot claim mapped values, mapped values cannot exceed
+/// the mapped bytes, and the sink must have been finalized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridIoMetrics {
+    /// Bytes of input file mapped into memory (header + payload); zero
+    /// for non-mapped sources.
+    pub bytes_mapped: u64,
+    /// Input values consumed as slices of the mapped payload — never
+    /// copied into engine buffers.
+    pub values_mapped: u64,
+    /// Input values copied out of the source into engine-owned buffers.
+    pub values_copied: u64,
+    /// Output values pushed to the sink.
+    pub output_values: u64,
+    /// Whether the sink's end-of-run finalization (flush / msync) ran
+    /// to completion.
+    pub sink_finalized: bool,
+}
+
+impl ToValue for GridIoMetrics {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("bytes_mapped", self.bytes_mapped.to_value()),
+            ("values_mapped", self.values_mapped.to_value()),
+            ("values_copied", self.values_copied.to_value()),
+            ("output_values", self.output_values.to_value()),
+            ("sink_finalized", self.sink_finalized.to_value()),
+        ])
+    }
+}
+
+impl FromValue for GridIoMetrics {
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            bytes_mapped: field(v, "bytes_mapped")?,
+            values_mapped: field(v, "values_mapped")?,
+            values_copied: field(v, "values_copied")?,
+            output_values: field(v, "output_values")?,
+            sink_finalized: field(v, "sink_finalized")?,
+        })
+    }
+}
+
 /// Counters of one unified session run — a temporally chained pipeline
 /// of one or more kernel stages executed through `stencil_engine`'s
 /// `Session` layer.
@@ -581,6 +632,9 @@ pub struct SessionMetrics {
     /// Iterative time-stepping counters, when the session ran via
     /// `iterate`/`iterate_until`.
     pub iterate: Option<IterateMetrics>,
+    /// Grid I/O accounting, when the session ran through streaming
+    /// endpoints (absent in older reports and pure in-core runs).
+    pub grid_io: Option<GridIoMetrics>,
 }
 
 impl ToValue for SessionMetrics {
@@ -598,6 +652,13 @@ impl ToValue for SessionMetrics {
             (
                 "iterate",
                 self.iterate
+                    .as_ref()
+                    .map(ToValue::to_value)
+                    .unwrap_or(Value::Null),
+            ),
+            (
+                "grid_io",
+                self.grid_io
                     .as_ref()
                     .map(ToValue::to_value)
                     .unwrap_or(Value::Null),
@@ -624,6 +685,11 @@ impl FromValue for SessionMetrics {
             },
             stages: field(v, "stages")?,
             iterate: match v.get("iterate") {
+                None => None,
+                Some(s) => FromValue::from_value(s)?,
+            },
+            // Absent in pre-grid-io reports.
+            grid_io: match v.get("grid_io") {
                 None => None,
                 Some(s) => FromValue::from_value(s)?,
             },
@@ -990,6 +1056,7 @@ mod tests {
                     planned_peak: 138,
                     observed_peak: 138,
                 }),
+                grid_io: None,
                 stages: vec![
                     StageMetrics {
                         label: "denoise".into(),
@@ -1148,6 +1215,7 @@ mod tests {
             tile_plans_built: 3,
             stages: Vec::new(),
             iterate: None,
+            grid_io: None,
         });
         fn strip(v: Value) -> Value {
             match v {

@@ -38,6 +38,9 @@
 //!   step budget, its per-step telemetry is internally consistent, the
 //!   observed peak stayed within the planned T×halo budget, and a
 //!   converged run's final max-abs delta actually fell to epsilon.
+//! * [`BoundCheck::GridIoConsistent`] — a session's grid-I/O block is
+//!   internally consistent: mapped values imply mapped bytes and fit
+//!   within them, and the output sink was finalized (flushed).
 //! * [`BoundCheck::Finite`] — the serialized report contains no NaN or
 //!   infinity (JSON cannot represent them).
 
@@ -75,6 +78,11 @@ pub enum BoundCheck {
     /// observed peak stayed within the planned T×halo budget, and a
     /// converged run's final delta fell to epsilon.
     IterateResidency,
+    /// Grid I/O accounting is internally consistent: a run that mapped
+    /// zero bytes claims no mapped values, mapped values fit within the
+    /// mapped bytes (8 bytes per f64), and the sink was finalized
+    /// (flushed/synced) — unfinalized sinks may have lost tail rows.
+    GridIoConsistent,
     /// Serving front-end: the aggregate resident high-water across
     /// concurrently executing shards stays within the sum of admitted
     /// `planned_residency_bound`s (which itself stays within the
@@ -102,6 +110,7 @@ impl core::fmt::Display for BoundCheck {
             Self::ResidencyBound => "residency-bound (Sec. 2.3)",
             Self::ChainResidency => "chain-residency (Sec. 2.3)",
             Self::IterateResidency => "iterate-residency (Sec. 2.3)",
+            Self::GridIoConsistent => "grid-io-consistent",
             Self::ServiceResidency => "service-residency",
             Self::BackendConsistent => "backend-consistent",
             Self::Finite => "finite",
@@ -449,9 +458,7 @@ fn validate_service(s: &crate::schema::ServiceMetrics, v: &mut Vec<BoundViolatio
             ),
         );
     }
-    if s.jobs_admitted > s.jobs_submitted
-        || s.jobs_admitted + s.jobs_rejected != s.jobs_submitted
-    {
+    if s.jobs_admitted > s.jobs_submitted || s.jobs_admitted + s.jobs_rejected != s.jobs_submitted {
         violation(
             v,
             BoundCheck::ServiceResidency,
@@ -554,6 +561,48 @@ fn validate_session(s: &crate::schema::SessionMetrics, v: &mut Vec<BoundViolatio
     }
     if let Some(it) = &s.iterate {
         validate_iterate(it, s, v);
+    }
+    if let Some(io) = &s.grid_io {
+        validate_grid_io(io, v);
+    }
+}
+
+/// Checks a grid-I/O block's internal consistency: mapped values imply
+/// mapped bytes, the mapped values fit within the mapped byte span, and
+/// the sink was finalized — the three invariants that make the
+/// zero-copy claim (`values_copied == 0`) trustworthy.
+fn validate_grid_io(io: &crate::schema::GridIoMetrics, v: &mut Vec<BoundViolation>) {
+    let loc = "session.grid_io";
+    if io.bytes_mapped == 0 && io.values_mapped > 0 {
+        violation(
+            v,
+            BoundCheck::GridIoConsistent,
+            loc,
+            format!(
+                "{} values claimed mapped with zero bytes mapped",
+                io.values_mapped
+            ),
+        );
+    }
+    match io.values_mapped.checked_mul(8) {
+        Some(bytes) if bytes <= io.bytes_mapped || io.values_mapped == 0 => {}
+        _ => violation(
+            v,
+            BoundCheck::GridIoConsistent,
+            loc,
+            format!(
+                "{} mapped values need more than the {} mapped bytes",
+                io.values_mapped, io.bytes_mapped
+            ),
+        ),
+    }
+    if !io.sink_finalized {
+        violation(
+            v,
+            BoundCheck::GridIoConsistent,
+            loc,
+            "sink was not finalized; tail rows may not be durable".to_string(),
+        );
     }
 }
 
@@ -922,6 +971,7 @@ mod tests {
             tile_plans_built: 0,
             stages: vec![stage("s1", 396, 480, 72, 72), stage("s2", 320, 396, 66, 66)],
             iterate: None,
+            grid_io: None,
         });
         assert_eq!(validate_report(&report), Vec::new());
 
@@ -1034,6 +1084,7 @@ mod tests {
                 planned_peak: 138,
                 observed_peak: 138,
             }),
+            grid_io: None,
         });
         assert_eq!(validate_report(&report), Vec::new());
         fn it(r: &mut MetricsReport) -> &mut IterateMetrics {
@@ -1102,6 +1153,7 @@ mod tests {
             throughput: 1.0,
             tile_plans_built: 0,
             iterate: None,
+            grid_io: None,
             stages: vec![StageMetrics {
                 label: "s1".into(),
                 engine: Some(EngineMetrics {

@@ -94,7 +94,7 @@ fn concurrent_serving_matches_sequential_sessions_bit_for_bit() {
                         extents: Some(extents.clone()),
                         mode: ExecMode::InCore,
                         shards: ShardPolicy::Auto,
-                        input,
+                        input: input.into(),
                     };
                     // The queue is deep enough for the whole batch, so
                     // every submission must be admitted.
@@ -161,9 +161,11 @@ fn repeat_jobs_keep_the_plan_cache_in_steady_state() {
     let req = JobRequest {
         benchmark: bench,
         extents: Some(extents),
-        mode: ExecMode::Streaming { chunk_rows: Some(6) },
+        mode: ExecMode::Streaming {
+            chunk_rows: Some(6),
+        },
         shards: ShardPolicy::Fixed(2),
-        input,
+        input: input.into(),
     };
     for _ in 0..8 {
         assert!(matches!(
@@ -219,7 +221,7 @@ proptest! {
             extents: Some(extents),
             mode,
             shards: ShardPolicy::Fixed(shards),
-            input,
+            input: input.into(),
         };
         let sub = front.submit(&req).expect("typed submit");
         prop_assert!(matches!(sub, Submission::Admitted(_)));

@@ -1,0 +1,437 @@
+//! Minimal offline stand-in for the `memmap2` crate: shared read-only
+//! and read-write file mappings, plus aligned `f64` views so downstream
+//! crates can stay `#![forbid(unsafe_code)]`.
+//!
+//! The container this workspace builds in has no network route to a
+//! crates registry (see `vendor/README.md`), so the subset of the
+//! `memmap2` API the workspace needs is provided in-tree:
+//!
+//! * [`Mmap::map`] / [`MmapMut::map_mut`] — `MAP_SHARED` mappings of a
+//!   whole [`File`] on unix, with a buffered read/write-back fallback on
+//!   other platforms;
+//! * [`Mmap::as_f64s`] / [`MmapMut::as_f64s_mut`] — safe aligned
+//!   `&[f64]` reinterpretation of a little-endian payload, the one
+//!   operation that would otherwise force `unsafe` into every consumer.
+//!
+//! Unlike upstream `memmap2`, the constructors here are *safe
+//! functions*: the workspace only maps files it owns for the duration
+//! of the mapping. The usual mmap caveat still applies — truncating a
+//! file while it is mapped can fault the process — so callers must not
+//! shrink a mapped file.
+
+use std::fs::File;
+use std::io;
+use std::ops::{Deref, DerefMut};
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::os::raw::c_int;
+
+    pub const PROT_READ: c_int = 1;
+    pub const PROT_WRITE: c_int = 2;
+    pub const MAP_SHARED: c_int = 1;
+    pub const MS_SYNC: c_int = 4;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn msync(addr: *mut c_void, len: usize, flags: c_int) -> c_int;
+    }
+}
+
+#[cfg(unix)]
+fn map_fd(file: &File, len: usize, writable: bool) -> io::Result<*mut u8> {
+    use std::os::unix::io::AsRawFd;
+    let prot = if writable {
+        sys::PROT_READ | sys::PROT_WRITE
+    } else {
+        sys::PROT_READ
+    };
+    // SAFETY: len > 0 (checked by callers), the fd is a live open file,
+    // and offset 0 is page-aligned. MAP_SHARED with a valid fd either
+    // succeeds or returns MAP_FAILED (-1).
+    let ptr = unsafe {
+        sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            prot,
+            sys::MAP_SHARED,
+            file.as_raw_fd(),
+            0,
+        )
+    };
+    if ptr as isize == -1 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ptr.cast::<u8>())
+    }
+}
+
+/// Reinterprets an 8-byte-aligned, 8-byte-multiple slice as `&[f64]`.
+/// Returns `None` on misalignment, ragged length, or big-endian
+/// targets (where the little-endian payload bytes are not host floats).
+fn bytes_as_f64s(bytes: &[u8]) -> Option<&[f64]> {
+    if cfg!(target_endian = "big") || !bytes.len().is_multiple_of(8) {
+        return None;
+    }
+    // SAFETY: align_to checks alignment itself; f64 has no invalid bit
+    // patterns, so any 8 bytes are a valid f64 value.
+    let (head, body, tail) = unsafe { bytes.align_to::<f64>() };
+    if head.is_empty() && tail.is_empty() {
+        Some(body)
+    } else {
+        None
+    }
+}
+
+/// Mutable variant of [`bytes_as_f64s`].
+fn bytes_as_f64s_mut(bytes: &mut [u8]) -> Option<&mut [f64]> {
+    if cfg!(target_endian = "big") || !bytes.len().is_multiple_of(8) {
+        return None;
+    }
+    // SAFETY: as in `bytes_as_f64s`; the mutable borrow is exclusive.
+    let (head, body, tail) = unsafe { bytes.align_to_mut::<f64>() };
+    if head.is_empty() && tail.is_empty() {
+        Some(body)
+    } else {
+        None
+    }
+}
+
+/// A read-only shared mapping of an entire file.
+pub struct Mmap {
+    #[cfg(unix)]
+    ptr: *mut u8,
+    #[cfg(unix)]
+    len: usize,
+    #[cfg(not(unix))]
+    buf: Vec<u8>,
+}
+
+// SAFETY: the mapping is an owned region of plain bytes; nothing in it
+// is thread-affine, and the struct never aliases the pointer mutably.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps the whole of `file` read-only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metadata and `mmap(2)` failures.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let meta_len = file.metadata()?.len();
+        let len = usize::try_from(meta_len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, "file exceeds address space")
+        })?;
+        #[cfg(unix)]
+        {
+            if len == 0 {
+                // mmap(2) rejects zero-length maps; model one as empty.
+                return Ok(Mmap {
+                    ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                    len: 0,
+                });
+            }
+            let ptr = map_fd(file, len, false)?;
+            Ok(Mmap { ptr, len })
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Read;
+            let mut buf = Vec::with_capacity(len);
+            let mut f = file.try_clone()?;
+            f.read_to_end(&mut buf)?;
+            Ok(Mmap { buf })
+        }
+    }
+
+    /// A little-endian `f64` view of the bytes from `offset` to the end
+    /// of the map. `None` when the tail is misaligned, not a multiple
+    /// of 8 bytes, out of range, or the target is big-endian.
+    #[must_use]
+    pub fn as_f64s(&self, offset: usize) -> Option<&[f64]> {
+        bytes_as_f64s(self.get(offset..)?)
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        #[cfg(unix)]
+        {
+            if self.len == 0 {
+                return &[];
+            }
+            // SAFETY: ptr/len describe the live mapping created in
+            // `map`, unmapped only in Drop.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+        #[cfg(not(unix))]
+        {
+            &self.buf
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: exactly the region mmap returned; errors on
+            // teardown are unreportable and ignored, as in upstream.
+            unsafe {
+                let _ = sys::munmap(self.ptr.cast(), self.len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.deref().len())
+            .finish()
+    }
+}
+
+/// A writable shared mapping of an entire file.
+pub struct MmapMut {
+    #[cfg(unix)]
+    ptr: *mut u8,
+    #[cfg(unix)]
+    len: usize,
+    #[cfg(not(unix))]
+    buf: Vec<u8>,
+    #[cfg(not(unix))]
+    file: File,
+}
+
+// SAFETY: as for `Mmap`; `&mut` access is serialized by the borrow
+// checker, and concurrent `&self` reads of plain bytes are benign.
+#[cfg(unix)]
+unsafe impl Send for MmapMut {}
+#[cfg(unix)]
+unsafe impl Sync for MmapMut {}
+
+impl MmapMut {
+    /// Maps the whole of `file` (opened read-write) as a shared
+    /// writable mapping: stores into the slice land in the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metadata and `mmap(2)` failures.
+    pub fn map_mut(file: &File) -> io::Result<MmapMut> {
+        let meta_len = file.metadata()?.len();
+        let len = usize::try_from(meta_len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, "file exceeds address space")
+        })?;
+        #[cfg(unix)]
+        {
+            if len == 0 {
+                return Ok(MmapMut {
+                    ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                    len: 0,
+                });
+            }
+            let ptr = map_fd(file, len, true)?;
+            Ok(MmapMut { ptr, len })
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Read;
+            let mut buf = Vec::with_capacity(len);
+            let mut f = file.try_clone()?;
+            f.read_to_end(&mut buf)?;
+            Ok(MmapMut {
+                buf,
+                file: file.try_clone()?,
+            })
+        }
+    }
+
+    /// Synchronously writes dirty pages back to the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `msync(2)` (or write-back) failures.
+    pub fn flush(&self) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            if self.len == 0 {
+                return Ok(());
+            }
+            // SAFETY: the live mapping created in `map_mut`.
+            let rc = unsafe { sys::msync(self.ptr.cast(), self.len, sys::MS_SYNC) };
+            if rc == 0 {
+                Ok(())
+            } else {
+                Err(io::Error::last_os_error())
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = self.file.try_clone()?;
+            f.seek(SeekFrom::Start(0))?;
+            f.write_all(&self.buf)?;
+            f.flush()
+        }
+    }
+
+    /// A little-endian `f64` view of the bytes from `offset` to the end
+    /// of the map; see [`Mmap::as_f64s`].
+    #[must_use]
+    pub fn as_f64s(&self, offset: usize) -> Option<&[f64]> {
+        bytes_as_f64s(self.get(offset..)?)
+    }
+
+    /// Mutable variant of [`MmapMut::as_f64s`].
+    #[must_use]
+    pub fn as_f64s_mut(&mut self, offset: usize) -> Option<&mut [f64]> {
+        bytes_as_f64s_mut(self.get_mut(offset..)?)
+    }
+}
+
+impl Deref for MmapMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        #[cfg(unix)]
+        {
+            if self.len == 0 {
+                return &[];
+            }
+            // SAFETY: as for `Mmap::deref`.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+        #[cfg(not(unix))]
+        {
+            &self.buf
+        }
+    }
+}
+
+impl DerefMut for MmapMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        #[cfg(unix)]
+        {
+            if self.len == 0 {
+                return &mut [];
+            }
+            // SAFETY: exclusive access through `&mut self`.
+            unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+        }
+        #[cfg(not(unix))]
+        {
+            &mut self.buf
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for MmapMut {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: as for `Mmap::drop`.
+            unsafe {
+                let _ = sys::munmap(self.ptr.cast(), self.len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MmapMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapMut")
+            .field("len", &self.deref().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("memmap2_vendor_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn read_only_map_sees_file_bytes() {
+        let p = temp("ro");
+        std::fs::File::create(&p)
+            .unwrap()
+            .write_all(b"hello mapped world")
+            .unwrap();
+        let map = Mmap::map(&std::fs::File::open(&p).unwrap()).unwrap();
+        assert_eq!(&map[..], b"hello mapped world");
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn empty_file_maps_as_empty_slice() {
+        let p = temp("empty");
+        std::fs::File::create(&p).unwrap();
+        let map = Mmap::map(&std::fs::File::open(&p).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.as_f64s(0), Some(&[][..]));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn writable_map_round_trips_f64s_through_the_file() {
+        let p = temp("rw");
+        let vals = [1.5f64, -2.25, f64::INFINITY, 0.0];
+        {
+            let file = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&p)
+                .unwrap();
+            file.set_len(32).unwrap();
+            let mut map = MmapMut::map_mut(&file).unwrap();
+            map.as_f64s_mut(0).unwrap().copy_from_slice(&vals);
+            map.flush().unwrap();
+        }
+        let bytes = std::fs::read(&p).unwrap();
+        let expect: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        assert_eq!(bytes, expect);
+        let map = Mmap::map(&std::fs::File::open(&p).unwrap()).unwrap();
+        assert_eq!(map.as_f64s(0).unwrap(), &vals);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn misaligned_or_ragged_views_are_refused() {
+        let p = temp("ragged");
+        std::fs::File::create(&p)
+            .unwrap()
+            .write_all(&[0u8; 20])
+            .unwrap();
+        let map = Mmap::map(&std::fs::File::open(&p).unwrap()).unwrap();
+        // 20 - 0 and 20 - 4 are not multiples of 8; 20 - 4 is also
+        // misaligned relative to the page-aligned base.
+        assert!(map.as_f64s(0).is_none());
+        assert!(map.as_f64s(4).is_none());
+        assert_eq!(map.as_f64s(4 + 16), Some(&[][..]));
+        assert!(map.as_f64s(99).is_none());
+        let _ = std::fs::remove_file(&p);
+    }
+}
