@@ -9,7 +9,9 @@
 //! finite. Exits nonzero on any violation, so a regression in either
 //! substrate fails the pipeline.
 //!
-//! Usage: `bench2_telemetry [OUT.json]` (default: `BENCH_2.json`).
+//! Usage: `bench2_telemetry [--out OUT.json]` (default: `BENCH_2.json`
+//! at the workspace root; a leading positional `.json` path is still
+//! accepted as OUT).
 
 use std::process::ExitCode;
 
@@ -21,9 +23,13 @@ use stencil_sim::Machine;
 use stencil_telemetry::{validate_report, MetricsReport};
 
 fn main() -> ExitCode {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_2.json".into());
+    let out_path = match stencil_bench::bench_args("BENCH_2.json") {
+        Ok((out, _)) => out,
+        Err(e) => {
+            eprintln!("bench2_telemetry: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     match build_report() {
         Ok(report) => {
             let violations = validate_report(&report);

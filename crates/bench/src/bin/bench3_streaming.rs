@@ -8,7 +8,9 @@
 //! streaming residency bound `peak_resident <= resident_bound`), and
 //! exits nonzero on any violation so a regression fails the pipeline.
 //!
-//! Usage: `bench3_streaming [OUT.json]` (default: `BENCH_3.json`).
+//! Usage: `bench3_streaming [--out OUT.json]` (default: `BENCH_3.json`
+//! at the workspace root; a leading positional `.json` path is still
+//! accepted as OUT).
 
 use std::process::ExitCode;
 
@@ -19,9 +21,13 @@ use stencil_kernels::denoise;
 use stencil_telemetry::{validate_report, MetricsReport};
 
 fn main() -> ExitCode {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_3.json".into());
+    let out_path = match stencil_bench::bench_args("BENCH_3.json") {
+        Ok((out, _)) => out,
+        Err(e) => {
+            eprintln!("bench3_streaming: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     match build_report() {
         Ok(report) => {
             let violations = validate_report(&report);

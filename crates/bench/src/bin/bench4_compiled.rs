@@ -2,24 +2,33 @@
 //! full-size DENOISE (768x1024), the report the CI bench-smoke job
 //! publishes and gates on.
 //!
-//! Runs the same plan four ways — in-core and streaming, each through
-//! the original closure datapath and through the compiled row-sweep
-//! backend (`KernelExpr` lowered to stack bytecode, evaluated over
-//! lane chunks) — best of three runs each. All four output buffers
-//! must agree bit-for-bit, every telemetry report must pass the
-//! runtime bound validator, and the compiled backend must not be
-//! slower than the closure it replaces; any of those failing exits
-//! nonzero so a regression fails the pipeline.
+//! Runs the same plan through the original closure datapath and the
+//! compiled row-sweep backend, in-core and streaming, best of three
+//! runs each — then sweeps the compiled in-core configuration over
+//! unroll factors U in {1, 2, 4, 8} on both the f64 and the f32
+//! datapath. All f64 output buffers must agree bit-for-bit, the f32
+//! runs must stay inside the benchmark's declared relative tolerance
+//! (`Benchmark::f32_rtol`), every telemetry report must pass the
+//! runtime bound validator, and two throughput gates hold: the
+//! compiled backend must not be slower than the closure it replaces,
+//! and (on DENOISE, the CI geometry) the unrolled sweep at
+//! `DEFAULT_UNROLL` must clear 1.15x the U=1 compiled in-core rate.
+//! Correctness failures exit nonzero immediately; a missed throughput
+//! gate earns fresh measurements (keeping the per-configuration
+//! maximum) before it fails the pipeline, because a descheduled
+//! best-of-N on a shared box is noise, not a regression.
 //!
-//! Usage: `bench4_compiled [OUT.json [BENCHMARK]]` (defaults:
-//! `BENCH_4.json`, `DENOISE`; any paper-suite or extra benchmark name
-//! is accepted, e.g. `SOBEL`).
+//! Usage: `bench4_compiled [--out OUT.json] [BENCHMARK]` (defaults:
+//! `BENCH_4.json` at the workspace root, `DENOISE`; a leading
+//! positional `.json` path is still accepted as OUT; any paper-suite
+//! or extra benchmark name is accepted, e.g. `SOBEL`).
 
 use std::process::ExitCode;
 
 use stencil_core::MemorySystemPlan;
 use stencil_engine::{
-    CompiledKernel, ExecMode, InputGrid, Session, SessionKernel, SliceSource, VecSink,
+    max_rel_error, CompiledKernel, Datapath, ExecMode, InputGrid, Session, SessionKernel,
+    SliceSource, VecSink, DEFAULT_UNROLL,
 };
 use stencil_kernels::{extra_suite, paper_suite, Benchmark};
 use stencil_telemetry::{validate_report, MetricsReport};
@@ -27,55 +36,169 @@ use stencil_telemetry::{validate_report, MetricsReport};
 /// Measurement repetitions per configuration; the best run is kept.
 const RUNS: usize = 3;
 
-/// The four measured throughputs (elements per second).
+/// Unroll factors swept on the compiled in-core configuration.
+const UNROLL_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Required in-core speedup of the `DEFAULT_UNROLL` f64 sweep over the
+/// U=1 compiled run on DENOISE, the CI gate geometry.
+const UNROLL_GATE: f64 = 1.15;
+
+/// The measured throughputs (elements per second).
 struct Measurements {
     name: String,
     extents: Vec<i64>,
     incore_closure: f64,
-    incore_compiled: f64,
+    /// Per-factor compiled in-core rates, f64 datapath, [`UNROLL_SWEEP`] order.
+    sweep_f64: [f64; UNROLL_SWEEP.len()],
+    /// Per-factor compiled in-core rates, f32 datapath, [`UNROLL_SWEEP`] order.
+    sweep_f32: [f64; UNROLL_SWEEP.len()],
     streaming_closure: f64,
     streaming_compiled: f64,
+    streaming_unrolled: f64,
+    streaming_f32: f64,
+    f32_max_rel_error: f64,
+    f32_rtol: f64,
     outputs: u64,
     violations: usize,
 }
 
+/// Index of [`DEFAULT_UNROLL`] within [`UNROLL_SWEEP`].
+fn default_unroll_slot() -> usize {
+    UNROLL_SWEEP
+        .iter()
+        .position(|&u| u == DEFAULT_UNROLL)
+        .expect("DEFAULT_UNROLL is one of the swept factors")
+}
+
 impl Measurements {
+    /// Compiled U=1 in-core rate — the baseline both speedup gates divide by.
+    fn incore_compiled(&self) -> f64 {
+        self.sweep_f64[0]
+    }
+
+    fn incore_unrolled(&self) -> f64 {
+        self.sweep_f64[default_unroll_slot()]
+    }
+
+    fn incore_f32(&self) -> f64 {
+        self.sweep_f32[default_unroll_slot()]
+    }
+
     fn incore_speedup(&self) -> f64 {
-        self.incore_compiled / self.incore_closure
+        self.incore_compiled() / self.incore_closure
+    }
+
+    fn unrolled_speedup(&self) -> f64 {
+        self.incore_unrolled() / self.incore_compiled()
+    }
+
+    fn f32_speedup(&self) -> f64 {
+        self.incore_f32() / self.incore_compiled()
     }
 
     fn streaming_speedup(&self) -> f64 {
         self.streaming_compiled / self.streaming_closure
     }
 
+    /// Folds a fresh measurement in, keeping the maximum per
+    /// configuration and accumulating validator violations.
+    fn keep_max(&mut self, fresh: &Measurements) {
+        self.incore_closure = self.incore_closure.max(fresh.incore_closure);
+        for k in 0..UNROLL_SWEEP.len() {
+            self.sweep_f64[k] = self.sweep_f64[k].max(fresh.sweep_f64[k]);
+            self.sweep_f32[k] = self.sweep_f32[k].max(fresh.sweep_f32[k]);
+        }
+        self.streaming_closure = self.streaming_closure.max(fresh.streaming_closure);
+        self.streaming_compiled = self.streaming_compiled.max(fresh.streaming_compiled);
+        self.streaming_unrolled = self.streaming_unrolled.max(fresh.streaming_unrolled);
+        self.streaming_f32 = self.streaming_f32.max(fresh.streaming_f32);
+        self.f32_max_rel_error = self.f32_max_rel_error.max(fresh.f32_max_rel_error);
+        self.violations += fresh.violations;
+    }
+
     /// The flat JSON document written to `BENCH_4.json`.
     fn to_json(&self) -> String {
+        let mut sweep = String::new();
+        for (k, &u) in UNROLL_SWEEP.iter().enumerate() {
+            sweep.push_str(&format!(
+                "  \"incore_u{u}_f64_elem_per_s\": {:.1},\n  \
+                 \"incore_u{u}_f32_elem_per_s\": {:.1},\n",
+                self.sweep_f64[k], self.sweep_f32[k],
+            ));
+        }
         format!(
             "{{\n  \"benchmark\": \"{}\",\n  \"extents\": {:?},\n  \
-             \"outputs\": {},\n  \"incore_closure_elem_per_s\": {:.1},\n  \
+             \"outputs\": {},\n  \"unroll\": {},\n  \
+             \"incore_closure_elem_per_s\": {:.1},\n  \
              \"incore_compiled_elem_per_s\": {:.1},\n  \"incore_speedup\": {:.4},\n  \
+             \"incore_unrolled_elem_per_s\": {:.1},\n  \"unrolled_speedup\": {:.4},\n  \
+             \"incore_f32_elem_per_s\": {:.1},\n  \"f32_speedup\": {:.4},\n\
+             {sweep}  \
              \"streaming_closure_elem_per_s\": {:.1},\n  \
              \"streaming_compiled_elem_per_s\": {:.1},\n  \"streaming_speedup\": {:.4},\n  \
+             \"streaming_unrolled_elem_per_s\": {:.1},\n  \
+             \"streaming_f32_elem_per_s\": {:.1},\n  \
+             \"f32_max_rel_error\": {:.3e},\n  \"f32_rtol\": {:.1e},\n  \
              \"violations\": {}\n}}\n",
             self.name,
             self.extents,
             self.outputs,
+            DEFAULT_UNROLL,
             self.incore_closure,
-            self.incore_compiled,
+            self.incore_compiled(),
             self.incore_speedup(),
+            self.incore_unrolled(),
+            self.unrolled_speedup(),
+            self.incore_f32(),
+            self.f32_speedup(),
             self.streaming_closure,
             self.streaming_compiled,
             self.streaming_speedup(),
+            self.streaming_unrolled,
+            self.streaming_f32,
+            self.f32_max_rel_error,
+            self.f32_rtol,
             self.violations,
         )
     }
 }
 
+/// Whether a throughput gate missed (retry-worthy; correctness and
+/// validator failures are handled separately and never retried). With
+/// `report`, prints the verdict of each gate.
+fn gate_fails(m: &Measurements, report: bool) -> bool {
+    let mut failed = false;
+    if m.incore_speedup() < 1.0 {
+        if report {
+            eprintln!(
+                "compiled backend is SLOWER than the closure in-core: {:.2}x",
+                m.incore_speedup()
+            );
+        }
+        failed = true;
+    }
+    if m.name == "DENOISE" && m.unrolled_speedup() < UNROLL_GATE {
+        if report {
+            eprintln!(
+                "unrolled sweep (U={DEFAULT_UNROLL}) holds only {:.2}x of the U=1 compiled \
+                 in-core rate, below the {UNROLL_GATE}x gate",
+                m.unrolled_speedup()
+            );
+        }
+        failed = true;
+    }
+    failed
+}
+
 fn main() -> ExitCode {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".into());
-    let name = std::env::args().nth(2).unwrap_or_else(|| "DENOISE".into());
+    let (out_path, rest) = match stencil_bench::bench_args("BENCH_4.json") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench4_compiled: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let name = rest.first().cloned().unwrap_or_else(|| "DENOISE".into());
     let Some(bench) = paper_suite()
         .into_iter()
         .chain(extra_suite())
@@ -84,47 +207,78 @@ fn main() -> ExitCode {
         eprintln!("bench4_compiled: unknown benchmark `{name}`");
         return ExitCode::FAILURE;
     };
-    match measure(&bench) {
-        Ok(m) => {
-            if let Err(e) = std::fs::write(&out_path, m.to_json()) {
-                eprintln!("bench4_compiled: cannot write {out_path}: {e}");
-                return ExitCode::FAILURE;
-            }
-            println!(
-                "wrote {out_path}: {} {} outputs; in-core {:.1} -> {:.1} Melem/s ({:.2}x), \
-                 streaming {:.1} -> {:.1} Melem/s ({:.2}x)",
-                m.name,
-                m.outputs,
-                m.incore_closure / 1e6,
-                m.incore_compiled / 1e6,
-                m.incore_speedup(),
-                m.streaming_closure / 1e6,
-                m.streaming_compiled / 1e6,
-                m.streaming_speedup(),
-            );
-            if m.violations > 0 {
-                eprintln!("runtime bound checks: {} FAILED", m.violations);
-                return ExitCode::FAILURE;
-            }
-            if m.incore_speedup() < 1.0 {
-                eprintln!(
-                    "compiled backend is SLOWER than the closure in-core: {:.2}x",
-                    m.incore_speedup()
-                );
-                return ExitCode::FAILURE;
-            }
-            println!("runtime bound checks: all passed");
-            ExitCode::SUCCESS
-        }
+    let mut m = match measure(&bench) {
+        Ok(m) => m,
         Err(e) => {
             eprintln!("bench4_compiled: {e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
+        }
+    };
+    // A shared box can deschedule one whole process for long enough to
+    // halve its best-of-N numbers, so a failed throughput gate earns a
+    // fresh measurement (keeping the per-configuration maximum) before
+    // it fails the pipeline; correctness checks never get a retry.
+    for attempt in 0..2 {
+        if m.violations > 0 || !gate_fails(&m, false) {
+            break;
+        }
+        eprintln!(
+            "throughput gate missed; re-measuring (attempt {})",
+            attempt + 2
+        );
+        match measure(&bench) {
+            Ok(fresh) => m.keep_max(&fresh),
+            Err(e) => {
+                eprintln!("bench4_compiled: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
+    if let Err(e) = std::fs::write(&out_path, m.to_json()) {
+        eprintln!("bench4_compiled: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {out_path}: {} {} outputs; in-core {:.1} -> {:.1} Melem/s ({:.2}x), \
+         unrolled U={} {:.1} Melem/s ({:.2}x), f32 {:.1} Melem/s ({:.2}x, \
+         max rel err {:.2e} <= {:.0e}); streaming {:.1} -> {:.1} Melem/s ({:.2}x)",
+        m.name,
+        m.outputs,
+        m.incore_closure / 1e6,
+        m.incore_compiled() / 1e6,
+        m.incore_speedup(),
+        DEFAULT_UNROLL,
+        m.incore_unrolled() / 1e6,
+        m.unrolled_speedup(),
+        m.incore_f32() / 1e6,
+        m.f32_speedup(),
+        m.f32_max_rel_error,
+        m.f32_rtol,
+        m.streaming_closure / 1e6,
+        m.streaming_compiled / 1e6,
+        m.streaming_speedup(),
+    );
+    for (k, &u) in UNROLL_SWEEP.iter().enumerate() {
+        println!(
+            "  U={u}: f64 {:.1} Melem/s, f32 {:.1} Melem/s",
+            m.sweep_f64[k] / 1e6,
+            m.sweep_f32[k] / 1e6
+        );
+    }
+    if m.violations > 0 {
+        eprintln!("runtime bound checks: {} FAILED", m.violations);
+        return ExitCode::FAILURE;
+    }
+    if gate_fails(&m, true) {
+        return ExitCode::FAILURE;
+    }
+    println!("runtime bound checks: all passed");
+    ExitCode::SUCCESS
 }
 
-/// Plans the benchmark at its full paper extents and measures all four
-/// configurations, cross-checking every output buffer bit-for-bit and
+/// Plans the benchmark at its full paper extents and measures every
+/// configuration, cross-checking every f64 output buffer bit-for-bit,
+/// holding the f32 runs to the benchmark's declared tolerance, and
 /// validating each run's telemetry.
 fn measure(bench: &Benchmark) -> Result<Measurements, Box<dyn std::error::Error>> {
     let extents: Vec<i64> = bench.extents().to_vec();
@@ -179,24 +333,64 @@ fn measure(bench: &Benchmark) -> Result<Measurements, Box<dyn std::error::Error>
     let reference = reference.expect("at least one run");
     let outputs = reference.len() as u64;
 
-    // In-core, compiled row sweep.
-    let mut incore_compiled = 0.0f64;
-    for _ in 0..RUNS {
-        let run = Session::new(&plan)
-            .kernel(SessionKernel::Compiled(&kernel))
-            .run(&input)?;
-        let engine = run.report.stages[0]
-            .engine
-            .clone()
-            .ok_or("session produced no in-core stage report")?;
-        incore_compiled = incore_compiled.max(engine.throughput());
-        let mut report = MetricsReport::new(spec.name());
-        report.engine = Some(engine.metrics());
-        validate(&report);
-        if run.outputs != reference {
-            return Err("compiled in-core outputs diverge from the closure run".into());
+    // In-core, compiled row sweep: unroll factors on both datapaths.
+    // The f64 runs must reproduce the closure bits exactly at every
+    // factor; the f32 runs must stay inside the declared tolerance.
+    let mut sweep_f64 = [0.0f64; UNROLL_SWEEP.len()];
+    let mut sweep_f32 = [0.0f64; UNROLL_SWEEP.len()];
+    let mut f32_max_rel_error = 0.0f64;
+    let mut f32_reference: Option<Vec<f64>> = None;
+    for (k, &u) in UNROLL_SWEEP.iter().enumerate() {
+        for _ in 0..RUNS {
+            let run = Session::new(&plan)
+                .kernel(SessionKernel::Compiled(&kernel))
+                .unroll(u)
+                .run(&input)?;
+            let engine = run.report.stages[0]
+                .engine
+                .clone()
+                .ok_or("session produced no in-core stage report")?;
+            sweep_f64[k] = sweep_f64[k].max(engine.throughput());
+            let mut report = MetricsReport::new(spec.name());
+            report.engine = Some(engine.metrics());
+            validate(&report);
+            if run.outputs != reference {
+                return Err(format!(
+                    "compiled in-core outputs (U={u}) diverge from the closure run"
+                )
+                .into());
+            }
+        }
+        for _ in 0..RUNS {
+            let run = Session::new(&plan)
+                .kernel(SessionKernel::Compiled(&kernel))
+                .unroll(u)
+                .datapath(Datapath::F32)
+                .run(&input)?;
+            let engine = run.report.stages[0]
+                .engine
+                .clone()
+                .ok_or("session produced no in-core stage report")?;
+            sweep_f32[k] = sweep_f32[k].max(engine.throughput());
+            let mut report = MetricsReport::new(spec.name());
+            report.engine = Some(engine.metrics());
+            validate(&report);
+            let err = max_rel_error(&run.outputs, &reference);
+            if err > bench.f32_rtol() {
+                return Err(format!(
+                    "f32 in-core outputs (U={u}) drift {err:.3e} from the f64 reference, \
+                     over the declared tolerance {:.1e}",
+                    bench.f32_rtol()
+                )
+                .into());
+            }
+            f32_max_rel_error = f32_max_rel_error.max(err);
+            if u == DEFAULT_UNROLL {
+                f32_reference = Some(run.outputs);
+            }
         }
     }
+    let f32_reference = f32_reference.expect("DEFAULT_UNROLL is swept");
 
     // Streaming, closure datapath.
     let mut streaming_closure = 0.0f64;
@@ -221,26 +415,45 @@ fn measure(bench: &Benchmark) -> Result<Measurements, Box<dyn std::error::Error>
         }
     }
 
-    // Streaming, compiled row sweep.
+    // Streaming, compiled row sweep: U=1 f64, unrolled f64, and f32.
     let mut streaming_compiled = 0.0f64;
-    for _ in 0..RUNS {
-        let mut source = SliceSource::new(&in_vals);
-        let mut sink = VecSink::new();
-        let session = Session::new(&plan)
-            .kernel(SessionKernel::Compiled(&kernel))
-            .mode(stream_mode)
-            .threads(4)
-            .run_streaming(&mut source, &mut sink)?;
-        let streamed = session.stages[0]
-            .stream
-            .clone()
-            .ok_or("session produced no streaming stage report")?;
-        streaming_compiled = streaming_compiled.max(streamed.throughput());
-        let mut report = MetricsReport::new(spec.name());
-        report.stream = Some(streamed.metrics());
-        validate(&report);
-        if sink.values != reference {
-            return Err("compiled streaming outputs diverge from the in-core run".into());
+    let mut streaming_unrolled = 0.0f64;
+    let mut streaming_f32 = 0.0f64;
+    for (slot, unroll, datapath) in [
+        (&mut streaming_compiled, 1, Datapath::F64),
+        (&mut streaming_unrolled, DEFAULT_UNROLL, Datapath::F64),
+        (&mut streaming_f32, DEFAULT_UNROLL, Datapath::F32),
+    ] {
+        for _ in 0..RUNS {
+            let mut source = SliceSource::new(&in_vals);
+            let mut sink = VecSink::new();
+            let session = Session::new(&plan)
+                .kernel(SessionKernel::Compiled(&kernel))
+                .mode(stream_mode)
+                .threads(4)
+                .unroll(unroll)
+                .datapath(datapath)
+                .run_streaming(&mut source, &mut sink)?;
+            let streamed = session.stages[0]
+                .stream
+                .clone()
+                .ok_or("session produced no streaming stage report")?;
+            *slot = slot.max(streamed.throughput());
+            let mut report = MetricsReport::new(spec.name());
+            report.stream = Some(streamed.metrics());
+            validate(&report);
+            let expected = if datapath == Datapath::F32 {
+                &f32_reference
+            } else {
+                &reference
+            };
+            if &sink.values != expected {
+                return Err(format!(
+                    "compiled streaming outputs (U={unroll}, {datapath}) diverge from \
+                     the in-core run"
+                )
+                .into());
+            }
         }
     }
 
@@ -248,9 +461,14 @@ fn measure(bench: &Benchmark) -> Result<Measurements, Box<dyn std::error::Error>
         name: bench.name().to_string(),
         extents,
         incore_closure,
-        incore_compiled,
+        sweep_f64,
+        sweep_f32,
         streaming_closure,
         streaming_compiled,
+        streaming_unrolled,
+        streaming_f32,
+        f32_max_rel_error,
+        f32_rtol: bench.f32_rtol(),
         outputs,
         violations,
     })

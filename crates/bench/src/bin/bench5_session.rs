@@ -20,8 +20,10 @@
 //! nonzero on any regression, residency-bound breach, output
 //! divergence, or telemetry bound violation, so CI fails loudly.
 //!
-//! Usage: `bench5_session [OUT.json [BENCHMARK [BASELINE.json]]]`
-//! (defaults: `BENCH_5.json`, `DENOISE`, `BENCH_4.json`).
+//! Usage: `bench5_session [--out OUT.json] [BENCHMARK [BASELINE.json]]`
+//! (defaults: `BENCH_5.json` at the workspace root, `DENOISE`,
+//! workspace-root `BENCH_4.json`; a leading positional `.json` path is
+//! still accepted as OUT).
 
 use std::process::ExitCode;
 
@@ -106,13 +108,18 @@ fn json_number(doc: &str, key: &str) -> Option<f64> {
 }
 
 fn main() -> ExitCode {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_5.json".into());
-    let name = std::env::args().nth(2).unwrap_or_else(|| "DENOISE".into());
-    let baseline_path = std::env::args()
-        .nth(3)
-        .unwrap_or_else(|| "BENCH_4.json".into());
+    let (out_path, rest) = match stencil_bench::bench_args("BENCH_5.json") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench5_session: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let name = rest.first().cloned().unwrap_or_else(|| "DENOISE".into());
+    let baseline_path = rest
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| stencil_bench::workspace_path("BENCH_4.json"));
     let Some(bench) = paper_suite()
         .into_iter()
         .chain(extra_suite())

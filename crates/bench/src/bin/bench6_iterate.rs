@@ -23,8 +23,10 @@
 //! divergence, missed convergence, or telemetry bound violation, so CI
 //! fails loudly.
 //!
-//! Usage: `bench6_iterate [OUT.json [BENCHMARK [BASELINE.json]]]`
-//! (defaults: `BENCH_6.json`, `DENOISE`, `BENCH_5.json`).
+//! Usage: `bench6_iterate [--out OUT.json] [BENCHMARK [BASELINE.json]]`
+//! (defaults: `BENCH_6.json` at the workspace root, `DENOISE`,
+//! workspace-root `BENCH_5.json`; a leading positional `.json` path is
+//! still accepted as OUT).
 
 use std::process::ExitCode;
 
@@ -119,13 +121,18 @@ fn json_number(doc: &str, key: &str) -> Option<f64> {
 }
 
 fn main() -> ExitCode {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_6.json".into());
-    let name = std::env::args().nth(2).unwrap_or_else(|| "DENOISE".into());
-    let baseline_path = std::env::args()
-        .nth(3)
-        .unwrap_or_else(|| "BENCH_5.json".into());
+    let (out_path, rest) = match stencil_bench::bench_args("BENCH_6.json") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench6_iterate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let name = rest.first().cloned().unwrap_or_else(|| "DENOISE".into());
+    let baseline_path = rest
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| stencil_bench::workspace_path("BENCH_5.json"));
     let Some(bench) = paper_suite()
         .into_iter()
         .chain(extra_suite())

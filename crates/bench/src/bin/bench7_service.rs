@@ -26,8 +26,10 @@
 //!   (every session is seeded from the shared cache) and at most one
 //!   miss per distinct shard geometry — repeat jobs never rebuild.
 //!
-//! Usage: `bench7_service [OUT.json [BENCHMARK [BASELINE.json]]]`
-//! (defaults: `BENCH_7.json`, `DENOISE`, `BENCH_5.json`). When the
+//! Usage: `bench7_service [--out OUT.json] [BENCHMARK [BASELINE.json]]`
+//! (defaults: `BENCH_7.json` at the workspace root, `DENOISE`,
+//! workspace-root `BENCH_5.json`; a leading positional `.json` path is
+//! still accepted as OUT). When the
 //! `BENCH_5.json` baseline exists its single-session in-core rate is
 //! reported alongside for cross-process comparison, but the gate uses
 //! the in-process baseline.
@@ -335,13 +337,18 @@ fn structural_failures(m: &Measurements) -> Vec<String> {
 }
 
 fn main() -> ExitCode {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_7.json".into());
-    let name = std::env::args().nth(2).unwrap_or_else(|| "DENOISE".into());
-    let baseline_path = std::env::args()
-        .nth(3)
-        .unwrap_or_else(|| "BENCH_5.json".into());
+    let (out_path, rest) = match stencil_bench::bench_args("BENCH_7.json") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench7_service: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let name = rest.first().cloned().unwrap_or_else(|| "DENOISE".into());
+    let baseline_path = rest
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| stencil_bench::workspace_path("BENCH_5.json"));
     let Some(bench) = paper_suite()
         .into_iter()
         .chain(extra_suite())

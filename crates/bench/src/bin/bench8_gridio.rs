@@ -16,7 +16,9 @@
 //! 3. **Validator** — every runtime bound check on the combined
 //!    report must pass.
 //!
-//! Usage: `bench8_gridio [OUT.json]` (default: `BENCH_8.json`).
+//! Usage: `bench8_gridio [--out OUT.json]` (default: `BENCH_8.json`
+//! at the workspace root; a leading positional `.json` path is still
+//! accepted as OUT).
 
 use std::io::{Read, Seek, SeekFrom};
 use std::process::ExitCode;
@@ -40,9 +42,13 @@ const SCAN_CHUNK: usize = 4096;
 const SCAN_ITERS: usize = 3;
 
 fn main() -> ExitCode {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_8.json".into());
+    let out_path = match stencil_bench::bench_args("BENCH_8.json") {
+        Ok((out, _)) => out,
+        Err(e) => {
+            eprintln!("bench8_gridio: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     match run_bench(&out_path) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -9,10 +9,68 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+use std::path::PathBuf;
+
 use parking_lot::Mutex;
 use stencil_core::{MemorySystemPlan, StencilSpec};
 use stencil_kernels::Benchmark;
 use stencil_sim::{Machine, RunStats, SimError};
+
+/// Absolute path of `name` under the workspace root (the directory
+/// holding the top-level `Cargo.toml`), independent of the current
+/// working directory. The bench binaries resolve their default
+/// `BENCH_N.json` reports and baselines through this, so the reports
+/// land in one canonical place whether a binary is launched from the
+/// root, a crate directory, or a CI checkout step.
+#[must_use]
+pub fn workspace_path(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/bench -> crates
+    p.pop(); // crates -> workspace root
+    p.push(name);
+    p.display().to_string()
+}
+
+/// Parses a bench binary's command line: `--out PATH` selects the
+/// report file (default: `default_out` at the workspace root via
+/// [`workspace_path`]), and a leading positional ending in `.json` is
+/// still accepted as the report path for backward compatibility with
+/// the original `benchN OUT.json [...]` form. Every other argument is
+/// returned in order for the binary's own positionals.
+///
+/// # Errors
+///
+/// Returns a usage message when `--out` is missing its path.
+pub fn parse_bench_args<I>(default_out: &str, args: I) -> Result<(String, Vec<String>), String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut out: Option<String> = None;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            out = Some(
+                it.next()
+                    .ok_or_else(|| "--out needs a file path".to_owned())?,
+            );
+        } else if out.is_none() && rest.is_empty() && arg.ends_with(".json") {
+            out = Some(arg);
+        } else {
+            rest.push(arg);
+        }
+    }
+    Ok((out.unwrap_or_else(|| workspace_path(default_out)), rest))
+}
+
+/// [`parse_bench_args`] applied to the process arguments.
+///
+/// # Errors
+///
+/// Returns a usage message when `--out` is missing its path.
+pub fn bench_args(default_out: &str) -> Result<(String, Vec<String>), String> {
+    parse_bench_args(default_out, std::env::args().skip(1))
+}
 
 /// Shrinks a benchmark's grid until it has at most `max_cells` data
 /// points, preserving the aspect ratio (roughly) and dimensionality.
@@ -102,6 +160,47 @@ pub fn simulate_suite_parallel(
 mod tests {
     use super::*;
     use stencil_kernels::{paper_suite, segmentation_3d};
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn bench_args_default_lands_at_the_workspace_root() {
+        let (out, rest) = parse_bench_args("BENCH_9.json", strs(&["DENOISE"])).unwrap();
+        assert_eq!(out, workspace_path("BENCH_9.json"));
+        assert!(out.ends_with("BENCH_9.json"));
+        assert!(PathBuf::from(&out)
+            .parent()
+            .unwrap()
+            .join("Cargo.toml")
+            .exists());
+        assert_eq!(rest, strs(&["DENOISE"]));
+    }
+
+    #[test]
+    fn bench_args_accepts_out_flag_and_positional_json() {
+        let (out, rest) = parse_bench_args(
+            "BENCH_9.json",
+            strs(&["--out", "x.json", "SOBEL", "base.json"]),
+        )
+        .unwrap();
+        assert_eq!(out, "x.json");
+        assert_eq!(rest, strs(&["SOBEL", "base.json"]));
+
+        // Backward compatibility: a leading positional `.json` is OUT,
+        // later `.json` positionals (e.g. a baseline) are not.
+        let (out, rest) =
+            parse_bench_args("BENCH_9.json", strs(&["y.json", "SOBEL", "base.json"])).unwrap();
+        assert_eq!(out, "y.json");
+        assert_eq!(rest, strs(&["SOBEL", "base.json"]));
+    }
+
+    #[test]
+    fn bench_args_rejects_a_dangling_out_flag() {
+        let err = parse_bench_args("BENCH_9.json", strs(&["--out"])).unwrap_err();
+        assert!(err.contains("--out"));
+    }
 
     #[test]
     fn scaling_respects_budget() {

@@ -7,8 +7,8 @@ use stencil_core::{
     verify_plan, MappingPolicy, MemorySystemPlan, ModuloSchedulePlan, ReuseAnalysis, StencilSpec,
 };
 use stencil_engine::{
-    pack_grid, CompiledKernel, ExecMode, InputGrid, KernelBackend, MappedGrid, MmapSink,
-    MmapSource, Session, SessionKernel, SliceSource, VecSink,
+    max_rel_error, pack_grid, CompiledKernel, Datapath, ExecMode, InputGrid, KernelBackend,
+    MappedGrid, MmapSink, MmapSource, Session, SessionKernel, SliceSource, VecSink,
 };
 use stencil_fpga::{estimate_nonuniform, estimate_uniform};
 use stencil_kernels::{KernelExpr, KernelOps, KernelStage};
@@ -18,6 +18,11 @@ use stencil_uniform::{best_uniform, multidim_cyclic, survey, unpartitioned};
 
 /// A command error: human-readable message, exit-code 1 semantics.
 pub type CmdError = Box<dyn std::error::Error + Send + Sync>;
+
+/// Relative tolerance for f32-vs-f64 verification of the spec-file
+/// window-sum datapath — the same default bound `Benchmark::f32_rtol`
+/// uses for shallow dataflow graphs.
+const F32_VERIFY_RTOL: f64 = 1e-5;
 
 /// `stencil plan`: generate and verify the memory system; render the
 /// Table 2-style report.
@@ -137,8 +142,13 @@ fn append_bound_checks(out: &mut String, report: &MetricsReport) -> usize {
 /// `backend == Compiled` (the default) the sum is authored as a
 /// [`KernelExpr`], compiled to stack bytecode validated against the
 /// closure, and executed through the vectorized row sweep; `Closure`
-/// keeps the original per-window call. `crosscheck` runs *both*
-/// backends and demands bit-identical outputs.
+/// keeps the original per-window call. `unroll` sets the compiled
+/// sweep's outputs-per-dispatch; `datapath` its arithmetic width — f32
+/// runs always route through the compiled expression (the raw closure
+/// cannot narrow), and the direct-loop verification switches from
+/// bit-exact to a relative-tolerance bound. `crosscheck` runs *both*
+/// backends and demands bit-identical outputs on the f64 datapath, or
+/// agreement within the f32 tolerance otherwise.
 ///
 /// # Errors
 ///
@@ -153,6 +163,8 @@ pub fn cmd_engine(
     streaming: bool,
     chunk_rows: Option<u64>,
     backend: KernelBackend,
+    unroll: usize,
+    datapath: Datapath,
     crosscheck: bool,
     chain: &[String],
     iterate: Option<usize>,
@@ -164,6 +176,13 @@ pub fn cmd_engine(
         return Err("--iterate cannot be combined with --chain; \
                     the ring is already a temporal chain of the kernel with itself"
             .into());
+    }
+    if datapath == Datapath::F32 && (!chain.is_empty() || iterate.is_some()) {
+        return Err(
+            "--datapath f32 cannot be combined with --chain or --iterate; \
+                    their sequential references are defined bit-exactly on f64"
+                .into(),
+        );
     }
     if output_grid.is_some() && !streaming {
         return Err("--output-grid needs --streaming; only the streaming \
@@ -225,13 +244,18 @@ pub fn cmd_engine(
         None => ExecMode::InCore,
         Some(n) => ExecMode::Tiled { tiles: n },
     };
-    let session_kernel = match backend {
-        KernelBackend::Compiled => SessionKernel::Compiled(&kernel),
-        KernelBackend::Closure => SessionKernel::Closure(&compute),
+    // f32 always routes through the compiled expression: under the
+    // Closure backend it runs the scalar f32 bytecode, so both backends
+    // stay available for cross-checking at either width.
+    let session_kernel = match (backend, datapath) {
+        (KernelBackend::Compiled, _) | (_, Datapath::F32) => SessionKernel::Compiled(&kernel),
+        (KernelBackend::Closure, Datapath::F64) => SessionKernel::Closure(&compute),
     };
     let run = Session::new(&plan)
         .kernel(session_kernel)
         .backend(backend)
+        .unroll(unroll)
+        .datapath(datapath)
         .mode(mode)
         .threads(threads)
         .run(&input)?;
@@ -240,9 +264,12 @@ pub fn cmd_engine(
         .clone()
         .ok_or("session produced no in-core stage report")?;
 
-    // Cross-check against a direct nested loop in declared offset order.
+    // Cross-check against a direct nested loop in declared offset
+    // order. The reference always computes in f64; the f64 datapath
+    // must reproduce it bit for bit, the f32 datapath within the
+    // relative tolerance.
     let iter_idx = spec.iteration_domain().index()?;
-    let mut rank = 0usize;
+    let mut expected = Vec::with_capacity(run.outputs.len());
     let mut cur = iter_idx.cursor();
     let mut window = vec![0.0; spec.window_size()];
     while let Some(p) = cur.point(&iter_idx) {
@@ -251,17 +278,36 @@ pub fn cmd_engine(
                 .value_at(&(p + *off))
                 .ok_or_else(|| format!("input domain misses {:?}", p + *off))?;
         }
-        let expect = compute(&window);
-        if run.outputs[rank] != expect {
-            return Err(format!(
-                "engine mismatch at output rank {rank} ({p:?}): got {}, direct loop says {expect}",
-                run.outputs[rank]
-            )
-            .into());
-        }
-        rank += 1;
+        expected.push(compute(&window));
         cur.advance(&iter_idx);
     }
+    let rank = expected.len();
+    let verify_line = match datapath {
+        Datapath::F64 => {
+            if let Some(k) = (0..rank).find(|&k| run.outputs[k] != expected[k]) {
+                return Err(format!(
+                    "engine mismatch at output rank {k}: got {}, direct loop says {}",
+                    run.outputs[k], expected[k]
+                )
+                .into());
+            }
+            format!("verified against direct loop: {rank} outputs match")
+        }
+        Datapath::F32 => {
+            let err = max_rel_error(&run.outputs, &expected);
+            if err > F32_VERIFY_RTOL {
+                return Err(format!(
+                    "f32 engine drifted from the f64 direct loop: \
+                     max rel error {err:.3e} exceeds tolerance {F32_VERIFY_RTOL:.1e}"
+                )
+                .into());
+            }
+            format!(
+                "verified against f64 direct loop: {rank} outputs within \
+                 {F32_VERIFY_RTOL:.1e} (max rel error {err:.3e})"
+            )
+        }
+    };
 
     let mut out = String::new();
     let _ = write!(out, "{engine_report}");
@@ -270,30 +316,59 @@ pub fn cmd_engine(
         "fetch overhead vs single band: {:.3}x",
         engine_report.fetch_overhead(in_idx.len())
     );
-    let _ = writeln!(out, "verified against direct loop: {rank} outputs match");
+    let _ = writeln!(out, "{verify_line}");
     let mut report = MetricsReport::new(spec.name());
     report.engine = Some(engine_report.metrics());
 
     if crosscheck {
-        // Run the *other* backend over the same plan and demand
-        // bit-identical outputs.
-        let other_kernel = match backend {
-            KernelBackend::Compiled => SessionKernel::Closure(&compute),
-            KernelBackend::Closure => SessionKernel::Compiled(&kernel),
+        // Run the *other* backend over the same plan. On f64 the
+        // backends must agree bit for bit; on f32 the unrolled lane
+        // program and the scalar f32 bytecode are compared within the
+        // verification tolerance.
+        let other_backend = match backend {
+            KernelBackend::Compiled => KernelBackend::Closure,
+            KernelBackend::Closure => KernelBackend::Compiled,
+        };
+        let other_kernel = match (other_backend, datapath) {
+            (KernelBackend::Compiled, _) | (_, Datapath::F32) => SessionKernel::Compiled(&kernel),
+            (KernelBackend::Closure, Datapath::F64) => SessionKernel::Closure(&compute),
         };
         let other = Session::new(&plan)
             .kernel(other_kernel)
+            .backend(other_backend)
+            .unroll(unroll)
+            .datapath(datapath)
             .mode(mode)
             .threads(threads)
             .run(&input)?;
-        if other.outputs != run.outputs {
-            return Err("cross-check failed: compiled and closure backends diverge".into());
+        match datapath {
+            Datapath::F64 => {
+                if other.outputs != run.outputs {
+                    return Err("cross-check failed: compiled and closure backends diverge".into());
+                }
+                let _ = writeln!(
+                    out,
+                    "cross-check compiled vs closure: {} outputs bit-identical",
+                    run.outputs.len()
+                );
+            }
+            Datapath::F32 => {
+                let err = max_rel_error(&run.outputs, &other.outputs);
+                if err > F32_VERIFY_RTOL {
+                    return Err(format!(
+                        "f32 cross-check failed: backends diverge by max rel error \
+                         {err:.3e} (tolerance {F32_VERIFY_RTOL:.1e})"
+                    )
+                    .into());
+                }
+                let _ = writeln!(
+                    out,
+                    "cross-check compiled vs closure (f32): {} outputs within \
+                     {F32_VERIFY_RTOL:.1e} (max rel error {err:.3e})",
+                    run.outputs.len()
+                );
+            }
         }
-        let _ = writeln!(
-            out,
-            "cross-check compiled vs closure: {} outputs bit-identical",
-            run.outputs.len()
-        );
     }
 
     if streaming {
@@ -306,6 +381,8 @@ pub fn cmd_engine(
         let session = Session::new(&plan)
             .kernel(session_kernel)
             .backend(backend)
+            .unroll(unroll)
+            .datapath(datapath)
             .mode(ExecMode::Streaming { chunk_rows })
             .threads(threads);
         let stream = match output_grid {
@@ -374,6 +451,7 @@ pub fn cmd_engine(
             spec,
             session_kernel,
             backend,
+            unroll,
             threads,
             streaming,
             chunk_rows,
@@ -390,6 +468,7 @@ pub fn cmd_engine(
             spec,
             session_kernel,
             backend,
+            unroll,
             threads,
             streaming,
             chunk_rows,
@@ -419,6 +498,7 @@ fn run_iterate(
     spec: &StencilSpec,
     session_kernel: SessionKernel<'_>,
     backend: KernelBackend,
+    unroll: usize,
     threads: usize,
     streaming: bool,
     chunk_rows: Option<u64>,
@@ -431,6 +511,7 @@ fn run_iterate(
         let run = Session::new(plan)
             .kernel(session_kernel)
             .backend(backend)
+            .unroll(unroll)
             .threads(threads)
             .iterate_until(input, eps, steps)?;
         let it = run
@@ -462,6 +543,7 @@ fn run_iterate(
     let session = Session::new(plan)
         .kernel(session_kernel)
         .backend(backend)
+        .unroll(unroll)
         .mode(mode)
         .threads(threads)
         .iterate(steps)?;
@@ -528,6 +610,7 @@ fn run_chain(
     spec: &StencilSpec,
     session_kernel: SessionKernel<'_>,
     backend: KernelBackend,
+    unroll: usize,
     threads: usize,
     streaming: bool,
     chunk_rows: Option<u64>,
@@ -558,6 +641,7 @@ fn run_chain(
     let mut session = Session::new(plan)
         .kernel(session_kernel)
         .backend(backend)
+        .unroll(unroll)
         .mode(mode)
         .threads(threads);
     for stage in &stages {
@@ -1247,6 +1331,8 @@ mod tests {
             false,
             None,
             KernelBackend::Compiled,
+            1,
+            Datapath::F64,
             false,
             &[],
             None,
@@ -1277,6 +1363,8 @@ mod tests {
             false,
             None,
             KernelBackend::Compiled,
+            1,
+            Datapath::F64,
             false,
             &[],
             None,
@@ -1298,6 +1386,8 @@ mod tests {
             false,
             None,
             KernelBackend::Closure,
+            1,
+            Datapath::F64,
             true,
             &[],
             None,
@@ -1317,6 +1407,98 @@ mod tests {
     }
 
     #[test]
+    fn engine_unrolled_f64_stays_bit_exact_and_reports_shape() {
+        let (out, metrics, violations) = cmd_engine(
+            &denoise_spec(),
+            1,
+            None,
+            2,
+            false,
+            None,
+            KernelBackend::Compiled,
+            4,
+            Datapath::F64,
+            true,
+            &[],
+            None,
+            None,
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(out.contains("[compiled kernel] (unroll 4)"), "{out}");
+        assert!(out.contains("verified against direct loop"), "{out}");
+        assert!(out.contains("outputs bit-identical"), "{out}");
+        assert_eq!(violations, 0);
+        let report = MetricsReport::parse(&metrics).unwrap();
+        let engine = report.engine.as_ref().unwrap();
+        assert_eq!(engine.unroll, 4);
+        assert_eq!(engine.datapath, "f64");
+        assert_eq!(validate_report(&report), Vec::new());
+    }
+
+    #[test]
+    fn engine_f32_datapath_verifies_within_tolerance() {
+        let (out, metrics, violations) = cmd_engine(
+            &denoise_spec(),
+            1,
+            None,
+            1,
+            true,
+            Some(3),
+            KernelBackend::Compiled,
+            4,
+            Datapath::F32,
+            true,
+            &[],
+            None,
+            None,
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(out.contains("(unroll 4, f32)"), "{out}");
+        assert!(out.contains("verified against f64 direct loop"), "{out}");
+        assert!(
+            out.contains("cross-check compiled vs closure (f32)"),
+            "{out}"
+        );
+        assert!(out.contains("verified streaming against in-core"), "{out}");
+        assert_eq!(violations, 0);
+        let report = MetricsReport::parse(&metrics).unwrap();
+        let engine = report.engine.as_ref().unwrap();
+        assert_eq!(engine.unroll, 4);
+        assert_eq!(engine.datapath, "f32");
+        let stream = report.stream.as_ref().unwrap();
+        assert_eq!(stream.unroll, 4);
+        assert_eq!(stream.datapath, "f32");
+        assert_eq!(validate_report(&report), Vec::new());
+    }
+
+    #[test]
+    fn engine_f32_rejects_chain_and_iterate() {
+        let err = cmd_engine(
+            &denoise_spec(),
+            1,
+            None,
+            1,
+            false,
+            None,
+            KernelBackend::Compiled,
+            1,
+            Datapath::F32,
+            false,
+            &[],
+            Some(2),
+            None,
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--datapath f32"), "{err}");
+    }
+
+    #[test]
     fn engine_streaming_mode_verifies_and_reports_residency() {
         let (out, metrics, violations) = cmd_engine(
             &denoise_spec(),
@@ -1326,6 +1508,8 @@ mod tests {
             true,
             Some(4),
             KernelBackend::Compiled,
+            1,
+            Datapath::F64,
             true,
             &[],
             None,
@@ -1360,6 +1544,8 @@ mod tests {
             false,
             None,
             KernelBackend::Compiled,
+            1,
+            Datapath::F64,
             false,
             &["s2".into()],
             None,
@@ -1394,6 +1580,8 @@ mod tests {
             true,
             Some(1),
             KernelBackend::Compiled,
+            1,
+            Datapath::F64,
             false,
             &["s2".into()],
             None,
@@ -1425,6 +1613,8 @@ mod tests {
             true,
             Some(2),
             KernelBackend::Closure,
+            1,
+            Datapath::F64,
             false,
             &["s2".into(), "s3".into()],
             None,
@@ -1454,6 +1644,8 @@ mod tests {
             false,
             None,
             KernelBackend::Compiled,
+            1,
+            Datapath::F64,
             false,
             &[],
             Some(3),
@@ -1489,6 +1681,8 @@ mod tests {
             true,
             Some(1),
             KernelBackend::Compiled,
+            1,
+            Datapath::F64,
             false,
             &[],
             Some(3),
@@ -1522,6 +1716,8 @@ mod tests {
             false,
             None,
             KernelBackend::Compiled,
+            1,
+            Datapath::F64,
             false,
             &[],
             Some(4),
@@ -1553,6 +1749,8 @@ mod tests {
             false,
             None,
             KernelBackend::Closure,
+            1,
+            Datapath::F64,
             false,
             &[],
             Some(4),
@@ -1581,6 +1779,8 @@ mod tests {
             false,
             None,
             KernelBackend::Compiled,
+            1,
+            Datapath::F64,
             false,
             &["s2".into()],
             Some(2),
@@ -1656,6 +1856,8 @@ o o o
             true,
             Some(4),
             KernelBackend::Compiled,
+            1,
+            Datapath::F64,
             false,
             &[],
             None,
@@ -1693,6 +1895,8 @@ o o o
             false,
             None,
             KernelBackend::Compiled,
+            1,
+            Datapath::F64,
             false,
             &[],
             None,

@@ -7,6 +7,7 @@
 //!                                 [--vcd OUT.vcd [--cycles N]]
 //! stencil engine   <spec.stencil> [--streams K] [--tiles N] [--threads T]
 //!                                 [--kernel compiled|closure] [--crosscheck]
+//!                                 [--unroll U] [--datapath f64|f32]
 //!                                 [--streaming [--chunk-rows N]] [--chain s2,s3,...]
 //!                                 [--iterate T [--epsilon E]] [--metrics-out M.json]
 //! stencil rtl      <spec.stencil> [--out DIR]     generate Verilog
@@ -34,6 +35,7 @@ fn usage() -> &'static str {
      [--streams K] [--metrics-out M.json] [--vcd OUT.vcd [--cycles N]]\n  \
      stencil engine   <spec.stencil> [--streams K] [--tiles N] [--threads T] \
      [--kernel compiled|closure] [--crosscheck] \
+     [--unroll U] [--datapath f64|f32] \
      [--streaming [--chunk-rows N]] [--chain s2,s3,...] \
      [--iterate T [--epsilon E]] [--input-grid F.sgrid] [--output-grid F.sgrid] \
      [--metrics-out M.json]\n  \
@@ -116,6 +118,8 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
     let mut streaming = false;
     let mut chunk_rows: Option<u64> = None;
     let mut backend = stencil_engine::KernelBackend::default();
+    let mut unroll = 1usize;
+    let mut datapath = stencil_engine::Datapath::default();
     let mut crosscheck = false;
     let mut chain: Vec<String> = Vec::new();
     let mut iterate: Option<usize> = None;
@@ -169,6 +173,19 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
                     .parse()?;
             }
             "--crosscheck" => crosscheck = true,
+            "--unroll" => {
+                unroll = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&u: &usize| u > 0)
+                    .ok_or("--unroll needs a positive output-per-dispatch count")?;
+            }
+            "--datapath" => {
+                datapath = it
+                    .next()
+                    .ok_or("--datapath needs `f64` or `f32`")?
+                    .parse()?;
+            }
             "--chain" => {
                 let names = it
                     .next()
@@ -252,6 +269,8 @@ fn run(args: Vec<String>) -> Result<RunOutput, commands::CmdError> {
                 streaming,
                 chunk_rows,
                 backend,
+                unroll,
+                datapath,
                 crosscheck,
                 &chain,
                 iterate,

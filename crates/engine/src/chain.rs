@@ -425,6 +425,11 @@ impl<'k> StreamStage<'k> {
             bands: self.tile_plan.tile_count(),
             threads: self.worker_count,
             backend: self.backend,
+            unroll: self
+                .kernel
+                .unrolled()
+                .map_or(1, crate::unroll::UnrolledProgram::unroll),
+            datapath: self.kernel.datapath(),
             chunk_rows: self.chunk_rows,
             rows_in: self.rows_in,
             values_in: self.values_in,

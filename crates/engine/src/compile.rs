@@ -76,6 +76,55 @@ impl FromStr for KernelBackend {
     }
 }
 
+/// Arithmetic precision of the compiled sweep datapath.
+///
+/// `F64` is the bit-exact reference: every backend (closure, scalar
+/// bytecode, vectorized sweep, unrolled sweep) produces identical bits.
+/// `F32` narrows constants and taps to single precision at the kernel
+/// boundary — grids stay `f64` in memory, values narrow on load and
+/// widen on store — trading bit-exactness for double the arithmetic
+/// lanes per vector op. `F32` runs verify against `F64` goldens with a
+/// per-kernel relative tolerance instead of bit equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Datapath {
+    /// Double-precision arithmetic (bit-exact across backends).
+    #[default]
+    F64,
+    /// Single-precision arithmetic (tolerance-verified against f64).
+    F32,
+}
+
+impl Datapath {
+    /// The datapath's wire/CLI name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Datapath::F64 => "f64",
+            Datapath::F32 => "f32",
+        }
+    }
+}
+
+impl fmt::Display for Datapath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Datapath {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "f64" => Ok(Datapath::F64),
+            "f32" => Ok(Datapath::F32),
+            other => Err(format!(
+                "unknown datapath '{other}' (expected 'f64' or 'f32')"
+            )),
+        }
+    }
+}
+
 /// Lanes per bytecode dispatch in [`CompiledKernel::sweep`]: the
 /// dispatch overhead of one op amortizes over 32 elements (four
 /// AVX2 / two AVX-512 vectors per inner loop) while a full-depth lane
@@ -132,6 +181,10 @@ pub struct CompiledKernel {
     taps: usize,
     slots: usize,
     max_stack: usize,
+    /// The folded source expression — retained so the unrolled
+    /// multi-output compiler ([`crate::unroll`]) can re-lower it across
+    /// output positions without decompiling the bytecode.
+    expr: KernelExpr,
 }
 
 // ---------------------------------------------------------------------
@@ -141,7 +194,7 @@ pub struct CompiledKernel {
 /// A hash-consed expression node: children are arena ids, constants are
 /// keyed by bit pattern so `-0.0` and `0.0` stay distinct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Node {
+pub(crate) enum Node {
     Tap(usize),
     Const(u64),
     Add(usize, usize),
@@ -186,10 +239,12 @@ fn fold(e: &KernelExpr) -> KernelExpr {
 
 /// The hash-consing arena: structurally equal subtrees intern to the
 /// same id, turning the tree into a DAG whose shared nodes CSE finds by
-/// in-degree.
+/// in-degree. The unrolled multi-output compiler interns *several*
+/// remapped roots into one arena, so subtrees shared across adjacent
+/// output positions land on the same id.
 #[derive(Default)]
-struct Arena {
-    nodes: Vec<Node>,
+pub(crate) struct Arena {
+    pub(crate) nodes: Vec<Node>,
     ids: HashMap<Node, usize>,
 }
 
@@ -204,7 +259,7 @@ impl Arena {
         id
     }
 
-    fn intern_expr(&mut self, e: &KernelExpr) -> usize {
+    pub(crate) fn intern_expr(&mut self, e: &KernelExpr) -> usize {
         let node = match e {
             KernelExpr::Tap(k) => Node::Tap(*k),
             KernelExpr::Const(c) => Node::Const(c.to_bits()),
@@ -229,8 +284,17 @@ impl Arena {
     /// Structural in-degree of every node (plus one for the root) — the
     /// number of places each value is consumed.
     fn use_counts(&self, root: usize) -> Vec<usize> {
+        self.use_counts_multi(&[root])
+    }
+
+    /// In-degrees over a DAG with several roots (one per unrolled
+    /// output position) — counts accumulate across all of them, so a
+    /// subtree shared between outputs registers as multiply used.
+    pub(crate) fn use_counts_multi(&self, roots: &[usize]) -> Vec<usize> {
         let mut counts = vec![0usize; self.nodes.len()];
-        counts[root] += 1;
+        for &root in roots {
+            counts[root] += 1;
+        }
         for node in &self.nodes {
             match *node {
                 Node::Tap(_) | Node::Const(_) => {}
@@ -420,6 +484,7 @@ impl CompiledKernel {
             taps,
             slots: usize::from(slots),
             max_stack,
+            expr: folded,
         })
     }
 
@@ -503,6 +568,12 @@ impl CompiledKernel {
         self.slots
     }
 
+    /// The constant-folded source expression this bytecode was lowered
+    /// from — the unrolled compiler's input.
+    pub(crate) fn folded_expr(&self) -> &KernelExpr {
+        &self.expr
+    }
+
     /// Evaluates the bytecode on one window in declared offset order —
     /// bit-identical to the source expression's
     /// [`KernelExpr::eval`].
@@ -561,6 +632,77 @@ impl CompiledKernel {
             }
         }
         stack[0]
+    }
+
+    /// Evaluates the bytecode on one window in single precision: taps
+    /// and constants narrow to `f32` on entry, every operation rounds in
+    /// `f32`, and the result widens back to `f64` (exact). This is the
+    /// scalar reference for the [`Datapath::F32`] sweep — gather rows
+    /// and construction-time replay both use it, so every f32 path
+    /// computes identical bits.
+    #[must_use]
+    pub fn eval32(&self, window: &[f64]) -> f64 {
+        self.eval32_with(|k| window[k])
+    }
+
+    /// Single-precision evaluation with an arbitrary tap binding (see
+    /// [`CompiledKernel::eval32`]).
+    // The narrowing casts are the entire point of this datapath.
+    #[allow(clippy::cast_possible_truncation)]
+    pub(crate) fn eval32_with(&self, tap: impl Fn(usize) -> f64) -> f64 {
+        let mut stack = [0.0f32; MAX_STACK];
+        let mut slots = [0.0f32; MAX_SLOTS];
+        let mut sp = 0usize;
+        for op in &self.ops {
+            match *op {
+                Op::Tap(k) => {
+                    stack[sp] = tap(usize::from(k)) as f32;
+                    sp += 1;
+                }
+                Op::Const(c) => {
+                    stack[sp] = c as f32;
+                    sp += 1;
+                }
+                Op::Load(s) => {
+                    stack[sp] = slots[usize::from(s)];
+                    sp += 1;
+                }
+                Op::Store(s) => slots[usize::from(s)] = stack[sp - 1],
+                Op::Add => {
+                    sp -= 1;
+                    stack[sp - 1] += stack[sp];
+                }
+                Op::Sub => {
+                    sp -= 1;
+                    stack[sp - 1] -= stack[sp];
+                }
+                Op::Mul => {
+                    sp -= 1;
+                    stack[sp - 1] *= stack[sp];
+                }
+                Op::Div => {
+                    sp -= 1;
+                    stack[sp - 1] /= stack[sp];
+                }
+                Op::Sqrt => stack[sp - 1] = stack[sp - 1].sqrt(),
+                Op::Abs => stack[sp - 1] = stack[sp - 1].abs(),
+                Op::MulAdd => {
+                    sp -= 2;
+                    stack[sp - 1] += stack[sp] * stack[sp + 1];
+                }
+            }
+        }
+        f64::from(stack[0])
+    }
+
+    /// The scalar row remainder: evaluates columns `from..out.len()`
+    /// one window at a time. [`CompiledKernel::sweep`] delegates its
+    /// tail here, keeping the remainder semantics in one place for the
+    /// sweep and its callers.
+    pub(crate) fn sweep_tail(&self, bases: &[usize], vals: &[f64], out: &mut [f64], from: usize) {
+        for tt in from..out.len() {
+            out[tt] = self.eval_with(|k| vals[bases[k] + tt]);
+        }
     }
 
     /// The vectorized row sweep: writes `out[t] = kernel(window at t)`
@@ -651,9 +793,7 @@ impl CompiledKernel {
             out[t..t + LANES].copy_from_slice(&stack[0]);
             t += LANES;
         }
-        for tt in t..len {
-            out[tt] = self.eval_with(|k| vals[bases[k] + tt]);
-        }
+        self.sweep_tail(bases, vals, out, t);
     }
 }
 
@@ -679,6 +819,41 @@ mod tests {
         assert!("simd".parse::<KernelBackend>().is_err());
         assert_eq!(KernelBackend::Compiled.to_string(), "compiled");
         assert_eq!(KernelBackend::default(), KernelBackend::Compiled);
+    }
+
+    #[test]
+    fn datapath_parse_and_display() {
+        assert_eq!("f64".parse::<Datapath>(), Ok(Datapath::F64));
+        assert_eq!("F32".parse::<Datapath>(), Ok(Datapath::F32));
+        assert!("f16".parse::<Datapath>().is_err());
+        assert_eq!(Datapath::F32.to_string(), "f32");
+        assert_eq!(Datapath::default(), Datapath::F64);
+    }
+
+    #[test]
+    fn eval32_narrows_taps_and_constants() {
+        // 0.1 rounds differently in f32 and f64, so the narrowed
+        // datapath must produce the widened f32 sum, not the f64 one.
+        let e = tap(0) + KernelExpr::constant(0.1);
+        let ck = CompiledKernel::compile(&e, 1).unwrap();
+        let got = ck.eval32(&[1.0]);
+        assert_eq!(got, f64::from(1.0f32 + 0.1f32));
+        assert_ne!(got, 1.0f64 + 0.1f64);
+        assert_eq!(ck.eval(&[1.0]), 1.0f64 + 0.1f64);
+    }
+
+    #[test]
+    fn sweep_tail_matches_eval() {
+        let e = tap(0) * tap(1) + 3.0;
+        let ck = CompiledKernel::compile(&e, 2).unwrap();
+        let vals: Vec<f64> = (0..12).map(f64::from).collect();
+        let bases = [0usize, 1];
+        let mut out = vec![0.0f64; 8];
+        ck.sweep_tail(&bases, &vals, &mut out, 3);
+        assert_eq!(out[..3], [0.0; 3]); // untouched below `from`
+        for t in 3..8 {
+            assert_eq!(out[t], ck.eval(&[vals[t], vals[t + 1]]));
+        }
     }
 
     #[test]

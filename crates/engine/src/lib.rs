@@ -82,8 +82,9 @@ mod rowexec;
 mod serve;
 mod session;
 mod stream;
+mod unroll;
 
-pub use compile::{CompiledKernel, KernelBackend};
+pub use compile::{CompiledKernel, Datapath, KernelBackend};
 pub use error::EngineError;
 pub use format::{
     inspect_grid, pack_grid, GridFormatError, GridHeader, MappedGrid, SGRID_DTYPE_F64, SGRID_MAGIC,
@@ -101,3 +102,4 @@ pub use session::{
 pub use stream::{
     FnSource, MmapSink, MmapSource, ReadSource, RowSink, RowSource, SliceSource, VecSink, WriteSink,
 };
+pub use unroll::{max_rel_error, UnrolledProgram, DEFAULT_UNROLL};

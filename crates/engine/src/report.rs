@@ -6,7 +6,19 @@ use std::time::Duration;
 
 use stencil_telemetry::{EngineMetrics, StreamMetrics, TileMetrics};
 
-use crate::compile::KernelBackend;
+use crate::compile::{Datapath, KernelBackend};
+
+/// Display suffix describing a non-default sweep shape: empty for the
+/// baseline single-output f64 sweep, otherwise the unroll factor
+/// and/or datapath in parentheses.
+fn shape_suffix(unroll: usize, datapath: Datapath) -> String {
+    match (unroll > 1, datapath) {
+        (false, Datapath::F64) => String::new(),
+        (true, Datapath::F64) => format!(" (unroll {unroll})"),
+        (false, Datapath::F32) => " (f32)".to_string(),
+        (true, Datapath::F32) => format!(" (unroll {unroll}, f32)"),
+    }
+}
 
 /// Per-band execution statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +54,11 @@ pub struct RunReport {
     pub threads: usize,
     /// How the kernel datapath executed.
     pub backend: KernelBackend,
+    /// Output rows per grouped sweep dispatch (1 = the classic
+    /// single-output sweep).
+    pub unroll: usize,
+    /// Arithmetic precision the kernel evaluated in.
+    pub datapath: Datapath,
     /// Total input elements fetched across bands, halo overlap counted
     /// per band — the off-chip traffic of the sharded execution.
     pub halo_elements: u64,
@@ -75,6 +92,8 @@ impl RunReport {
             tiles: self.tiles,
             threads: self.threads,
             backend: self.backend.as_str().to_string(),
+            unroll: self.unroll as u64,
+            datapath: self.datapath.as_str().to_string(),
             halo_elements: self.halo_elements,
             elapsed_ns: duration_ns(self.elapsed),
             throughput: self.throughput(),
@@ -111,11 +130,12 @@ impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "engine run: {} outputs on {} band(s) x {} thread(s) [{} kernel] in {:?} ({:.1} Melem/s)",
+            "engine run: {} outputs on {} band(s) x {} thread(s) [{} kernel]{} in {:?} ({:.1} Melem/s)",
             self.outputs,
             self.tiles,
             self.threads,
             self.backend,
+            shape_suffix(self.unroll, self.datapath),
             self.elapsed,
             self.throughput() / 1e6
         )?;
@@ -162,6 +182,11 @@ pub struct StreamReport {
     pub threads: usize,
     /// How the kernel datapath executed.
     pub backend: KernelBackend,
+    /// Output rows per grouped sweep dispatch (1 = the classic
+    /// single-output sweep).
+    pub unroll: usize,
+    /// Arithmetic precision the kernel evaluated in.
+    pub datapath: Datapath,
     /// Requested band height in outermost-dimension rows (0 = the
     /// plan's default one-band-per-off-chip-stream sharding).
     pub chunk_rows: u64,
@@ -214,6 +239,8 @@ impl StreamReport {
             bands: self.bands,
             threads: self.threads,
             backend: self.backend.as_str().to_string(),
+            unroll: self.unroll as u64,
+            datapath: self.datapath.as_str().to_string(),
             chunk_rows: self.chunk_rows,
             rows_in: self.rows_in,
             values_in: self.values_in,
@@ -233,11 +260,12 @@ impl fmt::Display for StreamReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "streaming run: {} outputs on {} band(s) x {} thread(s) [{} kernel] in {:?} ({:.1} Melem/s)",
+            "streaming run: {} outputs on {} band(s) x {} thread(s) [{} kernel]{} in {:?} ({:.1} Melem/s)",
             self.outputs,
             self.bands,
             self.threads,
             self.backend,
+            shape_suffix(self.unroll, self.datapath),
             self.elapsed,
             self.throughput() / 1e6
         )?;
@@ -330,6 +358,8 @@ mod tests {
             tiles: 2,
             threads: 2,
             backend: KernelBackend::Closure,
+            unroll: 1,
+            datapath: Datapath::F64,
             halo_elements: 1100,
             elapsed: Duration::from_millis(10),
             per_tile: vec![
@@ -390,12 +420,38 @@ mod tests {
         assert!(compiled.to_string().contains("[compiled kernel]"));
     }
 
+    #[test]
+    fn display_appends_sweep_shape_only_when_non_default() {
+        // The default shape keeps the exact legacy line.
+        assert!(!report().to_string().contains("unroll"), "{}", report());
+        let shaped = RunReport {
+            backend: KernelBackend::Compiled,
+            unroll: 4,
+            datapath: Datapath::F32,
+            ..report()
+        };
+        let s = shaped.to_string();
+        assert!(s.contains("[compiled kernel] (unroll 4, f32)"), "{s}");
+        let m = shaped.metrics();
+        assert_eq!(m.unroll, 4);
+        assert_eq!(m.datapath, "f32");
+        let stream = StreamReport {
+            unroll: 2,
+            ..stream_report()
+        };
+        assert!(stream.to_string().contains("(unroll 2)"), "{stream}");
+        assert_eq!(stream.metrics().unroll, 2);
+        assert_eq!(stream.metrics().datapath, "f64");
+    }
+
     fn stream_report() -> StreamReport {
         StreamReport {
             outputs: 1000,
             bands: 10,
             threads: 2,
             backend: KernelBackend::Compiled,
+            unroll: 1,
+            datapath: Datapath::F64,
             chunk_rows: 2,
             rows_in: 22,
             values_in: 1188,

@@ -23,10 +23,11 @@ use std::time::Instant;
 use stencil_core::{MemorySystemPlan, Tile, TilePlan};
 use stencil_polyhedral::{DomainIndex, Point, Row};
 
-use crate::compile::CompiledKernel;
+use crate::compile::{CompiledKernel, Datapath};
 use crate::error::EngineError;
 use crate::input::InputGrid;
 use crate::report::{RunReport, TileReport};
+use crate::unroll::UnrolledProgram;
 
 /// Locks `m`, recovering from poisoning: a panicked worker already
 /// surfaces as [`EngineError::WorkerPanic`] through the scope join, and
@@ -54,6 +55,20 @@ pub(crate) trait RowKernel: Sync {
     /// and the backend allows it. `None` keeps the per-element path.
     fn sweeper(&self) -> Option<&CompiledKernel> {
         None
+    }
+
+    /// The unrolled multi-output register program, when this kernel
+    /// executes through the unrolled sweep (`Session::unroll` above 1
+    /// or a non-default datapath). `None` keeps the stack-bytecode
+    /// sweep.
+    fn unrolled(&self) -> Option<&UnrolledProgram> {
+        None
+    }
+
+    /// The arithmetic precision this kernel evaluates in — reports
+    /// derive their `datapath` field from here.
+    fn datapath(&self) -> Datapath {
+        Datapath::F64
     }
 }
 
@@ -89,6 +104,49 @@ pub(crate) struct ScalarKernel<'a>(pub &'a CompiledKernel);
 impl RowKernel for ScalarKernel<'_> {
     fn eval_window(&self, window: &[f64]) -> f64 {
         self.0.eval(window)
+    }
+}
+
+/// Compiled bytecode executing through the unrolled register sweep:
+/// grouped runs of adjacent aligned rows evaluate the multi-output
+/// `group` program (one dispatch per U rows), leftover sweep rows run
+/// the single-output sibling, and gather rows evaluate the scalar
+/// bytecode in the program's datapath.
+pub(crate) struct UnrolledKernel<'a> {
+    pub ck: &'a CompiledKernel,
+    pub prog: UnrolledProgram,
+}
+
+impl RowKernel for UnrolledKernel<'_> {
+    fn eval_window(&self, window: &[f64]) -> f64 {
+        match self.prog.datapath() {
+            Datapath::F64 => self.ck.eval(window),
+            Datapath::F32 => self.ck.eval32(window),
+        }
+    }
+
+    fn unrolled(&self) -> Option<&UnrolledProgram> {
+        Some(&self.prog)
+    }
+
+    fn datapath(&self) -> Datapath {
+        self.prog.datapath()
+    }
+}
+
+/// Compiled bytecode forced onto the per-element path in single
+/// precision — the `Closure` backend under [`Datapath::F32`], used by
+/// cross-checks to isolate the unrolled f32 sweep from the scalar f32
+/// bytecode semantics.
+pub(crate) struct Scalar32Kernel<'a>(pub &'a CompiledKernel);
+
+impl RowKernel for Scalar32Kernel<'_> {
+    fn eval_window(&self, window: &[f64]) -> f64 {
+        self.0.eval32(window)
+    }
+
+    fn datapath(&self) -> Datapath {
+        Datapath::F32
     }
 }
 
@@ -166,9 +224,34 @@ pub(crate) fn execute_rows<K: RowKernel + ?Sized>(
     let n = offsets.len();
     let mut window = vec![0.0f64; n];
     let mut bases = vec![0usize; n];
+    let mut ubases: Vec<usize> = Vec::new();
     let mut stats = RowStats::default();
+    let unrolled = kernel.unrolled();
 
-    for row in rows {
+    let mut i = 0usize;
+    while i < rows.len() {
+        // Grouped unrolled dispatch: U adjacent rows with identical
+        // extent, stepping +1 in the unroll axis, writing contiguous
+        // output — one multi-output register sweep covers them all.
+        if let Some(up) = unrolled.filter(|up| up.unroll() > 1) {
+            if let Some(len) = unroll_group_bases(rows, i, up, offsets, win, &mut ubases) {
+                let start = rows[i]
+                    .base
+                    .checked_sub(out_base)
+                    .and_then(|s| usize::try_from(s).ok())
+                    .ok_or_else(|| inconsistent_row(&rows[i], out_base))?;
+                let group_len = len * up.unroll();
+                if let Some(group_out) = out.get_mut(start..).and_then(|o| o.get_mut(..group_len)) {
+                    up.sweep_group(&ubases, win.vals, group_out, len);
+                    stats.sweep += up.unroll() as u64;
+                    i += up.unroll();
+                    continue;
+                }
+            }
+        }
+
+        let row = &rows[i];
+        i += 1;
         let len = usize::try_from(row.len())
             .map_err(|_| EngineError::DomainTooLarge { points: row.len() })?;
         let start = row
@@ -196,7 +279,13 @@ pub(crate) fn execute_rows<K: RowKernel + ?Sized>(
         }
 
         if all_fast {
-            if let Some(ck) = kernel.sweeper() {
+            if let Some(up) = unrolled {
+                // Leftover row of an unrolled kernel (group remainder
+                // or alignment miss): the single-output register
+                // program keeps the datapath identical to the group.
+                stats.sweep += 1;
+                up.sweep_single(&bases, win.vals, out_row, &mut ubases);
+            } else if let Some(ck) = kernel.sweeper() {
                 // Vectorized row sweep: each tap is a column-shifted
                 // contiguous slice; the bytecode runs over lane chunks.
                 stats.sweep += 1;
@@ -248,6 +337,57 @@ pub(crate) fn execute_rows<K: RowKernel + ?Sized>(
     }
 
     Ok(stats)
+}
+
+/// Probes whether rows `i..i + U` form an unrollable group: identical
+/// inner extent, prefixes equal except the last coordinate stepping
+/// +1 per row, contiguous output ranks, and every shared tap of the
+/// group resident as one contiguous run. On success fills `ubases`
+/// with the window offset of each group utap and returns the row
+/// length; any miss returns `None` and the caller falls back to
+/// single-row dispatch for `rows[i]`.
+fn unroll_group_bases(
+    rows: &[Row],
+    i: usize,
+    up: &UnrolledProgram,
+    offsets: &[Point],
+    win: &RankWindow<'_>,
+    ubases: &mut Vec<usize>,
+) -> Option<usize> {
+    let group = rows.get(i..i + up.unroll())?;
+    let first = &group[0];
+    let len = usize::try_from(first.len()).ok()?;
+    if len == 0 {
+        return None;
+    }
+    let pdims = first.prefix.dims();
+    if pdims == 0 {
+        return None;
+    }
+    for (d, row) in group.iter().enumerate().skip(1) {
+        let step = u64::try_from(d).ok()?;
+        if row.lo != first.lo
+            || row.hi != first.hi
+            || row.base != first.base.checked_add(step.checked_mul(len as u64)?)?
+        {
+            return None;
+        }
+        if (0..pdims - 1).any(|c| row.prefix[c] != first.prefix[c])
+            || row.prefix[pdims - 1] != first.prefix[pdims - 1].checked_add(d as i64)?
+        {
+            return None;
+        }
+    }
+    ubases.clear();
+    for &(u, k) in up.group_utaps() {
+        let row = &group[usize::from(u)];
+        let f = &offsets[usize::from(k)];
+        let start = tap_point(&row.prefix, row.lo, f);
+        let end = tap_point(&row.prefix, row.hi, f);
+        let b = contiguous_base(win.idx, &start, &end, len)?;
+        ubases.push(win.resident_run(b, len)?);
+    }
+    Some(len)
 }
 
 /// Window offsets in the user's declared reference order — the order
@@ -373,6 +513,8 @@ pub(crate) fn execute_tiled<K: RowKernel + ?Sized>(
         tiles: tile_plan.tile_count(),
         threads: worker_count,
         backend,
+        unroll: kernel.unrolled().map_or(1, UnrolledProgram::unroll),
+        datapath: kernel.datapath(),
         halo_elements: per_tile.iter().map(|t| t.halo_elements).sum(),
         elapsed: started.elapsed(),
         per_tile,

@@ -64,15 +64,16 @@ use stencil_kernels::{ComputeFn, KernelStage};
 use stencil_polyhedral::{lex_cmp, DomainIndex};
 
 use crate::chain::{pump_chain, StreamStage};
-use crate::compile::{CompiledKernel, KernelBackend};
+use crate::compile::{CompiledKernel, Datapath, KernelBackend};
 use crate::error::EngineError;
 use crate::input::InputGrid;
 use crate::report::{GridIoReport, RunReport, StreamReport};
 use crate::rowexec::{
-    check_kernel_window, execute_tiled, plan_offsets, ClosureKernel, RowKernel, ScalarKernel,
-    SweepKernel,
+    check_kernel_window, execute_tiled, plan_offsets, ClosureKernel, RowKernel, Scalar32Kernel,
+    ScalarKernel, SweepKernel, UnrolledKernel,
 };
 use crate::stream::{RowSink, RowSource, SliceSource, VecSink};
+use crate::unroll::UnrolledProgram;
 
 /// How a [`Session`] drives execution — orthogonal to the kernel and
 /// backend choices.
@@ -254,25 +255,79 @@ impl<'a> Stage<'a> {
     }
 
     /// The stage's row executor, or a config error if no kernel was
-    /// supplied.
+    /// supplied. `unroll`/`datapath` shape the compiled sweep: above-1
+    /// unroll or the f32 datapath build a validated
+    /// [`UnrolledProgram`] over the stage plan's window; closure
+    /// datapaths reject f32 (no bytecode to narrow).
     fn row_kernel(
         &self,
         session_backend: KernelBackend,
+        unroll: usize,
+        datapath: Datapath,
     ) -> Result<Box<dyn RowKernel + '_>, EngineError> {
+        crate::unroll::check_unroll(unroll)?;
         match &self.kernel {
             None => Err(EngineError::Config {
                 detail: format!("stage '{}' has no kernel; call Session::kernel", self.label),
             }),
-            Some(StageKernel::Closure(c)) => Ok(Box::new(ClosureKernel(*c))),
-            Some(StageKernel::ClosureFn(f)) => Ok(Box::new(FnKernel(*f))),
-            Some(StageKernel::Compiled(k)) => Ok(match session_backend {
-                KernelBackend::Compiled => Box::new(SweepKernel(k)),
-                KernelBackend::Closure => Box::new(ScalarKernel(k)),
+            Some(StageKernel::Closure(c)) => {
+                self.require_f64(datapath)?;
+                Ok(Box::new(ClosureKernel(*c)))
+            }
+            Some(StageKernel::ClosureFn(f)) => {
+                self.require_f64(datapath)?;
+                Ok(Box::new(FnKernel(*f)))
+            }
+            Some(StageKernel::Compiled(k)) => {
+                self.compiled_row_kernel(k, session_backend, unroll, datapath)
+            }
+            Some(StageKernel::CompiledOwned(k)) => {
+                self.compiled_row_kernel(k, session_backend, unroll, datapath)
+            }
+        }
+    }
+
+    /// Rejects the f32 datapath for closure stages: without bytecode
+    /// there is nothing to narrow, and silently running the closure in
+    /// f64 would misreport the precision.
+    fn require_f64(&self, datapath: Datapath) -> Result<(), EngineError> {
+        if datapath == Datapath::F32 {
+            return Err(EngineError::Config {
+                detail: format!(
+                    "stage '{}': the f32 datapath requires a compiled kernel expression",
+                    self.label
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The row executor of a compiled stage under the session's sweep
+    /// shape. The default shape keeps the classic stack-bytecode sweep
+    /// (or scalar bytecode under the `Closure` backend); any other
+    /// shape builds the unrolled register program, validated against
+    /// the bytecode at construction.
+    fn compiled_row_kernel<'s>(
+        &'s self,
+        k: &'s CompiledKernel,
+        session_backend: KernelBackend,
+        unroll: usize,
+        datapath: Datapath,
+    ) -> Result<Box<dyn RowKernel + 's>, EngineError> {
+        match session_backend {
+            KernelBackend::Closure => Ok(match datapath {
+                Datapath::F64 => Box::new(ScalarKernel(k)),
+                Datapath::F32 => Box::new(Scalar32Kernel(k)),
             }),
-            Some(StageKernel::CompiledOwned(k)) => Ok(match session_backend {
-                KernelBackend::Compiled => Box::new(SweepKernel(k)),
-                KernelBackend::Closure => Box::new(ScalarKernel(k)),
-            }),
+            KernelBackend::Compiled => {
+                if unroll > 1 || datapath == Datapath::F32 {
+                    let offsets = plan_offsets(self.plan.get());
+                    let prog = UnrolledProgram::build(k, &offsets, unroll, datapath)?;
+                    Ok(Box::new(UnrolledKernel { ck: k, prog }))
+                } else {
+                    Ok(Box::new(SweepKernel(k)))
+                }
+            }
         }
     }
 }
@@ -286,6 +341,11 @@ pub struct Session<'a> {
     mode: ExecMode,
     threads: usize,
     backend: KernelBackend,
+    /// Outputs produced per compiled-sweep dispatch (`1` = classic
+    /// single-row sweep).
+    unroll: usize,
+    /// Arithmetic width of compiled sweeps.
+    datapath: Datapath,
     tile_plan: Option<&'a TilePlan>,
     label: Option<String>,
     /// `Some(T)` when the stages form a [`Session::iterate`] ring.
@@ -324,6 +384,8 @@ impl<'a> Session<'a> {
             mode: ExecMode::default(),
             threads: 0,
             backend: KernelBackend::default(),
+            unroll: 1,
+            datapath: Datapath::default(),
             tile_plan: None,
             label: None,
             iterate_steps: None,
@@ -388,6 +450,31 @@ impl<'a> Session<'a> {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the compiled-sweep unroll factor: each dispatch produces
+    /// `unroll` adjacent output rows, loading taps whose stencil
+    /// offsets coincide across the rows once and sharing common
+    /// subexpressions across the row bodies. `1` (the default) keeps
+    /// the classic single-row sweep. Values above `1` require the
+    /// [`KernelBackend::Compiled`] backend; the factor is validated
+    /// when the session runs. See [`crate::DEFAULT_UNROLL`] for the
+    /// empirically chosen sweet spot.
+    #[must_use]
+    pub fn unroll(mut self, unroll: usize) -> Self {
+        self.unroll = unroll;
+        self
+    }
+
+    /// Selects the arithmetic width of compiled sweeps.
+    /// [`Datapath::F32`] narrows plan-time constants and tap loads to
+    /// `f32` lanes, trading bit-exactness for roughly doubled SIMD
+    /// width; outputs then match the f64 reference only to a relative
+    /// tolerance. Requires a compiled kernel expression.
+    #[must_use]
+    pub fn datapath(mut self, datapath: Datapath) -> Self {
+        self.datapath = datapath;
         self
     }
 
@@ -766,7 +853,7 @@ impl<'a> Session<'a> {
             if let Some(k) = stage.compiled() {
                 check_kernel_window(plan, k)?;
             }
-            let kernel = stage.row_kernel(self.backend)?;
+            let kernel = stage.row_kernel(self.backend, self.unroll, self.datapath)?;
             let backend = stage.effective_backend(self.backend);
             let tp_owned;
             let tile_plan = match (i, self.tile_plan) {
@@ -860,7 +947,7 @@ impl<'a> Session<'a> {
             if let Some(k) = stage.compiled() {
                 check_kernel_window(plan, k)?;
             }
-            let kernel = stage.row_kernel(self.backend)?;
+            let kernel = stage.row_kernel(self.backend, self.unroll, self.datapath)?;
             let backend = stage.effective_backend(self.backend);
             let tile_plan = stage.tiles(TileKey::Chunk(chunk_rows), Some(&self.tiles_built))?;
             machines.push(StreamStage::new(
@@ -988,7 +1075,7 @@ impl<'a> Session<'a> {
         if let Some(k) = stage.compiled() {
             check_kernel_window(base_plan, k)?;
         }
-        let kernel = stage.row_kernel(self.backend)?;
+        let kernel = stage.row_kernel(self.backend, self.unroll, self.datapath)?;
         let backend = stage.effective_backend(self.backend);
         let window = plan_offsets(base_plan);
         let name = base_plan.name().to_string();
@@ -1514,6 +1601,147 @@ mod tests {
         let report = scalar.report.stages[0].engine.as_ref().unwrap();
         assert_eq!(report.backend, KernelBackend::Closure);
         assert_eq!(report.per_tile.iter().map(|t| t.sweep_rows).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn unrolled_sweeps_are_bit_identical_across_modes_and_factors() {
+        let plan = plan_5pt(23, 29);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let kernel = compiled_5pt();
+
+        let reference = Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .run(&input)
+            .unwrap();
+        assert_eq!(
+            reference.report.stages[0].engine.as_ref().unwrap().unroll,
+            1
+        );
+
+        for unroll in [2usize, 4, 8] {
+            for mode in [
+                ExecMode::InCore,
+                ExecMode::Tiled { tiles: 3 },
+                ExecMode::Streaming { chunk_rows: None },
+                ExecMode::Streaming {
+                    chunk_rows: Some(3),
+                },
+            ] {
+                let run = Session::new(&plan)
+                    .kernel(SessionKernel::Compiled(&kernel))
+                    .mode(mode)
+                    .unroll(unroll)
+                    .run(&input)
+                    .unwrap();
+                assert_eq!(run.outputs, reference.outputs, "unroll={unroll} {mode:?}");
+                let stage = &run.report.stages[0];
+                let (got_unroll, got_dp) = match (&stage.engine, &stage.stream) {
+                    (Some(e), _) => (e.unroll, e.datapath),
+                    (None, Some(s)) => (s.unroll, s.datapath),
+                    _ => panic!("stage carried no report"),
+                };
+                assert_eq!(got_unroll, unroll);
+                assert_eq!(got_dp, Datapath::F64);
+            }
+        }
+    }
+
+    #[test]
+    fn f32_datapath_is_tolerance_close_and_chunking_invariant() {
+        let plan = plan_5pt(21, 27);
+        let in_idx = plan.input_domain().index().unwrap();
+        // 0.1 steps are not exactly representable in f32, so the
+        // narrowed datapath must perturb at least one output.
+        let vals: Vec<f64> = (0..in_idx.len())
+            .map(|r| (r % 97) as f64 * 0.1 - 3.3)
+            .collect();
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let kernel = compiled_5pt();
+
+        let f64_run = Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .run(&input)
+            .unwrap();
+        let f32_run = Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .datapath(Datapath::F32)
+            .unroll(4)
+            .run(&input)
+            .unwrap();
+        let err = crate::unroll::max_rel_error(&f32_run.outputs, &f64_run.outputs);
+        assert!(err < 1e-6, "f32 drifted {err:e} from the f64 reference");
+        assert!(
+            f32_run.outputs != f64_run.outputs,
+            "f32 narrowing should perturb at least one value on this input"
+        );
+        let engine = f32_run.report.stages[0].engine.as_ref().unwrap();
+        assert_eq!(engine.datapath, Datapath::F32);
+
+        // Chunking must not change f32 results: the unrolled register
+        // program is bit-deterministic per output row, so streaming at
+        // any granularity reproduces the in-core f32 bits exactly.
+        for chunk_rows in [1u64, 3, 64] {
+            let streamed = Session::new(&plan)
+                .kernel(SessionKernel::Compiled(&kernel))
+                .datapath(Datapath::F32)
+                .unroll(4)
+                .mode(ExecMode::Streaming {
+                    chunk_rows: Some(chunk_rows),
+                })
+                .run(&input)
+                .unwrap();
+            assert_eq!(streamed.outputs, f32_run.outputs, "chunk_rows={chunk_rows}");
+        }
+
+        // The scalar f32 bytecode path (Closure backend) agrees with
+        // the unrolled f32 lanes bit for bit: both narrow taps and
+        // constants identically and evaluate in the same order.
+        let scalar32 = Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&kernel))
+            .backend(KernelBackend::Closure)
+            .datapath(Datapath::F32)
+            .run(&input)
+            .unwrap();
+        assert_eq!(scalar32.outputs, f32_run.outputs);
+    }
+
+    #[test]
+    fn f32_requires_a_compiled_kernel() {
+        let plan = plan_5pt(12, 12);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let e = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .datapath(Datapath::F32)
+            .run(&input)
+            .unwrap_err();
+        match e {
+            EngineError::Config { detail } => {
+                assert!(detail.contains("f32"), "{detail}");
+                assert!(detail.contains("compiled"), "{detail}");
+            }
+            other => panic!("expected Config, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_unroll_is_a_config_error() {
+        let plan = plan_5pt(12, 12);
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let kernel = compiled_5pt();
+        for unroll in [0usize, 17] {
+            let e = Session::new(&plan)
+                .kernel(SessionKernel::Compiled(&kernel))
+                .unroll(unroll)
+                .run(&input)
+                .unwrap_err();
+            assert!(matches!(e, EngineError::Config { .. }), "unroll={unroll}");
+        }
     }
 
     #[test]

@@ -78,6 +78,31 @@ fn engine_outputs(
         .map_err(|e| TestCaseError::fail(format!("engine: {e}")))
 }
 
+/// Small per-kernel grid extents: the window's span per dimension plus
+/// a case-chosen slack, so every suite kernel runs on an arbitrary
+/// (but always valid) shrunken grid.
+fn suite_extents(bench: &Benchmark, slack: &[i64; 3]) -> Vec<i64> {
+    (0..bench.dims())
+        .map(|d| {
+            let min = bench.window().iter().map(|p| p[d]).min().expect("window");
+            let max = bench.window().iter().map(|p| p[d]).max().expect("window");
+            (max - min + 1) + 2 + slack[d.min(2)]
+        })
+        .collect()
+}
+
+/// Input values of `plan`'s input domain drawn from `grid`.
+fn domain_values(plan: &MemorySystemPlan, grid: &GridValues) -> Vec<f64> {
+    let in_idx = plan.input_domain().index().expect("input index");
+    let mut vals = Vec::with_capacity(in_idx.len() as usize);
+    let mut c = in_idx.cursor();
+    while let Some(p) = c.point(&in_idx) {
+        vals.push(grid.value_at(&p).expect("covered"));
+        c.advance(&in_idx);
+    }
+    vals
+}
+
 fn bench_2d(offs: &[(i64, i64)], rows: i64, cols: i64) -> Benchmark {
     let window: Vec<Point> = offs.iter().map(|&(a, b)| Point::new(&[a, b])).collect();
     Benchmark::new(
@@ -336,6 +361,77 @@ proptest! {
                 "{}: bytecode {:?} vs closure {:?} on {:?}",
                 bench.name(), got, want, window
             );
+        }
+    }
+
+    /// The unrolled multi-output sweep is bit-identical to the
+    /// single-output compiled sweep and to the authored closure on
+    /// every suite kernel, whatever the grid shape, unroll factor,
+    /// thread count, and streaming chunk height. Grouped dispatch,
+    /// the single-row fallback at band edges, and the scalar lane
+    /// tail are all exercised by the varying extents.
+    #[test]
+    fn unrolled_sweeps_match_closure_on_all_suite_kernels(
+        s0 in 0i64..=10,
+        s1 in 0i64..=10,
+        s2 in 0i64..=5,
+        threads in 1usize..=3,
+        chunk in 1u64..=6,
+        seed in 0u64..1_000_000,
+    ) {
+        for bench in paper_suite().into_iter().chain(extra_suite()) {
+            let extents = suite_extents(&bench, &[s0, s1, s2]);
+            let grid = seeded_grid(&extents, seed);
+            let spec = bench.spec_for(&extents).expect("spec");
+            let plan = MemorySystemPlan::generate(&spec).expect("plan");
+            let in_idx = plan.input_domain().index().expect("input index");
+            let in_vals = domain_values(&plan, &grid);
+            let input = InputGrid::new(&in_idx, &in_vals).expect("input");
+            let compute = bench.compute_fn();
+
+            let closure = Session::new(&plan)
+                .kernel(SessionKernel::Closure(&compute))
+                .run(&input)
+                .map_err(|e| TestCaseError::fail(format!("{}: closure: {e}", bench.name())))?
+                .outputs;
+            let ck = CompiledKernel::for_benchmark(&bench)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", bench.name())))?
+                .expect("every suite benchmark carries an expression");
+            let single = Session::new(&plan)
+                .kernel(SessionKernel::Compiled(&ck))
+                .run(&input)
+                .map_err(|e| TestCaseError::fail(format!("{}: U=1: {e}", bench.name())))?
+                .outputs;
+            prop_assert_eq!(&single, &closure, "{}: U=1 vs closure", bench.name());
+
+            for u in [2usize, 4, 8] {
+                let unrolled = Session::new(&plan)
+                    .kernel(SessionKernel::Compiled(&ck))
+                    .unroll(u)
+                    .threads(threads)
+                    .run(&input)
+                    .map_err(|e| TestCaseError::fail(
+                        format!("{}: U={u}: {e}", bench.name())))?
+                    .outputs;
+                prop_assert_eq!(
+                    &unrolled, &closure,
+                    "{}: U={} vs closure ({} threads)", bench.name(), u, threads
+                );
+
+                let mut source = SliceSource::new(&in_vals);
+                let mut sink = VecSink::new();
+                Session::new(&plan)
+                    .kernel(SessionKernel::Compiled(&ck))
+                    .unroll(u)
+                    .mode(ExecMode::Streaming { chunk_rows: Some(chunk) })
+                    .run_streaming(&mut source, &mut sink)
+                    .map_err(|e| TestCaseError::fail(
+                        format!("{}: U={u} streaming: {e}", bench.name())))?;
+                prop_assert_eq!(
+                    &sink.values, &closure,
+                    "{}: U={} streaming (chunk={}) vs closure", bench.name(), u, chunk
+                );
+            }
         }
     }
 

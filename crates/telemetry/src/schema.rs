@@ -293,6 +293,12 @@ pub struct EngineMetrics {
     /// Kernel backend that executed the datapath (`"compiled"` for the
     /// bytecode row sweep, `"closure"` otherwise).
     pub backend: String,
+    /// Output rows per grouped sweep dispatch (1 = the classic
+    /// single-output sweep; above 1 only for the compiled backend).
+    pub unroll: u64,
+    /// Arithmetic precision the kernel evaluated in (`"f64"` or
+    /// `"f32"`).
+    pub datapath: String,
     /// Input elements fetched across bands, halo overlap counted per
     /// band.
     pub halo_elements: u64,
@@ -312,6 +318,8 @@ impl ToValue for EngineMetrics {
             ("tiles", self.tiles.to_value()),
             ("threads", self.threads.to_value()),
             ("backend", self.backend.to_value()),
+            ("unroll", self.unroll.to_value()),
+            ("datapath", self.datapath.to_value()),
             ("halo_elements", self.halo_elements.to_value()),
             ("elapsed_ns", self.elapsed_ns.to_value()),
             ("throughput", self.throughput.to_value()),
@@ -330,6 +338,16 @@ impl FromValue for EngineMetrics {
             // back then executed the closure datapath.
             backend: match v.get("backend") {
                 None => "closure".to_string(),
+                Some(s) => FromValue::from_value(s)?,
+            },
+            // Absent before the unrolled sweep / f32 datapath existed:
+            // those runs swept one output per dispatch in f64.
+            unroll: match v.get("unroll") {
+                None => 1,
+                Some(s) => FromValue::from_value(s)?,
+            },
+            datapath: match v.get("datapath") {
+                None => "f64".to_string(),
                 Some(s) => FromValue::from_value(s)?,
             },
             halo_elements: field(v, "halo_elements")?,
@@ -359,6 +377,12 @@ pub struct StreamMetrics {
     /// Kernel backend that executed the datapath (`"compiled"` for the
     /// bytecode row sweep, `"closure"` otherwise).
     pub backend: String,
+    /// Output rows per grouped sweep dispatch (1 = the classic
+    /// single-output sweep; above 1 only for the compiled backend).
+    pub unroll: u64,
+    /// Arithmetic precision the kernel evaluated in (`"f64"` or
+    /// `"f32"`).
+    pub datapath: String,
     /// Requested band height in outermost-dimension rows (0 = the
     /// plan's default one-band-per-off-chip-stream sharding).
     pub chunk_rows: u64,
@@ -392,6 +416,8 @@ impl ToValue for StreamMetrics {
             ("bands", self.bands.to_value()),
             ("threads", self.threads.to_value()),
             ("backend", self.backend.to_value()),
+            ("unroll", self.unroll.to_value()),
+            ("datapath", self.datapath.to_value()),
             ("chunk_rows", self.chunk_rows.to_value()),
             ("rows_in", self.rows_in.to_value()),
             ("values_in", self.values_in.to_value()),
@@ -416,6 +442,15 @@ impl FromValue for StreamMetrics {
             // Absent in pre-compilation reports: closure datapath.
             backend: match v.get("backend") {
                 None => "closure".to_string(),
+                Some(s) => FromValue::from_value(s)?,
+            },
+            // Absent before the unrolled sweep / f32 datapath existed.
+            unroll: match v.get("unroll") {
+                None => 1,
+                Some(s) => FromValue::from_value(s)?,
+            },
+            datapath: match v.get("datapath") {
+                None => "f64".to_string(),
                 Some(s) => FromValue::from_value(s)?,
             },
             chunk_rows: field(v, "chunk_rows")?,
@@ -1007,6 +1042,8 @@ mod tests {
                 tiles: 2,
                 threads: 2,
                 backend: "compiled".into(),
+                unroll: 1,
+                datapath: "f64".into(),
                 halo_elements: 132,
                 elapsed_ns: 81_532,
                 throughput: 981_208.3,
@@ -1025,6 +1062,8 @@ mod tests {
                 bands: 4,
                 threads: 2,
                 backend: "closure".into(),
+                unroll: 1,
+                datapath: "f64".into(),
                 chunk_rows: 3,
                 rows_in: 12,
                 values_in: 144,
@@ -1066,6 +1105,8 @@ mod tests {
                             bands: 4,
                             threads: 2,
                             backend: "compiled".into(),
+                            unroll: 1,
+                            datapath: "f64".into(),
                             chunk_rows: 1,
                             rows_in: 12,
                             values_in: 144,
@@ -1087,6 +1128,8 @@ mod tests {
                             bands: 4,
                             threads: 2,
                             backend: "compiled".into(),
+                            unroll: 1,
+                            datapath: "f64".into(),
                             chunk_rows: 1,
                             rows_in: 10,
                             values_in: 80,
@@ -1143,6 +1186,8 @@ mod tests {
             tiles: 1,
             threads: 1,
             backend: "compiled".into(),
+            unroll: 1,
+            datapath: "f64".into(),
             halo_elements: 132,
             elapsed_ns: 81_532,
             throughput: 981_208.3,
@@ -1161,6 +1206,8 @@ mod tests {
             bands: 4,
             threads: 2,
             backend: "compiled".into(),
+            unroll: 1,
+            datapath: "f64".into(),
             chunk_rows: 3,
             rows_in: 12,
             values_in: 144,
@@ -1196,6 +1243,71 @@ mod tests {
         let stream = back.stream.unwrap();
         assert_eq!(stream.backend, "closure");
         assert_eq!(stream.sweep_rows, 0);
+    }
+
+    #[test]
+    fn pre_unroll_reports_default_sweep_shape() {
+        // Reports written before the unrolled sweep and the f32
+        // datapath carry neither `unroll` nor `datapath`; schema v1
+        // parsing must default them to the single-output f64 shape.
+        let mut report = MetricsReport::new("legacy");
+        report.engine = Some(EngineMetrics {
+            outputs: 80,
+            tiles: 1,
+            threads: 1,
+            backend: "compiled".into(),
+            unroll: 4,
+            datapath: "f32".into(),
+            halo_elements: 132,
+            elapsed_ns: 81_532,
+            throughput: 981_208.3,
+            per_tile: Vec::new(),
+        });
+        report.stream = Some(StreamMetrics {
+            outputs: 80,
+            bands: 4,
+            threads: 2,
+            backend: "compiled".into(),
+            unroll: 2,
+            datapath: "f32".into(),
+            chunk_rows: 3,
+            rows_in: 12,
+            values_in: 144,
+            rows_out: 10,
+            peak_resident: 60,
+            resident_bound: 60,
+            sweep_rows: 10,
+            fast_rows: 0,
+            gather_rows: 0,
+            elapsed_ns: 91_004,
+            throughput: 879_082.5,
+        });
+        // Round trip first: the populated shape survives as written.
+        let back = MetricsReport::parse(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        fn strip(v: Value) -> Value {
+            match v {
+                Value::Object(fields) => Value::Object(
+                    fields
+                        .into_iter()
+                        .filter(|(k, _)| k != "unroll" && k != "datapath")
+                        .map(|(k, v)| (k, strip(v)))
+                        .collect(),
+                ),
+                Value::Array(items) => Value::Array(items.into_iter().map(strip).collect()),
+                other => other,
+            }
+        }
+        let text = strip(report.to_value()).to_json();
+        assert!(!text.contains("unroll"), "{text}");
+        assert!(!text.contains("datapath"), "{text}");
+        let back = MetricsReport::parse(&text).unwrap();
+        let engine = back.engine.unwrap();
+        assert_eq!(engine.unroll, 1);
+        assert_eq!(engine.datapath, "f64");
+        let stream = back.stream.unwrap();
+        assert_eq!(stream.unroll, 1);
+        assert_eq!(stream.datapath, "f64");
     }
 
     #[test]

@@ -93,6 +93,12 @@ pub enum BoundCheck {
     /// Sweep-row tallies agree with the reported kernel backend: only
     /// the `"compiled"` backend may report vectorized sweep rows.
     BackendConsistent,
+    /// The reported sweep shape is well-formed: the unroll factor is at
+    /// least 1, an unroll above 1 only appears with the `"compiled"`
+    /// backend (the unrolled register sweep is a compiled-kernel
+    /// construct), and the datapath names a known precision (`"f64"`
+    /// bit-identical runs, `"f32"` tolerance-verified runs).
+    SweepShape,
     /// No NaN/infinity anywhere in the report.
     Finite,
 }
@@ -113,6 +119,7 @@ impl core::fmt::Display for BoundCheck {
             Self::GridIoConsistent => "grid-io-consistent",
             Self::ServiceResidency => "service-residency",
             Self::BackendConsistent => "backend-consistent",
+            Self::SweepShape => "sweep-shape",
             Self::Finite => "finite",
         };
         f.write_str(name)
@@ -294,6 +301,42 @@ pub fn validate_machine(m: &MachineMetrics) -> Vec<BoundViolation> {
     v
 }
 
+/// Checks one sweep-shape claim ([`BoundCheck::SweepShape`]): unroll
+/// factors start at 1, unrolled dispatch is a compiled-backend
+/// construct, and the datapath names a known precision.
+fn check_sweep_shape(
+    unroll: u64,
+    datapath: &str,
+    backend: &str,
+    loc: &str,
+    v: &mut Vec<BoundViolation>,
+) {
+    if unroll == 0 {
+        violation(
+            v,
+            BoundCheck::SweepShape,
+            loc,
+            "unroll factor 0: every dispatch produces at least one output".to_string(),
+        );
+    }
+    if unroll > 1 && backend != "compiled" {
+        violation(
+            v,
+            BoundCheck::SweepShape,
+            loc,
+            format!("backend {backend:?} reports unroll {unroll}: only the compiled backend runs the unrolled sweep"),
+        );
+    }
+    if datapath != "f64" && datapath != "f32" {
+        violation(
+            v,
+            BoundCheck::SweepShape,
+            loc,
+            format!("unknown datapath {datapath:?} (expected \"f64\" or \"f32\")"),
+        );
+    }
+}
+
 /// Checks a whole report: machine bounds (when present) plus
 /// finiteness of every number in the serialized form.
 #[must_use]
@@ -341,6 +384,7 @@ pub fn validate_report(report: &MetricsReport) -> Vec<BoundViolation> {
                 format!("backend {:?} reports {sweep} swept rows", e.backend),
             );
         }
+        check_sweep_shape(e.unroll, &e.datapath, &e.backend, "engine", &mut v);
     }
     if let Some(s) = &report.stream {
         // The streaming backend's defining promise: only one band's
@@ -396,6 +440,7 @@ pub fn validate_report(report: &MetricsReport) -> Vec<BoundViolation> {
                 ),
             );
         }
+        check_sweep_shape(s.unroll, &s.datapath, &s.backend, "stream", &mut v);
     }
     if let Some(s) = &report.session {
         validate_session(s, &mut v);
@@ -528,6 +573,7 @@ fn validate_session(s: &crate::schema::SessionMetrics, v: &mut Vec<BoundViolatio
                     ),
                 );
             }
+            check_sweep_shape(sm.unroll, &sm.datapath, &sm.backend, &loc, v);
         }
         if let Some(em) = &stage.engine {
             let sweep: u64 = em.per_tile.iter().map(|t| t.sweep_rows).sum();
@@ -539,6 +585,7 @@ fn validate_session(s: &crate::schema::SessionMetrics, v: &mut Vec<BoundViolatio
                     format!("backend {:?} reports {sweep} swept rows", em.backend),
                 );
             }
+            check_sweep_shape(em.unroll, &em.datapath, &em.backend, &loc, v);
         }
         // A chained streaming stage consumes exactly what its upstream
         // stage produced — no intermediate grid materializes, so any
@@ -843,6 +890,8 @@ mod tests {
             tiles: 1,
             threads: 1,
             backend: "closure".into(),
+            unroll: 1,
+            datapath: "f64".into(),
             halo_elements: 12,
             elapsed_ns: 0,
             throughput: f64::INFINITY,
@@ -870,6 +919,8 @@ mod tests {
             tiles: 1,
             threads: 1,
             backend: "closure".into(),
+            unroll: 1,
+            datapath: "f64".into(),
             halo_elements: 12,
             elapsed_ns: 5,
             throughput: 1.0,
@@ -892,6 +943,50 @@ mod tests {
     }
 
     #[test]
+    fn malformed_sweep_shape_is_flagged() {
+        let mut report = MetricsReport::new("x");
+        report.engine = Some(EngineMetrics {
+            outputs: 10,
+            tiles: 1,
+            threads: 1,
+            backend: "compiled".into(),
+            unroll: 4,
+            datapath: "f32".into(),
+            halo_elements: 12,
+            elapsed_ns: 5,
+            throughput: 1.0,
+            per_tile: Vec::new(),
+        });
+        // An unrolled f32 compiled run is a legitimate shape.
+        assert_eq!(validate_report(&report), Vec::new());
+        // Unroll 0 is impossible: every dispatch makes >= 1 output.
+        report.engine.as_mut().unwrap().unroll = 0;
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::SweepShape), "{v:?}");
+        assert!(v[0].to_string().contains("sweep-shape"), "{}", v[0]);
+        // The unrolled sweep only exists for the compiled backend.
+        let e = report.engine.as_mut().unwrap();
+        e.unroll = 4;
+        e.backend = "closure".into();
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::SweepShape), "{v:?}");
+        // An unknown datapath string is malformed telemetry.
+        let e = report.engine.as_mut().unwrap();
+        e.backend = "compiled".into();
+        e.datapath = "f16".into();
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::SweepShape), "{v:?}");
+        // The f32 datapath under the closure backend (scalar f32
+        // bytecode, used by cross-checks) is well-formed as long as the
+        // run does not also claim unrolled dispatch.
+        let e = report.engine.as_mut().unwrap();
+        e.backend = "closure".into();
+        e.datapath = "f32".into();
+        e.unroll = 1;
+        assert_eq!(validate_report(&report), Vec::new());
+    }
+
+    #[test]
     fn residency_bound_violation_is_flagged() {
         use crate::schema::StreamMetrics;
         let mut report = MetricsReport::new("x");
@@ -900,6 +995,8 @@ mod tests {
             bands: 5,
             threads: 2,
             backend: "compiled".into(),
+            unroll: 1,
+            datapath: "f64".into(),
             chunk_rows: 4,
             rows_in: 12,
             values_in: 144,
@@ -945,6 +1042,8 @@ mod tests {
                     bands: 4,
                     threads: 1,
                     backend: "closure".into(),
+                    unroll: 1,
+                    datapath: "f64".into(),
                     chunk_rows: 1,
                     rows_in: 10,
                     values_in,
@@ -1049,6 +1148,8 @@ mod tests {
                     bands: 4,
                     threads: 1,
                     backend: "closure".into(),
+                    unroll: 1,
+                    datapath: "f64".into(),
                     chunk_rows: 1,
                     rows_in: 10,
                     values_in,
@@ -1161,6 +1262,8 @@ mod tests {
                     tiles: 1,
                     threads: 1,
                     backend: "closure".into(),
+                    unroll: 1,
+                    datapath: "f64".into(),
                     halo_elements: 12,
                     elapsed_ns: 50,
                     throughput: 1.0,
@@ -1197,6 +1300,8 @@ mod tests {
             tiles: 1,
             threads: 1,
             backend: "closure".into(),
+            unroll: 1,
+            datapath: "f64".into(),
             halo_elements: 12,
             elapsed_ns: 5,
             throughput: 1.0,
