@@ -553,25 +553,24 @@ fn run_iterate(
     let run = session.run(input)?;
 
     // Sequential reference: fold the grid through one materialized
-    // single-step run per time step.
+    // single-step run per time step — each step is a self-chained stage
+    // over the spec's own window.
     let compute = stencil_kernels::default_compute();
-    let mut cur_plan = plan.clone();
-    let mut cur = Session::new(plan)
+    let step_stages: Vec<KernelStage> = (1..steps)
+        .map(|k| {
+            KernelStage::new(
+                format!("{}@t{}", plan.name(), k + 1),
+                spec.offsets().to_vec(),
+                compute,
+            )
+        })
+        .collect();
+    let first = Session::new(plan)
         .kernel(session_kernel)
         .backend(backend)
         .run(input)?
         .outputs;
-    for k in 1..steps {
-        let next = cur_plan.chain_next(format!("{}@t{}", plan.name(), k + 1), spec.offsets())?;
-        let idx = next.input_domain().index()?;
-        let grid = InputGrid::new(&idx, &cur)?;
-        cur = Session::new(&next)
-            .kernel(SessionKernel::Closure(&compute))
-            .run(&grid)?
-            .outputs;
-        cur_plan = next;
-    }
-    if run.outputs != cur {
+    if run.outputs != sequential_fold(plan, first, &step_stages)? {
         return Err("iterated ring diverged from sequential time steps".into());
     }
 
@@ -598,11 +597,40 @@ fn run_iterate(
     Ok((out, run.report.metrics()))
 }
 
+/// Folds a materialized grid through one single-stage closure session
+/// per chained stage, deriving each stage's eroded plan with
+/// [`MemorySystemPlan::chain_next`] from that stage's *own* window.
+/// Both `--chain` and `--iterate` verify their fused pipelines
+/// bit-exactly against this reference.
+fn sequential_fold(
+    plan: &MemorySystemPlan,
+    seed: Vec<f64>,
+    stages: &[KernelStage],
+) -> Result<Vec<f64>, CmdError> {
+    let mut cur_plan = plan.clone();
+    let mut cur = seed;
+    for stage in stages {
+        let next = cur_plan.chain_next(stage.name(), stage.window())?;
+        let idx = next.input_domain().index()?;
+        let grid = InputGrid::new(&idx, &cur)?;
+        let f = stage.compute_fn();
+        cur = Session::new(&next)
+            .kernel(SessionKernel::Closure(&f))
+            .run(&grid)?
+            .outputs;
+        cur_plan = next;
+    }
+    Ok(cur)
+}
+
 /// Runs the temporally chained pipeline for `cmd_engine`: one stage per
 /// name in `chain` appended after the spec's kernel, executed through
 /// [`Session::then`] in the requested mode, and verified bit-exact
 /// against running the stages sequentially with a materialized
-/// intermediate grid between each pair.
+/// intermediate grid between each pair. A chain name that matches a
+/// suite benchmark (e.g. `blur3x3`) brings that benchmark's own window
+/// and datapath, so stages may be heterogeneous; other names fall back
+/// to the spec's window with the window-sum datapath.
 #[allow(clippy::too_many_arguments)]
 fn run_chain(
     plan: &MemorySystemPlan,
@@ -617,18 +645,23 @@ fn run_chain(
     chain: &[String],
 ) -> Result<(String, stencil_telemetry::SessionMetrics), CmdError> {
     let compute = stencil_kernels::default_compute();
-    // Every chained stage reuses the spec's window and the spec-file
-    // window-sum datapath; compiled backends get the expression form so
-    // chained stages sweep too.
+    // A chain name naming a suite benchmark chains that benchmark's own
+    // window and datapath (heterogeneous chains like
+    // `--chain denoise,blur3x3`); any other name reuses the spec's
+    // window with the spec-file window-sum datapath, where compiled
+    // backends get the expression form so chained stages sweep too.
     let stages: Vec<KernelStage> = chain
         .iter()
-        .map(|name| {
-            let stage = KernelStage::new(name.clone(), spec.offsets().to_vec(), compute);
-            match backend {
-                KernelBackend::Compiled => {
-                    stage.with_expr(KernelExpr::window_sum(spec.window_size()))
+        .map(|name| match stencil_kernels::find_benchmark(name) {
+            Some(bench) => bench.stage(),
+            None => {
+                let stage = KernelStage::new(name.clone(), spec.offsets().to_vec(), compute);
+                match backend {
+                    KernelBackend::Compiled => {
+                        stage.with_expr(KernelExpr::window_sum(spec.window_size()))
+                    }
+                    KernelBackend::Closure => stage,
                 }
-                KernelBackend::Closure => stage,
             }
         })
         .collect();
@@ -652,23 +685,12 @@ fn run_chain(
 
     // Sequential reference: fold the grid through one single-stage
     // session per chained kernel, materializing every intermediate.
-    let mut cur_plan = plan.clone();
-    let mut cur = Session::new(plan)
+    let first = Session::new(plan)
         .kernel(session_kernel)
         .backend(backend)
         .run(input)?
         .outputs;
-    for stage in &stages {
-        let next = cur_plan.chain_next(stage.name(), stage.window())?;
-        let idx = next.input_domain().index()?;
-        let grid = InputGrid::new(&idx, &cur)?;
-        cur = Session::new(&next)
-            .kernel(SessionKernel::Closure(&compute))
-            .run(&grid)?
-            .outputs;
-        cur_plan = next;
-    }
-    if run.outputs != cur {
+    if run.outputs != sequential_fold(plan, first, &stages)? {
         return Err("chained pipeline diverged from sequential stage execution".into());
     }
 
@@ -678,6 +700,16 @@ fn run_chain(
         out,
         "chained residency: peak {} values, planned bound {}",
         run.report.peak_resident, planned_bound
+    );
+    let _ = writeln!(
+        out,
+        "stage backends: {}",
+        run.report
+            .stages
+            .iter()
+            .map(|s| format!("{}={}", s.label, s.backend))
+            .collect::<Vec<_>>()
+            .join(" -> ")
     );
     let _ = writeln!(
         out,

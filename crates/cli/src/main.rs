@@ -36,7 +36,8 @@ fn usage() -> &'static str {
      stencil engine   <spec.stencil> [--streams K] [--tiles N] [--threads T] \
      [--kernel compiled|closure] [--crosscheck] \
      [--unroll U] [--datapath f64|f32] \
-     [--streaming [--chunk-rows N]] [--chain s2,s3,...] \
+     [--streaming [--chunk-rows N]] [--chain NAME,NAME,... (suite benchmarks chain \
+     their own windows)] \
      [--iterate T [--epsilon E]] [--input-grid F.sgrid] [--output-grid F.sgrid] \
      [--metrics-out M.json]\n  \
      stencil rtl      <spec.stencil> \
@@ -564,6 +565,63 @@ mod tests {
             ",".into(),
         ])
         .is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_chain_flag_accepts_benchmark_stages() {
+        let dir = std::env::temp_dir().join("stencil_cli_hetero_chain_test");
+        fs::create_dir_all(&dir).unwrap();
+        let spec = write_spec(&dir);
+        // `blur3x3` names a suite benchmark, so the chained stage gets
+        // the 9-tap 3x3 window instead of the spec's 5-point cross.
+        let out = run(vec![
+            "engine".into(),
+            spec.display().to_string(),
+            "--streaming".into(),
+            "--chunk-rows".into(),
+            "1".into(),
+            "--chain".into(),
+            "blur3x3".into(),
+        ])
+        .unwrap();
+        assert!(
+            out.text.contains("session [streaming]: 2 stage(s)"),
+            "{}",
+            out.text
+        );
+        assert!(
+            out.text
+                .contains("stage backends: denoise=compiled -> BLUR3X3=compiled"),
+            "{}",
+            out.text
+        );
+        assert!(out.text.contains("9-tap/3-row"), "{}", out.text);
+        assert!(
+            out.text
+                .contains("verified chained pipeline against sequential stages"),
+            "{}",
+            out.text
+        );
+        assert_eq!(out.violations, 0);
+        // A benchmark stage whose window erodes the remaining rows to
+        // nothing is a clean configuration error, not a panic.
+        let tiny = dir.join("tiny.stencil");
+        fs::write(
+            &tiny,
+            "name tiny\ngrid 4 8\nelement_bits 16\noffset -1 0\noffset 0 0\noffset 1 0\n",
+        )
+        .unwrap();
+        let e = match run(vec![
+            "engine".into(),
+            tiny.display().to_string(),
+            "--chain".into(),
+            "blur3x3,blur3x3".into(),
+        ]) {
+            Err(e) => e,
+            Ok(_) => panic!("an over-eroding chain must be rejected"),
+        };
+        assert!(e.to_string().contains("zero rows"), "{e}");
         let _ = fs::remove_dir_all(&dir);
     }
 

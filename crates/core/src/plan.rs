@@ -194,6 +194,33 @@ impl MemorySystemPlan {
         &self.feeds
     }
 
+    /// The stencil window's span per dimension (`max − min + 1` over
+    /// the filter offsets): the halo reach this stage erodes its input
+    /// domain by, and the window extent per-stage telemetry reports.
+    /// In a heterogeneous chain each stage's reuse buffer is sized from
+    /// *its own* spans (the paper's Sec. 2.3 bound applied stage-wise),
+    /// so these differ stage to stage.
+    #[must_use]
+    pub fn window_extents(&self) -> Vec<i64> {
+        (0..self.iteration_domain.dims())
+            .map(|d| {
+                let lo = self
+                    .filters
+                    .iter()
+                    .map(|f| f.offset[d])
+                    .min()
+                    .expect("window is non-empty");
+                let hi = self
+                    .filters
+                    .iter()
+                    .map(|f| f.offset[d])
+                    .max()
+                    .expect("window is non-empty");
+                hi - lo + 1
+            })
+            .collect()
+    }
+
     /// Number of array references / kernel data ports (`n`).
     #[must_use]
     pub fn port_count(&self) -> usize {
@@ -385,6 +412,8 @@ mod tests {
         assert_eq!(p.min_total_size(), 2048);
         assert!(p.linearity_holds());
         assert_eq!(p.target_ii(), 1);
+        // The 5-point cross spans 3 rows and 3 columns.
+        assert_eq!(p.window_extents(), vec![3, 3]);
         let storages: Vec<StorageKind> = p
             .feeds()
             .iter()

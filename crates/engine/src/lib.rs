@@ -97,7 +97,8 @@ pub use serve::{
     ServiceConfig, ServiceFront, ServiceOutcome, ShardPolicy, Submission,
 };
 pub use session::{
-    ExecMode, IterateReport, Session, SessionKernel, SessionReport, SessionRun, StageReport,
+    ExecMode, IterateReport, Session, SessionKernel, SessionReport, SessionRun, StagePlan,
+    StageReport,
 };
 pub use stream::{
     FnSource, MmapSink, MmapSource, ReadSource, RowSink, RowSource, SliceSource, VecSink, WriteSink,

@@ -22,16 +22,26 @@
 //! # Temporal chaining
 //!
 //! [`Session::then`] appends a second kernel stage whose input is the
-//! previous stage's output. The chained plan is derived by *eroding*
-//! the upstream iteration domain by the new stage's window
-//! ([`MemorySystemPlan::chain_next`]), which makes the stages line up
-//! exactly: stage `k + 1`'s input domain equals stage `k`'s iteration
-//! domain, row for row. Under [`ExecMode::Streaming`] the stages run as
-//! coupled halo windows — stage `k`'s output rows feed stage `k + 1`
-//! without materializing an intermediate grid, so a 2-stage DENOISE
-//! chain keeps roughly *two* halo windows resident instead of a full
-//! frame. The session report sums the per-stage windows into one
-//! chained residency bound that the telemetry validator can check.
+//! previous stage's output. Chains are *heterogeneous*: each stage
+//! carries its own window shape and resolves its own backend. The
+//! chained plan is derived by *eroding* the upstream iteration domain
+//! by the new stage's own window ([`MemorySystemPlan::chain_next`]),
+//! and the inter-stage reuse buffer is sized from that stage's own
+//! reuse distances — the paper's Sec. 2.3 bound applied stage-wise —
+//! which makes the stages line up exactly: stage `k + 1`'s input
+//! domain equals stage `k`'s iteration domain, row for row. Each stage
+//! independently executes compiled bytecode (when its
+//! [`KernelStage::expr`] exists) or its closure, overridable per stage
+//! via [`Session::stage_backend`]; [`Session::stage_plans`] exposes the
+//! resolved per-stage recipe ([`StagePlan`]) without running. Under
+//! [`ExecMode::Streaming`] the stages run as coupled halo windows of
+//! possibly different reaches — stage `k`'s output rows feed stage
+//! `k + 1` without materializing an intermediate grid, so a DENOISE →
+//! 3x3-blur chain keeps roughly two (differently sized) halo windows
+//! resident instead of a full frame. The session report carries each
+//! stage's backend, window shape, and residency bound, and sums the
+//! per-stage windows into one chained residency bound that the
+//! telemetry validator re-checks per stage.
 //!
 //! # Iterative time-stepping
 //!
@@ -195,6 +205,10 @@ struct Stage<'a> {
     plan: PlanRef<'a>,
     kernel: Option<StageKernel<'a>>,
     label: String,
+    /// Per-stage backend override; `None` inherits the session default.
+    backend: Option<KernelBackend>,
+    /// Per-stage unroll override; `None` inherits the session default.
+    unroll: Option<usize>,
     /// The stage's band schedules, one entry per [`TileKey`], built on
     /// first use and reused across runs — the hoist that keeps
     /// `iterate` from paying tile-plan validation per step. Keyed (not
@@ -210,6 +224,8 @@ impl<'a> Stage<'a> {
             plan,
             kernel,
             label,
+            backend: None,
+            unroll: None,
             tile: RefCell::new(Vec::new()),
         }
     }
@@ -329,6 +345,72 @@ impl<'a> Stage<'a> {
                 }
             }
         }
+    }
+}
+
+/// The resolved execution recipe of one pipeline stage: its own window
+/// geometry (via the derived plan), the backend it will execute under,
+/// and its sweep shape. A heterogeneous chain is a sequence of these —
+/// each stage erodes the domain by *its* halo, sizes its inter-stage
+/// reuse buffer from *its* reuse distances (the paper's Sec. 2.3 bound
+/// applied stage-wise), and independently picks the compiled sweep
+/// (when the stage carries a [`stencil_kernels::KernelExpr`]) or the
+/// closure path.
+///
+/// Obtained from [`Session::stage_plans`]; every execution mode
+/// (in-core, streaming, iterate) resolves stages through the same path,
+/// so what `stage_plans` reports is exactly what a run executes.
+pub struct StagePlan<'s> {
+    /// The stage's label (kernel/plan name).
+    pub label: &'s str,
+    /// The stage's memory-system plan: domain already eroded by this
+    /// stage's window, reuse buffers sized from this stage's own
+    /// reuse distances.
+    pub plan: &'s MemorySystemPlan,
+    /// The backend this stage resolves to: per-stage override if set,
+    /// else the session default — and always [`KernelBackend::Closure`]
+    /// for stages without compiled bytecode.
+    pub backend: KernelBackend,
+    /// The compiled-sweep unroll factor this stage requests (ignored by
+    /// closure stages, which always evaluate per element).
+    pub unroll: usize,
+    /// Arithmetic width of this stage's compiled sweeps.
+    pub datapath: Datapath,
+    /// The resolved row executor.
+    kernel: Box<dyn RowKernel + 's>,
+}
+
+impl StagePlan<'_> {
+    /// Number of taps in this stage's window.
+    #[must_use]
+    pub fn window_taps(&self) -> u64 {
+        self.plan.port_count() as u64
+    }
+
+    /// The window's outermost-dimension span in rows — the halo reach
+    /// this stage erodes its input by, and the number of upstream rows
+    /// that must be resident for one output row under streaming.
+    #[must_use]
+    pub fn window_rows(&self) -> u64 {
+        self.plan
+            .window_extents()
+            .first()
+            .copied()
+            .and_then(|e| u64::try_from(e).ok())
+            .unwrap_or(1)
+    }
+}
+
+impl fmt::Debug for StagePlan<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StagePlan")
+            .field("label", &self.label)
+            .field("backend", &self.backend)
+            .field("unroll", &self.unroll)
+            .field("datapath", &self.datapath)
+            .field("window_taps", &self.window_taps())
+            .field("window_rows", &self.window_rows())
+            .finish_non_exhaustive()
     }
 }
 
@@ -478,6 +560,32 @@ impl<'a> Session<'a> {
         self
     }
 
+    /// Overrides the kernel backend of the *most recently added* stage,
+    /// making the chain heterogeneous: each stage may sweep compiled
+    /// bytecode while its neighbours run closures, independent of the
+    /// session-wide default set by [`Session::backend`]. Stages without
+    /// compiled bytecode still execute per element regardless.
+    #[must_use]
+    pub fn stage_backend(mut self, backend: KernelBackend) -> Self {
+        self.stages
+            .last_mut()
+            .expect("sessions always have at least one stage")
+            .backend = Some(backend);
+        self
+    }
+
+    /// Overrides the compiled-sweep unroll factor of the *most recently
+    /// added* stage (see [`Session::unroll`] for the session-wide
+    /// default and validation rules).
+    #[must_use]
+    pub fn stage_unroll(mut self, unroll: usize) -> Self {
+        self.stages
+            .last_mut()
+            .expect("sessions always have at least one stage")
+            .unroll = Some(unroll);
+        self
+    }
+
     /// Overrides the first stage's tiling with a pre-computed
     /// [`TilePlan`] (in-core modes only; streaming derives its own band
     /// schedule from the mode's `chunk_rows`).
@@ -495,25 +603,56 @@ impl<'a> Session<'a> {
     }
 
     /// Appends a chained stage: `stage`'s kernel consumes the previous
-    /// stage's output grid. The chained plan is derived by eroding the
-    /// upstream iteration domain by `stage`'s window, so the stages
-    /// line up row for row (checked with
-    /// [`MemorySystemPlan::chains_from`]).
+    /// stage's output grid. The stage carries **its own window** — it
+    /// need not match the upstream one — and the chained plan is
+    /// derived by eroding the upstream iteration domain by *this*
+    /// stage's window, with the inter-stage reuse buffer sized from
+    /// this stage's own reuse distances
+    /// ([`MemorySystemPlan::chain_next`]); the stages still line up row
+    /// for row (checked with [`MemorySystemPlan::chains_from`]).
     ///
     /// When `stage` carries a [`stencil_kernels::KernelExpr`], the
     /// chained stage compiles it to bytecode (validated against the
     /// stage's closure); otherwise it evaluates the closure directly.
+    /// Either way the stage's backend can be overridden individually
+    /// with [`Session::stage_backend`] right after this call.
     ///
     /// # Errors
     ///
-    /// * [`EngineError::Plan`] if the eroded domain is empty or the
-    ///   derived plan cannot be generated (window consumes the grid).
-    /// * [`EngineError::Config`] if the derived plan does not chain
-    ///   exactly from the upstream stage.
+    /// * [`EngineError::Config`] if `stage`'s window dimensionality
+    ///   does not match the upstream domain, or its halo erodes the
+    ///   upstream domain to zero rows (window consumes the grid), or
+    ///   the derived plan does not chain exactly from the upstream
+    ///   stage.
+    /// * [`EngineError::Plan`] if the derived plan cannot be generated.
     /// * [`EngineError::KernelCompile`] / [`EngineError::KernelMismatch`]
     ///   if the stage's expression fails to compile or validate.
     pub fn then(mut self, stage: &KernelStage) -> Result<Self, EngineError> {
         let upstream = self.last_stage()?.plan.get();
+        if stage.dims() != upstream.iteration_domain().dims() {
+            return Err(EngineError::Config {
+                detail: format!(
+                    "stage '{}' cannot chain from '{}': its window is {}-dimensional but the \
+                     upstream domain has {} dimensions",
+                    stage.name(),
+                    upstream.name(),
+                    stage.dims(),
+                    upstream.iteration_domain().dims()
+                ),
+            });
+        }
+        let eroded = upstream.iteration_domain().eroded(stage.window());
+        if eroded.is_empty().map_err(|e| EngineError::Plan(e.into()))? {
+            return Err(EngineError::Config {
+                detail: format!(
+                    "stage '{}' cannot chain from '{}': its {}-row window erodes the upstream \
+                     iteration domain to zero rows",
+                    stage.name(),
+                    upstream.name(),
+                    stage.window_extents().first().copied().unwrap_or(1)
+                ),
+            });
+        }
         let next = upstream.chain_next(stage.name(), stage.window())?;
         if !next.chains_from(upstream)? {
             return Err(EngineError::Config {
@@ -674,6 +813,42 @@ impl<'a> Session<'a> {
     #[must_use]
     pub fn stage_plan(&self, i: usize) -> Option<&MemorySystemPlan> {
         self.stages.get(i).map(|s| s.plan.get())
+    }
+
+    /// Resolves one stage into its execution recipe: window check for
+    /// compiled kernels, per-stage backend/unroll (override or session
+    /// default), and the row executor. Every execution path — in-core,
+    /// streaming, and the iterate ring — goes through here, so the
+    /// per-stage choice is made in exactly one place.
+    fn resolve<'s>(&'s self, stage: &'s Stage<'a>) -> Result<StagePlan<'s>, EngineError> {
+        let plan = stage.plan.get();
+        if let Some(k) = stage.compiled() {
+            check_kernel_window(plan, k)?;
+        }
+        let requested = stage.backend.unwrap_or(self.backend);
+        let unroll = stage.unroll.unwrap_or(self.unroll);
+        let kernel = stage.row_kernel(requested, unroll, self.datapath)?;
+        Ok(StagePlan {
+            label: &stage.label,
+            plan,
+            backend: stage.effective_backend(requested),
+            unroll,
+            datapath: self.datapath,
+            kernel,
+        })
+    }
+
+    /// Resolves every stage's [`StagePlan`] — the per-stage window,
+    /// backend, and sweep shape a run would execute — without running
+    /// anything. Pipeline order.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Config`] for stages missing a kernel or with an
+    /// invalid sweep shape, plus the window checker's error when a
+    /// compiled kernel does not fit its stage plan.
+    pub fn stage_plans(&self) -> Result<Vec<StagePlan<'_>>, EngineError> {
+        self.stages.iter().map(|s| self.resolve(s)).collect()
     }
 
     /// The planned chained residency bound under streaming: the sum
@@ -849,12 +1024,8 @@ impl<'a> Session<'a> {
         let mut stage_peaks = Vec::with_capacity(self.stages.len());
         let mut threads_used = 1usize;
         for (i, stage) in self.stages.iter().enumerate() {
-            let plan = stage.plan.get();
-            if let Some(k) = stage.compiled() {
-                check_kernel_window(plan, k)?;
-            }
-            let kernel = stage.row_kernel(self.backend, self.unroll, self.datapath)?;
-            let backend = stage.effective_backend(self.backend);
+            let sp = self.resolve(stage)?;
+            let plan = sp.plan;
             let tp_owned;
             let tile_plan = match (i, self.tile_plan) {
                 (0, Some(tp)) => tp,
@@ -874,18 +1045,36 @@ impl<'a> Session<'a> {
             peak += stage_peak;
             stage_peaks.push(stage_peak);
             let (outputs, report) = if i == 0 {
-                execute_tiled(plan, tile_plan, input, &*kernel, self.threads, backend)?
+                execute_tiled(
+                    plan,
+                    tile_plan,
+                    input,
+                    &*sp.kernel,
+                    self.threads,
+                    sp.backend,
+                )?
             } else {
                 let idx = plan
                     .input_domain()
                     .index()
                     .map_err(|e| EngineError::Plan(e.into()))?;
                 let grid = InputGrid::new(&idx, &cur)?;
-                execute_tiled(plan, tile_plan, &grid, &*kernel, self.threads, backend)?
+                execute_tiled(
+                    plan,
+                    tile_plan,
+                    &grid,
+                    &*sp.kernel,
+                    self.threads,
+                    sp.backend,
+                )?
             };
             threads_used = threads_used.max(report.threads);
             stage_reports.push(StageReport {
                 label: stage.label.clone(),
+                backend: sp.backend,
+                window_taps: sp.window_taps(),
+                window_rows: sp.window_rows(),
+                resident_bound: stage_peak,
                 engine: Some(report),
                 stream: None,
             });
@@ -942,19 +1131,16 @@ impl<'a> Session<'a> {
         let started = Instant::now();
         let built_before = self.tiles_built.get();
         let mut machines: Vec<StreamStage<'_>> = Vec::with_capacity(self.stages.len());
+        let mut stage_shapes = Vec::with_capacity(self.stages.len());
         for stage in &self.stages {
-            let plan = stage.plan.get();
-            if let Some(k) = stage.compiled() {
-                check_kernel_window(plan, k)?;
-            }
-            let kernel = stage.row_kernel(self.backend, self.unroll, self.datapath)?;
-            let backend = stage.effective_backend(self.backend);
+            let sp = self.resolve(stage)?;
             let tile_plan = stage.tiles(TileKey::Chunk(chunk_rows), Some(&self.tiles_built))?;
+            stage_shapes.push((sp.backend, sp.window_taps(), sp.window_rows()));
             machines.push(StreamStage::new(
-                plan,
+                sp.plan,
                 tile_plan,
-                kernel,
-                backend,
+                sp.kernel,
+                sp.backend,
                 chunk_rows,
                 self.threads,
             )?);
@@ -983,7 +1169,9 @@ impl<'a> Session<'a> {
         let mut stage_peaks = Vec::with_capacity(machines.len());
         let mut threads_used = 1usize;
         let mut stage_reports = Vec::with_capacity(machines.len());
-        for (stage, m) in self.stages.iter().zip(&machines) {
+        for ((stage, m), &(backend, window_taps, window_rows)) in
+            self.stages.iter().zip(&machines).zip(&stage_shapes)
+        {
             peak += m.peak_resident();
             bound += m.runtime_bound();
             stage_peaks.push(m.peak_resident());
@@ -991,6 +1179,10 @@ impl<'a> Session<'a> {
             threads_used = threads_used.max(r.threads);
             stage_reports.push(StageReport {
                 label: stage.label.clone(),
+                backend,
+                window_taps,
+                window_rows,
+                resident_bound: m.runtime_bound(),
                 engine: None,
                 stream: Some(r),
             });
@@ -1072,11 +1264,9 @@ impl<'a> Session<'a> {
         let built_before = self.tiles_built.get();
         let stage = &self.stages[0];
         let base_plan = stage.plan.get();
-        if let Some(k) = stage.compiled() {
-            check_kernel_window(base_plan, k)?;
-        }
-        let kernel = stage.row_kernel(self.backend, self.unroll, self.datapath)?;
-        let backend = stage.effective_backend(self.backend);
+        let sp = self.resolve(stage)?;
+        let (backend, window_taps, window_rows) = (sp.backend, sp.window_taps(), sp.window_rows());
+        let kernel = sp.kernel;
         let window = plan_offsets(base_plan);
         let name = base_plan.name().to_string();
 
@@ -1131,17 +1321,21 @@ impl<'a> Session<'a> {
             let delta = max_abs_delta(&out_idx, &outputs, prev_idx, prev_vals)?;
             steps += 1;
             threads_used = threads_used.max(report.threads);
-            step_peaks.push(
-                plan.input_domain()
-                    .count()
-                    .map_err(|e| EngineError::Plan(e.into()))?,
-            );
+            let step_peak = plan
+                .input_domain()
+                .count()
+                .map_err(|e| EngineError::Plan(e.into()))?;
+            step_peaks.push(step_peak);
             stage_reports.push(StageReport {
                 label: if k == 1 {
                     name.clone()
                 } else {
                     format!("{name}@t{k}")
                 },
+                backend,
+                window_taps,
+                window_rows,
+                resident_bound: step_peak,
                 engine: Some(report),
                 stream: None,
             });
@@ -1252,6 +1446,17 @@ pub struct SessionRun {
 pub struct StageReport {
     /// The stage's kernel/plan name.
     pub label: String,
+    /// The backend this stage resolved to — per-stage, so a
+    /// heterogeneous chain reports e.g. compiled, closure, compiled.
+    pub backend: KernelBackend,
+    /// Number of taps in this stage's window.
+    pub window_taps: u64,
+    /// The window's outermost-dimension span in rows (this stage's
+    /// halo reach).
+    pub window_rows: u64,
+    /// This stage's own planned residency ceiling: its halo-window
+    /// bound under streaming, its whole input grid in core.
+    pub resident_bound: u64,
     /// In-core statistics, when the stage ran through the tiled
     /// executor.
     pub engine: Option<RunReport>,
@@ -1369,6 +1574,10 @@ impl SessionReport {
                 .iter()
                 .map(|s| stencil_telemetry::StageMetrics {
                     label: s.label.clone(),
+                    backend: s.backend.as_str().to_string(),
+                    window_taps: s.window_taps,
+                    window_rows: s.window_rows,
+                    resident_bound: s.resident_bound,
                     engine: s.engine.as_ref().map(RunReport::metrics),
                     stream: s.stream.as_ref().map(StreamReport::metrics),
                 })
@@ -1412,6 +1621,19 @@ impl fmt::Display for SessionReport {
             "  resident: peak {} values (bound {})",
             self.peak_resident, self.resident_bound
         )?;
+        if self.stages.len() > 1 {
+            let desc: Vec<String> = self
+                .stages
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{}[{} {}-tap/{}-row <= {}]",
+                        s.label, s.backend, s.window_taps, s.window_rows, s.resident_bound
+                    )
+                })
+                .collect();
+            writeln!(f, "  pipeline: {}", desc.join(" -> "))?;
+        }
         if let Some(it) = &self.iterate {
             writeln!(
                 f,
@@ -2387,9 +2609,20 @@ mod tests {
             compute,
         );
         let session = Session::new(&plan).kernel(SessionKernel::Closure(&compute));
-        // 6 rows erode to nothing under a 7-row vertical window.
+        // 6 rows erode to nothing under a 7-row vertical window. This is
+        // a configuration mistake the caller can act on, not a planner
+        // failure, so it surfaces as the typed `Config` variant with the
+        // stage, its upstream, and the offending window extent named.
         let e = session.then(&tall).unwrap_err();
-        assert!(matches!(e, EngineError::Plan(_)), "{e}");
+        match e {
+            EngineError::Config { ref detail } => {
+                assert!(detail.contains("'tall'"), "{detail}");
+                assert!(detail.contains("'denoise'"), "{detail}");
+                assert!(detail.contains("7-row window"), "{detail}");
+                assert!(detail.contains("zero rows"), "{detail}");
+            }
+            other => panic!("expected EngineError::Config, got {other}"),
+        }
     }
 
     #[test]
@@ -2414,6 +2647,61 @@ mod tests {
         assert!(s.contains("2 stage(s)"), "{s}");
         assert!(s.contains("stage 'stage2'"), "{s}");
         assert!(run.report.throughput() >= 0.0);
+        // With >1 stage the report also renders the per-stage pipeline
+        // shape: backend, window taps/rows, and the residency bound.
+        assert!(s.contains("pipeline:"), "{s}");
+        assert!(s.contains("5-tap/3-row"), "{s}");
+    }
+
+    #[test]
+    fn stage_plans_resolve_per_stage_backends_and_overrides() {
+        let plan = plan_5pt(20, 24);
+        let ck = compiled_5pt();
+        let stage2 = stage_5pt("s2").with_expr(expr_5pt());
+        let stage3 = stage_5pt("s3"); // closure-only, no expression
+        let session = Session::new(&plan)
+            .kernel(SessionKernel::Compiled(&ck))
+            .unroll(2)
+            .then(&stage2)
+            .unwrap()
+            .stage_unroll(4)
+            .then(&stage3)
+            .unwrap()
+            // Requesting the compiled backend on an expression-less
+            // stage resolves to the closure fallback, per stage.
+            .stage_backend(KernelBackend::Compiled);
+        let plans = session.stage_plans().unwrap();
+        assert_eq!(plans.len(), 3);
+        assert_eq!(plans[0].backend, KernelBackend::Compiled);
+        assert_eq!(plans[0].unroll, 2);
+        assert_eq!(plans[1].backend, KernelBackend::Compiled);
+        assert_eq!(plans[1].unroll, 4);
+        assert_eq!(plans[2].backend, KernelBackend::Closure);
+        assert!(plans.iter().all(|p| p.window_taps() == 5));
+        assert!(plans.iter().all(|p| p.window_rows() == 3));
+        assert_eq!(plans[1].label, "s2");
+        assert_eq!(plans[2].plan.name(), "s3");
+
+        // The resolved mixed-backend pipeline still executes
+        // bit-identically to the all-closure chain.
+        let in_idx = plan.input_domain().index().unwrap();
+        let vals = ramp(in_idx.len());
+        let input = InputGrid::new(&in_idx, &vals).unwrap();
+        let run = session.run(&input).unwrap();
+        assert_eq!(run.report.stages[0].backend, KernelBackend::Compiled);
+        assert_eq!(run.report.stages[1].backend, KernelBackend::Compiled);
+        assert_eq!(run.report.stages[2].backend, KernelBackend::Closure);
+        let golden = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&compute))
+            .then(&stage2)
+            .unwrap()
+            .stage_backend(KernelBackend::Closure)
+            .then(&stage3)
+            .unwrap()
+            .run(&input)
+            .unwrap()
+            .outputs;
+        assert_eq!(run.outputs, golden);
     }
 
     // ---- iterative time-stepping ----

@@ -8,11 +8,12 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use proptest::prelude::*;
 use stencil_core::MemorySystemPlan;
 use stencil_engine::{
-    CompiledKernel, ExecMode, InputGrid, KernelBackend, Session, SessionKernel, SliceSource,
-    VecSink,
+    CompiledKernel, EngineError, ExecMode, InputGrid, KernelBackend, Session, SessionKernel,
+    SliceSource, VecSink,
 };
 use stencil_kernels::{
     accelerate, extra_suite, paper_suite, run_golden, Benchmark, GridValues, KernelExpr, KernelOps,
+    KernelStage,
 };
 use stencil_polyhedral::{DomainIndex, Point, Polyhedron};
 
@@ -433,6 +434,91 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Heterogeneous temporal chains over random window *pairs*: the
+    /// fused two-stage streaming pipeline reassembles bit-identically
+    /// to sequentially materialised stages, and every stage's observed
+    /// peak residency stays within its own declared per-stage bound
+    /// (whose sum in turn covers the whole session's peak).
+    #[test]
+    fn mixed_window_chains_stay_within_per_stage_bounds(
+        offs1 in prop::collection::btree_set(((-2i64..=2), (-2i64..=2)), 2..=6),
+        offs2 in prop::collection::btree_set(((-2i64..=2), (-2i64..=2)), 2..=6),
+        rows in 14i64..24,
+        cols in 14i64..24,
+        chunk in 1u64..=6,
+        threads in 1usize..=3,
+        seed in 0u64..1_000_000,
+    ) {
+        let offs1: Vec<(i64, i64)> = offs1.into_iter().collect();
+        let offs2: Vec<(i64, i64)> = offs2.into_iter().collect();
+        let bench = bench_2d(&offs1, rows, cols);
+        let extents = [rows, cols];
+        let grid = seeded_grid(&extents, seed);
+        let spec = bench.spec_for(&extents).expect("spec");
+        let plan = MemorySystemPlan::generate(&spec).expect("plan");
+
+        let window2: Vec<Point> = offs2.iter().map(|&(a, b)| Point::new(&[a, b])).collect();
+        let stage2 = KernelStage::new("st2", window2, weighted_sum);
+
+        // Some random pairs legitimately do not chain (the downstream
+        // stage's dilation of the eroded domain misses upstream rows);
+        // `then` rejects those with the typed Config error — skip them.
+        let session = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&weighted_sum))
+            .mode(ExecMode::Streaming { chunk_rows: Some(chunk) })
+            .threads(threads);
+        let session = match session.then(&stage2) {
+            Ok(s) => s,
+            Err(EngineError::Config { .. }) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("then: {e}"))),
+        };
+
+        // Sequential reference: materialise the intermediate grid.
+        let in_idx = plan.input_domain().index().expect("input index");
+        let in_vals = domain_values(&plan, &grid);
+        let input = InputGrid::new(&in_idx, &in_vals).expect("input");
+        let first = Session::new(&plan)
+            .kernel(SessionKernel::Closure(&weighted_sum))
+            .run(&input)
+            .map_err(|e| TestCaseError::fail(format!("stage 1: {e}")))?
+            .outputs;
+        let next = plan
+            .chain_next("st2", stage2.window())
+            .map_err(|e| TestCaseError::fail(format!("chain_next: {e}")))?;
+        let mid_idx = next.input_domain().index().expect("mid index");
+        let mid = InputGrid::new(&mid_idx, &first).expect("intermediate");
+        let golden = Session::new(&next)
+            .kernel(SessionKernel::Closure(&weighted_sum))
+            .run(&mid)
+            .map_err(|e| TestCaseError::fail(format!("stage 2: {e}")))?
+            .outputs;
+
+        // Fused heterogeneous chain, streaming at a random chunk.
+        let mut source = SliceSource::new(&in_vals);
+        let mut sink = VecSink::new();
+        let report = session
+            .run_streaming(&mut source, &mut sink)
+            .map_err(|e| TestCaseError::fail(format!("chained streaming: {e}")))?;
+        prop_assert_eq!(&sink.values, &golden, "chunk={} threads={}", chunk, threads);
+
+        let mut summed = 0u64;
+        for s in &report.stages {
+            let sm = s.stream.as_ref().expect("stream report");
+            prop_assert!(
+                sm.peak_resident <= s.resident_bound,
+                "stage {}: peak {} > declared bound {}",
+                s.label, sm.peak_resident, s.resident_bound
+            );
+            summed += s.resident_bound;
+        }
+        prop_assert!(
+            report.peak_resident <= summed,
+            "session peak {} > summed per-stage bounds {}",
+            report.peak_resident, summed
+        );
+        prop_assert!(report.within_residency_bound());
     }
 
     /// The compiled row-sweep executor and the scalar bytecode

@@ -431,6 +431,27 @@ impl KernelStage {
         &self.offsets
     }
 
+    /// The window's dimensionality.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.offsets[0].dims()
+    }
+
+    /// The window's span per dimension (`max − min + 1` over the tap
+    /// offsets): the halo extent a chained session erodes the upstream
+    /// domain by, and the per-stage reuse-buffer reach the paper's
+    /// Sec. 2.3 bound is computed from.
+    #[must_use]
+    pub fn window_extents(&self) -> Vec<i64> {
+        (0..self.dims())
+            .map(|d| {
+                let lo = self.offsets.iter().map(|f| f[d]).min().expect("non-empty");
+                let hi = self.offsets.iter().map(|f| f[d]).max().expect("non-empty");
+                hi - lo + 1
+            })
+            .collect()
+    }
+
     /// The closure datapath.
     #[must_use]
     pub fn compute_fn(&self) -> ComputeFn {
@@ -515,6 +536,9 @@ mod tests {
         let s = b.stage();
         assert_eq!(s.name(), b.name());
         assert_eq!(s.window(), b.window());
+        assert_eq!(s.dims(), 2);
+        // The 5-point cross spans 3 rows and 3 columns.
+        assert_eq!(s.window_extents(), vec![3, 3]);
         assert!(s.expr().is_some());
         let w = [1.0, 2.0, 3.0, 4.0, 5.0];
         assert_eq!((s.compute_fn())(&w), b.compute(&w));

@@ -109,6 +109,36 @@ pub fn gaussian_3x3() -> Benchmark {
     })
 }
 
+/// BLUR3X3 (2D, 768×1024): the unweighted 9-point box blur on the
+/// DENOISE grid — the canonical post-processing stage for
+/// heterogeneous temporal chains (e.g. DENOISE followed by BLUR3X3),
+/// where the downstream window differs from the upstream one and the
+/// inter-stage reuse buffer is sized from *this* stage's own halo.
+#[must_use]
+pub fn blur3x3() -> Benchmark {
+    let mut offsets = Vec::with_capacity(9);
+    for a in -1..=1i64 {
+        for b in -1..=1i64 {
+            offsets.push(Point::new(&[a, b]));
+        }
+    }
+    Benchmark::new(
+        "BLUR3X3",
+        vec![768, 1024],
+        offsets,
+        KernelOps {
+            adds: 8,
+            divs: 1,
+            ..KernelOps::default()
+        },
+        |v| v.iter().sum::<f64>() / 9.0,
+    )
+    .with_iteration_stable()
+    .with_shard_stable()
+    // `sum()` folds from 0.0; `window_sum` keeps that exact order.
+    .with_expr(KernelExpr::window_sum(9) / 9.0)
+}
+
 /// HEAT_1D (1D, 4096): the 3-point explicit heat-equation step — the
 /// smallest interesting chain (two depth-1 FIFOs).
 #[must_use]
@@ -290,6 +320,7 @@ pub fn extra_suite() -> Vec<Benchmark> {
         jacobi_2d(),
         relax_2d(),
         gaussian_3x3(),
+        blur3x3(),
         heat_1d(),
         fused_denoise(),
         high_order_2d(),
@@ -304,7 +335,7 @@ mod tests {
     #[test]
     fn extra_suite_windows() {
         let sizes: Vec<usize> = extra_suite().iter().map(|b| b.window().len()).collect();
-        assert_eq!(sizes, vec![5, 5, 9, 3, 13, 9, 4]);
+        assert_eq!(sizes, vec![5, 5, 9, 9, 3, 13, 9, 4]);
     }
 
     #[test]
@@ -332,6 +363,18 @@ mod tests {
     #[test]
     fn gaussian_preserves_constants() {
         assert!((gaussian_3x3().compute(&[5.0; 9]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blur_preserves_constants_and_matches_expr() {
+        let b = blur3x3();
+        assert!(b.iteration_stable() && b.shard_stable());
+        assert!((b.compute(&[7.0; 9]) - 7.0).abs() < 1e-12);
+        let vals: Vec<f64> = (0..9).map(|k| f64::from(k) * 1.25 - 3.0).collect();
+        let expr = b.expr().expect("blur carries its compilable form");
+        // Bit-identical, not approximately equal: the expr must fold in
+        // the same order as `iter().sum()`.
+        assert_eq!(expr.eval(&vals).to_bits(), b.compute(&vals).to_bits());
     }
 
     #[test]

@@ -43,8 +43,8 @@ pub use accel::{accelerate, accelerate_steps, AcceleratedRun};
 pub use benchmark::{default_compute, Benchmark, ComputeFn, KernelOps, KernelStage};
 pub use expr::KernelExpr;
 pub use extras::{
-    asymmetric_2d, extra_suite, fused_denoise, gaussian_3x3, heat_1d, high_order_2d, jacobi_2d,
-    relax_2d, skewed_denoise,
+    asymmetric_2d, blur3x3, extra_suite, fused_denoise, gaussian_3x3, heat_1d, high_order_2d,
+    jacobi_2d, relax_2d, skewed_denoise,
 };
 pub use golden::{run_golden, GridValues};
 pub use suite::{

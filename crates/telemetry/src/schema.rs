@@ -481,6 +481,20 @@ impl FromValue for StreamMetrics {
 pub struct StageMetrics {
     /// The stage's kernel label (benchmark or stage name).
     pub label: String,
+    /// The backend this stage resolved to ("compiled" / "closure") —
+    /// per stage, because a heterogeneous chain mixes them.
+    pub backend: String,
+    /// Number of taps in this stage's window (0 in pre-heterogeneous
+    /// reports, which did not record per-stage windows).
+    pub window_taps: u64,
+    /// The window's outermost-dimension span in rows — this stage's
+    /// halo reach (0 in pre-heterogeneous reports).
+    pub window_rows: u64,
+    /// This stage's own planned residency ceiling (0 when unknown):
+    /// its halo-window bound under streaming, its whole input grid in
+    /// core. The per-stage figure the tightened `ChainResidency` rule
+    /// checks `peak_resident` against.
+    pub resident_bound: u64,
     /// In-core counters, when the stage executed in core.
     pub engine: Option<EngineMetrics>,
     /// Streaming counters, when the stage executed out of core.
@@ -491,6 +505,10 @@ impl ToValue for StageMetrics {
     fn to_value(&self) -> Value {
         object(vec![
             ("label", self.label.to_value()),
+            ("backend", self.backend.to_value()),
+            ("window_taps", self.window_taps.to_value()),
+            ("window_rows", self.window_rows.to_value()),
+            ("resident_bound", self.resident_bound.to_value()),
             (
                 "engine",
                 self.engine
@@ -511,10 +529,37 @@ impl ToValue for StageMetrics {
 
 impl FromValue for StageMetrics {
     fn from_value(v: &Value) -> Result<Self, JsonError> {
+        let engine: Option<EngineMetrics> = field(v, "engine")?;
+        let stream: Option<StreamMetrics> = field(v, "stream")?;
         Ok(Self {
             label: field(v, "label")?,
-            engine: field(v, "engine")?,
-            stream: field(v, "stream")?,
+            // Absent in pre-heterogeneous reports: every stage ran the
+            // backend its sub-report recorded.
+            backend: match v.get("backend") {
+                None => engine
+                    .as_ref()
+                    .map(|e| e.backend.clone())
+                    .or_else(|| stream.as_ref().map(|s| s.backend.clone()))
+                    .unwrap_or_else(|| "closure".to_string()),
+                Some(s) => FromValue::from_value(s)?,
+            },
+            // Absent in pre-heterogeneous reports: window unrecorded.
+            window_taps: match v.get("window_taps") {
+                None => 0,
+                Some(s) => FromValue::from_value(s)?,
+            },
+            window_rows: match v.get("window_rows") {
+                None => 0,
+                Some(s) => FromValue::from_value(s)?,
+            },
+            // Absent in pre-heterogeneous reports: fall back to the
+            // stream sub-report's own bound, else unknown (0).
+            resident_bound: match v.get("resident_bound") {
+                None => stream.as_ref().map_or(0, |s| s.resident_bound),
+                Some(s) => FromValue::from_value(s)?,
+            },
+            engine,
+            stream,
         })
     }
 }
@@ -1099,6 +1144,10 @@ mod tests {
                 stages: vec![
                     StageMetrics {
                         label: "denoise".into(),
+                        backend: "compiled".into(),
+                        window_taps: 5,
+                        window_rows: 3,
+                        resident_bound: 72,
                         engine: None,
                         stream: Some(StreamMetrics {
                             outputs: 80,
@@ -1122,6 +1171,10 @@ mod tests {
                     },
                     StageMetrics {
                         label: "denoise+1".into(),
+                        backend: "compiled".into(),
+                        window_taps: 5,
+                        window_rows: 3,
+                        resident_bound: 66,
                         engine: None,
                         stream: Some(StreamMetrics {
                             outputs: 60,
@@ -1308,6 +1361,114 @@ mod tests {
         let stream = back.stream.unwrap();
         assert_eq!(stream.unroll, 1);
         assert_eq!(stream.datapath, "f64");
+    }
+
+    #[test]
+    fn pre_heterogeneous_stage_reports_derive_defaults() {
+        // Stage sections written before heterogeneous chains carry no
+        // per-stage backend/window/bound; schema v1 parsing must derive
+        // the backend from the stage's sub-report, the bound from the
+        // stream sub-report, and default the window fields to 0.
+        let mut report = MetricsReport::new("legacy-hetero");
+        report.session = Some(SessionMetrics {
+            mode: "streaming".into(),
+            threads: 1,
+            outputs: 60,
+            peak_resident: 66,
+            resident_bound: 66,
+            elapsed_ns: 10_000,
+            throughput: 6.0e6,
+            tile_plans_built: 0,
+            iterate: None,
+            grid_io: None,
+            stages: vec![
+                StageMetrics {
+                    label: "s0".into(),
+                    backend: "compiled".into(),
+                    window_taps: 5,
+                    window_rows: 3,
+                    resident_bound: 66,
+                    engine: None,
+                    stream: Some(StreamMetrics {
+                        outputs: 60,
+                        bands: 4,
+                        threads: 1,
+                        backend: "compiled".into(),
+                        unroll: 1,
+                        datapath: "f64".into(),
+                        chunk_rows: 1,
+                        rows_in: 10,
+                        values_in: 80,
+                        rows_out: 8,
+                        peak_resident: 66,
+                        resident_bound: 66,
+                        sweep_rows: 8,
+                        fast_rows: 0,
+                        gather_rows: 0,
+                        elapsed_ns: 10_000,
+                        throughput: 6.0e6,
+                    }),
+                },
+                StageMetrics {
+                    label: "s1".into(),
+                    backend: "closure".into(),
+                    window_taps: 9,
+                    window_rows: 3,
+                    resident_bound: 120,
+                    engine: Some(EngineMetrics {
+                        outputs: 60,
+                        tiles: 1,
+                        threads: 1,
+                        backend: "closure".into(),
+                        unroll: 1,
+                        datapath: "f64".into(),
+                        halo_elements: 120,
+                        elapsed_ns: 10_000,
+                        throughput: 6.0e6,
+                        per_tile: Vec::new(),
+                    }),
+                    stream: None,
+                },
+            ],
+        });
+        // Round trip first: the populated shape survives as written.
+        let back = MetricsReport::parse(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        // Strip the stage-level additions only — the sub-reports keep
+        // their own `backend`/`resident_bound` keys (stage objects are
+        // the ones carrying a `label`).
+        fn strip(v: Value) -> Value {
+            match v {
+                Value::Object(fields) => {
+                    let is_stage = fields.iter().any(|(k, _)| k == "label");
+                    Value::Object(
+                        fields
+                            .into_iter()
+                            .filter(|(k, _)| {
+                                k != "window_taps"
+                                    && k != "window_rows"
+                                    && !(is_stage && (k == "backend" || k == "resident_bound"))
+                            })
+                            .map(|(k, v)| (k, strip(v)))
+                            .collect(),
+                    )
+                }
+                Value::Array(items) => Value::Array(items.into_iter().map(strip).collect()),
+                other => other,
+            }
+        }
+        let text = strip(report.to_value()).to_json();
+        assert!(!text.contains("window_taps"), "{text}");
+        let back = MetricsReport::parse(&text).unwrap();
+        let stages = back.session.unwrap().stages;
+        // Stream stage: backend and bound derive from its sub-report.
+        assert_eq!(stages[0].backend, "compiled");
+        assert_eq!(stages[0].resident_bound, 66);
+        assert_eq!(stages[0].window_taps, 0);
+        assert_eq!(stages[0].window_rows, 0);
+        // In-core stage: backend derives, the bound stays unknown.
+        assert_eq!(stages[1].backend, "closure");
+        assert_eq!(stages[1].resident_bound, 0);
     }
 
     #[test]

@@ -526,8 +526,9 @@ fn validate_service(s: &crate::schema::ServiceMetrics, v: &mut Vec<BoundViolatio
 
 /// Checks a session pipeline's chained-residency claims: the summed
 /// peak never exceeds the summed per-stage halo-window bound, each
-/// streaming stage individually honours its own bound, and adjacent
-/// streaming stages conserve the rows flowing between them.
+/// stage individually honours its own declared bound, each stage's
+/// declared backend matches what its sub-report actually ran, and
+/// adjacent streaming stages conserve the rows flowing between them.
 fn validate_session(s: &crate::schema::SessionMetrics, v: &mut Vec<BoundViolation>) {
     if s.peak_resident > s.resident_bound {
         violation(
@@ -539,6 +540,33 @@ fn validate_session(s: &crate::schema::SessionMetrics, v: &mut Vec<BoundViolatio
                 s.peak_resident, s.resident_bound
             ),
         );
+    }
+    // Heterogeneous chains declare a bound per stage; when every stage
+    // carries one, the session peak must also fit under their sum (the
+    // stage-wise Sec. 2.3 decomposition of the whole-pipeline bound).
+    if !s.stages.is_empty() && s.stages.iter().all(|st| st.resident_bound > 0) {
+        let summed = s
+            .stages
+            .iter()
+            .try_fold(0u64, |acc, st| acc.checked_add(st.resident_bound));
+        match summed {
+            Some(summed) if s.peak_resident <= summed => {}
+            Some(summed) => violation(
+                v,
+                BoundCheck::ChainResidency,
+                "session",
+                format!(
+                    "session peak resident {} values exceeds the sum {} of per-stage bounds",
+                    s.peak_resident, summed
+                ),
+            ),
+            None => violation(
+                v,
+                BoundCheck::ChainResidency,
+                "session",
+                "per-stage residency bounds overflow u64 when summed".to_string(),
+            ),
+        }
     }
     if !s.throughput.is_finite() {
         violation(
@@ -562,6 +590,28 @@ fn validate_session(s: &crate::schema::SessionMetrics, v: &mut Vec<BoundViolatio
                     ),
                 );
             }
+            if stage.resident_bound > 0 && sm.peak_resident > stage.resident_bound {
+                violation(
+                    v,
+                    BoundCheck::ChainResidency,
+                    &loc,
+                    format!(
+                        "stage peak resident {} values exceeds its declared per-stage bound {}",
+                        sm.peak_resident, stage.resident_bound
+                    ),
+                );
+            }
+            if sm.backend != stage.backend {
+                violation(
+                    v,
+                    BoundCheck::BackendConsistent,
+                    &loc,
+                    format!(
+                        "stage declares backend {:?} but its stream report ran {:?}",
+                        stage.backend, sm.backend
+                    ),
+                );
+            }
             if sm.backend != "compiled" && sm.sweep_rows > 0 {
                 violation(
                     v,
@@ -576,6 +626,17 @@ fn validate_session(s: &crate::schema::SessionMetrics, v: &mut Vec<BoundViolatio
             check_sweep_shape(sm.unroll, &sm.datapath, &sm.backend, &loc, v);
         }
         if let Some(em) = &stage.engine {
+            if em.backend != stage.backend {
+                violation(
+                    v,
+                    BoundCheck::BackendConsistent,
+                    &loc,
+                    format!(
+                        "stage declares backend {:?} but its engine report ran {:?}",
+                        stage.backend, em.backend
+                    ),
+                );
+            }
             let sweep: u64 = em.per_tile.iter().map(|t| t.sweep_rows).sum();
             if em.backend != "compiled" && sweep > 0 {
                 violation(
@@ -1036,6 +1097,10 @@ mod tests {
         fn stage(label: &str, outputs: u64, values_in: u64, peak: u64, bound: u64) -> StageMetrics {
             StageMetrics {
                 label: label.into(),
+                backend: "closure".into(),
+                window_taps: 5,
+                window_rows: 3,
+                resident_bound: bound,
                 engine: None,
                 stream: Some(StreamMetrics {
                     outputs,
@@ -1130,6 +1195,23 @@ mod tests {
             .unwrap()
             .sweep_rows = 0;
 
+        // A stream peak above the stage's *declared* per-stage bound is
+        // flagged even when the stream's own runtime bound kept up.
+        report.session.as_mut().unwrap().stages[1].resident_bound = 60;
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::ChainResidency
+            && x.detail.contains("declared per-stage bound 60")));
+        report.session.as_mut().unwrap().stages[1].resident_bound = 66;
+
+        // A stage whose declared backend disagrees with what its
+        // sub-report actually ran is a backend-consistency violation.
+        report.session.as_mut().unwrap().stages[0].backend = "compiled".into();
+        let v = validate_report(&report);
+        assert!(v.iter().any(|x| x.check == BoundCheck::BackendConsistent
+            && x.location.contains("stage 0")
+            && x.detail.contains("stream report ran")));
+        report.session.as_mut().unwrap().stages[0].backend = "closure".into();
+
         // Non-finite session throughput is rejected like any other.
         report.session.as_mut().unwrap().throughput = f64::NAN;
         let v = validate_report(&report);
@@ -1142,6 +1224,10 @@ mod tests {
         fn step(label: &str, outputs: u64, values_in: u64, peak: u64) -> StageMetrics {
             StageMetrics {
                 label: label.into(),
+                backend: "closure".into(),
+                window_taps: 5,
+                window_rows: 3,
+                resident_bound: peak,
                 engine: None,
                 stream: Some(StreamMetrics {
                     outputs,
@@ -1257,6 +1343,10 @@ mod tests {
             grid_io: None,
             stages: vec![StageMetrics {
                 label: "s1".into(),
+                backend: "compiled".into(),
+                window_taps: 5,
+                window_rows: 3,
+                resident_bound: 12,
                 engine: Some(EngineMetrics {
                     outputs: 10,
                     tiles: 1,

@@ -10,7 +10,9 @@
 //!   where the benchmark carries an expression, the compiled backend)
 //!   produces bit-identical outputs.
 //! * **Chained fidelity.** A 2- and 3-stage `Session::then` pipeline
-//!   over the DENOISE window matches running each stage to completion
+//!   over the DENOISE window — and heterogeneous chains mixing the
+//!   5-point cross with the 9-tap BLUR3X3 box, including mixed
+//!   per-stage backends — matches running each stage to completion
 //!   sequentially with fully materialised intermediates, while the
 //!   chained run's peak residency stays within the planned per-stage
 //!   halo-window bound (Sec. 2.3) instead of holding whole grids.
@@ -18,9 +20,10 @@
 use stencil_bench::scaled_extents;
 use stencil_core::MemorySystemPlan;
 use stencil_engine::{
-    CompiledKernel, ExecMode, InputGrid, Session, SessionKernel, SliceSource, VecSink,
+    CompiledKernel, ExecMode, InputGrid, KernelBackend, Session, SessionKernel, SliceSource,
+    VecSink,
 };
-use stencil_kernels::{denoise, paper_suite, Benchmark};
+use stencil_kernels::{blur3x3, denoise, paper_suite, Benchmark};
 
 /// Deterministic pseudo-random input values for `n` grid cells.
 fn input_values(n: u64) -> Vec<f64> {
@@ -235,6 +238,112 @@ fn chained_session_matches_sequential_stages() {
             }
         }
     }
+}
+
+#[test]
+fn mixed_window_chains_match_sequential_stages() {
+    // Heterogeneous temporal chains: the DENOISE 5-point cross feeding
+    // the 9-tap BLUR3X3 box (depth 2), then DENOISE again (depth 3).
+    // Each stage erodes by its *own* halo and buffers by its own reuse
+    // distances; the fused run must still be bit-identical to fully
+    // materialised sequential stages at every chunk height.
+    let bench = denoise();
+    let blur = blur3x3();
+    let (plan, in_vals) = plan_and_values(&bench);
+    let in_idx = plan.input_domain().index().expect("input index");
+    let input = InputGrid::new(&in_idx, &in_vals).expect("sized input");
+    let compute = bench.compute_fn();
+
+    let depth2 = vec![blur.stage()];
+    let depth3 = vec![blur.stage(), bench.stage()];
+    for stages in [&depth2, &depth3] {
+        let golden = sequential_reference(&bench, &plan, &in_vals, stages);
+
+        // In-core chained run, with per-stage windows in the report.
+        let mut session = Session::new(&plan).kernel(SessionKernel::Closure(&compute));
+        for stage in stages.iter() {
+            session = session.then(stage).expect("then");
+        }
+        let run = session.run(&input).expect("mixed in-core chain");
+        assert_eq!(run.outputs, golden, "in-core depth {}", stages.len() + 1);
+        assert_eq!(run.report.stages[0].window_taps, 5);
+        assert_eq!(run.report.stages[1].window_taps, 9);
+        assert_eq!(run.report.stages[1].window_rows, 3);
+
+        // Streaming at chunk heights 1, the halo (3 rows), and a chunk
+        // larger than the whole grid (clamped to an in-core-like band).
+        for chunk in [1u64, 3, 4096] {
+            let mut session = Session::new(&plan)
+                .kernel(SessionKernel::Closure(&compute))
+                .mode(ExecMode::Streaming {
+                    chunk_rows: Some(chunk),
+                })
+                .threads(2);
+            for stage in stages.iter() {
+                session = session.then(stage).expect("then");
+            }
+            let bound = session
+                .planned_residency_bound(Some(chunk))
+                .expect("planned bound");
+            let mut source = SliceSource::new(&in_vals);
+            let mut sink = VecSink::new();
+            let report = session
+                .run_streaming(&mut source, &mut sink)
+                .expect("mixed streaming chain");
+            assert_eq!(
+                sink.values,
+                golden,
+                "streaming depth {} chunk {chunk}",
+                stages.len() + 1
+            );
+            assert!(
+                report.peak_resident <= bound,
+                "depth {} chunk {chunk}: peak {} > planned bound {bound}",
+                stages.len() + 1,
+                report.peak_resident
+            );
+            assert!(report.within_residency_bound());
+            // Every stage's observed peak honours its own declared
+            // bound, and the declared bounds sum to at least the
+            // session peak (the stage-wise Sec. 2.3 decomposition).
+            let mut summed = 0u64;
+            for s in &report.stages {
+                let sm = s.stream.as_ref().expect("stream report");
+                assert!(sm.peak_resident <= s.resident_bound, "{}", s.label);
+                summed += s.resident_bound;
+            }
+            assert!(report.peak_resident <= summed);
+            for pair in report.stages.windows(2) {
+                let up = pair[0].stream.as_ref().expect("upstream stream report");
+                let down = pair[1].stream.as_ref().expect("downstream stream report");
+                assert_eq!(down.values_in, up.outputs, "hand-off conservation");
+            }
+        }
+    }
+
+    // Per-stage backend override: the blur stage carries an expression,
+    // so it can run compiled while the closure base stage cannot — a
+    // mixed-backend pipeline that must stay bit-identical.
+    let stage2 = blur.stage();
+    let mut source = SliceSource::new(&in_vals);
+    let mut sink = VecSink::new();
+    let report = Session::new(&plan)
+        .kernel(SessionKernel::Closure(&compute))
+        .backend(KernelBackend::Closure)
+        .mode(ExecMode::Streaming {
+            chunk_rows: Some(1),
+        })
+        .then(&stage2)
+        .expect("then")
+        .stage_backend(KernelBackend::Compiled)
+        .run_streaming(&mut source, &mut sink)
+        .expect("mixed-backend chain");
+    assert_eq!(
+        sink.values,
+        sequential_reference(&bench, &plan, &in_vals, &depth2)
+    );
+    assert_eq!(report.stages[0].backend, KernelBackend::Closure);
+    assert_eq!(report.stages[1].backend, KernelBackend::Compiled);
 }
 
 #[test]
